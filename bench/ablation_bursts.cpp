@@ -1,0 +1,57 @@
+// Ablation — the burst model is what separates the clouds in Fig. 3(c,d).
+// Disabling the private profile's bursty churn must collapse its
+// cross-region creation CV to (or below) the public cloud's level,
+// demonstrating the bursts are the causal ingredient, not a side effect.
+#include "analysis/temporal.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "stats/descriptive.h"
+
+using namespace cloudlens;
+
+namespace {
+
+double median_cv(const TraceStore& trace, CloudType cloud) {
+  const auto cvs = analysis::creation_cv_by_region(trace, cloud);
+  return cvs.empty() ? 0.0 : stats::quantile(cvs, 0.5);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+
+  bench::banner("Ablation: private-cloud burst model on vs off");
+
+  workloads::ScenarioOptions with_bursts;
+  with_bursts.scale = args.scale;
+  with_bursts.seed = args.seed;
+  const auto baseline = workloads::make_scenario(with_bursts);
+
+  workloads::ScenarioOptions without_bursts = with_bursts;
+  without_bursts.private_profile.burst_churn.bursts_per_week = 0.0;
+  const auto ablated = workloads::make_scenario(without_bursts);
+
+  const double priv_on = median_cv(*baseline.trace, CloudType::kPrivate);
+  const double pub_on = median_cv(*baseline.trace, CloudType::kPublic);
+  const double priv_off = median_cv(*ablated.trace, CloudType::kPrivate);
+  const double pub_off = median_cv(*ablated.trace, CloudType::kPublic);
+
+  TextTable t({"configuration", "private median CV", "public median CV"});
+  t.row().add("bursts on (paper setting)").add(priv_on, 3).add(pub_on, 3);
+  t.row().add("bursts off (ablated)").add(priv_off, 3).add(pub_off, 3);
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nInterpretation: with bursts removed, the private cloud's "
+              "creation process is\na mild diurnal profile and its "
+              "burstiness advantage over the public cloud vanishes.\n");
+
+  bench::banner("Shape checks");
+  bench::ShapeChecks checks;
+  checks.expect(priv_on > 1.3 * pub_on,
+                "baseline reproduces Fig. 3(d): private CV >> public");
+  checks.expect(priv_off < 0.6 * priv_on,
+                "removing bursts collapses the private CV");
+  checks.expect(priv_off < pub_off * 1.3,
+                "ablated private CV lands at/below the public level");
+  return checks.exit_code();
+}

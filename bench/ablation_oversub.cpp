@@ -1,0 +1,87 @@
+// Ablation — chance-constrained oversubscription safety-level sweep.
+// The paper cites 20%-86% utilization improvement in Azure "depending on
+// the level of safety constraint" (ref [17]). Sweeping the safety quantile
+// must reproduce that monotone trade-off: lower safety, higher improvement,
+// higher violation rate.
+#include "bench_common.h"
+#include "common/table.h"
+#include "policies/oversub.h"
+#include "policies/oversub_placement.h"
+
+using namespace cloudlens;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const auto scenario = bench::make_bench_scenario(args);
+  const TraceStore& trace = *scenario.trace;
+
+  bench::banner(
+      "Ablation: oversubscription safety level (public cloud nodes)");
+  TextTable t({"safety quantile", "reservation shrink", "util improvement",
+               "violation rate", "nodes"});
+  std::vector<double> improvements;
+  std::vector<double> violations;
+  for (const double q : {0.90, 0.95, 0.99, 0.995, 0.999, 1.0}) {
+    policies::OversubscriptionOptions options;
+    options.safety_quantile = q;
+    options.max_nodes = 250;
+    const auto report =
+        policies::evaluate_oversubscription(trace, CloudType::kPublic, options);
+    improvements.push_back(report.utilization_improvement);
+    violations.push_back(report.violation_rate);
+    t.row()
+        .add(q, 3)
+        .add(report.reservation_shrink, 3)
+        .add(format_double(100 * report.utilization_improvement, 1) + "%")
+        .add(report.violation_rate, 4)
+        .add(report.nodes_evaluated);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nPaper reference: chance-constrained oversubscription "
+              "improved utilization by 20%%-86%%\nin Azure depending on the "
+              "safety constraint level [17]. The sweep reproduces the\n"
+              "monotone safety/efficiency trade-off; absolute numbers depend "
+              "on the workload mix.\n");
+
+  bench::banner("Consolidation: repack VMs by effective (quantile) size");
+  TextTable t2({"safety quantile", "baseline nodes", "oversub nodes",
+                "nodes saved", "hot interval share", "worst pressure"});
+  std::vector<double> saved;
+  for (const double q : {0.90, 0.99, 1.0}) {
+    policies::OversubPlacementOptions options;
+    options.safety_quantile = q;
+    const auto placement = policies::simulate_oversubscribed_placement(
+        trace, CloudType::kPublic, options);
+    saved.push_back(placement.nodes_saved_fraction);
+    t2.row()
+        .add(q, 3)
+        .add(placement.baseline_nodes)
+        .add(placement.oversub_nodes)
+        .add(placement.nodes_saved_fraction, 3)
+        .add(placement.hot_interval_share, 4)
+        .add(placement.worst_node_pressure, 2);
+  }
+  std::printf("%s", t2.to_string().c_str());
+
+  bench::banner("Shape checks");
+  bench::ShapeChecks checks;
+  bool improvement_monotone = true, violation_monotone = true;
+  for (std::size_t i = 1; i < improvements.size(); ++i) {
+    if (improvements[i] > improvements[i - 1] + 1e-9)
+      improvement_monotone = false;
+    if (violations[i] > violations[i - 1] + 1e-6) violation_monotone = false;
+  }
+  checks.expect(improvement_monotone,
+                "utilization improvement decreases with stricter safety");
+  checks.expect(violation_monotone,
+                "violation rate decreases with stricter safety");
+  checks.expect(improvements.front() > 0.20,
+                "lax safety exceeds +20% improvement (paper's lower bound)");
+  checks.expect(violations.back() == 0.0,
+                "peak reservation (q=1) never violates");
+  checks.expect(saved.front() >= saved.back(),
+                "laxer safety consolidates at least as hard");
+  checks.expect(saved.front() > 0.3,
+                "oversubscribed packing saves a large node fraction");
+  return checks.exit_code();
+}

@@ -1,0 +1,128 @@
+// Ablation — profile fitting and the synthetic twin.
+//
+// Fit CloudProfiles from a generated trace (as one would from an imported
+// external trace), regenerate a "twin" scenario from the fitted parameters
+// alone, and compare the headline statistics of original and twin. Close
+// agreement means the fitted parameter set captures what matters — the
+// platform can run capacity what-ifs without retaining the raw trace.
+#include "analysis/insights.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "workloads/fit.h"
+#include "workloads/generator.h"
+
+using namespace cloudlens;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const auto original = bench::make_bench_scenario(args);
+
+  bench::banner("Fitting profiles from the observed trace");
+  const auto priv_fit =
+      workloads::fit_profile(*original.trace, CloudType::kPrivate,
+                             workloads::CloudProfile::azure_private());
+  const auto pub_fit =
+      workloads::fit_profile(*original.trace, CloudType::kPublic,
+                             workloads::CloudProfile::azure_public());
+  std::printf("private: %zu services, %zu deployments, %zu ended VMs, "
+              "%zu classified\n",
+              priv_fit.services_observed, priv_fit.deployments_observed,
+              priv_fit.ended_vms_observed, priv_fit.classified_vms);
+  std::printf("public : %zu subscriptions, %zu deployments, %zu ended VMs, "
+              "%zu classified\n",
+              priv_fit.subscriptions_observed + pub_fit.subscriptions_observed,
+              pub_fit.deployments_observed, pub_fit.ended_vms_observed,
+              pub_fit.classified_vms);
+
+  TextTable params({"parameter", "planted (private)", "fitted (private)"});
+  const auto planted = workloads::CloudProfile::azure_private().scaled(args.scale);
+  params.row()
+      .add("deploy_size_mu")
+      .add(planted.deploy_size_mu, 3)
+      .add(priv_fit.profile.deploy_size_mu, 3);
+  params.row()
+      .add("deploy_size_sigma")
+      .add(planted.deploy_size_sigma, 3)
+      .add(priv_fit.profile.deploy_size_sigma, 3);
+  params.row()
+      .add("single-region weight")
+      .add(planted.region_count_weights[0], 3)
+      .add(priv_fit.profile.region_count_weights[0], 3);
+  params.row()
+      .add("shortest lifetime bin share")
+      .add(planted.lifetime.shortest_bin_share(), 3)
+      .add(priv_fit.profile.lifetime.shortest_bin_share(), 3);
+  params.row()
+      .add("pattern mix diurnal")
+      .add(planted.pattern_mix.diurnal, 3)
+      .add(priv_fit.profile.pattern_mix.diurnal, 3);
+  params.row()
+      .add("bursts per week per region")
+      .add(planted.burst_churn.bursts_per_week, 2)
+      .add(priv_fit.profile.burst_churn.bursts_per_week, 2);
+  params.row()
+      .add("region-agnostic probability")
+      .add(planted.region_agnostic_prob, 2)
+      .add(priv_fit.profile.region_agnostic_prob, 2);
+  std::printf("\n%s", params.to_string().c_str());
+
+  bench::banner("Regenerating the synthetic twin from fitted parameters");
+  workloads::ScenarioOptions twin_options;
+  twin_options.scale = 1.0;  // fitted counts already carry the scale
+  twin_options.seed = args.seed + 1;
+  twin_options.private_profile = priv_fit.profile;
+  twin_options.public_profile = pub_fit.profile;
+  const auto twin = workloads::make_scenario(twin_options);
+
+  const auto v_orig = analysis::evaluate_insights(*original.trace);
+  const auto v_twin = analysis::evaluate_insights(*twin.trace);
+
+  TextTable cmp({"headline statistic", "original", "twin"});
+  cmp.row()
+      .add("median VMs/sub (private)")
+      .add(v_orig.median_vms_per_subscription.private_value, 1)
+      .add(v_twin.median_vms_per_subscription.private_value, 1);
+  cmp.row()
+      .add("median VMs/sub (public)")
+      .add(v_orig.median_vms_per_subscription.public_value, 1)
+      .add(v_twin.median_vms_per_subscription.public_value, 1);
+  cmp.row()
+      .add("creation CV (private)")
+      .add(v_orig.median_creation_cv.private_value, 2)
+      .add(v_twin.median_creation_cv.private_value, 2);
+  cmp.row()
+      .add("shortest-bin share (public)")
+      .add(v_orig.shortest_lifetime_share.public_value, 2)
+      .add(v_twin.shortest_lifetime_share.public_value, 2);
+  cmp.row()
+      .add("diurnal share (private)")
+      .add(v_orig.private_mix.diurnal, 2)
+      .add(v_twin.private_mix.diurnal, 2);
+  cmp.row()
+      .add("node correlation (private)")
+      .add(v_orig.median_node_correlation.private_value, 2)
+      .add(v_twin.median_node_correlation.private_value, 2);
+  cmp.row()
+      .add("all four insights")
+      .add(v_orig.all() ? "hold" : "NO")
+      .add(v_twin.all() ? "hold" : "NO");
+  std::printf("%s", cmp.to_string().c_str());
+
+  bench::banner("Shape checks");
+  bench::ShapeChecks checks;
+  checks.expect(v_twin.all(),
+                "twin regenerated from fitted parameters reproduces all "
+                "four insights");
+  checks.expect(std::abs(v_twin.shortest_lifetime_share.public_value -
+                         v_orig.shortest_lifetime_share.public_value) < 0.05,
+                "lifetime share carried through the fit");
+  checks.expect(std::abs(priv_fit.profile.deploy_size_mu -
+                         planted.deploy_size_mu) < 0.6,
+                "deployment-size mu recovered");
+  checks.expect(priv_fit.profile.burst_churn.bursts_per_week > 0,
+                "private bursts detected by the fit");
+  checks.expect(pub_fit.profile.burst_churn.bursts_per_week <
+                    priv_fit.profile.burst_churn.bursts_per_week + 1e-9,
+                "public fits as less bursty than private");
+  return checks.exit_code();
+}

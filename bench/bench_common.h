@@ -1,0 +1,68 @@
+// Shared scaffolding for the figure-reproduction benches: scenario
+// construction from command-line flags and small formatting helpers.
+//
+// Every bench prints (a) the series/rows the corresponding paper figure
+// reports, (b) a paper-vs-measured table of the figure's headline numbers,
+// and (c) a PASS/FAIL shape check mirroring EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workloads/generator.h"
+
+namespace cloudlens::bench {
+
+struct BenchArgs {
+  double scale = 0.35;
+  std::uint64_t seed = 42;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale=F] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline workloads::Scenario make_bench_scenario(const BenchArgs& args) {
+  workloads::ScenarioOptions options;
+  options.scale = args.scale;
+  options.seed = args.seed;
+  std::printf("generating dual-cloud scenario (scale=%.2f seed=%llu)...\n",
+              args.scale, (unsigned long long)args.seed);
+  return workloads::make_scenario(options);
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// One shape assertion; prints PASS/FAIL and tracks a global verdict.
+class ShapeChecks {
+ public:
+  void expect(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) failures_++;
+  }
+  /// Returns the process exit code (0 iff all checks passed).
+  int exit_code() const { return failures_ == 0 ? 0 : 1; }
+
+ private:
+  int failures_ = 0;
+};
+
+}  // namespace cloudlens::bench

@@ -1,0 +1,97 @@
+// Fig. 2 — heatmaps of per-VM core and memory size, private vs public.
+//
+// Paper: the central mass of VM shapes is similar in both clouds, but the
+// public-cloud distribution extends into the top-right (large VMs) and
+// bottom-left (tiny burstable VMs) corners.
+#include "analysis/deployment.h"
+#include "bench_common.h"
+#include "common/ascii_chart.h"
+#include "common/table.h"
+
+using namespace cloudlens;
+
+namespace {
+
+/// Fraction of VM mass in the extreme corners of the shape space.
+struct CornerMass {
+  double bottom_left = 0;  // <= 1 core and < 2 GB
+  double top_right = 0;    // >= 32 cores or >= 256 GB
+};
+
+CornerMass corner_mass(const TraceStore& trace, CloudType cloud,
+                       SimTime snapshot) {
+  CornerMass mass;
+  std::size_t total = 0;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
+    ++total;
+    if (vm.cores <= 1 && vm.memory_gb < 2) mass.bottom_left += 1;
+    if (vm.cores >= 32 || vm.memory_gb >= 256) mass.top_right += 1;
+  }
+  if (total > 0) {
+    mass.bottom_left /= double(total);
+    mass.top_right /= double(total);
+  }
+  return mass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const auto scenario = bench::make_bench_scenario(args);
+  const TraceStore& trace = *scenario.trace;
+  const SimTime snapshot = analysis::kDefaultSnapshot;
+
+  bench::banner("Fig. 2: core x memory heatmaps (log-binned, normalized)");
+  const auto priv =
+      analysis::vm_size_heatmap(trace, CloudType::kPrivate, snapshot);
+  const auto pub =
+      analysis::vm_size_heatmap(trace, CloudType::kPublic, snapshot);
+
+  std::printf("%s\n", render_heatmap(priv.normalized_grid(),
+                                     "(a) private cloud", "cores (log)",
+                                     "memory GB (log)")
+                          .c_str());
+  std::printf("%s\n", render_heatmap(pub.normalized_grid(),
+                                     "(b) public cloud", "cores (log)",
+                                     "memory GB (log)")
+                          .c_str());
+
+  const auto priv_mass = corner_mass(trace, CloudType::kPrivate, snapshot);
+  const auto pub_mass = corner_mass(trace, CloudType::kPublic, snapshot);
+
+  auto occupied = [](const stats::Histogram2D& h) {
+    std::size_t n = 0;
+    for (std::size_t y = 0; y < h.y_axis().bins(); ++y)
+      for (std::size_t x = 0; x < h.x_axis().bins(); ++x)
+        if (h.weight_at(x, y) > 0) ++n;
+    return n;
+  };
+
+  TextTable t({"metric", "private", "public"});
+  t.row().add("VMs at snapshot").add(priv.total_count()).add(pub.total_count());
+  t.row()
+      .add("occupied heatmap cells")
+      .add(occupied(priv))
+      .add(occupied(pub));
+  t.row()
+      .add("bottom-left corner share (tiny VMs)")
+      .add(priv_mass.bottom_left, 4)
+      .add(pub_mass.bottom_left, 4);
+  t.row()
+      .add("top-right corner share (huge VMs)")
+      .add(priv_mass.top_right, 4)
+      .add(pub_mass.top_right, 4);
+  std::printf("%s", t.to_string().c_str());
+
+  bench::banner("Shape checks");
+  bench::ShapeChecks checks;
+  checks.expect(occupied(pub) > occupied(priv),
+                "public shape space wider than private");
+  checks.expect(pub_mass.bottom_left > priv_mass.bottom_left,
+                "public extends into the bottom-left (tiny) corner");
+  checks.expect(pub_mass.top_right > priv_mass.top_right,
+                "public extends into the top-right (huge) corner");
+  return checks.exit_code();
+}

@@ -1,0 +1,86 @@
+// Fig. 4 — (a) CDFs of deployed regions per subscription; (b) the same
+// CDF weighted by allocated cores.
+//
+// Paper: >50% of subscriptions in both clouds are single-region, but the
+// private cloud deploys over more regions in the rest; single-region
+// subscriptions hold ~40% of private-cloud cores vs ~70% of public-cloud
+// cores.
+#include "analysis/deployment.h"
+#include "bench_common.h"
+#include "common/ascii_chart.h"
+#include "common/table.h"
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+
+using namespace cloudlens;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const auto scenario = bench::make_bench_scenario(args);
+  const TraceStore& trace = *scenario.trace;
+
+  const auto priv = analysis::region_spread(trace, CloudType::kPrivate,
+                                            analysis::kDefaultSnapshot);
+  const auto pub = analysis::region_spread(trace, CloudType::kPublic,
+                                           analysis::kDefaultSnapshot);
+
+  bench::banner("Fig. 4(a): CDF of deployed regions per subscription");
+  const std::size_t max_regions = trace.topology().regions().size();
+  const stats::Ecdf priv_cdf(priv.regions_per_subscription);
+  const stats::Ecdf pub_cdf(pub.regions_per_subscription);
+  TextTable t1({"regions <= k", "private CDF", "public CDF"});
+  for (std::size_t k = 1; k <= max_regions; ++k) {
+    t1.row()
+        .add(std::to_string(k))
+        .add(priv_cdf.at(double(k)), 3)
+        .add(pub_cdf.at(double(k)), 3);
+  }
+  std::printf("%s", t1.to_string().c_str());
+
+  bench::banner("Fig. 4(b): cumulative core share vs deployed regions");
+  TextTable t2({"regions <= k", "private core share", "public core share"});
+  for (std::size_t k = 0; k < max_regions; ++k) {
+    t2.row()
+        .add(std::to_string(k + 1))
+        .add(priv.cumulative_core_share[k], 3)
+        .add(pub.cumulative_core_share[k], 3);
+  }
+  std::printf("%s", t2.to_string().c_str());
+
+  std::vector<double> priv_curve(priv.cumulative_core_share.begin(),
+                                 priv.cumulative_core_share.end());
+  std::vector<double> pub_curve(pub.cumulative_core_share.begin(),
+                                pub.cumulative_core_share.end());
+  ChartOptions chart;
+  chart.fixed_y_range = true;
+  chart.y_max = 1;
+  chart.height = 12;
+  chart.title = "core-weighted CDF vs number of deployed regions";
+  std::printf("\n%s", render_lines({{"private", priv_curve},
+                                    {"public", pub_curve}},
+                                   chart)
+                          .c_str());
+
+  TextTable t3({"metric", "paper", "measured"});
+  t3.row()
+      .add("private single-region core share")
+      .add("~0.40")
+      .add(priv.single_region_core_share, 3);
+  t3.row()
+      .add("public single-region core share")
+      .add("~0.70")
+      .add(pub.single_region_core_share, 3);
+  std::printf("\n%s", t3.to_string().c_str());
+
+  bench::banner("Shape checks");
+  bench::ShapeChecks checks;
+  checks.expect(priv_cdf.at(1.0) > 0.5 && pub_cdf.at(1.0) > 0.5,
+                ">50% of subscriptions single-region in both clouds");
+  checks.expect(priv_cdf.at(1.0) < pub_cdf.at(1.0),
+                "private deploys over more regions in the tail");
+  checks.expect(std::abs(priv.single_region_core_share - 0.40) < 0.12,
+                "private single-region core share near 40%");
+  checks.expect(std::abs(pub.single_region_core_share - 0.70) < 0.12,
+                "public single-region core share near 70%");
+  return checks.exit_code();
+}

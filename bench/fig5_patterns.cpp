@@ -1,0 +1,118 @@
+// Fig. 5 — typical utilization patterns and their population shares:
+//   (a) a diurnal sample (weekday peak ~60%, weekend ~20%);
+//   (b) stable and irregular samples;
+//   (c) an hourly-peak sample (peaks at :00/:30 marks);
+//   (d) pattern shares per cloud, private vs public.
+#include "analysis/classifier.h"
+#include "bench_common.h"
+#include "common/ascii_chart.h"
+#include "common/table.h"
+#include "workloads/patterns.h"
+
+using namespace cloudlens;
+using workloads::DiurnalUtilization;
+using workloads::HourlyPeakUtilization;
+using workloads::IrregularUtilization;
+using workloads::StableUtilization;
+
+namespace {
+
+template <typename Model>
+std::vector<double> evaluate(const Model& model, SimTime begin, SimTime end,
+                             SimDuration step = kTelemetryInterval) {
+  std::vector<double> out;
+  for (SimTime t = begin; t < end; t += step) out.push_back(model.at(t));
+  return out;
+}
+
+void show(const std::string& title, const std::vector<double>& series) {
+  ChartOptions chart;
+  chart.fixed_y_range = true;
+  chart.y_max = 1;
+  chart.height = 10;
+  chart.title = title;
+  std::printf("%s\n", render_lines({{"cpu", series}}, chart).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+
+  // ---- Fig. 5(a-c): sample patterns --------------------------------------
+  bench::banner("Fig. 5(a-c): typical utilization patterns (samples)");
+  DiurnalUtilization::Params dp;
+  dp.weekday_peak = 0.60;  // the paper's sample VM
+  dp.weekend_peak = 0.20;
+  show("(a) diurnal, one week (weekday peak ~60%, weekend ~20%)",
+       evaluate(DiurnalUtilization(dp, 1), 0, kWeek));
+
+  StableUtilization::Params sp;
+  sp.level = 0.30;
+  show("(b-top) stable, one week",
+       evaluate(StableUtilization(sp, 2), 0, kWeek));
+
+  IrregularUtilization::Params ip;
+  show("(b-bottom) irregular, one week (low base, sudden spikes)",
+       evaluate(IrregularUtilization(ip, 3), 0, kWeek));
+
+  HourlyPeakUtilization::Params hp;
+  show("(c) hourly-peak, one day (peaks at :00/:30)",
+       evaluate(HourlyPeakUtilization(hp, 4), kDay, 2 * kDay));
+
+  // ---- Fig. 5(d): population shares ---------------------------------------
+  bench::banner("Fig. 5(d): pattern shares per cloud (classifier output)");
+  const auto scenario = bench::make_bench_scenario(args);
+  const auto priv =
+      analysis::classify_population(*scenario.trace, CloudType::kPrivate, 1200);
+  const auto pub =
+      analysis::classify_population(*scenario.trace, CloudType::kPublic, 1200);
+
+  TextTable t({"pattern", "private", "public", "paper's contrast"});
+  t.row().add("diurnal").add(priv.diurnal, 3).add(pub.diurnal, 3).add(
+      "most common in both; private ~2x public");
+  t.row().add("stable").add(priv.stable, 3).add(pub.stable, 3).add(
+      "higher share in public");
+  t.row()
+      .add("irregular")
+      .add(priv.irregular, 3)
+      .add(pub.irregular, 3)
+      .add("relatively rare in both");
+  t.row()
+      .add("hourly-peak")
+      .add(priv.hourly_peak, 3)
+      .add(pub.hourly_peak, 3)
+      .add("mostly private (work-related)");
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\n(classified %zu private and %zu public window-covering "
+              "VMs)\n",
+              priv.classified, pub.classified);
+
+  std::printf("%s",
+              render_bars({{"priv diurnal", priv.diurnal},
+                           {"pub  diurnal", pub.diurnal},
+                           {"priv stable", priv.stable},
+                           {"pub  stable", pub.stable},
+                           {"priv irregular", priv.irregular},
+                           {"pub  irregular", pub.irregular},
+                           {"priv hourly-pk", priv.hourly_peak},
+                           {"pub  hourly-pk", pub.hourly_peak}},
+                          40, "\npattern shares")
+                  .c_str());
+
+  bench::banner("Shape checks");
+  bench::ShapeChecks checks;
+  checks.expect(priv.diurnal > priv.stable && priv.diurnal > priv.irregular &&
+                    priv.diurnal > priv.hourly_peak,
+                "diurnal most common in private");
+  checks.expect(pub.diurnal >= pub.stable - 0.05,
+                "diurnal (roughly) most common in public too");
+  checks.expect(priv.diurnal > 1.2 * pub.diurnal,
+                "private diurnal share roughly double public's");
+  checks.expect(pub.stable > priv.stable + 0.1, "public more stable VMs");
+  checks.expect(priv.hourly_peak > pub.hourly_peak,
+                "hourly-peak concentrated in private");
+  checks.expect(priv.irregular < 0.2 && pub.irregular < 0.25,
+                "irregular relatively rare in both");
+  return checks.exit_code();
+}

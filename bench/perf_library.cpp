@@ -1,0 +1,149 @@
+// google-benchmark microbenchmarks for the cloudlens primitives that the
+// analysis pipeline leans on: correlation, ECDF construction, period
+// detection, pattern evaluation, classification, and allocation.
+#include <benchmark/benchmark.h>
+
+#include "analysis/classifier.h"
+#include "cloudsim/allocator.h"
+#include "cloudsim/topology.h"
+#include "common/rng.h"
+#include "stats/correlation.h"
+#include "stats/ecdf.h"
+#include "stats/fft.h"
+#include "stats/periodicity.h"
+#include "workloads/generator.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens {
+namespace {
+
+std::vector<double> random_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.uniform();
+  return xs;
+}
+
+void BM_Pearson(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_series(n, 1);
+  const auto y = random_series(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(stats::pearson(x, y));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Pearson)->Arg(2016)->Arg(1 << 14);
+
+void BM_EcdfBuild(benchmark::State& state) {
+  const auto xs = random_series(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) benchmark::DoNotOptimize(stats::Ecdf(xs));
+}
+BENCHMARK(BM_EcdfBuild)->Arg(1024)->Arg(1 << 16);
+
+void BM_Periodogram(benchmark::State& state) {
+  const auto xs = random_series(2016, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(stats::periodogram(xs));
+}
+BENCHMARK(BM_Periodogram);
+
+void BM_Autocorrelation(benchmark::State& state) {
+  const auto xs = random_series(2016, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(stats::autocorrelation(xs));
+}
+BENCHMARK(BM_Autocorrelation);
+
+void BM_PatternEvaluationWeek(benchmark::State& state) {
+  const workloads::DiurnalUtilization model({}, 6);
+  const TimeGrid grid = week_telemetry_grid();
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t i = 0; i < grid.count; ++i) acc += model.at(grid.at(i));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.count));
+}
+BENCHMARK(BM_PatternEvaluationWeek);
+
+void BM_ClassifyWeekSeries(benchmark::State& state) {
+  const workloads::HourlyPeakUtilization model({}, 7);
+  const TimeGrid grid = week_telemetry_grid();
+  stats::TimeSeries series(grid);
+  for (std::size_t i = 0; i < grid.count; ++i) series[i] = model.at(grid.at(i));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::classify(series));
+}
+BENCHMARK(BM_ClassifyWeekSeries);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<double> w(1000);
+  for (auto& x : w) x = rng.uniform(0.1, 10.0);
+  const AliasTable table(w);
+  for (auto _ : state) benchmark::DoNotOptimize(table.sample(rng));
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_ScenarioGeneration(benchmark::State& state) {
+  // End-to-end generation + placement of a small dual-cloud week.
+  workloads::ScenarioOptions options;
+  options.scale = 0.02;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto scenario = workloads::make_scenario(options);
+    benchmark::DoNotOptimize(scenario.trace->vms().size());
+  }
+}
+BENCHMARK(BM_ScenarioGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_NodeUtilizationWeek(benchmark::State& state) {
+  workloads::ScenarioOptions options;
+  options.scale = 0.05;
+  const auto scenario = workloads::make_scenario(options);
+  const TimeGrid grid = week_telemetry_grid();
+  // A node with several VMs.
+  NodeId busiest;
+  std::size_t most = 0;
+  for (const auto& node : scenario.topology->nodes()) {
+    const auto vms = scenario.trace->vms_on_node(node.id).size();
+    if (vms > most) {
+      most = vms;
+      busiest = node.id;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scenario.trace->node_utilization(busiest, grid));
+  }
+  state.SetLabel(std::to_string(most) + " VMs on node");
+}
+BENCHMARK(BM_NodeUtilizationWeek)->Unit(benchmark::kMillisecond);
+
+void BM_AllocateRelease(benchmark::State& state) {
+  TopologySpec spec;
+  spec.regions = {{"r", 0}};
+  spec.clusters_per_cloud = 2;
+  spec.racks_per_cluster = 10;
+  spec.nodes_per_rack = 16;
+  const Topology topo = build_topology(spec);
+  Allocator allocator(topo);
+  VmRequest request;
+  request.subscription = SubscriptionId(0);
+  request.cloud = CloudType::kPublic;
+  request.region = RegionId(0);
+  request.cores = 4;
+  request.memory_gb = 16;
+  std::uint32_t next = 0;
+  for (auto _ : state) {
+    const VmId vm(next++);
+    benchmark::DoNotOptimize(allocator.allocate(request, vm));
+    allocator.release(vm);
+  }
+}
+BENCHMARK(BM_AllocateRelease);
+
+}  // namespace
+}  // namespace cloudlens
+
+BENCHMARK_MAIN();

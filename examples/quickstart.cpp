@@ -1,0 +1,118 @@
+// Quickstart: generate the dual-cloud scenario and print the headline
+// contrasts the paper reports, demonstrating the core public API:
+// make_scenario() -> analysis::*.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/classifier.h"
+#include "analysis/deployment.h"
+#include "analysis/spatial.h"
+#include "analysis/temporal.h"
+#include "common/table.h"
+#include "stats/descriptive.h"
+#include "workloads/generator.h"
+
+using namespace cloudlens;
+
+int main(int argc, char** argv) {
+  workloads::ScenarioOptions options;
+  options.seed = 42;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.35;
+
+  std::printf("Generating dual-cloud scenario (scale=%.2f)...\n",
+              options.scale);
+  const auto scenario = workloads::make_scenario(options);
+  const TraceStore& trace = *scenario.trace;
+
+  std::printf("  private: %llu placed, %llu failures\n",
+              (unsigned long long)scenario.private_stats.placed,
+              (unsigned long long)scenario.private_stats.allocation_failures);
+  std::printf("  public : %llu placed, %llu failures\n",
+              (unsigned long long)scenario.public_stats.placed,
+              (unsigned long long)scenario.public_stats.allocation_failures);
+
+  TextTable table({"metric", "private", "public"});
+
+  // Fig. 1(a): deployment size medians.
+  const auto priv_sizes = analysis::vms_per_subscription(
+      trace, CloudType::kPrivate, analysis::kDefaultSnapshot);
+  const auto pub_sizes = analysis::vms_per_subscription(
+      trace, CloudType::kPublic, analysis::kDefaultSnapshot);
+  table.row()
+      .add("median VMs per subscription")
+      .add(stats::quantile_sorted(priv_sizes, 0.5), 1)
+      .add(stats::quantile_sorted(pub_sizes, 0.5), 1);
+
+  // Fig. 1(b): subscriptions per cluster.
+  const auto priv_spc = analysis::subscriptions_per_cluster(
+      trace, CloudType::kPrivate, analysis::kDefaultSnapshot);
+  const auto pub_spc = analysis::subscriptions_per_cluster(
+      trace, CloudType::kPublic, analysis::kDefaultSnapshot);
+  table.row()
+      .add("median subscriptions per cluster")
+      .add(stats::quantile_sorted(priv_spc, 0.5), 1)
+      .add(stats::quantile_sorted(pub_spc, 0.5), 1);
+
+  // Fig. 3(a): shortest lifetime bin share.
+  const auto priv_life = analysis::vm_lifetimes(trace, CloudType::kPrivate);
+  const auto pub_life = analysis::vm_lifetimes(trace, CloudType::kPublic);
+  table.row()
+      .add("share of lifetimes < 30 min")
+      .add(analysis::shortest_bin_share(priv_life), 2)
+      .add(analysis::shortest_bin_share(pub_life), 2);
+
+  // Fig. 3(d): creation burstiness (median CV across regions).
+  const auto priv_cv =
+      analysis::creation_cv_by_region(trace, CloudType::kPrivate);
+  const auto pub_cv =
+      analysis::creation_cv_by_region(trace, CloudType::kPublic);
+  table.row()
+      .add("median CV of hourly creations")
+      .add(stats::quantile(priv_cv, 0.5), 2)
+      .add(stats::quantile(pub_cv, 0.5), 2);
+
+  // Fig. 4(b): single-region core share.
+  const auto priv_spread = analysis::region_spread(trace, CloudType::kPrivate,
+                                                   analysis::kDefaultSnapshot);
+  const auto pub_spread = analysis::region_spread(trace, CloudType::kPublic,
+                                                  analysis::kDefaultSnapshot);
+  table.row()
+      .add("single-region core share")
+      .add(priv_spread.single_region_core_share, 2)
+      .add(pub_spread.single_region_core_share, 2);
+
+  // Fig. 5(d): pattern shares.
+  const auto priv_mix =
+      analysis::classify_population(trace, CloudType::kPrivate, 600);
+  const auto pub_mix =
+      analysis::classify_population(trace, CloudType::kPublic, 600);
+  table.row().add("diurnal share").add(priv_mix.diurnal, 2).add(
+      pub_mix.diurnal, 2);
+  table.row().add("stable share").add(priv_mix.stable, 2).add(pub_mix.stable,
+                                                              2);
+  table.row()
+      .add("hourly-peak share")
+      .add(priv_mix.hourly_peak, 2)
+      .add(pub_mix.hourly_peak, 2);
+  table.row()
+      .add("irregular share")
+      .add(priv_mix.irregular, 2)
+      .add(pub_mix.irregular, 2);
+
+  // Fig. 7(a): median VM-node utilization correlation.
+  const auto priv_corr =
+      analysis::node_vm_correlations(trace, CloudType::kPrivate, 120);
+  const auto pub_corr =
+      analysis::node_vm_correlations(trace, CloudType::kPublic, 120);
+  table.row()
+      .add("median VM-node correlation")
+      .add(priv_corr.empty() ? 0 : stats::quantile_sorted(priv_corr, 0.5), 2)
+      .add(pub_corr.empty() ? 0 : stats::quantile_sorted(pub_corr, 0.5), 2);
+
+  std::cout << '\n' << table << '\n';
+  std::cout << "Paper expectations: private deployments larger; public "
+               "clusters host ~20x subscriptions;\npublic short-lifetime "
+               "share ~81% vs private ~49%; private CV larger; private "
+               "node\ncorrelation ~0.55 vs public ~0.02.\n";
+  return 0;
+}

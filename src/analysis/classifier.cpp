@@ -1,0 +1,73 @@
+#include "analysis/classifier.h"
+
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/periodicity.h"
+
+namespace cloudlens::analysis {
+
+std::string_view to_string(UtilizationClass c) {
+  switch (c) {
+    case UtilizationClass::kDiurnal: return "diurnal";
+    case UtilizationClass::kStable: return "stable";
+    case UtilizationClass::kIrregular: return "irregular";
+    default: return "hourly-peak";
+  }
+}
+
+UtilizationClass classify(const stats::TimeSeries& utilization,
+                          const ClassifierOptions& options) {
+  const double sd = stats::stddev(utilization.values());
+  if (sd <= options.stable_stddev_max) return UtilizationClass::kStable;
+
+  // Hourly-peak is tested before diurnal: it is "a special diurnal pattern"
+  // (its daytime envelope also produces 24h periodicity), so the 1h test
+  // must take precedence.
+  if (stats::periodicity_score(utilization, kHour) >= options.hourly_score_min)
+    return UtilizationClass::kHourlyPeak;
+
+  if (stats::periodicity_score(utilization, kDay) >= options.diurnal_score_min)
+    return UtilizationClass::kDiurnal;
+
+  return UtilizationClass::kIrregular;
+}
+
+PatternShares classify_population(const TraceStore& trace, CloudType cloud,
+                                  std::size_t max_vms,
+                                  const ClassifierOptions& options) {
+  const TimeGrid& grid = trace.telemetry_grid();
+
+  std::vector<VmId> candidates;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.covers(grid) || !vm.utilization) continue;
+    candidates.push_back(vm.id);
+  }
+
+  // Deterministic stride subsampling keeps results reproducible.
+  std::size_t stride = 1;
+  if (max_vms > 0 && candidates.size() > max_vms)
+    stride = candidates.size() / max_vms;
+
+  PatternShares shares;
+  for (std::size_t i = 0; i < candidates.size(); i += stride) {
+    const auto series = trace.vm_utilization(candidates[i], grid);
+    switch (classify(series, options)) {
+      case UtilizationClass::kDiurnal: shares.diurnal += 1; break;
+      case UtilizationClass::kStable: shares.stable += 1; break;
+      case UtilizationClass::kIrregular: shares.irregular += 1; break;
+      case UtilizationClass::kHourlyPeak: shares.hourly_peak += 1; break;
+    }
+    ++shares.classified;
+  }
+  if (shares.classified > 0) {
+    const auto n = static_cast<double>(shares.classified);
+    shares.diurnal /= n;
+    shares.stable /= n;
+    shares.irregular /= n;
+    shares.hourly_peak /= n;
+  }
+  return shares;
+}
+
+}  // namespace cloudlens::analysis

@@ -1,0 +1,98 @@
+#include "analysis/deployment.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace cloudlens::analysis {
+
+std::vector<double> vms_per_subscription(const TraceStore& trace,
+                                         CloudType cloud, SimTime snapshot) {
+  std::unordered_map<SubscriptionId, std::size_t> counts;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
+    ++counts[vm.subscription];
+  }
+  std::vector<double> out;
+  out.reserve(counts.size());
+  for (const auto& [_, n] : counts) out.push_back(static_cast<double>(n));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> subscriptions_per_cluster(const TraceStore& trace,
+                                              CloudType cloud,
+                                              SimTime snapshot) {
+  std::unordered_map<ClusterId, std::unordered_set<SubscriptionId>> subs;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.alive_at(snapshot) || !vm.placed()) continue;
+    subs[vm.cluster].insert(vm.subscription);
+  }
+  std::vector<double> out;
+  // One sample per cluster of this cloud, including empty clusters.
+  for (const auto& cluster : trace.topology().clusters()) {
+    if (cluster.cloud != cloud) continue;
+    const auto it = subs.find(cluster.id);
+    out.push_back(it == subs.end() ? 0.0
+                                   : static_cast<double>(it->second.size()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+stats::Histogram2D vm_size_heatmap(const TraceStore& trace, CloudType cloud,
+                                   SimTime snapshot, std::size_t bins) {
+  // Log axes spanning the smallest burstable to the largest memory-optimized
+  // shapes; identical for both clouds so the heatmaps are comparable.
+  stats::Histogram2D hist(
+      stats::BinAxis(0.5, 64.0, bins, stats::BinScale::kLog),
+      stats::BinAxis(0.25, 1024.0, bins, stats::BinScale::kLog));
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
+    hist.add(vm.cores, vm.memory_gb);
+  }
+  return hist;
+}
+
+RegionSpread region_spread(const TraceStore& trace, CloudType cloud,
+                           SimTime snapshot) {
+  struct SubAgg {
+    std::unordered_set<RegionId> regions;
+    double cores = 0;
+  };
+  std::unordered_map<SubscriptionId, SubAgg> agg;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
+    auto& a = agg[vm.subscription];
+    a.regions.insert(vm.region);
+    a.cores += vm.cores;
+  }
+
+  RegionSpread out;
+  const std::size_t max_regions = trace.topology().regions().size();
+  std::vector<double> cores_by_count(max_regions, 0.0);
+  double total_cores = 0;
+  for (const auto& [_, a] : agg) {
+    const std::size_t k = a.regions.size();
+    CL_CHECK(k >= 1 && k <= max_regions);
+    out.regions_per_subscription.push_back(static_cast<double>(k));
+    cores_by_count[k - 1] += a.cores;
+    total_cores += a.cores;
+  }
+  std::sort(out.regions_per_subscription.begin(),
+            out.regions_per_subscription.end());
+
+  out.cumulative_core_share.assign(max_regions, 0.0);
+  double run = 0;
+  for (std::size_t k = 0; k < max_regions; ++k) {
+    run += cores_by_count[k];
+    out.cumulative_core_share[k] = total_cores > 0 ? run / total_cores : 0.0;
+  }
+  out.single_region_core_share =
+      total_cores > 0 ? cores_by_count[0] / total_cores : 0.0;
+  return out;
+}
+
+}  // namespace cloudlens::analysis

@@ -1,0 +1,47 @@
+// Deployment characterization (Sec. III-A, III-C): deployment sizes,
+// subscriptions per cluster, VM shapes, and regions per subscription.
+#pragma once
+
+#include <vector>
+
+#include "cloudsim/trace.h"
+#include "stats/boxplot.h"
+#include "stats/ecdf.h"
+#include "stats/histogram.h"
+
+namespace cloudlens::analysis {
+
+/// Fig. 1(a): number of VMs per subscription at a snapshot instant, for one
+/// cloud. Subscriptions with no alive VM at the snapshot are skipped.
+std::vector<double> vms_per_subscription(const TraceStore& trace,
+                                         CloudType cloud, SimTime snapshot);
+
+/// Fig. 1(b): number of distinct subscriptions with at least one alive VM
+/// per cluster at a snapshot, for one cloud (one sample per cluster).
+std::vector<double> subscriptions_per_cluster(const TraceStore& trace,
+                                              CloudType cloud,
+                                              SimTime snapshot);
+
+/// Fig. 2: joint (cores, memory) histogram over VMs alive at the snapshot.
+stats::Histogram2D vm_size_heatmap(const TraceStore& trace, CloudType cloud,
+                                   SimTime snapshot, std::size_t bins = 12);
+
+/// Fig. 4: per-subscription deployed-region counts, plain and core-weighted.
+struct RegionSpread {
+  /// One entry per subscription with alive VMs: its distinct region count.
+  std::vector<double> regions_per_subscription;
+  /// cumulative_core_share[k-1] = fraction of all allocated cores owned by
+  /// subscriptions deployed in <= k regions (the y-values of Fig. 4(b)).
+  std::vector<double> cumulative_core_share;
+  /// Convenience: share of cores held by single-region subscriptions
+  /// (paper: ~40% private vs ~70% public).
+  double single_region_core_share = 0;
+};
+
+RegionSpread region_spread(const TraceStore& trace, CloudType cloud,
+                           SimTime snapshot);
+
+/// The default weekday-afternoon snapshot used across deployment analyses.
+inline constexpr SimTime kDefaultSnapshot = 2 * kDay + 14 * kHour;  // Wed 14:00
+
+}  // namespace cloudlens::analysis

@@ -1,0 +1,149 @@
+#include "analysis/insights.h"
+
+#include <sstream>
+
+#include "analysis/spatial.h"
+#include "analysis/temporal.h"
+#include "common/table.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::analysis {
+namespace {
+
+double median_or_zero(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  return stats::quantile(xs, 0.5);
+}
+
+}  // namespace
+
+InsightVerdicts evaluate_insights(const TraceStore& trace,
+                                  const InsightOptions& options) {
+  InsightVerdicts v;
+
+  // Insight 1 — deployment size & subscription density.
+  v.median_vms_per_subscription.private_value = median_or_zero(
+      vms_per_subscription(trace, CloudType::kPrivate, options.snapshot));
+  v.median_vms_per_subscription.public_value = median_or_zero(
+      vms_per_subscription(trace, CloudType::kPublic, options.snapshot));
+  v.median_subscriptions_per_cluster.private_value = median_or_zero(
+      subscriptions_per_cluster(trace, CloudType::kPrivate, options.snapshot));
+  v.median_subscriptions_per_cluster.public_value = median_or_zero(
+      subscriptions_per_cluster(trace, CloudType::kPublic, options.snapshot));
+  v.insight1 =
+      v.median_vms_per_subscription.private_value >
+          3 * v.median_vms_per_subscription.public_value &&
+      v.median_subscriptions_per_cluster.public_value >
+          3 * std::max(1.0, v.median_subscriptions_per_cluster.private_value);
+
+  // Insight 2 — bursty private churn vs regular public churn.
+  v.median_creation_cv.private_value =
+      median_or_zero(creation_cv_by_region(trace, CloudType::kPrivate));
+  v.median_creation_cv.public_value =
+      median_or_zero(creation_cv_by_region(trace, CloudType::kPublic));
+  v.shortest_lifetime_share.private_value =
+      shortest_bin_share(vm_lifetimes(trace, CloudType::kPrivate));
+  v.shortest_lifetime_share.public_value =
+      shortest_bin_share(vm_lifetimes(trace, CloudType::kPublic));
+  v.insight2 = v.median_creation_cv.private_value >
+                   1.3 * v.median_creation_cv.public_value &&
+               v.shortest_lifetime_share.public_value >
+                   v.shortest_lifetime_share.private_value + 0.1;
+
+  // Insight 3 — pattern-mix contrast.
+  v.private_mix = classify_population(trace, CloudType::kPrivate,
+                                      options.classify_max_vms);
+  v.public_mix = classify_population(trace, CloudType::kPublic,
+                                     options.classify_max_vms);
+  v.insight3 = v.private_mix.diurnal > v.private_mix.stable &&
+               v.private_mix.diurnal > 1.2 * v.public_mix.diurnal &&
+               v.public_mix.stable > v.private_mix.stable;
+
+  // Insight 4 — node similarity + region-agnosticism.
+  {
+    auto priv = node_vm_correlations(trace, CloudType::kPrivate,
+                                     options.correlation_max_nodes);
+    auto pub = node_vm_correlations(trace, CloudType::kPublic,
+                                    options.correlation_max_nodes);
+    v.median_node_correlation.private_value = median_or_zero(std::move(priv));
+    v.median_node_correlation.public_value = median_or_zero(std::move(pub));
+    const auto verdicts = detect_region_agnostic_services(
+        trace, CloudType::kPrivate, options.region_agnostic_correlation);
+    std::size_t agnostic = 0;
+    for (const auto& r : verdicts) {
+      if (r.region_agnostic) ++agnostic;
+    }
+    v.private_region_agnostic_share =
+        verdicts.empty() ? 0.0
+                         : double(agnostic) / double(verdicts.size());
+    v.insight4 = v.median_node_correlation.private_value >
+                     v.median_node_correlation.public_value + 0.2 &&
+                 v.private_region_agnostic_share >= 0.4;
+  }
+  return v;
+}
+
+std::string render_insights(const InsightVerdicts& v) {
+  std::ostringstream os;
+  auto verdict = [](bool ok) { return ok ? "HOLDS" : "NOT OBSERVED"; };
+
+  os << "Insight 1 (" << verdict(v.insight1)
+     << "): private deployments larger; public clusters denser in "
+        "subscriptions\n";
+  TextTable t1({"metric", "private", "public"});
+  t1.row()
+      .add("median VMs per subscription")
+      .add(v.median_vms_per_subscription.private_value, 1)
+      .add(v.median_vms_per_subscription.public_value, 1);
+  t1.row()
+      .add("median subscriptions per cluster")
+      .add(v.median_subscriptions_per_cluster.private_value, 1)
+      .add(v.median_subscriptions_per_cluster.public_value, 1);
+  os << t1.to_string();
+
+  os << "\nInsight 2 (" << verdict(v.insight2)
+     << "): private churn bursty; public churn diurnal and short-lived\n";
+  TextTable t2({"metric", "private", "public"});
+  t2.row()
+      .add("median CV of hourly creations")
+      .add(v.median_creation_cv.private_value, 2)
+      .add(v.median_creation_cv.public_value, 2);
+  t2.row()
+      .add("share of lifetimes < 30 min")
+      .add(v.shortest_lifetime_share.private_value, 2)
+      .add(v.shortest_lifetime_share.public_value, 2);
+  os << t2.to_string();
+
+  os << "\nInsight 3 (" << verdict(v.insight3)
+     << "): utilization pattern mixes differ\n";
+  TextTable t3({"pattern", "private", "public"});
+  t3.row().add("diurnal").add(v.private_mix.diurnal, 2).add(
+      v.public_mix.diurnal, 2);
+  t3.row().add("stable").add(v.private_mix.stable, 2).add(v.public_mix.stable,
+                                                          2);
+  t3.row()
+      .add("irregular")
+      .add(v.private_mix.irregular, 2)
+      .add(v.public_mix.irregular, 2);
+  t3.row()
+      .add("hourly-peak")
+      .add(v.private_mix.hourly_peak, 2)
+      .add(v.public_mix.hourly_peak, 2);
+  os << t3.to_string();
+
+  os << "\nInsight 4 (" << verdict(v.insight4)
+     << "): private workloads homogeneous per node and region-agnostic\n";
+  TextTable t4({"metric", "private", "public"});
+  t4.row()
+      .add("median VM-node correlation")
+      .add(v.median_node_correlation.private_value, 2)
+      .add(v.median_node_correlation.public_value, 2);
+  t4.row()
+      .add("region-agnostic service share")
+      .add(v.private_region_agnostic_share, 2)
+      .add("-");
+  os << t4.to_string();
+  return os.str();
+}
+
+}  // namespace cloudlens::analysis

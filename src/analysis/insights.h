@@ -1,0 +1,63 @@
+// Programmatic evaluation of the paper's four insights against a trace.
+//
+// Each verdict bundles the statistics an operator would check plus a bool
+// stating whether the insight's contrast holds in this trace, using the
+// same criteria as the figure benches. Shared by the CLI, examples, and
+// integration tests.
+#pragma once
+
+#include <string>
+
+#include "analysis/classifier.h"
+#include "analysis/deployment.h"
+#include "cloudsim/trace.h"
+
+namespace cloudlens::analysis {
+
+struct InsightOptions {
+  SimTime snapshot = kDefaultSnapshot;
+  std::size_t classify_max_vms = 800;
+  std::size_t correlation_max_nodes = 150;
+  double region_agnostic_correlation = 0.7;
+};
+
+struct CloudContrast {
+  double private_value = 0;
+  double public_value = 0;
+};
+
+struct InsightVerdicts {
+  // Insight 1: private deployments larger & more homogeneous; public
+  // clusters host far more subscriptions and wider VM shapes.
+  CloudContrast median_vms_per_subscription;
+  CloudContrast median_subscriptions_per_cluster;
+  bool insight1 = false;
+
+  // Insight 2: private temporal deployment is low-amplitude + bursts;
+  // public shows regular diurnal creations.
+  CloudContrast median_creation_cv;
+  CloudContrast shortest_lifetime_share;
+  bool insight2 = false;
+
+  // Insight 3: utilization patterns differ; diurnal dominates both, private
+  // leans diurnal/hourly-peak, public leans stable.
+  PatternShares private_mix;
+  PatternShares public_mix;
+  bool insight3 = false;
+
+  // Insight 4: private node-level similarity high; region-agnostic
+  // workloads abundant in the private cloud.
+  CloudContrast median_node_correlation;
+  double private_region_agnostic_share = 0;
+  bool insight4 = false;
+
+  bool all() const { return insight1 && insight2 && insight3 && insight4; }
+};
+
+InsightVerdicts evaluate_insights(const TraceStore& trace,
+                                  const InsightOptions& options = {});
+
+/// Console rendering of the verdicts (one block per insight).
+std::string render_insights(const InsightVerdicts& verdicts);
+
+}  // namespace cloudlens::analysis

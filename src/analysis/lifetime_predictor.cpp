@@ -1,0 +1,53 @@
+#include "analysis/lifetime_predictor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::analysis {
+
+LifetimePredictor::LifetimePredictor(std::vector<double> lifetimes)
+    : sorted_(std::move(lifetimes)) {
+  CL_CHECK_MSG(!sorted_.empty(), "lifetime predictor needs samples");
+  for (const double l : sorted_) CL_CHECK(l >= 0);
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+LifetimePredictor LifetimePredictor::fit(const TraceStore& trace,
+                                         CloudType cloud) {
+  std::vector<double> lifetimes;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.ended()) continue;
+    lifetimes.push_back(static_cast<double>(vm.lifetime()));
+  }
+  return LifetimePredictor(std::move(lifetimes));
+}
+
+double LifetimePredictor::survival(double age_seconds) const {
+  const auto it =
+      std::upper_bound(sorted_.begin(), sorted_.end(), age_seconds);
+  return static_cast<double>(sorted_.end() - it) /
+         static_cast<double>(sorted_.size());
+}
+
+double LifetimePredictor::expected_remaining(double age_seconds) const {
+  const auto it =
+      std::upper_bound(sorted_.begin(), sorted_.end(), age_seconds);
+  if (it == sorted_.end()) return age_seconds;  // tail fallback (Lindy)
+  double sum = 0;
+  for (auto p = it; p != sorted_.end(); ++p) sum += *p - age_seconds;
+  return sum / static_cast<double>(sorted_.end() - it);
+}
+
+double LifetimePredictor::median_remaining(double age_seconds) const {
+  const auto it =
+      std::upper_bound(sorted_.begin(), sorted_.end(), age_seconds);
+  if (it == sorted_.end()) return age_seconds;
+  const std::span<const double> tail(&*it,
+                                     static_cast<std::size_t>(
+                                         sorted_.end() - it));
+  return stats::quantile_sorted(tail, 0.5) - age_seconds;
+}
+
+}  // namespace cloudlens::analysis

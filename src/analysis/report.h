@@ -1,0 +1,27 @@
+// Markdown characterization report.
+//
+// Renders the full paper-style characterization of a trace — deployment,
+// temporal, utilization, and spatial sections plus the four insight
+// verdicts — as a single self-contained Markdown document, the shareable
+// artifact an operator would attach to a capacity review.
+#pragma once
+
+#include <iosfwd>
+
+#include "analysis/insights.h"
+
+namespace cloudlens::analysis {
+
+struct ReportOptions {
+  InsightOptions insights;
+  /// Title line of the document.
+  std::string title = "Cloud workload characterization";
+};
+
+/// Write the report to `out`. Returns the computed insight verdicts so
+/// callers can also act on them programmatically.
+InsightVerdicts write_characterization_report(const TraceStore& trace,
+                                              std::ostream& out,
+                                              const ReportOptions& options = {});
+
+}  // namespace cloudlens::analysis

@@ -1,0 +1,171 @@
+#include "analysis/spatial.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "stats/correlation.h"
+
+namespace cloudlens::analysis {
+namespace {
+
+/// Hourly-mean utilization averaged over a set of VMs (unweighted mean,
+/// matching the paper's "averaged utilization computed at the region
+/// level").
+stats::TimeSeries average_hourly_utilization(const TraceStore& trace,
+                                             std::span<const VmId> vms,
+                                             const TimeGrid& grid) {
+  CL_CHECK(!vms.empty());
+  stats::TimeSeries sum(grid);
+  for (const VmId id : vms) sum.add(trace.vm_utilization(id, grid));
+  sum.scale(1.0 / static_cast<double>(vms.size()));
+  return sum.hourly_mean();
+}
+
+}  // namespace
+
+std::vector<double> node_vm_correlations(const TraceStore& trace,
+                                         CloudType cloud,
+                                         std::size_t max_nodes) {
+  const TimeGrid& grid = trace.telemetry_grid();
+
+  // Candidate nodes: host >= 2 window-covering VMs of this cloud.
+  std::vector<std::pair<NodeId, std::vector<VmId>>> candidates;
+  for (const auto& node : trace.topology().nodes()) {
+    if (node.cloud != cloud) continue;
+    std::vector<VmId> covering;
+    for (const VmId id : trace.vms_on_node(node.id)) {
+      const auto& vm = trace.vm(id);
+      if (vm.covers(grid) && vm.utilization) covering.push_back(id);
+    }
+    if (covering.size() >= 2)
+      candidates.emplace_back(node.id, std::move(covering));
+  }
+
+  std::size_t stride = 1;
+  if (max_nodes > 0 && candidates.size() > max_nodes)
+    stride = candidates.size() / max_nodes;
+
+  std::vector<double> out;
+  for (std::size_t i = 0; i < candidates.size(); i += stride) {
+    const auto& [node_id, vms] = candidates[i];
+    const auto node_series = trace.node_utilization(node_id, grid);
+    for (const VmId id : vms) {
+      const auto vm_series = trace.vm_utilization(id, grid);
+      out.push_back(
+          stats::pearson(vm_series.values(), node_series.values()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RegionProfile> subscription_region_profiles(
+    const TraceStore& trace, SubscriptionId sub,
+    std::size_t max_vms_per_region) {
+  const TimeGrid& grid = trace.telemetry_grid();
+  std::unordered_map<RegionId, std::vector<VmId>> by_region;
+  for (const VmId id : trace.vms_of_subscription(sub)) {
+    const auto& vm = trace.vm(id);
+    if (!vm.covers(grid) || !vm.utilization) continue;
+    auto& bucket = by_region[vm.region];
+    if (max_vms_per_region == 0 || bucket.size() < max_vms_per_region)
+      bucket.push_back(id);
+  }
+  std::vector<RegionProfile> out;
+  for (auto& [region, vms] : by_region) {
+    RegionProfile p;
+    p.region = region;
+    p.vms_used = vms.size();
+    p.hourly_utilization = average_hourly_utilization(trace, vms, grid);
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RegionProfile& a, const RegionProfile& b) {
+              return a.region < b.region;
+            });
+  return out;
+}
+
+std::vector<double> cross_region_correlations(const TraceStore& trace,
+                                              CloudType cloud,
+                                              std::size_t max_subscriptions,
+                                              std::size_t max_vms_per_region) {
+  // Multi-region candidate subscriptions.
+  std::vector<SubscriptionId> candidates;
+  for (const auto& sub : trace.subscriptions()) {
+    if (sub.cloud != cloud) continue;
+    candidates.push_back(sub.id);
+  }
+
+  std::vector<double> out;
+  std::size_t used = 0;
+  for (const SubscriptionId sub : candidates) {
+    if (max_subscriptions > 0 && used >= max_subscriptions) break;
+    const auto profiles =
+        subscription_region_profiles(trace, sub, max_vms_per_region);
+    if (profiles.size() < 2) continue;
+    ++used;
+    for (std::size_t a = 0; a < profiles.size(); ++a) {
+      for (std::size_t b = a + 1; b < profiles.size(); ++b) {
+        out.push_back(
+            stats::pearson(profiles[a].hourly_utilization.values(),
+                           profiles[b].hourly_utilization.values()));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
+    const TraceStore& trace, CloudType cloud, double min_correlation,
+    std::size_t max_vms_per_region) {
+  const TimeGrid& grid = trace.telemetry_grid();
+
+  // Pool the window-covering VMs of each service by region.
+  std::unordered_map<ServiceId,
+                     std::unordered_map<RegionId, std::vector<VmId>>>
+      by_service;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.service.valid()) continue;
+    if (!vm.covers(grid) || !vm.utilization) continue;
+    auto& bucket = by_service[vm.service][vm.region];
+    if (max_vms_per_region == 0 || bucket.size() < max_vms_per_region)
+      bucket.push_back(vm.id);
+  }
+
+  std::vector<RegionAgnosticVerdict> out;
+  for (auto& [service, regions] : by_service) {
+    if (regions.size() < 2) continue;
+    std::vector<stats::TimeSeries> profiles;
+    for (auto& [_, vms] : regions)
+      profiles.push_back(average_hourly_utilization(trace, vms, grid));
+
+    RegionAgnosticVerdict v;
+    v.service = service;
+    v.regions = regions.size();
+    double min_corr = 1.0, sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < profiles.size(); ++a) {
+      for (std::size_t b = a + 1; b < profiles.size(); ++b) {
+        const double r =
+            stats::pearson(profiles[a].values(), profiles[b].values());
+        min_corr = std::min(min_corr, r);
+        sum += r;
+        ++pairs;
+      }
+    }
+    v.min_pair_correlation = min_corr;
+    v.mean_pair_correlation = pairs ? sum / static_cast<double>(pairs) : 0.0;
+    v.region_agnostic = min_corr >= min_correlation;
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RegionAgnosticVerdict& a, const RegionAgnosticVerdict& b) {
+              return a.service < b.service;
+            });
+  return out;
+}
+
+}  // namespace cloudlens::analysis

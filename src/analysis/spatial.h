@@ -1,0 +1,55 @@
+// Spatial utilization characterization (Sec. IV-B, Fig. 7): node-level
+// workload similarity, cross-region similarity, and region-agnostic
+// workload detection.
+#pragma once
+
+#include <vector>
+
+#include "cloudsim/trace.h"
+#include "stats/series.h"
+
+namespace cloudlens::analysis {
+
+/// Fig. 7(a): Pearson correlation between each VM's utilization and its
+/// host node's utilization, over VMs of one cloud that cover the window.
+/// Nodes hosting a single VM are excluded (the paper filters this trivial
+/// case). `max_nodes` caps work via deterministic stride subsampling.
+std::vector<double> node_vm_correlations(const TraceStore& trace,
+                                         CloudType cloud,
+                                         std::size_t max_nodes = 400);
+
+/// Fig. 7(b): for every subscription of `cloud` deployed in >= 2 regions,
+/// the Pearson correlation of its region-level average utilization for each
+/// region pair. `max_vms_per_region` caps the VMs averaged per region.
+std::vector<double> cross_region_correlations(
+    const TraceStore& trace, CloudType cloud,
+    std::size_t max_subscriptions = 400,
+    std::size_t max_vms_per_region = 25);
+
+/// Region-level average utilization of one subscription (hourly means),
+/// one series per deployed region — the raw material of Fig. 7(b,c).
+struct RegionProfile {
+  RegionId region;
+  stats::TimeSeries hourly_utilization;
+  std::size_t vms_used = 0;
+};
+std::vector<RegionProfile> subscription_region_profiles(
+    const TraceStore& trace, SubscriptionId sub,
+    std::size_t max_vms_per_region = 25);
+
+/// Fig. 7(c) + Insight 4: region-agnostic detection for a multi-region
+/// service. A service is flagged region-agnostic when the minimum pairwise
+/// cross-region correlation of its utilization exceeds the threshold.
+struct RegionAgnosticVerdict {
+  ServiceId service;
+  std::size_t regions = 0;
+  double min_pair_correlation = 0;
+  double mean_pair_correlation = 0;
+  bool region_agnostic = false;
+};
+
+std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
+    const TraceStore& trace, CloudType cloud, double min_correlation = 0.7,
+    std::size_t max_vms_per_region = 25);
+
+}  // namespace cloudlens::analysis

@@ -1,0 +1,46 @@
+// Temporal deployment characterization (Sec. III-B): lifetimes, VM counts
+// over time, creation rates, and cross-region burstiness (Fig. 3).
+#pragma once
+
+#include <vector>
+
+#include "cloudsim/trace.h"
+#include "stats/ecdf.h"
+#include "stats/series.h"
+
+namespace cloudlens::analysis {
+
+/// Fig. 3(a): lifetimes (seconds) of VMs that both started and ended inside
+/// [window_start, window_end) — matching the paper's inclusion rule.
+std::vector<double> vm_lifetimes(const TraceStore& trace, CloudType cloud,
+                                 SimTime window_start = 0,
+                                 SimTime window_end = kWeek);
+
+/// Share of `lifetimes` that fall below `bin_edge` (the paper's
+/// "shortest lifetime bin" statistic: 49% private vs 81% public).
+double shortest_bin_share(const std::vector<double>& lifetimes,
+                          double bin_edge_seconds = 30.0 * 60.0);
+
+/// Fig. 3(b): number of VMs alive at each hour boundary, one region.
+/// Pass an invalid RegionId to aggregate over all regions.
+stats::TimeSeries vm_count_per_hour(const TraceStore& trace, CloudType cloud,
+                                    RegionId region,
+                                    const TimeGrid& grid = week_hourly_grid());
+
+/// Fig. 3(c): VMs created per hour, one region (invalid = all regions).
+stats::TimeSeries creations_per_hour(
+    const TraceStore& trace, CloudType cloud, RegionId region,
+    const TimeGrid& grid = week_hourly_grid());
+
+/// Fig. 3(d): the coefficient of variation of the hourly-creation series,
+/// one value per region (regions with no creations are skipped).
+std::vector<double> creation_cv_by_region(
+    const TraceStore& trace, CloudType cloud,
+    const TimeGrid& grid = week_hourly_grid());
+
+/// VM removals per hour (the paper notes removals behave like creations).
+stats::TimeSeries removals_per_hour(const TraceStore& trace, CloudType cloud,
+                                    RegionId region,
+                                    const TimeGrid& grid = week_hourly_grid());
+
+}  // namespace cloudlens::analysis

@@ -1,0 +1,104 @@
+#include "analysis/utilization.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::analysis {
+
+UtilizationDistribution utilization_distribution(const TraceStore& trace,
+                                                 CloudType cloud,
+                                                 std::size_t max_vms) {
+  const TimeGrid& grid = trace.telemetry_grid();
+
+  std::vector<VmId> candidates;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.covers(grid) || !vm.utilization) continue;
+    candidates.push_back(vm.id);
+  }
+  std::size_t stride = 1;
+  if (max_vms > 0 && candidates.size() > max_vms)
+    stride = candidates.size() / max_vms;
+
+  std::vector<stats::TimeSeries> hourly;
+  for (std::size_t i = 0; i < candidates.size(); i += stride)
+    hourly.push_back(trace.vm_utilization(candidates[i], grid).hourly_mean());
+
+  UtilizationDistribution out;
+  out.vms_used = hourly.size();
+  CL_CHECK_MSG(!hourly.empty(),
+               "no VM covers the telemetry window for this cloud");
+  out.weekly = stats::percentile_bands(hourly);
+
+  // Daily distribution: pool every (VM, day, hour) hourly mean into its
+  // hour-of-day bucket, then take percentiles per bucket.
+  std::vector<std::vector<double>> buckets(24);
+  for (const auto& series : hourly) {
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      buckets[hour_of_day(series.grid().at(i))].push_back(series[i]);
+    }
+  }
+  out.daily_p25.resize(24);
+  out.daily_p50.resize(24);
+  out.daily_p75.resize(24);
+  out.daily_p95.resize(24);
+  for (int h = 0; h < 24; ++h) {
+    auto& b = buckets[h];
+    CL_CHECK(!b.empty());
+    std::sort(b.begin(), b.end());
+    out.daily_p25[h] = stats::quantile_sorted(b, 0.25);
+    out.daily_p50[h] = stats::quantile_sorted(b, 0.50);
+    out.daily_p75[h] = stats::quantile_sorted(b, 0.75);
+    out.daily_p95[h] = stats::quantile_sorted(b, 0.95);
+  }
+  return out;
+}
+
+stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
+                                           CloudType cloud, RegionId region,
+                                           std::size_t max_vms) {
+  const TimeGrid& grid = trace.telemetry_grid();
+  std::vector<VmId> candidates;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.utilization) continue;
+    if (region.valid() && vm.region != region) continue;
+    candidates.push_back(vm.id);
+  }
+  stats::TimeSeries used(grid);
+  if (candidates.empty()) return used.hourly_mean();
+
+  std::size_t stride = 1;
+  if (max_vms > 0 && candidates.size() > max_vms)
+    stride = candidates.size() / max_vms;
+  std::size_t sampled = 0;
+  for (std::size_t i = 0; i < candidates.size(); i += stride) {
+    const auto& vm = trace.vm(candidates[i]);
+    ++sampled;
+    for (std::size_t t = 0; t < grid.count; ++t) {
+      const SimTime when = grid.at(t);
+      if (vm.alive_at(when)) used[t] += vm.cores * vm.utilization->at(when);
+    }
+  }
+  // Rescale the stride sample back to the full population.
+  used.scale(static_cast<double>(candidates.size()) /
+             static_cast<double>(sampled));
+  return used.hourly_mean();
+}
+
+double vm_mean_utilization(const TraceStore& trace, VmId id) {
+  const TimeGrid& grid = trace.telemetry_grid();
+  const auto& vm = trace.vm(id);
+  if (!vm.utilization) return 0.0;
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t t = 0; t < grid.count; ++t) {
+    const SimTime when = grid.at(t);
+    if (!vm.alive_at(when)) continue;
+    sum += vm.utilization->at(when);
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace cloudlens::analysis

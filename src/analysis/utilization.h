@@ -1,0 +1,40 @@
+// Utilization distribution characterization (Sec. IV-A, Fig. 6):
+// per-timepoint percentile bands over a VM population, weekly and daily.
+#pragma once
+
+#include <vector>
+
+#include "cloudsim/trace.h"
+#include "stats/series.h"
+
+namespace cloudlens::analysis {
+
+struct UtilizationDistribution {
+  /// Percentile bands per hour over the full window (Fig. 6(a,b));
+  /// series are hourly means of the 5-minute telemetry.
+  stats::PercentileBands weekly;
+  /// Percentiles per hour-of-day, across (VM × day) hourly means
+  /// (Fig. 6(c,d)); index = hour of day 0..23.
+  std::vector<double> daily_p25, daily_p50, daily_p75, daily_p95;
+  std::size_t vms_used = 0;
+};
+
+/// Computes the distribution over VMs of `cloud` alive the entire window.
+/// `max_vms` caps the population by deterministic stride subsampling.
+UtilizationDistribution utilization_distribution(const TraceStore& trace,
+                                                 CloudType cloud,
+                                                 std::size_t max_vms = 1500);
+
+/// Hourly used-core demand of one region: sum over VMs of
+/// utilization × cores. With `max_vms` > 0 the population is stride-sampled
+/// and the result rescaled, so the series stays an unbiased estimate of the
+/// full demand. Pass an invalid RegionId to aggregate all regions.
+stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
+                                           CloudType cloud, RegionId region,
+                                           std::size_t max_vms = 3000);
+
+/// Mean utilization of one VM over the part of the telemetry window it was
+/// alive (0 when never alive within the window or no telemetry).
+double vm_mean_utilization(const TraceStore& trace, VmId id);
+
+}  // namespace cloudlens::analysis

@@ -1,0 +1,109 @@
+#include "cloudsim/allocator.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace cloudlens {
+
+Allocator::Allocator(const Topology& topology, AllocatorOptions opts)
+    : topo_(topology),
+      opts_(opts),
+      use_(topology.nodes().size()),
+      node_available_(topology.nodes().size(), true) {}
+
+void Allocator::set_node_available(NodeId id, bool available) {
+  CL_CHECK(id.valid() && id.value() < node_available_.size());
+  node_available_[id.value()] = available;
+}
+
+bool Allocator::node_available(NodeId id) const {
+  return node_available_.at(id.value());
+}
+
+std::uint64_t Allocator::owner_key(const VmRequest& request) {
+  if (request.service.valid())
+    return (1ULL << 32) | request.service.value();
+  return request.subscription.value();
+}
+
+std::optional<Placement> Allocator::allocate(const VmRequest& request,
+                                             VmId vm) {
+  ++stats_.requests;
+  CL_CHECK(request.cores > 0 && request.memory_gb > 0);
+  CL_CHECK_MSG(!leases_.contains(vm), "VM already allocated");
+
+  const std::uint64_t owner = owner_key(request);
+
+  // Rule chain: feasibility filter, then (fewest same-owner VMs in the
+  // rack, best-fit on cores) as the preference order.
+  const Node* best = nullptr;
+  int best_owner_in_rack = std::numeric_limits<int>::max();
+  double best_leftover = std::numeric_limits<double>::infinity();
+
+  for (const ClusterId cid : topo_.clusters_in(request.region, request.cloud)) {
+    const Cluster& cluster = topo_.cluster(cid);
+    for (const NodeId nid : cluster.nodes) {
+      if (!node_available_[nid.value()]) continue;
+      const Node& node = topo_.node(nid);
+      const NodeUse& u = use_[nid.value()];
+      if (u.cores + request.cores > node.total_cores ||
+          u.memory_gb + request.memory_gb > node.total_memory_gb)
+        continue;
+
+      int owner_in_rack = 0;
+      if (opts_.spread_fault_domains) {
+        const auto it =
+            rack_owner_count_.find(rack_owner_slot(node.rack, owner));
+        owner_in_rack = it == rack_owner_count_.end() ? 0 : it->second;
+      }
+      const double leftover = node.total_cores - u.cores - request.cores;
+      if (owner_in_rack < best_owner_in_rack ||
+          (owner_in_rack == best_owner_in_rack && leftover < best_leftover)) {
+        best = &node;
+        best_owner_in_rack = owner_in_rack;
+        best_leftover = leftover;
+      }
+    }
+  }
+
+  if (best == nullptr) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+
+  NodeUse& u = use_[best->id.value()];
+  u.cores += request.cores;
+  u.memory_gb += request.memory_gb;
+  ++rack_owner_count_[rack_owner_slot(best->rack, owner)];
+  leases_.emplace(vm, Lease{best->id, best->rack, request.cores,
+                            request.memory_gb, owner});
+  return Placement{best->cluster, best->rack, best->id};
+}
+
+void Allocator::release(VmId vm) {
+  const auto it = leases_.find(vm);
+  if (it == leases_.end()) return;
+  const Lease& lease = it->second;
+  NodeUse& u = use_[lease.node.value()];
+  u.cores -= lease.cores;
+  u.memory_gb -= lease.memory_gb;
+  auto slot = rack_owner_count_.find(rack_owner_slot(lease.rack, lease.owner));
+  CL_CHECK(slot != rack_owner_count_.end() && slot->second > 0);
+  if (--slot->second == 0) rack_owner_count_.erase(slot);
+  leases_.erase(it);
+}
+
+double Allocator::node_used_cores(NodeId id) const {
+  return use_.at(id.value()).cores;
+}
+
+double Allocator::node_used_memory_gb(NodeId id) const {
+  return use_.at(id.value()).memory_gb;
+}
+
+double Allocator::node_free_cores(NodeId id) const {
+  return topo_.node(id).total_cores - use_.at(id.value()).cores;
+}
+
+}  // namespace cloudlens

@@ -1,0 +1,64 @@
+// Event-driven deployment simulator.
+//
+// Replays a set of deployment requests (create time, lifetime, shape,
+// owner) against the allocation service in time order, producing a
+// TraceStore — the synthetic stand-in for the paper's one-week dataset.
+//
+// Node outages can be injected (the paper's introduction motivates workload
+// knowledge with exactly this scenario: a node shows unhealthy signals and
+// its VMs must be moved). A failed node terminates its VMs and accepts no
+// further placements; terminated VMs can optionally be resubmitted after a
+// recovery delay, modeling platform-driven redeployment.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cloudsim/allocator.h"
+#include "cloudsim/trace.h"
+
+namespace cloudlens {
+
+struct DeploymentRequest {
+  VmRequest request;
+  PartyType party = PartyType::kThirdParty;
+  SimTime create = 0;
+  SimTime remove = kNoEnd;  ///< kNoEnd = survives past the observed window
+  std::shared_ptr<const UtilizationModel> utilization;
+};
+
+/// A node failure at a point in time.
+struct NodeOutage {
+  NodeId node;
+  SimTime at = 0;
+};
+
+struct FailurePolicy {
+  /// Resubmit VMs killed by an outage after `recovery_delay` (they keep
+  /// their owner, shape, utilization model, and original end time). With
+  /// recovery disabled, killed VMs are simply gone.
+  bool resubmit = true;
+  SimDuration recovery_delay = 10 * kMinute;
+};
+
+struct SimulationStats {
+  std::uint64_t requested = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t allocation_failures = 0;
+  std::uint64_t vms_failed = 0;     ///< killed by node outages
+  std::uint64_t vms_resubmitted = 0;  ///< recovery requests issued
+};
+
+/// Run the requests through the allocator in event order (releases are
+/// processed before creates at equal timestamps; outages before creates).
+/// Placed VMs are appended to `trace`; failed requests are only counted.
+///
+/// `trace` must already contain every subscription/service the requests
+/// reference.
+SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
+                               std::vector<DeploymentRequest> requests,
+                               AllocatorOptions options = {},
+                               std::vector<NodeOutage> outages = {},
+                               FailurePolicy failure_policy = {});
+
+}  // namespace cloudlens

@@ -1,0 +1,55 @@
+#include "cloudsim/sku.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudlens {
+
+SkuCatalog::SkuCatalog(std::vector<VmSku> skus, std::vector<double> weights)
+    : skus_(std::move(skus)), weights_(std::move(weights)) {
+  CL_CHECK(!skus_.empty());
+  CL_CHECK_MSG(skus_.size() == weights_.size(),
+               "one weight per SKU required");
+  for (const auto& s : skus_) CL_CHECK(s.cores > 0 && s.memory_gb > 0);
+  for (double w : weights_) CL_CHECK(w >= 0);
+}
+
+double SkuCatalog::max_cores() const {
+  double hi = 0;
+  for (const auto& s : skus_) hi = std::max(hi, s.cores);
+  return hi;
+}
+
+double SkuCatalog::max_memory_gb() const {
+  double hi = 0;
+  for (const auto& s : skus_) hi = std::max(hi, s.memory_gb);
+  return hi;
+}
+
+SkuCatalog SkuCatalog::mainstream() {
+  // General-purpose ladder, 4 GB per core, mid sizes most popular. The
+  // weights produce the central mass both clouds share in Fig. 2.
+  std::vector<VmSku> skus = {
+      {"D1", 1, 4},  {"D2", 2, 8},   {"D4", 4, 16},
+      {"D8", 8, 32}, {"D16", 16, 64},
+  };
+  std::vector<double> w = {0.18, 0.30, 0.28, 0.16, 0.08};
+  return SkuCatalog(std::move(skus), std::move(w));
+}
+
+SkuCatalog SkuCatalog::with_extreme_tails() {
+  // mainstream() plus the bottom-left (tiny burstable) and top-right
+  // (large compute/memory) corners that only the public cloud exhibits.
+  std::vector<VmSku> skus = {
+      {"B1ls", 1, 0.5}, {"B1s", 1, 1},   {"B2s", 2, 4},
+      {"D1", 1, 4},     {"D2", 2, 8},    {"D4", 4, 16},
+      {"D8", 8, 32},    {"D16", 16, 64}, {"E32", 32, 256},
+      {"E48", 48, 384}, {"M32", 32, 512},
+  };
+  std::vector<double> w = {0.06, 0.06, 0.05, 0.14, 0.22, 0.20,
+                           0.12, 0.07, 0.04, 0.02, 0.02};
+  return SkuCatalog(std::move(skus), std::move(w));
+}
+
+}  // namespace cloudlens

@@ -1,0 +1,57 @@
+// Stock Keeping Units: node hardware shapes and the VM size catalog.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cloudlens {
+
+/// A VM size (shape): cores and memory. Mirrors an Azure VM series entry.
+struct VmSku {
+  std::string name;
+  double cores = 1;
+  double memory_gb = 4;
+};
+
+/// A physical server shape. Clusters are homogeneous in node SKU (the paper:
+/// clusters "contain thousands of nodes with identical SKU configurations";
+/// we use smaller clusters so experiments run on a laptop — the ratio of VM
+/// size to node size is what matters for packing behaviour).
+struct NodeSku {
+  std::string name = "std-64";
+  double cores = 64;
+  // Large enough to host memory-optimized VM shapes (up to 512 GB), which
+  // the public-cloud catalog includes (Fig. 2(b)'s top-right corner).
+  double memory_gb = 512;
+};
+
+/// A catalog of VM sizes with relative popularity weights. Both cloud
+/// profiles draw from catalogs like this; the public-cloud catalog includes
+/// extreme sizes (very small burstable and very large memory-optimized VMs),
+/// producing the extended corners seen in Fig. 2(b).
+class SkuCatalog {
+ public:
+  SkuCatalog() = default;
+  SkuCatalog(std::vector<VmSku> skus, std::vector<double> weights);
+
+  std::size_t size() const { return skus_.size(); }
+  const VmSku& at(std::size_t i) const { return skus_[i]; }
+  std::span<const VmSku> skus() const { return skus_; }
+  std::span<const double> weights() const { return weights_; }
+
+  double max_cores() const;
+  double max_memory_gb() const;
+
+  /// The mainstream general-purpose ladder (1..16 cores, 4 GB/core) shared
+  /// by both clouds.
+  static SkuCatalog mainstream();
+  /// mainstream() plus small burstable and large/memory-optimized tails.
+  static SkuCatalog with_extreme_tails();
+
+ private:
+  std::vector<VmSku> skus_;
+  std::vector<double> weights_;
+};
+
+}  // namespace cloudlens

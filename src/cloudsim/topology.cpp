@@ -1,0 +1,118 @@
+#include "cloudsim/topology.h"
+
+namespace cloudlens {
+
+RegionId Topology::add_region(std::string name, double tz_offset_hours) {
+  const RegionId id(static_cast<RegionId::underlying>(regions_.size()));
+  regions_.push_back(Region{id, std::move(name), tz_offset_hours, {}});
+  return id;
+}
+
+DatacenterId Topology::add_datacenter(RegionId region) {
+  CL_CHECK(region.valid() && region.value() < regions_.size());
+  const DatacenterId id(
+      static_cast<DatacenterId::underlying>(datacenters_.size()));
+  datacenters_.push_back(Datacenter{id, region, {}});
+  regions_[region.value()].datacenters.push_back(id);
+  return id;
+}
+
+ClusterId Topology::add_cluster(DatacenterId dc, CloudType cloud, NodeSku sku) {
+  CL_CHECK(dc.valid() && dc.value() < datacenters_.size());
+  const ClusterId id(static_cast<ClusterId::underlying>(clusters_.size()));
+  const RegionId region = datacenters_[dc.value()].region;
+  clusters_.push_back(Cluster{id, dc, region, cloud, std::move(sku), {}, {}});
+  datacenters_[dc.value()].clusters.push_back(id);
+  return id;
+}
+
+RackId Topology::add_rack(ClusterId cluster) {
+  CL_CHECK(cluster.valid() && cluster.value() < clusters_.size());
+  const RackId id(static_cast<RackId::underlying>(racks_.size()));
+  racks_.push_back(Rack{id, cluster, {}});
+  clusters_[cluster.value()].racks.push_back(id);
+  return id;
+}
+
+NodeId Topology::add_node(RackId rack) {
+  CL_CHECK(rack.valid() && rack.value() < racks_.size());
+  const NodeId id(static_cast<NodeId::underlying>(nodes_.size()));
+  const Rack& r = racks_[rack.value()];
+  Cluster& c = clusters_[r.cluster.value()];
+  nodes_.push_back(Node{id, rack, c.id, c.region, c.cloud, c.node_sku.cores,
+                        c.node_sku.memory_gb});
+  racks_[rack.value()].nodes.push_back(id);
+  c.nodes.push_back(id);
+  return id;
+}
+
+std::vector<ClusterId> Topology::clusters_in(RegionId region,
+                                             CloudType cloud) const {
+  std::vector<ClusterId> out;
+  for (const auto& c : clusters_) {
+    if (c.region == region && c.cloud == cloud) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::vector<ClusterId> Topology::clusters_of(CloudType cloud) const {
+  std::vector<ClusterId> out;
+  for (const auto& c : clusters_) {
+    if (c.cloud == cloud) out.push_back(c.id);
+  }
+  return out;
+}
+
+double Topology::cluster_total_cores(ClusterId id) const {
+  const Cluster& c = cluster(id);
+  return static_cast<double>(c.nodes.size()) * c.node_sku.cores;
+}
+
+double Topology::region_total_cores(RegionId region, CloudType cloud) const {
+  double total = 0;
+  for (const auto& c : clusters_) {
+    if (c.region == region && c.cloud == cloud)
+      total += cluster_total_cores(c.id);
+  }
+  return total;
+}
+
+Topology build_topology(const TopologySpec& spec) {
+  CL_CHECK(!spec.regions.empty());
+  CL_CHECK(spec.datacenters_per_region > 0 && spec.clusters_per_cloud > 0);
+  CL_CHECK(spec.racks_per_cluster > 0 && spec.nodes_per_rack > 0);
+
+  Topology topo;
+  for (const auto& [name, tz] : spec.regions) {
+    const RegionId region = topo.add_region(name, tz);
+    for (int d = 0; d < spec.datacenters_per_region; ++d) {
+      const DatacenterId dc = topo.add_datacenter(region);
+      for (CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
+        for (int c = 0; c < spec.clusters_per_cloud; ++c) {
+          const ClusterId cluster = topo.add_cluster(dc, cloud, spec.node_sku);
+          for (int r = 0; r < spec.racks_per_cluster; ++r) {
+            const RackId rack = topo.add_rack(cluster);
+            for (int n = 0; n < spec.nodes_per_rack; ++n) topo.add_node(rack);
+          }
+        }
+      }
+    }
+  }
+  return topo;
+}
+
+TopologySpec default_topology_spec() {
+  TopologySpec spec;
+  // 10 US-flavoured regions over 9 distinct time-zone offsets, matching the
+  // Sec. IV-B setting ("about 10 regions spreading over 9 time zones");
+  // only us-central and us-south share a zone.
+  spec.regions = {
+      {"us-atlantic", -3}, {"us-east-2", -4},   {"us-east", -5},
+      {"us-central", -6},  {"us-south", -6},    {"us-mountain", -7},
+      {"us-west", -8},     {"us-northwest", -9}, {"us-pacific", -10},
+      {"us-aleutian", -11},
+  };
+  return spec;
+}
+
+}  // namespace cloudlens

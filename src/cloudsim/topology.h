@@ -1,0 +1,118 @@
+// Physical topology: regions → datacenters → clusters → racks → nodes.
+//
+// Matches the paper's terminology (Sec. II): clusters host either private or
+// public cloud workloads (never both), are homogeneous in node SKU, live in
+// datacenters placed in geographic regions, and racks serve as fault domains.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "cloudsim/sku.h"
+#include "cloudsim/types.h"
+
+namespace cloudlens {
+
+struct Region {
+  RegionId id;
+  std::string name;
+  /// Offset of local time from the simulation clock, in hours. Used to model
+  /// time-zone-shifted user activity (Fig. 7(c)).
+  double tz_offset_hours = 0;
+  std::vector<DatacenterId> datacenters;
+};
+
+struct Datacenter {
+  DatacenterId id;
+  RegionId region;
+  std::vector<ClusterId> clusters;
+};
+
+struct Cluster {
+  ClusterId id;
+  DatacenterId datacenter;
+  RegionId region;
+  CloudType cloud = CloudType::kPublic;
+  NodeSku node_sku;
+  std::vector<RackId> racks;
+  std::vector<NodeId> nodes;
+};
+
+struct Rack {
+  RackId id;
+  ClusterId cluster;
+  std::vector<NodeId> nodes;
+};
+
+struct Node {
+  NodeId id;
+  RackId rack;
+  ClusterId cluster;
+  RegionId region;
+  CloudType cloud = CloudType::kPublic;
+  double total_cores = 0;
+  double total_memory_gb = 0;
+};
+
+/// Immutable physical layout (capacity bookkeeping lives in the Allocator).
+class Topology {
+ public:
+  RegionId add_region(std::string name, double tz_offset_hours);
+  DatacenterId add_datacenter(RegionId region);
+  ClusterId add_cluster(DatacenterId dc, CloudType cloud, NodeSku sku);
+  RackId add_rack(ClusterId cluster);
+  NodeId add_node(RackId rack);
+
+  std::span<const Region> regions() const { return regions_; }
+  std::span<const Datacenter> datacenters() const { return datacenters_; }
+  std::span<const Cluster> clusters() const { return clusters_; }
+  std::span<const Rack> racks() const { return racks_; }
+  std::span<const Node> nodes() const { return nodes_; }
+
+  const Region& region(RegionId id) const { return regions_.at(id.value()); }
+  const Datacenter& datacenter(DatacenterId id) const {
+    return datacenters_.at(id.value());
+  }
+  const Cluster& cluster(ClusterId id) const {
+    return clusters_.at(id.value());
+  }
+  const Rack& rack(RackId id) const { return racks_.at(id.value()); }
+  const Node& node(NodeId id) const { return nodes_.at(id.value()); }
+
+  /// All clusters of one cloud type in one region.
+  std::vector<ClusterId> clusters_in(RegionId region, CloudType cloud) const;
+  /// All clusters of one cloud type, any region.
+  std::vector<ClusterId> clusters_of(CloudType cloud) const;
+
+  double cluster_total_cores(ClusterId id) const;
+  double region_total_cores(RegionId region, CloudType cloud) const;
+
+ private:
+  std::vector<Region> regions_;
+  std::vector<Datacenter> datacenters_;
+  std::vector<Cluster> clusters_;
+  std::vector<Rack> racks_;
+  std::vector<Node> nodes_;
+};
+
+/// Declarative shape of a symmetric topology; build_topology() expands it.
+struct TopologySpec {
+  /// Region names with local-time offsets (hours relative to sim clock).
+  std::vector<std::pair<std::string, double>> regions;
+  int datacenters_per_region = 1;
+  /// Per datacenter, per cloud type.
+  int clusters_per_cloud = 2;
+  int racks_per_cluster = 10;
+  int nodes_per_rack = 16;
+  NodeSku node_sku;
+};
+
+Topology build_topology(const TopologySpec& spec);
+
+/// A 10-region US-flavoured layout (the paper's Fig. 7(b) analysis uses
+/// ~10 US regions spanning 9 time zones).
+TopologySpec default_topology_spec();
+
+}  // namespace cloudlens

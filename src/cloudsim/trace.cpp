@@ -1,0 +1,120 @@
+#include "cloudsim/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudlens {
+
+TraceStore::TraceStore(const Topology* topology, TimeGrid grid)
+    : topology_(topology), grid_(grid) {
+  CL_CHECK(topology_ != nullptr);
+  CL_CHECK(grid_.count > 0);
+}
+
+ServiceId TraceStore::add_service(ServiceInfo info) {
+  const ServiceId id(static_cast<ServiceId::underlying>(services_.size()));
+  info.id = id;
+  services_.push_back(std::move(info));
+  return id;
+}
+
+SubscriptionId TraceStore::add_subscription(SubscriptionInfo info) {
+  const SubscriptionId id(
+      static_cast<SubscriptionId::underlying>(subscriptions_.size()));
+  info.id = id;
+  subscriptions_.push_back(std::move(info));
+  return id;
+}
+
+VmId TraceStore::add_vm(VmRecord record) {
+  CL_CHECK_MSG(record.created < record.deleted,
+               "VM must be created before it is deleted");
+  CL_CHECK_MSG(record.subscription.valid() &&
+                   record.subscription.value() < subscriptions_.size(),
+               "VM references unknown subscription");
+  const VmId id(static_cast<VmId::underlying>(vms_.size()));
+  record.id = id;
+  vms_.push_back(std::move(record));
+  node_index_valid_ = false;
+  sub_index_valid_ = false;
+  return id;
+}
+
+void TraceStore::set_vm_deleted(VmId id, SimTime when) {
+  CL_CHECK(id.valid() && id.value() < vms_.size());
+  VmRecord& rec = vms_[id.value()];
+  CL_CHECK_MSG(when < rec.deleted && when > rec.created,
+               "early termination must shorten the VM's life");
+  rec.deleted = when;
+}
+
+void TraceStore::build_node_index() const {
+  node_index_.clear();
+  for (const auto& vm : vms_) {
+    if (vm.placed()) node_index_[vm.node].push_back(vm.id);
+  }
+  node_index_valid_ = true;
+}
+
+void TraceStore::build_subscription_index() const {
+  sub_index_.clear();
+  for (const auto& vm : vms_) sub_index_[vm.subscription].push_back(vm.id);
+  sub_index_valid_ = true;
+}
+
+std::span<const VmId> TraceStore::vms_on_node(NodeId node) const {
+  if (!node_index_valid_) build_node_index();
+  const auto it = node_index_.find(node);
+  if (it == node_index_.end()) return {};
+  return it->second;
+}
+
+std::span<const VmId> TraceStore::vms_of_subscription(
+    SubscriptionId sub) const {
+  if (!sub_index_valid_) build_subscription_index();
+  const auto it = sub_index_.find(sub);
+  if (it == sub_index_.end()) return {};
+  return it->second;
+}
+
+stats::TimeSeries TraceStore::vm_utilization(VmId id,
+                                             const TimeGrid& grid) const {
+  const VmRecord& rec = vm(id);
+  stats::TimeSeries out(grid);
+  if (!rec.utilization) return out;
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    const SimTime t = grid.at(i);
+    if (rec.alive_at(t)) out[i] = rec.utilization->at(t);
+  }
+  return out;
+}
+
+stats::TimeSeries TraceStore::node_utilization(NodeId id,
+                                               const TimeGrid& grid) const {
+  const Node& node = topology_->node(id);
+  stats::TimeSeries out(grid);
+  CL_CHECK(node.total_cores > 0);
+  for (const VmId vm_id : vms_on_node(id)) {
+    const VmRecord& rec = vm(vm_id);
+    if (!rec.utilization) continue;
+    const double weight = rec.cores / node.total_cores;
+    for (std::size_t i = 0; i < grid.count; ++i) {
+      const SimTime t = grid.at(i);
+      if (rec.alive_at(t)) out[i] += weight * rec.utilization->at(t);
+    }
+  }
+  out.clamp(0.0, 1.0);
+  return out;
+}
+
+double TraceStore::node_used_cores(NodeId id, SimTime t) const {
+  double used = 0;
+  for (const VmId vm_id : vms_on_node(id)) {
+    const VmRecord& rec = vm(vm_id);
+    if (rec.alive_at(t)) used += rec.cores;
+  }
+  return used;
+}
+
+}  // namespace cloudlens

@@ -1,0 +1,159 @@
+// Trace records: the simulated equivalent of the paper's dataset —
+// per-VM metadata plus 5-minute average CPU utilization.
+//
+// Utilization is not materialized: each VM carries a deterministic
+// UtilizationModel evaluated on demand, so traces with hundreds of
+// thousands of VMs fit easily in memory.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "cloudsim/topology.h"
+#include "cloudsim/types.h"
+#include "stats/series.h"
+
+namespace cloudlens {
+
+/// Deterministic utilization source: average CPU utilization (fraction of
+/// the VM's allocated cores, in [0, 1]) over the 5-minute interval starting
+/// at t. Implementations must be pure functions of t.
+class UtilizationModel {
+ public:
+  virtual ~UtilizationModel() = default;
+  virtual double at(SimTime t) const = 0;
+  /// Free-form tag describing where the model came from ("diurnal",
+  /// "sampled", ...); used by trace export as an informational column.
+  virtual std::string_view kind() const { return "unknown"; }
+};
+
+/// Constant-utilization model; handy for tests and synthetic baselines.
+class ConstantUtilization final : public UtilizationModel {
+ public:
+  explicit ConstantUtilization(double level) : level_(level) {}
+  double at(SimTime) const override { return level_; }
+
+ private:
+  double level_;
+};
+
+struct ServiceInfo {
+  ServiceId id;
+  std::string name;
+  CloudType cloud = CloudType::kPrivate;
+  ServiceModel model = ServiceModel::kPaaS;
+  /// Geo-load-balanced services have one global demand curve; their
+  /// utilization peaks align across regions regardless of time zone.
+  bool region_agnostic = false;
+};
+
+struct SubscriptionInfo {
+  SubscriptionId id;
+  CloudType cloud = CloudType::kPublic;
+  PartyType party = PartyType::kThirdParty;
+  /// Owning service for first-party subscriptions; invalid otherwise.
+  ServiceId service;
+};
+
+/// Sentinel for "VM still alive at the end of the observed window".
+inline constexpr SimTime kNoEnd = std::numeric_limits<SimTime>::max();
+
+struct VmRecord {
+  VmId id;
+  SubscriptionId subscription;
+  ServiceId service;  ///< invalid for third-party VMs
+  CloudType cloud = CloudType::kPublic;
+  PartyType party = PartyType::kThirdParty;
+  RegionId region;
+  ClusterId cluster;  ///< invalid if the allocation failed
+  RackId rack;
+  NodeId node;
+  double cores = 1;
+  double memory_gb = 4;
+  SimTime created = 0;
+  SimTime deleted = kNoEnd;
+  std::shared_ptr<const UtilizationModel> utilization;
+
+  bool placed() const { return node.valid(); }
+  bool alive_at(SimTime t) const { return t >= created && t < deleted; }
+  /// Lifetime; only meaningful when the VM ended within the window.
+  SimDuration lifetime() const { return deleted - created; }
+  bool ended() const { return deleted != kNoEnd; }
+  /// Alive for every instant of [grid.start, grid.end())?
+  bool covers(const TimeGrid& grid) const {
+    return created <= grid.start && deleted >= grid.end();
+  }
+};
+
+/// The in-memory dataset produced by a simulation run.
+class TraceStore {
+ public:
+  explicit TraceStore(const Topology* topology,
+                      TimeGrid grid = week_telemetry_grid());
+
+  const Topology& topology() const { return *topology_; }
+  const TimeGrid& telemetry_grid() const { return grid_; }
+
+  ServiceId add_service(ServiceInfo info);
+  SubscriptionId add_subscription(SubscriptionInfo info);
+  VmId add_vm(VmRecord record);
+
+  /// Terminate a VM earlier than recorded (used by failure injection).
+  /// The new time must precede the current deletion time.
+  void set_vm_deleted(VmId id, SimTime when);
+
+  std::span<const ServiceInfo> services() const { return services_; }
+  std::span<const SubscriptionInfo> subscriptions() const {
+    return subscriptions_;
+  }
+  std::span<const VmRecord> vms() const { return vms_; }
+
+  const ServiceInfo& service(ServiceId id) const {
+    return services_.at(id.value());
+  }
+  const SubscriptionInfo& subscription(SubscriptionId id) const {
+    return subscriptions_.at(id.value());
+  }
+  const VmRecord& vm(VmId id) const { return vms_.at(id.value()); }
+
+  /// VM ids of all placed VMs hosted by `node` at any point (index built on
+  /// first use and invalidated by add_vm).
+  std::span<const VmId> vms_on_node(NodeId node) const;
+
+  /// VM ids per subscription (index built on first use).
+  std::span<const VmId> vms_of_subscription(SubscriptionId sub) const;
+
+  /// Utilization of one VM over `grid`: 0 when the VM is not alive.
+  stats::TimeSeries vm_utilization(VmId id, const TimeGrid& grid) const;
+
+  /// Core-seconds-weighted node utilization: sum over hosted VMs of
+  /// util × vm.cores / node.total_cores at each grid point.
+  stats::TimeSeries node_utilization(NodeId id, const TimeGrid& grid) const;
+
+  /// Cores in use on a node at time t.
+  double node_used_cores(NodeId id, SimTime t) const;
+
+ private:
+  void build_node_index() const;
+  void build_subscription_index() const;
+
+  const Topology* topology_;
+  TimeGrid grid_;
+  std::vector<ServiceInfo> services_;
+  std::vector<SubscriptionInfo> subscriptions_;
+  std::vector<VmRecord> vms_;
+
+  // Lazy indexes (mutable caches; rebuilt when stale).
+  mutable bool node_index_valid_ = false;
+  mutable std::unordered_map<NodeId, std::vector<VmId>> node_index_;
+  mutable bool sub_index_valid_ = false;
+  mutable std::unordered_map<SubscriptionId, std::vector<VmId>> sub_index_;
+};
+
+}  // namespace cloudlens

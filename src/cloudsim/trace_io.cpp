@@ -1,0 +1,289 @@
+#include "cloudsim/trace_io.h"
+
+#include <algorithm>
+#include <array>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cloudlens {
+namespace {
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) out.push_back(field);
+  // A trailing comma means an empty last field.
+  if (!line.empty() && line.back() == ',') out.emplace_back();
+  return out;
+}
+
+std::string pattern_label(const UtilizationModel* model) {
+  return model != nullptr ? std::string(model->kind()) : "unknown";
+}
+
+}  // namespace
+
+SampledUtilization::SampledUtilization(TimeGrid grid,
+                                       std::vector<double> samples)
+    : grid_(grid), samples_(std::move(samples)) {
+  CL_CHECK_MSG(samples_.size() == grid_.count,
+               "sample count must match the grid");
+}
+
+double SampledUtilization::at(SimTime t) const {
+  if (t < grid_.start) return samples_.front();
+  if (t >= grid_.end()) return samples_.back();
+  return samples_[grid_.index_of(t)];
+}
+
+void export_topology(const Topology& topology, std::ostream& out) {
+  out << "node,rack,cluster,datacenter,region,region_name,tz_offset_hours,"
+         "cloud,node_cores,node_memory_gb\n";
+  for (const auto& node : topology.nodes()) {
+    const Cluster& cluster = topology.cluster(node.cluster);
+    const Region& region = topology.region(node.region);
+    out << node.id.value() << ',' << node.rack.value() << ','
+        << cluster.id.value() << ',' << cluster.datacenter.value() << ','
+        << region.id.value() << ',' << region.name << ','
+        << region.tz_offset_hours << ',' << to_string(node.cloud) << ','
+        << node.total_cores << ',' << node.total_memory_gb << '\n';
+  }
+}
+
+void export_vm_table(const TraceStore& trace, std::ostream& out) {
+  out << "vm,subscription,service,cloud,party,region,cluster,rack,node,"
+         "cores,memory_gb,created,deleted,pattern\n";
+  for (const auto& vm : trace.vms()) {
+    out << vm.id.value() << ',' << vm.subscription.value() << ',';
+    if (vm.service.valid()) out << vm.service.value();
+    out << ',' << to_string(vm.cloud) << ',' << to_string(vm.party) << ','
+        << vm.region.value() << ',' << vm.cluster.value() << ','
+        << vm.rack.value() << ',' << vm.node.value() << ',' << vm.cores << ','
+        << vm.memory_gb << ',' << vm.created << ',';
+    if (vm.ended()) out << vm.deleted;
+    out << ',' << pattern_label(vm.utilization.get()) << '\n';
+  }
+}
+
+void export_utilization(const TraceStore& trace, std::ostream& out,
+                        const TraceExportOptions& options) {
+  CL_CHECK(options.utilization_step > 0);
+  out << "vm,timestamp,avg_cpu\n";
+  const TimeGrid& grid = trace.telemetry_grid();
+
+  // Sample whole *node* populations, alternating clouds, so the export
+  // preserves both the cross-cloud balance and the co-location structure
+  // the node-correlation analysis (Fig. 7(a)) depends on.
+  std::array<std::vector<std::pair<std::uint64_t, std::vector<VmId>>>, 2>
+      node_groups;
+  for (const auto& node : trace.topology().nodes()) {
+    std::vector<VmId> group;
+    for (const VmId id : trace.vms_on_node(node.id)) {
+      if (trace.vm(id).utilization) group.push_back(id);
+    }
+    if (group.empty()) continue;
+    // Deterministic shuffle key: without it the cap would exhaust on the
+    // first region's racks and the sample would miss most regions and
+    // services.
+    const std::uint64_t key = SplitMix64(node.id.value() + 1).next();
+    node_groups[node.cloud == CloudType::kPrivate ? 0 : 1].emplace_back(
+        key, std::move(group));
+  }
+  for (auto& groups : node_groups) {
+    std::sort(groups.begin(), groups.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  std::vector<VmId> selected;
+  const std::size_t cap = options.max_vms_with_utilization;
+  std::array<std::size_t, 2> cursor{0, 0};
+  bool progressed = true;
+  while (progressed && (cap == 0 || selected.size() < cap)) {
+    progressed = false;
+    for (int cloud = 0; cloud < 2; ++cloud) {
+      if (cursor[cloud] >= node_groups[cloud].size()) continue;
+      if (cap != 0 && selected.size() >= cap) break;
+      const auto& group = node_groups[cloud][cursor[cloud]++].second;
+      selected.insert(selected.end(), group.begin(), group.end());
+      progressed = true;
+    }
+  }
+
+  for (const VmId id : selected) {
+    const auto& vm = trace.vm(id);
+    for (SimTime t = grid.start; t < grid.end();
+         t += options.utilization_step) {
+      if (!vm.alive_at(t)) continue;
+      out << vm.id.value() << ',' << t << ',' << vm.utilization->at(t)
+          << '\n';
+    }
+  }
+}
+
+ImportedTrace import_trace(std::istream& topology_csv, std::istream& vm_csv,
+                           std::istream* utilization_csv, TimeGrid grid) {
+  ImportedTrace result;
+  result.topology = std::make_unique<Topology>();
+  Topology& topo = *result.topology;
+
+  // --- topology ----------------------------------------------------------
+  std::string line;
+  CL_CHECK_MSG(std::getline(topology_csv, line), "empty topology CSV");
+  CL_CHECK_MSG(line.rfind("node,", 0) == 0, "unexpected topology header");
+  while (std::getline(topology_csv, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line);
+    CL_CHECK_MSG(f.size() == 10, "malformed topology row: " << line);
+    const auto region_id = std::stoul(f[4]);
+    const auto dc_id = std::stoul(f[3]);
+    const auto cluster_id = std::stoul(f[2]);
+    const auto rack_id = std::stoul(f[1]);
+    const auto node_id = std::stoul(f[0]);
+    const CloudType cloud =
+        f[7] == "private" ? CloudType::kPrivate : CloudType::kPublic;
+
+    // Entities must appear in creation (id) order; create on first sight.
+    if (region_id == topo.regions().size()) {
+      topo.add_region(f[5], std::stod(f[6]));
+    }
+    CL_CHECK_MSG(region_id < topo.regions().size(),
+                 "region ids out of order in topology CSV");
+    if (dc_id == topo.datacenters().size()) {
+      topo.add_datacenter(RegionId(static_cast<RegionId::underlying>(region_id)));
+    }
+    CL_CHECK(dc_id < topo.datacenters().size());
+    if (cluster_id == topo.clusters().size()) {
+      NodeSku sku;
+      sku.cores = std::stod(f[8]);
+      sku.memory_gb = std::stod(f[9]);
+      topo.add_cluster(
+          DatacenterId(static_cast<DatacenterId::underlying>(dc_id)), cloud,
+          sku);
+    }
+    CL_CHECK(cluster_id < topo.clusters().size());
+    if (rack_id == topo.racks().size()) {
+      topo.add_rack(ClusterId(static_cast<ClusterId::underlying>(cluster_id)));
+    }
+    CL_CHECK(rack_id < topo.racks().size());
+    const NodeId created =
+        topo.add_node(RackId(static_cast<RackId::underlying>(rack_id)));
+    CL_CHECK_MSG(created.value() == node_id,
+                 "node ids must be dense and in order");
+  }
+
+  result.trace = std::make_unique<TraceStore>(result.topology.get(), grid);
+  TraceStore& trace = *result.trace;
+
+  // --- vm table: first pass gathers the ownership universe ---------------
+  CL_CHECK_MSG(std::getline(vm_csv, line), "empty vmtable CSV");
+  CL_CHECK_MSG(line.rfind("vm,", 0) == 0, "unexpected vmtable header");
+  struct VmRow {
+    std::vector<std::string> fields;
+  };
+  std::vector<VmRow> rows;
+  std::size_t max_sub = 0;
+  std::size_t max_svc = 0;
+  bool any_svc = false;
+  while (std::getline(vm_csv, line)) {
+    if (line.empty()) continue;
+    VmRow row{split(line)};
+    CL_CHECK_MSG(row.fields.size() == 14, "malformed vmtable row: " << line);
+    max_sub = std::max(max_sub, std::stoul(row.fields[1]) + 1);
+    if (!row.fields[2].empty()) {
+      any_svc = true;
+      max_svc = std::max(max_svc, std::stoul(row.fields[2]) + 1);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Dense id spaces: create placeholder services/subscriptions, then refine
+  // from the VM rows that reference them.
+  std::vector<ServiceInfo> services(any_svc ? max_svc : 0);
+  std::vector<SubscriptionInfo> subscriptions(max_sub);
+  for (const auto& row : rows) {
+    const auto& f = row.fields;
+    const auto sub = std::stoul(f[1]);
+    const CloudType cloud =
+        f[3] == "private" ? CloudType::kPrivate : CloudType::kPublic;
+    const PartyType party = f[4] == "first-party" ? PartyType::kFirstParty
+                                                  : PartyType::kThirdParty;
+    subscriptions[sub].cloud = cloud;
+    subscriptions[sub].party = party;
+    if (!f[2].empty()) {
+      const auto svc = std::stoul(f[2]);
+      subscriptions[sub].service =
+          ServiceId(static_cast<ServiceId::underlying>(svc));
+      services[svc].cloud = cloud;
+      if (services[svc].name.empty())
+        services[svc].name = "svc-" + f[2];
+    }
+  }
+  for (auto& svc : services) {
+    if (svc.name.empty()) svc.name = "svc-unreferenced";
+    trace.add_service(svc);
+  }
+  for (const auto& sub : subscriptions) trace.add_subscription(sub);
+
+  // --- utilization (optional) ---------------------------------------------
+  std::unordered_map<std::uint32_t, std::shared_ptr<SampledUtilization>>
+      samples;
+  if (utilization_csv != nullptr) {
+    CL_CHECK_MSG(std::getline(*utilization_csv, line),
+                 "empty utilization CSV");
+    CL_CHECK_MSG(line.rfind("vm,", 0) == 0, "unexpected utilization header");
+    std::unordered_map<std::uint32_t, std::vector<double>> buffers;
+    while (std::getline(*utilization_csv, line)) {
+      if (line.empty()) continue;
+      const auto f = split(line);
+      CL_CHECK_MSG(f.size() == 3, "malformed utilization row: " << line);
+      const auto vm = static_cast<std::uint32_t>(std::stoul(f[0]));
+      const SimTime t = std::stoll(f[1]);
+      if (!grid.contains(t)) continue;
+      auto& buf = buffers[vm];
+      if (buf.empty()) buf.assign(grid.count, 0.0);
+      buf[grid.index_of(t)] = std::stod(f[2]);
+    }
+    for (auto& [vm, buf] : buffers) {
+      samples.emplace(
+          vm, std::make_shared<SampledUtilization>(grid, std::move(buf)));
+    }
+  }
+
+  // --- materialize VM records (must be in id order) -----------------------
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& f = rows[i].fields;
+    const auto vm_id = std::stoul(f[0]);
+    CL_CHECK_MSG(vm_id == i, "vm ids must be dense and in order");
+    VmRecord rec;
+    rec.subscription = SubscriptionId(
+        static_cast<SubscriptionId::underlying>(std::stoul(f[1])));
+    if (!f[2].empty())
+      rec.service =
+          ServiceId(static_cast<ServiceId::underlying>(std::stoul(f[2])));
+    rec.cloud = f[3] == "private" ? CloudType::kPrivate : CloudType::kPublic;
+    rec.party = f[4] == "first-party" ? PartyType::kFirstParty
+                                      : PartyType::kThirdParty;
+    rec.region =
+        RegionId(static_cast<RegionId::underlying>(std::stoul(f[5])));
+    rec.cluster =
+        ClusterId(static_cast<ClusterId::underlying>(std::stoul(f[6])));
+    rec.rack = RackId(static_cast<RackId::underlying>(std::stoul(f[7])));
+    rec.node = NodeId(static_cast<NodeId::underlying>(std::stoul(f[8])));
+    rec.cores = std::stod(f[9]);
+    rec.memory_gb = std::stod(f[10]);
+    rec.created = std::stoll(f[11]);
+    rec.deleted = f[12].empty() ? kNoEnd : std::stoll(f[12]);
+    const auto it = samples.find(static_cast<std::uint32_t>(vm_id));
+    if (it != samples.end()) rec.utilization = it->second;
+    trace.add_vm(std::move(rec));
+  }
+  return result;
+}
+
+}  // namespace cloudlens

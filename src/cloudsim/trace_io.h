@@ -1,0 +1,72 @@
+// Trace serialization.
+//
+// Exports a simulated trace in an Azure-Public-Dataset-flavoured CSV schema
+// (a vmtable plus long-format 5-minute utilization readings, and a node
+// table for the topology) and imports it back. This is the bridge to real
+// traces: anything shaped like these CSVs — including preprocessed public
+// Azure traces — can be loaded and pushed through the cloudlens analyses.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "cloudsim/trace.h"
+
+namespace cloudlens {
+
+/// Step-function utilization backed by explicit samples (what an imported
+/// trace carries instead of a generator model).
+class SampledUtilization final : public UtilizationModel {
+ public:
+  SampledUtilization(TimeGrid grid, std::vector<double> samples);
+
+  /// Sample of the interval containing t; clamped at the ends.
+  double at(SimTime t) const override;
+  std::string_view kind() const override { return "sampled"; }
+
+  const TimeGrid& grid() const { return grid_; }
+  std::span<const double> samples() const { return samples_; }
+
+ private:
+  TimeGrid grid_;
+  std::vector<double> samples_;
+};
+
+struct TraceExportOptions {
+  /// Sampling step for utilization rows.
+  SimDuration utilization_step = kTelemetryInterval;
+  /// Cap on VMs that get utilization rows (0 = all). The vmtable always
+  /// contains every VM.
+  std::size_t max_vms_with_utilization = 2000;
+};
+
+/// topology.csv — one row per node, ancestors denormalized:
+/// node,rack,cluster,datacenter,region,region_name,tz_offset_hours,cloud,
+/// node_cores,node_memory_gb
+void export_topology(const Topology& topology, std::ostream& out);
+
+/// vmtable.csv — one row per VM:
+/// vm,subscription,service,cloud,party,region,cluster,rack,node,cores,
+/// memory_gb,created,deleted,pattern
+/// `deleted` is empty for VMs alive past the window; `pattern` is the
+/// generator's ground-truth label when known (informational only).
+void export_vm_table(const TraceStore& trace, std::ostream& out);
+
+/// utilization.csv — long format: vm,timestamp,avg_cpu. Rows cover each
+/// exported VM's alive ∩ telemetry window at `utilization_step`.
+void export_utilization(const TraceStore& trace, std::ostream& out,
+                        const TraceExportOptions& options = {});
+
+struct ImportedTrace {
+  std::unique_ptr<Topology> topology;
+  std::unique_ptr<TraceStore> trace;
+};
+
+/// Rebuild a topology + trace from the three CSV streams. Pass nullptr for
+/// `utilization_csv` to import metadata only (VMs then carry no
+/// utilization model). Throws CheckError on malformed input.
+ImportedTrace import_trace(std::istream& topology_csv, std::istream& vm_csv,
+                           std::istream* utilization_csv,
+                           TimeGrid grid = week_telemetry_grid());
+
+}  // namespace cloudlens

@@ -1,0 +1,37 @@
+// Shared enums for the cloud platform model.
+#pragma once
+
+#include <string_view>
+
+namespace cloudlens {
+
+/// Which platform a cluster (and the workloads on it) belongs to. The paper
+/// studies two disjoint Azure platforms: the private cloud hosts first-party
+/// (Microsoft) workloads only; the public cloud hosts first- and third-party
+/// workloads.
+enum class CloudType { kPrivate, kPublic };
+
+inline std::string_view to_string(CloudType t) {
+  return t == CloudType::kPrivate ? "private" : "public";
+}
+
+/// Who owns a workload. All private-cloud workloads are first-party; the
+/// public cloud mixes first-party and third-party (customer) workloads.
+enum class PartyType { kFirstParty, kThirdParty };
+
+inline std::string_view to_string(PartyType t) {
+  return t == PartyType::kFirstParty ? "first-party" : "third-party";
+}
+
+/// Service model tier (both clouds host all three per the paper).
+enum class ServiceModel { kIaaS, kPaaS, kSaaS };
+
+inline std::string_view to_string(ServiceModel m) {
+  switch (m) {
+    case ServiceModel::kIaaS: return "IaaS";
+    case ServiceModel::kPaaS: return "PaaS";
+    default: return "SaaS";
+  }
+}
+
+}  // namespace cloudlens

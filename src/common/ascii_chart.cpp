@@ -1,0 +1,166 @@
+#include "common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace cloudlens {
+namespace {
+
+constexpr const char* kGlyphs = "*o+x#@%&";
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+std::string render_lines(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const ChartOptions& opts) {
+  CL_CHECK(!series.empty());
+  double lo = opts.y_min, hi = opts.y_max;
+  if (!opts.fixed_y_range) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (const auto& [_, ys] : series) {
+      for (double y : ys) {
+        if (!std::isfinite(y)) continue;
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+    }
+    if (!std::isfinite(lo)) {
+      lo = 0;
+      hi = 1;
+    }
+    if (hi == lo) hi = lo + 1;
+  }
+
+  const int W = std::max(8, opts.width);
+  const int H = std::max(4, opts.height);
+  std::vector<std::string> canvas(H, std::string(W, ' '));
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto& ys = series[s].second;
+    if (ys.empty()) continue;
+    const char glyph = kGlyphs[s % 8];
+    for (int col = 0; col < W; ++col) {
+      // Map column to nearest sample index.
+      const std::size_t i =
+          ys.size() == 1
+              ? 0
+              : static_cast<std::size_t>(std::llround(
+                    double(col) * double(ys.size() - 1) / double(W - 1)));
+      const double y = ys[i];
+      if (!std::isfinite(y)) continue;
+      const double norm = clamp01((y - lo) / (hi - lo));
+      const int r = static_cast<int>(std::llround(norm * (H - 1)));
+      canvas[H - 1 - r][col] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!opts.title.empty()) os << opts.title << '\n';
+  for (int r = 0; r < H; ++r) {
+    const double y = hi - (hi - lo) * double(r) / double(H - 1);
+    std::string lbl = format_double(y, 2);
+    if (lbl.size() < 9) lbl = std::string(9 - lbl.size(), ' ') + lbl;
+    os << lbl << " |" << canvas[r] << '\n';
+  }
+  os << std::string(10, ' ') << '+' << std::string(W, '-') << '\n';
+  os << std::string(11, ' ');
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    os << (s ? "   " : "") << kGlyphs[s % 8] << ' ' << series[s].first;
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::string render_bars(const std::vector<std::pair<std::string, double>>& bars,
+                        int width, const std::string& title) {
+  CL_CHECK(!bars.empty());
+  double hi = 0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    hi = std::max(hi, v);
+    label_w = std::max(label_w, label.size());
+  }
+  if (hi <= 0) hi = 1;
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  for (const auto& [label, v] : bars) {
+    const int n =
+        static_cast<int>(std::llround(clamp01(v / hi) * double(width)));
+    os << label << std::string(label_w - label.size(), ' ') << " |"
+       << std::string(n, '#') << ' ' << format_double(v, 3) << '\n';
+  }
+  return os.str();
+}
+
+std::string render_boxes(const std::vector<BoxSpec>& boxes, int width,
+                         const std::string& title) {
+  CL_CHECK(!boxes.empty());
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  std::size_t label_w = 0;
+  for (const auto& b : boxes) {
+    lo = std::min(lo, b.whisker_lo);
+    hi = std::max(hi, b.whisker_hi);
+    label_w = std::max(label_w, b.label.size());
+  }
+  if (hi == lo) hi = lo + 1;
+  auto col = [&](double v) {
+    return static_cast<int>(
+        std::llround(clamp01((v - lo) / (hi - lo)) * double(width - 1)));
+  };
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  for (const auto& b : boxes) {
+    std::string line(width, ' ');
+    for (int c = col(b.whisker_lo); c <= col(b.whisker_hi); ++c)
+      line[c] = '-';
+    for (int c = col(b.q1); c <= col(b.q3); ++c) line[c] = '=';
+    line[col(b.whisker_lo)] = '|';
+    line[col(b.whisker_hi)] = '|';
+    line[col(b.median)] = 'M';
+    os << b.label << std::string(label_w - b.label.size(), ' ') << " [" << line
+       << "]  med=" << format_double(b.median, 3)
+       << " iqr=[" << format_double(b.q1, 3) << ", " << format_double(b.q3, 3)
+       << "]\n";
+  }
+  os << std::string(label_w, ' ') << "  " << format_double(lo, 2)
+     << std::string(std::max(1, width - 12), ' ') << format_double(hi, 2)
+     << '\n';
+  return os.str();
+}
+
+std::string render_heatmap(const std::vector<std::vector<double>>& values,
+                           const std::string& title, const std::string& x_label,
+                           const std::string& y_label) {
+  CL_CHECK(!values.empty());
+  static constexpr const char* kDensity = " .:-=+*#%@";
+  double hi = 0;
+  for (const auto& row : values)
+    for (double v : row) hi = std::max(hi, v);
+  if (hi <= 0) hi = 1;
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  if (!y_label.empty()) os << y_label << '\n';
+  for (std::size_t r = values.size(); r-- > 0;) {
+    os << "  |";
+    for (double v : values[r]) {
+      const int level =
+          static_cast<int>(std::llround(clamp01(v / hi) * 9.0));
+      os << kDensity[level] << kDensity[level];
+    }
+    os << '\n';
+  }
+  os << "  +" << std::string(values[0].size() * 2, '-') << "> " << x_label
+     << '\n';
+  return os.str();
+}
+
+}  // namespace cloudlens

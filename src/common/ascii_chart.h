@@ -1,0 +1,48 @@
+// ASCII chart rendering so bench binaries can show the *shape* of each
+// reproduced figure directly in the console (line series, CDF overlays,
+// bar charts, and box-plots).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cloudlens {
+
+struct ChartOptions {
+  int width = 72;    ///< plot area columns (excluding axis labels)
+  int height = 14;   ///< plot area rows
+  double y_min = 0;  ///< used only when fixed_y_range
+  double y_max = 1;
+  bool fixed_y_range = false;
+  std::string title;
+};
+
+/// Render one or more series over a shared x-index as an ASCII line chart.
+/// Each series gets a distinct glyph; a legend line is appended.
+/// Series may have different lengths; x is the sample index scaled to width.
+std::string render_lines(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const ChartOptions& opts = {});
+
+/// Render a horizontal bar chart: one labeled bar per entry.
+std::string render_bars(
+    const std::vector<std::pair<std::string, double>>& bars, int width = 48,
+    const std::string& title = {});
+
+/// Render box-plot summaries side by side (median, quartiles, whiskers).
+struct BoxSpec {
+  std::string label;
+  double whisker_lo = 0, q1 = 0, median = 0, q3 = 0, whisker_hi = 0;
+};
+std::string render_boxes(const std::vector<BoxSpec>& boxes, int width = 60,
+                         const std::string& title = {});
+
+/// Render a 2-D intensity grid (heatmap) using density glyphs " .:-=+*#%@".
+/// values[r][c]; row 0 is drawn at the bottom (natural y orientation).
+std::string render_heatmap(const std::vector<std::vector<double>>& values,
+                           const std::string& title = {},
+                           const std::string& x_label = {},
+                           const std::string& y_label = {});
+
+}  // namespace cloudlens

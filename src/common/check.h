@@ -1,0 +1,47 @@
+// Lightweight invariant checking for cloudlens.
+//
+// CL_CHECK is enabled in all build types: violations indicate programmer
+// error or corrupted inputs and throw cloudlens::CheckError so tests can
+// assert on failure paths without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cloudlens {
+
+/// Thrown when a CL_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace cloudlens
+
+#define CL_CHECK(cond)                                                 \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::cloudlens::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CL_CHECK_MSG(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::cloudlens::detail::check_failed(#cond, __FILE__, __LINE__,     \
+                                        os_.str());                    \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,80 @@
+// Strong ID types.
+//
+// Every entity in the simulator (region, cluster, node, subscription, VM,
+// service) is referenced by a distinct, non-interchangeable integer ID so
+// that "passed a node where a cluster was expected" is a compile error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace cloudlens {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying = std::uint32_t;
+  static constexpr underlying kInvalid = static_cast<underlying>(-1);
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying v) : value_(v) {}
+
+  constexpr underlying value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << Tag::prefix() << id.value_;
+  }
+
+ private:
+  underlying value_ = kInvalid;
+};
+
+struct RegionTag {
+  static constexpr const char* prefix() { return "region-"; }
+};
+struct DatacenterTag {
+  static constexpr const char* prefix() { return "dc-"; }
+};
+struct ClusterTag {
+  static constexpr const char* prefix() { return "cluster-"; }
+};
+struct RackTag {
+  static constexpr const char* prefix() { return "rack-"; }
+};
+struct NodeTag {
+  static constexpr const char* prefix() { return "node-"; }
+};
+struct SubscriptionTag {
+  static constexpr const char* prefix() { return "sub-"; }
+};
+struct VmTag {
+  static constexpr const char* prefix() { return "vm-"; }
+};
+struct ServiceTag {
+  static constexpr const char* prefix() { return "svc-"; }
+};
+
+using RegionId = Id<RegionTag>;
+using DatacenterId = Id<DatacenterTag>;
+using ClusterId = Id<ClusterTag>;
+using RackId = Id<RackTag>;
+using NodeId = Id<NodeTag>;
+using SubscriptionId = Id<SubscriptionTag>;
+using VmId = Id<VmTag>;
+using ServiceId = Id<ServiceTag>;
+
+}  // namespace cloudlens
+
+namespace std {
+template <typename Tag>
+struct hash<cloudlens::Id<Tag>> {
+  std::size_t operator()(cloudlens::Id<Tag> id) const noexcept {
+    return std::hash<typename cloudlens::Id<Tag>::underlying>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,158 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace cloudlens {
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method: rejection from the unit disk.
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double rate) {
+  CL_CHECK(rate > 0.0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  CL_CHECK(xm > 0.0 && alpha > 0.0);
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+double Rng::bounded_pareto(double lo, double hi, double alpha) {
+  CL_CHECK(lo > 0.0 && hi > lo && alpha > 0.0);
+  // Inverse-CDF of the truncated Pareto.
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double u = uniform();
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+double Rng::gamma(double k, double theta) {
+  CL_CHECK(k > 0.0 && theta > 0.0);
+  // Marsaglia–Tsang (2000). For k < 1 boost with U^(1/k).
+  if (k < 1.0) {
+    const double u = uniform();
+    return gamma(k + 1.0, theta) * std::pow(u, 1.0 / k);
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * theta;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v * theta;
+  }
+}
+
+double Rng::beta(double a, double b) {
+  const double x = gamma(a, 1.0);
+  const double y = gamma(b, 1.0);
+  return x / (x + y);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  CL_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction, clamped at zero;
+  // adequate for the arrival-rate magnitudes used in the simulator.
+  const double x = normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::uint64_t Rng::zipf_once(std::uint64_t n, double s) {
+  CL_CHECK(n > 0);
+  double total = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) total += std::pow(double(i), -s);
+  double u = uniform() * total;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    u -= std::pow(double(i), -s);
+    if (u <= 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  CL_CHECK(!weights.empty());
+  const std::size_t n = weights.size();
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  CL_CHECK_MSG(sum > 0.0, "alias table requires a positive total weight");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; "small" hold < 1, "large" hold >= 1.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CL_CHECK_MSG(weights[i] >= 0.0, "negative weight in alias table");
+    scaled[i] = weights[i] * static_cast<double>(n) / sum;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const auto i : large) prob_[i] = 1.0;
+  for (const auto i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  CL_CHECK(!prob_.empty());
+  const std::size_t i = rng.uniform_int(prob_.size());
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  CL_CHECK(n > 0 && s >= 0.0);
+  std::vector<double> w(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    w[i] = std::pow(static_cast<double>(i + 1), -s);
+  table_ = AliasTable(w);
+}
+
+}  // namespace cloudlens

@@ -1,0 +1,186 @@
+// Deterministic random number generation for cloudlens.
+//
+// We implement our own engine (xoshiro256**) and our own distribution
+// samplers instead of relying on <random>'s distributions, whose output is
+// implementation-defined: a cloudlens trace generated with a given seed must
+// be bit-identical on every platform so that experiments are reproducible.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cloudlens {
+
+/// SplitMix64 — used to expand a single 64-bit seed into engine state.
+/// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+/// Generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6c6f75646c656e73ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child stream; used to give each simulated entity
+  /// its own generator so entity insertion order does not perturb others.
+  Rng fork() { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
+
+  // --- Uniform variates -----------------------------------------------
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    CL_CHECK(n > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (lo < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    CL_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // --- Continuous distributions ---------------------------------------
+
+  /// Standard normal via Marsaglia polar method (deterministic given stream).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Log-normal: exp(N(mu, sigma)). mu/sigma are the parameters of the
+  /// underlying normal, matching the usual parameterization.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  double exponential(double rate);
+
+  /// Pareto (Type I) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha.
+  double bounded_pareto(double lo, double hi, double alpha);
+
+  /// Gamma(shape k, scale theta) via Marsaglia–Tsang.
+  double gamma(double k, double theta);
+
+  /// Beta(a, b) via two gammas.
+  double beta(double a, double b);
+
+  // --- Discrete distributions -----------------------------------------
+
+  /// Poisson with given mean; Knuth for small means, PTRS-like normal
+  /// approximation with rejection for large means.
+  std::uint64_t poisson(double mean);
+
+  /// Zipf on {0, ..., n-1} with exponent s >= 0 (s = 0 is uniform).
+  /// O(log n) inversion over precomputed weights is provided by ZipfSampler;
+  /// this convenience method is O(n) set-up and intended for one-off draws.
+  std::uint64_t zipf_once(std::uint64_t n, double s);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Walker alias method for O(1) draws from a fixed categorical distribution.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  /// Weights must be non-negative with a positive sum; they are normalized.
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Zipf sampler over {0..n-1} with exponent s, O(1) amortized draws via an
+/// alias table built once.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+  std::uint64_t sample(Rng& rng) const { return table_.sample(rng); }
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  AliasTable table_;
+};
+
+}  // namespace cloudlens

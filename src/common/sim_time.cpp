@@ -1,0 +1,25 @@
+#include "common/sim_time.h"
+
+#include <array>
+#include <cstdio>
+
+namespace cloudlens {
+
+std::string format_sim_time(SimTime t) {
+  static constexpr std::array<const char*, 7> kDays = {
+      "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  const int week = static_cast<int>(t / kWeek);
+  const int dow = day_of_week(t);
+  const int hh = hour_of_day(t);
+  const int mm = minute_of_hour(t);
+  char buf[32];
+  if (week == 0) {
+    std::snprintf(buf, sizeof(buf), "%s %02d:%02d", kDays[dow], hh, mm);
+  } else {
+    std::snprintf(buf, sizeof(buf), "w%d %s %02d:%02d", week, kDays[dow], hh,
+                  mm);
+  }
+  return buf;
+}
+
+}  // namespace cloudlens

@@ -1,0 +1,102 @@
+// Simulation time for cloudlens.
+//
+// Time is an integer count of seconds since the simulation epoch, which is
+// defined to be 00:00 on a Monday. The paper's dataset is one ordinary week
+// sampled at 5-minute granularity; these helpers encode that calendar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace cloudlens {
+
+/// Seconds since simulation epoch (Monday 00:00). Signed so that durations
+/// and differences are well-behaved.
+using SimTime = std::int64_t;
+/// A span of simulated seconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kSecond = 1;
+inline constexpr SimDuration kMinute = 60;
+inline constexpr SimDuration kHour = 3600;
+inline constexpr SimDuration kDay = 24 * kHour;
+inline constexpr SimDuration kWeek = 7 * kDay;
+/// Telemetry granularity used throughout the paper's dataset.
+inline constexpr SimDuration kTelemetryInterval = 5 * kMinute;
+
+/// Hour-of-day in [0, 24), in the *local* frame of the caller.
+inline int hour_of_day(SimTime t) {
+  const SimTime m = ((t % kDay) + kDay) % kDay;
+  return static_cast<int>(m / kHour);
+}
+
+/// Fractional hour-of-day in [0, 24).
+inline double frac_hour_of_day(SimTime t) {
+  const SimTime m = ((t % kDay) + kDay) % kDay;
+  return static_cast<double>(m) / kHour;
+}
+
+/// Day-of-week with 0 = Monday ... 6 = Sunday.
+inline int day_of_week(SimTime t) {
+  const SimTime d = ((t / kDay) % 7 + 7) % 7;
+  return static_cast<int>(d);
+}
+
+inline bool is_weekend(SimTime t) { return day_of_week(t) >= 5; }
+
+/// Minute-of-hour in [0, 60).
+inline int minute_of_hour(SimTime t) {
+  const SimTime m = ((t % kHour) + kHour) % kHour;
+  return static_cast<int>(m / kMinute);
+}
+
+/// "Tue 14:35" style rendering for logs and bench output.
+std::string format_sim_time(SimTime t);
+
+/// A regular grid of sample instants: start, start+step, ...,
+/// start+(count-1)*step. The canonical telemetry grid is
+/// TimeGrid{0, kTelemetryInterval, kWeek / kTelemetryInterval}.
+struct TimeGrid {
+  SimTime start = 0;
+  SimDuration step = kTelemetryInterval;
+  std::size_t count = 0;
+
+  SimTime at(std::size_t i) const {
+    CL_CHECK(i < count);
+    return start + static_cast<SimTime>(i) * step;
+  }
+  SimTime end() const { return start + static_cast<SimTime>(count) * step; }
+
+  /// Index of the grid slot containing time t (t must lie in [start, end)).
+  std::size_t index_of(SimTime t) const {
+    CL_CHECK(t >= start && t < end());
+    return static_cast<std::size_t>((t - start) / step);
+  }
+
+  bool contains(SimTime t) const { return t >= start && t < end(); }
+
+  /// Number of grid points per hour (step must divide an hour evenly or
+  /// vice versa — used for hourly aggregation).
+  std::size_t points_per_hour() const {
+    CL_CHECK(step > 0 && kHour % step == 0);
+    return static_cast<std::size_t>(kHour / step);
+  }
+
+  bool operator==(const TimeGrid&) const = default;
+};
+
+/// The one-week, 5-minute grid used by default across cloudlens
+/// (2016 samples).
+inline TimeGrid week_telemetry_grid() {
+  return TimeGrid{0, kTelemetryInterval,
+                  static_cast<std::size_t>(kWeek / kTelemetryInterval)};
+}
+
+/// One-week hourly grid (168 samples).
+inline TimeGrid week_hourly_grid() {
+  return TimeGrid{0, kHour, static_cast<std::size_t>(kWeek / kHour)};
+}
+
+}  // namespace cloudlens

@@ -1,0 +1,42 @@
+// Console table and CSV rendering for bench/example output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cloudlens {
+
+/// A simple aligned text table. Columns are sized to fit their widest cell.
+/// Numeric formatting is up to the caller (use cell(double, precision)).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  TextTable& row();
+  TextTable& add(std::string cell);
+  TextTable& add(double v, int precision = 3);
+  TextTable& add(std::int64_t v);
+  TextTable& add(std::uint64_t v);
+  TextTable& add(int v) { return add(static_cast<std::int64_t>(v)); }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a header rule; each data row on its own line.
+  std::string to_string() const;
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision, trimming trailing zeros is NOT done
+/// (stable column widths matter more for console output).
+std::string format_double(double v, int precision = 3);
+
+}  // namespace cloudlens

@@ -1,0 +1,46 @@
+// Knowledge extraction: telemetry + trace -> SubscriptionKnowledge records.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cloudsim/trace.h"
+#include "kb/record.h"
+
+namespace cloudlens::kb {
+
+struct ExtractorOptions {
+  /// VMs sampled per subscription for pattern classification.
+  std::size_t max_classified_vms = 6;
+  /// VMs sampled per region for cross-region correlation.
+  std::size_t max_vms_per_region = 15;
+  /// Lifetime below this is "short" (the shortest bin edge).
+  SimDuration short_lifetime_edge = 30 * kMinute;
+  /// Cross-region correlation above this marks region-agnostic.
+  double region_agnostic_correlation = 0.7;
+  analysis::ClassifierOptions classifier;
+
+  // Policy-hint thresholds.
+  double spot_short_share_min = 0.60;
+  std::size_t spot_min_ended_vms = 5;
+  double oversub_p95_max = 0.50;
+  double deferral_peak_to_mean_min = 1.8;
+};
+
+/// Extract one record for a subscription; returns nullopt when the
+/// subscription has no VMs in the trace.
+std::optional<SubscriptionKnowledge> extract_subscription(
+    const TraceStore& trace, SubscriptionId sub,
+    const ExtractorOptions& options = {});
+
+/// Extract records for every subscription with at least one VM.
+std::vector<SubscriptionKnowledge> extract_all(
+    const TraceStore& trace, const ExtractorOptions& options = {});
+
+/// Recompute the derived policy hints of a record from its knowledge
+/// fields (shared by extraction and kb::refresh so both apply one
+/// definition of each hint).
+void apply_policy_hints(SubscriptionKnowledge& record,
+                        const ExtractorOptions& options);
+
+}  // namespace cloudlens::kb

@@ -1,0 +1,35 @@
+#include "kb/record.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace cloudlens::kb {
+
+std::string csv_header() {
+  return "subscription,cloud,party,service,vm_count,total_cores,"
+         "region_count,short_lifetime_share,ended_vms,dominant_pattern,"
+         "pattern_confidence,mean_utilization,p95_utilization,"
+         "cross_region_correlation,region_agnostic,spot_candidate,"
+         "oversubscription_candidate,deferral_target,preprovision_target";
+}
+
+std::string to_csv_row(const SubscriptionKnowledge& r) {
+  std::ostringstream os;
+  os << r.subscription.value() << ',' << to_string(r.cloud) << ','
+     << to_string(r.party) << ','
+     << (r.service.valid() ? std::to_string(r.service.value()) : "-") << ','
+     << r.vm_count << ',' << format_double(r.total_cores, 1) << ','
+     << r.region_count << ',' << format_double(r.short_lifetime_share, 4)
+     << ',' << r.ended_vms << ',' << analysis::to_string(r.dominant_pattern)
+     << ',' << format_double(r.pattern_confidence, 4) << ','
+     << format_double(r.mean_utilization, 4) << ','
+     << format_double(r.p95_utilization, 4) << ','
+     << format_double(r.cross_region_correlation, 4) << ','
+     << (r.region_agnostic ? 1 : 0) << ',' << (r.spot_candidate ? 1 : 0)
+     << ',' << (r.oversubscription_candidate ? 1 : 0) << ','
+     << (r.deferral_target ? 1 : 0) << ',' << (r.preprovision_target ? 1 : 0);
+  return os.str();
+}
+
+}  // namespace cloudlens::kb

@@ -1,0 +1,64 @@
+// Workload knowledge records.
+//
+// Section V of the paper motivates a *centralized workload knowledge base*
+// that "continuously extracts workload knowledge from telemetry signals
+// (e.g., CPU utilization, VM lifetime) and feeds them into the ...
+// optimization policies". A SubscriptionKnowledge record is one such unit
+// of extracted knowledge.
+#pragma once
+
+#include <string>
+
+#include "analysis/classifier.h"
+#include "common/ids.h"
+#include "cloudsim/types.h"
+
+namespace cloudlens::kb {
+
+struct SubscriptionKnowledge {
+  SubscriptionId subscription;
+  CloudType cloud = CloudType::kPublic;
+  PartyType party = PartyType::kThirdParty;
+  ServiceId service;  ///< invalid for third-party subscriptions
+
+  // --- Deployment knowledge -------------------------------------------
+  std::size_t vm_count = 0;        ///< VMs observed during the window
+  double total_cores = 0;          ///< cores allocated at window peak usage
+  std::size_t region_count = 0;    ///< distinct deployed regions
+
+  // --- Temporal knowledge ----------------------------------------------
+  /// Share of this owner's *ended* VMs in the shortest lifetime bin.
+  double short_lifetime_share = 0;
+  std::size_t ended_vms = 0;
+
+  // --- Utilization knowledge --------------------------------------------
+  analysis::UtilizationClass dominant_pattern =
+      analysis::UtilizationClass::kIrregular;
+  /// Fraction of sampled VMs agreeing with the dominant pattern.
+  double pattern_confidence = 0;
+  double mean_utilization = 0;
+  double p95_utilization = 0;
+
+  // --- Spatial knowledge --------------------------------------------------
+  /// Minimum cross-region utilization correlation (1 region -> 1.0).
+  double cross_region_correlation = 1.0;
+  bool region_agnostic = false;
+
+  // --- Derived policy hints ----------------------------------------------
+  /// Short-lived churn-heavy owner: candidate for spot VMs (Sec. III-B
+  /// implication for the public cloud).
+  bool spot_candidate = false;
+  /// Stable low utilization: candidate for resource oversubscription.
+  bool oversubscription_candidate = false;
+  /// Diurnal with deep valleys: target for valley-filling deferral.
+  bool deferral_target = false;
+  /// Hourly-peak: needs predictive pre-provisioning / overclocking.
+  bool preprovision_target = false;
+};
+
+/// One CSV row (matches SubscriptionKnowledge field order). See
+/// kb/store.h for serialization of whole knowledge bases.
+std::string to_csv_row(const SubscriptionKnowledge& record);
+std::string csv_header();
+
+}  // namespace cloudlens::kb

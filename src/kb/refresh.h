@@ -1,0 +1,33 @@
+// Continuous knowledge refresh (Sec. V: the knowledge base "continuously
+// extracts workload knowledge from telemetry signals ... and feeds them
+// into the ... optimization policies").
+//
+// refresh() re-extracts records from the latest observation window and
+// folds them into an existing KnowledgeBase: numeric knowledge is blended
+// with an exponentially weighted moving average (so one anomalous week
+// cannot flip a subscription's profile), categorical knowledge
+// (dominant pattern, region-agnosticism) follows the newest extraction,
+// and the policy hints are recomputed from the blended values.
+#pragma once
+
+#include "kb/extractor.h"
+#include "kb/store.h"
+
+namespace cloudlens::kb {
+
+struct RefreshOptions {
+  /// Weight of the *new* observation in the blend (1.0 = replace).
+  double ewma_alpha = 0.3;
+  ExtractorOptions extractor;
+};
+
+struct RefreshStats {
+  std::size_t added = 0;    ///< subscriptions seen for the first time
+  std::size_t updated = 0;  ///< existing records blended
+};
+
+/// Extract fresh records from `trace` and fold them into `kb`.
+RefreshStats refresh(KnowledgeBase& kb, const TraceStore& trace,
+                     const RefreshOptions& options = {});
+
+}  // namespace cloudlens::kb

@@ -1,0 +1,156 @@
+#include "kb/store.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cloudlens::kb {
+namespace {
+
+std::vector<std::string> split(const std::string& line, char delim) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, delim)) out.push_back(field);
+  return out;
+}
+
+analysis::UtilizationClass parse_pattern(const std::string& s) {
+  if (s == "diurnal") return analysis::UtilizationClass::kDiurnal;
+  if (s == "stable") return analysis::UtilizationClass::kStable;
+  if (s == "irregular") return analysis::UtilizationClass::kIrregular;
+  CL_CHECK_MSG(s == "hourly-peak", "unknown pattern class: " << s);
+  return analysis::UtilizationClass::kHourlyPeak;
+}
+
+}  // namespace
+
+KnowledgeBase::KnowledgeBase(std::vector<SubscriptionKnowledge> records) {
+  for (auto& r : records) upsert(std::move(r));
+}
+
+void KnowledgeBase::upsert(SubscriptionKnowledge record) {
+  const auto it = index_.find(record.subscription);
+  if (it != index_.end()) {
+    records_[it->second] = std::move(record);
+    return;
+  }
+  index_.emplace(record.subscription, records_.size());
+  records_.push_back(std::move(record));
+}
+
+const SubscriptionKnowledge* KnowledgeBase::find(SubscriptionId sub) const {
+  const auto it = index_.find(sub);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+std::vector<const SubscriptionKnowledge*> KnowledgeBase::where(
+    const std::function<bool(const SubscriptionKnowledge&)>& pred) const {
+  std::vector<const SubscriptionKnowledge*> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const SubscriptionKnowledge*> KnowledgeBase::by_cloud(
+    CloudType cloud) const {
+  return where([cloud](const auto& r) { return r.cloud == cloud; });
+}
+
+std::vector<const SubscriptionKnowledge*> KnowledgeBase::by_pattern(
+    analysis::UtilizationClass pattern) const {
+  return where(
+      [pattern](const auto& r) { return r.dominant_pattern == pattern; });
+}
+
+std::vector<const SubscriptionKnowledge*> KnowledgeBase::spot_candidates(
+    CloudType cloud) const {
+  return where([cloud](const auto& r) {
+    return r.cloud == cloud && r.spot_candidate;
+  });
+}
+
+std::vector<const SubscriptionKnowledge*>
+KnowledgeBase::oversubscription_candidates(CloudType cloud) const {
+  return where([cloud](const auto& r) {
+    return r.cloud == cloud && r.oversubscription_candidate;
+  });
+}
+
+std::vector<const SubscriptionKnowledge*>
+KnowledgeBase::region_agnostic_subscriptions(CloudType cloud) const {
+  return where([cloud](const auto& r) {
+    return r.cloud == cloud && r.region_agnostic;
+  });
+}
+
+KnowledgeBase::CloudSummary KnowledgeBase::summarize(CloudType cloud) const {
+  CloudSummary s;
+  for (const auto& r : records_) {
+    if (r.cloud != cloud) continue;
+    ++s.subscriptions;
+    s.vms += r.vm_count;
+    s.spot_candidate_share += r.spot_candidate ? 1 : 0;
+    s.oversub_candidate_share += r.oversubscription_candidate ? 1 : 0;
+    s.region_agnostic_share += r.region_agnostic ? 1 : 0;
+    s.preprovision_share += r.preprovision_target ? 1 : 0;
+  }
+  if (s.subscriptions > 0) {
+    const auto n = static_cast<double>(s.subscriptions);
+    s.spot_candidate_share /= n;
+    s.oversub_candidate_share /= n;
+    s.region_agnostic_share /= n;
+    s.preprovision_share /= n;
+  }
+  return s;
+}
+
+std::string KnowledgeBase::to_csv() const {
+  std::ostringstream os;
+  os << csv_header() << '\n';
+  for (const auto& r : records_) os << to_csv_row(r) << '\n';
+  return os.str();
+}
+
+KnowledgeBase KnowledgeBase::from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  CL_CHECK_MSG(std::getline(is, line), "empty knowledge base CSV");
+  CL_CHECK_MSG(line == csv_header(), "unexpected CSV header");
+
+  KnowledgeBase kb;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line, ',');
+    CL_CHECK_MSG(f.size() == 19, "malformed knowledge base row: " << line);
+    SubscriptionKnowledge r;
+    r.subscription = SubscriptionId(
+        static_cast<SubscriptionId::underlying>(std::stoul(f[0])));
+    r.cloud = f[1] == "private" ? CloudType::kPrivate : CloudType::kPublic;
+    r.party = f[2] == "first-party" ? PartyType::kFirstParty
+                                    : PartyType::kThirdParty;
+    if (f[3] != "-")
+      r.service =
+          ServiceId(static_cast<ServiceId::underlying>(std::stoul(f[3])));
+    r.vm_count = std::stoul(f[4]);
+    r.total_cores = std::stod(f[5]);
+    r.region_count = std::stoul(f[6]);
+    r.short_lifetime_share = std::stod(f[7]);
+    r.ended_vms = std::stoul(f[8]);
+    r.dominant_pattern = parse_pattern(f[9]);
+    r.pattern_confidence = std::stod(f[10]);
+    r.mean_utilization = std::stod(f[11]);
+    r.p95_utilization = std::stod(f[12]);
+    r.cross_region_correlation = std::stod(f[13]);
+    r.region_agnostic = f[14] == "1";
+    r.spot_candidate = f[15] == "1";
+    r.oversubscription_candidate = f[16] == "1";
+    r.deferral_target = f[17] == "1";
+    r.preprovision_target = f[18] == "1";
+    kb.upsert(std::move(r));
+  }
+  return kb;
+}
+
+}  // namespace cloudlens::kb

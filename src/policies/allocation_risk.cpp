@@ -1,0 +1,87 @@
+#include "policies/allocation_risk.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cloudlens::policies {
+namespace {
+
+/// Greedy what-if placement of `vm_count` equal VMs onto nodes with given
+/// free cores, optionally honouring a per-rack cap (fault-domain spread).
+bool fits(std::vector<std::pair<RackId, double>>& free_by_node,
+          std::size_t vm_count, double cores_per_vm, bool spread,
+          std::size_t rack_count) {
+  // Best-fit: sort ascending by free cores and fill tightest-first.
+  std::sort(free_by_node.begin(), free_by_node.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  const std::size_t per_rack_cap =
+      spread && rack_count > 0
+          ? (vm_count + rack_count - 1) / rack_count + 1
+          : vm_count;
+  std::unordered_map<RackId, std::size_t> rack_used;
+  std::size_t placed = 0;
+  for (auto& [rack, free] : free_by_node) {
+    while (placed < vm_count && free >= cores_per_vm &&
+           rack_used[rack] < per_rack_cap) {
+      free -= cores_per_vm;
+      ++rack_used[rack];
+      ++placed;
+    }
+    if (placed == vm_count) return true;
+  }
+  return placed == vm_count;
+}
+
+}  // namespace
+
+AllocationRiskReport assess_allocation_risk(
+    const TraceStore& trace, CloudType cloud, RegionId region,
+    std::size_t vm_count, double cores_per_vm,
+    const AllocationRiskOptions& options) {
+  CL_CHECK(vm_count > 0 && cores_per_vm > 0);
+  CL_CHECK(options.time_samples > 0);
+  const Topology& topo = trace.topology();
+
+  // Region nodes of the requested cloud.
+  std::vector<NodeId> nodes;
+  std::size_t rack_count = 0;
+  for (const ClusterId cid : topo.clusters_in(region, cloud)) {
+    const Cluster& cluster = topo.cluster(cid);
+    rack_count += cluster.racks.size();
+    nodes.insert(nodes.end(), cluster.nodes.begin(), cluster.nodes.end());
+  }
+  CL_CHECK_MSG(!nodes.empty(), "region has no clusters for this cloud");
+
+  AllocationRiskReport report;
+  const TimeGrid& grid = trace.telemetry_grid();
+  const std::size_t stride =
+      std::max<std::size_t>(1, grid.count / options.time_samples);
+
+  for (std::size_t i = 0; i < grid.count; i += stride) {
+    const SimTime now = grid.at(i);
+    std::vector<std::pair<RackId, double>> free_by_node;
+    free_by_node.reserve(nodes.size());
+    double free_total = 0;
+    for (const NodeId id : nodes) {
+      const Node& node = topo.node(id);
+      const double free =
+          node.total_cores - trace.node_used_cores(id, now);
+      free_by_node.emplace_back(node.rack, std::max(0.0, free));
+      free_total += std::max(0.0, free);
+    }
+    ++report.instants_evaluated;
+    report.mean_free_cores += free_total;
+    if (!fits(free_by_node, vm_count, cores_per_vm,
+              options.spread_fault_domains, rack_count))
+      ++report.instants_failed;
+  }
+  report.mean_free_cores /= double(report.instants_evaluated);
+  report.failure_probability =
+      double(report.instants_failed) / double(report.instants_evaluated);
+  return report;
+}
+
+}  // namespace cloudlens::policies

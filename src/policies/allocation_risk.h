@@ -1,0 +1,42 @@
+// Allocation-failure risk assessment (Insight 1's implication: "the large
+// deployment size makes private cloud workloads more prone to allocation
+// failures, especially when clusters are reaching capacity limits").
+//
+// Given the observed occupancy of a region over the week, estimate the
+// probability that a deployment of N VMs can be fully placed: the what-if
+// placement is replayed at many instants across the window, and the risk is
+// the fraction of instants at which the deployment does not fit.
+#pragma once
+
+#include <cstddef>
+
+#include "cloudsim/trace.h"
+
+namespace cloudlens::policies {
+
+struct AllocationRiskOptions {
+  /// Number of evenly spaced instants sampled across the window.
+  std::size_t time_samples = 56;
+  /// Spread the deployment across racks (mirrors the allocator's
+  /// fault-domain rule: at most ceil(N / racks) VMs of the deployment per
+  /// rack).
+  bool spread_fault_domains = true;
+};
+
+struct AllocationRiskReport {
+  std::size_t instants_evaluated = 0;
+  std::size_t instants_failed = 0;
+  /// Fraction of instants at which the full deployment could not be placed.
+  double failure_probability = 0;
+  /// Mean free cores in the region across the sampled instants.
+  double mean_free_cores = 0;
+};
+
+/// Risk of placing `vm_count` VMs of `cores_per_vm` cores into `region`
+/// (one cloud), evaluated against the trace's occupancy.
+AllocationRiskReport assess_allocation_risk(
+    const TraceStore& trace, CloudType cloud, RegionId region,
+    std::size_t vm_count, double cores_per_vm,
+    const AllocationRiskOptions& options = {});
+
+}  // namespace cloudlens::policies

@@ -1,0 +1,77 @@
+#include "policies/deferral.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/utilization.h"
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::policies {
+
+DeferralReport schedule_deferrable(const TraceStore& trace, CloudType cloud,
+                                   RegionId region,
+                                   std::vector<DeferrableJob> jobs,
+                                   const DeferralOptions& options) {
+  DeferralReport report;
+  report.demand_before = analysis::region_used_cores_hourly(
+      trace, cloud, region, options.max_vms);
+  report.demand_after = report.demand_before;
+  const TimeGrid& grid = report.demand_after.grid();
+  CL_CHECK(grid.count > 0);
+
+  // Largest jobs first: they are hardest to place without raising the peak.
+  std::sort(jobs.begin(), jobs.end(),
+            [](const DeferrableJob& a, const DeferrableJob& b) {
+              return a.cores * double(a.duration) > b.cores * double(b.duration);
+            });
+
+  for (const auto& job : jobs) {
+    CL_CHECK(job.duration > 0 && job.cores > 0);
+    const auto len = static_cast<std::size_t>(
+        (job.duration + grid.step - 1) / grid.step);  // ceil to whole hours
+    if (len > grid.count) {
+      ++report.jobs_rejected;
+      continue;
+    }
+
+    // Feasible start slots: [release, deadline - duration].
+    std::size_t best_start = grid.count;
+    double best_peak = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s + len <= grid.count; ++s) {
+      const SimTime start = grid.at(s);
+      if (start < job.release) continue;
+      if (start + job.duration > job.deadline) break;
+      double peak = 0;
+      for (std::size_t i = s; i < s + len; ++i)
+        peak = std::max(peak, report.demand_after[i] + job.cores);
+      if (peak < best_peak) {
+        best_peak = peak;
+        best_start = s;
+      }
+    }
+    if (best_start == grid.count) {
+      ++report.jobs_rejected;
+      continue;
+    }
+    for (std::size_t i = best_start; i < best_start + len; ++i)
+      report.demand_after[i] += job.cores;
+    ++report.jobs_scheduled;
+  }
+
+  auto stats_of = [](const stats::TimeSeries& s, double& peak,
+                     double& valley_to_mean) {
+    peak = s.max();
+    double lo = std::numeric_limits<double>::infinity();
+    for (const double v : s.values()) lo = std::min(lo, v);
+    const double mean = s.mean();
+    valley_to_mean = mean > 0 ? lo / mean : 0;
+  };
+  stats_of(report.demand_before, report.peak_before,
+           report.valley_to_mean_before);
+  stats_of(report.demand_after, report.peak_after,
+           report.valley_to_mean_after);
+  return report;
+}
+
+}  // namespace cloudlens::policies

@@ -1,0 +1,46 @@
+// Deferrable-workload valley filling (Sec. IV-A implication: "identifying
+// deferrable workloads and schedul[ing] them to the valley hour would be a
+// feasible way to leverage the observed utilization pattern in private
+// cloud for resource management optimization").
+#pragma once
+
+#include <vector>
+
+#include "cloudsim/trace.h"
+#include "stats/series.h"
+
+namespace cloudlens::policies {
+
+/// A deferrable batch job: needs `cores` for `duration`, must finish by
+/// `deadline`, may start at or after `release`.
+struct DeferrableJob {
+  double cores = 1;
+  SimDuration duration = kHour;
+  SimTime release = 0;
+  SimTime deadline = kWeek;
+};
+
+struct DeferralReport {
+  /// Hourly demand (used cores) before and after placing the jobs.
+  stats::TimeSeries demand_before;
+  stats::TimeSeries demand_after;
+  double peak_before = 0, peak_after = 0;
+  /// Ratio of minimum to mean demand — valley filling raises it.
+  double valley_to_mean_before = 0, valley_to_mean_after = 0;
+  std::size_t jobs_scheduled = 0;
+  std::size_t jobs_rejected = 0;  ///< no feasible window before deadline
+};
+
+struct DeferralOptions {
+  /// VMs sampled when estimating the region demand curve.
+  std::size_t max_vms = 3000;
+};
+
+/// Greedy valley scheduler: jobs (largest core-hours first) are placed at
+/// the feasible start hour minimizing the resulting peak demand.
+DeferralReport schedule_deferrable(const TraceStore& trace, CloudType cloud,
+                                   RegionId region,
+                                   std::vector<DeferrableJob> jobs,
+                                   const DeferralOptions& options = {});
+
+}  // namespace cloudlens::policies

@@ -1,0 +1,80 @@
+#include "policies/migration.h"
+
+#include "common/check.h"
+
+namespace cloudlens::policies {
+
+EvacuationPlan plan_node_evacuation(
+    const TraceStore& trace, const analysis::LifetimePredictor& predictor,
+    NodeId node, const EvacuationOptions& options) {
+  EvacuationPlan plan;
+  plan.node = node;
+  for (const VmId id : trace.vms_on_node(node)) {
+    const auto& vm = trace.vm(id);
+    if (!vm.alive_at(options.now)) continue;
+    const double age = static_cast<double>(options.now - vm.created);
+    const double alive_now = predictor.survival(age);
+    // Conditional survival past the failure window. When the VM has
+    // outlived every observed lifetime, assume it keeps living (Lindy).
+    const double outlives_grace =
+        alive_now > 0
+            ? predictor.survival(age + double(options.failure_grace)) /
+                  alive_now
+            : 1.0;
+    if (outlives_grace >= options.migrate_survival_threshold) {
+      plan.migrate.push_back(id);
+      plan.migrated_cores += vm.cores;
+    } else {
+      plan.drain.push_back(id);
+      plan.drained_cores += vm.cores;
+    }
+  }
+  return plan;
+}
+
+EvacuationEvaluation evaluate_evacuation(const TraceStore& trace,
+                                         const EvacuationPlan& plan,
+                                         const EvacuationOptions& options) {
+  EvacuationEvaluation eval;
+  const SimTime failure_time = options.now + options.failure_grace;
+  eval.alive_vms = plan.migrate.size() + plan.drain.size();
+  eval.planned_migrations = plan.migrate.size();
+  eval.baseline_migrations = eval.alive_vms;
+  for (const VmId id : plan.migrate) {
+    const auto& vm = trace.vm(id);
+    // Ground truth: did the migrated VM actually end before the node died?
+    if (vm.deleted <= failure_time) ++eval.wasted_migrations;
+  }
+  for (const VmId id : plan.drain) {
+    const auto& vm = trace.vm(id);
+    if (vm.deleted > failure_time) ++eval.exposed_vms;
+    else eval.cores_saved += vm.cores;
+  }
+  return eval;
+}
+
+EvacuationEvaluation evaluate_fleet_evacuation(
+    const TraceStore& trace, const analysis::LifetimePredictor& predictor,
+    CloudType cloud, std::size_t max_nodes,
+    const EvacuationOptions& options) {
+  EvacuationEvaluation total;
+  std::size_t used = 0;
+  for (const auto& node : trace.topology().nodes()) {
+    if (node.cloud != cloud) continue;
+    if (max_nodes > 0 && used >= max_nodes) break;
+    const auto plan =
+        plan_node_evacuation(trace, predictor, node.id, options);
+    if (plan.migrate.empty() && plan.drain.empty()) continue;
+    ++used;
+    const auto eval = evaluate_evacuation(trace, plan, options);
+    total.alive_vms += eval.alive_vms;
+    total.planned_migrations += eval.planned_migrations;
+    total.baseline_migrations += eval.baseline_migrations;
+    total.wasted_migrations += eval.wasted_migrations;
+    total.exposed_vms += eval.exposed_vms;
+    total.cores_saved += eval.cores_saved;
+  }
+  return total;
+}
+
+}  // namespace cloudlens::policies

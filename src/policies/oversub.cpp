@@ -1,0 +1,73 @@
+#include "policies/oversub.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::policies {
+
+OversubscriptionReport evaluate_oversubscription(
+    const TraceStore& trace, CloudType cloud,
+    const OversubscriptionOptions& options) {
+  CL_CHECK(options.safety_quantile > 0 && options.safety_quantile <= 1.0);
+  const TimeGrid& grid = trace.telemetry_grid();
+
+  // Candidate nodes with enough window-covering VMs.
+  std::vector<std::pair<NodeId, std::vector<VmId>>> candidates;
+  for (const auto& node : trace.topology().nodes()) {
+    if (node.cloud != cloud) continue;
+    std::vector<VmId> vms;
+    for (const VmId id : trace.vms_on_node(node.id)) {
+      const auto& vm = trace.vm(id);
+      if (vm.covers(grid) && vm.utilization) vms.push_back(id);
+    }
+    if (vms.size() >= options.min_vms_per_node)
+      candidates.emplace_back(node.id, std::move(vms));
+  }
+
+  std::size_t stride = 1;
+  if (options.max_nodes > 0 && candidates.size() > options.max_nodes)
+    stride = candidates.size() / options.max_nodes;
+
+  OversubscriptionReport report;
+  std::size_t violations = 0, intervals = 0;
+  std::vector<double> demand(grid.count);
+  for (std::size_t i = 0; i < candidates.size(); i += stride) {
+    const auto& [node_id, vms] = candidates[i];
+    std::fill(demand.begin(), demand.end(), 0.0);
+    double allocated = 0;
+    for (const VmId id : vms) {
+      const auto& vm = trace.vm(id);
+      allocated += vm.cores;
+      for (std::size_t t = 0; t < grid.count; ++t)
+        demand[t] += vm.cores * vm.utilization->at(grid.at(t));
+    }
+    const double reservation =
+        stats::quantile(demand, options.safety_quantile);
+
+    ++report.nodes_evaluated;
+    report.baseline_reserved_cores += allocated;
+    report.policy_reserved_cores += reservation;
+    report.mean_demand_cores += stats::mean(demand);
+    for (const double d : demand) {
+      if (d > reservation) ++violations;
+    }
+    intervals += demand.size();
+  }
+
+  if (report.policy_reserved_cores > 0 &&
+      report.baseline_reserved_cores > 0) {
+    report.reservation_shrink =
+        1.0 - report.policy_reserved_cores / report.baseline_reserved_cores;
+    report.utilization_improvement =
+        report.baseline_reserved_cores / report.policy_reserved_cores - 1.0;
+  }
+  if (intervals > 0)
+    report.violation_rate =
+        static_cast<double>(violations) / static_cast<double>(intervals);
+  return report;
+}
+
+}  // namespace cloudlens::policies

@@ -1,0 +1,66 @@
+#include "policies/spot.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cloudlens::policies {
+namespace {
+
+bool in_valley(int hour, int start, int end) {
+  // The valley window may wrap midnight (e.g. 22 -> 6).
+  if (start <= end) return hour >= start && hour <= end;
+  return hour >= start || hour <= end;
+}
+
+}  // namespace
+
+SpotReport evaluate_spot_adoption(const TraceStore& trace, CloudType cloud,
+                                  const SpotOptions& options) {
+  CL_CHECK(options.max_lifetime > 0);
+  SpotReport report;
+  Rng rng(options.seed);
+
+  std::size_t evicted = 0;
+  double valley_hours = 0;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.ended()) continue;
+    if (vm.created < 0 || vm.deleted > kWeek) continue;
+    ++report.ended_vms;
+    const double hours = static_cast<double>(vm.lifetime()) / double(kHour);
+    const double core_hours = hours * vm.cores;
+    report.total_core_hours += core_hours;
+    if (vm.lifetime() > options.max_lifetime) continue;
+
+    ++report.candidate_vms;
+    report.spot_core_hours += core_hours;
+    // Eviction: exponential with the configured rate over the VM lifetime.
+    if (rng.exponential(options.eviction_rate_per_hour) < hours) ++evicted;
+    // Valley share: integrate hour by hour over the VM's life.
+    for (SimTime t = vm.created; t < vm.deleted; t += kHour) {
+      const double span =
+          std::min<double>(double(kHour), double(vm.deleted - t)) /
+          double(kHour);
+      if (in_valley(hour_of_day(t), options.valley_start_hour,
+                    options.valley_end_hour))
+        valley_hours += span * vm.cores;
+    }
+  }
+
+  if (report.ended_vms > 0)
+    report.candidate_share = static_cast<double>(report.candidate_vms) /
+                             static_cast<double>(report.ended_vms);
+  if (report.total_core_hours > 0)
+    report.cost_savings_fraction = report.spot_core_hours *
+                                   (1.0 - options.spot_price_ratio) /
+                                   report.total_core_hours;
+  if (report.candidate_vms > 0)
+    report.evicted_share = static_cast<double>(evicted) /
+                           static_cast<double>(report.candidate_vms);
+  if (report.spot_core_hours > 0)
+    report.valley_spot_share = valley_hours / report.spot_core_hours;
+  return report;
+}
+
+}  // namespace cloudlens::policies

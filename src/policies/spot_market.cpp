@@ -1,0 +1,235 @@
+#include "policies/spot_market.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cloudlens::policies {
+namespace {
+
+/// On-demand allocated cores per hour for the scoped region/cloud.
+stats::TimeSeries ondemand_cores(const TraceStore& trace,
+                                 const SpotMarketOptions& options,
+                                 const TimeGrid& grid) {
+  stats::TimeSeries series(grid);
+  std::vector<std::pair<SimTime, double>> events;
+  double base = 0;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != options.cloud) continue;
+    if (options.region.valid() && vm.region != options.region) continue;
+    if (vm.created < grid.start) {
+      if (vm.deleted > grid.start) base += vm.cores;
+    } else if (vm.created < grid.end()) {
+      events.emplace_back(vm.created, vm.cores);
+    }
+    if (vm.deleted > grid.start && vm.deleted < grid.end())
+      events.emplace_back(vm.deleted, -vm.cores);
+  }
+  std::sort(events.begin(), events.end());
+  double level = base;
+  std::size_t e = 0;
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    const SimTime t = grid.at(i);
+    while (e < events.size() && events[e].first <= t) level += events[e++].second;
+    series[i] = level;
+  }
+  return series;
+}
+
+double scoped_capacity(const TraceStore& trace,
+                       const SpotMarketOptions& options) {
+  const Topology& topo = trace.topology();
+  if (options.region.valid())
+    return topo.region_total_cores(options.region, options.cloud);
+  double total = 0;
+  for (const auto& region : topo.regions())
+    total += topo.region_total_cores(region.id, options.cloud);
+  return total;
+}
+
+double local_tz(const TraceStore& trace, const SpotMarketOptions& options) {
+  if (!options.region.valid()) return 0.0;
+  return trace.topology().region(options.region).tz_offset_hours;
+}
+
+bool in_valley(SimTime t, double tz) {
+  const int h = hour_of_day(t + static_cast<SimTime>(tz * double(kHour)));
+  return h >= 22 || h < 6;
+}
+
+struct SpotJob {
+  SimTime submitted;
+  SimDuration served = 0;
+};
+
+/// Core market loop. `use_spot` decides per submission whether the job
+/// enters the spot pool (false = routed to on-demand; tracked separately).
+struct MarketOutcome {
+  SpotMarketReport report;
+  std::size_t routed_ondemand = 0;
+};
+
+MarketOutcome run_market(const TraceStore& trace,
+                         const SpotMarketOptions& options,
+                         const std::function<bool(SimTime)>& use_spot) {
+  CL_CHECK(options.jobs_per_hour >= 0 && options.job_cores > 0);
+  CL_CHECK(options.job_duration > 0);
+  CL_CHECK(options.capacity_reserve >= 0 && options.capacity_reserve < 1);
+
+  const TimeGrid grid = week_hourly_grid();
+  MarketOutcome outcome;
+  SpotMarketReport& report = outcome.report;
+  report.free_cores = stats::TimeSeries(grid);
+  report.spot_cores = stats::TimeSeries(grid);
+
+  const auto ondemand = ondemand_cores(trace, options, grid);
+  const double capacity = scoped_capacity(trace, options);
+  CL_CHECK_MSG(capacity > 0, "no capacity in the scoped region/cloud");
+  const double tz = local_tz(trace, options);
+
+  // Pre-draw arrivals (homogeneous Poisson per hour).
+  Rng rng(options.seed);
+  std::vector<SimTime> arrivals;
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    const auto n = rng.poisson(options.jobs_per_hour);
+    for (std::uint64_t k = 0; k < n; ++k)
+      arrivals.push_back(grid.at(i) +
+                         static_cast<SimTime>(rng.uniform() * double(kHour)));
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::array<std::size_t, 24> admitted_by_hour{};
+  std::array<std::size_t, 24> evicted_by_hour{};
+  std::vector<SpotJob> running;  // back = newest (evicted first)
+  std::size_t next_arrival = 0;
+  double valley_core_hours = 0;
+  double ondemand_sum = 0, with_spot_sum = 0;
+
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    const SimTime now = grid.at(i);
+    const double budget =
+        std::max(0.0, capacity * (1.0 - options.capacity_reserve) -
+                          ondemand[i]);
+
+    // Admit this hour's arrivals.
+    while (next_arrival < arrivals.size() && arrivals[next_arrival] < now + kHour) {
+      const SimTime when = arrivals[next_arrival++];
+      ++report.jobs_submitted;
+      if (!use_spot(when)) {
+        ++outcome.routed_ondemand;
+        continue;
+      }
+      const double in_use =
+          static_cast<double>(running.size()) * options.job_cores;
+      if (in_use + options.job_cores <= budget) {
+        running.push_back({when, 0});
+        ++admitted_by_hour[hour_of_day(when)];
+      } else {
+        ++report.jobs_rejected;
+      }
+    }
+
+    // Evict newest-first if on-demand demand squeezed the budget.
+    while (!running.empty() &&
+           static_cast<double>(running.size()) * options.job_cores > budget) {
+      ++report.jobs_evicted;
+      ++evicted_by_hour[hour_of_day(running.back().submitted)];
+      running.pop_back();
+    }
+
+    // Serve one hour and complete finished jobs.
+    const double spot_in_use =
+        static_cast<double>(running.size()) * options.job_cores;
+    report.spot_cores[i] = spot_in_use;
+    report.free_cores[i] = std::max(0.0, budget - spot_in_use);
+    report.spot_core_hours += spot_in_use;
+    if (in_valley(now, tz)) valley_core_hours += spot_in_use;
+    ondemand_sum += ondemand[i];
+    with_spot_sum += ondemand[i] + spot_in_use;
+
+    for (auto& job : running) job.served += kHour;
+    std::erase_if(running, [&](const SpotJob& job) {
+      if (job.served >= options.job_duration) {
+        ++report.jobs_completed;
+        return true;
+      }
+      return false;
+    });
+  }
+
+  const std::size_t admitted = report.jobs_completed + report.jobs_evicted +
+                               running.size();
+  report.eviction_rate =
+      admitted ? double(report.jobs_evicted) / double(admitted) : 0.0;
+  if (report.spot_core_hours > 0)
+    report.valley_share = valley_core_hours / report.spot_core_hours;
+  report.utilization_before = ondemand_sum / (capacity * double(grid.count));
+  report.utilization_with_spot =
+      with_spot_sum / (capacity * double(grid.count));
+  for (int h = 0; h < 24; ++h) {
+    report.eviction_risk_by_hour[h] =
+        admitted_by_hour[h]
+            ? double(evicted_by_hour[h]) / double(admitted_by_hour[h])
+            : 0.0;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+SpotMarketReport simulate_spot_market(const TraceStore& trace,
+                                      const SpotMarketOptions& options) {
+  return run_market(trace, options, [](SimTime) { return true; }).report;
+}
+
+MixtureComparison compare_mixture_policy(const TraceStore& trace,
+                                         const SpotMarketOptions& options,
+                                         double risk_threshold) {
+  MixtureComparison cmp;
+  cmp.risk_threshold = risk_threshold;
+
+  // Learn the risk table from an all-spot run.
+  const auto all_spot =
+      run_market(trace, options, [](SimTime) { return true; });
+  const auto& risk = all_spot.report.eviction_risk_by_hour;
+
+  const double job_core_hours =
+      options.job_cores * double(options.job_duration) / double(kHour);
+
+  // All on-demand: everything completes at full price.
+  cmp.all_ondemand_cost =
+      double(all_spot.report.jobs_submitted) * job_core_hours;
+
+  // All spot: pay the spot rate for served hours (including hours wasted on
+  // later-evicted jobs); evicted and rejected jobs rerun on-demand.
+  cmp.all_spot_cost =
+      all_spot.report.spot_core_hours * options.spot_price_ratio +
+      double(all_spot.report.jobs_evicted + all_spot.report.jobs_rejected) *
+          job_core_hours;
+  cmp.all_spot_completion =
+      all_spot.report.jobs_submitted
+          ? double(all_spot.report.jobs_completed) /
+                double(all_spot.report.jobs_submitted)
+          : 0.0;
+
+  // Mixture: submissions at risky hours go straight to on-demand.
+  const auto mixture = run_market(trace, options, [&](SimTime when) {
+    return risk[hour_of_day(when)] <= risk_threshold;
+  });
+  cmp.mixture_cost =
+      mixture.report.spot_core_hours * options.spot_price_ratio +
+      double(mixture.report.jobs_evicted + mixture.report.jobs_rejected +
+             mixture.routed_ondemand) *
+          job_core_hours;
+  cmp.mixture_completion =
+      mixture.report.jobs_submitted
+          ? double(mixture.report.jobs_completed + mixture.routed_ondemand) /
+                double(mixture.report.jobs_submitted)
+          : 0.0;
+  return cmp;
+}
+
+}  // namespace cloudlens::policies

@@ -1,0 +1,78 @@
+// Spot capacity market simulation (Sec. III-B implication).
+//
+// The paper suggests running short-lived public-cloud workloads on spot VMs
+// "to reduce cost and improve platform resource utilization, especially
+// during valley hours", and motivates the authors' follow-up work on spot
+// eviction prediction (ref [15]) and reliable spot/on-demand mixtures
+// (Snape, ref [16]). This module simulates that market end to end:
+//
+//   * the on-demand side is the trace itself — its allocated cores per
+//     interval define how much capacity is left for spot;
+//   * a synthetic stream of spot jobs arrives; jobs run while spare
+//     capacity lasts and are evicted newest-first when on-demand demand
+//     rises;
+//   * an empirical eviction-risk table (per submission hour) is learned
+//     from the simulation, enabling a Snape-style mixture policy that
+//     routes risky submissions to on-demand.
+#pragma once
+
+#include <array>
+
+#include "cloudsim/trace.h"
+#include "stats/series.h"
+
+namespace cloudlens::policies {
+
+struct SpotMarketOptions {
+  RegionId region;  ///< invalid = whole cloud
+  CloudType cloud = CloudType::kPublic;
+  /// Fraction of physical cores never offered to spot (safety headroom).
+  double capacity_reserve = 0.05;
+  /// Spot job stream.
+  double jobs_per_hour = 40;
+  SimDuration job_duration = 4 * kHour;
+  double job_cores = 4;
+  /// Price of a spot core-hour relative to on-demand.
+  double spot_price_ratio = 0.30;
+  std::uint64_t seed = 11;
+};
+
+struct SpotMarketReport {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_evicted = 0;
+  std::size_t jobs_rejected = 0;  ///< no capacity at submission
+  double eviction_rate = 0;       ///< evicted / admitted
+  double spot_core_hours = 0;     ///< successfully served
+  /// Share of served spot core-hours inside local valley hours (22-06).
+  double valley_share = 0;
+  /// Region utilization (allocated/total) without and with spot.
+  double utilization_before = 0;
+  double utilization_with_spot = 0;
+  /// Empirical eviction probability by submission hour-of-day.
+  std::array<double, 24> eviction_risk_by_hour{};
+  /// Hourly series for plotting: spare capacity and spot usage (cores).
+  stats::TimeSeries free_cores;
+  stats::TimeSeries spot_cores;
+};
+
+SpotMarketReport simulate_spot_market(const TraceStore& trace,
+                                      const SpotMarketOptions& options = {});
+
+/// Snape-style comparison: run every job on-demand, every job on spot, or
+/// route by predicted eviction risk (jobs submitted at hours whose learned
+/// risk exceeds `risk_threshold` go on-demand).
+struct MixtureComparison {
+  double all_ondemand_cost = 0;    ///< normalized: on-demand core-hour = 1
+  double all_spot_cost = 0;        ///< includes rerun cost of evicted work
+  double mixture_cost = 0;
+  double all_spot_completion = 0;  ///< completed / submitted
+  double mixture_completion = 0;
+  double risk_threshold = 0;
+};
+
+MixtureComparison compare_mixture_policy(const TraceStore& trace,
+                                         const SpotMarketOptions& options = {},
+                                         double risk_threshold = 0.15);
+
+}  // namespace cloudlens::policies

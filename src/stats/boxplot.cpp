@@ -1,0 +1,45 @@
+#include "stats/boxplot.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::stats {
+
+BoxStats box_stats(std::span<const double> xs) {
+  BoxStats b;
+  b.count = xs.size();
+  if (xs.empty()) return b;
+
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  b.q1 = quantile_sorted(sorted, 0.25);
+  b.median = quantile_sorted(sorted, 0.50);
+  b.q3 = quantile_sorted(sorted, 0.75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+
+  // Whiskers extend to the most extreme data points inside the fences.
+  b.whisker_lo = b.q1;
+  b.whisker_hi = b.q3;
+  for (double x : sorted) {
+    if (x >= lo_fence) {
+      b.whisker_lo = x;
+      break;
+    }
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_hi = *it;
+      break;
+    }
+  }
+  for (double x : sorted) {
+    if (x < b.whisker_lo || x > b.whisker_hi) b.outliers.push_back(x);
+  }
+  return b;
+}
+
+}  // namespace cloudlens::stats

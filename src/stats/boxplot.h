@@ -1,0 +1,21 @@
+// Box-plot summaries with 1.5-IQR whiskers (the convention Fig. 1(b) and
+// Fig. 3(d) state explicitly).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cloudlens::stats {
+
+struct BoxStats {
+  std::size_t count = 0;
+  double q1 = 0, median = 0, q3 = 0;
+  /// Whiskers: furthest data points within 1.5 * IQR of the box.
+  double whisker_lo = 0, whisker_hi = 0;
+  /// Data outside the whiskers.
+  std::vector<double> outliers;
+};
+
+BoxStats box_stats(std::span<const double> xs);
+
+}  // namespace cloudlens::stats

@@ -1,0 +1,19 @@
+// Correlation measures.
+//
+// Pearson correlation of CPU-utilization series is the paper's similarity
+// metric both at the node level (Fig. 7(a)) and across regions (Fig. 7(b)).
+#pragma once
+
+#include <span>
+
+namespace cloudlens::stats {
+
+/// Pearson product-moment correlation of two equal-length series.
+/// Returns 0 when either series is constant (no linear relationship can be
+/// measured; this also matches how flat telemetry is treated in practice).
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace cloudlens::stats

@@ -1,0 +1,61 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::stats {
+
+Ecdf::Ecdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double p) const {
+  CL_CHECK(!sorted_.empty());
+  return quantile_sorted(sorted_, p);
+}
+
+double Ecdf::min() const {
+  CL_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Ecdf::max() const {
+  CL_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+std::vector<double> Ecdf::curve(std::size_t points) const {
+  CL_CHECK(points >= 2);
+  std::vector<double> ys(points, 0.0);
+  if (sorted_.empty()) return ys;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    ys[i] = at(x);
+  }
+  return ys;
+}
+
+double ks_statistic(const Ecdf& a, const Ecdf& b) {
+  CL_CHECK(!a.empty() && !b.empty());
+  // Evaluate both CDFs at every jump point of either sample.
+  double d = 0.0;
+  for (double x : a.sorted()) d = std::max(d, std::abs(a.at(x) - b.at(x)));
+  for (double x : b.sorted()) d = std::max(d, std::abs(a.at(x) - b.at(x)));
+  return d;
+}
+
+}  // namespace cloudlens::stats

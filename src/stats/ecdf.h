@@ -1,0 +1,46 @@
+// Empirical cumulative distribution functions.
+//
+// Most figures in the paper are CDF overlays of a private-cloud and a
+// public-cloud sample; Ecdf is the shared representation behind them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cloudlens::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  /// Build from an arbitrary sample (copied and sorted).
+  explicit Ecdf(std::span<const double> sample);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// F(x) = fraction of samples <= x.
+  double at(double x) const;
+
+  /// Inverse CDF (quantile), p in [0, 1].
+  double inverse(double p) const;
+
+  double min() const;
+  double max() const;
+
+  /// Evaluate F at `points` evenly spaced x-values spanning [min, max] —
+  /// the series form used to draw the CDF curves of Figs. 1, 3, 4, 7.
+  std::vector<double> curve(std::size_t points) const;
+
+  /// The sorted sample (for exact-step plotting or KS computation).
+  std::span<const double> sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Two-sample Kolmogorov–Smirnov statistic: sup |F1 - F2|. Used by tests
+/// and benches to quantify how far apart the private and public curves are
+/// (the paper's figures show visually separated CDFs).
+double ks_statistic(const Ecdf& a, const Ecdf& b);
+
+}  // namespace cloudlens::stats

@@ -1,0 +1,104 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cloudlens::stats {
+
+BinAxis::BinAxis(double lo, double hi, std::size_t bins, BinScale scale)
+    : lo_(lo), hi_(hi), bins_(bins), scale_(scale) {
+  CL_CHECK(bins > 0);
+  CL_CHECK(hi > lo);
+  if (scale == BinScale::kLog) CL_CHECK_MSG(lo > 0, "log axis requires lo > 0");
+}
+
+std::size_t BinAxis::index(double x) const {
+  double t;
+  if (scale_ == BinScale::kLinear) {
+    t = (x - lo_) / (hi_ - lo_);
+  } else {
+    if (x <= lo_) return 0;
+    t = std::log(x / lo_) / std::log(hi_ / lo_);
+  }
+  if (t < 0) return 0;
+  const auto b = static_cast<std::size_t>(t * static_cast<double>(bins_));
+  return std::min(b, bins_ - 1);
+}
+
+double BinAxis::lower_edge(std::size_t bin) const {
+  CL_CHECK(bin < bins_);
+  const double t = static_cast<double>(bin) / static_cast<double>(bins_);
+  if (scale_ == BinScale::kLinear) return lo_ + t * (hi_ - lo_);
+  return lo_ * std::pow(hi_ / lo_, t);
+}
+
+double BinAxis::upper_edge(std::size_t bin) const {
+  CL_CHECK(bin < bins_);
+  const double t = static_cast<double>(bin + 1) / static_cast<double>(bins_);
+  if (scale_ == BinScale::kLinear) return lo_ + t * (hi_ - lo_);
+  return lo_ * std::pow(hi_ / lo_, t);
+}
+
+double BinAxis::center(std::size_t bin) const {
+  if (scale_ == BinScale::kLinear)
+    return 0.5 * (lower_edge(bin) + upper_edge(bin));
+  return std::sqrt(lower_edge(bin) * upper_edge(bin));
+}
+
+Histogram1D::Histogram1D(double lo, double hi, std::size_t bins, BinScale scale)
+    : axis_(lo, hi, bins, scale), bin_weight_(bins, 0.0) {}
+
+void Histogram1D::add(double x, double weight) {
+  CL_CHECK(!bin_weight_.empty());
+  bin_weight_[axis_.index(x)] += weight;
+  ++count_;
+  weight_ += weight;
+}
+
+std::vector<double> Histogram1D::normalized() const {
+  std::vector<double> out(bin_weight_.size(), 0.0);
+  if (weight_ <= 0) return out;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = bin_weight_[i] / weight_;
+  return out;
+}
+
+std::vector<double> Histogram1D::cumulative() const {
+  std::vector<double> out = normalized();
+  double run = 0;
+  for (auto& v : out) {
+    run += v;
+    v = run;
+  }
+  return out;
+}
+
+Histogram2D::Histogram2D(BinAxis x_axis, BinAxis y_axis)
+    : x_(x_axis), y_(y_axis), cells_(x_axis.bins() * y_axis.bins(), 0.0) {}
+
+void Histogram2D::add(double x, double y, double weight) {
+  CL_CHECK(!cells_.empty());
+  cells_[y_.index(y) * x_.bins() + x_.index(x)] += weight;
+  ++count_;
+}
+
+double Histogram2D::weight_at(std::size_t xbin, std::size_t ybin) const {
+  CL_CHECK(xbin < x_.bins() && ybin < y_.bins());
+  return cells_[ybin * x_.bins() + xbin];
+}
+
+std::vector<std::vector<double>> Histogram2D::normalized_grid() const {
+  std::vector<std::vector<double>> grid(y_.bins(),
+                                        std::vector<double>(x_.bins(), 0.0));
+  double hi = 0;
+  for (double c : cells_) hi = std::max(hi, c);
+  if (hi <= 0) return grid;
+  for (std::size_t yb = 0; yb < y_.bins(); ++yb)
+    for (std::size_t xb = 0; xb < x_.bins(); ++xb)
+      grid[yb][xb] = cells_[yb * x_.bins() + xb] / hi;
+  return grid;
+}
+
+}  // namespace cloudlens::stats

@@ -1,0 +1,81 @@
+// Fixed-bin 1-D and 2-D histograms (linear or logarithmic binning).
+//
+// Histogram2D backs the core×memory VM-size heatmaps of Fig. 2; log binning
+// matches the paper's wide dynamic range of VM shapes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cloudlens::stats {
+
+enum class BinScale { kLinear, kLog };
+
+/// Bin-edge layout shared by both histogram classes.
+class BinAxis {
+ public:
+  BinAxis() = default;
+  /// [lo, hi) divided into `bins` intervals. For kLog, lo must be > 0.
+  BinAxis(double lo, double hi, std::size_t bins, BinScale scale);
+
+  std::size_t bins() const { return bins_; }
+  /// Bin index for x; values outside [lo, hi) are clamped to the edge bins.
+  std::size_t index(double x) const;
+  double lower_edge(std::size_t bin) const;
+  double upper_edge(std::size_t bin) const;
+  double center(std::size_t bin) const;
+
+ private:
+  double lo_ = 0, hi_ = 1;
+  std::size_t bins_ = 1;
+  BinScale scale_ = BinScale::kLinear;
+};
+
+class Histogram1D {
+ public:
+  Histogram1D() = default;
+  Histogram1D(double lo, double hi, std::size_t bins,
+              BinScale scale = BinScale::kLinear);
+
+  void add(double x, double weight = 1.0);
+  std::uint64_t total_count() const { return count_; }
+  double total_weight() const { return weight_; }
+
+  const BinAxis& axis() const { return axis_; }
+  std::span<const double> weights() const { return bin_weight_; }
+  /// Bin weights normalized to sum to 1 (empty histogram → all zeros).
+  std::vector<double> normalized() const;
+  /// Running normalized cumulative sum — a binned CDF.
+  std::vector<double> cumulative() const;
+
+ private:
+  BinAxis axis_;
+  std::vector<double> bin_weight_;
+  std::uint64_t count_ = 0;
+  double weight_ = 0;
+};
+
+class Histogram2D {
+ public:
+  Histogram2D() = default;
+  Histogram2D(BinAxis x_axis, BinAxis y_axis);
+
+  void add(double x, double y, double weight = 1.0);
+  std::uint64_t total_count() const { return count_; }
+
+  const BinAxis& x_axis() const { return x_; }
+  const BinAxis& y_axis() const { return y_; }
+  double weight_at(std::size_t xbin, std::size_t ybin) const;
+
+  /// grid[y][x], normalized so the max cell is 1 (for heatmap rendering).
+  std::vector<std::vector<double>> normalized_grid() const;
+
+ private:
+  BinAxis x_, y_;
+  std::vector<double> cells_;  // row-major [y * x_.bins() + x]
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace cloudlens::stats

@@ -1,0 +1,48 @@
+// Period detection for utilization time series.
+//
+// Implements the scheme of Vlachos, Yu & Castelli, "On periodicity detection
+// and structural periodic similarity" (ICDM 2005) — the paper's ref [18] and
+// the method it says is used to detect both the diurnal and the hourly-peak
+// utilization patterns: candidate periods are taken from the periodogram and
+// validated/refined on the autocorrelation function (a candidate is accepted
+// only if it lands on an ACF hill of sufficient height).
+#pragma once
+
+#include <vector>
+
+#include "common/sim_time.h"
+#include "stats/series.h"
+
+namespace cloudlens::stats {
+
+struct PeriodDetection {
+  bool periodic = false;
+  /// Best validated period (seconds); 0 when !periodic.
+  SimDuration period = 0;
+  /// ACF height at the validated period lag, in [-1, 1]. Higher = stronger.
+  double strength = 0.0;
+};
+
+struct PeriodDetectorOptions {
+  /// Candidates outside [min_period, max_period] are ignored.
+  SimDuration min_period = 30 * kMinute;
+  SimDuration max_period = 2 * kDay;
+  /// Periodogram peaks below mean_power * power_threshold are ignored.
+  double power_threshold = 3.0;
+  /// Minimum ACF hill height for a candidate to be declared periodic.
+  double min_strength = 0.25;
+  /// Maximum number of periodogram candidates to validate.
+  std::size_t max_candidates = 8;
+};
+
+/// Full Vlachos-style detection over a series.
+PeriodDetection detect_period(const TimeSeries& series,
+                              const PeriodDetectorOptions& opts = {});
+
+/// ACF-based score for one *specific* candidate period: the ACF value at the
+/// hill nearest to the candidate lag, minus the ACF at the half-period
+/// valley. Positive and large (→1) means a clean periodicity at `period`.
+/// Used by the classifier to test "is this series daily?" / "hourly?".
+double periodicity_score(const TimeSeries& series, SimDuration period);
+
+}  // namespace cloudlens::stats

@@ -1,0 +1,108 @@
+#include "stats/series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::stats {
+
+TimeSeries::TimeSeries(TimeGrid grid, std::vector<double> values)
+    : grid_(grid), values_(std::move(values)) {
+  CL_CHECK_MSG(values_.size() == grid_.count,
+               "value count must match grid size");
+}
+
+double TimeSeries::mean() const { return stats::mean(values_); }
+
+double TimeSeries::max() const {
+  double hi = 0;
+  for (double v : values_) hi = std::max(hi, v);
+  return hi;
+}
+
+void TimeSeries::add(const TimeSeries& other, double scale) {
+  CL_CHECK_MSG(other.grid_ == grid_, "grid mismatch in TimeSeries::add");
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    values_[i] += scale * other.values_[i];
+}
+
+void TimeSeries::scale(double factor) {
+  for (auto& v : values_) v *= factor;
+}
+
+void TimeSeries::clamp(double lo, double hi) {
+  for (auto& v : values_) v = std::min(hi, std::max(lo, v));
+}
+
+TimeSeries TimeSeries::downsample_mean(std::size_t factor) const {
+  CL_CHECK(factor > 0 && !values_.empty());
+  const std::size_t out_count = values_.size() / factor;
+  CL_CHECK_MSG(out_count > 0, "series shorter than downsample window");
+  TimeGrid out_grid{grid_.start, grid_.step * static_cast<SimDuration>(factor),
+                    out_count};
+  std::vector<double> out(out_count, 0.0);
+  for (std::size_t i = 0; i < out_count; ++i) {
+    double acc = 0;
+    for (std::size_t j = 0; j < factor; ++j) acc += values_[i * factor + j];
+    out[i] = acc / static_cast<double>(factor);
+  }
+  return TimeSeries(out_grid, std::move(out));
+}
+
+TimeSeries TimeSeries::hourly_mean() const {
+  CL_CHECK(grid_.step > 0 && kHour % grid_.step == 0);
+  return downsample_mean(static_cast<std::size_t>(kHour / grid_.step));
+}
+
+std::vector<double> TimeSeries::hour_of_day_profile() const {
+  std::vector<double> sum(24, 0.0);
+  std::vector<std::size_t> n(24, 0);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const int h = hour_of_day(grid_.at(i));
+    sum[h] += values_[i];
+    ++n[h];
+  }
+  for (int h = 0; h < 24; ++h) {
+    if (n[h] > 0) sum[h] /= static_cast<double>(n[h]);
+  }
+  return sum;
+}
+
+TimeSeries TimeSeries::slice(std::size_t first, std::size_t count) const {
+  CL_CHECK(first + count <= values_.size());
+  TimeGrid g{grid_.at(first), grid_.step, count};
+  return TimeSeries(
+      g, std::vector<double>(values_.begin() + static_cast<std::ptrdiff_t>(first),
+                             values_.begin() +
+                                 static_cast<std::ptrdiff_t>(first + count)));
+}
+
+PercentileBands percentile_bands(std::span<const TimeSeries> population) {
+  PercentileBands out;
+  CL_CHECK(!population.empty());
+  out.grid = population.front().grid();
+  for (const auto& s : population)
+    CL_CHECK_MSG(s.grid() == out.grid, "population series must share a grid");
+
+  const std::size_t t_count = out.grid.count;
+  out.p25.resize(t_count);
+  out.p50.resize(t_count);
+  out.p75.resize(t_count);
+  out.p95.resize(t_count);
+
+  std::vector<double> column(population.size());
+  for (std::size_t t = 0; t < t_count; ++t) {
+    for (std::size_t i = 0; i < population.size(); ++i)
+      column[i] = population[i][t];
+    std::sort(column.begin(), column.end());
+    out.p25[t] = quantile_sorted(column, 0.25);
+    out.p50[t] = quantile_sorted(column, 0.50);
+    out.p75[t] = quantile_sorted(column, 0.75);
+    out.p95[t] = quantile_sorted(column, 0.95);
+  }
+  return out;
+}
+
+}  // namespace cloudlens::stats

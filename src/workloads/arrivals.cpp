@@ -1,0 +1,91 @@
+#include "workloads/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens::workloads {
+
+double DiurnalArrivalProcess::rate_per_hour(SimTime t) const {
+  double h = frac_hour_of_day(t) + p_.tz_offset_hours;
+  h = std::fmod(h, 24.0);
+  if (h < 0) h += 24.0;
+  const double env = diurnal_envelope(h, p_.peak_hour, p_.width_hours);
+  const auto shifted =
+      t + static_cast<SimTime>(p_.tz_offset_hours * double(kHour));
+  const double wk = is_weekend(shifted) ? p_.weekend_scale : 1.0;
+  return p_.base_per_hour * (p_.floor + (1.0 - p_.floor) * env) * wk;
+}
+
+std::vector<SimTime> DiurnalArrivalProcess::sample(Rng& rng, SimTime begin,
+                                                   SimTime end) const {
+  CL_CHECK(begin < end);
+  std::vector<SimTime> out;
+  for (SimTime h = begin; h < end; h += kHour) {
+    const SimTime hi = std::min(end, h + kHour);
+    const double frac_of_hour = double(hi - h) / double(kHour);
+    // Rate evaluated at the middle of the hour.
+    const double lambda = rate_per_hour(h + (hi - h) / 2) * frac_of_hour;
+    const std::uint64_t n = rng.poisson(lambda);
+    for (std::uint64_t i = 0; i < n; ++i)
+      out.push_back(h + static_cast<SimTime>(rng.uniform() * double(hi - h)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SimTime> BurstyArrivalProcess::sample_burst_epochs(
+    Rng& rng, SimTime begin, SimTime end) const {
+  CL_CHECK(begin < end);
+  const double weeks = double(end - begin) / double(kWeek);
+  const std::uint64_t n = rng.poisson(p_.bursts_per_week * weeks);
+  std::vector<SimTime> epochs;
+  epochs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    epochs.push_back(begin +
+                     static_cast<SimTime>(rng.uniform() * double(end - begin)));
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+std::uint64_t BurstyArrivalProcess::sample_burst_size(Rng& rng) const {
+  const double size =
+      rng.lognormal(std::log(p_.burst_size_mean), p_.burst_size_sigma);
+  return static_cast<std::uint64_t>(std::max(1.0, size));
+}
+
+SimDuration BurstyArrivalProcess::sample_burst_offset(Rng& rng) const {
+  // Beta(2,4)-shaped: the ramp rises quickly, then tapers.
+  return static_cast<SimDuration>(rng.beta(2.0, 4.0) *
+                                  double(p_.burst_window));
+}
+
+std::vector<SimTime> BurstyArrivalProcess::sample(Rng& rng, SimTime begin,
+                                                  SimTime end) const {
+  std::vector<SimTime> out;
+
+  // Quiet background: homogeneous Poisson, hour by hour.
+  for (SimTime h = begin; h < end; h += kHour) {
+    const SimTime hi = std::min(end, h + kHour);
+    const double lambda = p_.base_per_hour * double(hi - h) / double(kHour);
+    const std::uint64_t n = rng.poisson(lambda);
+    for (std::uint64_t i = 0; i < n; ++i)
+      out.push_back(h + static_cast<SimTime>(rng.uniform() * double(hi - h)));
+  }
+
+  // Bursts: a large batch of creations inside a short ramp window.
+  for (const SimTime epoch : sample_burst_epochs(rng, begin, end)) {
+    const std::uint64_t count = sample_burst_size(rng);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const SimTime t = epoch + sample_burst_offset(rng);
+      if (t < end) out.push_back(t);
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cloudlens::workloads

@@ -1,0 +1,76 @@
+// VM arrival (creation) processes.
+//
+// Fig. 3(c): public-cloud creations per hour follow a clear, stable diurnal
+// pattern (autoscaling); private-cloud creations stay at a low amplitude
+// with occasional large bursts (big-service rollouts). Fig. 3(d) quantifies
+// this with the CV of hourly creation counts across regions.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace cloudlens::workloads {
+
+/// Non-homogeneous Poisson process with a diurnal + weekend rate profile.
+/// rate(t) = base_per_hour * (floor + (1-floor) * envelope(local_hour)) *
+///           (weekend ? weekend_scale : 1)
+class DiurnalArrivalProcess {
+ public:
+  struct Params {
+    double base_per_hour = 40.0;  ///< peak-hour arrival rate
+    double floor = 0.25;          ///< night rate as a fraction of peak
+    double peak_hour = 14.0;
+    double width_hours = 16.0;
+    double weekend_scale = 0.5;
+    double tz_offset_hours = 0;
+  };
+
+  explicit DiurnalArrivalProcess(Params p) : p_(p) {}
+
+  double rate_per_hour(SimTime t) const;
+
+  /// Arrival instants in [begin, end), sampled hour by hour (Poisson count
+  /// per hour, uniform placement within the hour).
+  std::vector<SimTime> sample(Rng& rng, SimTime begin, SimTime end) const;
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// Low-amplitude homogeneous background plus compound bursts: burst epochs
+/// arrive as a Poisson process over the window; each burst creates a large
+/// number of VMs within a short ramp window.
+class BurstyArrivalProcess {
+ public:
+  struct Params {
+    double base_per_hour = 4.0;    ///< quiet background rate
+    double bursts_per_week = 3.0;  ///< expected burst epochs per week
+    double burst_size_mean = 600;  ///< VMs per burst (lognormal)
+    double burst_size_sigma = 0.5; ///< lognormal sigma of burst size
+    SimDuration burst_window = 2 * kHour;  ///< burst ramp duration
+  };
+
+  explicit BurstyArrivalProcess(Params p) : p_(p) {}
+
+  std::vector<SimTime> sample(Rng& rng, SimTime begin, SimTime end) const;
+
+  /// The burst epochs chosen for a window (exposed for tests/ablation and
+  /// for generators that attribute each burst to one owner).
+  std::vector<SimTime> sample_burst_epochs(Rng& rng, SimTime begin,
+                                           SimTime end) const;
+  /// Number of VMs created by one burst (lognormal, >= 1).
+  std::uint64_t sample_burst_size(Rng& rng) const;
+  /// Creation offset of one VM within a burst's ramp window.
+  SimDuration sample_burst_offset(Rng& rng) const;
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+}  // namespace cloudlens::workloads

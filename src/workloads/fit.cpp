@@ -1,0 +1,257 @@
+#include "workloads/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/classifier.h"
+#include "analysis/spatial.h"
+#include "analysis/temporal.h"
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::workloads {
+namespace {
+
+/// Mean of the diurnal churn multiplier (floor + (1-floor)*envelope) * wk
+/// over one week, used to convert an observed mean rate into the process's
+/// peak rate parameter.
+double mean_rate_multiplier(const DiurnalArrivalProcess::Params& p) {
+  DiurnalArrivalProcess::Params unit = p;
+  unit.base_per_hour = 1.0;
+  const DiurnalArrivalProcess process(unit);
+  double sum = 0;
+  for (SimTime t = 0; t < kWeek; t += kHour)
+    sum += process.rate_per_hour(t + kHour / 2);
+  return sum / 168.0;
+}
+
+}  // namespace
+
+ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
+                       const CloudProfile& base, const FitOptions& options) {
+  ProfileFit fit;
+  CloudProfile& p = fit.profile;
+  p = base;  // unobservable knobs (catalog, anchors, caps) carry over
+  const std::size_t region_count = trace.topology().regions().size();
+
+  // --- Ownership population ---------------------------------------------
+  std::size_t first_party_subs = 0, third_party_subs = 0;
+  for (const auto& sub : trace.subscriptions()) {
+    if (sub.cloud != cloud) continue;
+    if (sub.party == PartyType::kFirstParty) ++first_party_subs;
+    else ++third_party_subs;
+  }
+  std::size_t services = 0;
+  for (const auto& svc : trace.services()) {
+    if (svc.cloud == cloud) ++services;
+  }
+  fit.services_observed = services;
+  fit.subscriptions_observed = first_party_subs + third_party_subs;
+  CL_CHECK_MSG(fit.subscriptions_observed > 0,
+               "trace has no subscriptions for this cloud — nothing to fit");
+  p.first_party_services = std::max(
+      services > 0 ? 1 : 0,
+      static_cast<int>(std::lround(double(services) * options.population_scale)));
+  p.third_party_subscriptions = static_cast<int>(
+      std::lround(double(third_party_subs) * options.population_scale));
+  p.subs_per_service_mean =
+      services > 0 ? std::max(1.0, double(first_party_subs) / double(services))
+                   : base.subs_per_service_mean;
+
+  // --- Deployment shape ----------------------------------------------------
+  struct SubAgg {
+    std::unordered_map<RegionId, int> per_region;
+  };
+  std::unordered_map<SubscriptionId, SubAgg> agg;
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !vm.alive_at(options.snapshot)) continue;
+    ++agg[vm.subscription].per_region[vm.region];
+  }
+  std::vector<double> log_sizes;
+  std::vector<double> region_counts;
+  // Points (k-1, mean log size) for the per-region decay regression.
+  std::vector<std::pair<double, double>> decay_points;
+  for (const auto& [_, a] : agg) {
+    const double k = double(a.per_region.size());
+    region_counts.push_back(k);
+    for (const auto& [__, n] : a.per_region) {
+      log_sizes.push_back(std::log(double(n)));
+      decay_points.emplace_back(k - 1.0, std::log(double(n)));
+      ++fit.deployments_observed;
+    }
+  }
+  if (!log_sizes.empty()) {
+    p.deploy_size_sigma = std::max(0.05, stats::stddev(log_sizes));
+    // Least-squares slope of log-size on (k-1): the per-region decay.
+    double mx = 0, my = 0;
+    for (const auto& [x, y] : decay_points) {
+      mx += x;
+      my += y;
+    }
+    mx /= double(decay_points.size());
+    my /= double(decay_points.size());
+    double sxy = 0, sxx = 0;
+    for (const auto& [x, y] : decay_points) {
+      sxy += (x - mx) * (y - my);
+      sxx += (x - mx) * (x - mx);
+    }
+    const double slope = sxx > 0 ? sxy / sxx : 0.0;
+    p.deploy_size_mu_decay_per_region = std::clamp(-slope, 0.0, 1.0);
+    // mu is the intercept at k = 1 (single-region deployments).
+    p.deploy_size_mu = my + p.deploy_size_mu_decay_per_region * mx;
+  }
+  if (!region_counts.empty()) {
+    std::vector<double> weights(region_count, 0.0);
+    for (const double k : region_counts) {
+      const auto idx =
+          std::min<std::size_t>(region_count - 1, std::size_t(k) - 1);
+      weights[idx] += 1.0;
+    }
+    for (auto& w : weights) w /= double(region_counts.size());
+    p.region_count_weights = std::move(weights);
+  }
+
+  // --- Lifetimes -------------------------------------------------------------
+  {
+    const auto lifetimes = analysis::vm_lifetimes(trace, cloud, 0,
+                                                  trace.telemetry_grid().end());
+    fit.ended_vms_observed = lifetimes.size();
+    if (!lifetimes.empty()) {
+      std::vector<LifetimeModel::Bin> bins;
+      for (const auto& bin : base.lifetime.bins()) bins.push_back(bin);
+      for (auto& bin : bins) bin.weight = 0.0;
+      for (const double l : lifetimes) {
+        // Clamp into the base bin edges.
+        std::size_t chosen = bins.size() - 1;
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+          if (l < double(bins[b].hi)) {
+            chosen = b;
+            break;
+          }
+        }
+        bins[chosen].weight += 1.0;
+      }
+      for (auto& bin : bins) {
+        bin.weight = bin.weight / double(lifetimes.size()) + 1e-4;
+      }
+      p.lifetime = LifetimeModel(std::move(bins));
+    }
+  }
+
+  // --- Pattern mix -------------------------------------------------------------
+  {
+    const auto mix = analysis::classify_population(trace, cloud,
+                                                   options.classify_max_vms);
+    fit.classified_vms = mix.classified;
+    if (mix.classified > 0) {
+      p.pattern_mix = {mix.diurnal, mix.stable, mix.irregular,
+                       mix.hourly_peak};
+    }
+  }
+
+  // --- Region agnosticism ---------------------------------------------------
+  {
+    const auto verdicts =
+        analysis::detect_region_agnostic_services(trace, cloud);
+    if (!verdicts.empty()) {
+      std::size_t agnostic = 0;
+      for (const auto& v : verdicts) {
+        if (v.region_agnostic) ++agnostic;
+      }
+      p.region_agnostic_prob = double(agnostic) / double(verdicts.size());
+    }
+  }
+
+  // --- Churn --------------------------------------------------------------------
+  {
+    double weekday_sum = 0, weekend_sum = 0;
+    std::size_t weekday_n = 0, weekend_n = 0;
+    std::vector<double> all_hourly;
+    double burst_excess = 0;
+    std::size_t regions_with_churn = 0;
+    for (const auto& region : trace.topology().regions()) {
+      const auto created = analysis::creations_per_hour(trace, cloud,
+                                                        region.id);
+      if (created.mean() <= 0) continue;
+      ++regions_with_churn;
+      const double mean = created.mean();
+      const double sd = stats::stddev(created.values());
+      for (std::size_t i = 0; i < created.size(); ++i) {
+        const double v = created[i];
+        all_hourly.push_back(v);
+        if (is_weekend(created.grid().at(i))) {
+          weekend_sum += v;
+          ++weekend_n;
+        } else {
+          weekday_sum += v;
+          ++weekday_n;
+        }
+        if (v > mean + options.burst_sigma_threshold * sd) {
+          ++fit.burst_hours_detected;
+          burst_excess += v - mean;
+        }
+      }
+    }
+    if (regions_with_churn > 0 && !all_hourly.empty()) {
+      fit.mean_creations_per_hour_per_region =
+          stats::mean(all_hourly);
+      const double weekday_mean =
+          weekday_n ? weekday_sum / double(weekday_n) : 0.0;
+      const double weekend_mean =
+          weekend_n ? weekend_sum / double(weekend_n) : 0.0;
+      if (weekday_mean > 0) {
+        p.diurnal_churn.weekend_scale =
+            std::clamp(weekend_mean / weekday_mean, 0.05, 1.0);
+      }
+      // Bursts: contiguous burst hours of the base window size per region
+      // per week.
+      const double burst_window_hours =
+          std::max(1.0, double(base.burst_churn.burst_window) / double(kHour));
+      const double weeks =
+          double(trace.telemetry_grid().end()) / double(kWeek);
+      const double bursts = double(fit.burst_hours_detected) /
+                            burst_window_hours;
+      p.burst_churn.bursts_per_week =
+          bursts / std::max(1.0, weeks) / double(regions_with_churn);
+      if (bursts >= 1.0) {
+        p.burst_churn.burst_size_mean =
+            std::max(1.0, burst_excess / bursts);
+      } else {
+        p.burst_churn.bursts_per_week = 0.0;
+      }
+      // Peak rate of the diurnal component from the non-burst mean.
+      const double non_burst_mean =
+          std::max(0.0, stats::mean(all_hourly) -
+                            burst_excess / double(all_hourly.size()));
+      const double multiplier = mean_rate_multiplier(p.diurnal_churn);
+      if (multiplier > 0)
+        p.diurnal_churn.base_per_hour =
+            options.population_scale * non_burst_mean / multiplier;
+    } else {
+      p.diurnal_churn.base_per_hour = 0;
+      p.burst_churn.bursts_per_week = 0;
+    }
+  }
+
+  // --- Standing termination probability -----------------------------------
+  {
+    std::size_t standing = 0, standing_ended = 0;
+    for (const auto& vm : trace.vms()) {
+      if (vm.cloud != cloud || vm.created >= 0) continue;
+      ++standing;
+      if (vm.ended() && vm.deleted <= trace.telemetry_grid().end())
+        ++standing_ended;
+    }
+    if (standing > 0)
+      p.standing_end_prob =
+          std::clamp(double(standing_ended) / double(standing), 0.0, 1.0);
+  }
+
+  p.name = base.name + "-fitted";
+  p.validate();
+  return fit;
+}
+
+}  // namespace cloudlens::workloads

@@ -1,0 +1,55 @@
+// Profile fitting: the inverse of generation.
+//
+// Given an observed trace (generated or imported from CSVs), estimate the
+// CloudProfile parameters that would regenerate a statistically similar
+// population — a "synthetic twin". This operationalizes the paper's
+// knowledge-base vision one level up: instead of per-subscription records,
+// it distills a whole platform's workload into a handful of generative
+// parameters, which can then drive capacity what-ifs at any scale without
+// the original data.
+//
+// Each estimator mirrors one analysis:
+//   deployment sizes  -> log-moments of VMs per subscription-region,
+//   region spread     -> histogram of deployed regions per subscription,
+//   lifetimes         -> shares over the calibrated duration bins,
+//   pattern mix       -> classifier shares over covering VMs,
+//   churn             -> creation-rate level, weekend ratio, and burst count,
+//   region agnosticism-> detected share among multi-region services.
+#pragma once
+
+#include "cloudsim/trace.h"
+#include "workloads/profiles.h"
+
+namespace cloudlens::workloads {
+
+struct FitOptions {
+  SimTime snapshot = 2 * kDay + 14 * kHour;
+  /// VMs sampled for pattern classification.
+  std::size_t classify_max_vms = 600;
+  /// Hours whose creation count exceeds mean + threshold * stddev count as
+  /// burst hours when estimating `bursts_per_week`.
+  double burst_sigma_threshold = 4.0;
+  /// Scale factor applied to fitted population counts (1.0 reproduces the
+  /// observed population size).
+  double population_scale = 1.0;
+};
+
+/// Diagnostic bundle: the fitted profile plus the raw estimates behind it.
+struct ProfileFit {
+  CloudProfile profile;
+  std::size_t subscriptions_observed = 0;
+  std::size_t services_observed = 0;
+  std::size_t deployments_observed = 0;  ///< (subscription, region) pairs
+  std::size_t ended_vms_observed = 0;
+  std::size_t classified_vms = 0;
+  double mean_creations_per_hour_per_region = 0;
+  std::size_t burst_hours_detected = 0;
+};
+
+/// Fit a profile for one cloud of the trace. `base` supplies everything the
+/// estimators cannot observe (catalog, anchor time zone, recovery knobs);
+/// typically CloudProfile::azure_private()/azure_public().
+ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
+                       const CloudProfile& base, const FitOptions& options = {});
+
+}  // namespace cloudlens::workloads

@@ -1,0 +1,382 @@
+#include "workloads/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cloudlens::workloads {
+namespace {
+
+/// Normalized weights of a PatternMix in enum order.
+std::array<double, 4> mix_weights(const PatternMix& mix) {
+  return {mix.diurnal, mix.stable, mix.irregular, mix.hourly_peak};
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const Topology& topology,
+                                     std::uint64_t seed)
+    : topo_(topology), rng_(seed) {}
+
+PatternType WorkloadGenerator::sample_pattern_type(const PatternMix& mix) {
+  const auto w = mix_weights(mix);
+  AliasTable table(w);
+  return static_cast<PatternType>(table.sample(rng_));
+}
+
+void WorkloadGenerator::assign_patterns(const PatternMix& mix,
+                                        std::vector<Owner>& owners) {
+  // Fig. 5(d) reports VM-level pattern shares, but a pattern is a property
+  // of a whole service/subscription (all its VMs behave alike). Because
+  // deployment sizes are heavy-tailed, independently sampling one pattern
+  // per owner makes the VM-weighted shares extremely noisy at small scale.
+  // A largest-remainder balancer over VM counts keeps the realized
+  // VM-level shares tight around the configured mix at any scale.
+  const auto weights = mix_weights(mix);
+  double total_weight = 0;
+  for (const double w : weights) total_weight += w;
+  CL_CHECK(total_weight > 0);
+
+  std::array<double, 4> assigned{};  // VMs assigned per pattern so far
+  double assigned_total = 0;
+  for (auto& owner : owners) {
+    double vms = 0;
+    for (const int n : owner.standing_per_region) vms += n;
+    vms = std::max(vms, 1.0);
+    // Pick the pattern whose share lags its target the most after adding
+    // this owner's VMs.
+    int best = 0;
+    double best_deficit = -1e18;
+    for (int t = 0; t < 4; ++t) {
+      const double target = weights[static_cast<std::size_t>(t)] / total_weight;
+      const double share = (assigned[static_cast<std::size_t>(t)] + vms) /
+                           (assigned_total + vms);
+      const double deficit = target - share;
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = t;
+      }
+    }
+    owner.pattern = static_cast<PatternType>(best);
+    assigned[static_cast<std::size_t>(best)] += vms;
+    assigned_total += vms;
+  }
+}
+
+void WorkloadGenerator::sample_pattern_params(const CloudProfile& profile,
+                                              Owner& owner) {
+  owner.phase_jitter_hours =
+      rng_.uniform(-profile.phase_jitter_hours, profile.phase_jitter_hours);
+
+  // Diurnal: population amplitudes are modest (the paper's Fig. 6 shows the
+  // 75th utilization percentile staying below ~30%); Fig. 5(a)'s sample
+  // with a 60% peak is from the upper tail.
+  owner.diurnal.base = rng_.uniform(0.02, 0.10);
+  owner.diurnal.weekday_peak = rng_.uniform(0.15, 0.60);
+  owner.diurnal.weekend_peak =
+      owner.diurnal.weekday_peak * rng_.uniform(0.25, 0.50);
+  owner.diurnal.peak_hour = rng_.uniform(12.0, 16.0);
+  owner.diurnal.width_hours = rng_.uniform(10.0, 16.0);
+  owner.diurnal.noise_sigma = rng_.uniform(0.01, 0.03);
+
+  owner.stable.level = rng_.uniform(0.08, 0.45);
+  owner.stable.noise_sigma = rng_.uniform(0.008, 0.02);
+  owner.stable.wander_sigma = rng_.uniform(0.005, 0.015);
+
+  owner.irregular.base = rng_.uniform(0.03, 0.09);
+  owner.irregular.spike_level = rng_.uniform(0.50, 0.85);
+  owner.irregular.spike_prob = rng_.uniform(0.01, 0.06);
+
+  owner.hourly.base = rng_.uniform(0.05, 0.12);
+  owner.hourly.peak = rng_.uniform(0.40, 0.80);
+  owner.hourly.peak_hour = rng_.uniform(11.0, 15.0);
+  owner.hourly.width_hours = rng_.uniform(10.0, 13.0);
+
+  owner.sku_index = AliasTable(profile.catalog.weights()).sample(rng_);
+}
+
+std::vector<RegionId> WorkloadGenerator::sample_regions(std::size_t k) {
+  const auto regions = topo_.regions();
+  CL_CHECK(!regions.empty());
+  k = std::min(k, regions.size());
+  // Partial Fisher–Yates over region indices.
+  std::vector<RegionId::underlying> idx(regions.size());
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    idx[i] = static_cast<RegionId::underlying>(i);
+  std::vector<RegionId> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.uniform_int(idx.size() - i));
+    std::swap(idx[i], idx[j]);
+    out.emplace_back(idx[i]);
+  }
+  return out;
+}
+
+double WorkloadGenerator::anchor_tz(const CloudProfile& profile,
+                                    const Owner& owner,
+                                    RegionId region) const {
+  if (owner.region_agnostic) {
+    // Geo-load-balanced: one global demand curve regardless of region.
+    return profile.agnostic_anchor_tz + owner.phase_jitter_hours * 0.1;
+  }
+  return topo_.region(region).tz_offset_hours + owner.phase_jitter_hours;
+}
+
+std::shared_ptr<const UtilizationModel> WorkloadGenerator::instantiate(
+    const CloudProfile& profile, const Owner& owner, RegionId region) {
+  const std::uint64_t seed = rng_();
+  const double tz = anchor_tz(profile, owner, region);
+  // Per-VM jitter: VMs of one owner share a pattern family but are not
+  // clones — amplitudes, phases, and noise floors vary between instances,
+  // which keeps VM-to-node utilization correlations below 1 even on
+  // single-service nodes (the paper's private-cloud median is 0.55).
+  switch (owner.pattern) {
+    case PatternType::kDiurnal: {
+      auto p = owner.diurnal;
+      p.tz_offset_hours = tz;
+      const double amp = rng_.uniform(0.65, 1.35);
+      p.weekday_peak = p.base + (p.weekday_peak - p.base) * amp;
+      p.weekend_peak = p.base + (p.weekend_peak - p.base) * amp;
+      p.peak_hour += rng_.normal(0.0, 0.4);
+      p.noise_sigma = rng_.uniform(0.04, 0.09);
+      return std::make_shared<DiurnalUtilization>(p, seed);
+    }
+    case PatternType::kStable: {
+      auto p = owner.stable;
+      p.level *= rng_.uniform(0.85, 1.15);
+      return std::make_shared<StableUtilization>(p, seed);
+    }
+    case PatternType::kIrregular:
+      return std::make_shared<IrregularUtilization>(owner.irregular, seed);
+    case PatternType::kHourlyPeak: {
+      auto p = owner.hourly;
+      p.tz_offset_hours = tz;
+      p.peak = p.base + (p.peak - p.base) * rng_.uniform(0.7, 1.3);
+      p.noise_sigma = rng_.uniform(0.03, 0.06);
+      return std::make_shared<HourlyPeakUtilization>(p, seed);
+    }
+  }
+  CL_CHECK(false);
+  return nullptr;
+}
+
+DeploymentRequest WorkloadGenerator::make_request(const CloudProfile& profile,
+                                                  const Owner& owner,
+                                                  RegionId region,
+                                                  SimTime create,
+                                                  SimTime remove) {
+  DeploymentRequest req;
+  req.request.subscription = owner.sub;
+  req.request.service = owner.service;
+  req.request.cloud = profile.cloud;
+  req.request.region = region;
+  std::size_t sku = owner.sku_index;
+  if (rng_.bernoulli(profile.sku_mix_prob))
+    sku = AliasTable(profile.catalog.weights()).sample(rng_);
+  req.request.cores = profile.catalog.at(sku).cores;
+  req.request.memory_gb = profile.catalog.at(sku).memory_gb;
+  req.party = owner.party;
+  req.create = create;
+  req.remove = remove;
+  req.utilization = instantiate(profile, owner, region);
+  return req;
+}
+
+void WorkloadGenerator::sample_standing_sizes(const CloudProfile& profile,
+                                              Owner& owner) {
+  const std::size_t k = owner.regions.size();
+  owner.standing_per_region.assign(k, 0);
+  const double mu = profile.deploy_size_mu -
+                    profile.deploy_size_mu_decay_per_region *
+                        static_cast<double>(k - 1);
+  for (std::size_t r = 0; r < k; ++r) {
+    const double draw = rng_.lognormal(mu, profile.deploy_size_sigma);
+    owner.standing_per_region[r] = std::clamp(
+        static_cast<int>(std::lround(draw)), 1, profile.deploy_size_max);
+  }
+}
+
+void WorkloadGenerator::emit_standing(const CloudProfile& profile,
+                                      Owner& owner, SimTime horizon,
+                                      std::vector<DeploymentRequest>& out) {
+  for (std::size_t r = 0; r < owner.regions.size(); ++r) {
+    const int n = owner.standing_per_region[r];
+    for (int i = 0; i < n; ++i) {
+      const SimTime create =
+          -static_cast<SimTime>(rng_.uniform() *
+                                double(profile.standing_age_max)) -
+          1;
+      SimTime remove = kNoEnd;
+      if (rng_.bernoulli(profile.standing_end_prob))
+        remove = static_cast<SimTime>(rng_.uniform() * double(horizon));
+      out.push_back(make_request(profile, owner, owner.regions[r], create,
+                                 remove));
+    }
+  }
+}
+
+void WorkloadGenerator::emit_churn(const CloudProfile& profile,
+                                   std::vector<Owner>& owners,
+                                   SimTime horizon,
+                                   std::vector<DeploymentRequest>& out) {
+  // Owner pools per region, weighted by standing deployment size (large
+  // deployments churn proportionally more).
+  const std::size_t region_count = topo_.regions().size();
+  std::vector<std::vector<std::size_t>> pool(region_count);
+  std::vector<std::vector<double>> pool_weight(region_count);
+  for (std::size_t o = 0; o < owners.size(); ++o) {
+    const Owner& owner = owners[o];
+    for (std::size_t r = 0; r < owner.regions.size(); ++r) {
+      const auto region = owner.regions[r].value();
+      pool[region].push_back(o);
+      pool_weight[region].push_back(
+          static_cast<double>(owner.standing_per_region[r]));
+    }
+  }
+
+  for (std::size_t region = 0; region < region_count; ++region) {
+    if (pool[region].empty()) continue;
+    const RegionId region_id(static_cast<RegionId::underlying>(region));
+    AliasTable pick(pool_weight[region]);
+
+    // Diurnal churn, anchored to the region's local time.
+    if (profile.diurnal_churn.base_per_hour > 0) {
+      auto params = profile.diurnal_churn;
+      params.tz_offset_hours = topo_.region(region_id).tz_offset_hours;
+      DiurnalArrivalProcess process(params);
+      for (const SimTime t : process.sample(rng_, 0, horizon)) {
+        const Owner& owner = owners[pool[region][pick.sample(rng_)]];
+        const SimDuration life = profile.lifetime.sample(rng_);
+        out.push_back(make_request(profile, owner, region_id, t, t + life));
+      }
+    }
+
+    // Bursty churn: each burst is one service rolling out a large
+    // deployment (the paper: spikes are "mainly caused by the deployment
+    // behavior of some large services").
+    if (profile.burst_churn.bursts_per_week > 0) {
+      BurstyArrivalProcess process(profile.burst_churn);
+      for (const SimTime epoch :
+           process.sample_burst_epochs(rng_, 0, horizon)) {
+        const Owner& owner = owners[pool[region][pick.sample(rng_)]];
+        const std::uint64_t size = process.sample_burst_size(rng_);
+        for (std::uint64_t i = 0; i < size; ++i) {
+          const SimTime t = epoch + process.sample_burst_offset(rng_);
+          if (t >= horizon) continue;
+          const SimDuration life = profile.lifetime.sample(rng_);
+          out.push_back(make_request(profile, owner, region_id, t, t + life));
+        }
+      }
+    }
+  }
+}
+
+std::vector<DeploymentRequest> WorkloadGenerator::generate(
+    const CloudProfile& profile, TraceStore& trace, SimTime horizon) {
+  CL_CHECK(horizon > 0);
+  profile.validate();
+  std::vector<Owner> owners;
+
+  AliasTable region_count_picker(profile.region_count_weights);
+
+  // First-party services (and their subscriptions).
+  for (int s = 0; s < profile.first_party_services; ++s) {
+    ServiceInfo svc;
+    svc.name = "svc-" + std::string(to_string(profile.cloud)) + "-" +
+               std::to_string(s);
+    svc.cloud = profile.cloud;
+    svc.model = rng_.bernoulli(0.5) ? ServiceModel::kPaaS
+                                    : (rng_.bernoulli(0.5)
+                                           ? ServiceModel::kSaaS
+                                           : ServiceModel::kIaaS);
+    svc.region_agnostic = rng_.bernoulli(profile.region_agnostic_prob);
+    const ServiceId service = trace.add_service(svc);
+
+    // Shared deployment shape for all of the service's subscriptions.
+    const std::size_t k = region_count_picker.sample(rng_) + 1;
+    const auto regions = sample_regions(k);
+
+    const int nsubs =
+        1 + static_cast<int>(rng_.poisson(
+                std::max(0.0, profile.subs_per_service_mean - 1.0)));
+    for (int i = 0; i < nsubs; ++i) {
+      SubscriptionInfo sub;
+      sub.cloud = profile.cloud;
+      sub.party = PartyType::kFirstParty;
+      sub.service = service;
+      const SubscriptionId sub_id = trace.add_subscription(sub);
+
+      Owner owner;
+      owner.sub = sub_id;
+      owner.service = service;
+      owner.party = PartyType::kFirstParty;
+      owner.regions = regions;
+      owner.region_agnostic = svc.region_agnostic;
+      sample_pattern_params(profile, owner);
+      owners.push_back(std::move(owner));
+    }
+  }
+
+  // Third-party customer subscriptions.
+  for (int s = 0; s < profile.third_party_subscriptions; ++s) {
+    SubscriptionInfo sub;
+    sub.cloud = profile.cloud;
+    sub.party = PartyType::kThirdParty;
+    const SubscriptionId sub_id = trace.add_subscription(sub);
+
+    Owner owner;
+    owner.sub = sub_id;
+    owner.party = PartyType::kThirdParty;
+    owner.regions = sample_regions(region_count_picker.sample(rng_) + 1);
+    owner.region_agnostic = false;
+    sample_pattern_params(profile, owner);
+    owners.push_back(std::move(owner));
+  }
+
+  for (auto& owner : owners) sample_standing_sizes(profile, owner);
+  assign_patterns(profile.pattern_mix, owners);
+
+  std::vector<DeploymentRequest> requests;
+  for (auto& owner : owners) emit_standing(profile, owner, horizon, requests);
+  emit_churn(profile, owners, horizon, requests);
+  return requests;
+}
+
+Scenario make_scenario(const ScenarioOptions& options) {
+  CL_CHECK(options.horizon > 0 && options.horizon % kTelemetryInterval == 0);
+  Scenario scenario;
+  scenario.topology =
+      std::make_unique<Topology>(build_topology(default_topology_spec()));
+  // The telemetry grid spans the full observation horizon (one week by
+  // default, but multi-week runs are supported).
+  const TimeGrid grid{0, kTelemetryInterval,
+                      static_cast<std::size_t>(options.horizon /
+                                               kTelemetryInterval)};
+  scenario.trace =
+      std::make_unique<TraceStore>(scenario.topology.get(), grid);
+
+  const auto priv = options.scale == 1.0
+                        ? options.private_profile
+                        : options.private_profile.scaled(options.scale);
+  const auto pub = options.scale == 1.0
+                       ? options.public_profile
+                       : options.public_profile.scaled(options.scale);
+
+  WorkloadGenerator generator(*scenario.topology, options.seed);
+  auto private_requests =
+      generator.generate(priv, *scenario.trace, options.horizon);
+  auto public_requests =
+      generator.generate(pub, *scenario.trace, options.horizon);
+
+  scenario.private_stats = run_simulation(
+      *scenario.topology, *scenario.trace, std::move(private_requests));
+  scenario.public_stats = run_simulation(
+      *scenario.topology, *scenario.trace, std::move(public_requests));
+  return scenario;
+}
+
+}  // namespace cloudlens::workloads

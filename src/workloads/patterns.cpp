@@ -1,0 +1,127 @@
+#include "workloads/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace cloudlens::workloads {
+namespace {
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+/// Local fractional hour-of-day after applying a time-zone offset.
+double local_hour(SimTime t, double tz_offset_hours) {
+  double h = frac_hour_of_day(t) + tz_offset_hours;
+  h = std::fmod(h, 24.0);
+  if (h < 0) h += 24.0;
+  return h;
+}
+
+/// Weekday/weekend decision in *local* time.
+bool local_weekend(SimTime t, double tz_offset_hours) {
+  const auto shifted =
+      t + static_cast<SimTime>(tz_offset_hours * double(kHour));
+  return is_weekend(shifted);
+}
+
+}  // namespace
+
+std::string_view to_string(PatternType t) {
+  switch (t) {
+    case PatternType::kDiurnal: return "diurnal";
+    case PatternType::kStable: return "stable";
+    case PatternType::kIrregular: return "irregular";
+    default: return "hourly-peak";
+  }
+}
+
+double hash_uniform(std::uint64_t seed, std::int64_t key) {
+  SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(key) * 0xd1342543de82ef95ULL));
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+double hash_normal(std::uint64_t seed, std::int64_t key) {
+  // Irwin–Hall with n = 4: mean 2, variance 4/12; rescale to N(0,1) approx.
+  SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(key) * 0x2545f4914f6cdd1dULL));
+  double sum = 0;
+  for (int i = 0; i < 4; ++i)
+    sum += static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return (sum - 2.0) * std::sqrt(3.0);
+}
+
+double smooth_noise(std::uint64_t seed, SimTime t, SimDuration anchor_step) {
+  const std::int64_t k = t >= 0 ? t / anchor_step : (t - anchor_step + 1) / anchor_step;
+  const double frac =
+      static_cast<double>(t - k * anchor_step) / static_cast<double>(anchor_step);
+  const double a = hash_normal(seed, k);
+  const double b = hash_normal(seed, k + 1);
+  // Cosine interpolation for C1-smooth wander.
+  const double w = 0.5 - 0.5 * std::cos(std::numbers::pi * frac);
+  return a * (1.0 - w) + b * w;
+}
+
+double diurnal_envelope(double local_hour, double peak_hour,
+                        double width_hours) {
+  // Circular distance from the peak hour.
+  double d = std::fabs(local_hour - peak_hour);
+  d = std::min(d, 24.0 - d);
+  if (d >= width_hours / 2) return 0.0;
+  return 0.5 + 0.5 * std::cos(2.0 * std::numbers::pi * d / width_hours);
+}
+
+double DiurnalUtilization::at(SimTime t) const {
+  const double h = local_hour(t, p_.tz_offset_hours);
+  const double peak =
+      local_weekend(t, p_.tz_offset_hours) ? p_.weekend_peak : p_.weekday_peak;
+  const double env = diurnal_envelope(h, p_.peak_hour, p_.width_hours);
+  const double noise =
+      p_.noise_sigma * hash_normal(seed_, t / kTelemetryInterval) +
+      0.5 * p_.noise_sigma * smooth_noise(seed_ ^ 0xABCDULL, t, kHour);
+  return clamp01(p_.base + (peak - p_.base) * env + noise);
+}
+
+double StableUtilization::at(SimTime t) const {
+  const double wander = p_.wander_sigma * smooth_noise(seed_, t, kHour);
+  const double noise = p_.noise_sigma * hash_normal(seed_, t / kTelemetryInterval);
+  return clamp01(p_.level + wander + noise);
+}
+
+double IrregularUtilization::at(SimTime t) const {
+  const std::int64_t episode = t / p_.episode;
+  const bool spiking = hash_uniform(seed_ ^ 0x5157ULL, episode) < p_.spike_prob;
+  const double level = spiking ? p_.spike_level : p_.base;
+  const double noise = p_.noise_sigma * hash_normal(seed_, t / kTelemetryInterval);
+  return clamp01(level + noise);
+}
+
+double HourlyPeakUtilization::at(SimTime t) const {
+  const double h = local_hour(t, p_.tz_offset_hours);
+  double env = diurnal_envelope(h, p_.peak_hour, p_.width_hours);
+  if (local_weekend(t, p_.tz_offset_hours)) env *= p_.weekend_scale;
+
+  // Distance to the nearest :00 or :30 mark.
+  const SimTime in_half_hour = ((t % (kHour / 2)) + kHour / 2) % (kHour / 2);
+  const SimTime dist = std::min<SimTime>(in_half_hour, kHour / 2 - in_half_hour);
+  const bool at_half = (((t + kHour / 4) / (kHour / 2)) % 2) != 0;
+
+  double peak_contrib = 0.0;
+  if (dist < p_.peak_width) {
+    const double shape =
+        0.5 + 0.5 * std::cos(std::numbers::pi * double(dist) / double(p_.peak_width));
+    const double height = (p_.peak - p_.base) *
+                          (at_half ? p_.half_hour_peak_scale : 1.0) * env;
+    peak_contrib = height * shape;
+  }
+  const double noise = p_.noise_sigma * hash_normal(seed_, t / kTelemetryInterval);
+  return clamp01(p_.base + peak_contrib + noise);
+}
+
+std::optional<PatternType> ground_truth_pattern(const UtilizationModel* m) {
+  if (const auto* p = dynamic_cast<const PatternModel*>(m))
+    return p->pattern();
+  return std::nullopt;
+}
+
+}  // namespace cloudlens::workloads

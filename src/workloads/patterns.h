@@ -1,0 +1,146 @@
+// Utilization pattern generators.
+//
+// Section IV-A of the paper classifies VM CPU utilization into four types:
+// diurnal, stable, irregular, and hourly-peak. These classes implement each
+// type as a deterministic UtilizationModel (a pure function of time given a
+// seed), so a trace of any size can be evaluated lazily and reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "cloudsim/trace.h"
+#include "common/sim_time.h"
+
+namespace cloudlens::workloads {
+
+/// Ground-truth pattern label carried by generated models so the classifier
+/// (analysis/classifier.h) can be validated against what was planted.
+enum class PatternType { kDiurnal, kStable, kIrregular, kHourlyPeak };
+
+std::string_view to_string(PatternType t);
+
+/// Base class adding the ground-truth label to UtilizationModel.
+class PatternModel : public UtilizationModel {
+ public:
+  virtual PatternType pattern() const = 0;
+  std::string_view kind() const override { return to_string(pattern()); }
+};
+
+// --- Deterministic noise helpers (pure functions of (seed, key)) --------
+
+/// Uniform [0,1) from a 64-bit key.
+double hash_uniform(std::uint64_t seed, std::int64_t key);
+/// Approximately standard normal (Irwin–Hall of 4 uniforms, rescaled).
+double hash_normal(std::uint64_t seed, std::int64_t key);
+/// Smooth "value noise": hash_normal at hourly anchors, cosine-interpolated;
+/// gives slowly wandering telemetry rather than white noise.
+double smooth_noise(std::uint64_t seed, SimTime t, SimDuration anchor_step);
+
+/// Raised-cosine daytime envelope in [0, 1]: 0 at night, 1 at `peak_hour`
+/// local time, with the given full width (hours) of the active window.
+double diurnal_envelope(double local_hour, double peak_hour,
+                        double width_hours);
+
+// --- Pattern implementations --------------------------------------------
+
+/// Fig. 5(a): high during (local) daytime, low at night, weekday peak about
+/// three times the weekend peak (paper: ~60% weekday vs ~20% weekend).
+class DiurnalUtilization final : public PatternModel {
+ public:
+  struct Params {
+    double base = 0.05;          ///< night floor
+    double weekday_peak = 0.60;  ///< weekday daytime peak
+    double weekend_peak = 0.20;  ///< weekend daytime peak
+    double peak_hour = 14.0;     ///< local hour of the daily maximum
+    double width_hours = 14.0;   ///< active window width
+    double tz_offset_hours = 0;  ///< local-time anchor (region or global)
+    double noise_sigma = 0.02;
+  };
+
+  DiurnalUtilization(Params p, std::uint64_t seed) : p_(p), seed_(seed) {}
+  double at(SimTime t) const override;
+  PatternType pattern() const override { return PatternType::kDiurnal; }
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  std::uint64_t seed_;
+};
+
+/// Fig. 5(b) top: flat utilization with small wander (the paper extracts
+/// this class by thresholding the standard deviation).
+class StableUtilization final : public PatternModel {
+ public:
+  struct Params {
+    double level = 0.25;
+    double noise_sigma = 0.015;
+    double wander_sigma = 0.01;  ///< slow hourly drift
+  };
+
+  StableUtilization(Params p, std::uint64_t seed) : p_(p), seed_(seed) {}
+  double at(SimTime t) const override;
+  PatternType pattern() const override { return PatternType::kStable; }
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  std::uint64_t seed_;
+};
+
+/// Fig. 5(b) bottom: below ~10% most of the time, occasional unannounced
+/// spikes above 60%. Spikes are decided per fixed-size episode window from
+/// the hash so the model stays a pure function of time.
+class IrregularUtilization final : public PatternModel {
+ public:
+  struct Params {
+    double base = 0.06;
+    double spike_level = 0.70;
+    double spike_prob = 0.03;           ///< per episode window
+    SimDuration episode = 30 * kMinute; ///< spike episode granularity
+    double noise_sigma = 0.02;
+  };
+
+  IrregularUtilization(Params p, std::uint64_t seed) : p_(p), seed_(seed) {}
+  double at(SimTime t) const override;
+  PatternType pattern() const override { return PatternType::kIrregular; }
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  std::uint64_t seed_;
+};
+
+/// Fig. 5(c): sharp peaks at the top of each hour and half-hour (meeting
+/// joins), amplitude modulated by a daytime envelope, on a low base.
+class HourlyPeakUtilization final : public PatternModel {
+ public:
+  struct Params {
+    double base = 0.08;
+    double peak = 0.65;
+    double half_hour_peak_scale = 0.7;  ///< :30 peaks are slightly lower
+    SimDuration peak_width = 10 * kMinute;
+    double peak_hour = 13.0;    ///< envelope center (local)
+    double width_hours = 12.0;  ///< envelope width
+    double tz_offset_hours = 0;
+    double weekend_scale = 0.25;
+    double noise_sigma = 0.015;
+  };
+
+  HourlyPeakUtilization(Params p, std::uint64_t seed) : p_(p), seed_(seed) {}
+  double at(SimTime t) const override;
+  PatternType pattern() const override { return PatternType::kHourlyPeak; }
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  std::uint64_t seed_;
+};
+
+/// Returns the ground-truth pattern of a VM's model, or nullopt when the
+/// model was not produced by this generator (e.g. ConstantUtilization).
+std::optional<PatternType> ground_truth_pattern(const UtilizationModel* m);
+
+}  // namespace cloudlens::workloads

@@ -1,0 +1,158 @@
+#include "workloads/profiles.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cloudlens::workloads {
+
+CloudProfile CloudProfile::scaled(double factor) const {
+  CL_CHECK(factor > 0);
+  CloudProfile p = *this;
+  p.first_party_services =
+      std::max(first_party_services > 0 ? 1 : 0,
+               static_cast<int>(std::lround(first_party_services * factor)));
+  p.third_party_subscriptions = std::max(
+      third_party_subscriptions > 0 ? 1 : 0,
+      static_cast<int>(std::lround(third_party_subscriptions * factor)));
+  p.diurnal_churn.base_per_hour *= factor;
+  p.burst_churn.base_per_hour *= factor;
+  p.burst_churn.burst_size_mean *= factor;
+  return p;
+}
+
+void CloudProfile::validate() const {
+  CL_CHECK_MSG(first_party_services >= 0 && third_party_subscriptions >= 0,
+               "negative population counts");
+  CL_CHECK_MSG(first_party_services + third_party_subscriptions > 0,
+               "profile has no owners");
+  CL_CHECK(subs_per_service_mean >= 1.0);
+  CL_CHECK(deploy_size_sigma >= 0 && deploy_size_max >= 1);
+  CL_CHECK(deploy_size_mu_decay_per_region >= 0);
+  CL_CHECK_MSG(!region_count_weights.empty(),
+               "region_count_weights must not be empty");
+  double region_weight_sum = 0;
+  for (const double w : region_count_weights) {
+    CL_CHECK(w >= 0);
+    region_weight_sum += w;
+  }
+  CL_CHECK_MSG(region_weight_sum > 0, "region weights all zero");
+  CL_CHECK(region_agnostic_prob >= 0 && region_agnostic_prob <= 1);
+  CL_CHECK(sku_mix_prob >= 0 && sku_mix_prob <= 1);
+  CL_CHECK_MSG(pattern_mix.diurnal >= 0 && pattern_mix.stable >= 0 &&
+                   pattern_mix.irregular >= 0 && pattern_mix.hourly_peak >= 0,
+               "negative pattern mix weight");
+  CL_CHECK_MSG(pattern_mix.diurnal + pattern_mix.stable +
+                       pattern_mix.irregular + pattern_mix.hourly_peak >
+                   0,
+               "pattern mix all zero");
+  CL_CHECK(phase_jitter_hours >= 0);
+  CL_CHECK(diurnal_churn.base_per_hour >= 0);
+  CL_CHECK(burst_churn.bursts_per_week >= 0);
+  CL_CHECK(standing_end_prob >= 0 && standing_end_prob <= 1);
+  CL_CHECK(standing_age_max > 0);
+}
+
+CloudProfile CloudProfile::azure_private() {
+  CloudProfile p;
+  p.name = "azure-private";
+  p.cloud = CloudType::kPrivate;
+  // Private clusters host a narrow band of VM shapes (Fig. 2(a)).
+  p.catalog = SkuCatalog::mainstream();
+
+  // ~100 large first-party services; subscription count is ~1/40 the
+  // public profile's, giving the ~20x subscriptions-per-cluster gap of
+  // Fig. 1(b).
+  p.first_party_services = 120;
+  p.subs_per_service_mean = 1.4;
+  p.third_party_subscriptions = 0;
+
+  // Large deployments: LogNormal median 90 VMs per region (Fig. 1(a)).
+  p.deploy_size_mu = std::log(90.0);
+  p.deploy_size_sigma = 0.9;
+  p.deploy_size_max = 3000;
+  // Multi-region services keep per-region deployments slightly smaller so
+  // single-region subscriptions end up holding ~40% of cores (Fig. 4(b)).
+  p.deploy_size_mu_decay_per_region = 0.04;
+  // 58% single-region; a fatter multi-region tail than public (Fig. 4(a)).
+  p.region_count_weights = {0.58, 0.16, 0.09, 0.06, 0.04,
+                            0.03, 0.02, 0.01, 0.005, 0.005};
+  // Most first-party services sit behind geo-level load balancers
+  // (the ServiceX case study, Fig. 7(c)).
+  p.region_agnostic_prob = 0.75;
+  p.sku_mix_prob = 0.05;  // homogeneous shapes within a service
+
+  // Fig. 5(d): diurnal dominant (~1.8x the public share), strong
+  // hourly-peak presence (work-related activity), little stable mass.
+  p.pattern_mix = {0.66, 0.10, 0.04, 0.20};
+  p.phase_jitter_hours = 0.75;  // work hours align tightly
+
+  p.lifetime = LifetimeModel::azure_private();
+
+  // Fig. 3(b,c): low-amplitude deployments with occasional large bursts.
+  p.diurnal_churn.base_per_hour = 22.0;
+  p.diurnal_churn.floor = 0.35;
+  p.diurnal_churn.weekend_scale = 0.55;
+  p.burst_churn.base_per_hour = 0.0;  // background handled by diurnal_churn
+  p.burst_churn.bursts_per_week = 2.5;
+  p.burst_churn.burst_size_mean = 500.0;
+  p.burst_churn.burst_size_sigma = 0.6;
+  p.burst_churn.burst_window = 2 * kHour;
+
+  p.standing_end_prob = 0.10;
+  return p;
+}
+
+CloudProfile CloudProfile::azure_public() {
+  CloudProfile p;
+  p.name = "azure-public";
+  p.cloud = CloudType::kPublic;
+  // Public demand extends to tiny burstable and very large VMs (Fig. 2(b)).
+  {
+    std::vector<VmSku> skus = {
+        {"B1ls", 1, 0.5}, {"B1s", 1, 1},   {"B2s", 2, 4},
+        {"D1", 1, 4},     {"D2", 2, 8},    {"D4", 4, 16},
+        {"D8", 8, 32},    {"D16", 16, 64}, {"E32", 32, 256},
+        {"E48", 48, 384}, {"M32", 32, 512},
+    };
+    std::vector<double> w = {0.10, 0.10, 0.08, 0.17, 0.24, 0.16,
+                             0.08, 0.04, 0.015, 0.005, 0.01};
+    p.catalog = SkuCatalog(std::move(skus), std::move(w));
+  }
+
+  // A small first-party presence plus a large third-party customer base.
+  p.first_party_services = 20;
+  p.subs_per_service_mean = 1.3;
+  p.third_party_subscriptions = 6500;
+
+  // Small deployments: LogNormal median ~2 VMs per region.
+  p.deploy_size_mu = std::log(2.2);
+  p.deploy_size_sigma = 1.15;
+  p.deploy_size_max = 500;
+  p.deploy_size_mu_decay_per_region = 0.25;
+  // 80% single-region; single-region subs hold ~70% of cores (Fig. 4).
+  p.region_count_weights = {0.80, 0.12, 0.04, 0.02, 0.01,
+                            0.005, 0.003, 0.001, 0.0005, 0.0005};
+  p.region_agnostic_prob = 0.50;  // first-party services only
+  p.sku_mix_prob = 0.25;          // customers mix shapes more freely
+
+  // Fig. 5(d): diurnal still the most common, but stable nearly ties;
+  // hourly-peak is rare.
+  p.pattern_mix = {0.48, 0.32, 0.12, 0.08};
+  // Customers serve their own geographies: phases disperse widely, which
+  // flattens the aggregate daily profile (Fig. 6(d)).
+  p.phase_jitter_hours = 12.0;
+
+  p.lifetime = LifetimeModel::azure_public();
+
+  // Fig. 3(c): clear, stable diurnal creation pattern from autoscaling.
+  p.diurnal_churn.base_per_hour = 150.0;
+  p.diurnal_churn.floor = 0.15;
+  p.diurnal_churn.weekend_scale = 0.45;
+  p.burst_churn.bursts_per_week = 0.0;  // no bursty component
+
+  p.standing_end_prob = 0.12;
+  return p;
+}
+
+}  // namespace cloudlens::workloads

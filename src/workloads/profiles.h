@@ -1,0 +1,97 @@
+// Calibrated cloud workload profiles.
+//
+// Each CloudProfile encodes one of the paper's two workload populations.
+// Every parameter is tied to a quantitative statement in the paper; see the
+// factory functions' comments and DESIGN.md §1 for the mapping. The absolute
+// scale (thousands of subscriptions rather than tens of thousands, tens of
+// thousands of VMs rather than millions) is ~1:40 of the paper's dataset so
+// the full pipeline runs in seconds; all reported statistics are ratios,
+// shares, and correlations, which are scale-free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloudsim/sku.h"
+#include "cloudsim/types.h"
+#include "workloads/arrivals.h"
+#include "workloads/lifetime.h"
+
+namespace cloudlens::workloads {
+
+/// Shares of the four utilization patterns among an owner population
+/// (Fig. 5(d)). Need not sum to exactly 1; they are normalized on use.
+struct PatternMix {
+  double diurnal = 0.40;
+  double stable = 0.38;
+  double irregular = 0.14;
+  double hourly_peak = 0.08;
+};
+
+struct CloudProfile {
+  std::string name;
+  CloudType cloud = CloudType::kPublic;
+  SkuCatalog catalog;
+
+  // --- Ownership population -------------------------------------------
+  /// First-party services (each gets its own subscription(s)).
+  int first_party_services = 0;
+  /// Expected subscriptions per first-party service (>= 1).
+  double subs_per_service_mean = 1.1;
+  /// Independent third-party customer subscriptions.
+  int third_party_subscriptions = 0;
+
+  // --- Deployment shape -------------------------------------------------
+  /// VMs per subscription per deployed region ~ clamp(LogNormal(mu, sigma)).
+  double deploy_size_mu = 1.4;
+  double deploy_size_sigma = 1.0;
+  int deploy_size_max = 4000;
+  /// Subscriptions deploying into k regions have per-region deployment
+  /// log-size reduced by decay*(k-1) — controls how total cores split
+  /// between single- and multi-region subscriptions (Fig. 4(b)).
+  double deploy_size_mu_decay_per_region = 0.0;
+  /// P(subscription deploys in exactly k regions), k = 1..weights.size().
+  std::vector<double> region_count_weights = {1.0};
+  /// Probability a first-party service is geo-load-balanced
+  /// (region-agnostic demand; Fig. 7).
+  double region_agnostic_prob = 0.0;
+  /// Probability a VM deviates from its owner's chosen SKU.
+  double sku_mix_prob = 0.1;
+
+  // --- Utilization -------------------------------------------------------
+  PatternMix pattern_mix;
+  /// Diurnal/hourly-peak anchor jitter around the owner's local time zone
+  /// (hours). Public customers serve their own geographies, dispersing
+  /// phases; first-party work activity is tightly aligned.
+  double phase_jitter_hours = 1.0;
+  /// Anchor time zone used by region-agnostic services (constant across
+  /// regions so their peaks align; Fig. 7(c)).
+  double agnostic_anchor_tz = -5.0;
+
+  // --- Temporal churn ----------------------------------------------------
+  LifetimeModel lifetime = LifetimeModel::azure_public();
+  /// Diurnal churn (per region). Set base_per_hour = 0 to disable.
+  DiurnalArrivalProcess::Params diurnal_churn;
+  /// Bursty churn (per region). Set bursts_per_week = 0 to disable.
+  BurstyArrivalProcess::Params burst_churn;
+  /// Probability a standing (pre-window) VM terminates during the window.
+  double standing_end_prob = 0.10;
+  /// Standing VMs were created up to this long before the window.
+  SimDuration standing_age_max = 30 * kDay;
+
+  /// Scale the population and churn by `factor` (for fast tests).
+  CloudProfile scaled(double factor) const;
+
+  /// Throws CheckError when any parameter is out of its valid range
+  /// (called by WorkloadGenerator before generation).
+  void validate() const;
+
+  /// The private-cloud profile: few, large, homogeneous, bursty,
+  /// region-agnostic-leaning first-party deployments.
+  static CloudProfile azure_private();
+  /// The public-cloud profile: many small diverse customer subscriptions,
+  /// strong diurnal autoscaling churn, extreme VM-size tails.
+  static CloudProfile azure_public();
+};
+
+}  // namespace cloudlens::workloads

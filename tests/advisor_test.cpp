@@ -1,0 +1,117 @@
+#include "policies/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "kb/extractor.h"
+#include "testutil.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens::policies {
+namespace {
+
+using workloads::DiurnalUtilization;
+using workloads::HourlyPeakUtilization;
+using workloads::StableUtilization;
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  AdvisorTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+
+  SubscriptionId add_sub(CloudType cloud) {
+    SubscriptionInfo info;
+    info.cloud = cloud;
+    return fx_.trace.add_subscription(info);
+  }
+
+  Topology topo_;
+  test::TraceFixture fx_;
+};
+
+TEST_F(AdvisorTest, RoutesOwnersToMatchingPolicies) {
+  const NodeId node = test::first_node(topo_, CloudType::kPublic);
+
+  // Spot candidate: many short-lived VMs.
+  const SubscriptionId churner = add_sub(CloudType::kPublic);
+  for (int i = 0; i < 10; ++i)
+    fx_.add_vm(CloudType::kPublic, churner, node, 1, i * kHour,
+               i * kHour + 10 * kMinute);
+
+  // Oversubscription candidate: stable low utilization.
+  const SubscriptionId steady = add_sub(CloudType::kPublic);
+  StableUtilization::Params sp;
+  sp.level = 0.12;
+  for (int i = 0; i < 3; ++i)
+    fx_.add_vm(CloudType::kPublic, steady, node, 2, -kDay, kNoEnd,
+               std::make_shared<StableUtilization>(sp, 10 + i));
+
+  // Pre-provisioning candidate: hourly-peak.
+  const SubscriptionId bursty = add_sub(CloudType::kPublic);
+  for (int i = 0; i < 3; ++i)
+    fx_.add_vm(CloudType::kPublic, bursty, node, 2, -kDay, kNoEnd,
+               std::make_shared<HourlyPeakUtilization>(
+                   HourlyPeakUtilization::Params{}, 20 + i));
+
+  const kb::KnowledgeBase knowledge(kb::extract_all(fx_.trace));
+  const auto report = advise(fx_.trace, knowledge, CloudType::kPublic);
+
+  EXPECT_GE(report.count(ActionKind::kAdoptSpot), 1u);
+  EXPECT_GE(report.count(ActionKind::kOversubscribe), 1u);
+  EXPECT_GE(report.count(ActionKind::kPreprovision), 1u);
+
+  bool churner_spot = false;
+  for (const auto& r : report.recommendations) {
+    if (r.subscription == churner && r.action == ActionKind::kAdoptSpot)
+      churner_spot = true;
+  }
+  EXPECT_TRUE(churner_spot);
+  EXPECT_GT(report.spot.candidate_share, 0.9);
+}
+
+TEST_F(AdvisorTest, RegionAgnosticOwnersFlaggedForRebalance) {
+  const NodeId n0 = test::first_node(topo_, CloudType::kPrivate);
+  const auto clusters1 = topo_.clusters_in(RegionId(1), CloudType::kPrivate);
+  const NodeId n1 = topo_.cluster(clusters1[0]).nodes.front();
+
+  DiurnalUtilization::Params p;
+  p.tz_offset_hours = -5;
+  for (int i = 0; i < 3; ++i) {
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n0, 2, -kDay, kNoEnd,
+               std::make_shared<DiurnalUtilization>(p, 30 + i));
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n1, 2, -kDay, kNoEnd,
+               std::make_shared<DiurnalUtilization>(p, 40 + i), RegionId(1));
+  }
+  const kb::KnowledgeBase knowledge(kb::extract_all(fx_.trace));
+  const auto report = advise(fx_.trace, knowledge, CloudType::kPrivate);
+  EXPECT_GE(report.count(ActionKind::kRegionRebalance), 1u);
+}
+
+TEST_F(AdvisorTest, RenderMentionsActionsAndCounts) {
+  const NodeId node = test::first_node(topo_, CloudType::kPublic);
+  const SubscriptionId churner = add_sub(CloudType::kPublic);
+  for (int i = 0; i < 10; ++i)
+    fx_.add_vm(CloudType::kPublic, churner, node, 1, i * kHour,
+               i * kHour + 10 * kMinute);
+  const kb::KnowledgeBase knowledge(kb::extract_all(fx_.trace));
+  const auto report = advise(fx_.trace, knowledge, CloudType::kPublic);
+  const std::string text = render_report(fx_.trace, report);
+  EXPECT_NE(text.find("adopt-spot"), std::string::npos);
+  EXPECT_NE(text.find("oversubscribe"), std::string::npos);
+  EXPECT_NE(text.find("top recommendations"), std::string::npos);
+}
+
+TEST_F(AdvisorTest, EmptyKnowledgeBaseYieldsNoRecommendations) {
+  const kb::KnowledgeBase empty;
+  const auto report = advise(fx_.trace, empty, CloudType::kPublic);
+  EXPECT_TRUE(report.recommendations.empty());
+}
+
+TEST(ActionKindTest, Names) {
+  EXPECT_EQ(to_string(ActionKind::kAdoptSpot), "adopt-spot");
+  EXPECT_EQ(to_string(ActionKind::kOversubscribe), "oversubscribe");
+  EXPECT_EQ(to_string(ActionKind::kDeferToValley), "defer-to-valley");
+  EXPECT_EQ(to_string(ActionKind::kPreprovision), "preprovision");
+  EXPECT_EQ(to_string(ActionKind::kRegionRebalance), "region-rebalance");
+}
+
+}  // namespace
+}  // namespace cloudlens::policies

@@ -1,0 +1,96 @@
+#include "policies/allocation_risk.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testutil.h"
+
+namespace cloudlens::policies {
+namespace {
+
+class AllocationRiskTest : public ::testing::Test {
+ protected:
+  // tiny_topology: private region 0 = 1 cluster x 2 racks x 4 nodes,
+  // 16 cores per node = 128 cores total.
+  AllocationRiskTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+  Topology topo_;
+  test::TraceFixture fx_;
+  NodeId node_{test::first_node(topo_, CloudType::kPrivate)};
+};
+
+TEST_F(AllocationRiskTest, EmptyRegionAlwaysFits) {
+  const auto report = assess_allocation_risk(
+      fx_.trace, CloudType::kPrivate, RegionId(0), 8, 16.0);
+  EXPECT_DOUBLE_EQ(report.failure_probability, 0.0);
+  EXPECT_NEAR(report.mean_free_cores, 128.0, 1e-9);
+}
+
+TEST_F(AllocationRiskTest, OversizedDeploymentAlwaysFails) {
+  const auto report = assess_allocation_risk(
+      fx_.trace, CloudType::kPrivate, RegionId(0), 9, 16.0);  // 144 > 128
+  EXPECT_DOUBLE_EQ(report.failure_probability, 1.0);
+}
+
+TEST_F(AllocationRiskTest, VmLargerThanNodeNeverFits) {
+  const auto report = assess_allocation_risk(
+      fx_.trace, CloudType::kPrivate, RegionId(0), 1, 17.0);
+  EXPECT_DOUBLE_EQ(report.failure_probability, 1.0);
+}
+
+TEST_F(AllocationRiskTest, OccupancyRaisesRisk) {
+  // Fill half the region for half the week.
+  for (int n = 0; n < 8; ++n) {
+    const auto clusters = topo_.clusters_in(RegionId(0), CloudType::kPrivate);
+    const NodeId node = topo_.cluster(clusters[0]).nodes[n % 8];
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 8, 0, kWeek / 2);
+  }
+  // A 12x8-core deployment (96 cores) fails while occupancy holds 64 cores
+  // (only 64 free), succeeds afterwards.
+  const auto report = assess_allocation_risk(
+      fx_.trace, CloudType::kPrivate, RegionId(0), 12, 8.0);
+  EXPECT_GT(report.failure_probability, 0.3);
+  EXPECT_LT(report.failure_probability, 0.7);
+}
+
+TEST_F(AllocationRiskTest, LargerDeploymentsRiskier) {
+  // Insight 1: at the same occupancy, larger deployment sizes fail more.
+  for (int n = 0; n < 8; ++n) {
+    const auto clusters = topo_.clusters_in(RegionId(0), CloudType::kPrivate);
+    const NodeId node = topo_.cluster(clusters[0]).nodes[n % 8];
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 10, 0, kNoEnd);
+  }
+  const auto small = assess_allocation_risk(fx_.trace, CloudType::kPrivate,
+                                            RegionId(0), 2, 4.0);
+  const auto large = assess_allocation_risk(fx_.trace, CloudType::kPrivate,
+                                            RegionId(0), 16, 4.0);
+  EXPECT_LE(small.failure_probability, large.failure_probability);
+  EXPECT_DOUBLE_EQ(small.failure_probability, 0.0);
+  EXPECT_DOUBLE_EQ(large.failure_probability, 1.0);  // 64 cores free < 64
+                                                     // needed w/ 6-core gaps
+}
+
+TEST_F(AllocationRiskTest, FragmentationMatters) {
+  // 8 nodes each with 10 cores used leaves 6 free per node: a 12-core VM
+  // cannot fit anywhere even though 48 cores are free in total.
+  for (int n = 0; n < 8; ++n) {
+    const auto clusters = topo_.clusters_in(RegionId(0), CloudType::kPrivate);
+    const NodeId node = topo_.cluster(clusters[0]).nodes[n % 8];
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 10, 0, kNoEnd);
+  }
+  const auto report = assess_allocation_risk(fx_.trace, CloudType::kPrivate,
+                                             RegionId(0), 1, 12.0);
+  EXPECT_DOUBLE_EQ(report.failure_probability, 1.0);
+  EXPECT_GT(report.mean_free_cores, 40.0);
+}
+
+TEST_F(AllocationRiskTest, InvalidArgsThrow) {
+  EXPECT_THROW(assess_allocation_risk(fx_.trace, CloudType::kPrivate,
+                                      RegionId(0), 0, 4.0),
+               CheckError);
+  EXPECT_THROW(assess_allocation_risk(fx_.trace, CloudType::kPrivate,
+                                      RegionId(0), 1, 0.0),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace cloudlens::policies

@@ -1,0 +1,178 @@
+#include "cloudsim/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "testutil.h"
+
+namespace cloudlens {
+namespace {
+
+VmRequest request(SubscriptionId sub, CloudType cloud, double cores = 4,
+                  RegionId region = RegionId(0)) {
+  VmRequest req;
+  req.subscription = sub;
+  req.cloud = cloud;
+  req.region = region;
+  req.cores = cores;
+  req.memory_gb = cores * 4;
+  return req;
+}
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest() : topo_(test::tiny_topology()) {}
+  Topology topo_;
+  SubscriptionId sub_{0};
+};
+
+TEST_F(AllocatorTest, PlacesInRequestedRegionAndCloud) {
+  Allocator alloc(topo_);
+  const auto placement =
+      alloc.allocate(request(sub_, CloudType::kPrivate), VmId(0));
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(topo_.node(placement->node).cloud, CloudType::kPrivate);
+  EXPECT_EQ(topo_.node(placement->node).region, RegionId(0));
+  EXPECT_EQ(alloc.stats().requests, 1u);
+  EXPECT_EQ(alloc.stats().failures, 0u);
+}
+
+TEST_F(AllocatorTest, TracksUsedCores) {
+  Allocator alloc(topo_);
+  const auto placement =
+      alloc.allocate(request(sub_, CloudType::kPublic, 6), VmId(0));
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_DOUBLE_EQ(alloc.node_used_cores(placement->node), 6);
+  EXPECT_DOUBLE_EQ(alloc.node_free_cores(placement->node), 10);
+  EXPECT_DOUBLE_EQ(alloc.node_used_memory_gb(placement->node), 24);
+}
+
+TEST_F(AllocatorTest, ReleaseFreesCapacity) {
+  Allocator alloc(topo_);
+  const auto placement =
+      alloc.allocate(request(sub_, CloudType::kPublic, 6), VmId(0));
+  ASSERT_TRUE(placement.has_value());
+  alloc.release(VmId(0));
+  EXPECT_DOUBLE_EQ(alloc.node_used_cores(placement->node), 0);
+}
+
+TEST_F(AllocatorTest, ReleaseUnknownVmIsNoop) {
+  Allocator alloc(topo_);
+  alloc.release(VmId(123));  // must not throw
+}
+
+TEST_F(AllocatorTest, DoubleAllocateSameVmThrows) {
+  Allocator alloc(topo_);
+  ASSERT_TRUE(alloc.allocate(request(sub_, CloudType::kPublic), VmId(0)));
+  EXPECT_THROW(alloc.allocate(request(sub_, CloudType::kPublic), VmId(0)),
+               CheckError);
+}
+
+TEST_F(AllocatorTest, FailsWhenRegionFull) {
+  Allocator alloc(topo_);
+  // Region 0 private capacity: 8 nodes x 16 cores = 128 cores.
+  std::uint32_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        alloc.allocate(request(sub_, CloudType::kPrivate, 16), VmId(id++)));
+  }
+  EXPECT_FALSE(
+      alloc.allocate(request(sub_, CloudType::kPrivate, 16), VmId(id++)));
+  EXPECT_EQ(alloc.stats().failures, 1u);
+  EXPECT_NEAR(alloc.stats().failure_rate(), 1.0 / 9.0, 1e-12);
+}
+
+TEST_F(AllocatorTest, DoesNotSpillToOtherCloudOrRegion) {
+  Allocator alloc(topo_);
+  std::uint32_t id = 0;
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(
+        alloc.allocate(request(sub_, CloudType::kPrivate, 16), VmId(id++)));
+  // Private region 0 is full; public region 0 and private region 1 are
+  // untouched, but a private region-0 request must still fail.
+  EXPECT_FALSE(
+      alloc.allocate(request(sub_, CloudType::kPrivate, 16), VmId(id++)));
+  EXPECT_TRUE(alloc.allocate(request(sub_, CloudType::kPublic, 16), VmId(id++)));
+  EXPECT_TRUE(alloc.allocate(
+      request(sub_, CloudType::kPrivate, 16, RegionId(1)), VmId(id++)));
+}
+
+TEST_F(AllocatorTest, MemoryConstraintRespected) {
+  Allocator alloc(topo_);
+  VmRequest req = request(sub_, CloudType::kPublic, 1);
+  req.memory_gb = 64;  // full node memory
+  ASSERT_TRUE(alloc.allocate(req, VmId(0)));
+  // 16 nodes of public capacity in region 0 (1 cluster x 2 racks x 4 nodes
+  // = 8 nodes). Fill the rest.
+  std::uint32_t id = 1;
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(alloc.allocate(req, VmId(id++)));
+  EXPECT_FALSE(alloc.allocate(req, VmId(id++)));  // memory exhausted
+  EXPECT_GT(alloc.node_free_cores(NodeId(0)), 0);  // cores were not
+}
+
+TEST_F(AllocatorTest, SpreadsOwnerAcrossRacks) {
+  Allocator alloc(topo_);
+  // Two same-owner VMs: the second must land on the other rack.
+  const auto p1 = alloc.allocate(request(sub_, CloudType::kPrivate), VmId(0));
+  const auto p2 = alloc.allocate(request(sub_, CloudType::kPrivate), VmId(1));
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_NE(p1->rack, p2->rack);
+}
+
+TEST_F(AllocatorTest, SpreadingDisabledPacksBestFit) {
+  AllocatorOptions opts;
+  opts.spread_fault_domains = false;
+  Allocator alloc(topo_, opts);
+  const auto p1 =
+      alloc.allocate(request(sub_, CloudType::kPrivate, 4), VmId(0));
+  const auto p2 =
+      alloc.allocate(request(sub_, CloudType::kPrivate, 4), VmId(1));
+  ASSERT_TRUE(p1 && p2);
+  // Best-fit packs onto the same node (it has the least leftover).
+  EXPECT_EQ(p1->node, p2->node);
+}
+
+TEST_F(AllocatorTest, DifferentOwnersShareRacksFreely) {
+  Allocator alloc(topo_);
+  SubscriptionId other(1);
+  const auto p1 = alloc.allocate(request(sub_, CloudType::kPrivate), VmId(0));
+  const auto p2 = alloc.allocate(request(other, CloudType::kPrivate), VmId(1));
+  ASSERT_TRUE(p1 && p2);
+  // Different owners best-fit onto the same node: no spreading pressure.
+  EXPECT_EQ(p1->node, p2->node);
+}
+
+TEST_F(AllocatorTest, ServiceIdentityUsedForSpreadingWhenPresent) {
+  Allocator alloc(topo_);
+  VmRequest a = request(sub_, CloudType::kPrivate);
+  a.service = ServiceId(7);
+  VmRequest b = request(SubscriptionId(1), CloudType::kPrivate);
+  b.service = ServiceId(7);  // same service, different subscription
+  const auto p1 = alloc.allocate(a, VmId(0));
+  const auto p2 = alloc.allocate(b, VmId(1));
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_NE(p1->rack, p2->rack);  // spread by service identity
+}
+
+TEST_F(AllocatorTest, ReleaseRestoresSpreadingCounts) {
+  Allocator alloc(topo_);
+  const auto p1 = alloc.allocate(request(sub_, CloudType::kPrivate), VmId(0));
+  ASSERT_TRUE(p1);
+  alloc.release(VmId(0));
+  // After release the same rack is preferred again (best-fit tie-break).
+  const auto p2 = alloc.allocate(request(sub_, CloudType::kPrivate), VmId(1));
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(p1->node, p2->node);
+}
+
+TEST_F(AllocatorTest, InvalidRequestThrows) {
+  Allocator alloc(topo_);
+  VmRequest bad = request(sub_, CloudType::kPublic);
+  bad.cores = 0;
+  EXPECT_THROW(alloc.allocate(bad, VmId(0)), CheckError);
+}
+
+}  // namespace
+}  // namespace cloudlens

@@ -1,0 +1,155 @@
+#include "workloads/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cloudlens::workloads {
+namespace {
+
+std::vector<double> hourly_counts(const std::vector<SimTime>& arrivals,
+                                  SimTime begin, SimTime end) {
+  std::vector<double> counts((end - begin) / kHour, 0.0);
+  for (const SimTime t : arrivals)
+    ++counts[static_cast<std::size_t>((t - begin) / kHour)];
+  return counts;
+}
+
+TEST(DiurnalArrivalTest, RatePeaksAtPeakHour) {
+  DiurnalArrivalProcess process({});
+  const double at_peak = process.rate_per_hour(kDay + 14 * kHour);
+  const double at_night = process.rate_per_hour(kDay + 3 * kHour);
+  EXPECT_GT(at_peak, at_night * 2);
+  EXPECT_NEAR(at_peak, process.params().base_per_hour, 1e-9);
+}
+
+TEST(DiurnalArrivalTest, WeekendScaleApplies) {
+  DiurnalArrivalProcess process({});
+  const double weekday = process.rate_per_hour(2 * kDay + 14 * kHour);
+  const double weekend = process.rate_per_hour(5 * kDay + 14 * kHour);
+  EXPECT_NEAR(weekend / weekday, process.params().weekend_scale, 1e-9);
+}
+
+TEST(DiurnalArrivalTest, TimeZoneShiftsRate) {
+  DiurnalArrivalProcess::Params p;
+  p.tz_offset_hours = -8;
+  DiurnalArrivalProcess west(p);
+  // 14:00 sim-clock is 06:00 local in the west: low rate.
+  EXPECT_LT(west.rate_per_hour(14 * kHour),
+            west.rate_per_hour(22 * kHour));
+}
+
+TEST(DiurnalArrivalTest, ArrivalsSortedAndInWindow) {
+  DiurnalArrivalProcess process({});
+  Rng rng(1);
+  const auto arrivals = process.sample(rng, kDay, 2 * kDay);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  for (const SimTime t : arrivals) {
+    EXPECT_GE(t, kDay);
+    EXPECT_LT(t, 2 * kDay);
+  }
+}
+
+TEST(DiurnalArrivalTest, CountMatchesIntegratedRate) {
+  DiurnalArrivalProcess process({});
+  Rng rng(2);
+  double expected = 0;
+  for (SimTime h = 0; h < kWeek; h += kHour)
+    expected += process.rate_per_hour(h + kHour / 2);
+  const auto arrivals = process.sample(rng, 0, kWeek);
+  EXPECT_NEAR(double(arrivals.size()), expected, expected * 0.05);
+}
+
+TEST(DiurnalArrivalTest, DaytimeArrivalsDominate) {
+  DiurnalArrivalProcess process({});
+  Rng rng(3);
+  const auto arrivals = process.sample(rng, 0, 5 * kDay);
+  std::size_t day = 0, night = 0;
+  for (const SimTime t : arrivals) {
+    const int h = hour_of_day(t);
+    if (h >= 10 && h < 18) ++day;
+    if (h >= 0 && h < 8) ++night;
+  }
+  EXPECT_GT(day, night * 2);
+}
+
+TEST(BurstyArrivalTest, EpochCountMatchesRate) {
+  BurstyArrivalProcess::Params p;
+  p.bursts_per_week = 4.0;
+  BurstyArrivalProcess process(p);
+  Rng rng(4);
+  double total = 0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i)
+    total += double(process.sample_burst_epochs(rng, 0, kWeek).size());
+  EXPECT_NEAR(total / trials, 4.0, 0.35);
+}
+
+TEST(BurstyArrivalTest, BurstSizeLognormalMean) {
+  BurstyArrivalProcess::Params p;
+  p.burst_size_mean = 300;
+  p.burst_size_sigma = 0.5;
+  BurstyArrivalProcess process(p);
+  Rng rng(5);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i)
+    sum += double(process.sample_burst_size(rng));
+  // Lognormal mean = exp(mu + sigma^2/2) = 300 * exp(0.125).
+  EXPECT_NEAR(sum / n, 300 * std::exp(0.125), 15.0);
+}
+
+TEST(BurstyArrivalTest, OffsetsWithinWindow) {
+  BurstyArrivalProcess process({});
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const SimDuration off = process.sample_burst_offset(rng);
+    EXPECT_GE(off, 0);
+    EXPECT_LE(off, process.params().burst_window);
+  }
+}
+
+TEST(BurstyArrivalTest, HigherCvThanDiurnal) {
+  // The Fig. 3(d) contrast at the arrival-process level: hourly counts of
+  // the bursty process vary far more than the diurnal process's.
+  DiurnalArrivalProcess diurnal({});
+  BurstyArrivalProcess::Params bp;
+  bp.base_per_hour = 4.0;
+  bp.bursts_per_week = 3.0;
+  bp.burst_size_mean = 500;
+  BurstyArrivalProcess bursty(bp);
+  Rng rng1(7), rng2(8);
+  const auto cv = [](const std::vector<double>& xs) {
+    return stats::coefficient_of_variation(xs);
+  };
+  const double diurnal_cv =
+      cv(hourly_counts(diurnal.sample(rng1, 0, kWeek), 0, kWeek));
+  const double bursty_cv =
+      cv(hourly_counts(bursty.sample(rng2, 0, kWeek), 0, kWeek));
+  EXPECT_GT(bursty_cv, 2.0 * diurnal_cv);
+}
+
+TEST(BurstyArrivalTest, SampleSortedWithinWindow) {
+  BurstyArrivalProcess process({});
+  Rng rng(9);
+  const auto arrivals = process.sample(rng, kDay, 3 * kDay);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  for (const SimTime t : arrivals) {
+    EXPECT_GE(t, kDay);
+    EXPECT_LT(t, 3 * kDay);
+  }
+}
+
+TEST(ArrivalsTest, InvalidWindowThrows) {
+  DiurnalArrivalProcess diurnal({});
+  BurstyArrivalProcess bursty({});
+  Rng rng(10);
+  EXPECT_THROW(diurnal.sample(rng, kDay, kDay), CheckError);
+  EXPECT_THROW(bursty.sample_burst_epochs(rng, 2 * kDay, kDay), CheckError);
+}
+
+}  // namespace
+}  // namespace cloudlens::workloads

@@ -1,0 +1,74 @@
+#include "stats/boxplot.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cloudlens::stats {
+namespace {
+
+TEST(BoxStatsTest, EmptySample) {
+  const BoxStats b = box_stats(std::vector<double>{});
+  EXPECT_EQ(b.count, 0u);
+}
+
+TEST(BoxStatsTest, QuartilesOfUniformRamp) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(i);
+  const BoxStats b = box_stats(xs);
+  EXPECT_DOUBLE_EQ(b.median, 51);
+  EXPECT_DOUBLE_EQ(b.q1, 26);
+  EXPECT_DOUBLE_EQ(b.q3, 76);
+  // No outliers in a uniform ramp; whiskers hit the extremes.
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 101);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(BoxStatsTest, OutliersBeyondFences) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 100};
+  const BoxStats b = box_stats(xs);
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100);
+  EXPECT_LT(b.whisker_hi, 100);
+}
+
+TEST(BoxStatsTest, WhiskersWithinFences) {
+  std::vector<double> xs = {0, 10, 11, 12, 13, 14, 15, 16, 30};
+  const BoxStats b = box_stats(xs);
+  const double iqr = b.q3 - b.q1;
+  EXPECT_GE(b.whisker_lo, b.q1 - 1.5 * iqr);
+  EXPECT_LE(b.whisker_hi, b.q3 + 1.5 * iqr);
+  // Whiskers are actual data points.
+  EXPECT_TRUE(std::find(xs.begin(), xs.end(), b.whisker_lo) != xs.end());
+  EXPECT_TRUE(std::find(xs.begin(), xs.end(), b.whisker_hi) != xs.end());
+}
+
+TEST(BoxStatsTest, ConstantSample) {
+  const BoxStats b = box_stats(std::vector<double>{5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(b.median, 5);
+  EXPECT_DOUBLE_EQ(b.q1, 5);
+  EXPECT_DOUBLE_EQ(b.q3, 5);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 5);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 5);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(BoxStatsTest, SingleElement) {
+  const BoxStats b = box_stats(std::vector<double>{42});
+  EXPECT_EQ(b.count, 1u);
+  EXPECT_DOUBLE_EQ(b.median, 42);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 42);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 42);
+}
+
+TEST(BoxStatsTest, UnsortedInputHandled) {
+  const BoxStats a = box_stats(std::vector<double>{3, 1, 2, 5, 4});
+  const BoxStats b = box_stats(std::vector<double>{1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.q1, b.q1);
+  EXPECT_DOUBLE_EQ(a.q3, b.q3);
+}
+
+}  // namespace
+}  // namespace cloudlens::stats

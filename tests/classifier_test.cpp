@@ -1,0 +1,169 @@
+#include "analysis/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens::analysis {
+namespace {
+
+using workloads::DiurnalUtilization;
+using workloads::HourlyPeakUtilization;
+using workloads::IrregularUtilization;
+using workloads::StableUtilization;
+
+template <typename Model>
+stats::TimeSeries evaluate(const Model& model) {
+  const TimeGrid grid = week_telemetry_grid();
+  stats::TimeSeries s(grid);
+  for (std::size_t i = 0; i < grid.count; ++i) s[i] = model.at(grid.at(i));
+  return s;
+}
+
+TEST(ClassifierTest, StableClassified) {
+  const StableUtilization model({}, 1);
+  EXPECT_EQ(classify(evaluate(model)), UtilizationClass::kStable);
+}
+
+TEST(ClassifierTest, DiurnalClassified) {
+  const DiurnalUtilization model({}, 2);
+  EXPECT_EQ(classify(evaluate(model)), UtilizationClass::kDiurnal);
+}
+
+TEST(ClassifierTest, HourlyPeakClassified) {
+  const HourlyPeakUtilization model({}, 3);
+  EXPECT_EQ(classify(evaluate(model)), UtilizationClass::kHourlyPeak);
+}
+
+TEST(ClassifierTest, IrregularClassified) {
+  IrregularUtilization::Params p;
+  p.spike_prob = 0.05;
+  const IrregularUtilization model(p, 4);
+  EXPECT_EQ(classify(evaluate(model)), UtilizationClass::kIrregular);
+}
+
+TEST(ClassifierTest, ConstantSeriesIsStable) {
+  stats::TimeSeries s(week_telemetry_grid());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = 0.42;
+  EXPECT_EQ(classify(s), UtilizationClass::kStable);
+}
+
+TEST(ClassifierTest, ToStringNames) {
+  EXPECT_EQ(to_string(UtilizationClass::kDiurnal), "diurnal");
+  EXPECT_EQ(to_string(UtilizationClass::kStable), "stable");
+  EXPECT_EQ(to_string(UtilizationClass::kIrregular), "irregular");
+  EXPECT_EQ(to_string(UtilizationClass::kHourlyPeak), "hourly-peak");
+}
+
+// Classification must be robust across seeds, not just one lucky draw.
+class ClassifierSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClassifierSeedSweep, DiurnalRobustAcrossSeeds) {
+  DiurnalUtilization::Params p;
+  p.noise_sigma = 0.05;  // realistic per-VM noise
+  const DiurnalUtilization model(p, GetParam());
+  EXPECT_EQ(classify(evaluate(model)), UtilizationClass::kDiurnal);
+}
+
+TEST_P(ClassifierSeedSweep, HourlyRobustAcrossSeeds) {
+  HourlyPeakUtilization::Params p;
+  p.noise_sigma = 0.04;
+  const HourlyPeakUtilization model(p, GetParam());
+  EXPECT_EQ(classify(evaluate(model)), UtilizationClass::kHourlyPeak);
+}
+
+TEST_P(ClassifierSeedSweep, StableRobustAcrossSeeds) {
+  const StableUtilization model({}, GetParam());
+  EXPECT_EQ(classify(evaluate(model)), UtilizationClass::kStable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierSeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// Amplitude sweep: diurnal detection should hold from modest to large
+// amplitudes as long as the series is not stable-flat.
+class DiurnalAmplitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiurnalAmplitudeSweep, DetectedAcrossAmplitudes) {
+  DiurnalUtilization::Params p;
+  p.base = 0.05;
+  p.weekday_peak = p.base + GetParam();
+  p.weekend_peak = p.base + GetParam() * 0.4;
+  p.noise_sigma = 0.03;
+  const DiurnalUtilization model(p, 5);
+  EXPECT_EQ(classify(evaluate(model)), UtilizationClass::kDiurnal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, DiurnalAmplitudeSweep,
+                         ::testing::Values(0.2, 0.3, 0.4, 0.5));
+
+TEST(ClassifierTest, ThresholdOptionsChangeStableBoundary) {
+  DiurnalUtilization::Params p;
+  p.base = 0.20;
+  p.weekday_peak = 0.26;  // very low amplitude
+  p.weekend_peak = 0.22;
+  p.noise_sigma = 0.005;
+  const auto series = evaluate(DiurnalUtilization(p, 6));
+  ClassifierOptions strict;
+  strict.stable_stddev_max = 0.001;  // nothing is stable
+  ClassifierOptions lax;
+  lax.stable_stddev_max = 0.20;  // everything is stable
+  EXPECT_EQ(classify(series, lax), UtilizationClass::kStable);
+  EXPECT_NE(classify(series, strict), UtilizationClass::kStable);
+}
+
+TEST(ClassifyPopulationTest, RecoversPlantedMixture) {
+  const Topology topo = test::tiny_topology();
+  test::TraceFixture fx(topo);
+  const NodeId node = test::first_node(topo, CloudType::kPrivate);
+  // Plant 12 diurnal, 6 stable, 2 hourly-peak.
+  for (int i = 0; i < 12; ++i)
+    fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 1, -kDay, kNoEnd,
+              std::make_shared<DiurnalUtilization>(
+                  DiurnalUtilization::Params{}, 100 + i));
+  for (int i = 0; i < 6; ++i)
+    fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 1, -kDay, kNoEnd,
+              std::make_shared<StableUtilization>(StableUtilization::Params{},
+                                                  200 + i));
+  for (int i = 0; i < 2; ++i)
+    fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 1, -kDay, kNoEnd,
+              std::make_shared<HourlyPeakUtilization>(
+                  HourlyPeakUtilization::Params{}, 300 + i));
+
+  const auto shares = classify_population(fx.trace, CloudType::kPrivate, 0);
+  EXPECT_EQ(shares.classified, 20u);
+  EXPECT_NEAR(shares.diurnal, 0.60, 1e-9);
+  EXPECT_NEAR(shares.stable, 0.30, 1e-9);
+  EXPECT_NEAR(shares.hourly_peak, 0.10, 1e-9);
+  EXPECT_NEAR(shares.irregular, 0.0, 1e-9);
+}
+
+TEST(ClassifyPopulationTest, SkipsNonCoveringVms) {
+  const Topology topo = test::tiny_topology();
+  test::TraceFixture fx(topo);
+  const NodeId node = test::first_node(topo, CloudType::kPrivate);
+  // Alive only half the window: not classified.
+  fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 1, 3 * kDay, kNoEnd,
+            std::make_shared<StableUtilization>(StableUtilization::Params{},
+                                                1));
+  const auto shares = classify_population(fx.trace, CloudType::kPrivate, 0);
+  EXPECT_EQ(shares.classified, 0u);
+}
+
+TEST(ClassifyPopulationTest, MaxVmsCapsSample) {
+  const Topology topo = test::tiny_topology();
+  test::TraceFixture fx(topo);
+  const NodeId node = test::first_node(topo, CloudType::kPrivate);
+  for (int i = 0; i < 40; ++i)
+    fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 1, -kDay, kNoEnd,
+              std::make_shared<StableUtilization>(StableUtilization::Params{},
+                                                  i));
+  const auto shares = classify_population(fx.trace, CloudType::kPrivate, 10);
+  EXPECT_LE(shares.classified, 20u);
+  EXPECT_GE(shares.classified, 10u);
+  EXPECT_NEAR(shares.stable, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cloudlens::analysis

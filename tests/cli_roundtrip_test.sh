@@ -1,0 +1,14 @@
+#!/bin/sh
+# End-to-end CLI round trip: generate -> insights -> figures -> advise.
+set -e
+CLI="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+"$CLI" generate --out "$DIR" --scale 0.12 --seed 9 --util-vms 2500
+"$CLI" insights --in "$DIR"
+"$CLI" figures --in "$DIR"
+test -s "$DIR/fig1a_vms_per_subscription.csv"
+test -s "$DIR/fig5d_pattern_shares.csv"
+test -s "$DIR/fig6_weekly_private.csv"
+"$CLI" advise --in "$DIR" --cloud public | grep -q "adopt-spot"
+echo "CLI round trip OK"

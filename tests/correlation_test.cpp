@@ -1,0 +1,111 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cloudlens::stats {
+namespace {
+
+TEST(PearsonTest, PerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ShiftAndScaleInvariant) {
+  cloudlens::Rng rng(1);
+  std::vector<double> x(200), y(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = 5.0 * x[i] - 3.0;
+  }
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-9);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {3, 3, 3};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(y, x), 0.0);
+}
+
+TEST(PearsonTest, IndependentNoiseNearZero) {
+  cloudlens::Rng rng(2);
+  std::vector<double> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+}
+
+TEST(PearsonTest, LengthMismatchThrows) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(pearson(x, y), cloudlens::CheckError);
+}
+
+TEST(PearsonTest, TooShortGivesZero) {
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1}, std::vector<double>{2}),
+                   0.0);
+}
+
+TEST(PearsonTest, SymmetricInArguments) {
+  cloudlens::Rng rng(3);
+  std::vector<double> x(100), y(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform() + 0.5 * x[i];
+  }
+  EXPECT_DOUBLE_EQ(pearson(x, y), pearson(y, x));
+}
+
+TEST(PearsonTest, PhaseShiftedSinusoidsDecorrelate) {
+  // A quarter-period shift (orthogonal phases) drives Pearson to ~0 — the
+  // mechanism behind Fig. 7(b)'s low public cross-region correlations for
+  // time-zone-shifted workloads.
+  std::vector<double> x, y;
+  for (int i = 0; i < 240; ++i) {
+    const double t = 2 * M_PI * i / 24.0;
+    x.push_back(std::sin(t));
+    y.push_back(std::sin(t + M_PI / 2));
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.02);
+}
+
+TEST(SpearmanTest, MonotonicNonlinearIsOne) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.1 * i));  // nonlinear but monotone
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-9);
+  // Pearson is below 1 for nonlinear relations.
+  EXPECT_LT(pearson(x, y), 0.999);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-9);
+}
+
+TEST(SpearmanTest, AntiMonotone) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 8, 7, 3, 1};
+  EXPECT_NEAR(spearman(x, y), -1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cloudlens::stats

@@ -1,0 +1,117 @@
+#include "analysis/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace cloudlens::analysis {
+namespace {
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  DeploymentTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+
+  SubscriptionId add_sub(CloudType cloud) {
+    SubscriptionInfo info;
+    info.cloud = cloud;
+    return fx_.trace.add_subscription(info);
+  }
+
+  Topology topo_;
+  test::TraceFixture fx_;
+};
+
+TEST_F(DeploymentTest, VmsPerSubscriptionCountsAliveOnly) {
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  // 3 alive at snapshot, 1 dead before, 1 created after.
+  for (int i = 0; i < 3; ++i)
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 2, 0, kNoEnd);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 2, 0, kHour);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 2, 5 * kDay, kNoEnd);
+
+  const auto sizes =
+      vms_per_subscription(fx_.trace, CloudType::kPrivate, 2 * kDay);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_DOUBLE_EQ(sizes[0], 3.0);
+}
+
+TEST_F(DeploymentTest, VmsPerSubscriptionSkipsOtherCloud) {
+  const NodeId node = test::first_node(topo_, CloudType::kPublic);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 2, 0, kNoEnd);
+  EXPECT_TRUE(
+      vms_per_subscription(fx_.trace, CloudType::kPrivate, kDay).empty());
+  EXPECT_EQ(vms_per_subscription(fx_.trace, CloudType::kPublic, kDay).size(),
+            1u);
+}
+
+TEST_F(DeploymentTest, SubscriptionsPerClusterCountsDistinct) {
+  const NodeId node = test::first_node(topo_, CloudType::kPublic);
+  const SubscriptionId another = add_sub(CloudType::kPublic);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 2, 0, kNoEnd);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 2, 0, kNoEnd);
+  fx_.add_vm(CloudType::kPublic, another, node, 2, 0, kNoEnd);
+
+  const auto counts =
+      subscriptions_per_cluster(fx_.trace, CloudType::kPublic, kDay);
+  // tiny_topology has 4 public clusters (2 regions x 1 dc x 1 per cloud)…
+  // actually 2 regions x 1 dc x 1 cluster per cloud = 2 public clusters.
+  ASSERT_EQ(counts.size(), 2u);
+  // Sorted ascending: the empty cluster then the one with 2 subscriptions.
+  EXPECT_DOUBLE_EQ(counts[0], 0.0);
+  EXPECT_DOUBLE_EQ(counts[1], 2.0);
+}
+
+TEST_F(DeploymentTest, VmSizeHeatmapCounts) {
+  const NodeId node = test::first_node(topo_, CloudType::kPublic);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 1, 0, kNoEnd);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 8, 0, kNoEnd);
+  const auto hist = vm_size_heatmap(fx_.trace, CloudType::kPublic, kDay, 8);
+  EXPECT_EQ(hist.total_count(), 2u);
+  // Dead or other-cloud VMs are excluded.
+  const auto empty = vm_size_heatmap(fx_.trace, CloudType::kPrivate, kDay, 8);
+  EXPECT_EQ(empty.total_count(), 0u);
+}
+
+TEST_F(DeploymentTest, RegionSpreadSingleRegion) {
+  const NodeId node = test::first_node(topo_, CloudType::kPublic);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 4, 0, kNoEnd);
+  const auto spread = region_spread(fx_.trace, CloudType::kPublic, kDay);
+  ASSERT_EQ(spread.regions_per_subscription.size(), 1u);
+  EXPECT_DOUBLE_EQ(spread.regions_per_subscription[0], 1.0);
+  EXPECT_DOUBLE_EQ(spread.single_region_core_share, 1.0);
+  EXPECT_DOUBLE_EQ(spread.cumulative_core_share.back(), 1.0);
+}
+
+TEST_F(DeploymentTest, RegionSpreadMultiRegionCoreShares) {
+  // Subscription A: 4 cores in region 0 only.
+  // Subscription B: 4 cores in region 0 and 8 in region 1.
+  const SubscriptionId b = add_sub(CloudType::kPublic);
+  const auto pub_clusters0 = topo_.clusters_in(RegionId(0), CloudType::kPublic);
+  const auto pub_clusters1 = topo_.clusters_in(RegionId(1), CloudType::kPublic);
+  const NodeId node0 = topo_.cluster(pub_clusters0[0]).nodes.front();
+  const NodeId node1 = topo_.cluster(pub_clusters1[0]).nodes.front();
+
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node0, 4, 0, kNoEnd);
+  fx_.add_vm(CloudType::kPublic, b, node0, 4, 0, kNoEnd);
+  fx_.add_vm(CloudType::kPublic, b, node1, 8, 0, kNoEnd, nullptr, RegionId(1));
+
+  const auto spread = region_spread(fx_.trace, CloudType::kPublic, kDay);
+  ASSERT_EQ(spread.regions_per_subscription.size(), 2u);
+  EXPECT_DOUBLE_EQ(spread.regions_per_subscription[0], 1.0);
+  EXPECT_DOUBLE_EQ(spread.regions_per_subscription[1], 2.0);
+  // Single-region sub holds 4 of 16 cores.
+  EXPECT_DOUBLE_EQ(spread.single_region_core_share, 0.25);
+  EXPECT_DOUBLE_EQ(spread.cumulative_core_share[0], 0.25);
+  EXPECT_DOUBLE_EQ(spread.cumulative_core_share[1], 1.0);
+}
+
+TEST_F(DeploymentTest, EmptyTraceGivesEmptyResults) {
+  EXPECT_TRUE(
+      vms_per_subscription(fx_.trace, CloudType::kPublic, kDay).empty());
+  const auto spread = region_spread(fx_.trace, CloudType::kPublic, kDay);
+  EXPECT_TRUE(spread.regions_per_subscription.empty());
+  EXPECT_DOUBLE_EQ(spread.single_region_core_share, 0.0);
+}
+
+}  // namespace
+}  // namespace cloudlens::analysis

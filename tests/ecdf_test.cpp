@@ -1,0 +1,107 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cloudlens::stats {
+namespace {
+
+TEST(EcdfTest, AtStepFunction) {
+  Ecdf e(std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(100.0), 1.0);
+}
+
+TEST(EcdfTest, AtWithDuplicates) {
+  Ecdf e(std::vector<double>{1, 1, 1, 2});
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.at(1.5), 0.75);
+}
+
+TEST(EcdfTest, EmptyBehaviour) {
+  Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.at(3.0), 0.0);
+  EXPECT_THROW(e.inverse(0.5), cloudlens::CheckError);
+  EXPECT_THROW(e.min(), cloudlens::CheckError);
+}
+
+TEST(EcdfTest, InverseIsQuantile) {
+  Ecdf e(std::vector<double>{10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(e.inverse(0.0), 10);
+  EXPECT_DOUBLE_EQ(e.inverse(0.5), 30);
+  EXPECT_DOUBLE_EQ(e.inverse(1.0), 50);
+}
+
+TEST(EcdfTest, MonotonicEverywhere) {
+  cloudlens::Rng rng(3);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.lognormal(0, 1);
+  Ecdf e(xs);
+  double prev = -1;
+  for (double x = 0.0; x < 10.0; x += 0.05) {
+    const double f = e.at(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(EcdfTest, CurveEndpoints) {
+  Ecdf e(std::vector<double>{1, 2, 3});
+  const auto ys = e.curve(11);
+  ASSERT_EQ(ys.size(), 11u);
+  EXPECT_GT(ys.front(), 0.0);  // F(min) counts the min sample
+  EXPECT_DOUBLE_EQ(ys.back(), 1.0);
+  for (std::size_t i = 1; i < ys.size(); ++i) EXPECT_GE(ys[i], ys[i - 1]);
+}
+
+TEST(EcdfTest, SortedIsSorted) {
+  Ecdf e(std::vector<double>{3, 1, 2});
+  const auto s = e.sorted();
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(KsStatisticTest, IdenticalSamplesZero) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  Ecdf a(xs), b(xs);
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.0);
+}
+
+TEST(KsStatisticTest, DisjointSamplesOne) {
+  Ecdf a(std::vector<double>{1, 2, 3});
+  Ecdf b(std::vector<double>{10, 20, 30});
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(KsStatisticTest, SymmetricAndBounded) {
+  cloudlens::Rng rng(4);
+  std::vector<double> xs(300), ys(200);
+  for (auto& x : xs) x = rng.normal(0, 1);
+  for (auto& y : ys) y = rng.normal(0.5, 1);
+  Ecdf a(xs), b(ys);
+  const double d1 = ks_statistic(a, b);
+  const double d2 = ks_statistic(b, a);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_LE(d1, 1.0);
+}
+
+TEST(KsStatisticTest, SeparatedCloudsShowLargeGap) {
+  // Mimics Fig. 1(a): private deployments (large) vs public (small) should
+  // be clearly separated in KS distance.
+  cloudlens::Rng rng(5);
+  std::vector<double> priv(400), pub(400);
+  for (auto& x : priv) x = rng.lognormal(std::log(100.0), 0.9);
+  for (auto& x : pub) x = rng.lognormal(std::log(3.0), 1.1);
+  EXPECT_GT(ks_statistic(Ecdf(priv), Ecdf(pub)), 0.7);
+}
+
+}  // namespace
+}  // namespace cloudlens::stats

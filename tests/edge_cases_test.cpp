@@ -1,0 +1,137 @@
+// Cross-cutting edge-case coverage: error paths and boundary behaviour not
+// exercised by the per-module suites.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "cloudsim/trace_io.h"
+#include "testutil.h"
+#include "workloads/generator.h"
+#include "workloads/profiles.h"
+
+namespace cloudlens {
+namespace {
+
+TEST(CheckMacroTest, MessagesCarryContext) {
+  try {
+    CL_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("edge_cases_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(IdTest, StreamingAndValidity) {
+  std::ostringstream os;
+  os << NodeId(7) << ' ' << SubscriptionId(3) << ' ' << ServiceId();
+  EXPECT_EQ(os.str(), "node-7 sub-3 svc-4294967295");
+  EXPECT_FALSE(NodeId().valid());
+  EXPECT_TRUE(NodeId(0).valid());
+  EXPECT_LT(NodeId(1), NodeId(2));
+  EXPECT_EQ(std::hash<NodeId>{}(NodeId(5)), std::hash<NodeId>{}(NodeId(5)));
+}
+
+TEST(ProfileValidationTest, DefaultsAreValid) {
+  workloads::CloudProfile::azure_private().validate();
+  workloads::CloudProfile::azure_public().validate();
+  workloads::CloudProfile::azure_public().scaled(0.01).validate();
+}
+
+TEST(ProfileValidationTest, BadParametersRejected) {
+  auto p = workloads::CloudProfile::azure_public();
+  p.region_count_weights.clear();
+  EXPECT_THROW(p.validate(), CheckError);
+
+  p = workloads::CloudProfile::azure_public();
+  p.pattern_mix = {0, 0, 0, 0};
+  EXPECT_THROW(p.validate(), CheckError);
+
+  p = workloads::CloudProfile::azure_public();
+  p.region_agnostic_prob = 1.5;
+  EXPECT_THROW(p.validate(), CheckError);
+
+  p = workloads::CloudProfile::azure_public();
+  p.first_party_services = 0;
+  p.third_party_subscriptions = 0;
+  EXPECT_THROW(p.validate(), CheckError);
+
+  p = workloads::CloudProfile::azure_public();
+  p.standing_end_prob = -0.1;
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(ProfileValidationTest, GeneratorRejectsInvalidProfile) {
+  const Topology topo = test::tiny_topology();
+  TraceStore trace(&topo);
+  workloads::WorkloadGenerator gen(topo, 1);
+  auto p = workloads::CloudProfile::azure_public();
+  p.sku_mix_prob = 2.0;
+  EXPECT_THROW(gen.generate(p, trace), CheckError);
+}
+
+TEST(TraceStoreEdgeTest, SetVmDeletedValidation) {
+  const Topology topo = test::tiny_topology();
+  test::TraceFixture fx(topo);
+  const NodeId node = test::first_node(topo, CloudType::kPrivate);
+  const VmId id =
+      fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 2, kHour, kDay);
+  // Cannot extend the life or terminate before creation.
+  EXPECT_THROW(fx.trace.set_vm_deleted(id, 2 * kDay), CheckError);
+  EXPECT_THROW(fx.trace.set_vm_deleted(id, kHour), CheckError);
+  EXPECT_THROW(fx.trace.set_vm_deleted(VmId(99), kHour), CheckError);
+  fx.trace.set_vm_deleted(id, 2 * kHour);
+  EXPECT_EQ(fx.trace.vm(id).deleted, 2 * kHour);
+}
+
+TEST(SampledUtilizationEdgeTest, SingleSampleGrid) {
+  SampledUtilization model(TimeGrid{0, kHour, 1}, {0.42});
+  EXPECT_DOUBLE_EQ(model.at(-kWeek), 0.42);
+  EXPECT_DOUBLE_EQ(model.at(0), 0.42);
+  EXPECT_DOUBLE_EQ(model.at(kWeek), 0.42);
+}
+
+TEST(TraceIoEdgeTest, UtilizationRowsOutsideGridIgnored) {
+  const Topology topo = test::tiny_topology();
+  test::TraceFixture fx(topo);
+  const NodeId node = test::first_node(topo, CloudType::kPrivate);
+  fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 2, -kDay, kNoEnd,
+            std::make_shared<ConstantUtilization>(0.5));
+  std::ostringstream topo_out, vm_out;
+  export_topology(topo, topo_out);
+  export_vm_table(fx.trace, vm_out);
+  std::istringstream topo_in(topo_out.str()), vm_in(vm_out.str());
+  // Rows before and after the window plus one valid row.
+  std::istringstream util_in(
+      "vm,timestamp,avg_cpu\n0,-300,0.9\n0,999999999,0.9\n0,600,0.5\n");
+  const auto imported = import_trace(topo_in, vm_in, &util_in);
+  const auto& model = imported.trace->vm(VmId(0)).utilization;
+  ASSERT_NE(model, nullptr);
+  EXPECT_DOUBLE_EQ(model->at(600), 0.5);
+  EXPECT_DOUBLE_EQ(model->at(kDay), 0.0);  // unfilled slots default to 0
+}
+
+TEST(AllocatorEdgeTest, NodeAvailabilityToggle) {
+  const Topology topo = test::tiny_topology();
+  Allocator alloc(topo);
+  const NodeId node = test::first_node(topo, CloudType::kPrivate);
+  EXPECT_TRUE(alloc.node_available(node));
+  alloc.set_node_available(node, false);
+  EXPECT_FALSE(alloc.node_available(node));
+  alloc.set_node_available(node, true);
+  EXPECT_TRUE(alloc.node_available(node));
+  EXPECT_THROW(alloc.set_node_available(NodeId(), false), CheckError);
+}
+
+TEST(ConstantUtilizationTest, KindTag) {
+  const ConstantUtilization model(0.5);
+  EXPECT_EQ(model.kind(), "unknown");  // base-class default
+  EXPECT_DOUBLE_EQ(model.at(123456), 0.5);
+}
+
+}  // namespace
+}  // namespace cloudlens

@@ -1,0 +1,148 @@
+// Failure injection: node outages in the simulator.
+#include <gtest/gtest.h>
+
+#include "cloudsim/simulator.h"
+#include "testutil.h"
+
+namespace cloudlens {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+
+  DeploymentRequest request(SimTime create, SimTime remove,
+                            double cores = 4) {
+    DeploymentRequest req;
+    req.request.subscription = fx_.private_sub;
+    req.request.cloud = CloudType::kPrivate;
+    req.request.region = RegionId(0);
+    req.request.cores = cores;
+    req.request.memory_gb = cores * 4;
+    req.create = create;
+    req.remove = remove;
+    req.utilization = std::make_shared<ConstantUtilization>(0.3);
+    return req;
+  }
+
+  Topology topo_;
+  test::TraceFixture fx_;
+};
+
+TEST_F(FailureInjectionTest, OutageTerminatesVmsOnNode) {
+  // One VM, no recovery: the outage at day 2 ends its life early.
+  std::vector<DeploymentRequest> reqs = {request(0, kNoEnd)};
+  FailurePolicy policy;
+  policy.resubmit = false;
+  // Probe where best-fit lands the VM, then fail that node in the real run.
+  {
+    test::TraceFixture probe(topo_);
+    run_simulation(topo_, probe.trace, reqs);
+    ASSERT_EQ(probe.trace.vms().size(), 1u);
+  }
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+
+  const auto stats = run_simulation(topo_, fx_.trace, reqs, {},
+                                    {{node, 2 * kDay}}, policy);
+  EXPECT_EQ(stats.placed, 1u);
+  EXPECT_EQ(stats.vms_failed, 1u);
+  EXPECT_EQ(stats.vms_resubmitted, 0u);
+  const VmRecord& vm = fx_.trace.vms()[0];
+  EXPECT_EQ(vm.node, node);  // best-fit lands on the first node
+  EXPECT_EQ(vm.deleted, 2 * kDay);
+}
+
+TEST_F(FailureInjectionTest, RecoveryResubmitsOnAnotherNode) {
+  std::vector<DeploymentRequest> reqs = {request(0, kNoEnd)};
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  FailurePolicy policy;
+  policy.resubmit = true;
+  policy.recovery_delay = 30 * kMinute;
+
+  const auto stats = run_simulation(topo_, fx_.trace, reqs, {},
+                                    {{node, 2 * kDay}}, policy);
+  EXPECT_EQ(stats.vms_failed, 1u);
+  EXPECT_EQ(stats.vms_resubmitted, 1u);
+  EXPECT_EQ(stats.placed, 2u);
+  ASSERT_EQ(fx_.trace.vms().size(), 2u);
+
+  const VmRecord& original = fx_.trace.vms()[0];
+  const VmRecord& recovered = fx_.trace.vms()[1];
+  EXPECT_EQ(original.deleted, 2 * kDay);
+  EXPECT_EQ(recovered.created, 2 * kDay + 30 * kMinute);
+  EXPECT_EQ(recovered.deleted, kNoEnd);
+  EXPECT_NE(recovered.node, original.node);  // failed node unavailable
+  EXPECT_EQ(recovered.subscription, original.subscription);
+  EXPECT_DOUBLE_EQ(recovered.cores, original.cores);
+  EXPECT_EQ(recovered.utilization.get(), original.utilization.get());
+}
+
+TEST_F(FailureInjectionTest, ShortVmsNotResubmitted) {
+  // The VM would have ended 5 minutes after the outage: with a 30-minute
+  // recovery delay there is nothing left to recover.
+  std::vector<DeploymentRequest> reqs = {
+      request(0, 2 * kDay + 5 * kMinute)};
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  const auto stats =
+      run_simulation(topo_, fx_.trace, reqs, {}, {{node, 2 * kDay}});
+  EXPECT_EQ(stats.vms_failed, 1u);
+  EXPECT_EQ(stats.vms_resubmitted, 0u);
+}
+
+TEST_F(FailureInjectionTest, VmsEndedBeforeOutageUntouched) {
+  std::vector<DeploymentRequest> reqs = {request(0, kDay)};
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  const auto stats =
+      run_simulation(topo_, fx_.trace, reqs, {}, {{node, 2 * kDay}});
+  EXPECT_EQ(stats.vms_failed, 0u);
+  EXPECT_EQ(fx_.trace.vms()[0].deleted, kDay);
+}
+
+TEST_F(FailureInjectionTest, FailedNodeTakesNoNewVms) {
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  std::vector<DeploymentRequest> reqs;
+  // After the outage, submit many VMs; none may land on the dead node.
+  for (int i = 0; i < 20; ++i)
+    reqs.push_back(request(3 * kDay + i * kMinute, kNoEnd, 2));
+  run_simulation(topo_, fx_.trace, reqs, {}, {{node, 2 * kDay}});
+  for (const auto& vm : fx_.trace.vms()) EXPECT_NE(vm.node, node);
+}
+
+TEST_F(FailureInjectionTest, OutageFreesCapacityIsNotReusedOnDeadNode) {
+  // Fill the region, fail one node, then ask for one more VM: the freed
+  // capacity on the dead node must NOT satisfy it, but other removals can.
+  std::vector<DeploymentRequest> reqs;
+  for (int i = 0; i < 8; ++i) reqs.push_back(request(0, kNoEnd, 16));
+  reqs.push_back(request(3 * kDay, kNoEnd, 16));  // after the outage
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  FailurePolicy policy;
+  policy.resubmit = false;
+  const auto stats = run_simulation(topo_, fx_.trace, reqs, {},
+                                    {{node, 2 * kDay}}, policy);
+  // The region was full (8 x 16 cores on 8 x 16-core nodes); the outage
+  // killed one 16-core VM but its node is gone, so the late request fails.
+  EXPECT_EQ(stats.allocation_failures, 1u);
+}
+
+TEST_F(FailureInjectionTest, MultipleOutagesCascade) {
+  std::vector<DeploymentRequest> reqs = {request(0, kNoEnd)};
+  const auto clusters = topo_.clusters_in(RegionId(0), CloudType::kPrivate);
+  const NodeId first = topo_.cluster(clusters[0]).nodes[0];
+  const NodeId second = topo_.cluster(clusters[0]).nodes[1];
+  FailurePolicy policy;
+  policy.recovery_delay = kMinute;
+  const auto stats = run_simulation(
+      topo_, fx_.trace, reqs, {},
+      {{first, kDay}, {second, 2 * kDay}}, policy);
+  // Original dies at day 1, recovers onto `second` (best fit), which dies
+  // at day 2 and recovers again.
+  EXPECT_EQ(stats.vms_failed, 2u);
+  EXPECT_EQ(stats.vms_resubmitted, 2u);
+  ASSERT_EQ(fx_.trace.vms().size(), 3u);
+  EXPECT_EQ(fx_.trace.vms()[0].deleted, kDay);
+  EXPECT_EQ(fx_.trace.vms()[1].deleted, 2 * kDay);
+  EXPECT_EQ(fx_.trace.vms()[2].deleted, kNoEnd);
+}
+
+}  // namespace
+}  // namespace cloudlens

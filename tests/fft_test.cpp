@@ -1,0 +1,142 @@
+#include "stats/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cloudlens::stats {
+namespace {
+
+/// O(n^2) reference DFT.
+std::vector<std::complex<double>> naive_dft(
+    const std::vector<std::complex<double>>& in) {
+  const std::size_t n = in.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0, 0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * double(k) * double(j) /
+                           double(n);
+      acc += in[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(FftTest, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(FftTest, MatchesNaiveDft) {
+  cloudlens::Rng rng(1);
+  std::vector<std::complex<double>> data(64);
+  for (auto& x : data) x = {rng.normal(), rng.normal()};
+  const auto expected = naive_dft(data);
+  auto actual = data;
+  fft_inplace(actual, false);
+  for (std::size_t k = 0; k < data.size(); ++k) {
+    EXPECT_NEAR(actual[k].real(), expected[k].real(), 1e-9);
+    EXPECT_NEAR(actual[k].imag(), expected[k].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, InverseRoundTrip) {
+  cloudlens::Rng rng(2);
+  std::vector<std::complex<double>> data(128);
+  for (auto& x : data) x = {rng.uniform(), rng.uniform()};
+  auto copy = data;
+  fft_inplace(copy, false);
+  fft_inplace(copy, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real(), data[i].real(), 1e-10);
+    EXPECT_NEAR(copy[i].imag(), data[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, NonPowerOfTwoThrows) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft_inplace(data, false), cloudlens::CheckError);
+}
+
+TEST(FftTest, ParsevalHolds) {
+  cloudlens::Rng rng(3);
+  std::vector<std::complex<double>> data(256);
+  double time_energy = 0;
+  for (auto& x : data) {
+    x = {rng.normal(), 0.0};
+    time_energy += std::norm(x);
+  }
+  auto freq = data;
+  fft_inplace(freq, false);
+  double freq_energy = 0;
+  for (const auto& x : freq) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / double(data.size()), time_energy, 1e-6);
+}
+
+TEST(PeriodogramTest, PeakAtPlantedFrequency) {
+  // 512 samples, 8 cycles -> padded size 512, peak at bin 8.
+  std::vector<double> xs(512);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = std::sin(2.0 * std::numbers::pi * 8.0 * double(i) / 512.0);
+  const auto p = periodogram(xs);
+  std::size_t argmax = 1;
+  for (std::size_t k = 1; k < p.size(); ++k) {
+    if (p[k] > p[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, 8u);
+}
+
+TEST(PeriodogramTest, MeanRemovedNoDcPeak) {
+  std::vector<double> xs(128, 5.0);  // constant series
+  const auto p = periodogram(xs);
+  for (double v : p) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  cloudlens::Rng rng(4);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.normal();
+  const auto acf = autocorrelation(xs);
+  EXPECT_NEAR(acf[0], 1.0, 1e-9);
+}
+
+TEST(AutocorrelationTest, SinusoidPeaksAtPeriod) {
+  const std::size_t period = 24;
+  std::vector<double> xs(24 * 14);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = std::sin(2.0 * std::numbers::pi * double(i) / double(period));
+  const auto acf = autocorrelation(xs);
+  EXPECT_GT(acf[period], 0.9);
+  EXPECT_LT(acf[period / 2], -0.8);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseDecorrelates) {
+  cloudlens::Rng rng(5);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) x = rng.normal();
+  const auto acf = autocorrelation(xs);
+  for (std::size_t lag = 1; lag < 50; ++lag)
+    EXPECT_NEAR(acf[lag], 0.0, 0.08);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesIsDelta) {
+  std::vector<double> xs(64, 3.0);
+  const auto acf = autocorrelation(xs);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  for (std::size_t lag = 1; lag < acf.size(); ++lag)
+    EXPECT_DOUBLE_EQ(acf[lag], 0.0);
+}
+
+}  // namespace
+}  // namespace cloudlens::stats

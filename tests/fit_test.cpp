@@ -1,0 +1,159 @@
+// Profile fitting: generate -> fit must recover the planted parameters.
+#include "workloads/fit.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/insights.h"
+#include "common/check.h"
+#include "workloads/generator.h"
+
+namespace cloudlens::workloads {
+namespace {
+
+class FitTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioOptions options;
+    options.scale = 0.2;
+    options.seed = 31;
+    scenario_ = new Scenario(make_scenario(options));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static Scenario* scenario_;
+};
+
+Scenario* FitTest::scenario_ = nullptr;
+
+TEST_F(FitTest, RecoversPrivatePopulationCounts) {
+  const auto planted = CloudProfile::azure_private().scaled(0.2);
+  const auto fit = fit_profile(*scenario_->trace, CloudType::kPrivate,
+                               CloudProfile::azure_private());
+  EXPECT_EQ(fit.services_observed,
+            static_cast<std::size_t>(planted.first_party_services));
+  EXPECT_EQ(fit.profile.third_party_subscriptions, 0);
+  EXPECT_NEAR(fit.profile.subs_per_service_mean,
+              planted.subs_per_service_mean, 0.25);
+}
+
+TEST_F(FitTest, RecoversPublicPopulationCounts) {
+  const auto planted = CloudProfile::azure_public().scaled(0.2);
+  const auto fit = fit_profile(*scenario_->trace, CloudType::kPublic,
+                               CloudProfile::azure_public());
+  EXPECT_EQ(fit.profile.third_party_subscriptions,
+            planted.third_party_subscriptions);
+}
+
+TEST_F(FitTest, RecoversDeploymentSizeParameters) {
+  const auto planted = CloudProfile::azure_private().scaled(0.2);
+  const auto fit = fit_profile(*scenario_->trace, CloudType::kPrivate,
+                               CloudProfile::azure_private());
+  // mu in log space: ln(90) ~ 4.5; allow the churn/termination drift.
+  EXPECT_NEAR(fit.profile.deploy_size_mu, planted.deploy_size_mu, 0.5);
+  EXPECT_NEAR(fit.profile.deploy_size_sigma, planted.deploy_size_sigma, 0.3);
+}
+
+TEST_F(FitTest, RecoversRegionSpread) {
+  const auto planted = CloudProfile::azure_public();
+  const auto fit = fit_profile(*scenario_->trace, CloudType::kPublic,
+                               CloudProfile::azure_public());
+  ASSERT_FALSE(fit.profile.region_count_weights.empty());
+  // Single-region share ~0.80 planted.
+  EXPECT_NEAR(fit.profile.region_count_weights[0],
+              planted.region_count_weights[0], 0.08);
+}
+
+TEST_F(FitTest, RecoversLifetimeShares) {
+  const auto fit = fit_profile(*scenario_->trace, CloudType::kPublic,
+                               CloudProfile::azure_public());
+  EXPECT_NEAR(fit.profile.lifetime.shortest_bin_share(), 0.81, 0.05);
+  const auto fit_priv = fit_profile(*scenario_->trace, CloudType::kPrivate,
+                                    CloudProfile::azure_private());
+  EXPECT_NEAR(fit_priv.profile.lifetime.shortest_bin_share(), 0.49, 0.08);
+}
+
+TEST_F(FitTest, RecoversPatternMixContrast) {
+  const auto priv = fit_profile(*scenario_->trace, CloudType::kPrivate,
+                                CloudProfile::azure_private());
+  const auto pub = fit_profile(*scenario_->trace, CloudType::kPublic,
+                               CloudProfile::azure_public());
+  EXPECT_GT(priv.profile.pattern_mix.diurnal,
+            pub.profile.pattern_mix.diurnal);
+  EXPECT_GT(pub.profile.pattern_mix.stable, priv.profile.pattern_mix.stable);
+  EXPECT_GT(priv.profile.pattern_mix.hourly_peak,
+            pub.profile.pattern_mix.hourly_peak);
+}
+
+TEST_F(FitTest, RecoversChurnContrast) {
+  const auto priv = fit_profile(*scenario_->trace, CloudType::kPrivate,
+                                CloudProfile::azure_private());
+  const auto pub = fit_profile(*scenario_->trace, CloudType::kPublic,
+                               CloudProfile::azure_public());
+  // Bursts detected in the private cloud only.
+  EXPECT_GT(priv.profile.burst_churn.bursts_per_week, 0.0);
+  EXPECT_GT(priv.burst_hours_detected, 0u);
+  EXPECT_LT(pub.profile.burst_churn.bursts_per_week,
+            priv.profile.burst_churn.bursts_per_week);
+  // Public churn level is clearly higher (the diurnal autoscaling side).
+  EXPECT_GT(pub.mean_creations_per_hour_per_region,
+            2 * priv.mean_creations_per_hour_per_region);
+}
+
+TEST_F(FitTest, RecoversRegionAgnosticTendency) {
+  const auto priv = fit_profile(*scenario_->trace, CloudType::kPrivate,
+                                CloudProfile::azure_private());
+  EXPECT_GT(priv.profile.region_agnostic_prob, 0.4);
+}
+
+TEST_F(FitTest, SyntheticTwinReproducesInsights) {
+  // The headline property: generate from the *fitted* profiles and the
+  // paper's four insights must still hold in the twin.
+  ScenarioOptions twin_options;
+  twin_options.scale = 1.0;  // fitted counts already carry the scale
+  twin_options.seed = 99;
+  twin_options.private_profile =
+      fit_profile(*scenario_->trace, CloudType::kPrivate,
+                  CloudProfile::azure_private())
+          .profile;
+  twin_options.public_profile =
+      fit_profile(*scenario_->trace, CloudType::kPublic,
+                  CloudProfile::azure_public())
+          .profile;
+  const auto twin = make_scenario(twin_options);
+  const auto verdicts = analysis::evaluate_insights(*twin.trace);
+  EXPECT_TRUE(verdicts.insight1);
+  EXPECT_TRUE(verdicts.insight2);
+  EXPECT_TRUE(verdicts.insight3);
+  EXPECT_TRUE(verdicts.insight4);
+}
+
+
+TEST(FitEdgeTest, EmptyCloudRejected) {
+  const Topology topo = build_topology(default_topology_spec());
+  TraceStore trace(&topo);  // no subscriptions at all
+  EXPECT_THROW(fit_profile(trace, CloudType::kPrivate,
+                           CloudProfile::azure_private()),
+               CheckError);
+}
+
+TEST(FitEdgeTest, PopulationScaleShrinksCounts) {
+  ScenarioOptions options;
+  options.scale = 0.1;
+  const auto scenario = make_scenario(options);
+  FitOptions half;
+  half.population_scale = 0.5;
+  const auto full = fit_profile(*scenario.trace, CloudType::kPublic,
+                                CloudProfile::azure_public());
+  const auto scaled = fit_profile(*scenario.trace, CloudType::kPublic,
+                                  CloudProfile::azure_public(), half);
+  EXPECT_NEAR(double(scaled.profile.third_party_subscriptions),
+              0.5 * double(full.profile.third_party_subscriptions), 1.0);
+  EXPECT_NEAR(scaled.profile.diurnal_churn.base_per_hour,
+              0.5 * full.profile.diurnal_churn.base_per_hour,
+              0.05 * full.profile.diurnal_churn.base_per_hour);
+}
+
+}  // namespace
+}  // namespace cloudlens::workloads

@@ -1,0 +1,244 @@
+#include "workloads/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workloads/profiles.h"
+
+namespace cloudlens::workloads {
+namespace {
+
+CloudProfile small_private() {
+  auto p = CloudProfile::azure_private().scaled(0.05);
+  return p;
+}
+
+CloudProfile small_public() { return CloudProfile::azure_public().scaled(0.05); }
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest()
+      : topo_(build_topology(default_topology_spec())), trace_(&topo_) {}
+  Topology topo_;
+  TraceStore trace_;
+};
+
+TEST_F(GeneratorTest, RegistersServicesAndSubscriptions) {
+  WorkloadGenerator gen(topo_, 1);
+  gen.generate(small_private(), trace_);
+  EXPECT_GT(trace_.services().size(), 0u);
+  EXPECT_GE(trace_.subscriptions().size(), trace_.services().size());
+  for (const auto& sub : trace_.subscriptions()) {
+    EXPECT_EQ(sub.cloud, CloudType::kPrivate);
+    EXPECT_EQ(sub.party, PartyType::kFirstParty);
+    EXPECT_TRUE(sub.service.valid());
+  }
+}
+
+TEST_F(GeneratorTest, ThirdPartySubscriptionsHaveNoService) {
+  WorkloadGenerator gen(topo_, 2);
+  gen.generate(small_public(), trace_);
+  std::size_t third_party = 0;
+  for (const auto& sub : trace_.subscriptions()) {
+    if (sub.party == PartyType::kThirdParty) {
+      ++third_party;
+      EXPECT_FALSE(sub.service.valid());
+    }
+  }
+  EXPECT_GT(third_party, 0u);
+}
+
+TEST_F(GeneratorTest, RequestsReferenceRegisteredSubscriptions) {
+  WorkloadGenerator gen(topo_, 3);
+  const auto requests = gen.generate(small_private(), trace_);
+  ASSERT_FALSE(requests.empty());
+  for (const auto& req : requests) {
+    ASSERT_TRUE(req.request.subscription.valid());
+    ASSERT_LT(req.request.subscription.value(), trace_.subscriptions().size());
+    EXPECT_EQ(req.request.cloud, CloudType::kPrivate);
+    ASSERT_TRUE(req.request.region.valid());
+    ASSERT_LT(req.request.region.value(), topo_.regions().size());
+    EXPECT_GT(req.request.cores, 0);
+    EXPECT_LT(req.create, req.remove);
+    ASSERT_NE(req.utilization, nullptr);
+  }
+}
+
+TEST_F(GeneratorTest, EveryRequestCarriesPatternGroundTruth) {
+  WorkloadGenerator gen(topo_, 4);
+  const auto requests = gen.generate(small_public(), trace_);
+  for (const auto& req : requests) {
+    EXPECT_TRUE(
+        ground_truth_pattern(req.utilization.get()).has_value());
+  }
+}
+
+TEST_F(GeneratorTest, StandingPopulationPredatesWindow) {
+  WorkloadGenerator gen(topo_, 5);
+  const auto requests = gen.generate(small_private(), trace_);
+  std::size_t standing = 0, churn = 0;
+  for (const auto& req : requests) {
+    if (req.create < 0) {
+      ++standing;
+    } else {
+      ++churn;
+      EXPECT_LT(req.create, kWeek);
+    }
+  }
+  EXPECT_GT(standing, 0u);
+  EXPECT_GT(churn, 0u);
+}
+
+TEST_F(GeneratorTest, DeterministicGivenSeed) {
+  TraceStore trace_a(&topo_), trace_b(&topo_);
+  WorkloadGenerator gen_a(topo_, 42), gen_b(topo_, 42);
+  const auto ra = gen_a.generate(small_public(), trace_a);
+  const auto rb = gen_b.generate(small_public(), trace_b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); i += 97) {
+    EXPECT_EQ(ra[i].create, rb[i].create);
+    EXPECT_EQ(ra[i].remove, rb[i].remove);
+    EXPECT_EQ(ra[i].request.subscription, rb[i].request.subscription);
+    EXPECT_DOUBLE_EQ(ra[i].request.cores, rb[i].request.cores);
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  TraceStore trace_a(&topo_), trace_b(&topo_);
+  WorkloadGenerator gen_a(topo_, 1), gen_b(topo_, 2);
+  const auto ra = gen_a.generate(small_public(), trace_a);
+  const auto rb = gen_b.generate(small_public(), trace_b);
+  EXPECT_NE(ra.size(), rb.size());
+}
+
+TEST_F(GeneratorTest, SubscriptionRegionsBounded) {
+  WorkloadGenerator gen(topo_, 6);
+  const auto requests = gen.generate(small_private(), trace_);
+  std::unordered_map<SubscriptionId, std::unordered_set<RegionId>> regions;
+  for (const auto& req : requests)
+    regions[req.request.subscription].insert(req.request.region);
+  for (const auto& [_, set] : regions) {
+    EXPECT_GE(set.size(), 1u);
+    EXPECT_LE(set.size(), topo_.regions().size());
+  }
+}
+
+
+TEST_F(GeneratorTest, PatternBalancerTracksVmWeightedMix) {
+  // The VM-weighted realized pattern shares must track the configured mix
+  // even at small scale, despite heavy-tailed deployment sizes (this is
+  // what the largest-remainder balancer buys; see Fig. 5(d)).
+  auto profile = CloudProfile::azure_private().scaled(0.15);
+  profile.pattern_mix = {0.5, 0.3, 0.1, 0.1};
+  const auto requests = WorkloadGenerator(topo_, 9).generate(profile, trace_);
+  std::array<double, 4> vm_share{};
+  double total = 0;
+  for (const auto& req : requests) {
+    if (req.create >= 0) continue;  // standing population only
+    const auto truth = ground_truth_pattern(req.utilization.get());
+    ASSERT_TRUE(truth.has_value());
+    vm_share[static_cast<std::size_t>(*truth)] += 1;
+    total += 1;
+  }
+  ASSERT_GT(total, 500);
+  // An owner's whole deployment carries one pattern, so the residual is
+  // bounded by the largest single deployment's share of total VMs.
+  EXPECT_NEAR(vm_share[0] / total, 0.5, 0.06);  // diurnal
+  EXPECT_NEAR(vm_share[1] / total, 0.3, 0.06);  // stable
+  EXPECT_NEAR(vm_share[2] / total, 0.1, 0.06);  // irregular
+  EXPECT_NEAR(vm_share[3] / total, 0.1, 0.06);  // hourly-peak
+}
+
+TEST_F(GeneratorTest, SkuCatalogShapesRespectProfile) {
+  WorkloadGenerator gen(topo_, 10);
+  const auto requests = gen.generate(small_private(), trace_);
+  const auto& catalog = CloudProfile::azure_private().catalog;
+  for (std::size_t i = 0; i < requests.size(); i += 53) {
+    bool known = false;
+    for (const auto& sku : catalog.skus()) {
+      if (requests[i].request.cores == sku.cores &&
+          requests[i].request.memory_gb == sku.memory_gb)
+        known = true;
+    }
+    EXPECT_TRUE(known) << "request shape not in the profile catalog";
+  }
+}
+
+TEST(ScenarioTest, MakeScenarioRunsBothClouds) {
+  ScenarioOptions options;
+  options.scale = 0.05;
+  options.seed = 7;
+  const auto scenario = make_scenario(options);
+  EXPECT_GT(scenario.private_stats.placed, 0u);
+  EXPECT_GT(scenario.public_stats.placed, 0u);
+
+  std::size_t private_vms = 0, public_vms = 0;
+  for (const auto& vm : scenario.trace->vms()) {
+    (vm.cloud == CloudType::kPrivate ? private_vms : public_vms)++;
+  }
+  EXPECT_GT(private_vms, 100u);
+  EXPECT_GT(public_vms, 100u);
+}
+
+TEST(ScenarioTest, VmsLandInMatchingClusters) {
+  ScenarioOptions options;
+  options.scale = 0.05;
+  const auto scenario = make_scenario(options);
+  for (const auto& vm : scenario.trace->vms()) {
+    ASSERT_TRUE(vm.placed());
+    const auto& cluster = scenario.topology->cluster(vm.cluster);
+    EXPECT_EQ(cluster.cloud, vm.cloud);
+    EXPECT_EQ(cluster.region, vm.region);
+  }
+}
+
+TEST(ScenarioTest, DeterministicAcrossRuns) {
+  ScenarioOptions options;
+  options.scale = 0.05;
+  options.seed = 99;
+  const auto a = make_scenario(options);
+  const auto b = make_scenario(options);
+  EXPECT_EQ(a.trace->vms().size(), b.trace->vms().size());
+  EXPECT_EQ(a.private_stats.placed, b.private_stats.placed);
+  EXPECT_EQ(a.public_stats.placed, b.public_stats.placed);
+}
+
+TEST(CloudProfileTest, FactoriesEncodePaperContrasts) {
+  const auto priv = CloudProfile::azure_private();
+  const auto pub = CloudProfile::azure_public();
+  EXPECT_GT(priv.deploy_size_mu, pub.deploy_size_mu);          // Fig. 1(a)
+  EXPECT_GT(pub.third_party_subscriptions,
+            priv.first_party_services * 10);                   // Fig. 1(b)
+  EXPECT_GT(priv.pattern_mix.diurnal, pub.pattern_mix.diurnal);  // Fig. 5(d)
+  EXPECT_GT(pub.pattern_mix.stable, priv.pattern_mix.stable);
+  EXPECT_GT(priv.pattern_mix.hourly_peak, pub.pattern_mix.hourly_peak);
+  EXPECT_GT(priv.region_agnostic_prob, pub.region_agnostic_prob);  // Fig. 7
+  EXPECT_GT(priv.burst_churn.bursts_per_week, 0);              // Fig. 3(c)
+  EXPECT_DOUBLE_EQ(pub.burst_churn.bursts_per_week, 0);
+  EXPECT_GT(pub.lifetime.shortest_bin_share(),
+            priv.lifetime.shortest_bin_share());               // Fig. 3(a)
+  EXPECT_GT(pub.region_count_weights[0], priv.region_count_weights[0]);
+}
+
+TEST(CloudProfileTest, ScaledShrinksPopulation) {
+  const auto base = CloudProfile::azure_public();
+  const auto half = base.scaled(0.5);
+  EXPECT_EQ(half.third_party_subscriptions,
+            base.third_party_subscriptions / 2);
+  EXPECT_NEAR(half.diurnal_churn.base_per_hour,
+              base.diurnal_churn.base_per_hour / 2, 1e-9);
+  // Non-population parameters are untouched.
+  EXPECT_DOUBLE_EQ(half.deploy_size_mu, base.deploy_size_mu);
+}
+
+TEST(CloudProfileTest, ScaledNeverDropsToZero) {
+  const auto tiny = CloudProfile::azure_private().scaled(0.001);
+  EXPECT_GE(tiny.first_party_services, 1);
+}
+
+}  // namespace
+}  // namespace cloudlens::workloads

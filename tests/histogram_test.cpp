@@ -1,0 +1,133 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cloudlens::stats {
+namespace {
+
+TEST(BinAxisTest, LinearIndexing) {
+  BinAxis axis(0, 10, 5, BinScale::kLinear);
+  EXPECT_EQ(axis.index(0.0), 0u);
+  EXPECT_EQ(axis.index(1.9), 0u);
+  EXPECT_EQ(axis.index(2.0), 1u);
+  EXPECT_EQ(axis.index(9.99), 4u);
+}
+
+TEST(BinAxisTest, ClampsOutOfRange) {
+  BinAxis axis(0, 10, 5, BinScale::kLinear);
+  EXPECT_EQ(axis.index(-5.0), 0u);
+  EXPECT_EQ(axis.index(10.0), 4u);
+  EXPECT_EQ(axis.index(1e9), 4u);
+}
+
+TEST(BinAxisTest, LinearEdges) {
+  BinAxis axis(0, 10, 5, BinScale::kLinear);
+  EXPECT_DOUBLE_EQ(axis.lower_edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(axis.upper_edge(0), 2.0);
+  EXPECT_DOUBLE_EQ(axis.lower_edge(4), 8.0);
+  EXPECT_DOUBLE_EQ(axis.upper_edge(4), 10.0);
+  EXPECT_DOUBLE_EQ(axis.center(2), 5.0);
+}
+
+TEST(BinAxisTest, LogIndexing) {
+  BinAxis axis(1, 1024, 10, BinScale::kLog);
+  EXPECT_EQ(axis.index(1.0), 0u);
+  EXPECT_EQ(axis.index(1.5), 0u);
+  // Probe just inside the second bin (the exact edge 2.0 is FP-sensitive).
+  EXPECT_EQ(axis.index(2.001), 1u);
+  EXPECT_EQ(axis.index(3.9), 1u);
+  EXPECT_EQ(axis.index(1000.0), 9u);
+  EXPECT_EQ(axis.index(0.5), 0u);  // below lo clamps
+}
+
+TEST(BinAxisTest, LogEdgesGeometric) {
+  BinAxis axis(1, 100, 2, BinScale::kLog);
+  EXPECT_NEAR(axis.upper_edge(0), 10.0, 1e-9);
+  EXPECT_NEAR(axis.lower_edge(1), 10.0, 1e-9);
+  EXPECT_NEAR(axis.center(0), std::sqrt(1.0 * 10.0), 1e-9);
+}
+
+TEST(BinAxisTest, InvalidArgsThrow) {
+  EXPECT_THROW(BinAxis(0, 10, 0, BinScale::kLinear), cloudlens::CheckError);
+  EXPECT_THROW(BinAxis(5, 5, 3, BinScale::kLinear), cloudlens::CheckError);
+  EXPECT_THROW(BinAxis(0, 10, 3, BinScale::kLog), cloudlens::CheckError);
+}
+
+TEST(Histogram1DTest, CountsAndWeights) {
+  Histogram1D h(0, 10, 5);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(9.0, 2.0);
+  EXPECT_EQ(h.total_count(), 3u);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(h.weights()[0], 2.0);
+  EXPECT_DOUBLE_EQ(h.weights()[4], 2.0);
+}
+
+TEST(Histogram1DTest, NormalizedSumsToOne) {
+  Histogram1D h(0, 1, 4);
+  h.add(0.1);
+  h.add(0.4);
+  h.add(0.9);
+  const auto norm = h.normalized();
+  EXPECT_NEAR(std::accumulate(norm.begin(), norm.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram1DTest, CumulativeMonotoneEndsAtOne) {
+  Histogram1D h(0, 1, 10);
+  for (double x = 0.05; x < 1.0; x += 0.1) h.add(x);
+  const auto cum = h.cumulative();
+  for (std::size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+  EXPECT_NEAR(cum.back(), 1.0, 1e-12);
+}
+
+TEST(Histogram1DTest, EmptyNormalizedAllZero) {
+  Histogram1D h(0, 1, 4);
+  for (double v : h.normalized()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Histogram1DTest, DefaultConstructedAddThrows) {
+  Histogram1D h;
+  EXPECT_THROW(h.add(0.5), cloudlens::CheckError);
+}
+
+TEST(Histogram2DTest, CellPlacement) {
+  Histogram2D h(BinAxis(0, 10, 2, BinScale::kLinear),
+                BinAxis(0, 10, 2, BinScale::kLinear));
+  h.add(1, 1);   // (0, 0)
+  h.add(7, 1);   // (1, 0)
+  h.add(7, 8);   // (1, 1)
+  h.add(7, 8);   // (1, 1)
+  EXPECT_DOUBLE_EQ(h.weight_at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h.weight_at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h.weight_at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(h.weight_at(0, 1), 0.0);
+  EXPECT_EQ(h.total_count(), 4u);
+}
+
+TEST(Histogram2DTest, NormalizedGridMaxIsOne) {
+  Histogram2D h(BinAxis(0, 4, 2, BinScale::kLinear),
+                BinAxis(0, 4, 2, BinScale::kLinear));
+  h.add(1, 1);
+  h.add(1, 1);
+  h.add(3, 3);
+  const auto grid = h.normalized_grid();
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(grid[1][1], 0.5);
+}
+
+TEST(Histogram2DTest, EmptyGridAllZero) {
+  Histogram2D h(BinAxis(0, 4, 2, BinScale::kLinear),
+                BinAxis(0, 4, 2, BinScale::kLinear));
+  for (const auto& row : h.normalized_grid())
+    for (double v : row) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace cloudlens::stats

@@ -1,0 +1,62 @@
+#include "analysis/insights.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/generator.h"
+
+namespace cloudlens::analysis {
+namespace {
+
+TEST(InsightsTest, AllFourHoldOnCalibratedScenario) {
+  workloads::ScenarioOptions options;
+  options.scale = 0.15;
+  options.seed = 21;
+  const auto scenario = workloads::make_scenario(options);
+  const auto verdicts = evaluate_insights(*scenario.trace);
+
+  EXPECT_TRUE(verdicts.insight1)
+      << "vms/sub " << verdicts.median_vms_per_subscription.private_value
+      << " vs " << verdicts.median_vms_per_subscription.public_value;
+  EXPECT_TRUE(verdicts.insight2)
+      << "cv " << verdicts.median_creation_cv.private_value << " vs "
+      << verdicts.median_creation_cv.public_value;
+  EXPECT_TRUE(verdicts.insight3)
+      << "diurnal " << verdicts.private_mix.diurnal << " vs "
+      << verdicts.public_mix.diurnal;
+  EXPECT_TRUE(verdicts.insight4)
+      << "corr " << verdicts.median_node_correlation.private_value << " vs "
+      << verdicts.median_node_correlation.public_value;
+  EXPECT_TRUE(verdicts.all());
+}
+
+TEST(InsightsTest, SymmetricCloudsBreakTheContrasts) {
+  // Ablation at the insight level: make the "private" cloud behave like the
+  // public one — the insights must NOT be observed (no false positives).
+  workloads::ScenarioOptions options;
+  options.scale = 0.12;
+  options.seed = 22;
+  options.private_profile = workloads::CloudProfile::azure_public();
+  options.private_profile.cloud = CloudType::kPrivate;
+  const auto scenario = workloads::make_scenario(options);
+  const auto verdicts = evaluate_insights(*scenario.trace);
+  EXPECT_FALSE(verdicts.insight1);
+  EXPECT_FALSE(verdicts.insight2);
+  EXPECT_FALSE(verdicts.insight3);
+  EXPECT_FALSE(verdicts.all());
+}
+
+TEST(InsightsTest, RenderMentionsEveryInsight) {
+  workloads::ScenarioOptions options;
+  options.scale = 0.08;
+  const auto scenario = workloads::make_scenario(options);
+  const auto verdicts = evaluate_insights(*scenario.trace);
+  const std::string text = render_insights(verdicts);
+  EXPECT_NE(text.find("Insight 1"), std::string::npos);
+  EXPECT_NE(text.find("Insight 2"), std::string::npos);
+  EXPECT_NE(text.find("Insight 3"), std::string::npos);
+  EXPECT_NE(text.find("Insight 4"), std::string::npos);
+  EXPECT_NE(text.find("median VMs per subscription"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudlens::analysis

@@ -1,0 +1,77 @@
+#include "analysis/lifetime_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testutil.h"
+
+namespace cloudlens::analysis {
+namespace {
+
+TEST(LifetimePredictorTest, SurvivalStepFunction) {
+  const LifetimePredictor p({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(p.survival(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.survival(10), 0.75);
+  EXPECT_DOUBLE_EQ(p.survival(25), 0.5);
+  EXPECT_DOUBLE_EQ(p.survival(40), 0.0);
+}
+
+TEST(LifetimePredictorTest, ExpectedRemaining) {
+  const LifetimePredictor p({10, 20, 30, 40});
+  // At age 0: mean lifetime = 25.
+  EXPECT_DOUBLE_EQ(p.expected_remaining(0), 25.0);
+  // At age 15: survivors {20, 30, 40}, mean remaining = (5+15+25)/3 = 15.
+  EXPECT_DOUBLE_EQ(p.expected_remaining(15), 15.0);
+  // At age 35: only 40 survives, remaining = 5.
+  EXPECT_DOUBLE_EQ(p.expected_remaining(35), 5.0);
+}
+
+TEST(LifetimePredictorTest, TailFallbackIsAge) {
+  const LifetimePredictor p({10, 20});
+  // Beyond every observed lifetime: Lindy fallback, remaining = age.
+  EXPECT_DOUBLE_EQ(p.expected_remaining(100), 100.0);
+  EXPECT_DOUBLE_EQ(p.median_remaining(100), 100.0);
+}
+
+TEST(LifetimePredictorTest, MedianRemaining) {
+  const LifetimePredictor p({10, 20, 30, 40});
+  // At age 15: survivors {20, 30, 40}, median = 30, remaining = 15.
+  EXPECT_DOUBLE_EQ(p.median_remaining(15), 15.0);
+}
+
+TEST(LifetimePredictorTest, HeavyTailIncreasesRemaining) {
+  // With a heavy tail, conditional remaining lifetime *grows* with age —
+  // exactly why lifetime-aware migration pays off.
+  std::vector<double> lifetimes;
+  for (int i = 0; i < 900; ++i) lifetimes.push_back(600);           // 10 min
+  for (int i = 0; i < 100; ++i) lifetimes.push_back(7 * 86400.0);   // 7 days
+  const LifetimePredictor p(std::move(lifetimes));
+  EXPECT_GT(p.expected_remaining(3600), p.expected_remaining(0));
+}
+
+TEST(LifetimePredictorTest, RejectsEmptyAndNegative) {
+  EXPECT_THROW(LifetimePredictor({}), CheckError);
+  EXPECT_THROW(LifetimePredictor({5, -1}), CheckError);
+}
+
+TEST(LifetimePredictorTest, FitFromTrace) {
+  const Topology topo = test::tiny_topology();
+  test::TraceFixture fx(topo);
+  const NodeId node = test::first_node(topo, CloudType::kPublic);
+  fx.add_vm(CloudType::kPublic, fx.public_sub, node, 1, 0, kHour);
+  fx.add_vm(CloudType::kPublic, fx.public_sub, node, 1, 0, 3 * kHour);
+  fx.add_vm(CloudType::kPublic, fx.public_sub, node, 1, 0, kNoEnd);  // alive
+  const auto p = LifetimePredictor::fit(fx.trace, CloudType::kPublic);
+  EXPECT_EQ(p.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(p.survival(double(2 * kHour)), 0.5);
+}
+
+TEST(LifetimePredictorTest, FitThrowsWithoutEndedVms) {
+  const Topology topo = test::tiny_topology();
+  test::TraceFixture fx(topo);
+  EXPECT_THROW(LifetimePredictor::fit(fx.trace, CloudType::kPublic),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace cloudlens::analysis

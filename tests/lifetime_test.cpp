@@ -1,0 +1,91 @@
+#include "workloads/lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace cloudlens::workloads {
+namespace {
+
+TEST(LifetimeModelTest, SamplesWithinBins) {
+  LifetimeModel model({{kMinute, kHour, 1.0}});
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const SimDuration d = model.sample(rng);
+    EXPECT_GE(d, kMinute);
+    EXPECT_LE(d, kHour);
+  }
+}
+
+TEST(LifetimeModelTest, BinWeightsRespected) {
+  LifetimeModel model({{kMinute, 10 * kMinute, 0.7},
+                       {kHour, 2 * kHour, 0.3}});
+  Rng rng(2);
+  int short_count = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(rng) <= 10 * kMinute) ++short_count;
+  }
+  EXPECT_NEAR(short_count / double(n), 0.7, 0.02);
+}
+
+TEST(LifetimeModelTest, ShortestBinShare) {
+  LifetimeModel model({{kMinute, kHour, 2.0}, {kHour, kDay, 3.0}});
+  EXPECT_DOUBLE_EQ(model.shortest_bin_share(), 0.4);
+}
+
+TEST(LifetimeModelTest, InvalidBinsThrow) {
+  EXPECT_THROW(LifetimeModel({}), CheckError);
+  EXPECT_THROW(LifetimeModel({{kHour, kMinute, 1.0}}), CheckError);
+  EXPECT_THROW(LifetimeModel({{0, kHour, 1.0}}), CheckError);
+  EXPECT_THROW(LifetimeModel({{kMinute, kHour, 0.0}}), CheckError);  // all-zero
+}
+
+TEST(LifetimeModelTest, PaperCalibration) {
+  // The headline Fig. 3(a) statistic: 49% (private) vs 81% (public) of
+  // VMs in the shortest bin.
+  EXPECT_NEAR(LifetimeModel::azure_private().shortest_bin_share(), 0.49,
+              1e-9);
+  EXPECT_NEAR(LifetimeModel::azure_public().shortest_bin_share(), 0.81,
+              1e-9);
+}
+
+TEST(LifetimeModelTest, PublicStochasticShareMatches) {
+  const auto model = LifetimeModel::azure_public();
+  Rng rng(3);
+  int short_count = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(rng) < 30 * kMinute) ++short_count;
+  }
+  EXPECT_NEAR(short_count / double(n), 0.81, 0.02);
+}
+
+TEST(LifetimeModelTest, PrivateTailHeavierThanPublic) {
+  const auto priv = LifetimeModel::azure_private();
+  const auto pub = LifetimeModel::azure_public();
+  Rng rng1(4), rng2(4);
+  int priv_long = 0, pub_long = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (priv.sample(rng1) > kDay) ++priv_long;
+    if (pub.sample(rng2) > kDay) ++pub_long;
+  }
+  EXPECT_GT(priv_long, 3 * pub_long);
+}
+
+TEST(LifetimeModelTest, LogUniformWithinBinSkewsShort) {
+  // Log-uniform sampling puts more than half the mass below the geometric
+  // midpoint of a wide bin.
+  LifetimeModel model({{kMinute, 100 * kMinute, 1.0}});
+  Rng rng(5);
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(rng) < 10 * kMinute) ++below;  // geometric midpoint
+  }
+  EXPECT_NEAR(below / double(n), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace cloudlens::workloads

@@ -1,0 +1,122 @@
+#include "policies/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace cloudlens::policies {
+namespace {
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+
+  /// Predictor trained on a bimodal population: mostly 30-minute tasks
+  /// plus a minority of week-long service roles. A young VM is therefore
+  /// probably short-lived; a VM that has already survived hours is almost
+  /// surely a long role.
+  analysis::LifetimePredictor bimodal_predictor() {
+    std::vector<double> lifetimes;
+    for (int i = 0; i < 900; ++i) lifetimes.push_back(double(30 * kMinute));
+    for (int i = 0; i < 100; ++i) lifetimes.push_back(double(7 * kDay));
+    return analysis::LifetimePredictor(std::move(lifetimes));
+  }
+
+  Topology topo_;
+  test::TraceFixture fx_;
+  NodeId node_{test::first_node(topo_, CloudType::kPrivate)};
+};
+
+TEST_F(MigrationTest, OldVmsMigrateYoungVmsDrain) {
+  EvacuationOptions options;
+  options.now = 2 * kDay;
+  // Old VM (2 days): conditional on surviving 30 min, it is a week-long
+  // role -> long expected remaining -> migrate.
+  const VmId old_vm = fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_,
+                                 4, 0, kNoEnd);
+  // Fresh VM (5 minutes old): likely a 30-minute task -> drain.
+  const VmId young_vm =
+      fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 2,
+                 options.now - 5 * kMinute, options.now + 10 * kMinute);
+
+  const auto predictor = bimodal_predictor();
+  const auto plan = plan_node_evacuation(fx_.trace, predictor, node_, options);
+  ASSERT_EQ(plan.migrate.size(), 1u);
+  ASSERT_EQ(plan.drain.size(), 1u);
+  EXPECT_EQ(plan.migrate[0], old_vm);
+  EXPECT_EQ(plan.drain[0], young_vm);
+  EXPECT_DOUBLE_EQ(plan.migrated_cores, 4);
+  EXPECT_DOUBLE_EQ(plan.drained_cores, 2);
+}
+
+TEST_F(MigrationTest, DeadVmsIgnored) {
+  EvacuationOptions options;
+  options.now = 2 * kDay;
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 4, 0, kDay);
+  const auto plan = plan_node_evacuation(fx_.trace, bimodal_predictor(),
+                                         node_, options);
+  EXPECT_TRUE(plan.migrate.empty());
+  EXPECT_TRUE(plan.drain.empty());
+}
+
+TEST_F(MigrationTest, EvaluationCountsWasteAndExposure) {
+  EvacuationOptions options;
+  options.now = 2 * kDay;
+  options.failure_grace = 2 * kHour;
+
+  // Migrated but actually ends in 30 min: wasted migration.
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 4, 0,
+             options.now + 30 * kMinute);
+  // Migrated and truly long-lived: justified.
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 4, 0, kNoEnd);
+  // Drained and ends quickly: saved migration (cores_saved).
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 2,
+             options.now - 5 * kMinute, options.now + 20 * kMinute);
+  // Drained but outlives the grace window: exposed to the failure.
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 2,
+             options.now - 5 * kMinute, options.now + kDay);
+
+  const auto plan = plan_node_evacuation(fx_.trace, bimodal_predictor(),
+                                         node_, options);
+  ASSERT_EQ(plan.migrate.size(), 2u);
+  ASSERT_EQ(plan.drain.size(), 2u);
+
+  const auto eval = evaluate_evacuation(fx_.trace, plan, options);
+  EXPECT_EQ(eval.alive_vms, 4u);
+  EXPECT_EQ(eval.planned_migrations, 2u);
+  EXPECT_EQ(eval.baseline_migrations, 4u);
+  EXPECT_EQ(eval.wasted_migrations, 1u);
+  EXPECT_EQ(eval.exposed_vms, 1u);
+  EXPECT_DOUBLE_EQ(eval.cores_saved, 2);
+}
+
+TEST_F(MigrationTest, FleetAggregation) {
+  EvacuationOptions options;
+  options.now = 2 * kDay;
+  const auto clusters = topo_.clusters_in(RegionId(0), CloudType::kPrivate);
+  const NodeId other = topo_.cluster(clusters[0]).nodes[1];
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 4, 0, kNoEnd);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, other, 4, 0, kNoEnd);
+  const auto eval = evaluate_fleet_evacuation(
+      fx_.trace, bimodal_predictor(), CloudType::kPrivate, 0, options);
+  EXPECT_EQ(eval.alive_vms, 2u);
+  EXPECT_EQ(eval.baseline_migrations, 2u);
+}
+
+TEST_F(MigrationTest, KnowledgeBeatsNaiveOnMigrationVolume) {
+  // A node full of short tasks: knowledge-aware plan migrates almost
+  // nothing; the naive baseline migrates everything.
+  EvacuationOptions options;
+  options.now = 2 * kDay;
+  for (int i = 0; i < 10; ++i)
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 1,
+               options.now - 2 * kMinute, options.now + 20 * kMinute);
+  const auto plan = plan_node_evacuation(fx_.trace, bimodal_predictor(),
+                                         node_, options);
+  const auto eval = evaluate_evacuation(fx_.trace, plan, options);
+  EXPECT_LT(eval.planned_migrations, eval.baseline_migrations / 2);
+  EXPECT_EQ(eval.exposed_vms, 0u);
+}
+
+}  // namespace
+}  // namespace cloudlens::policies

@@ -1,0 +1,91 @@
+#include "policies/oversub_placement.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens::policies {
+namespace {
+
+class OversubPlacementTest : public ::testing::Test {
+ protected:
+  OversubPlacementTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+  Topology topo_;
+  test::TraceFixture fx_;
+  NodeId node_{test::first_node(topo_, CloudType::kPublic)};
+};
+
+TEST_F(OversubPlacementTest, ConstantLowUtilConsolidatesHard) {
+  // 16 VMs x 8 cores at flat 12.5% -> effective size 1 core each.
+  for (int i = 0; i < 16; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 8, -kDay, kNoEnd,
+               std::make_shared<ConstantUtilization>(0.125));
+  OversubPlacementOptions options;
+  options.node_cores = 16;
+  options.max_vms = 0;
+  const auto report =
+      simulate_oversubscribed_placement(fx_.trace, CloudType::kPublic, options);
+  EXPECT_EQ(report.vms_packed, 16u);
+  // Full sizing: 16*8/16 = 8 nodes; effective sizing: 16*1/16 = 1 node.
+  EXPECT_EQ(report.baseline_nodes, 8u);
+  EXPECT_EQ(report.oversub_nodes, 1u);
+  EXPECT_NEAR(report.nodes_saved_fraction, 1.0 - 1.0 / 8.0, 1e-9);
+  // Demand is exactly 16 cores on the single node: never above capacity.
+  EXPECT_DOUBLE_EQ(report.hot_interval_share, 0.0);
+  EXPECT_NEAR(report.worst_node_pressure, 1.0, 1e-9);
+}
+
+TEST_F(OversubPlacementTest, FullUtilizationCannotConsolidate) {
+  for (int i = 0; i < 4; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 8, -kDay, kNoEnd,
+               std::make_shared<ConstantUtilization>(1.0));
+  OversubPlacementOptions options;
+  options.node_cores = 16;
+  options.max_vms = 0;
+  const auto report =
+      simulate_oversubscribed_placement(fx_.trace, CloudType::kPublic, options);
+  EXPECT_EQ(report.baseline_nodes, report.oversub_nodes);
+  EXPECT_DOUBLE_EQ(report.nodes_saved_fraction, 0.0);
+}
+
+TEST_F(OversubPlacementTest, StricterSafetySavesFewerNodes) {
+  workloads::DiurnalUtilization::Params p;
+  for (int i = 0; i < 24; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 4, -kDay, kNoEnd,
+               std::make_shared<workloads::DiurnalUtilization>(p, 100 + i));
+  OversubPlacementOptions lax, strict;
+  lax.node_cores = strict.node_cores = 16;
+  lax.max_vms = strict.max_vms = 0;
+  lax.safety_quantile = 0.90;
+  strict.safety_quantile = 1.0;
+  const auto lax_report =
+      simulate_oversubscribed_placement(fx_.trace, CloudType::kPublic, lax);
+  const auto strict_report =
+      simulate_oversubscribed_placement(fx_.trace, CloudType::kPublic, strict);
+  EXPECT_LE(lax_report.oversub_nodes, strict_report.oversub_nodes);
+  EXPECT_GE(lax_report.hot_interval_share, 0.0);
+  // Lax packing runs hotter than strict packing.
+  EXPECT_GE(lax_report.worst_node_pressure,
+            strict_report.worst_node_pressure - 1e-9);
+}
+
+TEST_F(OversubPlacementTest, EmptyPopulationSafe) {
+  const auto report =
+      simulate_oversubscribed_placement(fx_.trace, CloudType::kPublic);
+  EXPECT_EQ(report.vms_packed, 0u);
+  EXPECT_EQ(report.baseline_nodes, 0u);
+}
+
+TEST_F(OversubPlacementTest, OversizedVmsSkipped) {
+  OversubPlacementOptions options;
+  options.node_cores = 4;
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 8, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.5));
+  const auto report =
+      simulate_oversubscribed_placement(fx_.trace, CloudType::kPublic, options);
+  EXPECT_EQ(report.vms_packed, 0u);
+}
+
+}  // namespace
+}  // namespace cloudlens::policies

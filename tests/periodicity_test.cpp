@@ -1,0 +1,117 @@
+#include "stats/periodicity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens::stats {
+namespace {
+
+TimeSeries sinusoid(SimDuration period, double noise_sigma,
+                    std::uint64_t seed = 1,
+                    TimeGrid grid = week_telemetry_grid()) {
+  cloudlens::Rng rng(seed);
+  TimeSeries s(grid);
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    const double phase =
+        2.0 * std::numbers::pi * double(grid.at(i)) / double(period);
+    s[i] = 0.3 + 0.2 * std::sin(phase) + rng.normal(0, noise_sigma);
+  }
+  return s;
+}
+
+TEST(DetectPeriodTest, FindsDailyPeriod) {
+  const auto detection = detect_period(sinusoid(kDay, 0.02));
+  ASSERT_TRUE(detection.periodic);
+  EXPECT_NEAR(double(detection.period), double(kDay), double(kDay) * 0.1);
+  EXPECT_GT(detection.strength, 0.5);
+}
+
+TEST(DetectPeriodTest, FindsHourlyPeriod) {
+  PeriodDetectorOptions opts;
+  const auto detection = detect_period(sinusoid(kHour, 0.02), opts);
+  ASSERT_TRUE(detection.periodic);
+  EXPECT_NEAR(double(detection.period), double(kHour), double(kHour) * 0.15);
+}
+
+TEST(DetectPeriodTest, NoiseIsNotPeriodic) {
+  cloudlens::Rng rng(9);
+  TimeSeries s(week_telemetry_grid());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = rng.uniform(0.1, 0.3);
+  EXPECT_FALSE(detect_period(s).periodic);
+}
+
+TEST(DetectPeriodTest, ConstantSeriesNotPeriodic) {
+  TimeSeries s(week_telemetry_grid());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = 0.25;
+  EXPECT_FALSE(detect_period(s).periodic);
+}
+
+TEST(DetectPeriodTest, ShortSeriesNotPeriodic) {
+  TimeSeries s(TimeGrid{0, kTelemetryInterval, 4});
+  EXPECT_FALSE(detect_period(s).periodic);
+}
+
+TEST(DetectPeriodTest, RespectsPeriodRange) {
+  PeriodDetectorOptions opts;
+  opts.min_period = 2 * kHour;  // excludes a 1h signal
+  const auto detection = detect_period(sinusoid(kHour, 0.02), opts);
+  EXPECT_FALSE(detection.periodic && detection.period < 2 * kHour);
+}
+
+TEST(DetectPeriodTest, SurvivesModerateNoise) {
+  const auto detection = detect_period(sinusoid(kDay, 0.10));
+  ASSERT_TRUE(detection.periodic);
+  EXPECT_NEAR(double(detection.period), double(kDay), double(kDay) * 0.1);
+}
+
+class PeriodicityScoreTest
+    : public ::testing::TestWithParam<std::pair<SimDuration, SimDuration>> {};
+
+TEST_P(PeriodicityScoreTest, ScoreHighAtTruePeriodLowElsewhere) {
+  const auto [true_period, probe] = GetParam();
+  const auto s = sinusoid(true_period, 0.03);
+  const double at_truth = periodicity_score(s, true_period);
+  const double at_probe = periodicity_score(s, probe);
+  EXPECT_GT(at_truth, 0.5);
+  EXPECT_LT(at_probe, at_truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Periods, PeriodicityScoreTest,
+    ::testing::Values(std::pair{kDay, kHour}, std::pair{kHour, 7 * kHour},
+                      std::pair{12 * kHour, 5 * kHour}));
+
+TEST(PeriodicityScoreTest, SmoothDiurnalScoresLowAtHourLag) {
+  // Regression test: a smooth daily curve has a high ACF at *every* small
+  // lag; the hill-minus-valley score must not mistake that for hourly
+  // periodicity (this drove diurnal VMs into the hourly-peak class before).
+  workloads::DiurnalUtilization::Params params;
+  const workloads::DiurnalUtilization model(params, 77);
+  TimeSeries s(week_telemetry_grid());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = model.at(s.grid().at(i));
+  EXPECT_LT(periodicity_score(s, kHour), 0.15);
+  EXPECT_GT(periodicity_score(s, kDay), 0.5);
+}
+
+TEST(PeriodicityScoreTest, HourlyPeakPatternScoresHighAtHourLag) {
+  workloads::HourlyPeakUtilization::Params params;
+  const workloads::HourlyPeakUtilization model(params, 78);
+  TimeSeries s(week_telemetry_grid());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = model.at(s.grid().at(i));
+  EXPECT_GT(periodicity_score(s, kHour), 0.2);
+}
+
+TEST(PeriodicityScoreTest, DegenerateLagsReturnZero) {
+  const auto s = sinusoid(kDay, 0.02);
+  // Period of one grid step and periods longer than half the series.
+  EXPECT_DOUBLE_EQ(periodicity_score(s, 5 * kMinute), 0.0);
+  EXPECT_DOUBLE_EQ(periodicity_score(s, 6 * kDay), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudlens::stats

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "policies/deferral.h"
+#include "policies/oversub.h"
+#include "policies/preprovision.h"
+#include "policies/rebalance.h"
+#include "policies/spot.h"
+#include "stats/descriptive.h"
+#include "testutil.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens::policies {
+namespace {
+
+using workloads::DiurnalUtilization;
+using workloads::HourlyPeakUtilization;
+using workloads::StableUtilization;
+
+class PoliciesTest : public ::testing::Test {
+ protected:
+  PoliciesTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+
+  NodeId node_in_region(int region, CloudType cloud, int index = 0) {
+    const auto clusters = topo_.clusters_in(RegionId(region), cloud);
+    return topo_.cluster(clusters[0]).nodes[index];
+  }
+
+  Topology topo_;
+  test::TraceFixture fx_;
+};
+
+// --- Oversubscription ----------------------------------------------------
+
+TEST_F(PoliciesTest, OversubConstantDemandExactQuantile) {
+  const NodeId node = node_in_region(0, CloudType::kPublic);
+  // Two VMs, 4 cores each, flat 25% utilization: demand = 2 cores.
+  for (int i = 0; i < 2; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 4, -kDay, kNoEnd,
+               std::make_shared<ConstantUtilization>(0.25));
+  OversubscriptionOptions options;
+  options.max_nodes = 0;
+  const auto report =
+      evaluate_oversubscription(fx_.trace, CloudType::kPublic, options);
+  EXPECT_EQ(report.nodes_evaluated, 1u);
+  EXPECT_DOUBLE_EQ(report.baseline_reserved_cores, 8);
+  EXPECT_NEAR(report.policy_reserved_cores, 2.0, 1e-9);
+  // Reservation shrinks by 75%; effective utilization improves 4x - 1.
+  EXPECT_NEAR(report.reservation_shrink, 0.75, 1e-9);
+  EXPECT_NEAR(report.utilization_improvement, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.violation_rate, 0.0);
+}
+
+TEST_F(PoliciesTest, OversubViolationRateTracksQuantile) {
+  const NodeId node = node_in_region(0, CloudType::kPublic);
+  for (int i = 0; i < 3; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 4, -kDay, kNoEnd,
+               std::make_shared<DiurnalUtilization>(
+                   DiurnalUtilization::Params{}, 10 + i));
+  OversubscriptionOptions options;
+  options.max_nodes = 0;
+  options.safety_quantile = 0.90;
+  const auto report =
+      evaluate_oversubscription(fx_.trace, CloudType::kPublic, options);
+  EXPECT_NEAR(report.violation_rate, 0.10, 0.02);
+}
+
+TEST_F(PoliciesTest, OversubSaferQuantileReservesMore) {
+  const NodeId node = node_in_region(0, CloudType::kPublic);
+  for (int i = 0; i < 3; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 4, -kDay, kNoEnd,
+               std::make_shared<DiurnalUtilization>(
+                   DiurnalUtilization::Params{}, 20 + i));
+  OversubscriptionOptions lax, strict;
+  lax.max_nodes = strict.max_nodes = 0;
+  lax.safety_quantile = 0.90;
+  strict.safety_quantile = 0.999;
+  const auto lax_report =
+      evaluate_oversubscription(fx_.trace, CloudType::kPublic, lax);
+  const auto strict_report =
+      evaluate_oversubscription(fx_.trace, CloudType::kPublic, strict);
+  EXPECT_GT(strict_report.policy_reserved_cores,
+            lax_report.policy_reserved_cores);
+  EXPECT_GT(lax_report.utilization_improvement,
+            strict_report.utilization_improvement);
+}
+
+TEST_F(PoliciesTest, OversubSkipsSingleVmNodes) {
+  const NodeId node = node_in_region(0, CloudType::kPublic);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 4, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.5));
+  const auto report = evaluate_oversubscription(fx_.trace, CloudType::kPublic);
+  EXPECT_EQ(report.nodes_evaluated, 0u);
+}
+
+// --- Spot -----------------------------------------------------------------
+
+TEST_F(PoliciesTest, SpotCandidateShareByLifetime) {
+  const NodeId node = node_in_region(0, CloudType::kPublic);
+  // 8 short (30 min) + 2 long (1 day), all ended inside the week.
+  for (int i = 0; i < 8; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 2, i * kHour,
+               i * kHour + 30 * kMinute);
+  for (int i = 0; i < 2; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 2, i * kDay,
+               (i + 1) * kDay);
+  const auto report = evaluate_spot_adoption(fx_.trace, CloudType::kPublic);
+  EXPECT_EQ(report.ended_vms, 10u);
+  EXPECT_EQ(report.candidate_vms, 8u);
+  EXPECT_NEAR(report.candidate_share, 0.8, 1e-9);
+  // Core-hours: candidates 8 * 0.5h * 2c = 8; total = 8 + 2*24*2 = 104.
+  EXPECT_NEAR(report.total_core_hours, 104.0, 1e-9);
+  EXPECT_NEAR(report.spot_core_hours, 8.0, 1e-9);
+  EXPECT_NEAR(report.cost_savings_fraction, 8.0 * 0.7 / 104.0, 1e-9);
+}
+
+TEST_F(PoliciesTest, SpotValleyShare) {
+  const NodeId node = node_in_region(0, CloudType::kPublic);
+  // One VM entirely inside the valley (23:00-01:00), one at midday.
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 1, 23 * kHour,
+             23 * kHour + kHour);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 1, 12 * kHour,
+             12 * kHour + kHour);
+  const auto report = evaluate_spot_adoption(fx_.trace, CloudType::kPublic);
+  EXPECT_NEAR(report.valley_spot_share, 0.5, 1e-9);
+}
+
+TEST_F(PoliciesTest, SpotEvictionRateScales) {
+  const NodeId node = node_in_region(0, CloudType::kPublic);
+  for (int i = 0; i < 200; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 1,
+               (i % 100) * kHour, (i % 100) * kHour + 2 * kHour);
+  SpotOptions quiet, harsh;
+  quiet.eviction_rate_per_hour = 0.001;
+  harsh.eviction_rate_per_hour = 1.0;
+  const auto low = evaluate_spot_adoption(fx_.trace, CloudType::kPublic, quiet);
+  const auto high = evaluate_spot_adoption(fx_.trace, CloudType::kPublic, harsh);
+  EXPECT_LT(low.evicted_share, 0.05);
+  EXPECT_GT(high.evicted_share, 0.5);
+}
+
+TEST_F(PoliciesTest, SpotEmptyTraceSafe) {
+  const auto report = evaluate_spot_adoption(fx_.trace, CloudType::kPublic);
+  EXPECT_EQ(report.ended_vms, 0u);
+  EXPECT_DOUBLE_EQ(report.cost_savings_fraction, 0.0);
+}
+
+// --- Rebalance --------------------------------------------------------------
+
+TEST_F(PoliciesTest, RegionLoadMetrics) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  // Region 0 private: 8 nodes x 16 cores = 128 total cores.
+  // 4 cores at 50% + 4 cores at 2% (underutilized).
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.5));
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.02));
+  const auto load = region_load(fx_.trace, CloudType::kPrivate, RegionId(0));
+  EXPECT_DOUBLE_EQ(load.total_cores, 128);
+  EXPECT_DOUBLE_EQ(load.allocated_cores, 8);
+  EXPECT_NEAR(load.used_cores, 4 * 0.5 + 4 * 0.02, 1e-6);
+  EXPECT_NEAR(load.core_utilization_rate, 8.0 / 128.0, 1e-9);
+  EXPECT_NEAR(load.underutilized_core_pct, 4.0 / 128.0, 1e-9);
+}
+
+TEST_F(PoliciesTest, RegionLoadSnapshotRespected) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, 0, kDay,
+             std::make_shared<ConstantUtilization>(0.5));
+  RebalanceOptions options;
+  options.snapshot = 2 * kDay;  // VM already gone
+  const auto load =
+      region_load(fx_.trace, CloudType::kPrivate, RegionId(0), options);
+  EXPECT_DOUBLE_EQ(load.allocated_cores, 0);
+}
+
+TEST_F(PoliciesTest, RecommendAndEvaluateShift) {
+  // Service X: region-agnostic, low utilization, big footprint in region 0.
+  ServiceInfo svc;
+  svc.cloud = CloudType::kPrivate;
+  svc.region_agnostic = true;
+  const ServiceId service = fx_.trace.add_service(svc);
+  SubscriptionInfo sub_info;
+  sub_info.cloud = CloudType::kPrivate;
+  sub_info.party = PartyType::kFirstParty;
+  sub_info.service = service;
+  const SubscriptionId sub = fx_.trace.add_subscription(sub_info);
+
+  DiurnalUtilization::Params low;
+  low.base = 0.02;
+  low.weekday_peak = 0.12;
+  low.weekend_peak = 0.05;
+  low.tz_offset_hours = -5;
+
+  auto add_service_vm = [&](int region, int node_index, std::uint64_t seed) {
+    const NodeId node = node_in_region(region, CloudType::kPrivate, node_index);
+    VmRecord rec;
+    rec.subscription = sub;
+    rec.service = service;
+    rec.cloud = CloudType::kPrivate;
+    rec.party = PartyType::kFirstParty;
+    rec.region = RegionId(region);
+    const Node& n = topo_.node(node);
+    rec.cluster = n.cluster;
+    rec.rack = n.rack;
+    rec.node = node;
+    rec.cores = 8;
+    rec.memory_gb = 32;
+    rec.created = -kDay;
+    rec.deleted = kNoEnd;
+    rec.utilization = std::make_shared<DiurnalUtilization>(low, seed);
+    fx_.trace.add_vm(std::move(rec));
+  };
+  // Deployed in both regions (needed for the region-agnostic test), with
+  // the larger, idler footprint in region 0.
+  for (int i = 0; i < 4; ++i) add_service_vm(0, i, 100 + i);
+  add_service_vm(1, 0, 200);
+
+  const auto rec = recommend_shift(fx_.trace, CloudType::kPrivate);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->service, service);
+  EXPECT_EQ(rec->from, RegionId(0));
+  EXPECT_EQ(rec->to, RegionId(1));
+  EXPECT_DOUBLE_EQ(rec->cores_moved, 32);
+  EXPECT_LT(rec->service_mean_utilization, 0.10);
+
+  const auto outcome = evaluate_shift(fx_.trace, CloudType::kPrivate, *rec);
+  // Source health improves: both metrics drop (the Canada pilot's shape).
+  EXPECT_LT(outcome.source_after.underutilized_core_pct,
+            outcome.source_before.underutilized_core_pct);
+  EXPECT_LT(outcome.source_after.core_utilization_rate,
+            outcome.source_before.core_utilization_rate);
+  // Cores are conserved across the pair of regions.
+  EXPECT_NEAR(outcome.source_after.allocated_cores +
+                  outcome.dest_after.allocated_cores,
+              outcome.source_before.allocated_cores +
+                  outcome.dest_before.allocated_cores,
+              1e-9);
+  EXPECT_NEAR(outcome.dest_after.allocated_cores -
+                  outcome.dest_before.allocated_cores,
+              32, 1e-9);
+}
+
+TEST_F(PoliciesTest, NoShiftWithoutAgnosticServices) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.05));
+  EXPECT_FALSE(recommend_shift(fx_.trace, CloudType::kPrivate).has_value());
+}
+
+// --- Deferral ----------------------------------------------------------------
+
+TEST_F(PoliciesTest, DeferralFillsValley) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  DiurnalUtilization::Params p;
+  p.tz_offset_hours = 0;
+  p.noise_sigma = 0.0;
+  for (int i = 0; i < 4; ++i)
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 8, -kDay, kNoEnd,
+               std::make_shared<DiurnalUtilization>(p, 300 + i));
+
+  std::vector<DeferrableJob> jobs(6, DeferrableJob{2.0, 2 * kHour, 0, kWeek});
+  const auto report =
+      schedule_deferrable(fx_.trace, CloudType::kPrivate, RegionId(0), jobs);
+  EXPECT_EQ(report.jobs_scheduled, 6u);
+  EXPECT_EQ(report.jobs_rejected, 0u);
+  // Valley filling: the peak must not grow (jobs fit in the valley), and
+  // every filled hour was a below-median-demand hour beforehand.
+  EXPECT_LE(report.peak_after, report.peak_before + 1e-9);
+  const double median_before =
+      stats::quantile(report.demand_before.values(), 0.5);
+  for (std::size_t i = 0; i < report.demand_after.size(); ++i) {
+    if (report.demand_after[i] > report.demand_before[i] + 1e-9) {
+      EXPECT_LT(report.demand_before[i], median_before);
+    }
+  }
+}
+
+TEST_F(PoliciesTest, DeferralJobsLandAtNight) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  DiurnalUtilization::Params p;
+  p.tz_offset_hours = 0;
+  p.noise_sigma = 0.0;
+  for (int i = 0; i < 4; ++i)
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 8, -kDay, kNoEnd,
+               std::make_shared<DiurnalUtilization>(p, 400 + i));
+  std::vector<DeferrableJob> jobs(1, DeferrableJob{4.0, kHour, 0, kWeek});
+  const auto report =
+      schedule_deferrable(fx_.trace, CloudType::kPrivate, RegionId(0), jobs);
+  // Find where demand grew; it must be a night hour.
+  for (std::size_t i = 0; i < report.demand_after.size(); ++i) {
+    if (report.demand_after[i] > report.demand_before[i] + 1e-9) {
+      const int h = hour_of_day(report.demand_after.grid().at(i));
+      EXPECT_TRUE(h >= 20 || h <= 8) << "job landed at hour " << h;
+    }
+  }
+}
+
+TEST_F(PoliciesTest, DeferralRejectsImpossibleDeadline) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 8, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.2));
+  std::vector<DeferrableJob> jobs = {
+      {1.0, 4 * kHour, 0, 2 * kHour},   // cannot finish by deadline
+      {1.0, 2 * kWeek, 0, kWeek},       // longer than the window
+  };
+  const auto report =
+      schedule_deferrable(fx_.trace, CloudType::kPrivate, RegionId(0), jobs);
+  EXPECT_EQ(report.jobs_scheduled, 0u);
+  EXPECT_EQ(report.jobs_rejected, 2u);
+}
+
+TEST_F(PoliciesTest, DeferralRespectsRelease) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 8, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.2));
+  std::vector<DeferrableJob> jobs = {{1.0, kHour, 5 * kDay, kWeek}};
+  const auto report =
+      schedule_deferrable(fx_.trace, CloudType::kPrivate, RegionId(0), jobs);
+  EXPECT_EQ(report.jobs_scheduled, 1u);
+  for (std::size_t i = 0; i < report.demand_after.size(); ++i) {
+    if (report.demand_after[i] > report.demand_before[i] + 1e-9) {
+      EXPECT_GE(report.demand_after.grid().at(i), 5 * kDay);
+    }
+  }
+}
+
+// --- Pre-provisioning ---------------------------------------------------------
+
+TEST_F(PoliciesTest, PredictiveBeatsReactiveOnHourlyPeaks) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  for (int i = 0; i < 6; ++i)
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+               std::make_shared<HourlyPeakUtilization>(
+                   HourlyPeakUtilization::Params{}, 500 + i));
+  const auto report =
+      evaluate_preprovisioning(fx_.trace, CloudType::kPrivate);
+  EXPECT_GE(report.vms_used, 4u);
+  EXPECT_LT(report.predictive_violation_rate,
+            report.reactive_violation_rate * 0.6);
+  // The buffer costs some capacity, but bounded.
+  EXPECT_GT(report.predictive_mean_capacity, report.reactive_mean_capacity);
+  EXPECT_LT(report.predictive_mean_capacity,
+            report.reactive_mean_capacity * 2.0);
+}
+
+TEST_F(PoliciesTest, PreprovisionThrowsWithoutHourlyPeakVms) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.2));
+  EXPECT_THROW(evaluate_preprovisioning(fx_.trace, CloudType::kPrivate),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace cloudlens::policies

@@ -1,0 +1,122 @@
+#include "kb/refresh.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testutil.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens::kb {
+namespace {
+
+using workloads::StableUtilization;
+
+class RefreshTest : public ::testing::Test {
+ protected:
+  RefreshTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+  Topology topo_;
+  test::TraceFixture fx_;
+  NodeId node_{test::first_node(topo_, CloudType::kPublic)};
+};
+
+TEST_F(RefreshTest, FirstRefreshAddsRecords) {
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.2));
+  KnowledgeBase kb;
+  const auto stats = refresh(kb, fx_.trace);
+  EXPECT_EQ(stats.added, 1u);
+  EXPECT_EQ(stats.updated, 0u);
+  EXPECT_EQ(kb.size(), 1u);
+}
+
+TEST_F(RefreshTest, SecondRefreshBlendsNumerics) {
+  StableUtilization::Params p;
+  p.level = 0.10;
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
+             std::make_shared<StableUtilization>(p, 1));
+  KnowledgeBase kb;
+  refresh(kb, fx_.trace);
+  const double first_mean = kb.find(fx_.public_sub)->mean_utilization;
+
+  // A new window in which the subscription also runs a hot VM.
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.9));
+  RefreshOptions options;
+  options.ewma_alpha = 0.5;
+  const auto stats = refresh(kb, fx_.trace, options);
+  EXPECT_EQ(stats.updated, 1u);
+  EXPECT_EQ(stats.added, 0u);
+
+  const auto* rec = kb.find(fx_.public_sub);
+  ASSERT_NE(rec, nullptr);
+  // The blended mean sits strictly between the old mean and the new
+  // window's (higher) mean.
+  EXPECT_GT(rec->mean_utilization, first_mean);
+  EXPECT_LT(rec->mean_utilization, 0.9);
+}
+
+TEST_F(RefreshTest, SmallAlphaDampsChange) {
+  StableUtilization::Params p;
+  p.level = 0.10;
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
+             std::make_shared<StableUtilization>(p, 2));
+  KnowledgeBase slow_kb, fast_kb;
+  refresh(slow_kb, fx_.trace);
+  refresh(fast_kb, fx_.trace);
+
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.9));
+  RefreshOptions slow, fast;
+  slow.ewma_alpha = 0.1;
+  fast.ewma_alpha = 0.9;
+  refresh(slow_kb, fx_.trace, slow);
+  refresh(fast_kb, fx_.trace, fast);
+  EXPECT_LT(slow_kb.find(fx_.public_sub)->mean_utilization,
+            fast_kb.find(fx_.public_sub)->mean_utilization);
+}
+
+TEST_F(RefreshTest, HintsRecomputedAfterBlend) {
+  // Window 1: stable & idle -> oversubscription candidate.
+  StableUtilization::Params p;
+  p.level = 0.10;
+  for (int i = 0; i < 3; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
+               std::make_shared<StableUtilization>(p, 10 + i));
+  KnowledgeBase kb;
+  refresh(kb, fx_.trace);
+  EXPECT_TRUE(kb.find(fx_.public_sub)->oversubscription_candidate);
+
+  // Window 2: the subscription turns hot; after enough refreshes the
+  // blended p95 exceeds the threshold and the hint flips off.
+  for (int i = 0; i < 9; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
+               std::make_shared<ConstantUtilization>(0.95));
+  RefreshOptions options;
+  options.ewma_alpha = 1.0;  // replace outright
+  refresh(kb, fx_.trace, options);
+  EXPECT_FALSE(kb.find(fx_.public_sub)->oversubscription_candidate);
+}
+
+TEST_F(RefreshTest, InvalidAlphaThrows) {
+  KnowledgeBase kb;
+  RefreshOptions options;
+  options.ewma_alpha = 0.0;
+  EXPECT_THROW(refresh(kb, fx_.trace, options), CheckError);
+  options.ewma_alpha = 1.5;
+  EXPECT_THROW(refresh(kb, fx_.trace, options), CheckError);
+}
+
+TEST_F(RefreshTest, ApplyPolicyHintsStandalone) {
+  SubscriptionKnowledge rec;
+  rec.short_lifetime_share = 0.9;
+  rec.ended_vms = 20;
+  rec.dominant_pattern = analysis::UtilizationClass::kHourlyPeak;
+  rec.pattern_confidence = 1.0;
+  apply_policy_hints(rec, ExtractorOptions{});
+  EXPECT_TRUE(rec.spot_candidate);
+  EXPECT_TRUE(rec.preprovision_target);
+  EXPECT_FALSE(rec.oversubscription_candidate);
+}
+
+}  // namespace
+}  // namespace cloudlens::kb

@@ -1,0 +1,62 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/generator.h"
+
+namespace cloudlens::analysis {
+namespace {
+
+TEST(ReportTest, ContainsEverySectionAndVerdict) {
+  workloads::ScenarioOptions options;
+  options.scale = 0.08;
+  options.seed = 3;
+  const auto scenario = workloads::make_scenario(options);
+
+  std::ostringstream out;
+  ReportOptions report_options;
+  report_options.title = "Test report";
+  const auto verdicts = write_characterization_report(*scenario.trace, out,
+                                                      report_options);
+  const std::string md = out.str();
+
+  EXPECT_NE(md.find("# Test report"), std::string::npos);
+  EXPECT_NE(md.find("## Summary of insight verdicts"), std::string::npos);
+  EXPECT_NE(md.find("## Deployment characteristics"), std::string::npos);
+  EXPECT_NE(md.find("## Temporal behaviour"), std::string::npos);
+  EXPECT_NE(md.find("## Utilization patterns"), std::string::npos);
+  EXPECT_NE(md.find("## Spatial similarity"), std::string::npos);
+  EXPECT_NE(md.find("median VMs per subscription"), std::string::npos);
+  EXPECT_NE(md.find("hourly-peak"), std::string::npos);
+
+  // The returned verdicts match a direct evaluation.
+  const auto direct = evaluate_insights(*scenario.trace);
+  EXPECT_EQ(verdicts.insight1, direct.insight1);
+  EXPECT_EQ(verdicts.insight2, direct.insight2);
+  EXPECT_NEAR(verdicts.median_creation_cv.private_value,
+              direct.median_creation_cv.private_value, 1e-9);
+}
+
+TEST(ReportTest, MarkdownTablesWellFormed) {
+  workloads::ScenarioOptions options;
+  options.scale = 0.06;
+  const auto scenario = workloads::make_scenario(options);
+  std::ostringstream out;
+  write_characterization_report(*scenario.trace, out);
+  // Every table row has a matching number of pipes on the header rows.
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| metric", 0) == 0) {
+      std::string sep;
+      ASSERT_TRUE(std::getline(lines, sep));
+      EXPECT_EQ(std::count(line.begin(), line.end(), '|'),
+                std::count(sep.begin(), sep.end(), '|'));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudlens::analysis

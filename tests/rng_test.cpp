@@ -1,0 +1,270 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cloudlens {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[i]);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // The child must not replay the parent stream.
+  Rng parent_copy(5);
+  (void)parent_copy();  // advance as fork() did
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent_copy()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanAndVariance) {
+  Rng rng(2);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(std::uint64_t{10});
+    ASSERT_LT(v, 10u);
+    ++hits[v];
+  }
+  for (int h : hits) EXPECT_GT(h, 800);  // roughly uniform
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(std::int64_t{-3}, std::int64_t{3});
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(std::uint64_t{0}), CheckError);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(6);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(7);
+  std::vector<double> xs(50001);
+  for (auto& x : xs) x = rng.lognormal(std::log(40.0), 0.8);
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  // Median of lognormal(mu, sigma) = exp(mu).
+  EXPECT_NEAR(xs[25000], 40.0, 2.0);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, ParetoRespectsScaleFloor) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, BoundedParetoStaysInRange) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.bounded_pareto(1.0, 100.0, 1.1);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(RngTest, GammaMeanMatchesShapeScale) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.gamma(3.0, 2.0);
+  EXPECT_NEAR(sum / n, 6.0, 0.1);
+}
+
+TEST(RngTest, GammaSmallShapeBoost) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(0.5, 1.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BetaStaysInUnitIntervalWithRightMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.beta(2.0, 4.0);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.0 / 6.0, 0.01);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double lambda = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lambda * 1000) + 17);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto k = static_cast<double>(rng.poisson(lambda));
+    sum += k;
+    sq += k * k;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, lambda, std::max(0.05, lambda * 0.05));
+  EXPECT_NEAR(var, lambda, std::max(0.1, lambda * 0.10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonMeanTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 25.0, 60.0, 200.0));
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(15);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  AliasTable table(w);
+  std::vector<int> hits(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[table.sample(rng)];
+  EXPECT_NEAR(hits[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / double(n), 0.3, 0.01);
+  EXPECT_NEAR(hits[2] / double(n), 0.6, 0.01);
+}
+
+TEST(AliasTableTest, SingleEntryAlwaysZero) {
+  Rng rng(16);
+  AliasTable table(std::vector<double>{5.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  Rng rng(17);
+  AliasTable table(std::vector<double>{0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(table.sample(rng), 1u);
+}
+
+TEST(AliasTableTest, RejectsAllZeroAndNegative) {
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), CheckError);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}), CheckError);
+}
+
+TEST(ZipfSamplerTest, SkewsTowardLowRanks) {
+  Rng rng(18);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 100000; ++i) ++hits[zipf.sample(rng)];
+  EXPECT_GT(hits[0], hits[9]);
+  EXPECT_GT(hits[9], hits[99]);
+  // Rank-1 to rank-2 ratio should be about 2^1.2.
+  EXPECT_NEAR(double(hits[0]) / double(hits[1]), std::pow(2.0, 1.2), 0.35);
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
+  Rng rng(19);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 50000; ++i) ++hits[zipf.sample(rng)];
+  for (int h : hits) EXPECT_NEAR(h / 50000.0, 0.1, 0.02);
+}
+
+TEST(ZipfOnceTest, AgreesWithSampler) {
+  Rng rng(20);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.zipf_once(50, 1.0) < 5) ++low;
+  }
+  // First 5 ranks of Zipf(s=1, n=50) hold ~51% of the mass.
+  EXPECT_NEAR(low / 10000.0, 0.51, 0.04);
+}
+
+}  // namespace
+}  // namespace cloudlens

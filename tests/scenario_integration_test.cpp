@@ -1,0 +1,251 @@
+// End-to-end integration test: generate the dual-cloud scenario at reduced
+// scale and assert the paper's qualitative contrasts hold — the analysis
+// pipeline must recover what the generator planted.
+#include <gtest/gtest.h>
+
+#include "analysis/classifier.h"
+#include "analysis/deployment.h"
+#include "analysis/spatial.h"
+#include "analysis/temporal.h"
+#include "analysis/utilization.h"
+#include "stats/descriptive.h"
+#include "workloads/generator.h"
+
+namespace cloudlens {
+namespace {
+
+class ScenarioIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workloads::ScenarioOptions options;
+    options.seed = 1234;
+    options.scale = 0.2;
+    scenario_ = new workloads::Scenario(workloads::make_scenario(options));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  const TraceStore& trace() { return *scenario_->trace; }
+  static workloads::Scenario* scenario_;
+};
+
+workloads::Scenario* ScenarioIntegration::scenario_ = nullptr;
+
+TEST_F(ScenarioIntegration, Fig1aPrivateDeploymentsLarger) {
+  const auto priv = analysis::vms_per_subscription(
+      trace(), CloudType::kPrivate, analysis::kDefaultSnapshot);
+  const auto pub = analysis::vms_per_subscription(
+      trace(), CloudType::kPublic, analysis::kDefaultSnapshot);
+  ASSERT_FALSE(priv.empty());
+  ASSERT_FALSE(pub.empty());
+  EXPECT_GT(stats::quantile_sorted(priv, 0.5),
+            10 * stats::quantile_sorted(pub, 0.5));
+}
+
+TEST_F(ScenarioIntegration, Fig1bPublicClustersHostFarMoreSubscriptions) {
+  const auto priv = analysis::subscriptions_per_cluster(
+      trace(), CloudType::kPrivate, analysis::kDefaultSnapshot);
+  const auto pub = analysis::subscriptions_per_cluster(
+      trace(), CloudType::kPublic, analysis::kDefaultSnapshot);
+  const double priv_median = stats::quantile_sorted(priv, 0.5);
+  const double pub_median = stats::quantile_sorted(pub, 0.5);
+  // The paper reports ~20x; at reduced scale require at least 5x.
+  EXPECT_GT(pub_median, 5 * std::max(1.0, priv_median));
+}
+
+TEST_F(ScenarioIntegration, Fig2PublicVmShapesWider) {
+  const auto priv = analysis::vm_size_heatmap(trace(), CloudType::kPrivate,
+                                              analysis::kDefaultSnapshot);
+  const auto pub = analysis::vm_size_heatmap(trace(), CloudType::kPublic,
+                                             analysis::kDefaultSnapshot);
+  // Count non-empty cells: public demand covers more of the shape space.
+  auto occupied = [](const stats::Histogram2D& h) {
+    std::size_t n = 0;
+    for (std::size_t y = 0; y < h.y_axis().bins(); ++y)
+      for (std::size_t x = 0; x < h.x_axis().bins(); ++x)
+        if (h.weight_at(x, y) > 0) ++n;
+    return n;
+  };
+  EXPECT_GT(occupied(pub), occupied(priv));
+}
+
+TEST_F(ScenarioIntegration, Fig3aPublicShortLifetimeShareHigher) {
+  const auto priv = analysis::vm_lifetimes(trace(), CloudType::kPrivate);
+  const auto pub = analysis::vm_lifetimes(trace(), CloudType::kPublic);
+  const double priv_share = analysis::shortest_bin_share(priv);
+  const double pub_share = analysis::shortest_bin_share(pub);
+  EXPECT_NEAR(priv_share, 0.49, 0.08);
+  EXPECT_NEAR(pub_share, 0.81, 0.06);
+  EXPECT_GT(pub_share, priv_share + 0.2);
+}
+
+TEST_F(ScenarioIntegration, Fig3bWeekendDipAndPrivateSpikes) {
+  // "the temporal changes of VM count largely follow a diurnal pattern
+  // during weekdays and exhibit a significant decrease over weekends" —
+  // visible in the creation rate for both clouds.
+  auto weekday_vs_weekend = [&](CloudType cloud) {
+    const auto created =
+        analysis::creations_per_hour(trace(), cloud, RegionId());
+    double weekday = 0, weekend = 0;
+    std::size_t nd = 0, ne = 0;
+    for (std::size_t i = 0; i < created.size(); ++i) {
+      if (is_weekend(created.grid().at(i))) {
+        weekend += created[i];
+        ++ne;
+      } else {
+        weekday += created[i];
+        ++nd;
+      }
+    }
+    return (weekday / double(nd)) / std::max(1e-9, weekend / double(ne));
+  };
+  EXPECT_GT(weekday_vs_weekend(CloudType::kPublic), 1.3);
+  EXPECT_GT(weekday_vs_weekend(CloudType::kPrivate), 1.05);
+
+  // Private VM counts show occasional large spikes (burst rollouts).
+  // Bursts hit one region at a time, so measure per-region spikiness
+  // (max / p95 of the hourly count series) and take the worst region.
+  auto spikiness = [&](CloudType cloud) {
+    double worst = 0;
+    for (const auto& region : trace().topology().regions()) {
+      const auto counts =
+          analysis::vm_count_per_hour(trace(), cloud, region.id);
+      std::vector<double> xs(counts.values().begin(), counts.values().end());
+      worst = std::max(
+          worst, counts.max() / std::max(1e-9, stats::quantile(xs, 0.95)));
+    }
+    return worst;
+  };
+  EXPECT_GT(spikiness(CloudType::kPrivate),
+            spikiness(CloudType::kPublic) + 0.02);
+}
+
+TEST_F(ScenarioIntegration, Fig3dPrivateCreationCvHigher) {
+  const auto priv =
+      analysis::creation_cv_by_region(trace(), CloudType::kPrivate);
+  const auto pub = analysis::creation_cv_by_region(trace(), CloudType::kPublic);
+  ASSERT_FALSE(priv.empty());
+  ASSERT_FALSE(pub.empty());
+  EXPECT_GT(stats::quantile(priv, 0.5), 1.3 * stats::quantile(pub, 0.5));
+}
+
+TEST_F(ScenarioIntegration, Fig4PrivateMoreMultiRegionByCores) {
+  const auto priv = analysis::region_spread(trace(), CloudType::kPrivate,
+                                            analysis::kDefaultSnapshot);
+  const auto pub = analysis::region_spread(trace(), CloudType::kPublic,
+                                           analysis::kDefaultSnapshot);
+  // Both clouds: most subscriptions are single-region.
+  EXPECT_GT(stats::quantile(priv.regions_per_subscription, 0.5), 0.9);
+  // Core-share contrast: public single-region share clearly higher.
+  EXPECT_GT(pub.single_region_core_share,
+            priv.single_region_core_share + 0.15);
+}
+
+TEST_F(ScenarioIntegration, Fig5dPatternMixContrasts) {
+  const auto priv =
+      analysis::classify_population(trace(), CloudType::kPrivate, 400);
+  const auto pub =
+      analysis::classify_population(trace(), CloudType::kPublic, 400);
+  ASSERT_GT(priv.classified, 100u);
+  ASSERT_GT(pub.classified, 100u);
+  // Diurnal is the most common class in both clouds.
+  EXPECT_GT(priv.diurnal, priv.stable);
+  EXPECT_GT(priv.diurnal, priv.irregular);
+  EXPECT_GT(priv.diurnal, priv.hourly_peak);
+  EXPECT_GT(pub.diurnal, pub.stable - 0.05);
+  // Private has roughly double the diurnal share; public more stable;
+  // hourly-peak concentrated in private.
+  EXPECT_GT(priv.diurnal, 1.2 * pub.diurnal);
+  EXPECT_GT(pub.stable, priv.stable + 0.1);
+  EXPECT_GT(priv.hourly_peak, pub.hourly_peak);
+}
+
+TEST_F(ScenarioIntegration, Fig6UtilizationModestAndPrivateDaytimeSwings) {
+  const auto priv =
+      analysis::utilization_distribution(trace(), CloudType::kPrivate, 400);
+  const auto pub =
+      analysis::utilization_distribution(trace(), CloudType::kPublic, 400);
+  // "According to the 75-percentile, CPU utilization for both ... is lower
+  // than 30%" most of the time — check the weekly p75 median level.
+  const double priv_p75 = stats::quantile(priv.weekly.p75, 0.5);
+  const double pub_p75 = stats::quantile(pub.weekly.p75, 0.5);
+  EXPECT_LT(priv_p75, 0.35);
+  EXPECT_LT(pub_p75, 0.35);
+  // Private daily profile swings with working hours; public is flatter.
+  auto swing = [](const std::vector<double>& profile) {
+    double lo = 1e9, hi = -1e9;
+    for (double v : profile) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(swing(priv.daily_p50), 1.5 * swing(pub.daily_p50));
+}
+
+TEST_F(ScenarioIntegration, Fig7aPrivateNodeCorrelationHigher) {
+  const auto priv = analysis::node_vm_correlations(trace(),
+                                                   CloudType::kPrivate, 120);
+  const auto pub =
+      analysis::node_vm_correlations(trace(), CloudType::kPublic, 120);
+  ASSERT_GT(priv.size(), 30u);
+  ASSERT_GT(pub.size(), 30u);
+  const double priv_median = stats::quantile_sorted(priv, 0.5);
+  const double pub_median = stats::quantile_sorted(pub, 0.5);
+  EXPECT_GT(priv_median, 0.35);
+  EXPECT_LT(pub_median, 0.30);
+  EXPECT_GT(priv_median, pub_median + 0.25);
+}
+
+TEST_F(ScenarioIntegration, Fig7bPrivateCrossRegionCorrelationHigher) {
+  const auto priv =
+      analysis::cross_region_correlations(trace(), CloudType::kPrivate, 200);
+  const auto pub =
+      analysis::cross_region_correlations(trace(), CloudType::kPublic, 200);
+  ASSERT_GT(priv.size(), 5u);
+  ASSERT_GT(pub.size(), 5u);
+  EXPECT_GT(stats::quantile_sorted(priv, 0.5),
+            stats::quantile_sorted(pub, 0.5) + 0.2);
+}
+
+TEST_F(ScenarioIntegration, Fig7cRegionAgnosticServicesExistInPrivate) {
+  const auto verdicts = analysis::detect_region_agnostic_services(
+      trace(), CloudType::kPrivate, 0.7);
+  ASSERT_FALSE(verdicts.empty());
+  std::size_t agnostic = 0;
+  for (const auto& v : verdicts) {
+    if (v.region_agnostic) ++agnostic;
+  }
+  // "a substantial number of region-agnostic workloads exist in the
+  // private cloud" — a majority of planted services are geo-balanced.
+  EXPECT_GE(double(agnostic) / double(verdicts.size()), 0.4);
+}
+
+TEST_F(ScenarioIntegration, DetectorAgreesWithPlantedGroundTruth) {
+  const auto verdicts = analysis::detect_region_agnostic_services(
+      trace(), CloudType::kPrivate, 0.7);
+  std::size_t correct = 0, total = 0;
+  for (const auto& v : verdicts) {
+    ++total;
+    if (trace().service(v.service).region_agnostic == v.region_agnostic)
+      ++correct;
+  }
+  ASSERT_GE(total, 3u);
+  EXPECT_GE(double(correct) / double(total), 0.75);
+}
+
+TEST_F(ScenarioIntegration, AllocationFailureRateLow) {
+  const auto& priv = scenario_->private_stats;
+  const auto& pub = scenario_->public_stats;
+  EXPECT_LT(double(priv.allocation_failures) /
+                double(std::max<std::uint64_t>(1, priv.requested)),
+            0.10);
+  EXPECT_LT(double(pub.allocation_failures) /
+                double(std::max<std::uint64_t>(1, pub.requested)),
+            0.10);
+}
+
+}  // namespace
+}  // namespace cloudlens

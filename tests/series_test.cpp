@@ -1,0 +1,139 @@
+#include "stats/series.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace cloudlens::stats {
+namespace {
+
+TimeSeries ramp(TimeGrid grid) {
+  TimeSeries s(grid);
+  for (std::size_t i = 0; i < grid.count; ++i) s[i] = double(i);
+  return s;
+}
+
+TEST(TimeSeriesTest, ConstructZeroed) {
+  const TimeSeries s(TimeGrid{0, kHour, 24});
+  EXPECT_EQ(s.size(), 24u);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_DOUBLE_EQ(s[i], 0.0);
+}
+
+TEST(TimeSeriesTest, SizeMismatchThrows) {
+  EXPECT_THROW(TimeSeries(TimeGrid{0, kHour, 24}, std::vector<double>(10)),
+               cloudlens::CheckError);
+}
+
+TEST(TimeSeriesTest, ValueAt) {
+  const auto s = ramp(TimeGrid{0, kHour, 24});
+  EXPECT_DOUBLE_EQ(s.value_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value_at(kHour + kMinute), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(23 * kHour), 23.0);
+}
+
+TEST(TimeSeriesTest, MeanAndMax) {
+  const auto s = ramp(TimeGrid{0, kHour, 4});  // 0 1 2 3
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(TimeSeriesTest, AddScaleClamp) {
+  auto a = ramp(TimeGrid{0, kHour, 4});
+  const auto b = ramp(TimeGrid{0, kHour, 4});
+  a.add(b, 2.0);  // 0 3 6 9
+  EXPECT_DOUBLE_EQ(a[3], 9.0);
+  a.scale(0.5);  // 0 1.5 3 4.5
+  EXPECT_DOUBLE_EQ(a[3], 4.5);
+  a.clamp(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[3], 3.0);
+}
+
+TEST(TimeSeriesTest, AddGridMismatchThrows) {
+  TimeSeries a(TimeGrid{0, kHour, 4});
+  const TimeSeries b(TimeGrid{0, kHour, 5});
+  EXPECT_THROW(a.add(b), cloudlens::CheckError);
+}
+
+TEST(TimeSeriesTest, DownsampleMean) {
+  const auto s = ramp(TimeGrid{0, kMinute, 6});  // 0..5
+  const auto d = s.downsample_mean(3);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);  // mean(0,1,2)
+  EXPECT_DOUBLE_EQ(d[1], 4.0);  // mean(3,4,5)
+  EXPECT_EQ(d.grid().step, 3 * kMinute);
+}
+
+TEST(TimeSeriesTest, HourlyMeanFromTelemetry) {
+  TimeSeries s(TimeGrid{0, kTelemetryInterval, 24});  // two hours of 5-min
+  for (std::size_t i = 0; i < 12; ++i) s[i] = 1.0;
+  for (std::size_t i = 12; i < 24; ++i) s[i] = 3.0;
+  const auto h = s.hourly_mean();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_DOUBLE_EQ(h[0], 1.0);
+  EXPECT_DOUBLE_EQ(h[1], 3.0);
+}
+
+TEST(TimeSeriesTest, HourOfDayProfile) {
+  // Two days hourly; value = hour-of-day on day 1, hour+2 on day 2.
+  TimeSeries s(TimeGrid{0, kHour, 48});
+  for (std::size_t i = 0; i < 48; ++i)
+    s[i] = double(i % 24) + (i >= 24 ? 2.0 : 0.0);
+  const auto profile = s.hour_of_day_profile();
+  ASSERT_EQ(profile.size(), 24u);
+  for (int h = 0; h < 24; ++h) EXPECT_DOUBLE_EQ(profile[h], h + 1.0);
+}
+
+TEST(TimeSeriesTest, Slice) {
+  const auto s = ramp(TimeGrid{0, kHour, 10});
+  const auto part = s.slice(3, 4);
+  ASSERT_EQ(part.size(), 4u);
+  EXPECT_DOUBLE_EQ(part[0], 3.0);
+  EXPECT_DOUBLE_EQ(part[3], 6.0);
+  EXPECT_EQ(part.grid().start, 3 * kHour);
+  EXPECT_THROW(s.slice(8, 5), cloudlens::CheckError);
+}
+
+TEST(PercentileBandsTest, ConstantPopulation) {
+  const TimeGrid grid{0, kHour, 6};
+  std::vector<TimeSeries> pop;
+  for (int i = 0; i < 5; ++i) {
+    TimeSeries s(grid);
+    for (std::size_t t = 0; t < grid.count; ++t) s[t] = 0.4;
+    pop.push_back(std::move(s));
+  }
+  const auto bands = percentile_bands(pop);
+  for (std::size_t t = 0; t < grid.count; ++t) {
+    EXPECT_DOUBLE_EQ(bands.p25[t], 0.4);
+    EXPECT_DOUBLE_EQ(bands.p50[t], 0.4);
+    EXPECT_DOUBLE_EQ(bands.p95[t], 0.4);
+  }
+}
+
+TEST(PercentileBandsTest, OrderedBands) {
+  const TimeGrid grid{0, kHour, 4};
+  std::vector<TimeSeries> pop;
+  for (int i = 0; i < 20; ++i) {
+    TimeSeries s(grid);
+    for (std::size_t t = 0; t < grid.count; ++t) s[t] = double(i) + double(t);
+    pop.push_back(std::move(s));
+  }
+  const auto bands = percentile_bands(pop);
+  for (std::size_t t = 0; t < grid.count; ++t) {
+    EXPECT_LE(bands.p25[t], bands.p50[t]);
+    EXPECT_LE(bands.p50[t], bands.p75[t]);
+    EXPECT_LE(bands.p75[t], bands.p95[t]);
+  }
+}
+
+TEST(PercentileBandsTest, MismatchedGridsThrow) {
+  std::vector<TimeSeries> pop;
+  pop.emplace_back(TimeGrid{0, kHour, 4});
+  pop.emplace_back(TimeGrid{0, kHour, 5});
+  EXPECT_THROW(percentile_bands(pop), cloudlens::CheckError);
+}
+
+}  // namespace
+}  // namespace cloudlens::stats

@@ -1,0 +1,93 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace cloudlens {
+namespace {
+
+TEST(SimTimeTest, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(kHour), 1);
+  EXPECT_EQ(hour_of_day(23 * kHour + 59 * kMinute), 23);
+  EXPECT_EQ(hour_of_day(kDay), 0);
+  EXPECT_EQ(hour_of_day(kDay + 5 * kHour), 5);
+}
+
+TEST(SimTimeTest, HourOfDayNegativeTimes) {
+  // One hour before epoch is 23:00 of the previous day.
+  EXPECT_EQ(hour_of_day(-kHour), 23);
+  EXPECT_EQ(hour_of_day(-kDay), 0);
+}
+
+TEST(SimTimeTest, FracHourOfDay) {
+  EXPECT_DOUBLE_EQ(frac_hour_of_day(90 * kMinute), 1.5);
+  EXPECT_DOUBLE_EQ(frac_hour_of_day(kDay + 30 * kMinute), 0.5);
+}
+
+TEST(SimTimeTest, DayOfWeekStartsMonday) {
+  EXPECT_EQ(day_of_week(0), 0);                 // Monday
+  EXPECT_EQ(day_of_week(4 * kDay), 4);          // Friday
+  EXPECT_EQ(day_of_week(5 * kDay), 5);          // Saturday
+  EXPECT_EQ(day_of_week(6 * kDay + kHour), 6);  // Sunday
+  EXPECT_EQ(day_of_week(kWeek), 0);             // wraps to Monday
+}
+
+TEST(SimTimeTest, Weekend) {
+  EXPECT_FALSE(is_weekend(0));
+  EXPECT_FALSE(is_weekend(4 * kDay + 23 * kHour));
+  EXPECT_TRUE(is_weekend(5 * kDay));
+  EXPECT_TRUE(is_weekend(6 * kDay + 12 * kHour));
+  EXPECT_FALSE(is_weekend(kWeek));
+}
+
+TEST(SimTimeTest, MinuteOfHour) {
+  EXPECT_EQ(minute_of_hour(0), 0);
+  EXPECT_EQ(minute_of_hour(35 * kMinute), 35);
+  EXPECT_EQ(minute_of_hour(kHour + 5 * kMinute), 5);
+}
+
+TEST(SimTimeTest, FormatSimTime) {
+  EXPECT_EQ(format_sim_time(0), "Mon 00:00");
+  EXPECT_EQ(format_sim_time(kDay + 14 * kHour + 35 * kMinute), "Tue 14:35");
+  EXPECT_EQ(format_sim_time(kWeek + kDay), "w1 Tue 00:00");
+}
+
+TEST(TimeGridTest, AtAndIndexRoundTrip) {
+  const TimeGrid grid{0, kTelemetryInterval, 100};
+  for (std::size_t i = 0; i < grid.count; i += 7) {
+    EXPECT_EQ(grid.index_of(grid.at(i)), i);
+  }
+}
+
+TEST(TimeGridTest, IndexOfMidSlot) {
+  const TimeGrid grid{0, kHour, 24};
+  EXPECT_EQ(grid.index_of(kHour + 30 * kMinute), 1u);
+  EXPECT_EQ(grid.index_of(0), 0u);
+}
+
+TEST(TimeGridTest, ContainsAndEnd) {
+  const TimeGrid grid{kHour, kHour, 10};
+  EXPECT_EQ(grid.end(), 11 * kHour);
+  EXPECT_FALSE(grid.contains(kHour - 1));
+  EXPECT_TRUE(grid.contains(kHour));
+  EXPECT_TRUE(grid.contains(11 * kHour - 1));
+  EXPECT_FALSE(grid.contains(11 * kHour));
+}
+
+TEST(TimeGridTest, OutOfRangeIndexThrows) {
+  const TimeGrid grid{0, kHour, 10};
+  EXPECT_THROW(grid.index_of(-1), CheckError);
+  EXPECT_THROW(grid.index_of(10 * kHour), CheckError);
+  EXPECT_THROW(grid.at(10), CheckError);
+}
+
+TEST(TimeGridTest, CanonicalGrids) {
+  EXPECT_EQ(week_telemetry_grid().count, 2016u);
+  EXPECT_EQ(week_hourly_grid().count, 168u);
+  EXPECT_EQ(week_telemetry_grid().points_per_hour(), 12u);
+}
+
+}  // namespace
+}  // namespace cloudlens

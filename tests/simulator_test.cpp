@@ -1,0 +1,136 @@
+#include "cloudsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testutil.h"
+
+namespace cloudlens {
+namespace {
+
+DeploymentRequest make_request(SubscriptionId sub, CloudType cloud,
+                               SimTime create, SimTime remove,
+                               double cores = 16) {
+  DeploymentRequest req;
+  req.request.subscription = sub;
+  req.request.cloud = cloud;
+  req.request.region = RegionId(0);
+  req.request.cores = cores;
+  req.request.memory_gb = cores * 4;
+  req.create = create;
+  req.remove = remove;
+  return req;
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+  Topology topo_;
+  test::TraceFixture fx_;
+};
+
+TEST_F(SimulatorTest, PlacesAllWhenCapacitySuffices) {
+  std::vector<DeploymentRequest> reqs;
+  for (int i = 0; i < 8; ++i)
+    reqs.push_back(make_request(fx_.private_sub, CloudType::kPrivate,
+                                i * kHour, kNoEnd));
+  const auto stats = run_simulation(topo_, fx_.trace, reqs);
+  EXPECT_EQ(stats.requested, 8u);
+  EXPECT_EQ(stats.placed, 8u);
+  EXPECT_EQ(stats.allocation_failures, 0u);
+  EXPECT_EQ(fx_.trace.vms().size(), 8u);
+}
+
+TEST_F(SimulatorTest, RecordsMatchRequests) {
+  std::vector<DeploymentRequest> reqs;
+  auto req = make_request(fx_.public_sub, CloudType::kPublic, kHour,
+                          5 * kHour, 4);
+  req.party = PartyType::kThirdParty;
+  req.utilization = std::make_shared<ConstantUtilization>(0.3);
+  reqs.push_back(req);
+  run_simulation(topo_, fx_.trace, reqs);
+
+  ASSERT_EQ(fx_.trace.vms().size(), 1u);
+  const VmRecord& vm = fx_.trace.vms()[0];
+  EXPECT_EQ(vm.subscription, fx_.public_sub);
+  EXPECT_EQ(vm.cloud, CloudType::kPublic);
+  EXPECT_EQ(vm.party, PartyType::kThirdParty);
+  EXPECT_EQ(vm.created, kHour);
+  EXPECT_EQ(vm.deleted, 5 * kHour);
+  EXPECT_DOUBLE_EQ(vm.cores, 4);
+  EXPECT_TRUE(vm.placed());
+  ASSERT_NE(vm.utilization, nullptr);
+  EXPECT_DOUBLE_EQ(vm.utilization->at(0), 0.3);
+}
+
+TEST_F(SimulatorTest, CountsFailuresWhenFull) {
+  // Private region 0 holds 8x16 cores; the 9th concurrent VM fails.
+  std::vector<DeploymentRequest> reqs;
+  for (int i = 0; i < 9; ++i)
+    reqs.push_back(make_request(fx_.private_sub, CloudType::kPrivate, 0,
+                                kNoEnd));
+  const auto stats = run_simulation(topo_, fx_.trace, reqs);
+  EXPECT_EQ(stats.placed, 8u);
+  EXPECT_EQ(stats.allocation_failures, 1u);
+  EXPECT_EQ(fx_.trace.vms().size(), 8u);  // failed request not recorded
+}
+
+TEST_F(SimulatorTest, CapacityFreedByRemovals) {
+  std::vector<DeploymentRequest> reqs;
+  // Fill the region for [0, 2h), then request again at 2h: removals at 2h
+  // must be processed before the new create.
+  for (int i = 0; i < 8; ++i)
+    reqs.push_back(
+        make_request(fx_.private_sub, CloudType::kPrivate, 0, 2 * kHour));
+  reqs.push_back(
+      make_request(fx_.private_sub, CloudType::kPrivate, 2 * kHour, kNoEnd));
+  const auto stats = run_simulation(topo_, fx_.trace, reqs);
+  EXPECT_EQ(stats.placed, 9u);
+  EXPECT_EQ(stats.allocation_failures, 0u);
+}
+
+TEST_F(SimulatorTest, UnsortedRequestsAreOrdered) {
+  std::vector<DeploymentRequest> reqs;
+  reqs.push_back(
+      make_request(fx_.private_sub, CloudType::kPrivate, 3 * kHour, kNoEnd, 4));
+  reqs.push_back(
+      make_request(fx_.private_sub, CloudType::kPrivate, kHour, kNoEnd, 4));
+  run_simulation(topo_, fx_.trace, reqs);
+  ASSERT_EQ(fx_.trace.vms().size(), 2u);
+  EXPECT_LE(fx_.trace.vms()[0].created, fx_.trace.vms()[1].created);
+}
+
+TEST_F(SimulatorTest, NonPositiveLifetimeThrows) {
+  std::vector<DeploymentRequest> reqs;
+  reqs.push_back(make_request(fx_.private_sub, CloudType::kPrivate, kHour,
+                              kHour));
+  EXPECT_THROW(run_simulation(topo_, fx_.trace, reqs), CheckError);
+}
+
+TEST_F(SimulatorTest, SequentialShortVmsReuseCapacity) {
+  // 100 sequential 1-hour VMs that each fill the region: all place.
+  std::vector<DeploymentRequest> reqs;
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 8; ++j)
+      reqs.push_back(make_request(fx_.private_sub, CloudType::kPrivate,
+                                  i * kHour, (i + 1) * kHour));
+  }
+  const auto stats = run_simulation(topo_, fx_.trace, reqs);
+  EXPECT_EQ(stats.placed, 800u);
+  EXPECT_EQ(stats.allocation_failures, 0u);
+}
+
+TEST_F(SimulatorTest, StatsAcrossTwoRuns) {
+  std::vector<DeploymentRequest> first = {
+      make_request(fx_.private_sub, CloudType::kPrivate, 0, kNoEnd, 4)};
+  std::vector<DeploymentRequest> second = {
+      make_request(fx_.public_sub, CloudType::kPublic, 0, kNoEnd, 4)};
+  run_simulation(topo_, fx_.trace, first);
+  run_simulation(topo_, fx_.trace, second);
+  EXPECT_EQ(fx_.trace.vms().size(), 2u);
+  EXPECT_EQ(fx_.trace.vms()[0].cloud, CloudType::kPrivate);
+  EXPECT_EQ(fx_.trace.vms()[1].cloud, CloudType::kPublic);
+}
+
+}  // namespace
+}  // namespace cloudlens

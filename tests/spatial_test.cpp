@@ -1,0 +1,208 @@
+#include "analysis/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "testutil.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens::analysis {
+namespace {
+
+using workloads::DiurnalUtilization;
+using workloads::StableUtilization;
+
+class SpatialTest : public ::testing::Test {
+ protected:
+  SpatialTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+
+  ServiceId add_service(CloudType cloud, bool agnostic) {
+    ServiceInfo svc;
+    svc.cloud = cloud;
+    svc.region_agnostic = agnostic;
+    return fx_.trace.add_service(svc);
+  }
+
+  SubscriptionId add_sub(CloudType cloud, ServiceId service = ServiceId()) {
+    SubscriptionInfo info;
+    info.cloud = cloud;
+    info.service = service;
+    if (service.valid()) info.party = PartyType::kFirstParty;
+    return fx_.trace.add_subscription(info);
+  }
+
+  NodeId node_in_region(int region, CloudType cloud) {
+    const auto clusters = topo_.clusters_in(RegionId(region), cloud);
+    return topo_.cluster(clusters[0]).nodes.front();
+  }
+
+  std::shared_ptr<DiurnalUtilization> diurnal(double tz, std::uint64_t seed) {
+    DiurnalUtilization::Params p;
+    p.tz_offset_hours = tz;
+    p.noise_sigma = 0.03;
+    return std::make_shared<DiurnalUtilization>(p, seed);
+  }
+
+  Topology topo_;
+  test::TraceFixture fx_;
+};
+
+TEST_F(SpatialTest, SameShapeVmsCorrelateWithNode) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  for (int i = 0; i < 4; ++i)
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+               diurnal(-5, 100 + i));
+  const auto corr = node_vm_correlations(fx_.trace, CloudType::kPrivate, 0);
+  ASSERT_EQ(corr.size(), 4u);
+  for (const double r : corr) EXPECT_GT(r, 0.6);
+}
+
+TEST_F(SpatialTest, MixedShapesDecorrelate) {
+  const NodeId node = node_in_region(0, CloudType::kPublic);
+  // A flat VM on a node dominated by diurnal VMs barely correlates.
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 2, -kDay, kNoEnd,
+             std::make_shared<StableUtilization>(StableUtilization::Params{},
+                                                 7));
+  for (int i = 0; i < 3; ++i)
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 4, -kDay, kNoEnd,
+               diurnal(-5, 200 + i));
+  const auto corr = node_vm_correlations(fx_.trace, CloudType::kPublic, 0);
+  ASSERT_EQ(corr.size(), 4u);
+  // corr is sorted ascending; the stable VM's entry is the smallest.
+  EXPECT_LT(corr.front(), 0.3);
+  EXPECT_GT(corr.back(), 0.6);
+}
+
+TEST_F(SpatialTest, SingleVmNodesExcluded) {
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+             diurnal(-5, 1));
+  EXPECT_TRUE(node_vm_correlations(fx_.trace, CloudType::kPrivate, 0).empty());
+}
+
+TEST_F(SpatialTest, SubscriptionRegionProfilesSplitByRegion) {
+  const NodeId n0 = node_in_region(0, CloudType::kPrivate);
+  const NodeId n1 = node_in_region(1, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n0, 4, -kDay, kNoEnd,
+             diurnal(-5, 1), RegionId(0));
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n1, 4, -kDay, kNoEnd,
+             diurnal(-5, 2), RegionId(1));
+  const auto profiles =
+      subscription_region_profiles(fx_.trace, fx_.private_sub);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].region, RegionId(0));
+  EXPECT_EQ(profiles[1].region, RegionId(1));
+  EXPECT_EQ(profiles[0].vms_used, 1u);
+  EXPECT_EQ(profiles[0].hourly_utilization.size(), 168u);
+}
+
+TEST_F(SpatialTest, AlignedAnchorsCorrelateAcrossRegions) {
+  // Region-agnostic: same anchor tz in both regions -> high correlation.
+  const NodeId n0 = node_in_region(0, CloudType::kPrivate);
+  const NodeId n1 = node_in_region(1, CloudType::kPrivate);
+  for (int i = 0; i < 3; ++i) {
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n0, 4, -kDay, kNoEnd,
+               diurnal(-5, 10 + i), RegionId(0));
+    fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n1, 4, -kDay, kNoEnd,
+               diurnal(-5, 20 + i), RegionId(1));
+  }
+  const auto corrs = cross_region_correlations(fx_.trace, CloudType::kPrivate);
+  ASSERT_EQ(corrs.size(), 1u);
+  EXPECT_GT(corrs[0], 0.8);
+}
+
+TEST_F(SpatialTest, ShiftedAnchorsDecorrelate) {
+  // Region-local: anchors 8 hours apart -> visibly lower correlation.
+  const NodeId n0 = node_in_region(0, CloudType::kPublic);
+  const NodeId n1 = node_in_region(1, CloudType::kPublic);
+  for (int i = 0; i < 3; ++i) {
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, n0, 4, -kDay, kNoEnd,
+               diurnal(-5, 30 + i), RegionId(0));
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, n1, 4, -kDay, kNoEnd,
+               diurnal(-13, 40 + i), RegionId(1));
+  }
+  const auto shifted = cross_region_correlations(fx_.trace, CloudType::kPublic);
+  ASSERT_EQ(shifted.size(), 1u);
+  EXPECT_LT(shifted[0], 0.5);
+}
+
+TEST_F(SpatialTest, SingleRegionSubscriptionsYieldNoPairs) {
+  const NodeId n0 = node_in_region(0, CloudType::kPublic);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, n0, 4, -kDay, kNoEnd,
+             diurnal(-5, 1));
+  EXPECT_TRUE(cross_region_correlations(fx_.trace, CloudType::kPublic).empty());
+}
+
+TEST_F(SpatialTest, DetectsPlantedRegionAgnosticService) {
+  const ServiceId agnostic = add_service(CloudType::kPrivate, true);
+  const ServiceId local = add_service(CloudType::kPrivate, false);
+  const SubscriptionId sub_a = add_sub(CloudType::kPrivate, agnostic);
+  const SubscriptionId sub_l = add_sub(CloudType::kPrivate, local);
+  const NodeId n0 = node_in_region(0, CloudType::kPrivate);
+  const NodeId n1 = node_in_region(1, CloudType::kPrivate);
+
+  auto add_service_vm = [&](SubscriptionId sub, ServiceId svc, NodeId node,
+                            RegionId region, double tz, std::uint64_t seed) {
+    VmRecord rec;
+    rec.subscription = sub;
+    rec.service = svc;
+    rec.cloud = CloudType::kPrivate;
+    rec.party = PartyType::kFirstParty;
+    rec.region = region;
+    const Node& n = topo_.node(node);
+    rec.cluster = n.cluster;
+    rec.rack = n.rack;
+    rec.node = node;
+    rec.cores = 4;
+    rec.memory_gb = 16;
+    rec.created = -kDay;
+    rec.deleted = kNoEnd;
+    rec.utilization = diurnal(tz, seed);
+    fx_.trace.add_vm(std::move(rec));
+  };
+
+  // Agnostic service: same anchor everywhere.
+  for (int i = 0; i < 3; ++i) {
+    add_service_vm(sub_a, agnostic, n0, RegionId(0), -5, 50 + i);
+    add_service_vm(sub_a, agnostic, n1, RegionId(1), -5, 60 + i);
+  }
+  // Local service: anchors follow region time zones far apart.
+  for (int i = 0; i < 3; ++i) {
+    add_service_vm(sub_l, local, n0, RegionId(0), -5, 70 + i);
+    add_service_vm(sub_l, local, n1, RegionId(1), -13, 80 + i);
+  }
+
+  const auto verdicts =
+      detect_region_agnostic_services(fx_.trace, CloudType::kPrivate, 0.7);
+  ASSERT_EQ(verdicts.size(), 2u);
+  const auto& va = verdicts[0].service == agnostic ? verdicts[0] : verdicts[1];
+  const auto& vl = verdicts[0].service == local ? verdicts[0] : verdicts[1];
+  EXPECT_TRUE(va.region_agnostic);
+  EXPECT_FALSE(vl.region_agnostic);
+  EXPECT_GT(va.min_pair_correlation, vl.min_pair_correlation);
+  EXPECT_EQ(va.regions, 2u);
+}
+
+TEST_F(SpatialTest, SingleRegionServicesNotJudged) {
+  const ServiceId svc = add_service(CloudType::kPrivate, true);
+  const SubscriptionId sub = add_sub(CloudType::kPrivate, svc);
+  VmRecord rec;
+  rec.subscription = sub;
+  rec.service = svc;
+  rec.cloud = CloudType::kPrivate;
+  rec.region = RegionId(0);
+  const NodeId node = node_in_region(0, CloudType::kPrivate);
+  const Node& n = topo_.node(node);
+  rec.cluster = n.cluster;
+  rec.rack = n.rack;
+  rec.node = node;
+  rec.created = -kDay;
+  rec.deleted = kNoEnd;
+  rec.utilization = diurnal(-5, 1);
+  fx_.trace.add_vm(std::move(rec));
+  EXPECT_TRUE(
+      detect_region_agnostic_services(fx_.trace, CloudType::kPrivate).empty());
+}
+
+}  // namespace
+}  // namespace cloudlens::analysis

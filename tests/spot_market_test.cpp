@@ -1,0 +1,126 @@
+#include "policies/spot_market.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testutil.h"
+
+namespace cloudlens::policies {
+namespace {
+
+class SpotMarketTest : public ::testing::Test {
+ protected:
+  // tiny_topology: public region 0 = 8 nodes x 16 cores = 128 cores.
+  SpotMarketTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+
+  /// Occupy `cores` cores of public region 0 over [begin, end).
+  void occupy(double cores, SimTime begin, SimTime end) {
+    const auto clusters = topo_.clusters_in(RegionId(0), CloudType::kPublic);
+    std::size_t node_idx = 0;
+    while (cores > 0) {
+      const Cluster& cluster = topo_.cluster(clusters[0]);
+      const NodeId node = cluster.nodes[node_idx++ % cluster.nodes.size()];
+      const double grab = std::min(cores, 16.0);
+      fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, grab, begin, end);
+      cores -= grab;
+    }
+  }
+
+  SpotMarketOptions options() {
+    SpotMarketOptions o;
+    o.region = RegionId(0);
+    o.capacity_reserve = 0.0;
+    o.jobs_per_hour = 2;
+    o.job_cores = 4;
+    o.job_duration = 2 * kHour;
+    return o;
+  }
+
+  Topology topo_;
+  test::TraceFixture fx_;
+};
+
+TEST_F(SpotMarketTest, EmptyRegionServesEverything) {
+  const auto report = simulate_spot_market(fx_.trace, options());
+  EXPECT_GT(report.jobs_submitted, 100u);
+  EXPECT_EQ(report.jobs_evicted, 0u);
+  EXPECT_EQ(report.jobs_rejected, 0u);
+  EXPECT_DOUBLE_EQ(report.eviction_rate, 0.0);
+  // Nearly every submitted job completes (jobs still running at the end of
+  // the window are neither completed nor evicted).
+  EXPECT_GT(double(report.jobs_completed) / double(report.jobs_submitted),
+            0.95);
+  EXPECT_GT(report.utilization_with_spot, report.utilization_before);
+}
+
+TEST_F(SpotMarketTest, FullRegionRejectsEverything) {
+  occupy(128, -kDay, kNoEnd);
+  const auto report = simulate_spot_market(fx_.trace, options());
+  EXPECT_EQ(report.jobs_completed, 0u);
+  EXPECT_EQ(report.jobs_rejected, report.jobs_submitted);
+  EXPECT_DOUBLE_EQ(report.spot_core_hours, 0.0);
+}
+
+TEST_F(SpotMarketTest, DemandSurgeEvictsSpotJobs) {
+  // Capacity free early; at day 2 the on-demand side takes everything.
+  occupy(128, 2 * kDay, kNoEnd);
+  auto o = options();
+  o.job_duration = kWeek;  // long jobs guaranteed to be running at the surge
+  o.jobs_per_hour = 1;
+  const auto report = simulate_spot_market(fx_.trace, o);
+  EXPECT_GT(report.jobs_evicted, 0u);
+  // After the surge no spot capacity remains.
+  const TimeGrid& grid = report.spot_cores.grid();
+  for (std::size_t i = grid.index_of(2 * kDay) + 1; i < grid.count; i += 7)
+    EXPECT_DOUBLE_EQ(report.spot_cores[i], 0.0);
+}
+
+TEST_F(SpotMarketTest, ReserveLimitsSpotFootprint) {
+  auto o = options();
+  o.capacity_reserve = 0.5;  // only 64 cores ever offered to spot
+  o.jobs_per_hour = 30;      // saturate
+  const auto report = simulate_spot_market(fx_.trace, o);
+  for (std::size_t i = 0; i < report.spot_cores.size(); ++i)
+    EXPECT_LE(report.spot_cores[i], 64.0 + 1e-9);
+  EXPECT_GT(report.jobs_rejected, 0u);
+}
+
+TEST_F(SpotMarketTest, EvictionRiskConcentratesBeforeTheSurge) {
+  // On-demand demand arrives every day at 09:00 and leaves at 17:00:
+  // jobs submitted in the hours just before 09:00 get evicted.
+  for (int day = 0; day < 7; ++day)
+    occupy(120, day * kDay + 9 * kHour, day * kDay + 17 * kHour);
+  auto o = options();
+  o.job_duration = 6 * kHour;
+  o.jobs_per_hour = 4;
+  const auto report = simulate_spot_market(fx_.trace, o);
+  ASSERT_GT(report.jobs_evicted, 0u);
+  // Risk at 07:00 submissions far exceeds risk at 18:00 submissions.
+  EXPECT_GT(report.eviction_risk_by_hour[7],
+            report.eviction_risk_by_hour[18] + 0.2);
+}
+
+TEST_F(SpotMarketTest, MixturePolicyBeatsAllSpotOnCompletion) {
+  for (int day = 0; day < 7; ++day)
+    occupy(120, day * kDay + 9 * kHour, day * kDay + 17 * kHour);
+  auto o = options();
+  o.job_duration = 6 * kHour;
+  o.jobs_per_hour = 4;
+  const auto cmp = compare_mixture_policy(fx_.trace, o, 0.15);
+  // Mixture completes more work than all-spot and costs less than all
+  // on-demand.
+  EXPECT_GT(cmp.mixture_completion, cmp.all_spot_completion);
+  EXPECT_LT(cmp.mixture_cost, cmp.all_ondemand_cost);
+}
+
+TEST_F(SpotMarketTest, InvalidOptionsThrow) {
+  auto o = options();
+  o.capacity_reserve = 1.0;
+  EXPECT_THROW(simulate_spot_market(fx_.trace, o), CheckError);
+  o = options();
+  o.job_cores = 0;
+  EXPECT_THROW(simulate_spot_market(fx_.trace, o), CheckError);
+}
+
+}  // namespace
+}  // namespace cloudlens::policies

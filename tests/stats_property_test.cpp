@@ -1,0 +1,111 @@
+// Additional cross-cutting property tests over the stats layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+#include "stats/histogram.h"
+#include "stats/periodicity.h"
+
+namespace cloudlens::stats {
+namespace {
+
+class QuantileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileProperty, MonotoneInPAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> xs(257);
+  for (auto& x : xs) x = rng.lognormal(1.0, 2.0);
+  double prev = -1e300;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double q = quantile(xs, p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST_P(QuantileProperty, EcdfInverseIsRightInverse) {
+  Rng rng(GetParam() + 1);
+  std::vector<double> xs(400);
+  for (auto& x : xs) x = rng.normal(0, 3);
+  const Ecdf e(xs);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    // F(F^-1(p)) >= p always holds for the empirical CDF.
+    EXPECT_GE(e.at(e.inverse(p)), p - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileProperty,
+                         ::testing::Values(1, 7, 23, 91));
+
+TEST(HistogramEcdfConsistency, CumulativeMatchesEcdfAtEdges) {
+  Rng rng(5);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.uniform(0.0, 10.0);
+  Histogram1D h(0, 10, 20);
+  for (const double x : xs) h.add(x);
+  const Ecdf e(xs);
+  const auto cum = h.cumulative();
+  for (std::size_t b = 0; b < h.axis().bins(); ++b) {
+    // The histogram's cumulative value at a bin equals the ECDF evaluated
+    // just below the upper edge (up to items sitting exactly on the edge).
+    EXPECT_NEAR(cum[b], e.at(h.axis().upper_edge(b) - 1e-9), 0.01);
+  }
+}
+
+TEST(UniformIntUnbiased, NonPowerOfTwoRange) {
+  // Lemire rejection must not bias any residue class for n not a power
+  // of two.
+  Rng rng(6);
+  constexpr std::uint64_t n = 6;
+  std::array<int, n> hits{};
+  const int draws = 120000;
+  for (int i = 0; i < draws; ++i) ++hits[rng.uniform_int(n)];
+  for (const int h : hits) {
+    EXPECT_NEAR(double(h) / draws, 1.0 / double(n), 0.006);
+  }
+}
+
+class PeriodicityNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PeriodicityNoiseSweep, DailySignalSurvivesNoise) {
+  const double sigma = GetParam();
+  Rng rng(17);
+  TimeSeries s(week_telemetry_grid());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double phase =
+        2.0 * std::numbers::pi * double(s.grid().at(i)) / double(kDay);
+    s[i] = 0.3 + 0.15 * std::sin(phase) + rng.normal(0, sigma);
+  }
+  const auto detection = detect_period(s);
+  ASSERT_TRUE(detection.periodic) << "sigma=" << sigma;
+  EXPECT_NEAR(double(detection.period), double(kDay), double(kDay) * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, PeriodicityNoiseSweep,
+                         ::testing::Values(0.01, 0.05, 0.10, 0.15));
+
+TEST(SummaryConsistency, SummaryAgreesWithDirectQuantiles) {
+  Rng rng(8);
+  std::vector<double> xs(999);
+  for (auto& x : xs) x = rng.gamma(2.0, 3.0);
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p50, quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(s.p95, quantile(xs, 0.95));
+  EXPECT_NEAR(s.mean, mean(xs), 1e-12);
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.p50);
+  EXPECT_LE(s.p50, s.p75);
+  EXPECT_LE(s.p75, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+}  // namespace
+}  // namespace cloudlens::stats

@@ -1,0 +1,148 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/ascii_chart.h"
+#include "common/check.h"
+
+namespace cloudlens {
+namespace {
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row().add("a").add(std::int64_t{1});
+  t.row().add("longer").add(std::int64_t{22});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("a       1"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTableTest, DoubleCellUsesPrecision) {
+  TextTable t({"x"});
+  t.row().add(3.14159, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+}
+
+TEST(TextTableTest, AddWithoutRowThrows) {
+  TextTable t({"x"});
+  EXPECT_THROW(t.add("boom"), CheckError);
+}
+
+TEST(TextTableTest, TooManyCellsThrows) {
+  TextTable t({"x"});
+  t.row().add("a");
+  EXPECT_THROW(t.add("b"), CheckError);
+}
+
+TEST(TextTableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), CheckError);
+}
+
+TEST(TextTableTest, CsvBasic) {
+  TextTable t({"a", "b"});
+  t.row().add("1").add("2");
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t({"a"});
+  t.row().add("x,y");
+  t.row().add("q\"uote");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().add("1");
+  t.row().add("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiChartTest, RenderLinesContainsGlyphAndLegend) {
+  const std::vector<std::pair<std::string, std::vector<double>>> series = {
+      {"up", {0, 1, 2, 3, 4}}};
+  const std::string s = render_lines(series);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("up"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RenderLinesTwoSeriesTwoGlyphs) {
+  const std::vector<std::pair<std::string, std::vector<double>>> series = {
+      {"a", {0, 1}}, {"b", {1, 0}}};
+  const std::string s = render_lines(series);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);
+}
+
+TEST(AsciiChartTest, RenderLinesConstantSeriesNoCrash) {
+  const std::string s = render_lines({{"flat", {5, 5, 5}}});
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(AsciiChartTest, RenderLinesFixedRange) {
+  ChartOptions opts;
+  opts.fixed_y_range = true;
+  opts.y_min = 0;
+  opts.y_max = 1;
+  const std::string s = render_lines({{"s", {0.5, 0.5}}}, opts);
+  EXPECT_NE(s.find("1.00"), std::string::npos);
+  EXPECT_NE(s.find("0.00"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RenderBarsProportional) {
+  const std::string s =
+      render_bars({{"big", 10.0}, {"small", 1.0}}, 20, "title");
+  EXPECT_NE(s.find("title"), std::string::npos);
+  // The big bar renders more '#' than the small one.
+  const auto big_pos = s.find("big");
+  const auto small_pos = s.find("small");
+  ASSERT_NE(big_pos, std::string::npos);
+  ASSERT_NE(small_pos, std::string::npos);
+  const auto count_hashes = [&](std::size_t from) {
+    std::size_t n = 0;
+    for (std::size_t i = from; i < s.size() && s[i] != '\n'; ++i)
+      if (s[i] == '#') ++n;
+    return n;
+  };
+  EXPECT_GT(count_hashes(big_pos), count_hashes(small_pos));
+}
+
+TEST(AsciiChartTest, RenderBoxesShowsMedianMarker) {
+  BoxSpec box;
+  box.label = "x";
+  box.whisker_lo = 0;
+  box.q1 = 1;
+  box.median = 2;
+  box.q3 = 3;
+  box.whisker_hi = 4;
+  const std::string s = render_boxes({box});
+  EXPECT_NE(s.find('M'), std::string::npos);
+  EXPECT_NE(s.find("med=2.000"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RenderHeatmapDimensions) {
+  const std::vector<std::vector<double>> grid = {{0, 1}, {1, 0}};
+  const std::string s = render_heatmap(grid, "hm", "x", "y");
+  EXPECT_NE(s.find("hm"), std::string::npos);
+  EXPECT_NE(s.find('@'), std::string::npos);  // max cells use densest glyph
+}
+
+TEST(AsciiChartTest, EmptyInputsThrow) {
+  EXPECT_THROW(render_lines({}), CheckError);
+  EXPECT_THROW(render_bars({}), CheckError);
+  EXPECT_THROW(render_boxes({}), CheckError);
+  EXPECT_THROW(render_heatmap({}), CheckError);
+}
+
+}  // namespace
+}  // namespace cloudlens

@@ -1,0 +1,130 @@
+#include "analysis/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "testutil.h"
+
+namespace cloudlens::analysis {
+namespace {
+
+class TemporalTest : public ::testing::Test {
+ protected:
+  TemporalTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+  Topology topo_;
+  test::TraceFixture fx_;
+  NodeId node_{test::first_node(topo_, CloudType::kPublic)};
+};
+
+TEST_F(TemporalTest, LifetimesOnlyCountInWindowVms) {
+  // In-window: created >= 0 and deleted <= week.
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, kHour, 3 * kHour);
+  // Started before the window: excluded.
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, -kHour, 2 * kHour);
+  // Ends after the window: excluded.
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, kDay,
+             kWeek + kHour);
+  // Never ends: excluded.
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, kDay, kNoEnd);
+
+  const auto lifetimes = vm_lifetimes(fx_.trace, CloudType::kPublic);
+  ASSERT_EQ(lifetimes.size(), 1u);
+  EXPECT_DOUBLE_EQ(lifetimes[0], double(2 * kHour));
+}
+
+TEST_F(TemporalTest, ShortestBinShare) {
+  const std::vector<double> lifetimes = {
+      double(10 * kMinute), double(20 * kMinute), double(2 * kHour),
+      double(kDay)};
+  EXPECT_DOUBLE_EQ(shortest_bin_share(lifetimes), 0.5);
+  EXPECT_DOUBLE_EQ(shortest_bin_share({}), 0.0);
+  EXPECT_DOUBLE_EQ(shortest_bin_share(lifetimes, double(kMinute)), 0.0);
+}
+
+TEST_F(TemporalTest, VmCountSweepMatchesBruteForce) {
+  // Three VMs with varied overlaps.
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, -kDay, 2 * kHour);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, kHour, 5 * kHour);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, 3 * kHour, kNoEnd);
+
+  const TimeGrid grid{0, kHour, 8};
+  const auto series =
+      vm_count_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid);
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    int expected = 0;
+    for (const auto& vm : fx_.trace.vms()) {
+      if (vm.alive_at(grid.at(i))) ++expected;
+    }
+    EXPECT_DOUBLE_EQ(series[i], double(expected)) << "hour " << i;
+  }
+}
+
+TEST_F(TemporalTest, VmCountAggregatesAllRegionsWhenInvalid) {
+  const auto clusters1 = topo_.clusters_in(RegionId(1), CloudType::kPublic);
+  const NodeId node1 = topo_.cluster(clusters1[0]).nodes.front();
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, 0, kNoEnd);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node1, 1, 0, kNoEnd, nullptr,
+             RegionId(1));
+  const TimeGrid grid{0, kHour, 2};
+  EXPECT_DOUBLE_EQ(
+      vm_count_per_hour(fx_.trace, CloudType::kPublic, RegionId(), grid)[1],
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      vm_count_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid)[1],
+      1.0);
+}
+
+TEST_F(TemporalTest, CreationsPerHourBins) {
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, 30 * kMinute,
+             kNoEnd);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, 45 * kMinute,
+             kNoEnd);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, 2 * kHour, kNoEnd);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, -kHour, kNoEnd);
+
+  const TimeGrid grid{0, kHour, 4};
+  const auto series =
+      creations_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid);
+  EXPECT_DOUBLE_EQ(series[0], 2.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);
+  EXPECT_DOUBLE_EQ(series[2], 1.0);  // pre-window creation not binned
+}
+
+TEST_F(TemporalTest, RemovalsPerHourBins) {
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, 0, kHour + 1);
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, 0, kNoEnd);
+  const TimeGrid grid{0, kHour, 4};
+  const auto series =
+      removals_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[1], 1.0);
+}
+
+TEST_F(TemporalTest, CreationCvSkipsEmptyRegions) {
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, kHour, kNoEnd);
+  const auto cvs = creation_cv_by_region(fx_.trace, CloudType::kPublic);
+  // Only region 0 has creations.
+  ASSERT_EQ(cvs.size(), 1u);
+}
+
+TEST_F(TemporalTest, BurstyRegionHasHigherCv) {
+  // Region 0: one creation per hour (smooth). Region 1: all in one hour.
+  const auto clusters1 = topo_.clusters_in(RegionId(1), CloudType::kPublic);
+  const NodeId node1 = topo_.cluster(clusters1[0]).nodes.front();
+  for (int h = 0; h < 24; ++h) {
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1,
+               h * kHour + kMinute, kNoEnd);
+    fx_.add_vm(CloudType::kPublic, fx_.public_sub, node1, 1,
+               5 * kHour + h * kMinute, kNoEnd, nullptr, RegionId(1));
+  }
+  const TimeGrid grid{0, kHour, 24};
+  const auto smooth =
+      creations_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid);
+  const auto bursty =
+      creations_per_hour(fx_.trace, CloudType::kPublic, RegionId(1), grid);
+  EXPECT_GT(stats::coefficient_of_variation(bursty.values()),
+            5 * stats::coefficient_of_variation(smooth.values()));
+}
+
+}  // namespace
+}  // namespace cloudlens::analysis

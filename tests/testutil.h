@@ -1,0 +1,75 @@
+// Shared helpers for cloudlens tests: tiny topologies and hand-built traces
+// with exactly known structure.
+#pragma once
+
+#include <memory>
+
+#include "cloudsim/simulator.h"
+#include "cloudsim/topology.h"
+#include "cloudsim/trace.h"
+
+namespace cloudlens::test {
+
+/// 2 regions x 1 DC x 1 cluster per cloud x 2 racks x 4 nodes (32 nodes,
+/// 16 per cloud), 16-core nodes.
+inline Topology tiny_topology() {
+  TopologySpec spec;
+  spec.regions = {{"east", -5}, {"west", -8}};
+  spec.datacenters_per_region = 1;
+  spec.clusters_per_cloud = 1;
+  spec.racks_per_cluster = 2;
+  spec.nodes_per_rack = 4;
+  spec.node_sku = NodeSku{"test-16", 16, 64};
+  return build_topology(spec);
+}
+
+/// A trace wired to `topo` with one subscription per cloud pre-registered.
+struct TraceFixture {
+  explicit TraceFixture(const Topology& topo) : trace(&topo) {
+    SubscriptionInfo priv;
+    priv.cloud = CloudType::kPrivate;
+    priv.party = PartyType::kFirstParty;
+    private_sub = trace.add_subscription(priv);
+    SubscriptionInfo pub;
+    pub.cloud = CloudType::kPublic;
+    pub.party = PartyType::kThirdParty;
+    public_sub = trace.add_subscription(pub);
+  }
+
+  /// Add a placed VM with explicit placement onto the n-th node of the
+  /// first cluster of `cloud` in region 0 (or a given node).
+  VmId add_vm(CloudType cloud, SubscriptionId sub, NodeId node, double cores,
+              SimTime created, SimTime deleted,
+              std::shared_ptr<const UtilizationModel> util = nullptr,
+              RegionId region = RegionId(0)) {
+    VmRecord rec;
+    rec.subscription = sub;
+    rec.cloud = cloud;
+    rec.party = trace.subscription(sub).party;
+    rec.region = region;
+    const Node& n = trace.topology().node(node);
+    rec.cluster = n.cluster;
+    rec.rack = n.rack;
+    rec.node = node;
+    rec.cores = cores;
+    rec.memory_gb = cores * 4;
+    rec.created = created;
+    rec.deleted = deleted;
+    rec.utilization = std::move(util);
+    return trace.add_vm(std::move(rec));
+  }
+
+  TraceStore trace;
+  SubscriptionId private_sub;
+  SubscriptionId public_sub;
+};
+
+/// First node id of the first cluster of `cloud` in `topo`.
+inline NodeId first_node(const Topology& topo, CloudType cloud) {
+  for (const auto& cluster : topo.clusters()) {
+    if (cluster.cloud == cloud) return cluster.nodes.front();
+  }
+  return NodeId();
+}
+
+}  // namespace cloudlens::test

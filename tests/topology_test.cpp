@@ -1,0 +1,139 @@
+#include "cloudsim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "cloudsim/sku.h"
+
+namespace cloudlens {
+namespace {
+
+TEST(TopologyTest, BuilderWiresHierarchy) {
+  Topology topo;
+  const RegionId region = topo.add_region("east", -5);
+  const DatacenterId dc = topo.add_datacenter(region);
+  const ClusterId cluster =
+      topo.add_cluster(dc, CloudType::kPrivate, NodeSku{});
+  const RackId rack = topo.add_rack(cluster);
+  const NodeId node = topo.add_node(rack);
+
+  EXPECT_EQ(topo.region(region).name, "east");
+  EXPECT_EQ(topo.datacenter(dc).region, region);
+  EXPECT_EQ(topo.cluster(cluster).datacenter, dc);
+  EXPECT_EQ(topo.cluster(cluster).region, region);
+  EXPECT_EQ(topo.rack(rack).cluster, cluster);
+  EXPECT_EQ(topo.node(node).rack, rack);
+  EXPECT_EQ(topo.node(node).cluster, cluster);
+  EXPECT_EQ(topo.node(node).region, region);
+  EXPECT_EQ(topo.node(node).cloud, CloudType::kPrivate);
+}
+
+TEST(TopologyTest, NodeInheritsClusterSku) {
+  Topology topo;
+  const auto region = topo.add_region("r", 0);
+  const auto dc = topo.add_datacenter(region);
+  NodeSku sku{"big", 96, 768};
+  const auto cluster = topo.add_cluster(dc, CloudType::kPublic, sku);
+  const auto node = topo.add_node(topo.add_rack(cluster));
+  EXPECT_DOUBLE_EQ(topo.node(node).total_cores, 96);
+  EXPECT_DOUBLE_EQ(topo.node(node).total_memory_gb, 768);
+}
+
+TEST(TopologyTest, BuildFromSpecCounts) {
+  TopologySpec spec;
+  spec.regions = {{"a", 0}, {"b", -3}, {"c", 2}};
+  spec.datacenters_per_region = 2;
+  spec.clusters_per_cloud = 2;
+  spec.racks_per_cluster = 3;
+  spec.nodes_per_rack = 4;
+  const Topology topo = build_topology(spec);
+
+  EXPECT_EQ(topo.regions().size(), 3u);
+  EXPECT_EQ(topo.datacenters().size(), 6u);
+  // 2 clusters per cloud x 2 clouds x 6 DCs.
+  EXPECT_EQ(topo.clusters().size(), 24u);
+  EXPECT_EQ(topo.racks().size(), 24u * 3);
+  EXPECT_EQ(topo.nodes().size(), 24u * 3 * 4);
+}
+
+TEST(TopologyTest, CloudsGetDisjointClusters) {
+  const Topology topo = build_topology(default_topology_spec());
+  const auto priv = topo.clusters_of(CloudType::kPrivate);
+  const auto pub = topo.clusters_of(CloudType::kPublic);
+  EXPECT_EQ(priv.size() + pub.size(), topo.clusters().size());
+  EXPECT_EQ(priv.size(), pub.size());  // symmetric spec
+  for (const auto id : priv)
+    EXPECT_EQ(topo.cluster(id).cloud, CloudType::kPrivate);
+}
+
+TEST(TopologyTest, ClustersInFiltersRegionAndCloud) {
+  const Topology topo = build_topology(default_topology_spec());
+  const RegionId region(0);
+  const auto clusters = topo.clusters_in(region, CloudType::kPublic);
+  EXPECT_FALSE(clusters.empty());
+  for (const auto id : clusters) {
+    EXPECT_EQ(topo.cluster(id).region, region);
+    EXPECT_EQ(topo.cluster(id).cloud, CloudType::kPublic);
+  }
+}
+
+TEST(TopologyTest, CoreTotals) {
+  TopologySpec spec;
+  spec.regions = {{"a", 0}};
+  spec.datacenters_per_region = 1;
+  spec.clusters_per_cloud = 2;
+  spec.racks_per_cluster = 2;
+  spec.nodes_per_rack = 5;
+  spec.node_sku = NodeSku{"n", 10, 40};
+  const Topology topo = build_topology(spec);
+  const auto clusters = topo.clusters_in(RegionId(0), CloudType::kPrivate);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_DOUBLE_EQ(topo.cluster_total_cores(clusters[0]), 100);
+  EXPECT_DOUBLE_EQ(
+      topo.region_total_cores(RegionId(0), CloudType::kPrivate), 200);
+}
+
+TEST(TopologyTest, DefaultSpecHasTenRegionsNineZones) {
+  const TopologySpec spec = default_topology_spec();
+  EXPECT_EQ(spec.regions.size(), 10u);
+  std::set<double> zones;
+  for (const auto& [_, tz] : spec.regions) zones.insert(tz);
+  EXPECT_EQ(zones.size(), 9u);
+}
+
+TEST(TopologyTest, InvalidParentThrows) {
+  Topology topo;
+  EXPECT_THROW(topo.add_datacenter(RegionId(5)), CheckError);
+  EXPECT_THROW(topo.add_rack(ClusterId(0)), CheckError);
+  EXPECT_THROW(topo.add_node(RackId(9)), CheckError);
+}
+
+TEST(SkuCatalogTest, MainstreamValid) {
+  const auto catalog = SkuCatalog::mainstream();
+  EXPECT_EQ(catalog.size(), 5u);
+  EXPECT_DOUBLE_EQ(catalog.max_cores(), 16);
+  EXPECT_DOUBLE_EQ(catalog.max_memory_gb(), 64);
+}
+
+TEST(SkuCatalogTest, ExtremeTailsWider) {
+  const auto mainstream = SkuCatalog::mainstream();
+  const auto tails = SkuCatalog::with_extreme_tails();
+  EXPECT_GT(tails.max_cores(), mainstream.max_cores());
+  EXPECT_GT(tails.max_memory_gb(), mainstream.max_memory_gb());
+  // Tails include sub-1GB-per-core burstables.
+  double min_mem = 1e9;
+  for (const auto& sku : tails.skus()) min_mem = std::min(min_mem, sku.memory_gb);
+  EXPECT_LT(min_mem, 1.0);
+}
+
+TEST(SkuCatalogTest, InvalidCatalogThrows) {
+  EXPECT_THROW(SkuCatalog({}, {}), CheckError);
+  EXPECT_THROW(SkuCatalog({VmSku{"a", 1, 4}}, {1.0, 2.0}), CheckError);
+  EXPECT_THROW(SkuCatalog({VmSku{"a", 0, 4}}, {1.0}), CheckError);
+  EXPECT_THROW(SkuCatalog({VmSku{"a", 1, 4}}, {-1.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace cloudlens

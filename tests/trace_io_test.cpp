@@ -1,0 +1,185 @@
+#include "cloudsim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "testutil.h"
+#include "workloads/generator.h"
+
+namespace cloudlens {
+namespace {
+
+TEST(SampledUtilizationTest, StepFunctionWithClamping) {
+  const TimeGrid grid{0, kHour, 3};
+  SampledUtilization model(grid, {0.1, 0.5, 0.9});
+  EXPECT_DOUBLE_EQ(model.at(-kHour), 0.1);   // clamp below
+  EXPECT_DOUBLE_EQ(model.at(0), 0.1);
+  EXPECT_DOUBLE_EQ(model.at(kHour + kMinute), 0.5);
+  EXPECT_DOUBLE_EQ(model.at(10 * kHour), 0.9);  // clamp above
+  EXPECT_EQ(model.kind(), "sampled");
+}
+
+TEST(SampledUtilizationTest, SizeMismatchThrows) {
+  EXPECT_THROW(SampledUtilization(TimeGrid{0, kHour, 3}, {0.1}), CheckError);
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  TraceIoTest() : topo_(test::tiny_topology()), fx_(topo_) {}
+  Topology topo_;
+  test::TraceFixture fx_;
+};
+
+TEST_F(TraceIoTest, TopologyRoundTrip) {
+  std::ostringstream out;
+  export_topology(topo_, out);
+  std::istringstream topo_in(out.str());
+  std::istringstream vm_in("vm,subscription,service,cloud,party,region,"
+                           "cluster,rack,node,cores,memory_gb,created,"
+                           "deleted,pattern\n");
+  const auto imported = import_trace(topo_in, vm_in, nullptr);
+  const Topology& t = *imported.topology;
+  EXPECT_EQ(t.regions().size(), topo_.regions().size());
+  EXPECT_EQ(t.datacenters().size(), topo_.datacenters().size());
+  EXPECT_EQ(t.clusters().size(), topo_.clusters().size());
+  EXPECT_EQ(t.racks().size(), topo_.racks().size());
+  EXPECT_EQ(t.nodes().size(), topo_.nodes().size());
+  for (std::size_t i = 0; i < t.nodes().size(); ++i) {
+    EXPECT_EQ(t.nodes()[i].rack, topo_.nodes()[i].rack);
+    EXPECT_EQ(t.nodes()[i].cluster, topo_.nodes()[i].cluster);
+    EXPECT_EQ(t.nodes()[i].cloud, topo_.nodes()[i].cloud);
+    EXPECT_DOUBLE_EQ(t.nodes()[i].total_cores, topo_.nodes()[i].total_cores);
+  }
+  for (std::size_t i = 0; i < t.regions().size(); ++i) {
+    EXPECT_EQ(t.regions()[i].name, topo_.regions()[i].name);
+    EXPECT_DOUBLE_EQ(t.regions()[i].tz_offset_hours,
+                     topo_.regions()[i].tz_offset_hours);
+  }
+}
+
+TEST_F(TraceIoTest, VmTableRoundTrip) {
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.3));
+  fx_.add_vm(CloudType::kPublic, fx_.public_sub,
+             test::first_node(topo_, CloudType::kPublic), 2, kHour,
+             5 * kHour);
+
+  std::ostringstream topo_out, vm_out;
+  export_topology(topo_, topo_out);
+  export_vm_table(fx_.trace, vm_out);
+  std::istringstream topo_in(topo_out.str()), vm_in(vm_out.str());
+  const auto imported = import_trace(topo_in, vm_in, nullptr);
+  const TraceStore& t = *imported.trace;
+
+  ASSERT_EQ(t.vms().size(), 2u);
+  const VmRecord& a = t.vms()[0];
+  EXPECT_EQ(a.cloud, CloudType::kPrivate);
+  EXPECT_EQ(a.party, PartyType::kFirstParty);
+  EXPECT_EQ(a.created, -kDay);
+  EXPECT_FALSE(a.ended());
+  EXPECT_DOUBLE_EQ(a.cores, 4);
+  const VmRecord& b = t.vms()[1];
+  EXPECT_EQ(b.cloud, CloudType::kPublic);
+  EXPECT_EQ(b.created, kHour);
+  EXPECT_EQ(b.deleted, 5 * kHour);
+  // Subscriptions reconstructed with the right metadata.
+  EXPECT_EQ(t.subscription(a.subscription).party, PartyType::kFirstParty);
+  EXPECT_EQ(t.subscription(b.subscription).cloud, CloudType::kPublic);
+}
+
+TEST_F(TraceIoTest, UtilizationRoundTrip) {
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  const VmId id =
+      fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+                 std::make_shared<ConstantUtilization>(0.37));
+
+  std::ostringstream topo_out, vm_out, util_out;
+  export_topology(topo_, topo_out);
+  export_vm_table(fx_.trace, vm_out);
+  export_utilization(fx_.trace, util_out);
+
+  std::istringstream topo_in(topo_out.str()), vm_in(vm_out.str()),
+      util_in(util_out.str());
+  const auto imported = import_trace(topo_in, vm_in, &util_in);
+  const VmRecord& vm = imported.trace->vm(id);
+  ASSERT_NE(vm.utilization, nullptr);
+  EXPECT_EQ(vm.utilization->kind(), "sampled");
+  const TimeGrid& grid = imported.trace->telemetry_grid();
+  for (std::size_t i = 0; i < grid.count; i += 101)
+    EXPECT_NEAR(vm.utilization->at(grid.at(i)), 0.37, 1e-6);
+}
+
+TEST_F(TraceIoTest, PatternColumnCarriesGroundTruth) {
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
+             std::make_shared<workloads::DiurnalUtilization>(
+                 workloads::DiurnalUtilization::Params{}, 1));
+  std::ostringstream vm_out;
+  export_vm_table(fx_.trace, vm_out);
+  EXPECT_NE(vm_out.str().find(",diurnal"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, MalformedInputsRejected) {
+  std::istringstream bad_topo("wrong,header\n");
+  std::istringstream vm_in("vm,whatever\n");
+  EXPECT_THROW(import_trace(bad_topo, vm_in, nullptr), CheckError);
+
+  std::ostringstream topo_out;
+  export_topology(topo_, topo_out);
+  {
+    std::istringstream topo_in(topo_out.str());
+    std::istringstream bad_vm("vm,subscription\n1,2\n");
+    EXPECT_THROW(import_trace(topo_in, bad_vm, nullptr), CheckError);
+  }
+}
+
+TEST(TraceIoScenarioTest, GeneratedScenarioSurvivesRoundTrip) {
+  workloads::ScenarioOptions options;
+  options.scale = 0.04;
+  options.seed = 5;
+  const auto scenario = workloads::make_scenario(options);
+  const TraceStore& original = *scenario.trace;
+
+  std::ostringstream topo_out, vm_out, util_out;
+  export_topology(*scenario.topology, topo_out);
+  export_vm_table(original, vm_out);
+  TraceExportOptions ex;
+  ex.max_vms_with_utilization = 400;
+  export_utilization(original, util_out, ex);
+
+  std::istringstream topo_in(topo_out.str()), vm_in(vm_out.str()),
+      util_in(util_out.str());
+  const auto imported = import_trace(topo_in, vm_in, &util_in);
+  const TraceStore& restored = *imported.trace;
+
+  ASSERT_EQ(restored.vms().size(), original.vms().size());
+  EXPECT_EQ(restored.subscriptions().size(), original.subscriptions().size());
+  EXPECT_EQ(restored.services().size(), original.services().size());
+  // Spot-check record equality.
+  for (std::size_t i = 0; i < original.vms().size(); i += 211) {
+    const auto& a = original.vms()[i];
+    const auto& b = restored.vms()[i];
+    EXPECT_EQ(a.subscription, b.subscription);
+    EXPECT_EQ(a.service, b.service);
+    EXPECT_EQ(a.cloud, b.cloud);
+    EXPECT_EQ(a.region, b.region);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.created, b.created);
+    EXPECT_EQ(a.deleted, b.deleted);
+    EXPECT_DOUBLE_EQ(a.cores, b.cores);
+  }
+  // Both clouds received utilization samples.
+  std::array<std::size_t, 2> with_util{0, 0};
+  for (const auto& vm : restored.vms()) {
+    if (vm.utilization)
+      ++with_util[vm.cloud == CloudType::kPrivate ? 0 : 1];
+  }
+  EXPECT_GT(with_util[0], 50u);
+  EXPECT_GT(with_util[1], 50u);
+}
+
+}  // namespace
+}  // namespace cloudlens

@@ -1,0 +1,374 @@
+// cloudlens — command-line front end for the file-based workflow:
+//
+//   cloudlens generate --out DIR [--scale F] [--seed N] [--util-vms N]
+//       synthesize a one-week dual-cloud trace and write topology.csv,
+//       vmtable.csv, utilization.csv, and kb.csv into DIR.
+//   cloudlens analyze --in DIR
+//       load a trace directory and print the full characterization.
+//   cloudlens insights --in DIR
+//       evaluate the paper's four insights against the trace.
+//   cloudlens advise --in DIR [--cloud private|public]
+//       run the workload-aware advisor from the stored knowledge base.
+//
+// Any directory holding CSVs in the documented schema — including
+// preprocessed external traces — can be analyzed the same way.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/deployment.h"
+#include "analysis/insights.h"
+#include "analysis/report.h"
+#include "analysis/spatial.h"
+#include "analysis/temporal.h"
+#include "analysis/utilization.h"
+#include "cloudsim/trace_io.h"
+#include "common/table.h"
+#include "kb/extractor.h"
+#include "kb/store.h"
+#include "policies/advisor.h"
+#include "stats/ecdf.h"
+#include "workloads/fit.h"
+#include "workloads/generator.h"
+
+using namespace cloudlens;
+
+namespace {
+
+struct CliArgs {
+  std::string command;
+  std::string dir;
+  std::string report_path;
+  double scale = 0.3;
+  std::uint64_t seed = 42;
+  std::size_t util_vms = 1500;
+  CloudType cloud = CloudType::kPublic;
+  bool cloud_given = false;
+};
+
+int usage() {
+  std::cerr << "usage: cloudlens <generate|analyze|insights|figures|fit|advise>\n"
+               "  generate --out DIR [--scale F] [--seed N] [--util-vms N]\n"
+               "  analyze  --in DIR [--report out.md]\n"
+               "  insights --in DIR\n"
+               "  figures  --in DIR   (writes fig*.csv next to the trace)\n"
+               "  fit      --in DIR   (estimate generative profile parameters)\n"
+               "  advise   --in DIR [--cloud private|public]\n";
+  return 2;
+}
+
+bool parse(int argc, char** argv, CliArgs& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--out" || a == "--in") {
+      const char* v = next();
+      if (!v) return false;
+      args.dir = v;
+    } else if (a == "--scale") {
+      const char* v = next();
+      if (!v) return false;
+      args.scale = std::atof(v);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--util-vms") {
+      const char* v = next();
+      if (!v) return false;
+      args.util_vms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--report") {
+      const char* v = next();
+      if (!v) return false;
+      args.report_path = v;
+    } else if (a == "--cloud") {
+      const char* v = next();
+      if (!v) return false;
+      args.cloud = std::strcmp(v, "private") == 0 ? CloudType::kPrivate
+                                                  : CloudType::kPublic;
+      args.cloud_given = true;
+    } else {
+      std::cerr << "unknown flag: " << a << "\n";
+      return false;
+    }
+  }
+  return !args.dir.empty();
+}
+
+int cmd_generate(const CliArgs& args) {
+  workloads::ScenarioOptions options;
+  options.scale = args.scale;
+  options.seed = args.seed;
+  std::cout << "generating scenario (scale=" << args.scale
+            << ", seed=" << args.seed << ")...\n";
+  const auto scenario = workloads::make_scenario(options);
+  const TraceStore& trace = *scenario.trace;
+  std::cout << "  " << trace.vms().size() << " VMs, "
+            << trace.subscriptions().size() << " subscriptions\n";
+
+  {
+    std::ofstream out(args.dir + "/topology.csv");
+    if (!out) {
+      std::cerr << "cannot write to " << args.dir << "\n";
+      return 1;
+    }
+    export_topology(*scenario.topology, out);
+  }
+  {
+    std::ofstream out(args.dir + "/vmtable.csv");
+    export_vm_table(trace, out);
+  }
+  {
+    std::ofstream out(args.dir + "/utilization.csv");
+    TraceExportOptions ex;
+    ex.max_vms_with_utilization = args.util_vms;
+    export_utilization(trace, out, ex);
+  }
+  {
+    std::cout << "extracting knowledge base..." << std::flush;
+    kb::ExtractorOptions ex;
+    ex.max_classified_vms = 4;
+    const kb::KnowledgeBase knowledge(kb::extract_all(trace, ex));
+    std::ofstream out(args.dir + "/kb.csv");
+    out << knowledge.to_csv();
+    std::cout << " " << knowledge.size() << " records\n";
+  }
+  std::cout << "wrote topology.csv, vmtable.csv, utilization.csv, kb.csv to "
+            << args.dir << "\n";
+  return 0;
+}
+
+ImportedTrace load(const std::string& dir) {
+  std::ifstream topo(dir + "/topology.csv");
+  std::ifstream vms(dir + "/vmtable.csv");
+  CL_CHECK_MSG(topo.good(), "missing " << dir << "/topology.csv");
+  CL_CHECK_MSG(vms.good(), "missing " << dir << "/vmtable.csv");
+  std::ifstream util(dir + "/utilization.csv");
+  return import_trace(topo, vms, util.good() ? &util : nullptr);
+}
+
+int cmd_analyze(const CliArgs& args) {
+  const auto imported = load(args.dir);
+  const TraceStore& trace = *imported.trace;
+  std::cout << "loaded " << trace.vms().size() << " VMs over "
+            << trace.topology().regions().size() << " regions\n\n";
+  if (!args.report_path.empty()) {
+    std::ofstream out(args.report_path);
+    CL_CHECK_MSG(out.good(), "cannot write " << args.report_path);
+    analysis::write_characterization_report(trace, out);
+    std::cout << "markdown report written to " << args.report_path << "\n";
+    return 0;
+  }
+  const auto verdicts = analysis::evaluate_insights(trace);
+  std::cout << analysis::render_insights(verdicts);
+  return 0;
+}
+
+int cmd_insights(const CliArgs& args) {
+  const auto imported = load(args.dir);
+  const auto verdicts = analysis::evaluate_insights(*imported.trace);
+  std::cout << analysis::render_insights(verdicts);
+  std::cout << "\noverall: "
+            << (verdicts.all() ? "all four insights hold"
+                               : "some insights not observed")
+            << "\n";
+  return verdicts.all() ? 0 : 1;
+}
+
+/// Write the raw data series behind each paper figure as CSVs, ready for
+/// external plotting.
+int cmd_figures(const CliArgs& args) {
+  const auto imported = load(args.dir);
+  const TraceStore& trace = *imported.trace;
+  const SimTime snap = analysis::kDefaultSnapshot;
+
+  auto open_out = [&](const std::string& name) {
+    std::ofstream out(args.dir + "/" + name);
+    CL_CHECK_MSG(out.good(), "cannot write " << args.dir << "/" << name);
+    return out;
+  };
+  auto write_two_cloud_cdf = [&](const std::string& name,
+                                 const std::vector<double>& priv,
+                                 const std::vector<double>& pub,
+                                 const char* x_name) {
+    auto out = open_out(name);
+    const stats::Ecdf priv_cdf(priv), pub_cdf(pub);
+    out << x_name << ",private_cdf,public_cdf\n";
+    const double hi = std::max(priv.empty() ? 1.0 : priv.back(),
+                               pub.empty() ? 1.0 : pub.back());
+    for (double x = 1.0; x <= hi; x *= 1.15)
+      out << x << ',' << priv_cdf.at(x) << ',' << pub_cdf.at(x) << '\n';
+  };
+
+  // Fig. 1(a) + Fig. 3(a).
+  write_two_cloud_cdf(
+      "fig1a_vms_per_subscription.csv",
+      analysis::vms_per_subscription(trace, CloudType::kPrivate, snap),
+      analysis::vms_per_subscription(trace, CloudType::kPublic, snap),
+      "vms_per_subscription");
+  write_two_cloud_cdf("fig3a_lifetimes.csv",
+                      analysis::vm_lifetimes(trace, CloudType::kPrivate),
+                      analysis::vm_lifetimes(trace, CloudType::kPublic),
+                      "lifetime_seconds");
+
+  // Fig. 3(b,c): hourly series for region 0.
+  {
+    auto out = open_out("fig3bc_temporal.csv");
+    const auto priv_count =
+        analysis::vm_count_per_hour(trace, CloudType::kPrivate, RegionId(0));
+    const auto pub_count =
+        analysis::vm_count_per_hour(trace, CloudType::kPublic, RegionId(0));
+    const auto priv_new =
+        analysis::creations_per_hour(trace, CloudType::kPrivate, RegionId(0));
+    const auto pub_new =
+        analysis::creations_per_hour(trace, CloudType::kPublic, RegionId(0));
+    out << "hour,private_count,public_count,private_created,public_created\n";
+    for (std::size_t i = 0; i < priv_count.size(); ++i)
+      out << i << ',' << priv_count[i] << ',' << pub_count[i] << ','
+          << priv_new[i] << ',' << pub_new[i] << '\n';
+  }
+
+  // Fig. 5(d).
+  {
+    auto out = open_out("fig5d_pattern_shares.csv");
+    const auto priv =
+        analysis::classify_population(trace, CloudType::kPrivate, 1000);
+    const auto pub =
+        analysis::classify_population(trace, CloudType::kPublic, 1000);
+    out << "pattern,private,public\n";
+    out << "diurnal," << priv.diurnal << ',' << pub.diurnal << '\n';
+    out << "stable," << priv.stable << ',' << pub.stable << '\n';
+    out << "irregular," << priv.irregular << ',' << pub.irregular << '\n';
+    out << "hourly-peak," << priv.hourly_peak << ',' << pub.hourly_peak
+        << '\n';
+  }
+
+  // Fig. 6: weekly percentile bands per cloud.
+  for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
+    const std::string name = std::string("fig6_weekly_") +
+                             std::string(to_string(cloud)) + ".csv";
+    auto out = open_out(name);
+    const auto dist = analysis::utilization_distribution(trace, cloud, 800);
+    out << "hour,p25,p50,p75,p95\n";
+    for (std::size_t i = 0; i < dist.weekly.grid.count; ++i)
+      out << i << ',' << dist.weekly.p25[i] << ',' << dist.weekly.p50[i]
+          << ',' << dist.weekly.p75[i] << ',' << dist.weekly.p95[i] << '\n';
+  }
+
+  // Fig. 7(a): correlation CDFs.
+  {
+    auto out = open_out("fig7a_node_correlation.csv");
+    const stats::Ecdf priv(
+        analysis::node_vm_correlations(trace, CloudType::kPrivate, 200));
+    const stats::Ecdf pub(
+        analysis::node_vm_correlations(trace, CloudType::kPublic, 200));
+    out << "correlation,private_cdf,public_cdf\n";
+    for (double x = -1.0; x <= 1.0; x += 0.02)
+      out << x << ',' << priv.at(x) << ',' << pub.at(x) << '\n';
+  }
+
+  std::cout << "figure data written to " << args.dir << "/fig*.csv\n";
+  return 0;
+}
+
+
+/// Estimate generative CloudProfile parameters from a trace directory (the
+/// inverse problem; see workloads/fit.h). Prints the fitted parameter set
+/// for each cloud present in the trace.
+int cmd_fit(const CliArgs& args) {
+  const auto imported = load(args.dir);
+  const TraceStore& trace = *imported.trace;
+  for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
+    bool present = false;
+    for (const auto& sub : trace.subscriptions()) {
+      if (sub.cloud == cloud) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) continue;
+    const auto base = cloud == CloudType::kPrivate
+                          ? workloads::CloudProfile::azure_private()
+                          : workloads::CloudProfile::azure_public();
+    const auto fit = workloads::fit_profile(trace, cloud, base);
+    const auto& p = fit.profile;
+    std::cout << "\n--- fitted profile: " << p.name << " ---\n";
+    TextTable t({"parameter", "value"});
+    t.row().add("first_party_services").add(p.first_party_services);
+    t.row().add("third_party_subscriptions").add(p.third_party_subscriptions);
+    t.row().add("subs_per_service_mean").add(p.subs_per_service_mean, 2);
+    t.row().add("deploy_size_mu (log VMs)").add(p.deploy_size_mu, 3);
+    t.row().add("deploy_size_sigma").add(p.deploy_size_sigma, 3);
+    t.row().add("deploy_size_mu_decay_per_region")
+        .add(p.deploy_size_mu_decay_per_region, 3);
+    t.row().add("single-region weight").add(p.region_count_weights[0], 3);
+    t.row().add("region_agnostic_prob").add(p.region_agnostic_prob, 2);
+    t.row().add("shortest lifetime bin share")
+        .add(p.lifetime.shortest_bin_share(), 3);
+    t.row().add("pattern mix d/s/i/h")
+        .add(format_double(p.pattern_mix.diurnal, 2) + "/" +
+             format_double(p.pattern_mix.stable, 2) + "/" +
+             format_double(p.pattern_mix.irregular, 2) + "/" +
+             format_double(p.pattern_mix.hourly_peak, 2));
+    t.row().add("diurnal churn peak (per hour per region)")
+        .add(p.diurnal_churn.base_per_hour, 1);
+    t.row().add("weekend scale").add(p.diurnal_churn.weekend_scale, 2);
+    t.row().add("bursts per week per region")
+        .add(p.burst_churn.bursts_per_week, 2);
+    t.row().add("standing_end_prob").add(p.standing_end_prob, 3);
+    std::cout << t;
+    std::cout << "(from " << fit.deployments_observed << " deployments, "
+              << fit.ended_vms_observed << " ended VMs, "
+              << fit.classified_vms << " classified VMs)\n";
+  }
+  return 0;
+}
+
+int cmd_advise(const CliArgs& args) {
+  const auto imported = load(args.dir);
+  std::ifstream kb_file(args.dir + "/kb.csv");
+  kb::KnowledgeBase knowledge;
+  if (kb_file.good()) {
+    std::stringstream buffer;
+    buffer << kb_file.rdbuf();
+    knowledge = kb::KnowledgeBase::from_csv(buffer.str());
+    std::cout << "loaded knowledge base: " << knowledge.size()
+              << " records\n";
+  } else {
+    std::cout << "no kb.csv found; extracting from trace...\n";
+    knowledge = kb::KnowledgeBase(kb::extract_all(*imported.trace));
+  }
+  const auto clouds =
+      args.cloud_given
+          ? std::vector<CloudType>{args.cloud}
+          : std::vector<CloudType>{CloudType::kPrivate, CloudType::kPublic};
+  for (const CloudType cloud : clouds) {
+    const auto report = policies::advise(*imported.trace, knowledge, cloud);
+    std::cout << "\n" << policies::render_report(*imported.trace, report);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!parse(argc, argv, args)) return usage();
+  try {
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "analyze") return cmd_analyze(args);
+    if (args.command == "insights") return cmd_insights(args);
+    if (args.command == "figures") return cmd_figures(args);
+    if (args.command == "fit") return cmd_fit(args);
+    if (args.command == "advise") return cmd_advise(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
