@@ -1,11 +1,18 @@
 // google-benchmark microbenchmarks for the cloudlens primitives that the
 // analysis pipeline leans on: correlation, ECDF construction, period
-// detection, pattern evaluation, classification, and allocation.
+// detection, pattern evaluation, classification, and allocation — plus
+// thread-scaling sweeps (1/2/4/8 workers) of the parallelized hot paths.
+// The parallel variants use `state.range(0)` as the thread count; outputs
+// are bit-identical across the sweep by the engine's determinism contract,
+// so only wall-clock changes.
 #include <benchmark/benchmark.h>
 
 #include "analysis/classifier.h"
+#include "analysis/spatial.h"
+#include "analysis/utilization.h"
 #include "cloudsim/allocator.h"
 #include "cloudsim/topology.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "stats/correlation.h"
 #include "stats/ecdf.h"
@@ -142,6 +149,77 @@ void BM_AllocateRelease(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AllocateRelease);
+
+// --- Thread-scaling sweeps -------------------------------------------------
+// One shared scenario for all parallel benchmarks (built once).
+
+const workloads::Scenario& shared_scenario() {
+  static const workloads::Scenario scenario = [] {
+    workloads::ScenarioOptions options;
+    options.scale = 0.1;
+    return workloads::make_scenario(options);
+  }();
+  return scenario;
+}
+
+void BM_ClassifyPopulationThreads(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::classify_population(
+        *scenario.trace, CloudType::kPrivate, 400, {},
+        ParallelConfig::with_threads(threads)));
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_ClassifyPopulationThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NodeCorrelationsThreads(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::node_vm_correlations(
+        *scenario.trace, CloudType::kPrivate, 150,
+        ParallelConfig::with_threads(threads)));
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_NodeCorrelationsThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UtilizationBandsThreads(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::utilization_distribution(
+        *scenario.trace, CloudType::kPublic, 400,
+        ParallelConfig::with_threads(threads)));
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_UtilizationBandsThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerationThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  workloads::ScenarioOptions options;
+  options.scale = 0.05;
+  options.parallel = ParallelConfig::with_threads(threads);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto scenario = workloads::make_scenario(options);
+    benchmark::DoNotOptimize(scenario.trace->vms().size());
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_GenerationThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace cloudlens

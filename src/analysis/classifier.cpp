@@ -35,7 +35,8 @@ UtilizationClass classify(const stats::TimeSeries& utilization,
 
 PatternShares classify_population(const TraceStore& trace, CloudType cloud,
                                   std::size_t max_vms,
-                                  const ClassifierOptions& options) {
+                                  const ClassifierOptions& options,
+                                  const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
 
   std::vector<VmId> candidates;
@@ -49,10 +50,25 @@ PatternShares classify_population(const TraceStore& trace, CloudType cloud,
   if (max_vms > 0 && candidates.size() > max_vms)
     stride = candidates.size() / max_vms;
 
+  const std::size_t sampled =
+      candidates.empty() ? 0 : (candidates.size() + stride - 1) / stride;
+
+  // Hot path: each strided VM evaluates its utilization model over the
+  // whole grid and runs the ACF/periodicity tests. Per-VM labels land in
+  // independent slots, so the fan-out is thread-count-invariant; the tally
+  // below walks them in candidate order.
+  const auto labels = parallel_map<UtilizationClass>(
+      sampled,
+      [&](std::size_t k) {
+        const auto series =
+            trace.vm_utilization(candidates[k * stride], grid);
+        return classify(series, options);
+      },
+      parallel);
+
   PatternShares shares;
-  for (std::size_t i = 0; i < candidates.size(); i += stride) {
-    const auto series = trace.vm_utilization(candidates[i], grid);
-    switch (classify(series, options)) {
+  for (const UtilizationClass label : labels) {
+    switch (label) {
       case UtilizationClass::kDiurnal: shares.diurnal += 1; break;
       case UtilizationClass::kStable: shares.stable += 1; break;
       case UtilizationClass::kIrregular: shares.irregular += 1; break;

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "cloudsim/trace.h"
+#include "common/parallel.h"
 #include "stats/series.h"
 
 namespace cloudlens::analysis {
@@ -42,8 +43,13 @@ struct PatternShares {
   std::size_t classified = 0;
 };
 
+/// Per-VM classification fans out over `parallel` (labels land in
+/// per-candidate slots, tallied in candidate order), so the result is
+/// bit-identical at any thread count — `parallel.threads = 1` runs the
+/// plain serial loop.
 PatternShares classify_population(const TraceStore& trace, CloudType cloud,
                                   std::size_t max_vms = 2000,
-                                  const ClassifierOptions& options = {});
+                                  const ClassifierOptions& options = {},
+                                  const ParallelConfig& parallel = {});
 
 }  // namespace cloudlens::analysis

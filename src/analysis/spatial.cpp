@@ -1,6 +1,7 @@
 #include "analysis/spatial.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -26,10 +27,12 @@ stats::TimeSeries average_hourly_utilization(const TraceStore& trace,
 
 std::vector<double> node_vm_correlations(const TraceStore& trace,
                                          CloudType cloud,
-                                         std::size_t max_nodes) {
+                                         std::size_t max_nodes,
+                                         const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
 
-  // Candidate nodes: host >= 2 window-covering VMs of this cloud.
+  // Candidate nodes: host >= 2 window-covering VMs of this cloud. (This
+  // enumeration also builds the node index serially, before the fan-out.)
   std::vector<std::pair<NodeId, std::vector<VmId>>> candidates;
   for (const auto& node : trace.topology().nodes()) {
     if (node.cloud != cloud) continue;
@@ -46,16 +49,30 @@ std::vector<double> node_vm_correlations(const TraceStore& trace,
   if (max_nodes > 0 && candidates.size() > max_nodes)
     stride = candidates.size() / max_nodes;
 
+  const std::size_t sampled =
+      candidates.empty() ? 0 : (candidates.size() + stride - 1) / stride;
+
+  // Hot path: one node-utilization roll-up plus one Pearson per hosted VM.
+  // Each strided node fills its own slot; slots are concatenated in node
+  // order below, so output is independent of scheduling.
+  const auto per_node = parallel_map<std::vector<double>>(
+      sampled,
+      [&](std::size_t k) {
+        const auto& [node_id, vms] = candidates[k * stride];
+        const auto node_series = trace.node_utilization(node_id, grid);
+        std::vector<double> rs;
+        rs.reserve(vms.size());
+        for (const VmId id : vms) {
+          const auto vm_series = trace.vm_utilization(id, grid);
+          rs.push_back(
+              stats::pearson(vm_series.values(), node_series.values()));
+        }
+        return rs;
+      },
+      parallel);
+
   std::vector<double> out;
-  for (std::size_t i = 0; i < candidates.size(); i += stride) {
-    const auto& [node_id, vms] = candidates[i];
-    const auto node_series = trace.node_utilization(node_id, grid);
-    for (const VmId id : vms) {
-      const auto vm_series = trace.vm_utilization(id, grid);
-      out.push_back(
-          stats::pearson(vm_series.values(), node_series.values()));
-    }
-  }
+  for (const auto& rs : per_node) out.insert(out.end(), rs.begin(), rs.end());
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -90,27 +107,50 @@ std::vector<RegionProfile> subscription_region_profiles(
 std::vector<double> cross_region_correlations(const TraceStore& trace,
                                               CloudType cloud,
                                               std::size_t max_subscriptions,
-                                              std::size_t max_vms_per_region) {
+                                              std::size_t max_vms_per_region,
+                                              const ParallelConfig& parallel) {
   // Multi-region candidate subscriptions.
   std::vector<SubscriptionId> candidates;
   for (const auto& sub : trace.subscriptions()) {
     if (sub.cloud != cloud) continue;
     candidates.push_back(sub.id);
   }
+  // Warm the subscription index serially before fanning out.
+  if (!candidates.empty()) trace.vms_of_subscription(candidates.front());
 
+  // The region profiles (up to 25 VM roll-ups per region) dominate the
+  // cost; the pairwise Pearsons over hourly series are cheap. Profiles are
+  // computed in parallel block by block, while the `max_subscriptions` cap
+  // is applied by the serial selection walk below in candidate order —
+  // exactly the subscriptions the serial code would use, at any thread
+  // count (trailing blocks are simply never computed once the cap fills).
   std::vector<double> out;
   std::size_t used = 0;
-  for (const SubscriptionId sub : candidates) {
+  const std::size_t block =
+      max_subscriptions > 0 ? std::max<std::size_t>(std::size_t{64},
+                                                    max_subscriptions)
+                            : std::max<std::size_t>(std::size_t{1},
+                                                    candidates.size());
+  for (std::size_t start = 0; start < candidates.size(); start += block) {
     if (max_subscriptions > 0 && used >= max_subscriptions) break;
-    const auto profiles =
-        subscription_region_profiles(trace, sub, max_vms_per_region);
-    if (profiles.size() < 2) continue;
-    ++used;
-    for (std::size_t a = 0; a < profiles.size(); ++a) {
-      for (std::size_t b = a + 1; b < profiles.size(); ++b) {
-        out.push_back(
-            stats::pearson(profiles[a].hourly_utilization.values(),
-                           profiles[b].hourly_utilization.values()));
+    const std::size_t count = std::min(block, candidates.size() - start);
+    const auto profile_block = parallel_map<std::vector<RegionProfile>>(
+        count,
+        [&](std::size_t k) {
+          return subscription_region_profiles(trace, candidates[start + k],
+                                              max_vms_per_region);
+        },
+        parallel);
+    for (const auto& profiles : profile_block) {
+      if (max_subscriptions > 0 && used >= max_subscriptions) break;
+      if (profiles.size() < 2) continue;
+      ++used;
+      for (std::size_t a = 0; a < profiles.size(); ++a) {
+        for (std::size_t b = a + 1; b < profiles.size(); ++b) {
+          out.push_back(
+              stats::pearson(profiles[a].hourly_utilization.values(),
+                             profiles[b].hourly_utilization.values()));
+        }
       }
     }
   }
@@ -120,12 +160,13 @@ std::vector<double> cross_region_correlations(const TraceStore& trace,
 
 std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
     const TraceStore& trace, CloudType cloud, double min_correlation,
-    std::size_t max_vms_per_region) {
+    std::size_t max_vms_per_region, const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
 
-  // Pool the window-covering VMs of each service by region.
-  std::unordered_map<ServiceId,
-                     std::unordered_map<RegionId, std::vector<VmId>>>
+  // Pool the window-covering VMs of each service by region, keyed by sorted
+  // region id so the per-service pair enumeration order is a pure function
+  // of the trace (never of hash-map iteration or scheduling).
+  std::unordered_map<ServiceId, std::map<RegionId, std::vector<VmId>>>
       by_service;
   for (const auto& vm : trace.vms()) {
     if (vm.cloud != cloud || !vm.service.valid()) continue;
@@ -135,36 +176,50 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
       bucket.push_back(vm.id);
   }
 
-  std::vector<RegionAgnosticVerdict> out;
+  // Multi-region services in deterministic (service id) order.
+  std::vector<const std::map<RegionId, std::vector<VmId>>*> region_sets;
+  std::vector<ServiceId> services;
   for (auto& [service, regions] : by_service) {
     if (regions.size() < 2) continue;
-    std::vector<stats::TimeSeries> profiles;
-    for (auto& [_, vms] : regions)
-      profiles.push_back(average_hourly_utilization(trace, vms, grid));
-
-    RegionAgnosticVerdict v;
-    v.service = service;
-    v.regions = regions.size();
-    double min_corr = 1.0, sum = 0.0;
-    std::size_t pairs = 0;
-    for (std::size_t a = 0; a < profiles.size(); ++a) {
-      for (std::size_t b = a + 1; b < profiles.size(); ++b) {
-        const double r =
-            stats::pearson(profiles[a].values(), profiles[b].values());
-        min_corr = std::min(min_corr, r);
-        sum += r;
-        ++pairs;
-      }
-    }
-    v.min_pair_correlation = min_corr;
-    v.mean_pair_correlation = pairs ? sum / static_cast<double>(pairs) : 0.0;
-    v.region_agnostic = min_corr >= min_correlation;
-    out.push_back(v);
+    services.push_back(service);
   }
-  std::sort(out.begin(), out.end(),
-            [](const RegionAgnosticVerdict& a, const RegionAgnosticVerdict& b) {
-              return a.service < b.service;
-            });
+  std::sort(services.begin(), services.end());
+  region_sets.reserve(services.size());
+  for (const ServiceId service : services)
+    region_sets.push_back(&by_service.at(service));
+
+  // Hot path: one region roll-up per deployed region plus all pairwise
+  // Pearsons, independently per service.
+  auto out = parallel_map<RegionAgnosticVerdict>(
+      services.size(),
+      [&](std::size_t s) {
+        const auto& regions = *region_sets[s];
+        std::vector<stats::TimeSeries> profiles;
+        profiles.reserve(regions.size());
+        for (const auto& [_, vms] : regions)
+          profiles.push_back(average_hourly_utilization(trace, vms, grid));
+
+        RegionAgnosticVerdict v;
+        v.service = services[s];
+        v.regions = regions.size();
+        double min_corr = 1.0, sum = 0.0;
+        std::size_t pairs = 0;
+        for (std::size_t a = 0; a < profiles.size(); ++a) {
+          for (std::size_t b = a + 1; b < profiles.size(); ++b) {
+            const double r =
+                stats::pearson(profiles[a].values(), profiles[b].values());
+            min_corr = std::min(min_corr, r);
+            sum += r;
+            ++pairs;
+          }
+        }
+        v.min_pair_correlation = min_corr;
+        v.mean_pair_correlation =
+            pairs ? sum / static_cast<double>(pairs) : 0.0;
+        v.region_agnostic = min_corr >= min_correlation;
+        return v;
+      },
+      parallel);
   return out;
 }
 

@@ -6,9 +6,16 @@
 #include <vector>
 
 #include "cloudsim/trace.h"
+#include "common/parallel.h"
 #include "stats/series.h"
 
 namespace cloudlens::analysis {
+
+// All correlation sets below fan their per-node / per-subscription /
+// per-service work out over a ParallelConfig. Partial results are merged
+// in deterministic candidate order, so every function returns bit-identical
+// output at any thread count; `parallel.threads = 1` is the plain serial
+// loop.
 
 /// Fig. 7(a): Pearson correlation between each VM's utilization and its
 /// host node's utilization, over VMs of one cloud that cover the window.
@@ -16,7 +23,8 @@ namespace cloudlens::analysis {
 /// case). `max_nodes` caps work via deterministic stride subsampling.
 std::vector<double> node_vm_correlations(const TraceStore& trace,
                                          CloudType cloud,
-                                         std::size_t max_nodes = 400);
+                                         std::size_t max_nodes = 400,
+                                         const ParallelConfig& parallel = {});
 
 /// Fig. 7(b): for every subscription of `cloud` deployed in >= 2 regions,
 /// the Pearson correlation of its region-level average utilization for each
@@ -24,7 +32,8 @@ std::vector<double> node_vm_correlations(const TraceStore& trace,
 std::vector<double> cross_region_correlations(
     const TraceStore& trace, CloudType cloud,
     std::size_t max_subscriptions = 400,
-    std::size_t max_vms_per_region = 25);
+    std::size_t max_vms_per_region = 25,
+    const ParallelConfig& parallel = {});
 
 /// Region-level average utilization of one subscription (hourly means),
 /// one series per deployed region — the raw material of Fig. 7(b,c).
@@ -50,6 +59,6 @@ struct RegionAgnosticVerdict {
 
 std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
     const TraceStore& trace, CloudType cloud, double min_correlation = 0.7,
-    std::size_t max_vms_per_region = 25);
+    std::size_t max_vms_per_region = 25, const ParallelConfig& parallel = {});
 
 }  // namespace cloudlens::analysis

@@ -7,9 +7,9 @@
 
 namespace cloudlens::analysis {
 
-UtilizationDistribution utilization_distribution(const TraceStore& trace,
-                                                 CloudType cloud,
-                                                 std::size_t max_vms) {
+UtilizationDistribution utilization_distribution(
+    const TraceStore& trace, CloudType cloud, std::size_t max_vms,
+    const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
 
   std::vector<VmId> candidates;
@@ -21,9 +21,17 @@ UtilizationDistribution utilization_distribution(const TraceStore& trace,
   if (max_vms > 0 && candidates.size() > max_vms)
     stride = candidates.size() / max_vms;
 
-  std::vector<stats::TimeSeries> hourly;
-  for (std::size_t i = 0; i < candidates.size(); i += stride)
-    hourly.push_back(trace.vm_utilization(candidates[i], grid).hourly_mean());
+  // Hot path #1: per-VM model evaluation over the full grid + hourly
+  // roll-up. Slot-per-VM fan-out, merged in candidate order.
+  const std::size_t sampled =
+      candidates.empty() ? 0 : (candidates.size() + stride - 1) / stride;
+  const auto hourly = parallel_map<stats::TimeSeries>(
+      sampled,
+      [&](std::size_t k) {
+        return trace.vm_utilization(candidates[k * stride], grid)
+            .hourly_mean();
+      },
+      parallel);
 
   UtilizationDistribution out;
   out.vms_used = hourly.size();
@@ -43,21 +51,27 @@ UtilizationDistribution utilization_distribution(const TraceStore& trace,
   out.daily_p50.resize(24);
   out.daily_p75.resize(24);
   out.daily_p95.resize(24);
-  for (int h = 0; h < 24; ++h) {
-    auto& b = buckets[h];
-    CL_CHECK(!b.empty());
-    std::sort(b.begin(), b.end());
-    out.daily_p25[h] = stats::quantile_sorted(b, 0.25);
-    out.daily_p50[h] = stats::quantile_sorted(b, 0.50);
-    out.daily_p75[h] = stats::quantile_sorted(b, 0.75);
-    out.daily_p95[h] = stats::quantile_sorted(b, 0.95);
-  }
+  // Hot path #2: each hour-of-day bucket sorts and extracts its
+  // percentiles independently (distinct output slots per hour).
+  parallel_for(
+      24,
+      [&](std::size_t h) {
+        auto& b = buckets[h];
+        CL_CHECK(!b.empty());
+        std::sort(b.begin(), b.end());
+        out.daily_p25[h] = stats::quantile_sorted(b, 0.25);
+        out.daily_p50[h] = stats::quantile_sorted(b, 0.50);
+        out.daily_p75[h] = stats::quantile_sorted(b, 0.75);
+        out.daily_p95[h] = stats::quantile_sorted(b, 0.95);
+      },
+      parallel);
   return out;
 }
 
 stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
                                            CloudType cloud, RegionId region,
-                                           std::size_t max_vms) {
+                                           std::size_t max_vms,
+                                           const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
   std::vector<VmId> candidates;
   for (const auto& vm : trace.vms()) {
@@ -71,15 +85,26 @@ stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
   std::size_t stride = 1;
   if (max_vms > 0 && candidates.size() > max_vms)
     stride = candidates.size() / max_vms;
-  std::size_t sampled = 0;
-  for (std::size_t i = 0; i < candidates.size(); i += stride) {
-    const auto& vm = trace.vm(candidates[i]);
-    ++sampled;
-    for (std::size_t t = 0; t < grid.count; ++t) {
-      const SimTime when = grid.at(t);
-      if (vm.alive_at(when)) used[t] += vm.cores * vm.utilization->at(when);
-    }
-  }
+  const std::size_t sampled = (candidates.size() + stride - 1) / stride;
+
+  // Chunked deterministic reduction: each fixed chunk of the strided
+  // population accumulates its own series; partials merge in chunk order,
+  // so the floating-point sum is reproducible at any thread count.
+  used = parallel_reduce<stats::TimeSeries>(
+      sampled, stats::TimeSeries(grid),
+      [&](stats::TimeSeries& acc, std::size_t k) {
+        const auto& vm = trace.vm(candidates[k * stride]);
+        for (std::size_t t = 0; t < grid.count; ++t) {
+          const SimTime when = grid.at(t);
+          if (vm.alive_at(when))
+            acc[t] += vm.cores * vm.utilization->at(when);
+        }
+      },
+      [](stats::TimeSeries& total, const stats::TimeSeries& partial) {
+        total.add(partial);
+      },
+      parallel);
+
   // Rescale the stride sample back to the full population.
   used.scale(static_cast<double>(candidates.size()) /
              static_cast<double>(sampled));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cloudsim/trace.h"
+#include "common/parallel.h"
 #include "stats/series.h"
 
 namespace cloudlens::analysis {
@@ -21,17 +22,24 @@ struct UtilizationDistribution {
 
 /// Computes the distribution over VMs of `cloud` alive the entire window.
 /// `max_vms` caps the population by deterministic stride subsampling.
-UtilizationDistribution utilization_distribution(const TraceStore& trace,
-                                                 CloudType cloud,
-                                                 std::size_t max_vms = 1500);
+/// The per-VM hourly roll-ups and the 24 hour-of-day percentile buckets
+/// fan out over `parallel`; merging is per-slot, so the result is
+/// bit-identical at any thread count.
+UtilizationDistribution utilization_distribution(
+    const TraceStore& trace, CloudType cloud, std::size_t max_vms = 1500,
+    const ParallelConfig& parallel = {});
 
 /// Hourly used-core demand of one region: sum over VMs of
 /// utilization × cores. With `max_vms` > 0 the population is stride-sampled
 /// and the result rescaled, so the series stays an unbiased estimate of the
 /// full demand. Pass an invalid RegionId to aggregate all regions.
+/// Accumulation uses parallel_reduce's fixed chunk grid, so the summation
+/// order — and with it every floating-point bit — is a function of the
+/// population only, never of the thread count.
 stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
                                            CloudType cloud, RegionId region,
-                                           std::size_t max_vms = 3000);
+                                           std::size_t max_vms = 3000,
+                                           const ParallelConfig& parallel = {});
 
 /// Mean utilization of one VM over the part of the telemetry window it was
 /// alive (0 when never alive within the window or no telemetry).

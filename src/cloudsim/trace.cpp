@@ -50,21 +50,25 @@ void TraceStore::set_vm_deleted(VmId id, SimTime when) {
 }
 
 void TraceStore::build_node_index() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (node_index_valid_.load(std::memory_order_relaxed)) return;
   node_index_.clear();
   for (const auto& vm : vms_) {
     if (vm.placed()) node_index_[vm.node].push_back(vm.id);
   }
-  node_index_valid_ = true;
+  node_index_valid_.store(true, std::memory_order_release);
 }
 
 void TraceStore::build_subscription_index() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (sub_index_valid_.load(std::memory_order_relaxed)) return;
   sub_index_.clear();
   for (const auto& vm : vms_) sub_index_[vm.subscription].push_back(vm.id);
-  sub_index_valid_ = true;
+  sub_index_valid_.store(true, std::memory_order_release);
 }
 
 std::span<const VmId> TraceStore::vms_on_node(NodeId node) const {
-  if (!node_index_valid_) build_node_index();
+  if (!node_index_valid_.load(std::memory_order_acquire)) build_node_index();
   const auto it = node_index_.find(node);
   if (it == node_index_.end()) return {};
   return it->second;
@@ -72,7 +76,8 @@ std::span<const VmId> TraceStore::vms_on_node(NodeId node) const {
 
 std::span<const VmId> TraceStore::vms_of_subscription(
     SubscriptionId sub) const {
-  if (!sub_index_valid_) build_subscription_index();
+  if (!sub_index_valid_.load(std::memory_order_acquire))
+    build_subscription_index();
   const auto it = sub_index_.find(sub);
   if (it == sub_index_.end()) return {};
   return it->second;

@@ -6,8 +6,10 @@
 // thousands of VMs fit easily in memory.
 #pragma once
 
+#include <atomic>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -149,10 +151,16 @@ class TraceStore {
   std::vector<SubscriptionInfo> subscriptions_;
   std::vector<VmRecord> vms_;
 
-  // Lazy indexes (mutable caches; rebuilt when stale).
-  mutable bool node_index_valid_ = false;
+  // Lazy indexes (mutable caches; rebuilt when stale). Concurrent *reads*
+  // are safe — the first reader builds the index under `index_mutex_` and
+  // publishes it via the release-store on the valid flag, so parallel
+  // analysis passes may call vms_on_node()/vms_of_subscription() from any
+  // thread. Mutation (add_vm) must still be externally serialized against
+  // readers, as for every other accessor.
+  mutable std::mutex index_mutex_;
+  mutable std::atomic<bool> node_index_valid_{false};
   mutable std::unordered_map<NodeId, std::vector<VmId>> node_index_;
-  mutable bool sub_index_valid_ = false;
+  mutable std::atomic<bool> sub_index_valid_{false};
   mutable std::unordered_map<SubscriptionId, std::vector<VmId>> sub_index_;
 };
 

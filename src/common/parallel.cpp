@@ -1,0 +1,206 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace cloudlens {
+namespace {
+
+/// True while the current thread executes a task of some pool batch (worker
+/// or participating caller). Nested parallel calls check this and run
+/// inline, which makes reentrancy safe by construction.
+thread_local bool t_inside_parallel_region = false;
+
+}  // namespace
+
+std::size_t ParallelConfig::resolved() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::size_t count = 0;
+  /// Worker threads allowed to help (the submitting caller always
+  /// participates on top of these).
+  std::size_t helper_limit = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  /// Worker threads currently inside work(); guarded by Impl::mutex. The
+  /// submitting caller waits for done == count AND active == 0, so the
+  /// stack-allocated Batch cannot be destroyed while any worker still
+  /// holds a pointer into it.
+  std::size_t active = 0;
+  std::mutex error_mutex;
+  std::exception_ptr error;  ///< first exception thrown by any task
+
+  /// Claim-and-run loop shared by workers and the submitting caller.
+  void work() {
+    t_inside_parallel_region = true;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    t_inside_parallel_region = false;
+  }
+
+  bool finished() const {
+    return done.load(std::memory_order_acquire) >= count;
+  }
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable wake;      ///< workers wait here for a batch
+  std::condition_variable drained;   ///< run() waits here for completion
+  std::mutex run_mutex;              ///< serializes concurrent run() calls
+  Batch* batch = nullptr;            ///< currently published batch
+  std::uint64_t generation = 0;      ///< bumped per published batch
+  bool stop = false;
+};
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(ParallelConfig{}.resolved());
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl) {
+  // The submitting thread always participates, so `workers - 1` background
+  // threads saturate `workers` lanes; keep at least one background worker
+  // so the pool is a real pool even on single-core hosts.
+  const std::size_t background = workers > 1 ? workers - 1 : 1;
+  threads_.reserve(background);
+  for (std::size_t w = 0; w < background; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& t : threads_) t.join();
+  delete impl_;
+}
+
+bool ThreadPool::inside_parallel_region() { return t_inside_parallel_region; }
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  for (;;) {
+    impl_->wake.wait(lock, [&] {
+      return impl_->stop ||
+             (impl_->batch != nullptr && impl_->generation != seen);
+    });
+    if (impl_->stop) return;
+    seen = impl_->generation;
+    Batch* batch = impl_->batch;
+    if (worker_index >= batch->helper_limit) continue;  // capped batch
+    ++batch->active;
+    lock.unlock();
+    batch->work();
+    lock.lock();
+    --batch->active;
+    impl_->drained.notify_all();
+  }
+}
+
+void ThreadPool::run(std::size_t count, std::size_t concurrency,
+                     const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (t_inside_parallel_region || concurrency <= 1 || count == 1 ||
+      threads_.empty()) {
+    // Inline serial path (also the nested-call path): index order.
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
+  Batch batch;
+  batch.task = &task;
+  batch.count = count;
+  batch.helper_limit = std::min(threads_.size(), concurrency - 1);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->batch = &batch;
+    ++impl_->generation;
+  }
+  impl_->wake.notify_all();
+
+  batch.work();  // the caller is one of the lanes
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->drained.wait(
+        lock, [&] { return batch.finished() && batch.active == 0; });
+    impl_->batch = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+// ---------------------------------------------------------------------------
+// Free functions
+
+namespace detail {
+
+std::size_t reduce_chunk_count(std::size_t n) {
+  // Fixed grid: enough chunks for good load balance on common machines,
+  // independent of the runtime thread count so that merge order — and with
+  // it floating-point accumulation — is a pure function of n.
+  constexpr std::size_t kMaxChunks = 64;
+  return std::min(n, kMaxChunks);
+}
+
+std::pair<std::size_t, std::size_t> reduce_chunk_bounds(std::size_t n,
+                                                        std::size_t chunk) {
+  const std::size_t chunks = reduce_chunk_count(n);
+  CL_CHECK(chunk < chunks);
+  // Balanced split: the first n % chunks chunks get one extra element.
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  const std::size_t begin = chunk * base + std::min(chunk, extra);
+  const std::size_t len = base + (chunk < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void parallel_for_impl(std::size_t n,
+                       const std::function<void(std::size_t)>& fn,
+                       const ParallelConfig& config) {
+  if (n == 0) return;
+  const std::size_t threads = std::min(config.resolved(), n);
+  if (threads <= 1 || ThreadPool::inside_parallel_region()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Block scheduling keeps per-task dispatch overhead low for fine-grained
+  // loops; the block layout never influences results (iterations are
+  // independent by contract).
+  const std::size_t block = std::max<std::size_t>(1, n / (threads * 8));
+  const std::size_t blocks = (n + block - 1) / block;
+  ThreadPool::global().run(blocks, threads, [&](std::size_t b) {
+    const std::size_t begin = b * block;
+    const std::size_t end = std::min(n, begin + block);
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace detail
+}  // namespace cloudlens

@@ -1,0 +1,165 @@
+// Deterministic parallel execution engine.
+//
+// cloudlens promises bit-identical outputs for a given seed no matter how
+// the work is scheduled, so the parallel primitives here are built around a
+// single contract:
+//
+//   *Results never depend on the number of threads.*
+//
+// The primitives achieve this in two ways:
+//   - `parallel_for` / `parallel_map` only parallelize loops whose
+//     iterations write disjoint results (slot i of the output); any
+//     interleaving produces the same bits, and the per-index results are
+//     merged in index order by the caller.
+//   - `parallel_reduce` accumulates in *fixed* chunks whose boundaries are
+//     a pure function of `n` (never of the thread count), and merges the
+//     chunk partials serially in chunk order. Floating-point accumulation
+//     is therefore reproducible at any thread count, including 1.
+//
+// Thread-count policy: every entry point takes a `ParallelConfig`.
+// `threads == 0` (default) resolves to `std::thread::hardware_concurrency()`;
+// `threads == 1` runs inline on the calling thread without touching the
+// pool — the exact serial code path, useful for debugging and as the
+// reference side of the parallel-equivalence test suite.
+//
+// The global pool is created lazily on first parallel call and lives for
+// the process. Nested parallel calls (a task that itself calls
+// `parallel_for`) are safe: they detect that they already run inside a
+// parallel region and execute inline instead of re-entering the pool.
+//
+// RNG discipline for parallel generation sites: never share one sequential
+// generator across shards. Derive one independent stream per shard with
+// `shard_seed(master, salt, index)` (SplitMix64 hashing, see rng.h) so a
+// shard's stream depends only on (master seed, site, shard index) — not on
+// execution order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cloudlens {
+
+/// Per-call-site parallelism knob.
+struct ParallelConfig {
+  /// Worker threads to use: 0 = all hardware threads, 1 = serial (inline
+  /// on the calling thread, no pool involvement).
+  std::size_t threads = 0;
+
+  /// The effective thread count (>= 1).
+  std::size_t resolved() const;
+
+  static ParallelConfig serial() { return ParallelConfig{1}; }
+  static ParallelConfig with_threads(std::size_t n) {
+    return ParallelConfig{n};
+  }
+};
+
+/// A lazily-started, process-wide pool of worker threads. User code should
+/// normally go through `parallel_for`/`parallel_map`/`parallel_reduce`;
+/// the pool is exposed for tests and specialized call sites.
+class ThreadPool {
+ public:
+  /// The process-wide pool (hardware_concurrency workers, min 1), started
+  /// on first use.
+  static ThreadPool& global();
+
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Run `task(0) .. task(count-1)`, distributing indexes dynamically over
+  /// at most `concurrency` threads (the calling thread participates).
+  /// Blocks until every task finished. The first exception thrown by any
+  /// task is rethrown here after the batch has drained; remaining tasks
+  /// still claimed are executed (exceptions beyond the first are dropped).
+  /// Reentrant calls from inside a task run inline (serially).
+  void run(std::size_t count, std::size_t concurrency,
+           const std::function<void(std::size_t)>& task);
+
+  /// True while the calling thread is executing inside a pool batch (used
+  /// to make nested parallel calls degrade to inline execution).
+  static bool inside_parallel_region();
+
+ private:
+  struct Impl;
+  struct Batch;
+  void worker_loop(std::size_t worker_index);
+
+  Impl* impl_;
+  std::vector<std::thread> threads_;
+};
+
+namespace detail {
+
+/// Chunk grid used by parallel_reduce: boundaries depend on n only.
+/// Returns the half-open [begin, end) bounds of `chunk` out of
+/// `reduce_chunk_count(n)` chunks.
+std::size_t reduce_chunk_count(std::size_t n);
+std::pair<std::size_t, std::size_t> reduce_chunk_bounds(std::size_t n,
+                                                        std::size_t chunk);
+
+/// Core block-scheduled loop: runs fn over [0, n) using the global pool.
+/// Serial (inline, in index order) when the resolved thread count is 1,
+/// n < 2, or the caller is already inside a parallel region.
+void parallel_for_impl(std::size_t n,
+                       const std::function<void(std::size_t)>& fn,
+                       const ParallelConfig& config);
+
+}  // namespace detail
+
+/// Apply `fn(i)` for every i in [0, n). Iterations must be independent
+/// (write disjoint data); any interleaving must be acceptable. Exceptions
+/// from `fn` propagate to the caller.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, const ParallelConfig& config = {}) {
+  detail::parallel_for_impl(n, std::function<void(std::size_t)>(fn), config);
+}
+
+/// Collect `fn(i)` for every i into a vector, in index order. `T` must be
+/// default-constructible and movable. Because slot i only ever holds
+/// result i, the output is bit-identical at any thread count.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn,
+                            const ParallelConfig& config = {}) {
+  std::vector<T> out(n);
+  detail::parallel_for_impl(
+      n, [&out, &fn](std::size_t i) { out[i] = fn(i); }, config);
+  return out;
+}
+
+/// Order-independent reduction with deterministic chunked merging.
+///
+/// The index range [0, n) is cut into a fixed chunk grid (a pure function
+/// of n — see detail::reduce_chunk_bounds). For each chunk, `chunk_fn`
+/// folds the chunk serially into a fresh accumulator seeded from `init`:
+///     Acc acc = init; for (i in [begin, end)) chunk_fn(acc, i);
+/// Chunk partials are then merged serially in ascending chunk order with
+/// `merge(total, partial)`. The same grid and merge order are used at
+/// every thread count (including 1), so the result — floating point
+/// included — is bit-identical regardless of parallelism.
+template <typename Acc, typename ChunkFn, typename MergeFn>
+Acc parallel_reduce(std::size_t n, Acc init, ChunkFn&& chunk_fn,
+                    MergeFn&& merge, const ParallelConfig& config = {}) {
+  if (n == 0) return init;
+  const std::size_t chunks = detail::reduce_chunk_count(n);
+  std::vector<Acc> partials(chunks, init);
+  detail::parallel_for_impl(
+      chunks,
+      [&](std::size_t c) {
+        const auto [begin, end] = detail::reduce_chunk_bounds(n, c);
+        for (std::size_t i = begin; i < end; ++i) chunk_fn(partials[c], i);
+      },
+      config);
+  Acc total = std::move(partials[0]);
+  for (std::size_t c = 1; c < chunks; ++c) merge(total, partials[c]);
+  return total;
+}
+
+}  // namespace cloudlens

@@ -35,6 +35,20 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Seed of the `index`-th parallel shard of a stream family, derived from a
+/// master seed by pure SplitMix64 hashing — no sequential generator
+/// advancement — so any shard's stream can be reconstructed independently
+/// of execution order or thread count. `salt` distinguishes stream
+/// families rooted at the same master (e.g. "standing emission" vs
+/// "churn emission"); seeding SplitMix64 at `h + i*gamma` is the canonical
+/// split: consecutive indexes read consecutive outputs of the stream at h.
+inline std::uint64_t shard_seed(std::uint64_t master, std::uint64_t salt,
+                                std::uint64_t index) {
+  SplitMix64 master_mix(master);
+  const std::uint64_t h = master_mix.next() ^ SplitMix64(salt).next();
+  return SplitMix64(h + 0x9e3779b97f4a7c15ULL * (index + 1)).next();
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
 /// Satisfies std::uniform_random_bit_generator.
 class Rng {

@@ -143,7 +143,8 @@ ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
   // --- Pattern mix -------------------------------------------------------------
   {
     const auto mix = analysis::classify_population(trace, cloud,
-                                                   options.classify_max_vms);
+                                                   options.classify_max_vms,
+                                                   {}, options.parallel);
     fit.classified_vms = mix.classified;
     if (mix.classified > 0) {
       p.pattern_mix = {mix.diurnal, mix.stable, mix.irregular,
@@ -153,8 +154,8 @@ ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
 
   // --- Region agnosticism ---------------------------------------------------
   {
-    const auto verdicts =
-        analysis::detect_region_agnostic_services(trace, cloud);
+    const auto verdicts = analysis::detect_region_agnostic_services(
+        trace, cloud, 0.7, 25, options.parallel);
     if (!verdicts.empty()) {
       std::size_t agnostic = 0;
       for (const auto& v : verdicts) {
@@ -166,33 +167,63 @@ ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
 
   // --- Churn --------------------------------------------------------------------
   {
+    // Per-region creation-rate scans are independent; fan them out and
+    // merge the partial estimates in region order so the fitted numbers do
+    // not depend on the thread count.
+    struct RegionChurn {
+      bool has_churn = false;
+      double weekday_sum = 0, weekend_sum = 0;
+      std::size_t weekday_n = 0, weekend_n = 0;
+      std::vector<double> hourly;
+      double burst_excess = 0;
+      std::size_t burst_hours = 0;
+    };
+    const auto regions = trace.topology().regions();
+    const auto per_region = parallel_map<RegionChurn>(
+        regions.size(),
+        [&](std::size_t r) {
+          RegionChurn rc;
+          const auto created =
+              analysis::creations_per_hour(trace, cloud, regions[r].id);
+          if (created.mean() <= 0) return rc;
+          rc.has_churn = true;
+          const double mean = created.mean();
+          const double sd = stats::stddev(created.values());
+          rc.hourly.reserve(created.size());
+          for (std::size_t i = 0; i < created.size(); ++i) {
+            const double v = created[i];
+            rc.hourly.push_back(v);
+            if (is_weekend(created.grid().at(i))) {
+              rc.weekend_sum += v;
+              ++rc.weekend_n;
+            } else {
+              rc.weekday_sum += v;
+              ++rc.weekday_n;
+            }
+            if (v > mean + options.burst_sigma_threshold * sd) {
+              ++rc.burst_hours;
+              rc.burst_excess += v - mean;
+            }
+          }
+          return rc;
+        },
+        options.parallel);
+
     double weekday_sum = 0, weekend_sum = 0;
     std::size_t weekday_n = 0, weekend_n = 0;
     std::vector<double> all_hourly;
     double burst_excess = 0;
     std::size_t regions_with_churn = 0;
-    for (const auto& region : trace.topology().regions()) {
-      const auto created = analysis::creations_per_hour(trace, cloud,
-                                                        region.id);
-      if (created.mean() <= 0) continue;
+    for (const auto& rc : per_region) {
+      if (!rc.has_churn) continue;
       ++regions_with_churn;
-      const double mean = created.mean();
-      const double sd = stats::stddev(created.values());
-      for (std::size_t i = 0; i < created.size(); ++i) {
-        const double v = created[i];
-        all_hourly.push_back(v);
-        if (is_weekend(created.grid().at(i))) {
-          weekend_sum += v;
-          ++weekend_n;
-        } else {
-          weekday_sum += v;
-          ++weekday_n;
-        }
-        if (v > mean + options.burst_sigma_threshold * sd) {
-          ++fit.burst_hours_detected;
-          burst_excess += v - mean;
-        }
-      }
+      weekday_sum += rc.weekday_sum;
+      weekend_sum += rc.weekend_sum;
+      weekday_n += rc.weekday_n;
+      weekend_n += rc.weekend_n;
+      all_hourly.insert(all_hourly.end(), rc.hourly.begin(), rc.hourly.end());
+      burst_excess += rc.burst_excess;
+      fit.burst_hours_detected += rc.burst_hours;
     }
     if (regions_with_churn > 0 && !all_hourly.empty()) {
       fit.mean_creations_per_hour_per_region =

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "cloudsim/trace.h"
+#include "common/parallel.h"
 #include "workloads/profiles.h"
 
 namespace cloudlens::workloads {
@@ -32,6 +33,10 @@ struct FitOptions {
   /// Scale factor applied to fitted population counts (1.0 reproduces the
   /// observed population size).
   double population_scale = 1.0;
+  /// Thread knob for the fitting passes (pattern classification, the
+  /// per-region churn scan, region-agnosticism detection). Estimates are
+  /// bit-identical at any setting; 1 = serial.
+  ParallelConfig parallel;
 };
 
 /// Diagnostic bundle: the fitted profile plus the raw estimates behind it.

@@ -14,17 +14,17 @@ std::array<double, 4> mix_weights(const PatternMix& mix) {
   return {mix.diurnal, mix.stable, mix.irregular, mix.hourly_peak};
 }
 
+/// Stream-family salts for shard_seed: one per parallel emission site, so
+/// an owner shard and a region shard with equal indexes never collide.
+constexpr std::uint64_t kStandingStream = 0x5354414e44494e47ULL;  // "STANDING"
+constexpr std::uint64_t kChurnStream = 0x726368757274696dULL;
+
 }  // namespace
 
 WorkloadGenerator::WorkloadGenerator(const Topology& topology,
-                                     std::uint64_t seed)
-    : topo_(topology), rng_(seed) {}
-
-PatternType WorkloadGenerator::sample_pattern_type(const PatternMix& mix) {
-  const auto w = mix_weights(mix);
-  AliasTable table(w);
-  return static_cast<PatternType>(table.sample(rng_));
-}
+                                     std::uint64_t seed,
+                                     const ParallelConfig& parallel)
+    : topo_(topology), rng_(seed), parallel_(parallel) {}
 
 void WorkloadGenerator::assign_patterns(const PatternMix& mix,
                                         std::vector<Owner>& owners) {
@@ -127,8 +127,9 @@ double WorkloadGenerator::anchor_tz(const CloudProfile& profile,
 }
 
 std::shared_ptr<const UtilizationModel> WorkloadGenerator::instantiate(
-    const CloudProfile& profile, const Owner& owner, RegionId region) {
-  const std::uint64_t seed = rng_();
+    const CloudProfile& profile, const Owner& owner, RegionId region,
+    Rng& rng) const {
+  const std::uint64_t seed = rng();
   const double tz = anchor_tz(profile, owner, region);
   // Per-VM jitter: VMs of one owner share a pattern family but are not
   // clones — amplitudes, phases, and noise floors vary between instances,
@@ -138,16 +139,16 @@ std::shared_ptr<const UtilizationModel> WorkloadGenerator::instantiate(
     case PatternType::kDiurnal: {
       auto p = owner.diurnal;
       p.tz_offset_hours = tz;
-      const double amp = rng_.uniform(0.65, 1.35);
+      const double amp = rng.uniform(0.65, 1.35);
       p.weekday_peak = p.base + (p.weekday_peak - p.base) * amp;
       p.weekend_peak = p.base + (p.weekend_peak - p.base) * amp;
-      p.peak_hour += rng_.normal(0.0, 0.4);
-      p.noise_sigma = rng_.uniform(0.04, 0.09);
+      p.peak_hour += rng.normal(0.0, 0.4);
+      p.noise_sigma = rng.uniform(0.04, 0.09);
       return std::make_shared<DiurnalUtilization>(p, seed);
     }
     case PatternType::kStable: {
       auto p = owner.stable;
-      p.level *= rng_.uniform(0.85, 1.15);
+      p.level *= rng.uniform(0.85, 1.15);
       return std::make_shared<StableUtilization>(p, seed);
     }
     case PatternType::kIrregular:
@@ -155,8 +156,8 @@ std::shared_ptr<const UtilizationModel> WorkloadGenerator::instantiate(
     case PatternType::kHourlyPeak: {
       auto p = owner.hourly;
       p.tz_offset_hours = tz;
-      p.peak = p.base + (p.peak - p.base) * rng_.uniform(0.7, 1.3);
-      p.noise_sigma = rng_.uniform(0.03, 0.06);
+      p.peak = p.base + (p.peak - p.base) * rng.uniform(0.7, 1.3);
+      p.noise_sigma = rng.uniform(0.03, 0.06);
       return std::make_shared<HourlyPeakUtilization>(p, seed);
     }
   }
@@ -168,21 +169,22 @@ DeploymentRequest WorkloadGenerator::make_request(const CloudProfile& profile,
                                                   const Owner& owner,
                                                   RegionId region,
                                                   SimTime create,
-                                                  SimTime remove) {
+                                                  SimTime remove,
+                                                  Rng& rng) const {
   DeploymentRequest req;
   req.request.subscription = owner.sub;
   req.request.service = owner.service;
   req.request.cloud = profile.cloud;
   req.request.region = region;
   std::size_t sku = owner.sku_index;
-  if (rng_.bernoulli(profile.sku_mix_prob))
-    sku = AliasTable(profile.catalog.weights()).sample(rng_);
+  if (rng.bernoulli(profile.sku_mix_prob))
+    sku = AliasTable(profile.catalog.weights()).sample(rng);
   req.request.cores = profile.catalog.at(sku).cores;
   req.request.memory_gb = profile.catalog.at(sku).memory_gb;
   req.party = owner.party;
   req.create = create;
   req.remove = remove;
-  req.utilization = instantiate(profile, owner, region);
+  req.utilization = instantiate(profile, owner, region, rng);
   return req;
 }
 
@@ -200,79 +202,63 @@ void WorkloadGenerator::sample_standing_sizes(const CloudProfile& profile,
   }
 }
 
-void WorkloadGenerator::emit_standing(const CloudProfile& profile,
-                                      Owner& owner, SimTime horizon,
-                                      std::vector<DeploymentRequest>& out) {
+std::vector<DeploymentRequest> WorkloadGenerator::emit_standing(
+    const CloudProfile& profile, const Owner& owner, SimTime horizon,
+    Rng& rng) const {
+  std::vector<DeploymentRequest> out;
   for (std::size_t r = 0; r < owner.regions.size(); ++r) {
     const int n = owner.standing_per_region[r];
     for (int i = 0; i < n; ++i) {
       const SimTime create =
-          -static_cast<SimTime>(rng_.uniform() *
+          -static_cast<SimTime>(rng.uniform() *
                                 double(profile.standing_age_max)) -
           1;
       SimTime remove = kNoEnd;
-      if (rng_.bernoulli(profile.standing_end_prob))
-        remove = static_cast<SimTime>(rng_.uniform() * double(horizon));
+      if (rng.bernoulli(profile.standing_end_prob))
+        remove = static_cast<SimTime>(rng.uniform() * double(horizon));
       out.push_back(make_request(profile, owner, owner.regions[r], create,
-                                 remove));
+                                 remove, rng));
     }
   }
+  return out;
 }
 
-void WorkloadGenerator::emit_churn(const CloudProfile& profile,
-                                   std::vector<Owner>& owners,
-                                   SimTime horizon,
-                                   std::vector<DeploymentRequest>& out) {
-  // Owner pools per region, weighted by standing deployment size (large
-  // deployments churn proportionally more).
-  const std::size_t region_count = topo_.regions().size();
-  std::vector<std::vector<std::size_t>> pool(region_count);
-  std::vector<std::vector<double>> pool_weight(region_count);
-  for (std::size_t o = 0; o < owners.size(); ++o) {
-    const Owner& owner = owners[o];
-    for (std::size_t r = 0; r < owner.regions.size(); ++r) {
-      const auto region = owner.regions[r].value();
-      pool[region].push_back(o);
-      pool_weight[region].push_back(
-          static_cast<double>(owner.standing_per_region[r]));
+std::vector<DeploymentRequest> WorkloadGenerator::emit_region_churn(
+    const CloudProfile& profile, const std::vector<Owner>& owners,
+    const std::vector<std::size_t>& pool, const AliasTable& pick,
+    RegionId region_id, SimTime horizon, Rng& rng) const {
+  std::vector<DeploymentRequest> out;
+
+  // Diurnal churn, anchored to the region's local time.
+  if (profile.diurnal_churn.base_per_hour > 0) {
+    auto params = profile.diurnal_churn;
+    params.tz_offset_hours = topo_.region(region_id).tz_offset_hours;
+    DiurnalArrivalProcess process(params);
+    for (const SimTime t : process.sample(rng, 0, horizon)) {
+      const Owner& owner = owners[pool[pick.sample(rng)]];
+      const SimDuration life = profile.lifetime.sample(rng);
+      out.push_back(make_request(profile, owner, region_id, t, t + life, rng));
     }
   }
 
-  for (std::size_t region = 0; region < region_count; ++region) {
-    if (pool[region].empty()) continue;
-    const RegionId region_id(static_cast<RegionId::underlying>(region));
-    AliasTable pick(pool_weight[region]);
-
-    // Diurnal churn, anchored to the region's local time.
-    if (profile.diurnal_churn.base_per_hour > 0) {
-      auto params = profile.diurnal_churn;
-      params.tz_offset_hours = topo_.region(region_id).tz_offset_hours;
-      DiurnalArrivalProcess process(params);
-      for (const SimTime t : process.sample(rng_, 0, horizon)) {
-        const Owner& owner = owners[pool[region][pick.sample(rng_)]];
-        const SimDuration life = profile.lifetime.sample(rng_);
-        out.push_back(make_request(profile, owner, region_id, t, t + life));
-      }
-    }
-
-    // Bursty churn: each burst is one service rolling out a large
-    // deployment (the paper: spikes are "mainly caused by the deployment
-    // behavior of some large services").
-    if (profile.burst_churn.bursts_per_week > 0) {
-      BurstyArrivalProcess process(profile.burst_churn);
-      for (const SimTime epoch :
-           process.sample_burst_epochs(rng_, 0, horizon)) {
-        const Owner& owner = owners[pool[region][pick.sample(rng_)]];
-        const std::uint64_t size = process.sample_burst_size(rng_);
-        for (std::uint64_t i = 0; i < size; ++i) {
-          const SimTime t = epoch + process.sample_burst_offset(rng_);
-          if (t >= horizon) continue;
-          const SimDuration life = profile.lifetime.sample(rng_);
-          out.push_back(make_request(profile, owner, region_id, t, t + life));
-        }
+  // Bursty churn: each burst is one service rolling out a large
+  // deployment (the paper: spikes are "mainly caused by the deployment
+  // behavior of some large services").
+  if (profile.burst_churn.bursts_per_week > 0) {
+    BurstyArrivalProcess process(profile.burst_churn);
+    for (const SimTime epoch : process.sample_burst_epochs(rng, 0, horizon)) {
+      const Owner& owner = owners[pool[pick.sample(rng)]];
+      const std::uint64_t size = process.sample_burst_size(rng);
+      for (std::uint64_t i = 0; i < size; ++i) {
+        const SimTime t = epoch + process.sample_burst_offset(rng);
+        if (t >= horizon) continue;
+        const SimDuration life = profile.lifetime.sample(rng);
+        out.push_back(
+            make_request(profile, owner, region_id, t, t + life, rng));
       }
     }
   }
+  return out;
 }
 
 std::vector<DeploymentRequest> WorkloadGenerator::generate(
@@ -340,9 +326,60 @@ std::vector<DeploymentRequest> WorkloadGenerator::generate(
   for (auto& owner : owners) sample_standing_sizes(profile, owner);
   assign_patterns(profile.pattern_mix, owners);
 
+  // --- Parallel emission phases -----------------------------------------
+  // One draw of the (serial) master stream roots all shard streams of this
+  // generate() call; each shard seed is then pure SplitMix64 hashing of
+  // (root, stream family, shard index). Shards may therefore run on any
+  // thread in any order — concatenation below is in shard-index order, so
+  // the request list is bit-identical at every thread count.
+  const std::uint64_t stream_root = rng_();
+
+  // Standing fleets: one shard per owner.
+  auto standing = parallel_map<std::vector<DeploymentRequest>>(
+      owners.size(),
+      [&](std::size_t o) {
+        Rng rng(shard_seed(stream_root, kStandingStream, o));
+        return emit_standing(profile, owners[o], horizon, rng);
+      },
+      parallel_);
+
+  // In-window churn: one shard per region. Owner pools per region are
+  // built serially (cheap), weighted by standing deployment size (large
+  // deployments churn proportionally more).
+  const std::size_t region_count = topo_.regions().size();
+  std::vector<std::vector<std::size_t>> pool(region_count);
+  std::vector<std::vector<double>> pool_weight(region_count);
+  for (std::size_t o = 0; o < owners.size(); ++o) {
+    const Owner& owner = owners[o];
+    for (std::size_t r = 0; r < owner.regions.size(); ++r) {
+      const auto region = owner.regions[r].value();
+      pool[region].push_back(o);
+      pool_weight[region].push_back(
+          static_cast<double>(owner.standing_per_region[r]));
+    }
+  }
+  auto churn = parallel_map<std::vector<DeploymentRequest>>(
+      region_count,
+      [&](std::size_t region) {
+        if (pool[region].empty()) return std::vector<DeploymentRequest>{};
+        Rng rng(shard_seed(stream_root, kChurnStream, region));
+        const AliasTable pick(pool_weight[region]);
+        return emit_region_churn(
+            profile, owners, pool[region], pick,
+            RegionId(static_cast<RegionId::underlying>(region)), horizon,
+            rng);
+      },
+      parallel_);
+
   std::vector<DeploymentRequest> requests;
-  for (auto& owner : owners) emit_standing(profile, owner, horizon, requests);
-  emit_churn(profile, owners, horizon, requests);
+  std::size_t total = 0;
+  for (const auto& part : standing) total += part.size();
+  for (const auto& part : churn) total += part.size();
+  requests.reserve(total);
+  for (auto& part : standing)
+    for (auto& req : part) requests.push_back(std::move(req));
+  for (auto& part : churn)
+    for (auto& req : part) requests.push_back(std::move(req));
   return requests;
 }
 
@@ -366,7 +403,8 @@ Scenario make_scenario(const ScenarioOptions& options) {
                        ? options.public_profile
                        : options.public_profile.scaled(options.scale);
 
-  WorkloadGenerator generator(*scenario.topology, options.seed);
+  WorkloadGenerator generator(*scenario.topology, options.seed,
+                              options.parallel);
   auto private_requests =
       generator.generate(priv, *scenario.trace, options.horizon);
   auto public_requests =

@@ -14,14 +14,24 @@
 #include "cloudsim/simulator.h"
 #include "cloudsim/topology.h"
 #include "cloudsim/trace.h"
+#include "common/parallel.h"
+#include "common/rng.h"
 #include "workloads/patterns.h"
 #include "workloads/profiles.h"
 
 namespace cloudlens::workloads {
 
+// Determinism contract: the generator's output is a pure function of
+// (topology, seed, profile, horizon) — never of the thread count. The
+// owner/subscription population is sampled serially from the master
+// stream; the per-VM emission phases (standing fleets per owner, churn
+// per region) then each draw from an independent shard stream derived via
+// SplitMix64 from the master seed (common/rng.h shard_seed), so shards can
+// run on any thread in any order and still produce identical requests.
 class WorkloadGenerator {
  public:
-  WorkloadGenerator(const Topology& topology, std::uint64_t seed);
+  WorkloadGenerator(const Topology& topology, std::uint64_t seed,
+                    const ParallelConfig& parallel = {});
 
   /// Registers the profile's services and subscriptions in `trace` and
   /// returns the deployment requests (standing population + in-window
@@ -53,7 +63,6 @@ class WorkloadGenerator {
     std::vector<int> standing_per_region;
   };
 
-  PatternType sample_pattern_type(const PatternMix& mix);
   /// Draw prototype pattern parameters (all four families) for an owner.
   void sample_pattern_params(const CloudProfile& profile, Owner& owner);
   /// Draw the owner's standing VM count per deployed region.
@@ -65,20 +74,33 @@ class WorkloadGenerator {
   /// The time-zone anchor for an owner's VMs in `region`.
   double anchor_tz(const CloudProfile& profile, const Owner& owner,
                    RegionId region) const;
+
+  // Emission-phase helpers draw from an explicit shard stream (never the
+  // master rng_) so they may run concurrently.
   std::shared_ptr<const UtilizationModel> instantiate(
-      const CloudProfile& profile, const Owner& owner, RegionId region);
+      const CloudProfile& profile, const Owner& owner, RegionId region,
+      Rng& rng) const;
 
   DeploymentRequest make_request(const CloudProfile& profile,
                                  const Owner& owner, RegionId region,
-                                 SimTime create, SimTime remove);
+                                 SimTime create, SimTime remove,
+                                 Rng& rng) const;
 
-  void emit_standing(const CloudProfile& profile, Owner& owner,
-                     SimTime horizon, std::vector<DeploymentRequest>& out);
-  void emit_churn(const CloudProfile& profile, std::vector<Owner>& owners,
-                  SimTime horizon, std::vector<DeploymentRequest>& out);
+  /// Standing fleet of one owner (one shard).
+  std::vector<DeploymentRequest> emit_standing(const CloudProfile& profile,
+                                               const Owner& owner,
+                                               SimTime horizon,
+                                               Rng& rng) const;
+  /// In-window churn of one region (one shard). `pool`/`pick` index the
+  /// owners deployed in the region, weighted by standing size.
+  std::vector<DeploymentRequest> emit_region_churn(
+      const CloudProfile& profile, const std::vector<Owner>& owners,
+      const std::vector<std::size_t>& pool, const AliasTable& pick,
+      RegionId region, SimTime horizon, Rng& rng) const;
 
   const Topology& topo_;
   Rng rng_;
+  ParallelConfig parallel_;
 };
 
 /// Convenience bundle: a full dual-cloud scenario (topology + trace with
@@ -97,6 +119,9 @@ struct ScenarioOptions {
   /// tests use ~0.05.
   double scale = 1.0;
   SimTime horizon = kWeek;
+  /// Thread knob for the generation phase. Results are bit-identical at
+  /// any setting; 1 = serial.
+  ParallelConfig parallel;
   CloudProfile private_profile = CloudProfile::azure_private();
   CloudProfile public_profile = CloudProfile::azure_public();
 };

@@ -2,10 +2,14 @@
 // exercised by the per-module suites.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
+#include "analysis/classifier.h"
+#include "analysis/spatial.h"
 #include "common/check.h"
 #include "common/ids.h"
+#include "common/parallel.h"
 #include "cloudsim/trace_io.h"
 #include "testutil.h"
 #include "workloads/generator.h"
@@ -125,6 +129,94 @@ TEST(AllocatorEdgeTest, NodeAvailabilityToggle) {
   alloc.set_node_available(node, true);
   EXPECT_TRUE(alloc.node_available(node));
   EXPECT_THROW(alloc.set_node_available(NodeId(), false), CheckError);
+}
+
+// --- Parallel analysis sites on degenerate inputs -------------------------
+// The parallel fan-outs must degrade gracefully when there is (almost)
+// nothing to fan out over, at serial and parallel thread counts alike.
+
+TEST(ParallelAnalysisEdgeTest, ClassifyEmptyTrace) {
+  const Topology topo = test::tiny_topology();
+  TraceStore trace(&topo);
+  for (const auto& cfg :
+       {ParallelConfig::serial(), ParallelConfig::with_threads(8)}) {
+    const auto shares =
+        analysis::classify_population(trace, CloudType::kPrivate, 0, {}, cfg);
+    EXPECT_EQ(shares.classified, 0u);
+    EXPECT_EQ(shares.diurnal + shares.stable + shares.irregular +
+                  shares.hourly_peak,
+              0.0);
+  }
+}
+
+TEST(ParallelAnalysisEdgeTest, ClassifySingleVm) {
+  const Topology topo = test::tiny_topology();
+  test::TraceFixture fx(topo);
+  const NodeId node = test::first_node(topo, CloudType::kPrivate);
+  fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 2, -kDay, kNoEnd,
+            std::make_shared<ConstantUtilization>(0.3));
+  for (const auto& cfg :
+       {ParallelConfig::serial(), ParallelConfig::with_threads(8)}) {
+    const auto shares =
+        analysis::classify_population(fx.trace, CloudType::kPrivate, 0, {},
+                                      cfg);
+    EXPECT_EQ(shares.classified, 1u);
+    EXPECT_EQ(shares.stable, 1.0);  // constant series => stable
+  }
+}
+
+TEST(ParallelAnalysisEdgeTest, SingleNodeCorrelationSet) {
+  const Topology topo = test::tiny_topology();
+  test::TraceFixture fx(topo);
+  const NodeId node = test::first_node(topo, CloudType::kPrivate);
+  // Exactly one candidate node hosting two covering VMs; every other node
+  // is empty and must be filtered out, not crash the fan-out.
+  fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 2, -kDay, kNoEnd,
+            std::make_shared<ConstantUtilization>(0.3));
+  fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 2, -kDay, kNoEnd,
+            std::make_shared<ConstantUtilization>(0.6));
+  const auto serial = analysis::node_vm_correlations(
+      fx.trace, CloudType::kPrivate, 0, ParallelConfig::serial());
+  const auto parallel = analysis::node_vm_correlations(
+      fx.trace, CloudType::kPrivate, 0, ParallelConfig::with_threads(8));
+  EXPECT_EQ(serial.size(), 2u);  // one correlation per hosted VM
+  EXPECT_EQ(serial, parallel);
+  // No multi-region subscription => empty cross-region set, no throw.
+  EXPECT_TRUE(analysis::cross_region_correlations(fx.trace,
+                                                  CloudType::kPrivate)
+                  .empty());
+}
+
+TEST(ParallelAnalysisEdgeTest, OneTickTelemetryGrid) {
+  const Topology topo = test::tiny_topology();
+  TraceStore trace(&topo, TimeGrid{0, kTelemetryInterval, 1});
+  SubscriptionInfo info;
+  info.cloud = CloudType::kPrivate;
+  info.party = PartyType::kFirstParty;
+  const SubscriptionId sub = trace.add_subscription(info);
+  const NodeId node = test::first_node(topo, CloudType::kPrivate);
+  VmRecord rec;
+  rec.subscription = sub;
+  rec.cloud = CloudType::kPrivate;
+  rec.party = PartyType::kFirstParty;
+  rec.region = RegionId(0);
+  const Node& n = topo.node(node);
+  rec.cluster = n.cluster;
+  rec.rack = n.rack;
+  rec.node = node;
+  rec.cores = 2;
+  rec.memory_gb = 8;
+  rec.created = -kHour;
+  rec.deleted = kNoEnd;
+  rec.utilization = std::make_shared<ConstantUtilization>(0.5);
+  trace.add_vm(std::move(rec));
+  for (const auto& cfg :
+       {ParallelConfig::serial(), ParallelConfig::with_threads(8)}) {
+    const auto shares =
+        analysis::classify_population(trace, CloudType::kPrivate, 0, {}, cfg);
+    EXPECT_EQ(shares.classified, 1u);
+    EXPECT_EQ(shares.stable, 1.0);  // a one-sample series has zero stddev
+  }
 }
 
 TEST(ConstantUtilizationTest, KindTag) {

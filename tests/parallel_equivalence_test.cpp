@@ -1,0 +1,184 @@
+// Parallel-vs-serial equivalence suite: the engine's determinism contract,
+// proven end to end. Every parallelized pipeline stage — workload
+// generation, pattern classification, spatial correlation, utilization
+// distribution, profile fitting — must produce *bit-identical* output at
+// threads = 1 (the plain serial loops) and threads = 8, across several
+// seeds. Comparisons use EXPECT_EQ on doubles deliberately: approximate
+// equality would hide reassociated floating-point sums.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/classifier.h"
+#include "analysis/spatial.h"
+#include "analysis/utilization.h"
+#include "cloudsim/trace_io.h"
+#include "workloads/fit.h"
+#include "workloads/generator.h"
+
+namespace cloudlens {
+namespace {
+
+using workloads::Scenario;
+using workloads::ScenarioOptions;
+
+constexpr std::uint64_t kSeeds[] = {11, 4242, 987654321};
+
+Scenario small_scenario(std::uint64_t seed, std::size_t threads) {
+  ScenarioOptions options;
+  options.seed = seed;
+  options.scale = 0.05;
+  options.parallel = ParallelConfig::with_threads(threads);
+  return workloads::make_scenario(options);
+}
+
+/// Canonical byte-level rendering of a trace (every VM row plus sampled
+/// utilization for a capped subset).
+std::string render(const Scenario& s) {
+  std::ostringstream out;
+  export_vm_table(*s.trace, out);
+  TraceExportOptions opts;
+  opts.max_vms_with_utilization = 200;
+  export_utilization(*s.trace, out, opts);
+  return out.str();
+}
+
+TEST(ParallelEquivalenceTest, GeneratedTracesBitIdentical) {
+  for (const std::uint64_t seed : kSeeds) {
+    const Scenario serial = small_scenario(seed, 1);
+    const Scenario parallel = small_scenario(seed, 8);
+    ASSERT_EQ(serial.trace->vms().size(), parallel.trace->vms().size())
+        << "seed " << seed;
+    EXPECT_EQ(render(serial), render(parallel)) << "seed " << seed;
+  }
+}
+
+// The remaining stages compare serial vs parallel *analysis* over one trace.
+class AnalysisEquivalence : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new Scenario(small_scenario(1234, 1));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  const TraceStore& trace() { return *scenario_->trace; }
+  static Scenario* scenario_;
+};
+
+Scenario* AnalysisEquivalence::scenario_ = nullptr;
+
+TEST_F(AnalysisEquivalence, ClassifierSharesBitIdentical) {
+  for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
+    const auto serial = analysis::classify_population(
+        trace(), cloud, 300, {}, ParallelConfig::serial());
+    const auto parallel = analysis::classify_population(
+        trace(), cloud, 300, {}, ParallelConfig::with_threads(8));
+    EXPECT_EQ(serial.classified, parallel.classified);
+    EXPECT_EQ(serial.diurnal, parallel.diurnal);
+    EXPECT_EQ(serial.stable, parallel.stable);
+    EXPECT_EQ(serial.irregular, parallel.irregular);
+    EXPECT_EQ(serial.hourly_peak, parallel.hourly_peak);
+  }
+}
+
+TEST_F(AnalysisEquivalence, NodeVmCorrelationsBitIdentical) {
+  const auto serial = analysis::node_vm_correlations(
+      trace(), CloudType::kPrivate, 120, ParallelConfig::serial());
+  const auto parallel = analysis::node_vm_correlations(
+      trace(), CloudType::kPrivate, 120, ParallelConfig::with_threads(8));
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(AnalysisEquivalence, CrossRegionCorrelationsBitIdentical) {
+  const auto serial = analysis::cross_region_correlations(
+      trace(), CloudType::kPrivate, 120, 25, ParallelConfig::serial());
+  const auto parallel = analysis::cross_region_correlations(
+      trace(), CloudType::kPrivate, 120, 25, ParallelConfig::with_threads(8));
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(AnalysisEquivalence, RegionAgnosticVerdictsBitIdentical) {
+  const auto serial = analysis::detect_region_agnostic_services(
+      trace(), CloudType::kPrivate, 0.7, 25, ParallelConfig::serial());
+  const auto parallel = analysis::detect_region_agnostic_services(
+      trace(), CloudType::kPrivate, 0.7, 25, ParallelConfig::with_threads(8));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].service, parallel[i].service);
+    EXPECT_EQ(serial[i].regions, parallel[i].regions);
+    EXPECT_EQ(serial[i].min_pair_correlation, parallel[i].min_pair_correlation);
+    EXPECT_EQ(serial[i].mean_pair_correlation,
+              parallel[i].mean_pair_correlation);
+    EXPECT_EQ(serial[i].region_agnostic, parallel[i].region_agnostic);
+  }
+}
+
+TEST_F(AnalysisEquivalence, UtilizationBandsBitIdentical) {
+  const auto serial = analysis::utilization_distribution(
+      trace(), CloudType::kPublic, 200, ParallelConfig::serial());
+  const auto parallel = analysis::utilization_distribution(
+      trace(), CloudType::kPublic, 200, ParallelConfig::with_threads(8));
+  EXPECT_EQ(serial.vms_used, parallel.vms_used);
+  EXPECT_EQ(serial.weekly.p25, parallel.weekly.p25);
+  EXPECT_EQ(serial.weekly.p50, parallel.weekly.p50);
+  EXPECT_EQ(serial.weekly.p75, parallel.weekly.p75);
+  EXPECT_EQ(serial.weekly.p95, parallel.weekly.p95);
+  EXPECT_EQ(serial.daily_p25, parallel.daily_p25);
+  EXPECT_EQ(serial.daily_p50, parallel.daily_p50);
+  EXPECT_EQ(serial.daily_p75, parallel.daily_p75);
+  EXPECT_EQ(serial.daily_p95, parallel.daily_p95);
+}
+
+TEST_F(AnalysisEquivalence, UsedCoresReductionBitIdentical) {
+  // The floating-point reduction: the fixed chunk grid must make the sum
+  // reproducible at any thread count, bit for bit.
+  const auto serial = analysis::region_used_cores_hourly(
+      trace(), CloudType::kPrivate, RegionId(), 400, ParallelConfig::serial());
+  const auto parallel = analysis::region_used_cores_hourly(
+      trace(), CloudType::kPrivate, RegionId(), 400,
+      ParallelConfig::with_threads(8));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "hour " << i;
+  }
+}
+
+TEST_F(AnalysisEquivalence, FittedProfilesBitIdentical) {
+  workloads::FitOptions serial_opts;
+  serial_opts.classify_max_vms = 200;
+  serial_opts.parallel = ParallelConfig::serial();
+  workloads::FitOptions parallel_opts = serial_opts;
+  parallel_opts.parallel = ParallelConfig::with_threads(8);
+
+  const auto base = workloads::CloudProfile::azure_private();
+  const auto serial =
+      fit_profile(trace(), CloudType::kPrivate, base, serial_opts);
+  const auto parallel =
+      fit_profile(trace(), CloudType::kPrivate, base, parallel_opts);
+
+  EXPECT_EQ(serial.classified_vms, parallel.classified_vms);
+  EXPECT_EQ(serial.burst_hours_detected, parallel.burst_hours_detected);
+  EXPECT_EQ(serial.mean_creations_per_hour_per_region,
+            parallel.mean_creations_per_hour_per_region);
+  const auto& sp = serial.profile;
+  const auto& pp = parallel.profile;
+  EXPECT_EQ(sp.pattern_mix.diurnal, pp.pattern_mix.diurnal);
+  EXPECT_EQ(sp.pattern_mix.stable, pp.pattern_mix.stable);
+  EXPECT_EQ(sp.pattern_mix.irregular, pp.pattern_mix.irregular);
+  EXPECT_EQ(sp.pattern_mix.hourly_peak, pp.pattern_mix.hourly_peak);
+  EXPECT_EQ(sp.region_agnostic_prob, pp.region_agnostic_prob);
+  EXPECT_EQ(sp.diurnal_churn.base_per_hour, pp.diurnal_churn.base_per_hour);
+  EXPECT_EQ(sp.diurnal_churn.weekend_scale, pp.diurnal_churn.weekend_scale);
+  EXPECT_EQ(sp.burst_churn.bursts_per_week, pp.burst_churn.bursts_per_week);
+  EXPECT_EQ(sp.deploy_size_mu, pp.deploy_size_mu);
+  EXPECT_EQ(sp.deploy_size_sigma, pp.deploy_size_sigma);
+}
+
+}  // namespace
+}  // namespace cloudlens

@@ -1,0 +1,217 @@
+// Unit tests for the deterministic parallel execution engine
+// (common/parallel.h): scheduling edge cases, exception propagation,
+// nested-call safety, and the fixed reduce chunk grid.
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cloudlens {
+namespace {
+
+TEST(ParallelConfigTest, ZeroResolvesToHardwareConcurrency) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(ParallelConfig{}.resolved(), hw > 0 ? hw : 1);
+  EXPECT_EQ(ParallelConfig::serial().resolved(), 1u);
+  EXPECT_EQ(ParallelConfig::with_threads(3).resolved(), 3u);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  std::atomic<int> calls{0};
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  parallel_for(
+      0, [&](std::size_t) { ++calls; }, ParallelConfig::serial());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{2}, std::size_t{8}}) {
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(
+        n, [&](std::size_t i) { ++hits[i]; },
+        ParallelConfig::with_threads(threads));
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, FewerItemsThanThreads) {
+  // n < threads: every index still runs exactly once.
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(
+      3, [&](std::size_t i) { ++hits[i]; }, ParallelConfig::with_threads(16));
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ManyMoreItemsThanThreads) {
+  const std::size_t n = 50000;
+  std::atomic<std::size_t> sum{0};
+  parallel_for(
+      n, [&](std::size_t i) { sum += i; }, ParallelConfig::with_threads(4));
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ParallelMapTest, ResultsInIndexOrderAtAnyThreadCount) {
+  const std::size_t n = 257;  // not a multiple of any block size
+  const auto serial = parallel_map<std::size_t>(
+      n, [](std::size_t i) { return i * i; }, ParallelConfig::serial());
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                    std::size_t{8}, std::size_t{32}}) {
+    const auto parallel = parallel_map<std::size_t>(
+        n, [](std::size_t i) { return i * i; },
+        ParallelConfig::with_threads(threads));
+    EXPECT_EQ(parallel, serial) << "threads " << threads;
+  }
+}
+
+TEST(ParallelMapTest, MoveOnlyFriendlyTypes) {
+  const auto out = parallel_map<std::vector<int>>(
+      10, [](std::size_t i) { return std::vector<int>(i, int(i)); },
+      ParallelConfig::with_threads(4));
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].size(), i);
+  }
+}
+
+TEST(ParallelReduceTest, ChunkGridIsPureFunctionOfN) {
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{63}, std::size_t{64},
+        std::size_t{65}, std::size_t{1000}, std::size_t{123457}}) {
+    const std::size_t chunks = detail::reduce_chunk_count(n);
+    ASSERT_GE(chunks, 1u);
+    ASSERT_LE(chunks, n);
+    // Chunks tile [0, n) exactly, in order, without gaps or overlap.
+    std::size_t expect_begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [begin, end] = detail::reduce_chunk_bounds(n, c);
+      EXPECT_EQ(begin, expect_begin);
+      EXPECT_GT(end, begin);
+      expect_begin = end;
+    }
+    EXPECT_EQ(expect_begin, n);
+  }
+}
+
+TEST(ParallelReduceTest, FloatingPointSumBitIdenticalAcrossThreadCounts) {
+  // Values chosen so naive reassociation would change the result.
+  const std::size_t n = 10001;
+  std::vector<double> values(n);
+  Rng rng(7);
+  for (auto& v : values) v = rng.exponential(1.0) * 1e-3 + 1e6;
+
+  const auto sum_with = [&](std::size_t threads) {
+    return parallel_reduce<double>(
+        n, 0.0, [&](double& acc, std::size_t i) { acc += values[i]; },
+        [](double& total, const double& partial) { total += partial; },
+        ParallelConfig::with_threads(threads));
+  };
+  const double serial = sum_with(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}, std::size_t{0}}) {
+    const double parallel = sum_with(threads);
+    // Bit-identical, not just approximately equal.
+    EXPECT_EQ(serial, parallel) << "threads " << threads;
+  }
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsInit) {
+  const double out = parallel_reduce<double>(
+      0, 42.0, [](double&, std::size_t) { FAIL(); },
+      [](double&, const double&) { FAIL(); });
+  EXPECT_EQ(out, 42.0);
+}
+
+TEST(ParallelExceptionTest, FirstExceptionPropagates) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    try {
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 57) throw std::runtime_error("boom at 57");
+          },
+          ParallelConfig::with_threads(threads));
+      FAIL() << "expected exception, threads " << threads;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 57");
+    }
+  }
+}
+
+TEST(ParallelExceptionTest, PoolIsReusableAfterException) {
+  EXPECT_THROW(parallel_for(
+                   8, [](std::size_t) { throw std::logic_error("x"); },
+                   ParallelConfig::with_threads(4)),
+               std::logic_error);
+  // The pool must still schedule correctly after the failed batch.
+  std::atomic<int> calls{0};
+  parallel_for(
+      100, [&](std::size_t) { ++calls; }, ParallelConfig::with_threads(4));
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ParallelNestingTest, NestedCallsRunInlineAndComplete) {
+  // A task that itself calls parallel_for must not deadlock the pool; the
+  // inner call detects the parallel region and degrades to inline serial.
+  const std::size_t outer = 16, inner = 32;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  parallel_for(
+      outer,
+      [&](std::size_t o) {
+        EXPECT_TRUE(ThreadPool::inside_parallel_region() ||
+                    ParallelConfig{}.resolved() == 1);
+        parallel_for(
+            inner, [&](std::size_t i) { ++hits[o * inner + i]; },
+            ParallelConfig::with_threads(8));
+      },
+      ParallelConfig::with_threads(4));
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  EXPECT_FALSE(ThreadPool::inside_parallel_region());
+}
+
+TEST(ParallelNestingTest, OutsideRegionByDefault) {
+  EXPECT_FALSE(ThreadPool::inside_parallel_region());
+}
+
+TEST(ThreadPoolTest, DedicatedPoolRunsBatches) {
+  ThreadPool pool(3);
+  EXPECT_GE(pool.workers(), 1u);
+  std::atomic<int> calls{0};
+  pool.run(10, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+  // Sequential batches on the same pool.
+  pool.run(5, 2, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 15);
+}
+
+TEST(ShardSeedTest, StreamsAreStableAndDistinct) {
+  // Pure function of (master, salt, index).
+  EXPECT_EQ(shard_seed(42, 1, 0), shard_seed(42, 1, 0));
+  // Different shard, salt, or master => different stream seed.
+  EXPECT_NE(shard_seed(42, 1, 0), shard_seed(42, 1, 1));
+  EXPECT_NE(shard_seed(42, 1, 0), shard_seed(42, 2, 0));
+  EXPECT_NE(shard_seed(42, 1, 0), shard_seed(43, 1, 0));
+  // Streams from adjacent shards decorrelate immediately.
+  Rng a(shard_seed(42, 1, 0)), b(shard_seed(42, 1, 1));
+  std::size_t agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    if ((a.uniform() < 0.5) == (b.uniform() < 0.5)) ++agree;
+  }
+  EXPECT_GT(agree, 16u);
+  EXPECT_LT(agree, 48u);
+}
+
+}  // namespace
+}  // namespace cloudlens

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Local CI: the two build flavours that gate a change to cloudlens.
+#
+#   1. Release        — optimized build, full ctest suite.
+#   2. ThreadSanitizer — same suite under TSan; this is the build that
+#      polices the deterministic parallel engine (common/parallel.*) and
+#      every parallel call site. Run it whenever you touch them.
+#
+# Usage: tools/ci.sh [build-root]       (default: ./ci-build)
+# Environment: CTEST_PARALLEL_LEVEL (default 2), CLOUDLENS_CI_JOBS
+# (default: nproc).
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_ROOT=${1:-"$ROOT/ci-build"}
+JOBS=${CLOUDLENS_CI_JOBS:-$(nproc 2>/dev/null || echo 2)}
+export CTEST_PARALLEL_LEVEL=${CTEST_PARALLEL_LEVEL:-2}
+# Fail the TSan flavour on any report, and keep runs reproducible.
+export TSAN_OPTIONS=${TSAN_OPTIONS:-"halt_on_error=1"}
+
+run_flavour() {
+    name=$1
+    shift
+    dir="$BUILD_ROOT/$name"
+    echo "== [$name] configure =="
+    cmake -S "$ROOT" -B "$dir" "$@" >/dev/null
+    echo "== [$name] build (-j$JOBS) =="
+    cmake --build "$dir" -j "$JOBS"
+    echo "== [$name] ctest =="
+    ctest --test-dir "$dir" --output-on-failure
+}
+
+run_flavour release -DCMAKE_BUILD_TYPE=Release -DCLOUDLENS_WERROR=ON
+run_flavour tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLOUDLENS_SANITIZE=thread
+
+echo "ci: all flavours green"

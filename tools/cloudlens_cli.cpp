@@ -24,6 +24,7 @@
 #include "analysis/temporal.h"
 #include "analysis/utilization.h"
 #include "cloudsim/trace_io.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "kb/extractor.h"
 #include "kb/store.h"
@@ -43,8 +44,15 @@ struct CliArgs {
   double scale = 0.3;
   std::uint64_t seed = 42;
   std::size_t util_vms = 1500;
+  /// Worker threads for generation and analysis: 0 = all hardware threads,
+  /// 1 = serial. Outputs are bit-identical at any setting.
+  std::size_t threads = 0;
   CloudType cloud = CloudType::kPublic;
   bool cloud_given = false;
+
+  ParallelConfig parallel() const {
+    return ParallelConfig::with_threads(threads);
+  }
 };
 
 int usage() {
@@ -54,7 +62,10 @@ int usage() {
                "  insights --in DIR\n"
                "  figures  --in DIR   (writes fig*.csv next to the trace)\n"
                "  fit      --in DIR   (estimate generative profile parameters)\n"
-               "  advise   --in DIR [--cloud private|public]\n";
+               "  advise   --in DIR [--cloud private|public]\n"
+               "common flags:\n"
+               "  --threads N   worker threads (0 = all cores, 1 = serial);\n"
+               "                output is bit-identical at any setting\n";
   return 2;
 }
 
@@ -82,6 +93,10 @@ bool parse(int argc, char** argv, CliArgs& args) {
       const char* v = next();
       if (!v) return false;
       args.util_vms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args.threads = std::strtoull(v, nullptr, 10);
     } else if (a == "--report") {
       const char* v = next();
       if (!v) return false;
@@ -104,6 +119,7 @@ int cmd_generate(const CliArgs& args) {
   workloads::ScenarioOptions options;
   options.scale = args.scale;
   options.seed = args.seed;
+  options.parallel = args.parallel();
   std::cout << "generating scenario (scale=" << args.scale
             << ", seed=" << args.seed << ")...\n";
   const auto scenario = workloads::make_scenario(options);
@@ -236,10 +252,10 @@ int cmd_figures(const CliArgs& args) {
   // Fig. 5(d).
   {
     auto out = open_out("fig5d_pattern_shares.csv");
-    const auto priv =
-        analysis::classify_population(trace, CloudType::kPrivate, 1000);
-    const auto pub =
-        analysis::classify_population(trace, CloudType::kPublic, 1000);
+    const auto priv = analysis::classify_population(
+        trace, CloudType::kPrivate, 1000, {}, args.parallel());
+    const auto pub = analysis::classify_population(
+        trace, CloudType::kPublic, 1000, {}, args.parallel());
     out << "pattern,private,public\n";
     out << "diurnal," << priv.diurnal << ',' << pub.diurnal << '\n';
     out << "stable," << priv.stable << ',' << pub.stable << '\n';
@@ -253,7 +269,8 @@ int cmd_figures(const CliArgs& args) {
     const std::string name = std::string("fig6_weekly_") +
                              std::string(to_string(cloud)) + ".csv";
     auto out = open_out(name);
-    const auto dist = analysis::utilization_distribution(trace, cloud, 800);
+    const auto dist = analysis::utilization_distribution(trace, cloud, 800,
+                                                         args.parallel());
     out << "hour,p25,p50,p75,p95\n";
     for (std::size_t i = 0; i < dist.weekly.grid.count; ++i)
       out << i << ',' << dist.weekly.p25[i] << ',' << dist.weekly.p50[i]
@@ -263,10 +280,10 @@ int cmd_figures(const CliArgs& args) {
   // Fig. 7(a): correlation CDFs.
   {
     auto out = open_out("fig7a_node_correlation.csv");
-    const stats::Ecdf priv(
-        analysis::node_vm_correlations(trace, CloudType::kPrivate, 200));
-    const stats::Ecdf pub(
-        analysis::node_vm_correlations(trace, CloudType::kPublic, 200));
+    const stats::Ecdf priv(analysis::node_vm_correlations(
+        trace, CloudType::kPrivate, 200, args.parallel()));
+    const stats::Ecdf pub(analysis::node_vm_correlations(
+        trace, CloudType::kPublic, 200, args.parallel()));
     out << "correlation,private_cdf,public_cdf\n";
     for (double x = -1.0; x <= 1.0; x += 0.02)
       out << x << ',' << priv.at(x) << ',' << pub.at(x) << '\n';
@@ -295,7 +312,9 @@ int cmd_fit(const CliArgs& args) {
     const auto base = cloud == CloudType::kPrivate
                           ? workloads::CloudProfile::azure_private()
                           : workloads::CloudProfile::azure_public();
-    const auto fit = workloads::fit_profile(trace, cloud, base);
+    workloads::FitOptions fit_options;
+    fit_options.parallel = args.parallel();
+    const auto fit = workloads::fit_profile(trace, cloud, base, fit_options);
     const auto& p = fit.profile;
     std::cout << "\n--- fitted profile: " << p.name << " ---\n";
     TextTable t({"parameter", "value"});
