@@ -4,6 +4,7 @@
 // truth, showing the default operating point sits on a plateau.
 #include "analysis/classifier.h"
 #include "bench_common.h"
+#include "cloudsim/telemetry_panel.h"
 #include "common/table.h"
 #include "workloads/patterns.h"
 
@@ -21,6 +22,11 @@ Accuracy measure(const TraceStore& trace,
                  const analysis::ClassifierOptions& options,
                  std::size_t max_vms) {
   const TimeGrid& grid = trace.telemetry_grid();
+  // The sweep re-classifies the same VMs under 15+ threshold settings;
+  // reading the shared panel rows makes each sweep point pay only for the
+  // ACF tests, not for re-evaluating every utilization model.
+  const TelemetryPanel* panel = trace.telemetry_panel();
+  std::vector<double> scratch;
   Accuracy acc;
   std::size_t correct = 0;
   std::size_t seen = 0;
@@ -30,8 +36,9 @@ Accuracy measure(const TraceStore& trace,
     if (seen % 7 != 0) continue;  // stride for speed
     const auto truth = workloads::ground_truth_pattern(vm.utilization.get());
     if (!truth) continue;
-    const auto series = trace.vm_utilization(vm.id, grid);
-    const auto predicted = analysis::classify(series, options);
+    const std::span<const double> row =
+        vm_telemetry_row(trace, panel, vm.id, grid, scratch);
+    const auto predicted = analysis::classify(row, grid, options);
     // PatternType and UtilizationClass share the enum order.
     if (static_cast<int>(predicted) == static_cast<int>(*truth)) ++correct;
     ++acc.evaluated;

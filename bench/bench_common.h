@@ -10,7 +10,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "workloads/generator.h"
 
@@ -50,6 +55,86 @@ inline void banner(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
 }
+
+/// Peak resident-set size of this process in MiB (0 when unavailable).
+inline double peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// Machine-readable benchmark sink: collects flat records (one object of
+/// numeric and string fields per measured configuration) and writes them as
+/// one JSON document, e.g. BENCH_telemetry.json, so CI and EXPERIMENTS.md
+/// can diff runs without scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  class Record {
+   public:
+    Record& num(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Record& str(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, "\"" + value + "\"");
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Record& record(const std::string& name) {
+    records_.emplace_back();
+    records_.back().str("name", name);
+    return records_.back();
+  }
+  Record& meta() { return meta_; }
+
+  /// Writes the document; returns false (and prints) on I/O failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::printf("BenchJson: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", bench_name_.c_str());
+    for (const auto& [k, v] : meta_.fields_)
+      std::fprintf(f, ",\n  \"%s\": %s", k.c_str(), v.c_str());
+    std::fprintf(f, ",\n  \"results\": [\n");
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "    {");
+      const auto& fields = records_[r].fields_;
+      for (std::size_t i = 0; i < fields.size(); ++i)
+        std::fprintf(f, "%s\"%s\": %s", i ? ", " : "", fields[i].first.c_str(),
+                     fields[i].second.c_str());
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  Record meta_;
+  std::vector<Record> records_;
+};
 
 /// One shape assertion; prints PASS/FAIL and tracks a global verdict.
 class ShapeChecks {

@@ -11,6 +11,7 @@
 #include "analysis/spatial.h"
 #include "analysis/utilization.h"
 #include "cloudsim/allocator.h"
+#include "cloudsim/telemetry_panel.h"
 #include "cloudsim/topology.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -40,6 +41,17 @@ void BM_Pearson(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_Pearson)->Arg(2016)->Arg(1 << 14);
+
+void BM_PearsonFused(benchmark::State& state) {
+  // Single-pass co-moment kernel vs the two-pass BM_Pearson above.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_series(n, 1);
+  const auto y = random_series(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(stats::pearson_fused(x, y));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PearsonFused)->Arg(2016)->Arg(1 << 14);
 
 void BM_EcdfBuild(benchmark::State& state) {
   const auto xs = random_series(static_cast<std::size_t>(state.range(0)), 3);
@@ -71,6 +83,21 @@ void BM_PatternEvaluationWeek(benchmark::State& state) {
                           static_cast<std::int64_t>(grid.count));
 }
 BENCHMARK(BM_PatternEvaluationWeek);
+
+void BM_PatternSampleWeek(benchmark::State& state) {
+  // Batched sample() vs the per-tick at() loop of BM_PatternEvaluationWeek:
+  // same bits, hoisted envelope/noise tables, no per-tick virtual dispatch.
+  const workloads::DiurnalUtilization model({}, 6);
+  const TimeGrid grid = week_telemetry_grid();
+  std::vector<double> row(grid.count);
+  for (auto _ : state) {
+    model.sample(grid, row);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.count));
+}
+BENCHMARK(BM_PatternSampleWeek);
 
 void BM_ClassifyWeekSeries(benchmark::State& state) {
   const workloads::HourlyPeakUtilization model({}, 7);
@@ -202,6 +229,62 @@ void BM_UtilizationBandsThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_UtilizationBandsThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Repeated-analysis suite: columnar panel on vs off ---------------------
+// The panel's raison d'être: one characterization run executes many
+// analyses over the same VM × tick telemetry. With the panel off, every
+// analysis re-derives rows through the shared fill kernel (the pre-panel
+// cost model); with it on, the matrix is materialized once and every pass
+// reads contiguous rows. Outputs are bit-identical either way.
+
+double repeated_analysis_suite(const TraceStore& trace) {
+  double acc = 0;
+  for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic})
+    acc += analysis::classify_population(trace, cloud, 400).stable;
+  acc += static_cast<double>(
+      analysis::node_vm_correlations(trace, CloudType::kPrivate, 150).size());
+  acc += analysis::utilization_distribution(trace, CloudType::kPublic, 400)
+             .weekly.p50.front();
+  acc += analysis::region_used_cores_hourly(trace, CloudType::kPrivate,
+                                            RegionId(), 400)
+             .mean();
+  return acc;
+}
+
+void BM_RepeatedAnalysesLegacy(benchmark::State& state) {
+  TraceStore& trace = *shared_scenario().trace;
+  trace.set_telemetry_panel_enabled(false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(repeated_analysis_suite(trace));
+  trace.set_telemetry_panel_enabled(true);
+  state.SetLabel("panel off");
+}
+BENCHMARK(BM_RepeatedAnalysesLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_RepeatedAnalysesPanel(benchmark::State& state) {
+  TraceStore& trace = *shared_scenario().trace;
+  trace.set_telemetry_panel_enabled(true);
+  trace.telemetry_panel();  // warm the build outside the timed region
+  for (auto _ : state)
+    benchmark::DoNotOptimize(repeated_analysis_suite(trace));
+  state.SetLabel("panel on");
+}
+BENCHMARK(BM_RepeatedAnalysesPanel)->Unit(benchmark::kMillisecond);
+
+void BM_PanelBuild(benchmark::State& state) {
+  // Cost of materializing the columnar cache itself (parallel row fill).
+  const auto& scenario = shared_scenario();
+  const TraceStore& trace = *scenario.trace;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    TelemetryPanel panel(trace, trace.telemetry_grid(),
+                         ParallelConfig::with_threads(threads));
+    benchmark::DoNotOptimize(panel.memory_bytes());
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_PanelBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GenerationThreads(benchmark::State& state) {

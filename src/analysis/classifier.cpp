@@ -2,10 +2,38 @@
 
 #include <vector>
 
+#include "cloudsim/telemetry_panel.h"
 #include "stats/descriptive.h"
+#include "stats/fft.h"
 #include "stats/periodicity.h"
 
 namespace cloudlens::analysis {
+namespace {
+
+/// Periodicity cascade shared by both classify overloads (runs only when
+/// the series is not stable). The ACF — the expensive part, one FFT round
+/// trip — is computed once and shared by both period probes; scoring it per
+/// candidate is bit-identical to scoring each period from scratch.
+UtilizationClass classify_periodic(std::span<const double> utilization,
+                                   SimDuration step,
+                                   const ClassifierOptions& options) {
+  const auto acf = stats::autocorrelation(utilization);
+
+  // Hourly-peak is tested before diurnal: it is "a special diurnal pattern"
+  // (its daytime envelope also produces 24h periodicity), so the 1h test
+  // must take precedence.
+  if (stats::periodicity_score_acf(acf, step, kHour) >=
+      options.hourly_score_min)
+    return UtilizationClass::kHourlyPeak;
+
+  if (stats::periodicity_score_acf(acf, step, kDay) >=
+      options.diurnal_score_min)
+    return UtilizationClass::kDiurnal;
+
+  return UtilizationClass::kIrregular;
+}
+
+}  // namespace
 
 std::string_view to_string(UtilizationClass c) {
   switch (c) {
@@ -20,17 +48,16 @@ UtilizationClass classify(const stats::TimeSeries& utilization,
                           const ClassifierOptions& options) {
   const double sd = stats::stddev(utilization.values());
   if (sd <= options.stable_stddev_max) return UtilizationClass::kStable;
+  return classify_periodic(utilization.values(), utilization.grid().step,
+                           options);
+}
 
-  // Hourly-peak is tested before diurnal: it is "a special diurnal pattern"
-  // (its daytime envelope also produces 24h periodicity), so the 1h test
-  // must take precedence.
-  if (stats::periodicity_score(utilization, kHour) >= options.hourly_score_min)
-    return UtilizationClass::kHourlyPeak;
-
-  if (stats::periodicity_score(utilization, kDay) >= options.diurnal_score_min)
-    return UtilizationClass::kDiurnal;
-
-  return UtilizationClass::kIrregular;
+UtilizationClass classify(std::span<const double> utilization,
+                          const TimeGrid& grid,
+                          const ClassifierOptions& options) {
+  const double sd = stats::stddev(utilization);
+  if (sd <= options.stable_stddev_max) return UtilizationClass::kStable;
+  return classify_periodic(utilization, grid.step, options);
 }
 
 PatternShares classify_population(const TraceStore& trace, CloudType cloud,
@@ -38,6 +65,9 @@ PatternShares classify_population(const TraceStore& trace, CloudType cloud,
                                   const ClassifierOptions& options,
                                   const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
+  // Opt into the columnar telemetry cache; built serially here, before the
+  // fan-out, so workers only ever read it.
+  const TelemetryPanel* panel = trace.telemetry_panel();
 
   std::vector<VmId> candidates;
   for (const auto& vm : trace.vms()) {
@@ -53,16 +83,19 @@ PatternShares classify_population(const TraceStore& trace, CloudType cloud,
   const std::size_t sampled =
       candidates.empty() ? 0 : (candidates.size() + stride - 1) / stride;
 
-  // Hot path: each strided VM evaluates its utilization model over the
-  // whole grid and runs the ACF/periodicity tests. Per-VM labels land in
-  // independent slots, so the fan-out is thread-count-invariant; the tally
-  // below walks them in candidate order.
+  // Hot path: each strided VM pulls its panel row (or evaluates it once
+  // into a scratch buffer when the panel is off) and runs the
+  // ACF/periodicity tests. Per-VM labels land in independent slots, so the
+  // fan-out is thread-count-invariant; the tally below walks them in
+  // candidate order.
   const auto labels = parallel_map<UtilizationClass>(
       sampled,
       [&](std::size_t k) {
-        const auto series =
-            trace.vm_utilization(candidates[k * stride], grid);
-        return classify(series, options);
+        std::vector<double> scratch;
+        const std::span<const double> row =
+            vm_telemetry_row(trace, panel, candidates[k * stride], grid,
+                             scratch);
+        return classify(row, grid, options);
       },
       parallel);
 

@@ -35,6 +35,14 @@ struct ClassifierOptions {
 UtilizationClass classify(const stats::TimeSeries& utilization,
                           const ClassifierOptions& options = {});
 
+/// Span overload for contiguous telemetry-panel rows: identical decisions,
+/// no TimeSeries materialization (the stable test runs on the raw span and
+/// the periodicity cascade scores one shared ACF). `grid` describes the
+/// row's sampling (grid.count is ignored in favour of utilization.size()).
+UtilizationClass classify(std::span<const double> utilization,
+                          const TimeGrid& grid,
+                          const ClassifierOptions& options = {});
+
 /// Population shares of the four classes (Fig. 5(d)) over VMs of one cloud
 /// that were alive for the entire telemetry window. `max_vms` caps the
 /// sample (deterministic stride subsampling) to bound runtime; 0 = all.

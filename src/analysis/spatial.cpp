@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
 #include "stats/correlation.h"
 
@@ -12,15 +13,27 @@ namespace {
 
 /// Hourly-mean utilization averaged over a set of VMs (unweighted mean,
 /// matching the paper's "averaged utilization computed at the region
-/// level").
+/// level"). Consumes the panel's hourly companion view: one 168-sample
+/// row accumulation per VM instead of re-rolling 12-tick windows over a
+/// freshly evaluated 2016-sample series per subscription.
 stats::TimeSeries average_hourly_utilization(const TraceStore& trace,
+                                             const TelemetryPanel* panel,
                                              std::span<const VmId> vms,
                                              const TimeGrid& grid) {
   CL_CHECK(!vms.empty());
-  stats::TimeSeries sum(grid);
-  for (const VmId id : vms) sum.add(trace.vm_utilization(id, grid));
+  CL_CHECK(grid.step > 0 && kHour % grid.step == 0);
+  const std::size_t factor = static_cast<std::size_t>(kHour / grid.step);
+  const TimeGrid hourly_grid{grid.start, kHour, grid.count / factor};
+  stats::TimeSeries sum(hourly_grid);
+  auto& values = sum.mutable_values();
+  std::vector<double> row_scratch, hourly_scratch;
+  for (const VmId id : vms) {
+    const std::span<const double> hourly =
+        vm_hourly_row(trace, panel, id, grid, row_scratch, hourly_scratch);
+    for (std::size_t i = 0; i < values.size(); ++i) values[i] += hourly[i];
+  }
   sum.scale(1.0 / static_cast<double>(vms.size()));
-  return sum.hourly_mean();
+  return sum;
 }
 
 }  // namespace
@@ -30,6 +43,9 @@ std::vector<double> node_vm_correlations(const TraceStore& trace,
                                          std::size_t max_nodes,
                                          const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
+  // Opt into the columnar telemetry cache (and build it serially, before
+  // the fan-out), alongside the node index warm-up below.
+  const TelemetryPanel* panel = trace.telemetry_panel();
 
   // Candidate nodes: host >= 2 window-covering VMs of this cloud. (This
   // enumeration also builds the node index serially, before the fan-out.)
@@ -52,7 +68,8 @@ std::vector<double> node_vm_correlations(const TraceStore& trace,
   const std::size_t sampled =
       candidates.empty() ? 0 : (candidates.size() + stride - 1) / stride;
 
-  // Hot path: one node-utilization roll-up plus one Pearson per hosted VM.
+  // Hot path: one node-utilization roll-up plus one fused Pearson per
+  // hosted VM, streaming panel rows — no per-VM series materialization.
   // Each strided node fills its own slot; slots are concatenated in node
   // order below, so output is independent of scheduling.
   const auto per_node = parallel_map<std::vector<double>>(
@@ -62,10 +79,11 @@ std::vector<double> node_vm_correlations(const TraceStore& trace,
         const auto node_series = trace.node_utilization(node_id, grid);
         std::vector<double> rs;
         rs.reserve(vms.size());
+        std::vector<double> scratch;
         for (const VmId id : vms) {
-          const auto vm_series = trace.vm_utilization(id, grid);
-          rs.push_back(
-              stats::pearson(vm_series.values(), node_series.values()));
+          const std::span<const double> row =
+              vm_telemetry_row(trace, panel, id, grid, scratch);
+          rs.push_back(stats::pearson_fused(row, node_series.values()));
         }
         return rs;
       },
@@ -81,6 +99,7 @@ std::vector<RegionProfile> subscription_region_profiles(
     const TraceStore& trace, SubscriptionId sub,
     std::size_t max_vms_per_region) {
   const TimeGrid& grid = trace.telemetry_grid();
+  const TelemetryPanel* panel = trace.telemetry_panel();
   std::unordered_map<RegionId, std::vector<VmId>> by_region;
   for (const VmId id : trace.vms_of_subscription(sub)) {
     const auto& vm = trace.vm(id);
@@ -94,7 +113,8 @@ std::vector<RegionProfile> subscription_region_profiles(
     RegionProfile p;
     p.region = region;
     p.vms_used = vms.size();
-    p.hourly_utilization = average_hourly_utilization(trace, vms, grid);
+    p.hourly_utilization =
+        average_hourly_utilization(trace, panel, vms, grid);
     out.push_back(std::move(p));
   }
   std::sort(out.begin(), out.end(),
@@ -115,15 +135,19 @@ std::vector<double> cross_region_correlations(const TraceStore& trace,
     if (sub.cloud != cloud) continue;
     candidates.push_back(sub.id);
   }
-  // Warm the subscription index serially before fanning out.
+  // Warm the subscription index and the telemetry panel serially before
+  // fanning out.
   if (!candidates.empty()) trace.vms_of_subscription(candidates.front());
+  trace.telemetry_panel();
 
   // The region profiles (up to 25 VM roll-ups per region) dominate the
   // cost; the pairwise Pearsons over hourly series are cheap. Profiles are
   // computed in parallel block by block, while the `max_subscriptions` cap
   // is applied by the serial selection walk below in candidate order —
   // exactly the subscriptions the serial code would use, at any thread
-  // count (trailing blocks are simply never computed once the cap fills).
+  // count. Each block is sliced to the *remaining* budget before the
+  // fan-out, so once the cap fills no block remainder is ever computed
+  // (a candidate beyond the budget cannot be selected).
   std::vector<double> out;
   std::size_t used = 0;
   const std::size_t block =
@@ -131,9 +155,13 @@ std::vector<double> cross_region_correlations(const TraceStore& trace,
                                                     max_subscriptions)
                             : std::max<std::size_t>(std::size_t{1},
                                                     candidates.size());
-  for (std::size_t start = 0; start < candidates.size(); start += block) {
-    if (max_subscriptions > 0 && used >= max_subscriptions) break;
-    const std::size_t count = std::min(block, candidates.size() - start);
+  for (std::size_t start = 0; start < candidates.size();) {
+    std::size_t budget = block;
+    if (max_subscriptions > 0) {
+      if (used >= max_subscriptions) break;
+      budget = std::min(block, max_subscriptions - used);
+    }
+    const std::size_t count = std::min(budget, candidates.size() - start);
     const auto profile_block = parallel_map<std::vector<RegionProfile>>(
         count,
         [&](std::size_t k) {
@@ -147,12 +175,13 @@ std::vector<double> cross_region_correlations(const TraceStore& trace,
       ++used;
       for (std::size_t a = 0; a < profiles.size(); ++a) {
         for (std::size_t b = a + 1; b < profiles.size(); ++b) {
-          out.push_back(
-              stats::pearson(profiles[a].hourly_utilization.values(),
-                             profiles[b].hourly_utilization.values()));
+          out.push_back(stats::pearson_fused(
+              profiles[a].hourly_utilization.values(),
+              profiles[b].hourly_utilization.values()));
         }
       }
     }
+    start += count;
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -162,6 +191,8 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
     const TraceStore& trace, CloudType cloud, double min_correlation,
     std::size_t max_vms_per_region, const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
+  // Serial panel warm-up before the per-service fan-out.
+  const TelemetryPanel* panel = trace.telemetry_panel();
 
   // Pool the window-covering VMs of each service by region, keyed by sorted
   // region id so the per-service pair enumeration order is a pure function
@@ -189,7 +220,7 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
     region_sets.push_back(&by_service.at(service));
 
   // Hot path: one region roll-up per deployed region plus all pairwise
-  // Pearsons, independently per service.
+  // fused Pearsons, independently per service, all over panel rows.
   auto out = parallel_map<RegionAgnosticVerdict>(
       services.size(),
       [&](std::size_t s) {
@@ -197,7 +228,8 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
         std::vector<stats::TimeSeries> profiles;
         profiles.reserve(regions.size());
         for (const auto& [_, vms] : regions)
-          profiles.push_back(average_hourly_utilization(trace, vms, grid));
+          profiles.push_back(
+              average_hourly_utilization(trace, panel, vms, grid));
 
         RegionAgnosticVerdict v;
         v.service = services[s];
@@ -206,8 +238,8 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
         std::size_t pairs = 0;
         for (std::size_t a = 0; a < profiles.size(); ++a) {
           for (std::size_t b = a + 1; b < profiles.size(); ++b) {
-            const double r =
-                stats::pearson(profiles[a].values(), profiles[b].values());
+            const double r = stats::pearson_fused(profiles[a].values(),
+                                                  profiles[b].values());
             min_corr = std::min(min_corr, r);
             sum += r;
             ++pairs;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
 #include "stats/descriptive.h"
 
@@ -11,6 +12,8 @@ UtilizationDistribution utilization_distribution(
     const TraceStore& trace, CloudType cloud, std::size_t max_vms,
     const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
+  // Opt into the columnar telemetry cache (serial warm-up).
+  const TelemetryPanel* panel = trace.telemetry_panel();
 
   std::vector<VmId> candidates;
   for (const auto& vm : trace.vms()) {
@@ -21,15 +24,23 @@ UtilizationDistribution utilization_distribution(
   if (max_vms > 0 && candidates.size() > max_vms)
     stride = candidates.size() / max_vms;
 
-  // Hot path #1: per-VM model evaluation over the full grid + hourly
-  // roll-up. Slot-per-VM fan-out, merged in candidate order.
+  // Hot path #1: per-VM hourly roll-up straight off the panel's hourly
+  // companion view (or an identically-computed scratch row when the panel
+  // is off). Slot-per-VM fan-out, merged in candidate order.
   const std::size_t sampled =
       candidates.empty() ? 0 : (candidates.size() + stride - 1) / stride;
+  CL_CHECK(grid.step > 0 && kHour % grid.step == 0);
+  const std::size_t factor = static_cast<std::size_t>(kHour / grid.step);
+  const TimeGrid hourly_grid{grid.start, kHour, grid.count / factor};
   const auto hourly = parallel_map<stats::TimeSeries>(
       sampled,
       [&](std::size_t k) {
-        return trace.vm_utilization(candidates[k * stride], grid)
-            .hourly_mean();
+        std::vector<double> row_scratch, hourly_scratch;
+        const std::span<const double> row = vm_hourly_row(
+            trace, panel, candidates[k * stride], grid, row_scratch,
+            hourly_scratch);
+        return stats::TimeSeries(hourly_grid,
+                                 std::vector<double>(row.begin(), row.end()));
       },
       parallel);
 
@@ -73,6 +84,7 @@ stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
                                            std::size_t max_vms,
                                            const ParallelConfig& parallel) {
   const TimeGrid& grid = trace.telemetry_grid();
+  const TelemetryPanel* panel = trace.telemetry_panel();
   std::vector<VmId> candidates;
   for (const auto& vm : trace.vms()) {
     if (vm.cloud != cloud || !vm.utilization) continue;
@@ -89,16 +101,19 @@ stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
 
   // Chunked deterministic reduction: each fixed chunk of the strided
   // population accumulates its own series; partials merge in chunk order,
-  // so the floating-point sum is reproducible at any thread count.
+  // so the floating-point sum is reproducible at any thread count. Panel
+  // rows are zero outside a VM's life, so the unconditional accumulation
+  // is bit-identical to the old alive-gated one.
   used = parallel_reduce<stats::TimeSeries>(
       sampled, stats::TimeSeries(grid),
       [&](stats::TimeSeries& acc, std::size_t k) {
         const auto& vm = trace.vm(candidates[k * stride]);
-        for (std::size_t t = 0; t < grid.count; ++t) {
-          const SimTime when = grid.at(t);
-          if (vm.alive_at(when))
-            acc[t] += vm.cores * vm.utilization->at(when);
-        }
+        std::vector<double> scratch;
+        const std::span<const double> row =
+            vm_telemetry_row(trace, panel, vm.id, grid, scratch);
+        auto& values = acc.mutable_values();
+        for (std::size_t t = 0; t < grid.count; ++t)
+          values[t] += vm.cores * row[t];
       },
       [](stats::TimeSeries& total, const stats::TimeSeries& partial) {
         total.add(partial);
@@ -115,12 +130,18 @@ double vm_mean_utilization(const TraceStore& trace, VmId id) {
   const TimeGrid& grid = trace.telemetry_grid();
   const auto& vm = trace.vm(id);
   if (!vm.utilization) return 0.0;
+  // One panel row read (or one batched evaluation) instead of a per-tick
+  // virtual dispatch loop. The mean runs over alive ticks only, exactly as
+  // before; alive ticks are the non-gated window of the row.
+  const TelemetryPanel* panel = trace.telemetry_panel();
+  std::vector<double> scratch;
+  const std::span<const double> row =
+      vm_telemetry_row(trace, panel, id, grid, scratch);
   double sum = 0;
   std::size_t n = 0;
   for (std::size_t t = 0; t < grid.count; ++t) {
-    const SimTime when = grid.at(t);
-    if (!vm.alive_at(when)) continue;
-    sum += vm.utilization->at(when);
+    if (!vm.alive_at(grid.at(t))) continue;
+    sum += row[t];
     ++n;
   }
   return n ? sum / static_cast<double>(n) : 0.0;

@@ -1,0 +1,123 @@
+#include "cloudsim/telemetry_panel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudlens {
+namespace {
+
+/// ceil(a / b) for a >= 0, b > 0.
+inline std::size_t ceil_div(SimDuration a, SimDuration b) {
+  return static_cast<std::size_t>((a + b - 1) / b);
+}
+
+}  // namespace
+
+void TelemetryPanel::fill_row(const VmRecord& vm, const TimeGrid& grid,
+                              std::span<double> out) {
+  CL_CHECK(out.size() == grid.count);
+  if (!vm.utilization) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  // Alive index window [i0, i1): at(i) >= created and at(i) < deleted.
+  std::size_t i0 = 0;
+  std::size_t i1 = grid.count;
+  if (vm.created > grid.start)
+    i0 = std::min(grid.count, ceil_div(vm.created - grid.start, grid.step));
+  if (vm.deleted < grid.end())
+    i1 = std::min(grid.count, ceil_div(vm.deleted - grid.start, grid.step));
+  if (i1 <= i0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(i0), 0.0);
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(i1), out.end(), 0.0);
+  // Batched evaluation over the alive sub-grid. Sub-grid tick instants are
+  // exactly the parent grid's, so the samples are bit-identical to the
+  // per-tick at(grid.at(i)) loop.
+  const TimeGrid alive{grid.at(i0), grid.step, i1 - i0};
+  vm.utilization->sample(alive, out.subspan(i0, i1 - i0));
+}
+
+void TelemetryPanel::hourly_from_row(std::span<const double> row,
+                                     const TimeGrid& grid,
+                                     std::span<double> out) {
+  CL_CHECK(grid.step > 0 && kHour % grid.step == 0);
+  const std::size_t factor = static_cast<std::size_t>(kHour / grid.step);
+  const std::size_t out_count = row.size() / factor;
+  CL_CHECK(out.size() == out_count);
+  // Same accumulation order as TimeSeries::downsample_mean: serial sum of
+  // `factor` consecutive samples, then one division.
+  for (std::size_t i = 0; i < out_count; ++i) {
+    double acc = 0;
+    for (std::size_t j = 0; j < factor; ++j) acc += row[i * factor + j];
+    out[i] = acc / static_cast<double>(factor);
+  }
+}
+
+TelemetryPanel::TelemetryPanel(const TraceStore& trace, TimeGrid grid,
+                               const ParallelConfig& parallel)
+    : grid_(grid), rows_(trace.vms().size()) {
+  CL_CHECK(grid_.count > 0);
+  const bool hourly_ok =
+      grid_.step > 0 && kHour % grid_.step == 0 &&
+      grid_.count >= static_cast<std::size_t>(kHour / grid_.step);
+  if (hourly_ok) {
+    const std::size_t factor = static_cast<std::size_t>(kHour / grid_.step);
+    hourly_grid_ = TimeGrid{grid_.start, kHour, grid_.count / factor};
+  }
+  data_.resize(rows_ * grid_.count);
+  hourly_.resize(rows_ * hourly_grid_.count);
+
+  const std::span<const VmRecord> vms = trace.vms();
+  // Deterministic parallel fill: VM v writes only its own row(s), so the
+  // matrix is bit-identical at any thread count.
+  parallel_for(
+      rows_,
+      [&](std::size_t v) {
+        const std::span<double> row{data_.data() + v * grid_.count,
+                                    grid_.count};
+        fill_row(vms[v], grid_, row);
+        if (hourly_grid_.count > 0) {
+          hourly_from_row(row, grid_,
+                          {hourly_.data() + v * hourly_grid_.count,
+                           hourly_grid_.count});
+        }
+      },
+      parallel);
+}
+
+std::span<const double> vm_telemetry_row(const TraceStore& trace,
+                                         const TelemetryPanel* panel, VmId id,
+                                         const TimeGrid& grid,
+                                         std::vector<double>& scratch) {
+  if (panel != nullptr && panel->grid() == grid &&
+      id.value() < panel->vm_count()) {
+    return panel->row(id);
+  }
+  scratch.resize(grid.count);
+  TelemetryPanel::fill_row(trace.vm(id), grid, scratch);
+  return scratch;
+}
+
+std::span<const double> vm_hourly_row(const TraceStore& trace,
+                                      const TelemetryPanel* panel, VmId id,
+                                      const TimeGrid& grid,
+                                      std::vector<double>& row_scratch,
+                                      std::vector<double>& hourly_scratch) {
+  if (panel != nullptr && panel->grid() == grid &&
+      id.value() < panel->vm_count() && panel->hourly_grid().count > 0) {
+    return panel->hourly_row(id);
+  }
+  const std::span<const double> row =
+      vm_telemetry_row(trace, panel, id, grid, row_scratch);
+  CL_CHECK(grid.step > 0 && kHour % grid.step == 0);
+  const std::size_t factor = static_cast<std::size_t>(kHour / grid.step);
+  hourly_scratch.resize(row.size() / factor);
+  TelemetryPanel::hourly_from_row(row, grid, hourly_scratch);
+  return hourly_scratch;
+}
+
+}  // namespace cloudlens

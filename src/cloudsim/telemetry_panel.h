@@ -1,0 +1,120 @@
+// Columnar telemetry cache.
+//
+// Every analysis pass used to re-derive the same 5-minute telemetry from
+// scratch: one virtual UtilizationModel::at(t) call per tick per request,
+// plus a fresh 2016-sample TimeSeries allocation per call — and the node
+// correlation pass alone evaluated each VM's week at least twice. The
+// TelemetryPanel materializes the whole VM × tick utilization matrix
+// *once* per TraceStore in a cache-friendly row-major (structure-of-arrays)
+// layout, filled in parallel (each VM fills its own row, so the build is
+// bit-identical at any thread count), fed by the batched
+// UtilizationModel::sample() API that hoists the per-tick virtual dispatch
+// and noise/envelope recomputation out of the loop.
+//
+// Memory: one double per VM per tick — 16 KB per VM for the default
+// one-week 5-minute grid (2016 ticks), plus 1.3 KB for the hourly
+// companion view (168 samples). A 100k-VM trace costs ~1.7 GB; disable the
+// panel (TraceStore::set_telemetry_panel_enabled(false)) to trade the
+// memory back for recomputation — every consumer falls back to on-demand
+// row evaluation through the *same* fill kernel, so results are identical
+// either way, bit for bit.
+//
+// Consumers opt in by asking the trace for the panel once, up front
+// (serially, before any parallel fan-out), then pulling contiguous
+// std::span<const double> rows:
+//
+//   const TelemetryPanel* panel = trace.telemetry_panel();  // may be null
+//   std::vector<double> scratch;
+//   std::span<const double> row =
+//       vm_telemetry_row(trace, panel, id, grid, scratch);
+//
+// Invalidation: TraceStore drops the panel on add_vm and set_vm_deleted
+// (a VM's row depends on its [created, deleted) window) and rebuilds it
+// lazily on next use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cloudsim/trace.h"
+#include "common/parallel.h"
+#include "common/sim_time.h"
+
+namespace cloudlens {
+
+/// Row-major VM × tick utilization matrix over one grid, with an
+/// hourly-mean companion view. Immutable after construction; safe to read
+/// from any number of threads.
+class TelemetryPanel {
+ public:
+  /// Materializes rows for every VM currently in `trace` (row index ==
+  /// VmId value). Rows of model-less VMs are all-zero; rows of
+  /// partial-lifetime VMs are zero outside [created, deleted).
+  TelemetryPanel(const TraceStore& trace, TimeGrid grid,
+                 const ParallelConfig& parallel = {});
+
+  const TimeGrid& grid() const { return grid_; }
+  /// Grid of the hourly companion view; count == 0 when the base grid
+  /// cannot be rolled into hours (step does not divide an hour).
+  const TimeGrid& hourly_grid() const { return hourly_grid_; }
+
+  std::size_t vm_count() const { return rows_; }
+  std::size_t tick_count() const { return grid_.count; }
+
+  /// The VM's contiguous utilization row (grid().count samples).
+  std::span<const double> row(VmId id) const {
+    return {data_.data() + id.value() * grid_.count, grid_.count};
+  }
+  /// The VM's hourly-mean row (hourly_grid().count samples); empty when
+  /// the hourly view is unavailable.
+  std::span<const double> hourly_row(VmId id) const {
+    if (hourly_grid_.count == 0) return {};
+    return {hourly_.data() + id.value() * hourly_grid_.count,
+            hourly_grid_.count};
+  }
+
+  /// Bytes held by the materialized matrices (for bench/rss accounting).
+  std::size_t memory_bytes() const {
+    return (data_.size() + hourly_.size()) * sizeof(double);
+  }
+
+  /// The shared row-fill kernel: out[i] = utilization->sample value when
+  /// the VM is alive at grid.at(i), else 0 (also all-zero for model-less
+  /// VMs). `out.size()` must equal `grid.count`. Used both by the panel
+  /// build and by the scratch fallback path, so panel-on and panel-off
+  /// analyses see identical bits by construction.
+  static void fill_row(const VmRecord& vm, const TimeGrid& grid,
+                       std::span<double> out);
+
+  /// Roll a row into hourly means — bit-identical to
+  /// stats::TimeSeries::hourly_mean on the same values. `out.size()` must
+  /// be grid.count / (kHour / grid.step).
+  static void hourly_from_row(std::span<const double> row,
+                              const TimeGrid& grid, std::span<double> out);
+
+ private:
+  TimeGrid grid_;
+  TimeGrid hourly_grid_{0, kHour, 0};
+  std::size_t rows_ = 0;
+  std::vector<double> data_;    // rows_ × grid_.count, row-major
+  std::vector<double> hourly_;  // rows_ × hourly_grid_.count, row-major
+};
+
+/// Copy-free row access for the analysis hot paths: returns the cached
+/// panel row when `panel` is non-null, covers `id`, and was built over
+/// `grid`; otherwise fills `scratch` through the same kernel and returns a
+/// span over it. Either way the bits are identical.
+std::span<const double> vm_telemetry_row(const TraceStore& trace,
+                                         const TelemetryPanel* panel, VmId id,
+                                         const TimeGrid& grid,
+                                         std::vector<double>& scratch);
+
+/// Hourly-mean counterpart of vm_telemetry_row. `row_scratch` holds the
+/// intermediate full-resolution row on the fallback path.
+std::span<const double> vm_hourly_row(const TraceStore& trace,
+                                      const TelemetryPanel* panel, VmId id,
+                                      const TimeGrid& grid,
+                                      std::vector<double>& row_scratch,
+                                      std::vector<double>& hourly_scratch);
+
+}  // namespace cloudlens

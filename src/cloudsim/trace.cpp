@@ -2,15 +2,30 @@
 
 #include <algorithm>
 
+#include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
 
 namespace cloudlens {
+
+void UtilizationModel::sample(const TimeGrid& grid,
+                              std::span<double> out) const {
+  CL_CHECK(out.size() == grid.count);
+  for (std::size_t i = 0; i < grid.count; ++i) out[i] = at(grid.at(i));
+}
+
+void ConstantUtilization::sample(const TimeGrid& grid,
+                                 std::span<double> out) const {
+  CL_CHECK(out.size() == grid.count);
+  std::fill(out.begin(), out.end(), level_);
+}
 
 TraceStore::TraceStore(const Topology* topology, TimeGrid grid)
     : topology_(topology), grid_(grid) {
   CL_CHECK(topology_ != nullptr);
   CL_CHECK(grid_.count > 0);
 }
+
+TraceStore::~TraceStore() = default;
 
 ServiceId TraceStore::add_service(ServiceInfo info) {
   const ServiceId id(static_cast<ServiceId::underlying>(services_.size()));
@@ -38,6 +53,7 @@ VmId TraceStore::add_vm(VmRecord record) {
   vms_.push_back(std::move(record));
   node_index_valid_ = false;
   sub_index_valid_ = false;
+  panel_valid_ = false;
   return id;
 }
 
@@ -47,6 +63,13 @@ void TraceStore::set_vm_deleted(VmId id, SimTime when) {
   CL_CHECK_MSG(when < rec.deleted && when > rec.created,
                "early termination must shorten the VM's life");
   rec.deleted = when;
+  // Shortening a VM's life changes derived telemetry (its panel row is
+  // zero outside [created, deleted)) and any liveness-derived index, so
+  // invalidate the lazy caches exactly the way add_vm does. Rebuilds are
+  // lazy, so bursts of terminations (failure injection) pay once.
+  node_index_valid_ = false;
+  sub_index_valid_ = false;
+  panel_valid_ = false;
 }
 
 void TraceStore::build_node_index() const {
@@ -65,6 +88,27 @@ void TraceStore::build_subscription_index() const {
   sub_index_.clear();
   for (const auto& vm : vms_) sub_index_[vm.subscription].push_back(vm.id);
   sub_index_valid_.store(true, std::memory_order_release);
+}
+
+void TraceStore::build_telemetry_panel() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (panel_valid_.load(std::memory_order_relaxed)) return;
+  panel_ = std::make_unique<TelemetryPanel>(*this, grid_, panel_parallel_);
+  panel_valid_.store(true, std::memory_order_release);
+}
+
+const TelemetryPanel* TraceStore::telemetry_panel() const {
+  if (!panel_enabled_) return nullptr;
+  if (!panel_valid_.load(std::memory_order_acquire)) build_telemetry_panel();
+  return panel_.get();
+}
+
+void TraceStore::set_telemetry_panel_enabled(bool enabled) {
+  panel_enabled_ = enabled;
+  if (!enabled) {
+    panel_valid_ = false;
+    panel_.reset();
+  }
 }
 
 std::span<const VmId> TraceStore::vms_on_node(NodeId node) const {
@@ -87,10 +131,12 @@ stats::TimeSeries TraceStore::vm_utilization(VmId id,
                                              const TimeGrid& grid) const {
   const VmRecord& rec = vm(id);
   stats::TimeSeries out(grid);
-  if (!rec.utilization) return out;
-  for (std::size_t i = 0; i < grid.count; ++i) {
-    const SimTime t = grid.at(i);
-    if (rec.alive_at(t)) out[i] = rec.utilization->at(t);
+  const TelemetryPanel* panel = grid == grid_ ? telemetry_panel() : nullptr;
+  if (panel != nullptr && id.value() < panel->vm_count()) {
+    const auto row = panel->row(id);
+    std::copy(row.begin(), row.end(), out.mutable_values().begin());
+  } else {
+    TelemetryPanel::fill_row(rec, grid, out.mutable_values());
   }
   return out;
 }
@@ -100,14 +146,19 @@ stats::TimeSeries TraceStore::node_utilization(NodeId id,
   const Node& node = topology_->node(id);
   stats::TimeSeries out(grid);
   CL_CHECK(node.total_cores > 0);
+  const TelemetryPanel* panel = grid == grid_ ? telemetry_panel() : nullptr;
+  std::vector<double> scratch;
+  auto& values = out.mutable_values();
   for (const VmId vm_id : vms_on_node(id)) {
     const VmRecord& rec = vm(vm_id);
     if (!rec.utilization) continue;
     const double weight = rec.cores / node.total_cores;
-    for (std::size_t i = 0; i < grid.count; ++i) {
-      const SimTime t = grid.at(i);
-      if (rec.alive_at(t)) out[i] += weight * rec.utilization->at(t);
-    }
+    // Weighted row sum over the panel (or an identically-filled scratch
+    // row): rows are zero outside the VM's life, so adding every tick is
+    // bit-identical to the old alive-gated accumulation.
+    const std::span<const double> row =
+        vm_telemetry_row(*this, panel, vm_id, grid, scratch);
+    for (std::size_t i = 0; i < grid.count; ++i) values[i] += weight * row[i];
   }
   out.clamp(0.0, 1.0);
   return out;

@@ -16,12 +16,15 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/parallel.h"
 #include "common/sim_time.h"
 #include "cloudsim/topology.h"
 #include "cloudsim/types.h"
 #include "stats/series.h"
 
 namespace cloudlens {
+
+class TelemetryPanel;
 
 /// Deterministic utilization source: average CPU utilization (fraction of
 /// the VM's allocated cores, in [0, 1]) over the 5-minute interval starting
@@ -30,6 +33,18 @@ class UtilizationModel {
  public:
   virtual ~UtilizationModel() = default;
   virtual double at(SimTime t) const = 0;
+
+  /// Batched evaluation over a regular grid: out[i] = at(grid.at(i)), with
+  /// out.size() == grid.count. The base implementation loops over the
+  /// per-tick virtual `at`; concrete models override it with hoisted,
+  /// branch-light batch loops (cached noise anchors, per-day-offset
+  /// envelope tables, no per-tick virtual dispatch).
+  ///
+  /// Contract: overrides must be *bit-identical* to the base loop — the
+  /// telemetry panel and every analysis consuming it rely on
+  /// sample() == at() per tick, double for double.
+  virtual void sample(const TimeGrid& grid, std::span<double> out) const;
+
   /// Free-form tag describing where the model came from ("diurnal",
   /// "sampled", ...); used by trace export as an informational column.
   virtual std::string_view kind() const { return "unknown"; }
@@ -40,6 +55,7 @@ class ConstantUtilization final : public UtilizationModel {
  public:
   explicit ConstantUtilization(double level) : level_(level) {}
   double at(SimTime) const override { return level_; }
+  void sample(const TimeGrid& grid, std::span<double> out) const override;
 
  private:
   double level_;
@@ -98,6 +114,7 @@ class TraceStore {
  public:
   explicit TraceStore(const Topology* topology,
                       TimeGrid grid = week_telemetry_grid());
+  ~TraceStore();  // out of line: TelemetryPanel is incomplete here
 
   const Topology& topology() const { return *topology_; }
   const TimeGrid& telemetry_grid() const { return grid_; }
@@ -141,9 +158,32 @@ class TraceStore {
   /// Cores in use on a node at time t.
   double node_used_cores(NodeId id, SimTime t) const;
 
+  /// The columnar telemetry cache (row-major VM × tick utilization matrix
+  /// plus an hourly-mean companion view), materialized lazily on first call
+  /// over `telemetry_grid()` and invalidated by add_vm/set_vm_deleted.
+  /// Returns nullptr when the panel is disabled — consumers fall back to
+  /// on-demand row evaluation with identical bits (see telemetry_panel.h).
+  /// Safe for concurrent readers: the first reader builds the panel under
+  /// the index mutex and publishes it with a release-store, exactly like
+  /// the node/subscription indexes.
+  const TelemetryPanel* telemetry_panel() const;
+
+  /// Enable/disable the panel (default: enabled). Disabling drops the
+  /// materialized matrix immediately. Mutation must be externally
+  /// serialized against readers, like every other mutator.
+  void set_telemetry_panel_enabled(bool enabled);
+  bool telemetry_panel_enabled() const { return panel_enabled_; }
+
+  /// Parallelism used for the lazy panel build (results are per-row
+  /// independent, so any thread count yields identical bits).
+  void set_telemetry_parallel(const ParallelConfig& parallel) {
+    panel_parallel_ = parallel;
+  }
+
  private:
   void build_node_index() const;
   void build_subscription_index() const;
+  void build_telemetry_panel() const;
 
   const Topology* topology_;
   TimeGrid grid_;
@@ -162,6 +202,15 @@ class TraceStore {
   mutable std::unordered_map<NodeId, std::vector<VmId>> node_index_;
   mutable std::atomic<bool> sub_index_valid_{false};
   mutable std::unordered_map<SubscriptionId, std::vector<VmId>> sub_index_;
+
+  // Lazy columnar telemetry cache (same publication pattern as the
+  // indexes above). `panel_enabled_`/`panel_parallel_` are plain state:
+  // they are only written by mutators, which are serialized against
+  // readers by contract.
+  bool panel_enabled_ = true;
+  ParallelConfig panel_parallel_{};
+  mutable std::atomic<bool> panel_valid_{false};
+  mutable std::unique_ptr<TelemetryPanel> panel_;
 };
 
 }  // namespace cloudlens

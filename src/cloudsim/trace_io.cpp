@@ -42,6 +42,21 @@ double SampledUtilization::at(SimTime t) const {
   return samples_[grid_.index_of(t)];
 }
 
+void SampledUtilization::sample(const TimeGrid& grid,
+                                std::span<double> out) const {
+  CL_CHECK(out.size() == grid.count);
+  // Split the request into the three monotone segments (before / inside /
+  // after the backing window) once, instead of re-testing every tick.
+  std::size_t i = 0;
+  while (i < grid.count && grid.at(i) < grid_.start) out[i++] = samples_.front();
+  const SimTime back_end = grid_.end();
+  while (i < grid.count && grid.at(i) < back_end) {
+    out[i] = samples_[grid_.index_of(grid.at(i))];
+    ++i;
+  }
+  while (i < grid.count) out[i++] = samples_.back();
+}
+
 void export_topology(const Topology& topology, std::ostream& out) {
   out << "node,rack,cluster,datacenter,region,region_name,tz_offset_hours,"
          "cloud,node_cores,node_memory_gb\n";

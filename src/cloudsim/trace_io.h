@@ -22,6 +22,9 @@ class SampledUtilization final : public UtilizationModel {
 
   /// Sample of the interval containing t; clamped at the ends.
   double at(SimTime t) const override;
+  /// Batched lookup: a single branch-light index walk instead of one
+  /// virtual call + two range tests per tick. Bit-identical to at().
+  void sample(const TimeGrid& grid, std::span<double> out) const override;
   std::string_view kind() const override { return "sampled"; }
 
   const TimeGrid& grid() const { return grid_; }

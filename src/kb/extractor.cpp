@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "analysis/spatial.h"
+#include "cloudsim/telemetry_panel.h"
 #include "stats/correlation.h"
 #include "stats/descriptive.h"
 
@@ -53,12 +54,18 @@ std::optional<SubscriptionKnowledge> extract_subscription(
       covering.size() > options.max_classified_vms)
     stride = covering.size() / options.max_classified_vms;
   std::size_t classified = 0;
+  // Stream panel rows (or scratch evaluations when the panel is off): one
+  // contiguous read per VM feeds both the classifier and the moments, with
+  // no per-VM TimeSeries materialization.
+  const TelemetryPanel* panel = trace.telemetry_panel();
+  std::vector<double> scratch;
   for (std::size_t i = 0; i < covering.size(); i += stride) {
-    const auto series = trace.vm_utilization(covering[i], grid);
-    const auto cls = analysis::classify(series, options.classifier);
+    const std::span<const double> row =
+        vm_telemetry_row(trace, panel, covering[i], grid, scratch);
+    const auto cls = analysis::classify(row, grid, options.classifier);
     ++votes[static_cast<std::size_t>(cls)];
     ++classified;
-    for (const double v : series.values()) {
+    for (const double v : row) {
       util_moments.add(v);
       all_samples.push_back(v);
     }
@@ -82,8 +89,8 @@ std::optional<SubscriptionKnowledge> extract_subscription(
       for (std::size_t b = a + 1; b < profiles.size(); ++b) {
         min_corr = std::min(
             min_corr,
-            stats::pearson(profiles[a].hourly_utilization.values(),
-                           profiles[b].hourly_utilization.values()));
+            stats::pearson_fused(profiles[a].hourly_utilization.values(),
+                                 profiles[b].hourly_utilization.values()));
       }
     }
     rec.cross_region_correlation = profiles.size() >= 2 ? min_corr : 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/classifier.h"
+#include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
 
 namespace cloudlens::policies {
@@ -25,17 +26,24 @@ PreprovisionReport evaluate_preprovisioning(
   PreprovisionReport report;
   report.demand = stats::TimeSeries(grid);
 
-  // Aggregate demand of hourly-peak VMs.
+  // Aggregate demand of hourly-peak VMs, streaming one panel row (or one
+  // scratch evaluation when the panel is off) per VM — the row feeds both
+  // the classifier and the demand accumulation.
+  const TelemetryPanel* panel = trace.telemetry_panel();
+  std::vector<double> scratch;
+  auto& demand = report.demand.mutable_values();
   std::size_t used = 0;
   for (const auto& vm : trace.vms()) {
     if (options.max_vms > 0 && used >= options.max_vms) break;
     if (vm.cloud != cloud || !vm.covers(grid) || !vm.utilization) continue;
-    const auto series = trace.vm_utilization(vm.id, grid);
-    if (analysis::classify(series) != analysis::UtilizationClass::kHourlyPeak)
+    const std::span<const double> row =
+        vm_telemetry_row(trace, panel, vm.id, grid, scratch);
+    if (analysis::classify(row, grid) !=
+        analysis::UtilizationClass::kHourlyPeak)
       continue;
     ++used;
     for (std::size_t t = 0; t < grid.count; ++t)
-      report.demand[t] += vm.cores * series[t];
+      demand[t] += vm.cores * row[t];
   }
   report.vms_used = used;
   CL_CHECK_MSG(used > 0, "no hourly-peak VMs found in this cloud");

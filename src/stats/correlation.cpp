@@ -57,6 +57,33 @@ double pearson(std::span<const double> x, std::span<const double> y) {
   return std::min(1.0, std::max(-1.0, r));
 }
 
+double pearson_fused(std::span<const double> x, std::span<const double> y) {
+  CL_CHECK_MSG(x.size() == y.size(), "pearson requires equal-length series");
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+
+  // Single fused pass: five co-moment accumulators, one load of each
+  // operand per tick, no temporary series. The loop is branch-free and
+  // auto-vectorizes on contiguous rows.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    sx += xi;
+    sy += yi;
+    sxx += xi * xi;
+    syy += yi * yi;
+    sxy += xi * yi;
+  }
+  const double dn = static_cast<double>(n);
+  const double cxx = sxx - sx * sx / dn;
+  const double cyy = syy - sy * sy / dn;
+  const double cxy = sxy - sx * sy / dn;
+  if (cxx <= 0.0 || cyy <= 0.0) return 0.0;
+  const double r = cxy / std::sqrt(cxx * cyy);
+  return std::min(1.0, std::max(-1.0, r));
+}
+
 double spearman(std::span<const double> x, std::span<const double> y) {
   CL_CHECK_MSG(x.size() == y.size(), "spearman requires equal-length series");
   if (x.size() < 2) return 0.0;

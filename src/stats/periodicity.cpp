@@ -106,8 +106,19 @@ double periodicity_score(const TimeSeries& series, SimDuration period) {
   // A period of one sample has no hill/valley structure to assess, and a
   // period beyond half the series cannot repeat enough to validate.
   if (lag0 < 2 || lag0 * 2 >= n) return 0.0;
+  return periodicity_score_acf(autocorrelation(series.values()), step,
+                               period);
+}
 
-  const auto acf = autocorrelation(series.values());
+double periodicity_score_acf(std::span<const double> acf, SimDuration step,
+                             SimDuration period) {
+  CL_CHECK(period > 0);
+  CL_CHECK(step > 0);
+  const auto lag0 = static_cast<std::size_t>(period / step);
+  const std::size_t n = acf.size();
+  // Same guards as periodicity_score (n equals the series length: the ACF
+  // carries one value per lag 0..n-1).
+  if (lag0 < 2 || lag0 * 2 >= n) return 0.0;
 
   // Hill: the ACF maximum within ±10% of the nominal lag.
   const std::size_t slack = std::max<std::size_t>(1, lag0 / 10);

@@ -45,4 +45,13 @@ PeriodDetection detect_period(const TimeSeries& series,
 /// Used by the classifier to test "is this series daily?" / "hourly?".
 double periodicity_score(const TimeSeries& series, SimDuration period);
 
+/// The same score computed on a precomputed autocorrelation function (lags
+/// 0..n-1 of a series sampled at `step`; see stats::autocorrelation).
+/// Callers probing several candidate periods of one series — the pattern
+/// classifier tests 1 hour and then 24 hours — pay for a single FFT-based
+/// ACF instead of one per probe. Bit-identical to periodicity_score on the
+/// series the ACF came from.
+double periodicity_score_acf(std::span<const double> acf, SimDuration step,
+                             SimDuration period);
+
 }  // namespace cloudlens::stats

@@ -62,10 +62,17 @@ class DiurnalUtilization final : public PatternModel {
 
   DiurnalUtilization(Params p, std::uint64_t seed) : p_(p), seed_(seed) {}
   double at(SimTime t) const override;
+  /// Hoisted batch loop: per-day-offset envelope table + cached hourly
+  /// smooth-noise anchors; bit-identical to the at() loop.
+  void sample(const TimeGrid& grid, std::span<double> out) const override;
   PatternType pattern() const override { return PatternType::kDiurnal; }
   const Params& params() const { return p_; }
 
  private:
+  /// Shared per-tick combine used by both at() and sample(), so cached and
+  /// directly-computed inputs produce the same bits.
+  double eval(SimTime t, double envelope, double smooth) const;
+
   Params p_;
   std::uint64_t seed_;
 };
@@ -82,10 +89,13 @@ class StableUtilization final : public PatternModel {
 
   StableUtilization(Params p, std::uint64_t seed) : p_(p), seed_(seed) {}
   double at(SimTime t) const override;
+  void sample(const TimeGrid& grid, std::span<double> out) const override;
   PatternType pattern() const override { return PatternType::kStable; }
   const Params& params() const { return p_; }
 
  private:
+  double eval(SimTime t, double smooth) const;
+
   Params p_;
   std::uint64_t seed_;
 };
@@ -105,10 +115,14 @@ class IrregularUtilization final : public PatternModel {
 
   IrregularUtilization(Params p, std::uint64_t seed) : p_(p), seed_(seed) {}
   double at(SimTime t) const override;
+  /// Batch loop deciding each spike episode once instead of per tick.
+  void sample(const TimeGrid& grid, std::span<double> out) const override;
   PatternType pattern() const override { return PatternType::kIrregular; }
   const Params& params() const { return p_; }
 
  private:
+  double eval(SimTime t, double level) const;
+
   Params p_;
   std::uint64_t seed_;
 };
@@ -131,10 +145,15 @@ class HourlyPeakUtilization final : public PatternModel {
 
   HourlyPeakUtilization(Params p, std::uint64_t seed) : p_(p), seed_(seed) {}
   double at(SimTime t) const override;
+  /// Batch loop with per-day-offset envelope and per-half-hour-offset peak
+  /// shape tables; bit-identical to the at() loop.
+  void sample(const TimeGrid& grid, std::span<double> out) const override;
   PatternType pattern() const override { return PatternType::kHourlyPeak; }
   const Params& params() const { return p_; }
 
  private:
+  double eval(SimTime t, double envelope, bool has_peak, double shape) const;
+
   Params p_;
   std::uint64_t seed_;
 };

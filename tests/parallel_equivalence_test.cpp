@@ -14,6 +14,7 @@
 #include "analysis/classifier.h"
 #include "analysis/spatial.h"
 #include "analysis/utilization.h"
+#include "cloudsim/telemetry_panel.h"
 #include "cloudsim/trace_io.h"
 #include "workloads/fit.h"
 #include "workloads/generator.h"
@@ -146,6 +147,83 @@ TEST_F(AnalysisEquivalence, UsedCoresReductionBitIdentical) {
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << "hour " << i;
+  }
+}
+
+// --- Panel-vs-legacy equivalence -----------------------------------------
+//
+// The columnar telemetry panel is a pure cache: with the panel disabled,
+// every consumer falls back to evaluating rows on demand through the same
+// fill kernel. The contract is bit-identity — same doubles with the panel
+// on or off, at one thread or eight, across seeds. Each seed builds one
+// scenario and snapshots every panel-consuming analysis under all four
+// (panel × threads) settings.
+
+/// Flat double rendering of every panel-consuming analysis output.
+std::vector<double> analysis_snapshot(const TraceStore& trace,
+                                      std::size_t threads) {
+  const ParallelConfig parallel = ParallelConfig::with_threads(threads);
+  std::vector<double> out;
+  const auto append = [&out](std::span<const double> values) {
+    out.insert(out.end(), values.begin(), values.end());
+  };
+
+  for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
+    const auto shares =
+        analysis::classify_population(trace, cloud, 300, {}, parallel);
+    out.insert(out.end(),
+               {shares.diurnal, shares.stable, shares.irregular,
+                shares.hourly_peak, double(shares.classified)});
+  }
+
+  append(analysis::node_vm_correlations(trace, CloudType::kPrivate, 120,
+                                        parallel));
+  append(analysis::cross_region_correlations(trace, CloudType::kPrivate, 120,
+                                             25, parallel));
+
+  const auto bands = analysis::utilization_distribution(
+      trace, CloudType::kPublic, 200, parallel);
+  out.push_back(double(bands.vms_used));
+  append(bands.weekly.p25);
+  append(bands.weekly.p50);
+  append(bands.weekly.p75);
+  append(bands.weekly.p95);
+  append(bands.daily_p25);
+  append(bands.daily_p50);
+  append(bands.daily_p75);
+  append(bands.daily_p95);
+
+  for (const auto& v : analysis::detect_region_agnostic_services(
+           trace, CloudType::kPrivate, 0.7, 25, parallel)) {
+    out.insert(out.end(),
+               {double(v.service.value()), double(v.regions),
+                v.min_pair_correlation, v.mean_pair_correlation,
+                v.region_agnostic ? 1.0 : 0.0});
+  }
+
+  append(analysis::region_used_cores_hourly(trace, CloudType::kPrivate,
+                                            RegionId(), 400, parallel)
+             .values());
+  return out;
+}
+
+TEST(PanelEquivalenceTest, PanelVsLegacyBitIdenticalAcrossSeeds) {
+  for (const std::uint64_t seed : kSeeds) {
+    const Scenario scenario = small_scenario(seed, 1);
+    TraceStore& trace = *scenario.trace;
+
+    trace.set_telemetry_panel_enabled(true);
+    const auto panel_serial = analysis_snapshot(trace, 1);
+    const auto panel_threads = analysis_snapshot(trace, 8);
+
+    trace.set_telemetry_panel_enabled(false);
+    const auto legacy_serial = analysis_snapshot(trace, 1);
+    const auto legacy_threads = analysis_snapshot(trace, 8);
+
+    ASSERT_FALSE(panel_serial.empty()) << "seed " << seed;
+    EXPECT_EQ(panel_serial, panel_threads) << "seed " << seed;
+    EXPECT_EQ(panel_serial, legacy_serial) << "seed " << seed;
+    EXPECT_EQ(panel_serial, legacy_threads) << "seed " << seed;
   }
 }
 

@@ -3,8 +3,16 @@
 #
 #   1. Release        — optimized build, full ctest suite.
 #   2. ThreadSanitizer — same suite under TSan; this is the build that
-#      polices the deterministic parallel engine (common/parallel.*) and
-#      every parallel call site. Run it whenever you touch them.
+#      polices the deterministic parallel engine (common/parallel.*),
+#      every parallel call site, and the telemetry panel's concurrent
+#      lazy build. Run it whenever you touch them.
+#
+# Both flavours re-run the telemetry-panel suites explicitly (panel
+# lifecycle, sample()==at() contract, panel-vs-legacy bit identity), and
+# the Release flavour finishes with a perf smoke: a small-trace
+# bench_telemetry run that checks panel/legacy checksum identity and
+# emits BENCH_telemetry_smoke.json. (The full-size numbers recorded in
+# EXPERIMENTS.md come from `bench_telemetry --scale=0.1`.)
 #
 # Usage: tools/ci.sh [build-root]       (default: ./ci-build)
 # Environment: CTEST_PARALLEL_LEVEL (default 2), CLOUDLENS_CI_JOBS
@@ -28,9 +36,17 @@ run_flavour() {
     cmake --build "$dir" -j "$JOBS"
     echo "== [$name] ctest =="
     ctest --test-dir "$dir" --output-on-failure
+    echo "== [$name] telemetry panel suites =="
+    ctest --test-dir "$dir" --output-on-failure \
+        -R 'TelemetryPanel|SampleContract|PearsonFused|PanelEquivalence'
 }
 
 run_flavour release -DCMAKE_BUILD_TYPE=Release -DCLOUDLENS_WERROR=ON
 run_flavour tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLOUDLENS_SANITIZE=thread
+
+echo "== [release] telemetry perf smoke =="
+"$BUILD_ROOT/release/bench/bench_telemetry" \
+    --scale=0.02 --passes=1 --min-speedup=1.0 \
+    --out="$BUILD_ROOT/BENCH_telemetry_smoke.json"
 
 echo "ci: all flavours green"
