@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "analysis/context.h"
 #include "cloudsim/telemetry_panel.h"
 #include "stats/descriptive.h"
 #include "stats/fft.h"
@@ -60,10 +61,12 @@ UtilizationClass classify(std::span<const double> utilization,
   return classify_periodic(utilization, grid.step, options);
 }
 
-PatternShares classify_population(const TraceStore& trace, CloudType cloud,
+PatternShares classify_population(const AnalysisContext& ctx, CloudType cloud,
                                   std::size_t max_vms,
-                                  const ClassifierOptions& options,
-                                  const ParallelConfig& parallel) {
+                                  const ClassifierOptions& options) {
+  auto phase = ctx.phase("analysis.classify_population");
+  const TraceStore& trace = ctx.trace();
+  const ParallelConfig& parallel = ctx.parallel();
   const TimeGrid& grid = trace.telemetry_grid();
   // Opt into the columnar telemetry cache; built serially here, before the
   // fan-out, so workers only ever read it.
@@ -116,7 +119,16 @@ PatternShares classify_population(const TraceStore& trace, CloudType cloud,
     shares.irregular /= n;
     shares.hourly_peak /= n;
   }
+  ctx.count(obs::Counter::kAnalysisVmsClassified, shares.classified);
   return shares;
+}
+
+PatternShares classify_population(const TraceStore& trace, CloudType cloud,
+                                  std::size_t max_vms,
+                                  const ClassifierOptions& options,
+                                  const ParallelConfig& parallel) {
+  return classify_population(AnalysisContext(trace, parallel), cloud, max_vms,
+                             options);
 }
 
 }  // namespace cloudlens::analysis

@@ -15,6 +15,10 @@
 #include "common/parallel.h"
 #include "stats/series.h"
 
+namespace cloudlens {
+class AnalysisContext;  // analysis/context.h
+}
+
 namespace cloudlens::analysis {
 
 enum class UtilizationClass { kDiurnal, kStable, kIrregular, kHourlyPeak };
@@ -51,10 +55,17 @@ struct PatternShares {
   std::size_t classified = 0;
 };
 
-/// Per-VM classification fans out over `parallel` (labels land in
-/// per-candidate slots, tallied in candidate order), so the result is
-/// bit-identical at any thread count — `parallel.threads = 1` runs the
-/// plain serial loop.
+/// Per-VM classification fans out over the context's ParallelConfig
+/// (labels land in per-candidate slots, tallied in candidate order), so the
+/// result is bit-identical at any thread count — `threads = 1` runs the
+/// plain serial loop. Records one "analysis.classify_population" phase and
+/// `analysis.vms_classified` against the context's (write-only) metrics.
+PatternShares classify_population(const AnalysisContext& ctx, CloudType cloud,
+                                  std::size_t max_vms = 2000,
+                                  const ClassifierOptions& options = {});
+
+/// Deprecated spelling: forwards to the AnalysisContext overload (kept so
+/// examples and external callers compile unchanged; exactly equivalent).
 PatternShares classify_population(const TraceStore& trace, CloudType cloud,
                                   std::size_t max_vms = 2000,
                                   const ClassifierOptions& options = {},

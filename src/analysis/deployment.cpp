@@ -4,12 +4,15 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/context.h"
 #include "common/check.h"
 
 namespace cloudlens::analysis {
 
-std::vector<double> vms_per_subscription(const TraceStore& trace,
+std::vector<double> vms_per_subscription(const AnalysisContext& ctx,
                                          CloudType cloud, SimTime snapshot) {
+  auto phase = ctx.phase("analysis.vms_per_subscription");
+  const TraceStore& trace = ctx.trace();
   std::unordered_map<SubscriptionId, std::size_t> counts;
   for (const auto& vm : trace.vms()) {
     if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
@@ -22,9 +25,16 @@ std::vector<double> vms_per_subscription(const TraceStore& trace,
   return out;
 }
 
-std::vector<double> subscriptions_per_cluster(const TraceStore& trace,
+std::vector<double> vms_per_subscription(const TraceStore& trace,
+                                         CloudType cloud, SimTime snapshot) {
+  return vms_per_subscription(AnalysisContext(trace), cloud, snapshot);
+}
+
+std::vector<double> subscriptions_per_cluster(const AnalysisContext& ctx,
                                               CloudType cloud,
                                               SimTime snapshot) {
+  auto phase = ctx.phase("analysis.subscriptions_per_cluster");
+  const TraceStore& trace = ctx.trace();
   std::unordered_map<ClusterId, std::unordered_set<SubscriptionId>> subs;
   for (const auto& vm : trace.vms()) {
     if (vm.cloud != cloud || !vm.alive_at(snapshot) || !vm.placed()) continue;
@@ -42,8 +52,17 @@ std::vector<double> subscriptions_per_cluster(const TraceStore& trace,
   return out;
 }
 
-stats::Histogram2D vm_size_heatmap(const TraceStore& trace, CloudType cloud,
-                                   SimTime snapshot, std::size_t bins) {
+std::vector<double> subscriptions_per_cluster(const TraceStore& trace,
+                                              CloudType cloud,
+                                              SimTime snapshot) {
+  return subscriptions_per_cluster(AnalysisContext(trace), cloud, snapshot);
+}
+
+stats::Histogram2D vm_size_heatmap(const AnalysisContext& ctx,
+                                   CloudType cloud, SimTime snapshot,
+                                   std::size_t bins) {
+  auto phase = ctx.phase("analysis.vm_size_heatmap");
+  const TraceStore& trace = ctx.trace();
   // Log axes spanning the smallest burstable to the largest memory-optimized
   // shapes; identical for both clouds so the heatmaps are comparable.
   stats::Histogram2D hist(
@@ -56,8 +75,15 @@ stats::Histogram2D vm_size_heatmap(const TraceStore& trace, CloudType cloud,
   return hist;
 }
 
-RegionSpread region_spread(const TraceStore& trace, CloudType cloud,
+stats::Histogram2D vm_size_heatmap(const TraceStore& trace, CloudType cloud,
+                                   SimTime snapshot, std::size_t bins) {
+  return vm_size_heatmap(AnalysisContext(trace), cloud, snapshot, bins);
+}
+
+RegionSpread region_spread(const AnalysisContext& ctx, CloudType cloud,
                            SimTime snapshot) {
+  auto phase = ctx.phase("analysis.region_spread");
+  const TraceStore& trace = ctx.trace();
   struct SubAgg {
     std::unordered_set<RegionId> regions;
     double cores = 0;
@@ -93,6 +119,11 @@ RegionSpread region_spread(const TraceStore& trace, CloudType cloud,
   out.single_region_core_share =
       total_cores > 0 ? cores_by_count[0] / total_cores : 0.0;
   return out;
+}
+
+RegionSpread region_spread(const TraceStore& trace, CloudType cloud,
+                           SimTime snapshot) {
+  return region_spread(AnalysisContext(trace), cloud, snapshot);
 }
 
 }  // namespace cloudlens::analysis

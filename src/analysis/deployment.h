@@ -9,20 +9,37 @@
 #include "stats/ecdf.h"
 #include "stats/histogram.h"
 
+namespace cloudlens {
+class AnalysisContext;  // analysis/context.h
+}
+
 namespace cloudlens::analysis {
+
+// Every snapshot pass has an AnalysisContext overload as the primary
+// implementation (phase + counters against the context's write-only
+// metrics); the `(trace, ...)` spellings are deprecated forwarders kept so
+// examples and external callers compile unchanged.
 
 /// Fig. 1(a): number of VMs per subscription at a snapshot instant, for one
 /// cloud. Subscriptions with no alive VM at the snapshot are skipped.
+std::vector<double> vms_per_subscription(const AnalysisContext& ctx,
+                                         CloudType cloud, SimTime snapshot);
 std::vector<double> vms_per_subscription(const TraceStore& trace,
                                          CloudType cloud, SimTime snapshot);
 
 /// Fig. 1(b): number of distinct subscriptions with at least one alive VM
 /// per cluster at a snapshot, for one cloud (one sample per cluster).
+std::vector<double> subscriptions_per_cluster(const AnalysisContext& ctx,
+                                              CloudType cloud,
+                                              SimTime snapshot);
 std::vector<double> subscriptions_per_cluster(const TraceStore& trace,
                                               CloudType cloud,
                                               SimTime snapshot);
 
 /// Fig. 2: joint (cores, memory) histogram over VMs alive at the snapshot.
+stats::Histogram2D vm_size_heatmap(const AnalysisContext& ctx,
+                                   CloudType cloud, SimTime snapshot,
+                                   std::size_t bins = 12);
 stats::Histogram2D vm_size_heatmap(const TraceStore& trace, CloudType cloud,
                                    SimTime snapshot, std::size_t bins = 12);
 
@@ -38,6 +55,8 @@ struct RegionSpread {
   double single_region_core_share = 0;
 };
 
+RegionSpread region_spread(const AnalysisContext& ctx, CloudType cloud,
+                           SimTime snapshot);
 RegionSpread region_spread(const TraceStore& trace, CloudType cloud,
                            SimTime snapshot);
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/context.h"
 #include "analysis/spatial.h"
 #include "analysis/temporal.h"
 #include "common/table.h"
@@ -17,19 +18,20 @@ double median_or_zero(std::vector<double> xs) {
 
 }  // namespace
 
-InsightVerdicts evaluate_insights(const TraceStore& trace,
+InsightVerdicts evaluate_insights(const AnalysisContext& ctx,
                                   const InsightOptions& options) {
+  auto top = ctx.phase("analysis.evaluate_insights");
   InsightVerdicts v;
 
   // Insight 1 — deployment size & subscription density.
   v.median_vms_per_subscription.private_value = median_or_zero(
-      vms_per_subscription(trace, CloudType::kPrivate, options.snapshot));
+      vms_per_subscription(ctx, CloudType::kPrivate, options.snapshot));
   v.median_vms_per_subscription.public_value = median_or_zero(
-      vms_per_subscription(trace, CloudType::kPublic, options.snapshot));
+      vms_per_subscription(ctx, CloudType::kPublic, options.snapshot));
   v.median_subscriptions_per_cluster.private_value = median_or_zero(
-      subscriptions_per_cluster(trace, CloudType::kPrivate, options.snapshot));
+      subscriptions_per_cluster(ctx, CloudType::kPrivate, options.snapshot));
   v.median_subscriptions_per_cluster.public_value = median_or_zero(
-      subscriptions_per_cluster(trace, CloudType::kPublic, options.snapshot));
+      subscriptions_per_cluster(ctx, CloudType::kPublic, options.snapshot));
   v.insight1 =
       v.median_vms_per_subscription.private_value >
           3 * v.median_vms_per_subscription.public_value &&
@@ -38,22 +40,22 @@ InsightVerdicts evaluate_insights(const TraceStore& trace,
 
   // Insight 2 — bursty private churn vs regular public churn.
   v.median_creation_cv.private_value =
-      median_or_zero(creation_cv_by_region(trace, CloudType::kPrivate));
+      median_or_zero(creation_cv_by_region(ctx, CloudType::kPrivate));
   v.median_creation_cv.public_value =
-      median_or_zero(creation_cv_by_region(trace, CloudType::kPublic));
+      median_or_zero(creation_cv_by_region(ctx, CloudType::kPublic));
   v.shortest_lifetime_share.private_value =
-      shortest_bin_share(vm_lifetimes(trace, CloudType::kPrivate));
+      shortest_bin_share(vm_lifetimes(ctx, CloudType::kPrivate));
   v.shortest_lifetime_share.public_value =
-      shortest_bin_share(vm_lifetimes(trace, CloudType::kPublic));
+      shortest_bin_share(vm_lifetimes(ctx, CloudType::kPublic));
   v.insight2 = v.median_creation_cv.private_value >
                    1.3 * v.median_creation_cv.public_value &&
                v.shortest_lifetime_share.public_value >
                    v.shortest_lifetime_share.private_value + 0.1;
 
   // Insight 3 — pattern-mix contrast.
-  v.private_mix = classify_population(trace, CloudType::kPrivate,
+  v.private_mix = classify_population(ctx, CloudType::kPrivate,
                                       options.classify_max_vms);
-  v.public_mix = classify_population(trace, CloudType::kPublic,
+  v.public_mix = classify_population(ctx, CloudType::kPublic,
                                      options.classify_max_vms);
   v.insight3 = v.private_mix.diurnal > v.private_mix.stable &&
                v.private_mix.diurnal > 1.2 * v.public_mix.diurnal &&
@@ -61,14 +63,14 @@ InsightVerdicts evaluate_insights(const TraceStore& trace,
 
   // Insight 4 — node similarity + region-agnosticism.
   {
-    auto priv = node_vm_correlations(trace, CloudType::kPrivate,
+    auto priv = node_vm_correlations(ctx, CloudType::kPrivate,
                                      options.correlation_max_nodes);
-    auto pub = node_vm_correlations(trace, CloudType::kPublic,
+    auto pub = node_vm_correlations(ctx, CloudType::kPublic,
                                     options.correlation_max_nodes);
     v.median_node_correlation.private_value = median_or_zero(std::move(priv));
     v.median_node_correlation.public_value = median_or_zero(std::move(pub));
     const auto verdicts = detect_region_agnostic_services(
-        trace, CloudType::kPrivate, options.region_agnostic_correlation);
+        ctx, CloudType::kPrivate, options.region_agnostic_correlation);
     std::size_t agnostic = 0;
     for (const auto& r : verdicts) {
       if (r.region_agnostic) ++agnostic;
@@ -81,6 +83,11 @@ InsightVerdicts evaluate_insights(const TraceStore& trace,
                  v.private_region_agnostic_share >= 0.4;
   }
   return v;
+}
+
+InsightVerdicts evaluate_insights(const TraceStore& trace,
+                                  const InsightOptions& options) {
+  return evaluate_insights(AnalysisContext(trace), options);
 }
 
 std::string render_insights(const InsightVerdicts& v) {

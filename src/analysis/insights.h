@@ -12,6 +12,10 @@
 #include "analysis/deployment.h"
 #include "cloudsim/trace.h"
 
+namespace cloudlens {
+class AnalysisContext;  // analysis/context.h
+}
+
 namespace cloudlens::analysis {
 
 struct InsightOptions {
@@ -54,6 +58,16 @@ struct InsightVerdicts {
   bool all() const { return insight1 && insight2 && insight3 && insight4; }
 };
 
+/// Primary implementation: every sub-analysis runs against the context, so
+/// its ParallelConfig reaches all batch passes (historically the classifier
+/// and correlation passes silently ran at the default thread count here)
+/// and its metrics registry collects the per-pass phases. Results are
+/// bit-identical at any thread count.
+InsightVerdicts evaluate_insights(const AnalysisContext& ctx,
+                                  const InsightOptions& options = {});
+
+/// Deprecated spelling: forwards with a default-constructed context (same
+/// thread count the old code used).
 InsightVerdicts evaluate_insights(const TraceStore& trace,
                                   const InsightOptions& options = {});
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/context.h"
 #include "common/check.h"
 #include "stats/descriptive.h"
 
@@ -14,14 +15,20 @@ LifetimePredictor::LifetimePredictor(std::vector<double> lifetimes)
   std::sort(sorted_.begin(), sorted_.end());
 }
 
-LifetimePredictor LifetimePredictor::fit(const TraceStore& trace,
+LifetimePredictor LifetimePredictor::fit(const AnalysisContext& ctx,
                                          CloudType cloud) {
+  auto phase = ctx.phase("analysis.lifetime_fit");
   std::vector<double> lifetimes;
-  for (const auto& vm : trace.vms()) {
+  for (const auto& vm : ctx.trace().vms()) {
     if (vm.cloud != cloud || !vm.ended()) continue;
     lifetimes.push_back(static_cast<double>(vm.lifetime()));
   }
   return LifetimePredictor(std::move(lifetimes));
+}
+
+LifetimePredictor LifetimePredictor::fit(const TraceStore& trace,
+                                         CloudType cloud) {
+  return fit(AnalysisContext(trace), cloud);
 }
 
 double LifetimePredictor::survival(double age_seconds) const {

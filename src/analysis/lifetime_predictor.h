@@ -13,6 +13,10 @@
 
 #include "cloudsim/trace.h"
 
+namespace cloudlens {
+class AnalysisContext;  // analysis/context.h
+}
+
 namespace cloudlens::analysis {
 
 class LifetimePredictor {
@@ -20,7 +24,10 @@ class LifetimePredictor {
   /// Fit from raw lifetime samples (seconds). Samples are copied & sorted.
   explicit LifetimePredictor(std::vector<double> lifetimes);
 
-  /// Fit from the ended VMs of one cloud in a trace.
+  /// Fit from the ended VMs of one cloud in a trace. The context overload
+  /// is primary (records one "analysis.lifetime_fit" phase); the trace
+  /// spelling forwards to it.
+  static LifetimePredictor fit(const AnalysisContext& ctx, CloudType cloud);
   static LifetimePredictor fit(const TraceStore& trace, CloudType cloud);
 
   std::size_t sample_count() const { return sorted_.size(); }

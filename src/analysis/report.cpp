@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "analysis/context.h"
 #include "analysis/deployment.h"
 #include "analysis/spatial.h"
 #include "analysis/temporal.h"
@@ -24,10 +25,13 @@ void md_header(std::ostream& out) {
 
 }  // namespace
 
-InsightVerdicts write_characterization_report(const TraceStore& trace,
+InsightVerdicts write_characterization_report(const AnalysisContext& ctx,
                                               std::ostream& out,
                                               const ReportOptions& options) {
-  const auto v = evaluate_insights(trace, options.insights);
+  auto timer = ctx.phase("analysis.report", obs::Histogram::kReportSeconds,
+                         obs::Counter::kAnalysisReports);
+  const TraceStore& trace = ctx.trace();
+  const auto v = evaluate_insights(ctx, options.insights);
   const SimTime snap = options.insights.snapshot;
 
   out << "# " << options.title << "\n\n";
@@ -58,8 +62,8 @@ InsightVerdicts write_characterization_report(const TraceStore& trace,
          v.median_subscriptions_per_cluster.private_value,
          v.median_subscriptions_per_cluster.public_value, 1);
   {
-    const auto priv = region_spread(trace, CloudType::kPrivate, snap);
-    const auto pub = region_spread(trace, CloudType::kPublic, snap);
+    const auto priv = region_spread(ctx, CloudType::kPrivate, snap);
+    const auto pub = region_spread(ctx, CloudType::kPublic, snap);
     md_row(out, "single-region core share",
            priv.single_region_core_share, pub.single_region_core_share);
     md_row(out, "median deployed regions",
@@ -92,9 +96,9 @@ InsightVerdicts write_characterization_report(const TraceStore& trace,
          v.public_mix.hourly_peak);
   out << "\n";
   {
-    const auto priv = utilization_distribution(trace, CloudType::kPrivate,
+    const auto priv = utilization_distribution(ctx, CloudType::kPrivate,
                                                options.insights.classify_max_vms);
-    const auto pub = utilization_distribution(trace, CloudType::kPublic,
+    const auto pub = utilization_distribution(ctx, CloudType::kPublic,
                                               options.insights.classify_max_vms);
     md_header(out);
     md_row(out, "median of weekly p75 utilization",
@@ -131,6 +135,13 @@ InsightVerdicts write_characterization_report(const TraceStore& trace,
   out << "_Generated by cloudlens; see EXPERIMENTS.md for the paper "
          "comparison._\n";
   return v;
+}
+
+InsightVerdicts write_characterization_report(const TraceStore& trace,
+                                              std::ostream& out,
+                                              const ReportOptions& options) {
+  return write_characterization_report(
+      AnalysisContext(trace, options.parallel), out, options);
 }
 
 }  // namespace cloudlens::analysis

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "analysis/context.h"
 #include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
 #include "stats/correlation.h"
@@ -38,10 +39,12 @@ stats::TimeSeries average_hourly_utilization(const TraceStore& trace,
 
 }  // namespace
 
-std::vector<double> node_vm_correlations(const TraceStore& trace,
+std::vector<double> node_vm_correlations(const AnalysisContext& ctx,
                                          CloudType cloud,
-                                         std::size_t max_nodes,
-                                         const ParallelConfig& parallel) {
+                                         std::size_t max_nodes) {
+  auto phase = ctx.phase("analysis.node_vm_correlations");
+  const TraceStore& trace = ctx.trace();
+  const ParallelConfig& parallel = ctx.parallel();
   const TimeGrid& grid = trace.telemetry_grid();
   // Opt into the columnar telemetry cache (and build it serially, before
   // the fan-out), alongside the node index warm-up below.
@@ -92,12 +95,25 @@ std::vector<double> node_vm_correlations(const TraceStore& trace,
   std::vector<double> out;
   for (const auto& rs : per_node) out.insert(out.end(), rs.begin(), rs.end());
   std::sort(out.begin(), out.end());
+  ctx.count(obs::Counter::kAnalysisCorrelations, out.size());
   return out;
 }
 
+std::vector<double> node_vm_correlations(const TraceStore& trace,
+                                         CloudType cloud,
+                                         std::size_t max_nodes,
+                                         const ParallelConfig& parallel) {
+  return node_vm_correlations(AnalysisContext(trace, parallel), cloud,
+                              max_nodes);
+}
+
 std::vector<RegionProfile> subscription_region_profiles(
-    const TraceStore& trace, SubscriptionId sub,
+    const AnalysisContext& ctx, SubscriptionId sub,
     std::size_t max_vms_per_region) {
+  // No phase span here: this runs inside the per-subscription fan-outs of
+  // cross_region_correlations and kb extraction, where per-call spans
+  // would swamp the trace; the roll-up counter is lock-free and cheap.
+  const TraceStore& trace = ctx.trace();
   const TimeGrid& grid = trace.telemetry_grid();
   const TelemetryPanel* panel = trace.telemetry_panel();
   std::unordered_map<RegionId, std::vector<VmId>> by_region;
@@ -121,14 +137,24 @@ std::vector<RegionProfile> subscription_region_profiles(
             [](const RegionProfile& a, const RegionProfile& b) {
               return a.region < b.region;
             });
+  ctx.count(obs::Counter::kAnalysisSeriesRolledUp, out.size());
   return out;
 }
 
-std::vector<double> cross_region_correlations(const TraceStore& trace,
+std::vector<RegionProfile> subscription_region_profiles(
+    const TraceStore& trace, SubscriptionId sub,
+    std::size_t max_vms_per_region) {
+  return subscription_region_profiles(AnalysisContext(trace), sub,
+                                      max_vms_per_region);
+}
+
+std::vector<double> cross_region_correlations(const AnalysisContext& ctx,
                                               CloudType cloud,
                                               std::size_t max_subscriptions,
-                                              std::size_t max_vms_per_region,
-                                              const ParallelConfig& parallel) {
+                                              std::size_t max_vms_per_region) {
+  auto phase = ctx.phase("analysis.cross_region_correlations");
+  const TraceStore& trace = ctx.trace();
+  const ParallelConfig& parallel = ctx.parallel();
   // Multi-region candidate subscriptions.
   std::vector<SubscriptionId> candidates;
   for (const auto& sub : trace.subscriptions()) {
@@ -165,7 +191,7 @@ std::vector<double> cross_region_correlations(const TraceStore& trace,
     const auto profile_block = parallel_map<std::vector<RegionProfile>>(
         count,
         [&](std::size_t k) {
-          return subscription_region_profiles(trace, candidates[start + k],
+          return subscription_region_profiles(ctx, candidates[start + k],
                                               max_vms_per_region);
         },
         parallel);
@@ -184,12 +210,25 @@ std::vector<double> cross_region_correlations(const TraceStore& trace,
     start += count;
   }
   std::sort(out.begin(), out.end());
+  ctx.count(obs::Counter::kAnalysisCorrelations, out.size());
   return out;
 }
 
+std::vector<double> cross_region_correlations(const TraceStore& trace,
+                                              CloudType cloud,
+                                              std::size_t max_subscriptions,
+                                              std::size_t max_vms_per_region,
+                                              const ParallelConfig& parallel) {
+  return cross_region_correlations(AnalysisContext(trace, parallel), cloud,
+                                   max_subscriptions, max_vms_per_region);
+}
+
 std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
-    const TraceStore& trace, CloudType cloud, double min_correlation,
-    std::size_t max_vms_per_region, const ParallelConfig& parallel) {
+    const AnalysisContext& ctx, CloudType cloud, double min_correlation,
+    std::size_t max_vms_per_region) {
+  auto phase = ctx.phase("analysis.detect_region_agnostic");
+  const TraceStore& trace = ctx.trace();
+  const ParallelConfig& parallel = ctx.parallel();
   const TimeGrid& grid = trace.telemetry_grid();
   // Serial panel warm-up before the per-service fan-out.
   const TelemetryPanel* panel = trace.telemetry_panel();
@@ -252,7 +291,16 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
         return v;
       },
       parallel);
+  ctx.count(obs::Counter::kAnalysisCorrelations, out.size());
   return out;
+}
+
+std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
+    const TraceStore& trace, CloudType cloud, double min_correlation,
+    std::size_t max_vms_per_region, const ParallelConfig& parallel) {
+  return detect_region_agnostic_services(AnalysisContext(trace, parallel),
+                                         cloud, min_correlation,
+                                         max_vms_per_region);
 }
 
 }  // namespace cloudlens::analysis

@@ -9,18 +9,29 @@
 #include "common/parallel.h"
 #include "stats/series.h"
 
+namespace cloudlens {
+class AnalysisContext;  // analysis/context.h
+}
+
 namespace cloudlens::analysis {
 
 // All correlation sets below fan their per-node / per-subscription /
-// per-service work out over a ParallelConfig. Partial results are merged
-// in deterministic candidate order, so every function returns bit-identical
-// output at any thread count; `parallel.threads = 1` is the plain serial
-// loop.
+// per-service work out over the context's ParallelConfig. Partial results
+// are merged in deterministic candidate order, so every function returns
+// bit-identical output at any thread count; `threads = 1` is the plain
+// serial loop. Each entry point has an AnalysisContext overload as the
+// primary implementation (phase + counters against the context's write-only
+// metrics) and a deprecated `(trace, ..., parallel)` forwarder kept so
+// examples and external callers compile unchanged; both are exactly
+// equivalent in results.
 
 /// Fig. 7(a): Pearson correlation between each VM's utilization and its
 /// host node's utilization, over VMs of one cloud that cover the window.
 /// Nodes hosting a single VM are excluded (the paper filters this trivial
 /// case). `max_nodes` caps work via deterministic stride subsampling.
+std::vector<double> node_vm_correlations(const AnalysisContext& ctx,
+                                         CloudType cloud,
+                                         std::size_t max_nodes = 400);
 std::vector<double> node_vm_correlations(const TraceStore& trace,
                                          CloudType cloud,
                                          std::size_t max_nodes = 400,
@@ -29,6 +40,9 @@ std::vector<double> node_vm_correlations(const TraceStore& trace,
 /// Fig. 7(b): for every subscription of `cloud` deployed in >= 2 regions,
 /// the Pearson correlation of its region-level average utilization for each
 /// region pair. `max_vms_per_region` caps the VMs averaged per region.
+std::vector<double> cross_region_correlations(
+    const AnalysisContext& ctx, CloudType cloud,
+    std::size_t max_subscriptions = 400, std::size_t max_vms_per_region = 25);
 std::vector<double> cross_region_correlations(
     const TraceStore& trace, CloudType cloud,
     std::size_t max_subscriptions = 400,
@@ -42,6 +56,9 @@ struct RegionProfile {
   stats::TimeSeries hourly_utilization;
   std::size_t vms_used = 0;
 };
+std::vector<RegionProfile> subscription_region_profiles(
+    const AnalysisContext& ctx, SubscriptionId sub,
+    std::size_t max_vms_per_region = 25);
 std::vector<RegionProfile> subscription_region_profiles(
     const TraceStore& trace, SubscriptionId sub,
     std::size_t max_vms_per_region = 25);
@@ -57,6 +74,9 @@ struct RegionAgnosticVerdict {
   bool region_agnostic = false;
 };
 
+std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
+    const AnalysisContext& ctx, CloudType cloud, double min_correlation = 0.7,
+    std::size_t max_vms_per_region = 25);
 std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
     const TraceStore& trace, CloudType cloud, double min_correlation = 0.7,
     std::size_t max_vms_per_region = 25, const ParallelConfig& parallel = {});

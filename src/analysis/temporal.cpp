@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/context.h"
 #include "common/check.h"
 #include "stats/descriptive.h"
 
@@ -12,10 +13,12 @@ bool in_region(const VmRecord& vm, RegionId region) {
   return !region.valid() || vm.region == region;
 }
 
-}  // namespace
+// Raw sweeps, shared by the instrumented AnalysisContext entry points
+// below (creation_cv_by_region reuses creations_impl directly so it opens
+// exactly one phase, not one per region).
 
-std::vector<double> vm_lifetimes(const TraceStore& trace, CloudType cloud,
-                                 SimTime window_start, SimTime window_end) {
+std::vector<double> lifetimes_impl(const TraceStore& trace, CloudType cloud,
+                                   SimTime window_start, SimTime window_end) {
   std::vector<double> out;
   for (const auto& vm : trace.vms()) {
     if (vm.cloud != cloud || !vm.ended()) continue;
@@ -24,6 +27,31 @@ std::vector<double> vm_lifetimes(const TraceStore& trace, CloudType cloud,
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+stats::TimeSeries creations_impl(const TraceStore& trace, CloudType cloud,
+                                 RegionId region, const TimeGrid& grid) {
+  stats::TimeSeries out(grid);
+  for (const auto& vm : trace.vms()) {
+    if (vm.cloud != cloud || !in_region(vm, region)) continue;
+    if (!grid.contains(vm.created)) continue;
+    out[grid.index_of(vm.created)] += 1.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> vm_lifetimes(const AnalysisContext& ctx, CloudType cloud,
+                                 SimTime window_start, SimTime window_end) {
+  auto phase = ctx.phase("analysis.vm_lifetimes");
+  return lifetimes_impl(ctx.trace(), cloud, window_start, window_end);
+}
+
+std::vector<double> vm_lifetimes(const TraceStore& trace, CloudType cloud,
+                                 SimTime window_start, SimTime window_end) {
+  return vm_lifetimes(AnalysisContext(trace), cloud, window_start,
+                      window_end);
 }
 
 double shortest_bin_share(const std::vector<double>& lifetimes,
@@ -36,8 +64,11 @@ double shortest_bin_share(const std::vector<double>& lifetimes,
   return static_cast<double>(n) / static_cast<double>(lifetimes.size());
 }
 
-stats::TimeSeries vm_count_per_hour(const TraceStore& trace, CloudType cloud,
-                                    RegionId region, const TimeGrid& grid) {
+stats::TimeSeries vm_count_per_hour(const AnalysisContext& ctx,
+                                    CloudType cloud, RegionId region,
+                                    const TimeGrid& grid) {
+  auto phase = ctx.phase("analysis.vm_count_per_hour");
+  const TraceStore& trace = ctx.trace();
   stats::TimeSeries out(grid);
   // Sweep-line over create/delete events clamped to the grid.
   std::vector<std::pair<SimTime, int>> events;
@@ -69,19 +100,28 @@ stats::TimeSeries vm_count_per_hour(const TraceStore& trace, CloudType cloud,
   return out;
 }
 
-stats::TimeSeries creations_per_hour(const TraceStore& trace, CloudType cloud,
-                                     RegionId region, const TimeGrid& grid) {
-  stats::TimeSeries out(grid);
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !in_region(vm, region)) continue;
-    if (!grid.contains(vm.created)) continue;
-    out[grid.index_of(vm.created)] += 1.0;
-  }
-  return out;
+stats::TimeSeries vm_count_per_hour(const TraceStore& trace, CloudType cloud,
+                                    RegionId region, const TimeGrid& grid) {
+  return vm_count_per_hour(AnalysisContext(trace), cloud, region, grid);
 }
 
-stats::TimeSeries removals_per_hour(const TraceStore& trace, CloudType cloud,
-                                    RegionId region, const TimeGrid& grid) {
+stats::TimeSeries creations_per_hour(const AnalysisContext& ctx,
+                                     CloudType cloud, RegionId region,
+                                     const TimeGrid& grid) {
+  auto phase = ctx.phase("analysis.creations_per_hour");
+  return creations_impl(ctx.trace(), cloud, region, grid);
+}
+
+stats::TimeSeries creations_per_hour(const TraceStore& trace, CloudType cloud,
+                                     RegionId region, const TimeGrid& grid) {
+  return creations_per_hour(AnalysisContext(trace), cloud, region, grid);
+}
+
+stats::TimeSeries removals_per_hour(const AnalysisContext& ctx,
+                                    CloudType cloud, RegionId region,
+                                    const TimeGrid& grid) {
+  auto phase = ctx.phase("analysis.removals_per_hour");
+  const TraceStore& trace = ctx.trace();
   stats::TimeSeries out(grid);
   for (const auto& vm : trace.vms()) {
     if (vm.cloud != cloud || !in_region(vm, region) || !vm.ended()) continue;
@@ -91,16 +131,30 @@ stats::TimeSeries removals_per_hour(const TraceStore& trace, CloudType cloud,
   return out;
 }
 
-std::vector<double> creation_cv_by_region(const TraceStore& trace,
+stats::TimeSeries removals_per_hour(const TraceStore& trace, CloudType cloud,
+                                    RegionId region, const TimeGrid& grid) {
+  return removals_per_hour(AnalysisContext(trace), cloud, region, grid);
+}
+
+std::vector<double> creation_cv_by_region(const AnalysisContext& ctx,
                                           CloudType cloud,
                                           const TimeGrid& grid) {
+  auto phase = ctx.phase("analysis.creation_cv_by_region");
+  const TraceStore& trace = ctx.trace();
   std::vector<double> out;
   for (const auto& region : trace.topology().regions()) {
-    const auto series = creations_per_hour(trace, cloud, region.id, grid);
+    const auto series = creations_impl(trace, cloud, region.id, grid);
     if (series.mean() <= 0) continue;
     out.push_back(stats::coefficient_of_variation(series.values()));
   }
+  ctx.count(obs::Counter::kAnalysisSeriesRolledUp, out.size());
   return out;
+}
+
+std::vector<double> creation_cv_by_region(const TraceStore& trace,
+                                          CloudType cloud,
+                                          const TimeGrid& grid) {
+  return creation_cv_by_region(AnalysisContext(trace), cloud, grid);
 }
 
 }  // namespace cloudlens::analysis

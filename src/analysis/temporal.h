@@ -8,10 +8,22 @@
 #include "stats/ecdf.h"
 #include "stats/series.h"
 
+namespace cloudlens {
+class AnalysisContext;  // analysis/context.h
+}
+
 namespace cloudlens::analysis {
+
+// Every pass below has an AnalysisContext overload as the primary
+// implementation (it opens an "analysis.*" phase against the context's
+// write-only metrics); the `(trace, ...)` spellings are deprecated
+// forwarders kept so examples and external callers compile unchanged.
 
 /// Fig. 3(a): lifetimes (seconds) of VMs that both started and ended inside
 /// [window_start, window_end) — matching the paper's inclusion rule.
+std::vector<double> vm_lifetimes(const AnalysisContext& ctx, CloudType cloud,
+                                 SimTime window_start = 0,
+                                 SimTime window_end = kWeek);
 std::vector<double> vm_lifetimes(const TraceStore& trace, CloudType cloud,
                                  SimTime window_start = 0,
                                  SimTime window_end = kWeek);
@@ -23,11 +35,17 @@ double shortest_bin_share(const std::vector<double>& lifetimes,
 
 /// Fig. 3(b): number of VMs alive at each hour boundary, one region.
 /// Pass an invalid RegionId to aggregate over all regions.
+stats::TimeSeries vm_count_per_hour(const AnalysisContext& ctx,
+                                    CloudType cloud, RegionId region,
+                                    const TimeGrid& grid = week_hourly_grid());
 stats::TimeSeries vm_count_per_hour(const TraceStore& trace, CloudType cloud,
                                     RegionId region,
                                     const TimeGrid& grid = week_hourly_grid());
 
 /// Fig. 3(c): VMs created per hour, one region (invalid = all regions).
+stats::TimeSeries creations_per_hour(
+    const AnalysisContext& ctx, CloudType cloud, RegionId region,
+    const TimeGrid& grid = week_hourly_grid());
 stats::TimeSeries creations_per_hour(
     const TraceStore& trace, CloudType cloud, RegionId region,
     const TimeGrid& grid = week_hourly_grid());
@@ -35,10 +53,16 @@ stats::TimeSeries creations_per_hour(
 /// Fig. 3(d): the coefficient of variation of the hourly-creation series,
 /// one value per region (regions with no creations are skipped).
 std::vector<double> creation_cv_by_region(
+    const AnalysisContext& ctx, CloudType cloud,
+    const TimeGrid& grid = week_hourly_grid());
+std::vector<double> creation_cv_by_region(
     const TraceStore& trace, CloudType cloud,
     const TimeGrid& grid = week_hourly_grid());
 
 /// VM removals per hour (the paper notes removals behave like creations).
+stats::TimeSeries removals_per_hour(const AnalysisContext& ctx,
+                                    CloudType cloud, RegionId region,
+                                    const TimeGrid& grid = week_hourly_grid());
 stats::TimeSeries removals_per_hour(const TraceStore& trace, CloudType cloud,
                                     RegionId region,
                                     const TimeGrid& grid = week_hourly_grid());

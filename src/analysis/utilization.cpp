@@ -2,15 +2,19 @@
 
 #include <algorithm>
 
+#include "analysis/context.h"
 #include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
 #include "stats/descriptive.h"
 
 namespace cloudlens::analysis {
 
-UtilizationDistribution utilization_distribution(
-    const TraceStore& trace, CloudType cloud, std::size_t max_vms,
-    const ParallelConfig& parallel) {
+UtilizationDistribution utilization_distribution(const AnalysisContext& ctx,
+                                                 CloudType cloud,
+                                                 std::size_t max_vms) {
+  auto phase = ctx.phase("analysis.utilization_distribution");
+  const TraceStore& trace = ctx.trace();
+  const ParallelConfig& parallel = ctx.parallel();
   const TimeGrid& grid = trace.telemetry_grid();
   // Opt into the columnar telemetry cache (serial warm-up).
   const TelemetryPanel* panel = trace.telemetry_panel();
@@ -76,13 +80,23 @@ UtilizationDistribution utilization_distribution(
         out.daily_p95[h] = stats::quantile_sorted(b, 0.95);
       },
       parallel);
+  ctx.count(obs::Counter::kAnalysisSeriesRolledUp, out.vms_used);
   return out;
 }
 
-stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
+UtilizationDistribution utilization_distribution(
+    const TraceStore& trace, CloudType cloud, std::size_t max_vms,
+    const ParallelConfig& parallel) {
+  return utilization_distribution(AnalysisContext(trace, parallel), cloud,
+                                  max_vms);
+}
+
+stats::TimeSeries region_used_cores_hourly(const AnalysisContext& ctx,
                                            CloudType cloud, RegionId region,
-                                           std::size_t max_vms,
-                                           const ParallelConfig& parallel) {
+                                           std::size_t max_vms) {
+  auto phase = ctx.phase("analysis.region_used_cores_hourly");
+  const TraceStore& trace = ctx.trace();
+  const ParallelConfig& parallel = ctx.parallel();
   const TimeGrid& grid = trace.telemetry_grid();
   const TelemetryPanel* panel = trace.telemetry_panel();
   std::vector<VmId> candidates;
@@ -123,7 +137,20 @@ stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
   // Rescale the stride sample back to the full population.
   used.scale(static_cast<double>(candidates.size()) /
              static_cast<double>(sampled));
+  ctx.count(obs::Counter::kAnalysisSeriesRolledUp, sampled);
   return used.hourly_mean();
+}
+
+stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
+                                           CloudType cloud, RegionId region,
+                                           std::size_t max_vms,
+                                           const ParallelConfig& parallel) {
+  return region_used_cores_hourly(AnalysisContext(trace, parallel), cloud,
+                                  region, max_vms);
+}
+
+double vm_mean_utilization(const AnalysisContext& ctx, VmId id) {
+  return vm_mean_utilization(ctx.trace(), id);
 }
 
 double vm_mean_utilization(const TraceStore& trace, VmId id) {

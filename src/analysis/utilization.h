@@ -8,6 +8,10 @@
 #include "common/parallel.h"
 #include "stats/series.h"
 
+namespace cloudlens {
+class AnalysisContext;  // analysis/context.h
+}
+
 namespace cloudlens::analysis {
 
 struct UtilizationDistribution {
@@ -23,8 +27,11 @@ struct UtilizationDistribution {
 /// Computes the distribution over VMs of `cloud` alive the entire window.
 /// `max_vms` caps the population by deterministic stride subsampling.
 /// The per-VM hourly roll-ups and the 24 hour-of-day percentile buckets
-/// fan out over `parallel`; merging is per-slot, so the result is
-/// bit-identical at any thread count.
+/// fan out over the context's ParallelConfig; merging is per-slot, so the
+/// result is bit-identical at any thread count. The deprecated
+/// `(trace, ..., parallel)` spelling forwards to the context overload.
+UtilizationDistribution utilization_distribution(
+    const AnalysisContext& ctx, CloudType cloud, std::size_t max_vms = 1500);
 UtilizationDistribution utilization_distribution(
     const TraceStore& trace, CloudType cloud, std::size_t max_vms = 1500,
     const ParallelConfig& parallel = {});
@@ -36,6 +43,9 @@ UtilizationDistribution utilization_distribution(
 /// Accumulation uses parallel_reduce's fixed chunk grid, so the summation
 /// order — and with it every floating-point bit — is a function of the
 /// population only, never of the thread count.
+stats::TimeSeries region_used_cores_hourly(const AnalysisContext& ctx,
+                                           CloudType cloud, RegionId region,
+                                           std::size_t max_vms = 3000);
 stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
                                            CloudType cloud, RegionId region,
                                            std::size_t max_vms = 3000,
@@ -43,6 +53,7 @@ stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
 
 /// Mean utilization of one VM over the part of the telemetry window it was
 /// alive (0 when never alive within the window or no telemetry).
+double vm_mean_utilization(const AnalysisContext& ctx, VmId id);
 double vm_mean_utilization(const TraceStore& trace, VmId id);
 
 }  // namespace cloudlens::analysis

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace cloudlens {
 
@@ -32,6 +33,8 @@ std::optional<Placement> Allocator::allocate(const VmRequest& request,
   ++stats_.requests;
   CL_CHECK(request.cores > 0 && request.memory_gb > 0);
   CL_CHECK_MSG(!leases_.contains(vm), "VM already allocated");
+  obs::MetricsRegistry::global().add(obs::Counter::kAllocAttempts);
+  std::uint64_t nodes_scanned = 0;
 
   const std::uint64_t owner = owner_key(request);
 
@@ -45,6 +48,7 @@ std::optional<Placement> Allocator::allocate(const VmRequest& request,
     const Cluster& cluster = topo_.cluster(cid);
     for (const NodeId nid : cluster.nodes) {
       if (!node_available_[nid.value()]) continue;
+      ++nodes_scanned;
       const Node& node = topo_.node(nid);
       const NodeUse& u = use_[nid.value()];
       if (u.cores + request.cores > node.total_cores ||
@@ -67,8 +71,11 @@ std::optional<Placement> Allocator::allocate(const VmRequest& request,
     }
   }
 
+  obs::MetricsRegistry::global().add(obs::Counter::kAllocNodesScanned,
+                                     nodes_scanned);
   if (best == nullptr) {
     ++stats_.failures;
+    obs::MetricsRegistry::global().add(obs::Counter::kAllocFailures);
     return std::nullopt;
   }
 
@@ -84,6 +91,7 @@ std::optional<Placement> Allocator::allocate(const VmRequest& request,
 void Allocator::release(VmId vm) {
   const auto it = leases_.find(vm);
   if (it == leases_.end()) return;
+  obs::MetricsRegistry::global().add(obs::Counter::kAllocReleases);
   const Lease& lease = it->second;
   NodeUse& u = use_[lease.node.value()];
   u.cores -= lease.cores;

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/phase_timer.h"
 
 namespace cloudlens {
 namespace {
@@ -35,6 +37,13 @@ SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
                                AllocatorOptions options,
                                std::vector<NodeOutage> outages,
                                FailurePolicy failure_policy) {
+  // Per-run accounting: events replayed, placement outcomes, outage
+  // kills/resubmits — counted locally and published to the (write-only)
+  // metrics registry at the end, plus one "sim.run" span for the trace.
+  obs::PhaseTimer phase("sim.run", obs::Histogram::kSimRunSeconds,
+                        obs::Counter::kSimRuns);
+  std::uint64_t events_replayed = 0;
+
   Allocator allocator(topology, options);
   SimulationStats stats;
 
@@ -59,6 +68,7 @@ SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
   while (!events.empty()) {
     const Event event = events.top();
     events.pop();
+    ++events_replayed;
     switch (event.kind) {
       case EventKind::kRemove: {
         if (killed.contains(event.vm)) break;
@@ -137,6 +147,15 @@ SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
       }
     }
   }
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add(obs::Counter::kSimEvents, events_replayed);
+  metrics.add(obs::Counter::kSimRequested, stats.requested);
+  metrics.add(obs::Counter::kSimPlaced, stats.placed);
+  metrics.add(obs::Counter::kSimAllocationFailures,
+              stats.allocation_failures);
+  metrics.add(obs::Counter::kSimOutageKills, stats.vms_failed);
+  metrics.add(obs::Counter::kSimResubmits, stats.vms_resubmitted);
   return stats;
 }
 

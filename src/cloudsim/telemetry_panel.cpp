@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/phase_timer.h"
 
 namespace cloudlens {
 namespace {
@@ -60,6 +62,10 @@ void TelemetryPanel::hourly_from_row(std::span<const double> row,
 TelemetryPanel::TelemetryPanel(const TraceStore& trace, TimeGrid grid,
                                const ParallelConfig& parallel)
     : grid_(grid), rows_(trace.vms().size()) {
+  // Build metrics: one "panel.build" span + latency sample, rows filled,
+  // and resident-size gauges. Write-only — the fill itself is untouched.
+  obs::PhaseTimer phase("panel.build", obs::Histogram::kPanelBuildSeconds,
+                        obs::Counter::kPanelBuilds);
   CL_CHECK(grid_.count > 0);
   const bool hourly_ok =
       grid_.step > 0 && kHour % grid_.step == 0 &&
@@ -87,6 +93,13 @@ TelemetryPanel::TelemetryPanel(const TraceStore& trace, TimeGrid grid,
         }
       },
       parallel);
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add(obs::Counter::kPanelRowsFilled, rows_);
+  metrics.set(obs::Gauge::kPanelVms, static_cast<double>(rows_));
+  metrics.set(obs::Gauge::kPanelBytes,
+              static_cast<double>((data_.capacity() + hourly_.capacity()) *
+                                  sizeof(double)));
 }
 
 std::span<const double> vm_telemetry_row(const TraceStore& trace,
@@ -95,8 +108,10 @@ std::span<const double> vm_telemetry_row(const TraceStore& trace,
                                          std::vector<double>& scratch) {
   if (panel != nullptr && panel->grid() == grid &&
       id.value() < panel->vm_count()) {
+    obs::MetricsRegistry::global().add(obs::Counter::kPanelRowHits);
     return panel->row(id);
   }
+  obs::MetricsRegistry::global().add(obs::Counter::kPanelRowMisses);
   scratch.resize(grid.count);
   TelemetryPanel::fill_row(trace.vm(id), grid, scratch);
   return scratch;
@@ -109,6 +124,7 @@ std::span<const double> vm_hourly_row(const TraceStore& trace,
                                       std::vector<double>& hourly_scratch) {
   if (panel != nullptr && panel->grid() == grid &&
       id.value() < panel->vm_count() && panel->hourly_grid().count > 0) {
+    obs::MetricsRegistry::global().add(obs::Counter::kPanelRowHits);
     return panel->hourly_row(id);
   }
   const std::span<const double> row =

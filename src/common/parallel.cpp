@@ -7,6 +7,8 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"  // obs::now_ns
 
 namespace cloudlens {
 namespace {
@@ -45,10 +47,19 @@ struct ThreadPool::Batch {
 
   /// Claim-and-run loop shared by workers and the submitting caller.
   void work() {
+    // Per-lane busy time: one histogram sample per participating thread
+    // per batch. Metrics are a write-only side channel — recording them
+    // cannot influence which indexes a lane claims or what tasks compute,
+    // so results stay bit-identical with metrics on or off.
+    auto& metrics = obs::MetricsRegistry::global();
+    const bool timed = metrics.enabled();
+    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+    std::uint64_t claimed = 0;
     t_inside_parallel_region = true;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
+      ++claimed;
       try {
         (*task)(i);
       } catch (...) {
@@ -58,6 +69,11 @@ struct ThreadPool::Batch {
       done.fetch_add(1, std::memory_order_acq_rel);
     }
     t_inside_parallel_region = false;
+    if (timed && claimed > 0) {
+      metrics.observe_seconds(
+          obs::Histogram::kParallelWorkerBusySeconds,
+          static_cast<double>(obs::now_ns() - t0) * 1e-9);
+    }
   }
 
   bool finished() const {
@@ -126,12 +142,19 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 void ThreadPool::run(std::size_t count, std::size_t concurrency,
                      const std::function<void(std::size_t)>& task) {
   if (count == 0) return;
+  auto& metrics = obs::MetricsRegistry::global();
   if (t_inside_parallel_region || concurrency <= 1 || count == 1 ||
       threads_.empty()) {
     // Inline serial path (also the nested-call path): index order.
+    metrics.add(obs::Counter::kParallelInlineBatches);
+    metrics.add(obs::Counter::kParallelTasks, count);
     for (std::size_t i = 0; i < count; ++i) task(i);
     return;
   }
+  metrics.add(obs::Counter::kParallelBatches);
+  metrics.add(obs::Counter::kParallelTasks, count);
+  metrics.set(obs::Gauge::kParallelPoolWorkers,
+              static_cast<double>(workers()));
 
   std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
   Batch batch;
@@ -187,6 +210,9 @@ void parallel_for_impl(std::size_t n,
   if (n == 0) return;
   const std::size_t threads = std::min(config.resolved(), n);
   if (threads <= 1 || ThreadPool::inside_parallel_region()) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.add(obs::Counter::kParallelInlineBatches);
+    metrics.add(obs::Counter::kParallelTasks, n);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

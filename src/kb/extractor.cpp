@@ -4,6 +4,7 @@
 #include <array>
 #include <unordered_set>
 
+#include "analysis/context.h"
 #include "analysis/spatial.h"
 #include "cloudsim/telemetry_panel.h"
 #include "stats/correlation.h"
@@ -12,8 +13,9 @@
 namespace cloudlens::kb {
 
 std::optional<SubscriptionKnowledge> extract_subscription(
-    const TraceStore& trace, SubscriptionId sub,
+    const AnalysisContext& ctx, SubscriptionId sub,
     const ExtractorOptions& options) {
+  const TraceStore& trace = ctx.trace();
   const auto vm_ids = trace.vms_of_subscription(sub);
   if (vm_ids.empty()) return std::nullopt;
 
@@ -83,7 +85,7 @@ std::optional<SubscriptionKnowledge> extract_subscription(
   // Spatial knowledge.
   if (rec.region_count >= 2 && !covering.empty()) {
     const auto profiles = analysis::subscription_region_profiles(
-        trace, sub, options.max_vms_per_region);
+        ctx, sub, options.max_vms_per_region);
     double min_corr = 1.0;
     for (std::size_t a = 0; a < profiles.size(); ++a) {
       for (std::size_t b = a + 1; b < profiles.size(); ++b) {
@@ -104,6 +106,12 @@ std::optional<SubscriptionKnowledge> extract_subscription(
   return rec;
 }
 
+std::optional<SubscriptionKnowledge> extract_subscription(
+    const TraceStore& trace, SubscriptionId sub,
+    const ExtractorOptions& options) {
+  return extract_subscription(AnalysisContext(trace), sub, options);
+}
+
 void apply_policy_hints(SubscriptionKnowledge& rec,
                         const ExtractorOptions& options) {
   rec.spot_candidate =
@@ -122,14 +130,40 @@ void apply_policy_hints(SubscriptionKnowledge& rec,
       rec.dominant_pattern == analysis::UtilizationClass::kHourlyPeak;
 }
 
+std::vector<SubscriptionKnowledge> extract_all(
+    const AnalysisContext& ctx, const ExtractorOptions& options) {
+  auto phase = ctx.phase("kb.extract", obs::Histogram::kKbExtractSeconds,
+                         obs::Counter::kKbExtractions);
+  const TraceStore& trace = ctx.trace();
+  const auto subs = trace.subscriptions();
+  // Serial warm-up of the lazily-built shared state (subscription index,
+  // telemetry panel) before fanning out; workers then only read.
+  if (!subs.empty()) trace.vms_of_subscription(subs.front().id);
+  trace.telemetry_panel();
+
+  // One slot per subscription; extraction of each subscription is
+  // independent and deterministic, and slots are concatenated in
+  // subscription order below, so the record list is bit-identical to the
+  // old serial loop at any thread count.
+  const auto slots = parallel_map<std::optional<SubscriptionKnowledge>>(
+      subs.size(),
+      [&](std::size_t i) {
+        return extract_subscription(ctx, subs[i].id, options);
+      },
+      ctx.parallel());
+
+  std::vector<SubscriptionKnowledge> out;
+  out.reserve(slots.size());
+  for (const auto& rec : slots) {
+    if (rec) out.push_back(*rec);
+  }
+  ctx.count(obs::Counter::kKbRecords, out.size());
+  return out;
+}
+
 std::vector<SubscriptionKnowledge> extract_all(const TraceStore& trace,
                                                const ExtractorOptions& options) {
-  std::vector<SubscriptionKnowledge> out;
-  for (const auto& sub : trace.subscriptions()) {
-    if (auto rec = extract_subscription(trace, sub.id, options))
-      out.push_back(std::move(*rec));
-  }
-  return out;
+  return extract_all(AnalysisContext(trace), options);
 }
 
 }  // namespace cloudlens::kb

@@ -7,6 +7,10 @@
 #include "cloudsim/trace.h"
 #include "kb/record.h"
 
+namespace cloudlens {
+class AnalysisContext;  // analysis/context.h
+}
+
 namespace cloudlens::kb {
 
 struct ExtractorOptions {
@@ -28,12 +32,23 @@ struct ExtractorOptions {
 };
 
 /// Extract one record for a subscription; returns nullopt when the
-/// subscription has no VMs in the trace.
+/// subscription has no VMs in the trace. The AnalysisContext overload is
+/// the primary implementation; the trace spelling forwards to it
+/// (deprecated, kept so examples and external callers compile unchanged).
+std::optional<SubscriptionKnowledge> extract_subscription(
+    const AnalysisContext& ctx, SubscriptionId sub,
+    const ExtractorOptions& options = {});
 std::optional<SubscriptionKnowledge> extract_subscription(
     const TraceStore& trace, SubscriptionId sub,
     const ExtractorOptions& options = {});
 
 /// Extract records for every subscription with at least one VM.
+/// Subscriptions fan out over the context's ParallelConfig (one slot each,
+/// concatenated in subscription order), so the record list is bit-identical
+/// at any thread count. Records one "kb.extract" phase plus
+/// `kb.records_extracted` against the context's write-only metrics.
+std::vector<SubscriptionKnowledge> extract_all(
+    const AnalysisContext& ctx, const ExtractorOptions& options = {});
 std::vector<SubscriptionKnowledge> extract_all(
     const TraceStore& trace, const ExtractorOptions& options = {});
 

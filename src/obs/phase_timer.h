@@ -1,0 +1,80 @@
+// phase_timer: the one-liner that instruments a phase.
+//
+//   obs::PhaseTimer timer("analysis.classify_population",
+//                         obs::Histogram::kAnalysisPassSeconds,
+//                         obs::Counter::kAnalysisPasses,
+//                         &registry, &sink);
+//
+// On destruction it (a) bumps the phase counter, (b) records the phase's
+// wall time into the latency histogram, and (c) emits a trace span with
+// the phase name — each part independently gated on its backend's enabled
+// flag, so any combination of metrics-only / tracing-only / both / neither
+// works and costs nothing when everything is off (the clock is read only
+// when at least one backend is enabled).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace cloudlens::obs {
+
+class PhaseTimer {
+ public:
+  PhaseTimer(std::string_view name, Histogram histogram, Counter counter,
+             MetricsRegistry* metrics = nullptr, TraceSink* sink = nullptr)
+      : metrics_(metrics != nullptr ? metrics : &MetricsRegistry::global()),
+        sink_(sink != nullptr ? sink : &TraceSink::global()),
+        histogram_(histogram),
+        counter_(counter) {
+    const bool metrics_on = metrics_->enabled();
+    const bool trace_on = sink_->enabled();
+    if (!metrics_on && !trace_on) {
+      metrics_ = nullptr;
+      sink_ = nullptr;
+      return;
+    }
+    if (!metrics_on) metrics_ = nullptr;
+    if (!trace_on) sink_ = nullptr;
+    name_.assign(name);
+    start_ns_ = now_ns();
+  }
+
+  ~PhaseTimer() {
+    if (metrics_ == nullptr && sink_ == nullptr) return;
+    const std::uint64_t end = now_ns();
+    const std::uint64_t dur = end >= start_ns_ ? end - start_ns_ : 0;
+    if (metrics_ != nullptr) {
+      metrics_->add(counter_);
+      metrics_->observe_seconds(histogram_,
+                                static_cast<double>(dur) * 1e-9);
+    }
+    if (sink_ != nullptr) sink_->record(name_, "phase", start_ns_, dur);
+  }
+
+  PhaseTimer(PhaseTimer&& other) noexcept
+      : metrics_(other.metrics_),
+        sink_(other.sink_),
+        histogram_(other.histogram_),
+        counter_(other.counter_),
+        name_(std::move(other.name_)),
+        start_ns_(other.start_ns_) {
+    other.metrics_ = nullptr;
+    other.sink_ = nullptr;
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(PhaseTimer&&) = delete;
+
+ private:
+  MetricsRegistry* metrics_;  ///< null when metrics were off at start
+  TraceSink* sink_;           ///< null when tracing was off at start
+  Histogram histogram_;
+  Counter counter_;
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace cloudlens::obs

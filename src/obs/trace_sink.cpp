@@ -1,0 +1,138 @@
+#include "obs/trace_sink.h"
+
+#include <chrono>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace cloudlens::obs {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t process_epoch_ns() {
+  static const std::uint64_t epoch = steady_ns();
+  return epoch;
+}
+
+/// Microseconds with zero-padded nanosecond fraction ("12.005").
+void write_us(std::ostream& out, std::uint64_t ns) {
+  const std::uint64_t whole = ns / 1000;
+  const std::uint64_t frac = ns % 1000;
+  out << whole << '.' << static_cast<char>('0' + frac / 100)
+      << static_cast<char>('0' + (frac / 10) % 10)
+      << static_cast<char>('0' + frac % 10);
+}
+
+/// Minimal JSON string escaping (names are ASCII identifiers in practice).
+void write_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  // Capture the epoch before reading the clock: operand evaluation order
+  // is unspecified, and on the very first call the epoch-initializing read
+  // must happen-before the "now" read or the subtraction underflows.
+  const std::uint64_t epoch = process_epoch_ns();
+  return steady_ns() - epoch;
+}
+
+TraceSink& TraceSink::global() {
+  // Leaked on purpose: spans may end during static teardown.
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+void TraceSink::record(std::string_view name, std::string_view category,
+                       std::uint64_t start_ns, std::uint64_t duration_ns) {
+  if (!enabled()) return;
+  Event event;
+  event.name.assign(name);
+  event.category.assign(category);
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.tid = static_cast<std::uint32_t>(thread_index());
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceSink::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void TraceSink::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    out << (i ? ",\n" : "\n") << "  {\"name\": \"";
+    write_escaped(out, e.name);
+    out << "\", \"cat\": \"";
+    write_escaped(out, e.category);
+    // Chrome's ts/dur are microseconds; keep nanosecond precision via the
+    // fractional part.
+    out << "\", \"ph\": \"X\", \"ts\": ";
+    write_us(out, e.start_ns);
+    out << ", \"dur\": ";
+    write_us(out, e.duration_ns);
+    out << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+Span::Span(std::string_view name, TraceSink* sink, std::string_view category) {
+  TraceSink* target = sink != nullptr ? sink : &TraceSink::global();
+  if (!target->enabled()) return;  // sink_ stays null: destructor is a no-op
+  sink_ = target;
+  name_.assign(name);
+  category_.assign(category);
+  start_ns_ = now_ns();
+}
+
+Span::Span(Span&& other) noexcept
+    : sink_(other.sink_),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      start_ns_(other.start_ns_) {
+  other.sink_ = nullptr;
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  const std::uint64_t end = now_ns();
+  sink_->record(name_, category_, start_ns_,
+                end >= start_ns_ ? end - start_ns_ : 0);
+}
+
+double Span::seconds_elapsed() const {
+  if (sink_ == nullptr) return 0.0;
+  return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+}  // namespace cloudlens::obs

@@ -1,0 +1,98 @@
+// RAII trace spans emitting Chrome Trace Event / Perfetto-compatible JSON.
+//
+// A `Span` measures one region of code on one thread; when it ends it
+// records a complete event ("ph": "X") into a `TraceSink`. The sink's
+// `write_json` output loads directly into chrome://tracing or
+// https://ui.perfetto.dev, giving a per-thread flame view of a
+// characterization run: generation, simulation, panel build, and every
+// analysis pass, nested by call structure.
+//
+// Spans are coarse by design — one per phase or analysis pass, never one
+// per VM or per tick — so the sink can afford a mutex-guarded append (the
+// metrics hot path stays lock-free; see obs/metrics.h). A disabled sink
+// reduces Span construction/destruction to one relaxed load each.
+//
+// Determinism contract: like metrics, tracing is a write-only side
+// channel. Timestamps vary run to run, but span *structure* (which spans
+// exist, how they nest on a thread) is a pure function of the workload.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudlens::obs {
+
+/// Monotonic nanoseconds since the first obs clock read in this process.
+std::uint64_t now_ns();
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Process-wide default sink (starts disabled).
+  static TraceSink& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Record one completed span. `tid` defaults to obs::thread_index().
+  void record(std::string_view name, std::string_view category,
+              std::uint64_t start_ns, std::uint64_t duration_ns);
+
+  std::size_t event_count() const;
+  void reset();
+
+  /// Chrome Trace Event JSON: {"traceEvents": [...], "displayTimeUnit":
+  /// "ms"}. Each event carries name, cat, ph ("X"), ts/dur (microseconds),
+  /// pid, and tid. Events are written in recording order.
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    std::uint64_t start_ns = 0;
+    std::uint64_t duration_ns = 0;
+    std::uint32_t tid = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// RAII span over the enclosing scope. Copies its name only when the sink
+/// is enabled; a span against a disabled sink is two relaxed loads.
+class Span {
+ public:
+  explicit Span(std::string_view name, TraceSink* sink = nullptr,
+                std::string_view category = "cloudlens");
+  ~Span();
+
+  Span(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span& operator=(Span&&) = delete;
+
+  /// Seconds elapsed since construction; 0 when the sink was disabled at
+  /// construction time (no clock was read). PhaseTimer keeps its own clock
+  /// so histograms work with tracing off.
+  double seconds_elapsed() const;
+
+ private:
+  TraceSink* sink_ = nullptr;  ///< null once ended/moved-from or disabled
+  std::string name_;
+  std::string category_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace cloudlens::obs

@@ -3,8 +3,23 @@
 #include <sstream>
 
 #include "common/table.h"
+#include "obs/metrics.h"
 
 namespace cloudlens::policies {
+namespace {
+
+/// Decision counter for one recommendation kind (write-only side channel).
+obs::Counter counter_for(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kAdoptSpot: return obs::Counter::kPolicySpot;
+    case ActionKind::kOversubscribe: return obs::Counter::kPolicyOversub;
+    case ActionKind::kDeferToValley: return obs::Counter::kPolicyDeferral;
+    case ActionKind::kPreprovision: return obs::Counter::kPolicyPreprovision;
+    default: return obs::Counter::kPolicyRebalance;
+  }
+}
+
+}  // namespace
 
 std::string_view to_string(ActionKind kind) {
   switch (kind) {
@@ -82,6 +97,11 @@ AdvisorReport advise(const TraceStore& trace, const kb::KnowledgeBase& kb,
       report.recommendations.push_back(std::move(r));
     }
   }
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add(obs::Counter::kPolicyRecommendations,
+              report.recommendations.size());
+  for (const auto& r : report.recommendations) metrics.add(counter_for(r.action));
 
   // Platform-level evaluations backing the advisory.
   report.spot = evaluate_spot_adoption(trace, cloud);

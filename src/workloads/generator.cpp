@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/phase_timer.h"
 
 namespace cloudlens::workloads {
 namespace {
@@ -263,6 +265,12 @@ std::vector<DeploymentRequest> WorkloadGenerator::emit_region_churn(
 
 std::vector<DeploymentRequest> WorkloadGenerator::generate(
     const CloudProfile& profile, TraceStore& trace, SimTime horizon) {
+  // One "gen.generate" span + latency sample per call; owner/request
+  // counters are published at the end from local totals. Metrics are
+  // write-only: the RNG stream and the emitted requests are identical
+  // with metrics on or off.
+  obs::PhaseTimer phase("gen.generate", obs::Histogram::kGenSeconds,
+                        obs::Counter::kGenRuns);
   CL_CHECK(horizon > 0);
   profile.validate();
   std::vector<Owner> owners;
@@ -372,10 +380,19 @@ std::vector<DeploymentRequest> WorkloadGenerator::generate(
       parallel_);
 
   std::vector<DeploymentRequest> requests;
-  std::size_t total = 0;
-  for (const auto& part : standing) total += part.size();
-  for (const auto& part : churn) total += part.size();
+  std::size_t standing_total = 0;
+  std::size_t churn_total = 0;
+  for (const auto& part : standing) standing_total += part.size();
+  for (const auto& part : churn) churn_total += part.size();
+  const std::size_t total = standing_total + churn_total;
   requests.reserve(total);
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add(obs::Counter::kGenOwners, owners.size());
+  metrics.add(obs::Counter::kGenRequests, total);
+  metrics.add(obs::Counter::kGenStandingRequests, standing_total);
+  metrics.add(obs::Counter::kGenChurnRequests, churn_total);
+
   for (auto& part : standing)
     for (auto& req : part) requests.push_back(std::move(req));
   for (auto& part : churn)

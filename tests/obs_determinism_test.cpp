@@ -1,0 +1,606 @@
+// Observability determinism suite: the obs layer's two contracts, pinned.
+//
+//  1. *Write-only side channel.* Enabling metrics and/or tracing — at any
+//     thread count, for any seed — never changes a single output bit of
+//     generation or analysis (ObsDeterminismTest).
+//  2. *Exact accounting.* Counters are exact under concurrency, histogram
+//     snapshots are invariant to how samples were spread over threads, and
+//     the span JSON is well-formed Chrome Trace Event output with
+//     physically consistent nesting (ObsMetricsTest / ObsSpanTest).
+//
+// ObsContextTest covers the AnalysisContext API itself: legacy forwarding
+// overloads produce identical results, private registries isolate counts,
+// and — the historical ParallelConfig-routing bug — the characterization
+// report is byte-identical at 1 and 8 threads.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "analysis/classifier.h"
+#include "analysis/context.h"
+#include "analysis/report.h"
+#include "analysis/spatial.h"
+#include "analysis/temporal.h"
+#include "analysis/utilization.h"
+#include "cloudsim/trace_io.h"
+#include "kb/extractor.h"
+#include "obs/metrics.h"
+#include "obs/phase_timer.h"
+#include "obs/trace_sink.h"
+#include "workloads/generator.h"
+
+namespace cloudlens {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, numbers, bools/null) used
+// to *parse* — not merely grep — the emitted documents.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
+  }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& obj() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  const JsonArray& arr() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  double num() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses one value; sets ok=false on any syntax error or trailing junk.
+  JsonValue parse(bool& ok) {
+    ok = true;
+    JsonValue v = value(ok);
+    skip_ws();
+    if (pos_ != text_.size()) ok = false;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  JsonValue value(bool& ok) {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object(ok);
+      case '[':
+        return array(ok);
+      case '"':
+        return string(ok);
+      case 't':
+      case 'f':
+        return boolean(ok);
+      case 'n':
+        return null(ok);
+      default:
+        return number(ok);
+    }
+  }
+
+  JsonValue object(bool& ok) {
+    JsonValue out;
+    auto obj = std::make_shared<JsonObject>();
+    out.v = obj;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (ok) {
+      skip_ws();
+      if (peek() != '"') {
+        ok = false;
+        return out;
+      }
+      const JsonValue key = string(ok);
+      skip_ws();
+      if (peek() != ':') {
+        ok = false;
+        return out;
+      }
+      ++pos_;
+      (*obj)[key.str()] = value(ok);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return out;
+      }
+      ok = false;
+    }
+    return out;
+  }
+
+  JsonValue array(bool& ok) {
+    JsonValue out;
+    auto arr = std::make_shared<JsonArray>();
+    out.v = arr;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (ok) {
+      arr->push_back(value(ok));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return out;
+      }
+      ok = false;
+    }
+    return out;
+  }
+
+  JsonValue string(bool& ok) {
+    JsonValue out;
+    std::string s;
+    ++pos_;  // '"'
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+        switch (text_[pos_]) {
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          default: s += text_[pos_];
+        }
+      } else {
+        s += text_[pos_];
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      ok = false;
+      return out;
+    }
+    ++pos_;  // closing '"'
+    out.v = std::move(s);
+    return out;
+  }
+
+  JsonValue number(bool& ok) {
+    JsonValue out;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) {
+      ok = false;
+      return out;
+    }
+    out.v = std::stod(text_.substr(start, pos_ - start));
+    return out;
+  }
+
+  JsonValue boolean(bool& ok) {
+    JsonValue out;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out.v = true;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out.v = false;
+    } else {
+      ok = false;
+    }
+    return out;
+  }
+
+  JsonValue null(bool& ok) {
+    JsonValue out;
+    if (text_.compare(pos_, 4, "null") == 0)
+      pos_ += 4;
+    else
+      ok = false;
+    return out;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared fixtures.
+
+workloads::Scenario small_scenario(std::uint64_t seed,
+                                   std::size_t threads = 1) {
+  workloads::ScenarioOptions options;
+  options.seed = seed;
+  options.scale = 0.05;
+  options.parallel = ParallelConfig::with_threads(threads);
+  return workloads::make_scenario(options);
+}
+
+/// A value checksum over the analysis passes the obs layer instruments.
+double analysis_checksum(const AnalysisContext& ctx) {
+  double acc = 0;
+  for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
+    const auto shares = analysis::classify_population(ctx, cloud, 200);
+    acc += shares.diurnal + 2 * shares.stable + 3 * shares.irregular +
+           5 * shares.hourly_peak;
+  }
+  for (const double r :
+       analysis::node_vm_correlations(ctx, CloudType::kPrivate, 60))
+    acc += r;
+  const auto dist =
+      analysis::utilization_distribution(ctx, CloudType::kPublic, 150);
+  for (const double v : dist.weekly.p95) acc += v;
+  for (const double l : analysis::vm_lifetimes(ctx, CloudType::kPublic))
+    acc += l * 1e-7;
+  const auto records = kb::extract_all(ctx);
+  for (const auto& rec : records) acc += rec.mean_utilization;
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Write-only side channel: obs on/off x thread count x seed.
+
+TEST(ObsDeterminismTest, AnalysisBitIdenticalWithObsOnAndOff) {
+  for (const std::uint64_t seed : {11ull, 4242ull}) {
+    const auto scenario = small_scenario(seed);
+    const TraceStore& trace = *scenario.trace;
+
+    std::vector<double> checksums;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      for (const bool obs_on : {false, true}) {
+        obs::MetricsRegistry registry;
+        obs::TraceSink sink;
+        registry.set_enabled(obs_on);
+        sink.set_enabled(obs_on);
+        const AnalysisContext ctx(trace,
+                                  ParallelConfig::with_threads(threads),
+                                  &registry, &sink);
+        checksums.push_back(analysis_checksum(ctx));
+        if (obs_on) {
+          // Sanity: the instrumented run actually recorded something.
+          const auto snap = registry.snapshot();
+          EXPECT_GT(snap.counter("analysis.passes"), 0u) << "seed " << seed;
+          EXPECT_GT(sink.event_count(), 0u) << "seed " << seed;
+        }
+      }
+    }
+    for (std::size_t i = 1; i < checksums.size(); ++i) {
+      EXPECT_EQ(checksums[0], checksums[i])
+          << "seed " << seed << " combo " << i;
+    }
+  }
+}
+
+TEST(ObsDeterminismTest, GenerationBitIdenticalWithGlobalObsEnabled) {
+  auto render = [](const workloads::Scenario& s) {
+    std::ostringstream out;
+    export_vm_table(*s.trace, out);
+    return out.str();
+  };
+  const std::string baseline = render(small_scenario(99, 4));
+
+  auto& registry = obs::MetricsRegistry::global();
+  auto& sink = obs::TraceSink::global();
+  registry.set_enabled(true);
+  sink.set_enabled(true);
+  const std::string instrumented = render(small_scenario(99, 4));
+  registry.set_enabled(false);
+  sink.set_enabled(false);
+  registry.reset();
+  sink.reset();
+
+  EXPECT_EQ(baseline, instrumented);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Exact accounting.
+
+TEST(ObsMetricsTest, CountersExactUnderConcurrency) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        registry.add(obs::Counter::kSimEvents);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("sim.events"), kThreads * kPerThread);
+}
+
+TEST(ObsMetricsTest, HistogramSnapshotInvariantToThreadSpread) {
+  // The same multiset of samples, recorded serially vs spread over eight
+  // threads, must merge to the identical snapshot: integer bucket counts
+  // and an exact integer nanosecond sum commute.
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i)
+    samples.push_back(1e-6 * static_cast<double>((i * 37) % 50000));
+
+  obs::MetricsRegistry serial;
+  serial.set_enabled(true);
+  for (const double s : samples)
+    serial.observe_seconds(obs::Histogram::kAnalysisPassSeconds, s);
+
+  obs::MetricsRegistry threaded;
+  threaded.set_enabled(true);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&threaded, &samples, t] {
+      for (std::size_t i = t; i < samples.size(); i += kThreads)
+        threaded.observe_seconds(obs::Histogram::kAnalysisPassSeconds,
+                                 samples[i]);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto a = serial.snapshot();
+  const auto b = threaded.snapshot();
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (std::size_t h = 0; h < a.histograms.size(); ++h) {
+    EXPECT_EQ(a.histograms[h].count, b.histograms[h].count);
+    EXPECT_EQ(a.histograms[h].sum_ns, b.histograms[h].sum_ns);
+    EXPECT_EQ(a.histograms[h].buckets, b.histograms[h].buckets);
+  }
+}
+
+TEST(ObsMetricsTest, DisabledRegistryRecordsNothing) {
+  obs::MetricsRegistry registry;  // starts disabled
+  registry.add(obs::Counter::kSimEvents, 5);
+  registry.set(obs::Gauge::kPanelBytes, 123.0);
+  registry.observe_seconds(obs::Histogram::kSimRunSeconds, 0.25);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("sim.events"), 0u);
+  for (const auto& [name, value] : snap.gauges) EXPECT_EQ(value, 0.0);
+  for (const auto& h : snap.histograms) EXPECT_EQ(h.count, 0u);
+}
+
+TEST(ObsMetricsTest, JsonSnapshotParsesAndMatchesCounts) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.add(obs::Counter::kAllocAttempts, 7);
+  registry.set(obs::Gauge::kPanelVms, 42.0);
+  registry.observe_seconds(obs::Histogram::kPanelBuildSeconds, 0.001);
+  registry.observe_seconds(obs::Histogram::kPanelBuildSeconds, 0.002);
+
+  std::ostringstream out;
+  registry.write_json(out);
+  const std::string text = out.str();
+  bool ok = false;
+  const JsonValue doc = JsonParser(text).parse(ok);
+  ASSERT_TRUE(ok) << text;
+  ASSERT_TRUE(doc.is_object());
+  const auto& counters = doc.obj().at("counters");
+  ASSERT_TRUE(counters.is_object());
+  EXPECT_EQ(counters.obj().at("alloc.attempts").num(), 7.0);
+  EXPECT_EQ(doc.obj().at("gauges").obj().at("panel.vms").num(), 42.0);
+  const auto& hist =
+      doc.obj().at("histograms").obj().at("panel.build_seconds");
+  EXPECT_EQ(hist.obj().at("count").num(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Span JSON: Chrome Trace Event format + nesting.
+
+TEST(ObsSpanTest, JsonValidatesAgainstChromeTraceEventFormat) {
+  obs::TraceSink sink;
+  sink.set_enabled(true);
+  {
+    obs::Span outer("outer", &sink, "test");
+    {
+      obs::Span inner("inner", &sink, "test");
+      // Make durations comfortably nonzero relative to the 3-decimal
+      // microsecond rendering.
+      volatile double spin = 0;
+      for (int i = 0; i < 50000; ++i) spin = spin + 1.0;
+    }
+  }
+  std::thread([&sink] { obs::Span other("other-thread", &sink); }).join();
+  ASSERT_EQ(sink.event_count(), 3u);
+
+  std::ostringstream out;
+  sink.write_json(out);
+  bool ok = false;
+  const JsonValue doc = JsonParser(out.str()).parse(ok);
+  ASSERT_TRUE(ok) << out.str();
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.obj().count("traceEvents"));
+  const auto& events = doc.obj().at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.arr().size(), 3u);
+  for (const auto& ev : events.arr()) {
+    ASSERT_TRUE(ev.is_object());
+    const auto& e = ev.obj();
+    EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_TRUE(e.at("cat").is_string());
+    EXPECT_EQ(e.at("ph").str(), "X");  // complete events only
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_GE(e.at("dur").num(), 0.0);
+    EXPECT_EQ(e.at("pid").num(), 1.0);
+    EXPECT_TRUE(e.at("tid").is_number());
+  }
+}
+
+TEST(ObsSpanTest, SameThreadSpansNestPhysically) {
+  obs::TraceSink sink;
+  sink.set_enabled(true);
+  {
+    obs::Span outer("outer", &sink);
+    obs::Span inner("inner", &sink);
+    volatile double spin = 0;
+    for (int i = 0; i < 50000; ++i) spin = spin + 1.0;
+  }
+  std::ostringstream out;
+  sink.write_json(out);
+  bool ok = false;
+  const JsonValue doc = JsonParser(out.str()).parse(ok);
+  ASSERT_TRUE(ok);
+  const JsonObject *outer_ev = nullptr, *inner_ev = nullptr;
+  for (const auto& ev : doc.obj().at("traceEvents").arr()) {
+    if (ev.obj().at("name").str() == "outer") outer_ev = &ev.obj();
+    if (ev.obj().at("name").str() == "inner") inner_ev = &ev.obj();
+  }
+  ASSERT_NE(outer_ev, nullptr);
+  ASSERT_NE(inner_ev, nullptr);
+  EXPECT_EQ(outer_ev->at("tid").num(), inner_ev->at("tid").num());
+  // inner's interval lies within outer's (3-decimal rendering tolerance).
+  const double tol = 0.002;
+  EXPECT_GE(inner_ev->at("ts").num() + tol, outer_ev->at("ts").num());
+  EXPECT_LE(inner_ev->at("ts").num() + inner_ev->at("dur").num(),
+            outer_ev->at("ts").num() + outer_ev->at("dur").num() + tol);
+}
+
+TEST(ObsSpanTest, DisabledSinkCostsNothingAndRecordsNothing) {
+  obs::TraceSink sink;  // starts disabled
+  {
+    obs::Span span("never", &sink);
+    EXPECT_EQ(span.seconds_elapsed(), 0.0);  // no clock was read
+  }
+  EXPECT_EQ(sink.event_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 4. AnalysisContext API.
+
+TEST(ObsContextTest, ForwardingOverloadsProduceIdenticalResults) {
+  const auto scenario = small_scenario(7);
+  const TraceStore& trace = *scenario.trace;
+  const auto parallel = ParallelConfig::with_threads(4);
+  const AnalysisContext ctx(trace, parallel);
+
+  const auto a = analysis::classify_population(ctx, CloudType::kPublic, 150);
+  const auto b = analysis::classify_population(trace, CloudType::kPublic, 150,
+                                               {}, parallel);
+  EXPECT_EQ(a.diurnal, b.diurnal);
+  EXPECT_EQ(a.stable, b.stable);
+  EXPECT_EQ(a.irregular, b.irregular);
+  EXPECT_EQ(a.hourly_peak, b.hourly_peak);
+  EXPECT_EQ(a.classified, b.classified);
+
+  EXPECT_EQ(analysis::vm_lifetimes(ctx, CloudType::kPrivate),
+            analysis::vm_lifetimes(trace, CloudType::kPrivate));
+  EXPECT_EQ(analysis::node_vm_correlations(ctx, CloudType::kPrivate, 40),
+            analysis::node_vm_correlations(trace, CloudType::kPrivate, 40,
+                                           parallel));
+
+  const auto kb_ctx = kb::extract_all(ctx);
+  const auto kb_legacy = kb::extract_all(trace);
+  ASSERT_EQ(kb_ctx.size(), kb_legacy.size());
+  for (std::size_t i = 0; i < kb_ctx.size(); ++i) {
+    EXPECT_EQ(kb_ctx[i].subscription, kb_legacy[i].subscription);
+    EXPECT_EQ(kb_ctx[i].mean_utilization, kb_legacy[i].mean_utilization);
+    EXPECT_EQ(kb_ctx[i].p95_utilization, kb_legacy[i].p95_utilization);
+  }
+}
+
+TEST(ObsContextTest, PrivateRegistryIsolatesCounts) {
+  const auto scenario = small_scenario(3);
+  const TraceStore& trace = *scenario.trace;
+
+  obs::MetricsRegistry mine;
+  mine.set_enabled(true);
+  const AnalysisContext ctx(trace, {}, &mine);
+  analysis::classify_population(ctx, CloudType::kPublic, 100);
+
+  const auto snap = mine.snapshot();
+  EXPECT_GT(snap.counter("analysis.passes"), 0u);
+  EXPECT_GT(snap.counter("analysis.vms_classified"), 0u);
+  // The process-global registry (disabled by default) saw none of it.
+  const auto global_snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(global_snap.counter("analysis.vms_classified"), 0u);
+}
+
+TEST(ObsContextTest, PhaseTimerRecordsCounterHistogramAndSpan) {
+  const auto scenario = small_scenario(3);
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink;
+  registry.set_enabled(true);
+  sink.set_enabled(true);
+  const AnalysisContext ctx(*scenario.trace, {}, &registry, &sink);
+  { const auto phase = ctx.phase("test.phase"); }
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("analysis.passes"), 1u);
+  bool saw_histogram = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "analysis.pass_seconds") {
+      EXPECT_EQ(h.count, 1u);
+      saw_histogram = true;
+    }
+  }
+  EXPECT_TRUE(saw_histogram);
+  EXPECT_EQ(sink.event_count(), 1u);
+}
+
+// Satellite regression: before AnalysisContext, the report entry point had
+// no way to receive a ParallelConfig. Now it does — and the report bytes
+// must not depend on the thread count.
+TEST(ObsContextTest, ReportByteIdenticalAtOneAndEightThreads) {
+  const auto scenario = small_scenario(13);
+  const TraceStore& trace = *scenario.trace;
+
+  auto render = [&](std::size_t threads) {
+    std::ostringstream out;
+    analysis::ReportOptions options;
+    options.parallel = ParallelConfig::with_threads(threads);
+    analysis::write_characterization_report(trace, out, options);
+    return out.str();
+  };
+  const std::string serial = render(1);
+  const std::string parallel = render(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+
+  // The context spelling agrees byte-for-byte with the legacy spelling.
+  std::ostringstream via_ctx;
+  const AnalysisContext ctx(trace, ParallelConfig::with_threads(8));
+  analysis::write_characterization_report(ctx, via_ctx);
+  EXPECT_EQ(serial, via_ctx.str());
+}
+
+}  // namespace
+}  // namespace cloudlens

@@ -8,11 +8,15 @@
 #      lazy build. Run it whenever you touch them.
 #
 # Both flavours re-run the telemetry-panel suites explicitly (panel
-# lifecycle, sample()==at() contract, panel-vs-legacy bit identity), and
-# the Release flavour finishes with a perf smoke: a small-trace
-# bench_telemetry run that checks panel/legacy checksum identity and
-# emits BENCH_telemetry_smoke.json. (The full-size numbers recorded in
-# EXPERIMENTS.md come from `bench_telemetry --scale=0.1`.)
+# lifecycle, sample()==at() contract, panel-vs-legacy bit identity) and
+# the observability suites (metrics/span/context determinism — the TSan
+# pass polices the sharded registry and the span sink under concurrency).
+# The Release flavour finishes with two perf smokes: a small-trace
+# bench_telemetry run that checks panel/legacy checksum identity, and a
+# bench_obs run that fails if enabling metrics+tracing costs more than 3%
+# on the panel-mode analysis suite. (The full-size numbers recorded in
+# EXPERIMENTS.md come from `bench_telemetry --scale=0.1` and
+# `bench_obs --scale=0.1`.)
 #
 # Usage: tools/ci.sh [build-root]       (default: ./ci-build)
 # Environment: CTEST_PARALLEL_LEVEL (default 2), CLOUDLENS_CI_JOBS
@@ -39,6 +43,9 @@ run_flavour() {
     echo "== [$name] telemetry panel suites =="
     ctest --test-dir "$dir" --output-on-failure \
         -R 'TelemetryPanel|SampleContract|PearsonFused|PanelEquivalence'
+    echo "== [$name] observability suites =="
+    ctest --test-dir "$dir" --output-on-failure \
+        -R 'ObsDeterminism|ObsMetrics|ObsSpan|ObsContext'
 }
 
 run_flavour release -DCMAKE_BUILD_TYPE=Release -DCLOUDLENS_WERROR=ON
@@ -48,5 +55,10 @@ echo "== [release] telemetry perf smoke =="
 "$BUILD_ROOT/release/bench/bench_telemetry" \
     --scale=0.02 --passes=1 --min-speedup=1.0 \
     --out="$BUILD_ROOT/BENCH_telemetry_smoke.json"
+
+echo "== [release] observability overhead smoke =="
+"$BUILD_ROOT/release/bench/bench_obs" \
+    --scale=0.02 --passes=1 --reps=3 --max-overhead-pct=3.0 \
+    --out="$BUILD_ROOT/BENCH_obs_smoke.json"
 
 echo "ci: all flavours green"

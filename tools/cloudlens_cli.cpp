@@ -12,11 +12,18 @@
 //
 // Any directory holding CSVs in the documented schema — including
 // preprocessed external traces — can be analyzed the same way.
+//
+// Observability: every command honours `--metrics-out FILE.json` (counter /
+// gauge / histogram snapshot of the run plus an end-of-run summary table on
+// stdout) and `--trace-out FILE.json` (Chrome Trace Event spans, loadable
+// in chrome://tracing or ui.perfetto.dev). Both are write-only side
+// channels: enabling them never changes any output.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "analysis/context.h"
 #include "analysis/deployment.h"
 #include "analysis/insights.h"
 #include "analysis/report.h"
@@ -28,6 +35,8 @@
 #include "common/table.h"
 #include "kb/extractor.h"
 #include "kb/store.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "policies/advisor.h"
 #include "stats/ecdf.h"
 #include "workloads/fit.h"
@@ -41,6 +50,8 @@ struct CliArgs {
   std::string command;
   std::string dir;
   std::string report_path;
+  std::string metrics_out;
+  std::string trace_out;
   double scale = 0.3;
   std::uint64_t seed = 42;
   std::size_t util_vms = 1500;
@@ -64,8 +75,13 @@ int usage() {
                "  fit      --in DIR   (estimate generative profile parameters)\n"
                "  advise   --in DIR [--cloud private|public]\n"
                "common flags:\n"
-               "  --threads N   worker threads (0 = all cores, 1 = serial);\n"
-               "                output is bit-identical at any setting\n";
+               "  --threads N         worker threads (0 = all cores, 1 = serial);\n"
+               "                      output is bit-identical at any setting\n"
+               "  --metrics-out FILE  write a metrics JSON snapshot and print\n"
+               "                      an end-of-run summary table\n"
+               "  --trace-out FILE    write Chrome Trace Event spans (load in\n"
+               "                      chrome://tracing or ui.perfetto.dev)\n"
+               "flags also accept the --flag=VALUE spelling\n";
   return 2;
 }
 
@@ -73,8 +89,19 @@ bool parse(int argc, char** argv, CliArgs& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept both "--flag VALUE" and "--flag=VALUE".
+    std::string inline_value;
+    bool has_inline = false;
+    if (a.rfind("--", 0) == 0) {
+      if (const auto eq = a.find('='); eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (a == "--out" || a == "--in") {
@@ -101,6 +128,14 @@ bool parse(int argc, char** argv, CliArgs& args) {
       const char* v = next();
       if (!v) return false;
       args.report_path = v;
+    } else if (a == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.metrics_out = v;
+    } else if (a == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.trace_out = v;
     } else if (a == "--cloud") {
       const char* v = next();
       if (!v) return false;
@@ -149,7 +184,8 @@ int cmd_generate(const CliArgs& args) {
     std::cout << "extracting knowledge base..." << std::flush;
     kb::ExtractorOptions ex;
     ex.max_classified_vms = 4;
-    const kb::KnowledgeBase knowledge(kb::extract_all(trace, ex));
+    const AnalysisContext ctx(trace, args.parallel());
+    const kb::KnowledgeBase knowledge(kb::extract_all(ctx, ex));
     std::ofstream out(args.dir + "/kb.csv");
     out << knowledge.to_csv();
     std::cout << " " << knowledge.size() << " records\n";
@@ -173,21 +209,23 @@ int cmd_analyze(const CliArgs& args) {
   const TraceStore& trace = *imported.trace;
   std::cout << "loaded " << trace.vms().size() << " VMs over "
             << trace.topology().regions().size() << " regions\n\n";
+  const AnalysisContext ctx(trace, args.parallel());
   if (!args.report_path.empty()) {
     std::ofstream out(args.report_path);
     CL_CHECK_MSG(out.good(), "cannot write " << args.report_path);
-    analysis::write_characterization_report(trace, out);
+    analysis::write_characterization_report(ctx, out);
     std::cout << "markdown report written to " << args.report_path << "\n";
     return 0;
   }
-  const auto verdicts = analysis::evaluate_insights(trace);
+  const auto verdicts = analysis::evaluate_insights(ctx);
   std::cout << analysis::render_insights(verdicts);
   return 0;
 }
 
 int cmd_insights(const CliArgs& args) {
   const auto imported = load(args.dir);
-  const auto verdicts = analysis::evaluate_insights(*imported.trace);
+  const AnalysisContext ctx(*imported.trace, args.parallel());
+  const auto verdicts = analysis::evaluate_insights(ctx);
   std::cout << analysis::render_insights(verdicts);
   std::cout << "\noverall: "
             << (verdicts.all() ? "all four insights hold"
@@ -201,6 +239,7 @@ int cmd_insights(const CliArgs& args) {
 int cmd_figures(const CliArgs& args) {
   const auto imported = load(args.dir);
   const TraceStore& trace = *imported.trace;
+  const AnalysisContext ctx(trace, args.parallel());
   const SimTime snap = analysis::kDefaultSnapshot;
 
   auto open_out = [&](const std::string& name) {
@@ -224,25 +263,25 @@ int cmd_figures(const CliArgs& args) {
   // Fig. 1(a) + Fig. 3(a).
   write_two_cloud_cdf(
       "fig1a_vms_per_subscription.csv",
-      analysis::vms_per_subscription(trace, CloudType::kPrivate, snap),
-      analysis::vms_per_subscription(trace, CloudType::kPublic, snap),
+      analysis::vms_per_subscription(ctx, CloudType::kPrivate, snap),
+      analysis::vms_per_subscription(ctx, CloudType::kPublic, snap),
       "vms_per_subscription");
   write_two_cloud_cdf("fig3a_lifetimes.csv",
-                      analysis::vm_lifetimes(trace, CloudType::kPrivate),
-                      analysis::vm_lifetimes(trace, CloudType::kPublic),
+                      analysis::vm_lifetimes(ctx, CloudType::kPrivate),
+                      analysis::vm_lifetimes(ctx, CloudType::kPublic),
                       "lifetime_seconds");
 
   // Fig. 3(b,c): hourly series for region 0.
   {
     auto out = open_out("fig3bc_temporal.csv");
     const auto priv_count =
-        analysis::vm_count_per_hour(trace, CloudType::kPrivate, RegionId(0));
+        analysis::vm_count_per_hour(ctx, CloudType::kPrivate, RegionId(0));
     const auto pub_count =
-        analysis::vm_count_per_hour(trace, CloudType::kPublic, RegionId(0));
+        analysis::vm_count_per_hour(ctx, CloudType::kPublic, RegionId(0));
     const auto priv_new =
-        analysis::creations_per_hour(trace, CloudType::kPrivate, RegionId(0));
+        analysis::creations_per_hour(ctx, CloudType::kPrivate, RegionId(0));
     const auto pub_new =
-        analysis::creations_per_hour(trace, CloudType::kPublic, RegionId(0));
+        analysis::creations_per_hour(ctx, CloudType::kPublic, RegionId(0));
     out << "hour,private_count,public_count,private_created,public_created\n";
     for (std::size_t i = 0; i < priv_count.size(); ++i)
       out << i << ',' << priv_count[i] << ',' << pub_count[i] << ','
@@ -252,10 +291,10 @@ int cmd_figures(const CliArgs& args) {
   // Fig. 5(d).
   {
     auto out = open_out("fig5d_pattern_shares.csv");
-    const auto priv = analysis::classify_population(
-        trace, CloudType::kPrivate, 1000, {}, args.parallel());
-    const auto pub = analysis::classify_population(
-        trace, CloudType::kPublic, 1000, {}, args.parallel());
+    const auto priv =
+        analysis::classify_population(ctx, CloudType::kPrivate, 1000);
+    const auto pub =
+        analysis::classify_population(ctx, CloudType::kPublic, 1000);
     out << "pattern,private,public\n";
     out << "diurnal," << priv.diurnal << ',' << pub.diurnal << '\n';
     out << "stable," << priv.stable << ',' << pub.stable << '\n';
@@ -269,8 +308,7 @@ int cmd_figures(const CliArgs& args) {
     const std::string name = std::string("fig6_weekly_") +
                              std::string(to_string(cloud)) + ".csv";
     auto out = open_out(name);
-    const auto dist = analysis::utilization_distribution(trace, cloud, 800,
-                                                         args.parallel());
+    const auto dist = analysis::utilization_distribution(ctx, cloud, 800);
     out << "hour,p25,p50,p75,p95\n";
     for (std::size_t i = 0; i < dist.weekly.grid.count; ++i)
       out << i << ',' << dist.weekly.p25[i] << ',' << dist.weekly.p50[i]
@@ -280,10 +318,10 @@ int cmd_figures(const CliArgs& args) {
   // Fig. 7(a): correlation CDFs.
   {
     auto out = open_out("fig7a_node_correlation.csv");
-    const stats::Ecdf priv(analysis::node_vm_correlations(
-        trace, CloudType::kPrivate, 200, args.parallel()));
-    const stats::Ecdf pub(analysis::node_vm_correlations(
-        trace, CloudType::kPublic, 200, args.parallel()));
+    const stats::Ecdf priv(
+        analysis::node_vm_correlations(ctx, CloudType::kPrivate, 200));
+    const stats::Ecdf pub(
+        analysis::node_vm_correlations(ctx, CloudType::kPublic, 200));
     out << "correlation,private_cdf,public_cdf\n";
     for (double x = -1.0; x <= 1.0; x += 0.02)
       out << x << ',' << priv.at(x) << ',' << pub.at(x) << '\n';
@@ -360,7 +398,8 @@ int cmd_advise(const CliArgs& args) {
               << " records\n";
   } else {
     std::cout << "no kb.csv found; extracting from trace...\n";
-    knowledge = kb::KnowledgeBase(kb::extract_all(*imported.trace));
+    const AnalysisContext ctx(*imported.trace, args.parallel());
+    knowledge = kb::KnowledgeBase(kb::extract_all(ctx));
   }
   const auto clouds =
       args.cloud_given
@@ -373,21 +412,81 @@ int cmd_advise(const CliArgs& args) {
   return 0;
 }
 
+/// Flush the observability side channels requested on the command line:
+/// JSON snapshots to the given paths plus an end-of-run summary table on
+/// stdout (non-zero counters, then per-phase latency from the histograms).
+void write_obs_outputs(const CliArgs& args) {
+  if (!args.metrics_out.empty()) {
+    const auto snap = obs::MetricsRegistry::global().snapshot();
+    {
+      std::ofstream out(args.metrics_out);
+      if (!out) {
+        std::cerr << "cannot write " << args.metrics_out << "\n";
+      } else {
+        obs::MetricsRegistry::global().write_json(out);
+      }
+    }
+    std::cout << "\n--- run metrics (written to " << args.metrics_out
+              << ") ---\n";
+    TextTable counters({"counter", "count"});
+    for (const auto& [name, value] : snap.counters) {
+      if (value > 0) counters.row().add(std::string(name)).add(value);
+    }
+    if (counters.row_count() > 0) std::cout << counters;
+    TextTable phases({"phase", "count", "mean_ms", "total_ms"});
+    for (const auto& h : snap.histograms) {
+      if (h.count == 0) continue;
+      phases.row()
+          .add(std::string(h.name))
+          .add(h.count)
+          .add(h.mean_seconds() * 1e3, 2)
+          .add(h.sum_seconds() * 1e3, 2);
+    }
+    if (phases.row_count() > 0) std::cout << "\n" << phases;
+  }
+  if (!args.trace_out.empty()) {
+    std::ofstream out(args.trace_out);
+    if (!out) {
+      std::cerr << "cannot write " << args.trace_out << "\n";
+      return;
+    }
+    obs::TraceSink::global().write_json(out);
+    std::cout << "\ntrace spans written to " << args.trace_out << " ("
+              << obs::TraceSink::global().event_count()
+              << " events; load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+}
+
+int run_command(const CliArgs& args) {
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "analyze") return cmd_analyze(args);
+  if (args.command == "insights") return cmd_insights(args);
+  if (args.command == "figures") return cmd_figures(args);
+  if (args.command == "fit") return cmd_fit(args);
+  if (args.command == "advise") return cmd_advise(args);
+  return -1;  // unknown command
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args;
   if (!parse(argc, argv, args)) return usage();
+  // Observability is opt-in per run: the global registry and sink start
+  // disabled, and enabling them never changes command output.
+  if (!args.metrics_out.empty())
+    obs::MetricsRegistry::global().set_enabled(true);
+  if (!args.trace_out.empty()) obs::TraceSink::global().set_enabled(true);
+  int rc = 0;
   try {
-    if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "analyze") return cmd_analyze(args);
-    if (args.command == "insights") return cmd_insights(args);
-    if (args.command == "figures") return cmd_figures(args);
-    if (args.command == "fit") return cmd_fit(args);
-    if (args.command == "advise") return cmd_advise(args);
+    // Scoped so the top-level span completes before the sink is written.
+    const obs::Span span("cli." + args.command, nullptr, "cli");
+    rc = run_command(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return usage();
+  if (rc < 0) return usage();
+  write_obs_outputs(args);
+  return rc;
 }
