@@ -1,0 +1,95 @@
+#include "analysis/figures.h"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "analysis/classifier.h"
+#include "analysis/context.h"
+#include "analysis/spatial.h"
+#include "analysis/temporal.h"
+#include "analysis/utilization.h"
+#include "stats/ecdf.h"
+
+namespace cloudlens::analysis {
+
+void write_figure_csvs(const AnalysisContext& ctx, const FigureOpener& open,
+                       SimTime snapshot) {
+  auto write_two_cloud_cdf = [&](const std::string& name,
+                                 const std::vector<double>& priv,
+                                 const std::vector<double>& pub,
+                                 const char* x_name) {
+    std::ostream& out = open(name);
+    const stats::Ecdf priv_cdf(priv), pub_cdf(pub);
+    out << x_name << ",private_cdf,public_cdf\n";
+    const double hi = std::max(priv.empty() ? 1.0 : priv.back(),
+                               pub.empty() ? 1.0 : pub.back());
+    for (double x = 1.0; x <= hi; x *= 1.15)
+      out << x << ',' << priv_cdf.at(x) << ',' << pub_cdf.at(x) << '\n';
+  };
+
+  // Fig. 1(a) + Fig. 3(a).
+  write_two_cloud_cdf("fig1a_vms_per_subscription.csv",
+                      vms_per_subscription(ctx, CloudType::kPrivate, snapshot),
+                      vms_per_subscription(ctx, CloudType::kPublic, snapshot),
+                      "vms_per_subscription");
+  write_two_cloud_cdf("fig3a_lifetimes.csv",
+                      vm_lifetimes(ctx, CloudType::kPrivate),
+                      vm_lifetimes(ctx, CloudType::kPublic),
+                      "lifetime_seconds");
+
+  // Fig. 3(b,c): hourly series for region 0.
+  {
+    std::ostream& out = open("fig3bc_temporal.csv");
+    const auto priv_count =
+        vm_count_per_hour(ctx, CloudType::kPrivate, RegionId(0));
+    const auto pub_count =
+        vm_count_per_hour(ctx, CloudType::kPublic, RegionId(0));
+    const auto priv_new =
+        creations_per_hour(ctx, CloudType::kPrivate, RegionId(0));
+    const auto pub_new =
+        creations_per_hour(ctx, CloudType::kPublic, RegionId(0));
+    out << "hour,private_count,public_count,private_created,public_created\n";
+    for (std::size_t i = 0; i < priv_count.size(); ++i)
+      out << i << ',' << priv_count[i] << ',' << pub_count[i] << ','
+          << priv_new[i] << ',' << pub_new[i] << '\n';
+  }
+
+  // Fig. 5(d).
+  {
+    std::ostream& out = open("fig5d_pattern_shares.csv");
+    const auto priv = classify_population(ctx, CloudType::kPrivate, 1000);
+    const auto pub = classify_population(ctx, CloudType::kPublic, 1000);
+    out << "pattern,private,public\n";
+    out << "diurnal," << priv.diurnal << ',' << pub.diurnal << '\n';
+    out << "stable," << priv.stable << ',' << pub.stable << '\n';
+    out << "irregular," << priv.irregular << ',' << pub.irregular << '\n';
+    out << "hourly-peak," << priv.hourly_peak << ',' << pub.hourly_peak
+        << '\n';
+  }
+
+  // Fig. 6: weekly percentile bands per cloud.
+  for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
+    const std::string name = std::string("fig6_weekly_") +
+                             std::string(to_string(cloud)) + ".csv";
+    std::ostream& out = open(name);
+    const auto dist = utilization_distribution(ctx, cloud, 800);
+    out << "hour,p25,p50,p75,p95\n";
+    for (std::size_t i = 0; i < dist.weekly.grid.count; ++i)
+      out << i << ',' << dist.weekly.p25[i] << ',' << dist.weekly.p50[i]
+          << ',' << dist.weekly.p75[i] << ',' << dist.weekly.p95[i] << '\n';
+  }
+
+  // Fig. 7(a): correlation CDFs.
+  {
+    std::ostream& out = open("fig7a_node_correlation.csv");
+    const stats::Ecdf priv(
+        node_vm_correlations(ctx, CloudType::kPrivate, 200));
+    const stats::Ecdf pub(node_vm_correlations(ctx, CloudType::kPublic, 200));
+    out << "correlation,private_cdf,public_cdf\n";
+    for (double x = -1.0; x <= 1.0; x += 0.02)
+      out << x << ',' << priv.at(x) << ',' << pub.at(x) << '\n';
+  }
+}
+
+}  // namespace cloudlens::analysis

@@ -1,0 +1,33 @@
+// Figure-data emission: the raw series behind each paper figure as CSV.
+//
+// Extracted from the CLI so the figure bytes are a library product:
+// `cloudlens figures` streams them to files, while the pipeline
+// equivalence tests render them into memory and byte-compare across
+// thread counts and cache states (cold compute vs. snapshot reload must
+// be *identical*, not merely close).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "analysis/deployment.h"
+
+namespace cloudlens {
+class AnalysisContext;
+}
+
+namespace cloudlens::analysis {
+
+/// Supplies the output stream for one figure file. Figures are written
+/// strictly sequentially: the returned stream is fully written before the
+/// next call, so implementations may recycle a single stream object.
+using FigureOpener = std::function<std::ostream&(const std::string& name)>;
+
+/// Write every figure CSV (fig1a, fig3a, fig3bc, fig5d, fig6 per cloud,
+/// fig7a) through `open`. Deterministic: byte-identical at any thread
+/// count for the same trace.
+void write_figure_csvs(const AnalysisContext& ctx, const FigureOpener& open,
+                       SimTime snapshot = kDefaultSnapshot);
+
+}  // namespace cloudlens::analysis

@@ -1,0 +1,143 @@
+// Binary trace snapshots: the artifact cache's storage format.
+//
+// The CSV bridge (trace_io.h) is the interoperability path — readable,
+// diffable, loadable by external tools — but it is lossy (imported VMs
+// carry step-function SampledUtilization models, and the exporter caps the
+// utilization section) and slow to parse. Snapshots are the opposite
+// trade: a versioned binary columnar container that round-trips the whole
+// in-memory dataset *exactly* — topology, ownership, VM records, the
+// generator's parametric utilization models (by type tag + parameters +
+// seed, so at(t) is bit-identical for every t, not just stored ticks), and
+// optionally the materialized TelemetryPanel matrices — with doubles
+// stored as raw bit patterns, no text round-trip anywhere.
+//
+// Container layout (all integers little-endian, fixed width):
+//
+//   [u32 magic 'CLSN'] [u32 format version] [u32 section count] [u32 0]
+//   section table: per section [u32 id] [u32 0] [u64 offset] [u64 size]
+//   section payloads (order matches the table; offsets from byte 0)
+//
+// Sections (ids in SnapshotSection): GRID (the trace's telemetry grid),
+// TOPOLOGY, SERVICES, SUBSCRIPTIONS, MODELS (deduplicated utilization
+// model table), VMS (records referencing the model table by index), and
+// PANEL (row-major VM x tick matrix plus the hourly companion). A trace
+// snapshot carries all but PANEL by default; a panel snapshot carries only
+// GRID + PANEL. Readers reject bad magic, unknown versions, unknown
+// required sections, and any out-of-bounds section or truncated payload
+// with CheckError.
+//
+// Versioning: bump kSnapshotFormatVersion on *any* layout change. The
+// pipeline's artifact cache mixes the version into every content key, so a
+// format bump invalidates stale cache entries instead of misreading them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cloudsim/telemetry_panel.h"
+#include "cloudsim/trace.h"
+
+namespace cloudlens {
+
+/// Bump on any change to the container layout or section encodings.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// First four bytes of every snapshot file: "CLSN".
+inline constexpr std::uint32_t kSnapshotMagic = 0x4E534C43u;
+
+// --- model codec extension point ----------------------------------------
+//
+// cloudsim serializes the model types it owns (ConstantUtilization,
+// SampledUtilization) natively. The generator's parametric pattern models
+// live a layer up in workloads, which cloudsim must not depend on, so
+// callers that want those round-tripped exactly pass a codec
+// (workloads/pattern_snapshot.h provides one). Models neither native nor
+// handled by the codec degrade to a SampledUtilization over the trace's
+// telemetry grid — exact at every grid tick, step-interpolated elsewhere.
+
+/// Tags below this value are reserved for cloudsim's native models.
+inline constexpr std::uint8_t kFirstCustomModelTag = 16;
+
+class SnapshotModelCodec {
+ public:
+  virtual ~SnapshotModelCodec() = default;
+  /// Serialize `m` if this codec knows its exact type: append the payload
+  /// bytes to `out` (snapshot_codec helpers below) and return the model's
+  /// tag (>= kFirstCustomModelTag). Return 0 for unrecognized models.
+  virtual std::uint8_t encode(const UtilizationModel& m,
+                              std::string& out) const = 0;
+  /// Reconstruct a model from the payload encode() produced for `tag`;
+  /// nullptr for unknown tags (the load then fails with CheckError).
+  virtual std::shared_ptr<const UtilizationModel> decode(
+      std::uint8_t tag, std::string_view payload) const = 0;
+};
+
+/// Little-endian primitive append/read helpers shared by the snapshot
+/// writer and custom model codecs. Doubles travel as raw bit patterns
+/// (std::bit_cast), never through text.
+namespace snapshot_codec {
+void append_u8(std::string& out, std::uint8_t v);
+void append_u32(std::string& out, std::uint32_t v);
+void append_u64(std::string& out, std::uint64_t v);
+void append_i64(std::string& out, std::int64_t v);
+void append_f64(std::string& out, double v);
+void append_string(std::string& out, std::string_view s);
+
+/// Cursor over an immutable payload; every read bounds-checks and throws
+/// CheckError on truncation.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  /// Raw view of the next `n` bytes (advances the cursor).
+  std::string_view raw(std::size_t n);
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+}  // namespace snapshot_codec
+
+struct SnapshotWriteOptions {
+  /// Also write the PANEL section. Requires the panel to be enabled on the
+  /// trace; the write materializes it if it has not been built yet.
+  bool include_panel = false;
+  /// Codec for non-native utilization models (nullptr = sampled fallback).
+  const SnapshotModelCodec* model_codec = nullptr;
+};
+
+/// Serialize topology + trace (+ optionally the telemetry panel).
+void save_trace_snapshot(const Topology& topology, const TraceStore& trace,
+                         std::ostream& out,
+                         const SnapshotWriteOptions& options = {});
+
+struct LoadedSnapshot {
+  std::unique_ptr<Topology> topology;
+  std::unique_ptr<TraceStore> trace;
+  /// True when the snapshot carried a PANEL section and the trace adopted
+  /// it (no lazy rebuild needed).
+  bool panel_loaded = false;
+};
+
+/// Rebuild a topology + trace from a snapshot stream. Pass the codec that
+/// was used to save custom models. Throws CheckError on malformed input or
+/// a format-version mismatch.
+LoadedSnapshot load_trace_snapshot(std::istream& in,
+                                   const SnapshotModelCodec* codec = nullptr);
+
+/// Panel-only snapshot (same container; GRID + PANEL sections). Used by
+/// the pipeline to cache the materialized matrices separately from the
+/// trace artifact.
+void save_panel_snapshot(const TelemetryPanel& panel, std::ostream& out);
+std::unique_ptr<TelemetryPanel> load_panel_snapshot(std::istream& in);
+
+}  // namespace cloudlens

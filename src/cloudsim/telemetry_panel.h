@@ -53,6 +53,13 @@ class TelemetryPanel {
   TelemetryPanel(const TraceStore& trace, TimeGrid grid,
                  const ParallelConfig& parallel = {});
 
+  /// Deserialization constructor (snapshot load): adopt prebuilt matrices
+  /// instead of filling them. The hourly grid is derived from `grid`
+  /// exactly as the building constructor does; `data.size()` must equal
+  /// rows × grid.count and `hourly.size()` rows × hourly_grid().count.
+  TelemetryPanel(TimeGrid grid, std::size_t rows, std::vector<double> data,
+                 std::vector<double> hourly);
+
   const TimeGrid& grid() const { return grid_; }
   /// Grid of the hourly companion view; count == 0 when the base grid
   /// cannot be rolled into hours (step does not divide an hour).

@@ -103,6 +103,15 @@ const TelemetryPanel* TraceStore::telemetry_panel() const {
   return panel_.get();
 }
 
+bool TraceStore::adopt_telemetry_panel(std::unique_ptr<TelemetryPanel> panel) {
+  if (!panel_enabled_ || panel == nullptr) return false;
+  if (panel->grid() != grid_ || panel->vm_count() != vms_.size()) return false;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  panel_ = std::move(panel);
+  panel_valid_.store(true, std::memory_order_release);
+  return true;
+}
+
 void TraceStore::set_telemetry_panel_enabled(bool enabled) {
   panel_enabled_ = enabled;
   if (!enabled) {

@@ -56,6 +56,8 @@ class ConstantUtilization final : public UtilizationModel {
   explicit ConstantUtilization(double level) : level_(level) {}
   double at(SimTime) const override { return level_; }
   void sample(const TimeGrid& grid, std::span<double> out) const override;
+  /// The constant level (exposed so snapshots can round-trip the model).
+  double level() const { return level_; }
 
  private:
   double level_;
@@ -179,6 +181,13 @@ class TraceStore {
   void set_telemetry_parallel(const ParallelConfig& parallel) {
     panel_parallel_ = parallel;
   }
+
+  /// Install a prebuilt panel (snapshot load) instead of rebuilding it
+  /// lazily. The panel must cover every VM over `telemetry_grid()`; a
+  /// mismatched or disabled panel is rejected (returns false, store
+  /// unchanged). Mutation must be externally serialized against readers,
+  /// like every other mutator.
+  bool adopt_telemetry_panel(std::unique_ptr<TelemetryPanel> panel);
 
  private:
   void build_node_index() const;

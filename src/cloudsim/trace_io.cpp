@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <iostream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -9,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace cloudlens {
 namespace {
@@ -115,6 +117,11 @@ void export_utilization(const TraceStore& trace, std::ostream& out,
               [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
+  std::size_t eligible = 0;
+  for (const auto& groups : node_groups) {
+    for (const auto& [key, group] : groups) eligible += group.size();
+  }
+
   std::vector<VmId> selected;
   const std::size_t cap = options.max_vms_with_utilization;
   std::array<std::size_t, 2> cursor{0, 0};
@@ -128,6 +135,21 @@ void export_utilization(const TraceStore& trace, std::ostream& out,
       selected.insert(selected.end(), group.begin(), group.end());
       progressed = true;
     }
+  }
+
+  // The cap drops VMs from the export; that loss used to be silent, which
+  // made downstream "why does the imported trace disagree?" hunts long.
+  // Surface it: a counter for tooling, a stderr note for humans.
+  if (selected.size() < eligible) {
+    const std::size_t dropped = eligible - selected.size();
+    obs::MetricsRegistry::global().add(
+        obs::Counter::kTraceIoUtilizationVmsDropped, dropped);
+    std::cerr << "note: utilization export capped at " << selected.size()
+              << " of " << eligible
+              << " VMs with utilization models (" << dropped
+              << " dropped); raise --util-vms / "
+                 "TraceExportOptions.max_vms_with_utilization for full "
+                 "coverage\n";
   }
 
   for (const VmId id : selected) {

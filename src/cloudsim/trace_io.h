@@ -39,7 +39,12 @@ struct TraceExportOptions {
   /// Sampling step for utilization rows.
   SimDuration utilization_step = kTelemetryInterval;
   /// Cap on VMs that get utilization rows (0 = all). The vmtable always
-  /// contains every VM.
+  /// contains every VM. When the cap bites, the export is *lossy*: VMs
+  /// beyond it are dropped from utilization.csv entirely (whole node
+  /// groups at a time, alternating clouds, in a deterministic shuffled
+  /// order), so an import of the result carries no utilization model for
+  /// them. Each capped export counts the dropped VMs on the
+  /// `trace_io.utilization_vms_dropped` counter and prints a stderr note.
   std::size_t max_vms_with_utilization = 2000;
 };
 

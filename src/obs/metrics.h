@@ -88,6 +88,15 @@ namespace cloudlens::obs {
   /* kb extraction */                                          \
   X(kKbExtractions, "kb.extractions")                          \
   X(kKbRecords, "kb.records_extracted")                        \
+  /* pipeline: stage-graph runs + artifact cache */            \
+  X(kPipelineStageRuns, "pipeline.stage_runs")                 \
+  X(kPipelineCacheHits, "pipeline.cache_hits")                 \
+  X(kPipelineCacheMisses, "pipeline.cache_misses")             \
+  X(kPipelineCacheStores, "pipeline.cache_stores")             \
+  X(kPipelineCacheBytesWritten, "pipeline.cache_bytes_written") \
+  X(kPipelineCacheBytesRead, "pipeline.cache_bytes_read")      \
+  /* cloudsim/trace_io: CSV bridge */                          \
+  X(kTraceIoUtilizationVmsDropped, "trace_io.utilization_vms_dropped") \
   /* policies: advisor decisions */                            \
   X(kPolicyRecommendations, "policy.recommendations")          \
   X(kPolicySpot, "policy.spot_adoptions")                      \
@@ -110,7 +119,9 @@ namespace cloudlens::obs {
   X(kSimRunSeconds, "sim.run_seconds")                         \
   X(kGenSeconds, "gen.generate_seconds")                       \
   X(kKbExtractSeconds, "kb.extract_seconds")                   \
-  X(kReportSeconds, "analysis.report_seconds")
+  X(kReportSeconds, "analysis.report_seconds")                 \
+  X(kPipelineStageSeconds, "pipeline.stage_seconds")           \
+  X(kPipelineSnapshotIoSeconds, "pipeline.snapshot_io_seconds")
 
 enum class Counter : std::uint16_t {
 #define CLOUDLENS_OBS_ENUM(id, name) id,

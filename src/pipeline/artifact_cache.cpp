@@ -1,0 +1,84 @@
+#include "pipeline/artifact_cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <system_error>
+
+#include "common/check.h"
+
+namespace cloudlens::pipeline {
+
+namespace fs = std::filesystem;
+
+std::string ArtifactCache::path_for(const std::string& stage,
+                                    const std::string& key_hex) const {
+  CL_CHECK_MSG(enabled_, "path_for on a disabled cache");
+  return (fs::path(dir_) / (stage + "-" + key_hex + ".bin")).string();
+}
+
+std::uint64_t ArtifactCache::lookup_size(const std::string& stage,
+                                         const std::string& key_hex) const {
+  if (!enabled_) return 0;
+  std::error_code ec;
+  const auto size = fs::file_size(path_for(stage, key_hex), ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+std::uint64_t ArtifactCache::store(
+    const std::string& stage, const std::string& key_hex,
+    const std::function<void(std::ostream&)>& write) const {
+  if (!enabled_) return 0;
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    std::cerr << "warning: cannot create cache dir " << dir_ << ": "
+              << ec.message() << " (artifact not cached)\n";
+    return 0;
+  }
+
+  // Process- and call-unique temp name so concurrent cloudlens invocations
+  // sharing one cache directory never stream into the same file.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::string final_path = path_for(stage, key_hex);
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+
+  std::uint64_t bytes = 0;
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      std::cerr << "warning: cannot open " << tmp_path
+                << " for writing (artifact not cached)\n";
+      return 0;
+    }
+    write(out);
+    out.flush();
+    const bool ok = out.good();
+    const auto pos = out.tellp();
+    out.close();
+    if (!ok || pos < 0) {
+      std::cerr << "warning: write to " << tmp_path
+                << " failed (artifact not cached)\n";
+      fs::remove(tmp_path, ec);
+      return 0;
+    }
+    bytes = static_cast<std::uint64_t>(pos);
+  }
+
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::cerr << "warning: cannot publish cache artifact " << final_path
+              << ": " << ec.message() << "\n";
+    fs::remove(tmp_path, ec);
+    return 0;
+  }
+  return bytes;
+}
+
+}  // namespace cloudlens::pipeline

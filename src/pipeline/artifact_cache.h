@@ -1,0 +1,58 @@
+// On-disk content-addressed artifact store.
+//
+// One flat directory; each artifact lives at `<dir>/<stage>-<key>.bin`
+// where `key` is the 32-hex-digit content hash the pipeline derived for
+// the stage (see pipeline.h for what goes into a key). Because the name
+// *is* the identity, there is no index, no manifest, and no invalidation
+// protocol: a changed input hashes to a new name and the stale file is
+// simply never read again (`rm -rf` of the directory is always safe).
+//
+// Stores are atomic against concurrent readers and writers: the payload
+// streams into a process-unique `.tmp` sibling which is then renamed over
+// the final path (rename within a directory is atomic on POSIX), so a
+// reader never observes a half-written artifact. A failed store (disk
+// full, permissions) warns on stderr and leaves the cache untouched —
+// caching is an accelerator, never a correctness dependency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace cloudlens::pipeline {
+
+class ArtifactCache {
+ public:
+  /// Disabled cache: every lookup misses and every store is a no-op.
+  ArtifactCache() = default;
+
+  /// Cache rooted at `dir` (created on first store; empty dir = disabled).
+  explicit ArtifactCache(std::string dir, bool enabled = true)
+      : dir_(std::move(dir)), enabled_(enabled && !dir_.empty()) {}
+
+  bool enabled() const { return enabled_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Path the artifact for (stage, key) would occupy; the file may or may
+  /// not exist. Valid only on an enabled cache.
+  std::string path_for(const std::string& stage,
+                       const std::string& key_hex) const;
+
+  /// Size of the stored artifact, or 0 when absent (artifacts are never
+  /// empty — every snapshot carries at least a header).
+  std::uint64_t lookup_size(const std::string& stage,
+                            const std::string& key_hex) const;
+
+  /// Atomically publish an artifact: `write` streams the payload into a
+  /// temp file which is renamed into place. Returns the byte count, or 0
+  /// when the cache is disabled or the write failed (warned on stderr).
+  std::uint64_t store(const std::string& stage, const std::string& key_hex,
+                      const std::function<void(std::ostream&)>& write) const;
+
+ private:
+  std::string dir_;
+  bool enabled_ = false;
+};
+
+}  // namespace cloudlens::pipeline

@@ -1,0 +1,64 @@
+#include "pipeline/content_hash.h"
+
+#include <bit>
+
+namespace cloudlens::pipeline {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void append_hex_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHexDigits[(v >> shift) & 0xF]);
+  }
+}
+
+}  // namespace
+
+void ContentHash::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t l1 = lane1_;
+  std::uint64_t l2 = lane2_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t b = p[i];
+    l1 = (l1 ^ b) * kPrime;
+    l2 = (l2 ^ (b ^ 0xA5u)) * kPrime;
+  }
+  lane1_ = l1;
+  lane2_ = l2;
+}
+
+void ContentHash::u32(std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  bytes(b, sizeof b);
+}
+
+void ContentHash::u64(std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  bytes(b, sizeof b);
+}
+
+void ContentHash::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ContentHash::str(std::string_view s) {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+void ContentHash::grid(const TimeGrid& g) {
+  i64(g.start);
+  i64(g.step);
+  u64(g.count);
+}
+
+std::string ContentHash::hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex_u64(out, lane1_);
+  append_hex_u64(out, lane2_);
+  return out;
+}
+
+}  // namespace cloudlens::pipeline

@@ -1,0 +1,56 @@
+// Content hashing for the artifact cache's keys.
+//
+// A cache key must change whenever any byte of any keyed input changes and
+// must be identical across runs, platforms, and thread counts, so the hash
+// is a fixed streaming function over an explicit byte encoding — no
+// std::hash (unspecified), no pointer or container-order dependence.
+// Two independent 128-bit-total FNV-1a lanes (distinct offset bases, the
+// second lane whitening each byte) give a 32-hex-digit key whose
+// accidental-collision probability is negligible at cache scale; this is
+// an integrity/identity hash, not a cryptographic one.
+//
+// Callers feed *typed* values through the helpers below rather than raw
+// memory: strings are length-prefixed (so {"ab","c"} != {"a","bc"}),
+// doubles hash as IEEE bit patterns (so -0.0 != +0.0 and every NaN is
+// itself), and every field sequence should start with a version or tag
+// byte when its layout may evolve.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/sim_time.h"
+
+namespace cloudlens::pipeline {
+
+class ContentHash {
+ public:
+  /// Hash `n` raw bytes.
+  void bytes(const void* data, std::size_t n);
+
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern; bit-for-bit equality, not numeric equality.
+  void f64(double v);
+  /// Length-prefixed, so concatenations cannot collide.
+  void str(std::string_view s);
+  void grid(const TimeGrid& g);
+
+  /// 32 lowercase hex digits (both lanes, big-endian nibble order).
+  std::string hex() const;
+
+ private:
+  // FNV-1a 64-bit offset basis / prime, plus an arbitrary second basis.
+  static constexpr std::uint64_t kOffset1 = 0xCBF29CE484222325ull;
+  static constexpr std::uint64_t kOffset2 = 0x9AE16A3B2F90404Full;
+  static constexpr std::uint64_t kPrime = 0x100000001B3ull;
+
+  std::uint64_t lane1_ = kOffset1;
+  std::uint64_t lane2_ = kOffset2;
+};
+
+}  // namespace cloudlens::pipeline

@@ -1,0 +1,186 @@
+#include "pipeline/pipeline.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "cloudsim/snapshot.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "obs/phase_timer.h"
+
+namespace cloudlens::pipeline {
+
+std::shared_ptr<void> StageInputs::get_raw(const std::string& name) const {
+  const Stage& stage = runner_->stage_of(*stage_);
+  bool declared = false;
+  for (const std::string& input : stage.inputs) {
+    if (input == name) {
+      declared = true;
+      break;
+    }
+  }
+  CL_CHECK_MSG(declared, "stage reads an undeclared input");
+  return runner_->artifact_of(name);
+}
+
+const ParallelConfig& StageInputs::parallel() const {
+  return runner_->parallel_;
+}
+
+obs::MetricsRegistry& StageInputs::metrics() const {
+  return *runner_->metrics_;
+}
+
+obs::TraceSink& StageInputs::trace_sink() const { return *runner_->sink_; }
+
+const char* to_string(StageReport::Source source) {
+  switch (source) {
+    case StageReport::Source::kComputed:
+      return "computed";
+    case StageReport::Source::kCacheHit:
+      return "hit";
+    case StageReport::Source::kComputedAndStored:
+      return "miss+stored";
+  }
+  return "?";
+}
+
+PipelineRunner::PipelineRunner(ArtifactCache cache, ParallelConfig parallel,
+                               obs::MetricsRegistry* metrics,
+                               obs::TraceSink* sink)
+    : cache_(std::move(cache)),
+      parallel_(parallel),
+      metrics_(metrics != nullptr ? metrics : &obs::MetricsRegistry::global()),
+      sink_(sink != nullptr ? sink : &obs::TraceSink::global()) {}
+
+void PipelineRunner::add(Stage stage) {
+  CL_CHECK_MSG(!stage.name.empty(), "stage needs a name");
+  CL_CHECK_MSG(stage.compute != nullptr, "stage needs a compute function");
+  CL_CHECK_MSG((stage.save == nullptr) == (stage.load == nullptr),
+               "stage must define both save and load, or neither");
+  const std::string name = stage.name;
+  const bool inserted = stages_.emplace(name, std::move(stage)).second;
+  CL_CHECK_MSG(inserted, "duplicate stage name");
+}
+
+const Stage& PipelineRunner::stage_of(const std::string& name) const {
+  const auto it = stages_.find(name);
+  CL_CHECK_MSG(it != stages_.end(), "unknown pipeline stage");
+  return it->second;
+}
+
+std::shared_ptr<void> PipelineRunner::artifact_of(
+    const std::string& name) const {
+  const auto it = artifacts_.find(name);
+  CL_CHECK_MSG(it != artifacts_.end(), "input stage not resolved yet");
+  return it->second;
+}
+
+const std::string& PipelineRunner::key_hex(const std::string& name) {
+  const auto memo = keys_.find(name);
+  if (memo != keys_.end()) return memo->second;
+
+  const Stage& stage = stage_of(name);
+  ContentHash h;
+  h.u32(kPipelineKeyVersion);
+  h.u32(kSnapshotFormatVersion);
+  h.str(stage.name);
+  for (const std::string& input : stage.inputs) h.str(key_hex(input));
+  if (stage.key_extra) stage.key_extra(h);
+  return keys_.emplace(name, h.hex()).first->second;
+}
+
+std::shared_ptr<void> PipelineRunner::resolve(const std::string& name) {
+  const auto memo = artifacts_.find(name);
+  if (memo != artifacts_.end()) return memo->second;
+
+  CL_CHECK_MSG(!resolving_.contains(name), "stage dependency cycle");
+  resolving_.insert(name);
+  const Stage& stage = stage_of(name);
+  for (const std::string& input : stage.inputs) resolve(input);
+  resolving_.erase(name);
+
+  const bool cacheable =
+      cache_.enabled() && stage.save != nullptr && stage.load != nullptr;
+
+  StageReport report;
+  report.name = name;
+  if (cacheable) report.key_hex = key_hex(name);
+
+  const StageInputs inputs(*this, stage.name);
+  std::shared_ptr<void> artifact;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    obs::PhaseTimer phase("pipeline." + name,
+                          obs::Histogram::kPipelineStageSeconds,
+                          obs::Counter::kPipelineStageRuns, metrics_, sink_);
+
+    if (cacheable) {
+      const std::uint64_t size = cache_.lookup_size(name, report.key_hex);
+      if (size > 0) {
+        obs::PhaseTimer io("pipeline." + name + ".load",
+                           obs::Histogram::kPipelineSnapshotIoSeconds,
+                           obs::Counter::kPipelineCacheHits, metrics_, sink_);
+        std::ifstream in(cache_.path_for(name, report.key_hex),
+                         std::ios::binary);
+        CL_CHECK_MSG(in.good(), "cannot open cached artifact");
+        artifact = stage.load(inputs, in);
+        CL_CHECK_MSG(artifact != nullptr, "stage load returned null");
+        report.source = StageReport::Source::kCacheHit;
+        report.artifact_bytes = size;
+        metrics_->add(obs::Counter::kPipelineCacheBytesRead, size);
+      }
+    }
+
+    if (artifact == nullptr) {
+      if (cacheable) metrics_->add(obs::Counter::kPipelineCacheMisses);
+      artifact = stage.compute(inputs);
+      CL_CHECK_MSG(artifact != nullptr, "stage compute returned null");
+      report.source = StageReport::Source::kComputed;
+      if (cacheable) {
+        obs::PhaseTimer io("pipeline." + name + ".store",
+                           obs::Histogram::kPipelineSnapshotIoSeconds,
+                           obs::Counter::kPipelineCacheStores, metrics_,
+                           sink_);
+        const std::uint64_t bytes =
+            cache_.store(name, report.key_hex, [&](std::ostream& out) {
+              stage.save(artifact, inputs, out);
+            });
+        if (bytes > 0) {
+          report.source = StageReport::Source::kComputedAndStored;
+          report.artifact_bytes = bytes;
+          metrics_->add(obs::Counter::kPipelineCacheBytesWritten, bytes);
+        }
+      }
+    }
+  }
+  report.millis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  reports_.push_back(report);
+  artifacts_.emplace(name, artifact);
+  return artifact;
+}
+
+std::string render_stage_table(const std::vector<StageReport>& reports) {
+  TextTable table({"stage", "source", "ms", "key", "bytes"});
+  for (const StageReport& r : reports) {
+    table.row()
+        .add(r.name)
+        .add(to_string(r.source))
+        .add(r.millis, 1)
+        .add(r.key_hex.empty() ? std::string("-")
+                               : r.key_hex.substr(0, 12) + "..")
+        .add(r.artifact_bytes);
+  }
+  std::ostringstream out;
+  out << table;
+  return out.str();
+}
+
+}  // namespace cloudlens::pipeline

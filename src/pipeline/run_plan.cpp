@@ -1,0 +1,207 @@
+#include "pipeline/run_plan.h"
+
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+#include "analysis/context.h"
+#include "cloudsim/snapshot.h"
+#include "cloudsim/trace_io.h"
+#include "common/check.h"
+#include "workloads/pattern_snapshot.h"
+#include "workloads/profiles.h"
+
+namespace cloudlens::pipeline {
+namespace {
+
+/// The panel stage's artifact: a view into the trace stage's TraceStore
+/// (the panel lives inside it either way; this pins *that it is built*).
+struct PanelArtifact {
+  const TelemetryPanel* panel = nullptr;
+};
+
+/// Stream a file's bytes into the hash (length first, so consecutive
+/// files cannot collide by shifting bytes across the boundary). Absent
+/// files hash as a marker — "no utilization.csv" is a distinct identity.
+void hash_file(ContentHash& h, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    h.str("absent");
+    return;
+  }
+  h.str("present");
+  char buffer[1 << 16];
+  std::uint64_t total = 0;
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    h.bytes(buffer, static_cast<std::size_t>(n));
+    total += static_cast<std::uint64_t>(n);
+    if (in.eof()) break;
+  }
+  h.u64(total);
+}
+
+Stage make_trace_stage(const RunPlanOptions& options) {
+  Stage stage;
+  stage.name = "trace";
+
+  if (options.trace_dir.empty()) {
+    workloads::ScenarioOptions scenario = options.scenario;
+    scenario.parallel = options.parallel;
+    stage.key_extra = [scenario](ContentHash& h) {
+      h.str("generated");
+      h.u8(1);  // key layout version for this stage
+      std::string config;
+      scenario.private_profile.append_config_bytes(config);
+      scenario.public_profile.append_config_bytes(config);
+      h.str(config);
+      h.u64(scenario.seed);
+      h.f64(scenario.scale);
+      h.i64(scenario.horizon);
+    };
+    stage.compute = [scenario](const StageInputs&) {
+      auto result = workloads::make_scenario(scenario);
+      auto artifact = std::make_shared<TraceArtifact>();
+      artifact->topology = std::move(result.topology);
+      artifact->trace = std::move(result.trace);
+      return artifact;
+    };
+  } else {
+    const std::string dir = options.trace_dir;
+    const TimeGrid grid = options.csv_grid;
+    stage.key_extra = [dir, grid](ContentHash& h) {
+      h.str("csv");
+      h.u8(1);
+      for (const char* name :
+           {"topology.csv", "vmtable.csv", "utilization.csv"}) {
+        h.str(name);
+        hash_file(h, dir + "/" + name);
+      }
+      h.grid(grid);
+    };
+    stage.compute = [dir, grid](const StageInputs&) {
+      std::ifstream topo(dir + "/topology.csv");
+      std::ifstream vms(dir + "/vmtable.csv");
+      CL_CHECK_MSG(topo.good(), "missing " << dir << "/topology.csv");
+      CL_CHECK_MSG(vms.good(), "missing " << dir << "/vmtable.csv");
+      std::ifstream util(dir + "/utilization.csv");
+      ImportedTrace imported =
+          import_trace(topo, vms, util.good() ? &util : nullptr, grid);
+      auto artifact = std::make_shared<TraceArtifact>();
+      artifact->topology = std::move(imported.topology);
+      artifact->trace = std::move(imported.trace);
+      return artifact;
+    };
+  }
+
+  stage.save = [](const std::shared_ptr<void>& artifact,
+                  const StageInputs&, std::ostream& out) {
+    const auto& trace = *std::static_pointer_cast<TraceArtifact>(artifact);
+    SnapshotWriteOptions snapshot;
+    snapshot.include_panel = false;
+    snapshot.model_codec = &workloads::pattern_snapshot_codec();
+    save_trace_snapshot(*trace.topology, *trace.trace, out, snapshot);
+  };
+  stage.load = [parallel = options.parallel](const StageInputs&,
+                                             std::istream& in) {
+    LoadedSnapshot loaded =
+        load_trace_snapshot(in, &workloads::pattern_snapshot_codec());
+    auto artifact = std::make_shared<TraceArtifact>();
+    artifact->topology = std::move(loaded.topology);
+    artifact->trace = std::move(loaded.trace);
+    artifact->trace->set_telemetry_parallel(parallel);
+    return artifact;
+  };
+  return stage;
+}
+
+Stage make_panel_stage() {
+  Stage stage;
+  stage.name = "panel";
+  stage.inputs = {"trace"};
+  // No key_extra: the panel is a pure function of the trace and its grid,
+  // both already covered by the trace stage's key.
+  stage.compute = [](const StageInputs& inputs) {
+    const auto trace = inputs.get<TraceArtifact>("trace");
+    trace->trace->set_telemetry_parallel(inputs.parallel());
+    const TelemetryPanel* panel = trace->trace->telemetry_panel();
+    CL_CHECK_MSG(panel != nullptr,
+                 "panel stage requires the telemetry panel enabled");
+    return std::make_shared<PanelArtifact>(PanelArtifact{panel});
+  };
+  stage.save = [](const std::shared_ptr<void>& artifact, const StageInputs&,
+                  std::ostream& out) {
+    save_panel_snapshot(
+        *std::static_pointer_cast<PanelArtifact>(artifact)->panel, out);
+  };
+  stage.load = [](const StageInputs& inputs, std::istream& in) {
+    const auto trace = inputs.get<TraceArtifact>("trace");
+    std::unique_ptr<TelemetryPanel> panel = load_panel_snapshot(in);
+    CL_CHECK_MSG(trace->trace->adopt_telemetry_panel(std::move(panel)),
+                 "cached panel does not match the trace");
+    return std::make_shared<PanelArtifact>(
+        PanelArtifact{trace->trace->telemetry_panel()});
+  };
+  return stage;
+}
+
+Stage make_kb_stage(const RunPlanOptions& options) {
+  Stage stage;
+  stage.name = "kb";
+  stage.inputs = {"trace"};
+  const kb::ExtractorOptions ex = options.kb_options;
+  stage.key_extra = [ex](ContentHash& h) {
+    h.u8(1);  // key layout version for this stage
+    h.u64(ex.max_classified_vms);
+    h.u64(ex.max_vms_per_region);
+    h.i64(ex.short_lifetime_edge);
+    h.f64(ex.region_agnostic_correlation);
+    h.f64(ex.classifier.stable_stddev_max);
+    h.f64(ex.classifier.hourly_score_min);
+    h.f64(ex.classifier.diurnal_score_min);
+    h.f64(ex.spot_short_share_min);
+    h.u64(ex.spot_min_ended_vms);
+    h.f64(ex.oversub_p95_max);
+    h.f64(ex.deferral_peak_to_mean_min);
+  };
+  stage.compute = [ex](const StageInputs& inputs) {
+    const auto trace = inputs.get<TraceArtifact>("trace");
+    const AnalysisContext ctx(*trace->trace, inputs.parallel(),
+                              &inputs.metrics(), &inputs.trace_sink());
+    return std::make_shared<kb::KnowledgeBase>(kb::extract_all(ctx, ex));
+  };
+  stage.save = [](const std::shared_ptr<void>& artifact, const StageInputs&,
+                  std::ostream& out) {
+    out << std::static_pointer_cast<kb::KnowledgeBase>(artifact)->to_csv();
+  };
+  stage.load = [](const StageInputs&, std::istream& in) {
+    const std::string csv{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+    return std::make_shared<kb::KnowledgeBase>(
+        kb::KnowledgeBase::from_csv(csv));
+  };
+  return stage;
+}
+
+}  // namespace
+
+ResolvedRun run_trace_plan(const RunPlanOptions& options) {
+  PipelineRunner runner(
+      ArtifactCache(options.cache_dir, options.cache_enabled),
+      options.parallel, options.metrics, options.sink);
+  runner.add(make_trace_stage(options));
+  if (options.want_panel) runner.add(make_panel_stage());
+  if (options.want_kb) runner.add(make_kb_stage(options));
+
+  ResolvedRun run;
+  run.trace = runner.resolve_as<TraceArtifact>("trace");
+  if (options.want_panel) runner.resolve("panel");
+  if (options.want_kb) {
+    run.knowledge = runner.resolve_as<kb::KnowledgeBase>("kb");
+  }
+  run.reports = runner.reports();
+  return run;
+}
+
+}  // namespace cloudlens::pipeline

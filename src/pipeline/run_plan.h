@@ -1,0 +1,89 @@
+// The CLI's shared run plan: trace -> panel -> kb as pipeline stages.
+//
+// Every cloudlens command needs some prefix of the same three artifacts:
+//
+//   trace   Topology + TraceStore. Two source modes:
+//             generated — make_scenario(seed, scale, horizon, profiles);
+//               keyed by the profiles' canonical config bytes
+//               (CloudProfile::append_config_bytes) + seed + scale +
+//               horizon. Cached as a binary snapshot whose parametric
+//               models round-trip exactly, so a cache hit reproduces
+//               generation bit-for-bit.
+//             csv — import_trace from `<dir>/{topology,vmtable,
+//               utilization}.csv`; keyed by the raw bytes of those files
+//               (editing any row is a new key) + the telemetry grid.
+//   panel   The materialized TelemetryPanel for the trace (input: trace).
+//           Cached as a GRID+PANEL snapshot and adopted back into the
+//           TraceStore on a hit, so warm analysis commands skip the
+//           panel build entirely.
+//   kb      SubscriptionKnowledge records (input: trace), keyed by every
+//           ExtractorOptions field; cached as the kb CSV.
+//
+// Thread counts, metrics, and cache location are execution environment,
+// not identity: none of them reach any key (results are bit-identical at
+// any thread count, so a warm cache must hit across --threads values).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloudsim/topology.h"
+#include "cloudsim/trace.h"
+#include "common/parallel.h"
+#include "common/sim_time.h"
+#include "kb/extractor.h"
+#include "kb/store.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "pipeline/pipeline.h"
+#include "workloads/generator.h"
+
+namespace cloudlens::pipeline {
+
+struct RunPlanOptions {
+  /// CSV mode when non-empty: import from this directory. Otherwise
+  /// generated mode using `scenario`.
+  std::string trace_dir;
+  /// Generated-mode scenario (its `parallel` member is ignored in favour
+  /// of `parallel` below, which is also what keeps threads out of keys).
+  workloads::ScenarioOptions scenario;
+  /// CSV-mode telemetry grid (generated mode derives its own from the
+  /// scenario horizon).
+  TimeGrid csv_grid = week_telemetry_grid();
+
+  /// Resolve the panel stage (materialized telemetry matrices).
+  bool want_panel = true;
+  /// Resolve the kb stage.
+  bool want_kb = false;
+  kb::ExtractorOptions kb_options;
+
+  /// Artifact cache root; empty disables caching (as does enabled=false,
+  /// the CLI's --no-cache).
+  std::string cache_dir;
+  bool cache_enabled = true;
+
+  ParallelConfig parallel;
+  obs::MetricsRegistry* metrics = nullptr;  ///< null = process-global
+  obs::TraceSink* sink = nullptr;           ///< null = process-global
+};
+
+/// The trace stage's artifact. Mutable TraceStore so the panel stage can
+/// adopt cached matrices into it.
+struct TraceArtifact {
+  std::unique_ptr<Topology> topology;
+  std::unique_ptr<TraceStore> trace;
+};
+
+struct ResolvedRun {
+  std::shared_ptr<TraceArtifact> trace;
+  /// Non-null iff want_kb.
+  std::shared_ptr<const kb::KnowledgeBase> knowledge;
+  std::vector<StageReport> reports;
+};
+
+/// Build the stage graph for `options`, resolve the requested artifacts,
+/// and return them with the per-stage reports.
+ResolvedRun run_trace_plan(const RunPlanOptions& options);
+
+}  // namespace cloudlens::pipeline

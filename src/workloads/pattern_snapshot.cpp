@@ -1,0 +1,133 @@
+#include "workloads/pattern_snapshot.h"
+
+#include "common/check.h"
+#include "workloads/patterns.h"
+
+namespace cloudlens::workloads {
+namespace {
+
+using snapshot_codec::append_f64;
+using snapshot_codec::append_i64;
+using snapshot_codec::append_u64;
+using snapshot_codec::Reader;
+
+// Tags are part of the on-disk format; never renumber (bump the snapshot
+// format version instead if an encoding must change).
+constexpr std::uint8_t kTagDiurnal = kFirstCustomModelTag + 0;
+constexpr std::uint8_t kTagStable = kFirstCustomModelTag + 1;
+constexpr std::uint8_t kTagIrregular = kFirstCustomModelTag + 2;
+constexpr std::uint8_t kTagHourlyPeak = kFirstCustomModelTag + 3;
+
+class PatternSnapshotCodec final : public SnapshotModelCodec {
+ public:
+  std::uint8_t encode(const UtilizationModel& m,
+                      std::string& out) const override {
+    if (const auto* d = dynamic_cast<const DiurnalUtilization*>(&m)) {
+      const auto& p = d->params();
+      append_f64(out, p.base);
+      append_f64(out, p.weekday_peak);
+      append_f64(out, p.weekend_peak);
+      append_f64(out, p.peak_hour);
+      append_f64(out, p.width_hours);
+      append_f64(out, p.tz_offset_hours);
+      append_f64(out, p.noise_sigma);
+      append_u64(out, d->seed());
+      return kTagDiurnal;
+    }
+    if (const auto* s = dynamic_cast<const StableUtilization*>(&m)) {
+      const auto& p = s->params();
+      append_f64(out, p.level);
+      append_f64(out, p.noise_sigma);
+      append_f64(out, p.wander_sigma);
+      append_u64(out, s->seed());
+      return kTagStable;
+    }
+    if (const auto* i = dynamic_cast<const IrregularUtilization*>(&m)) {
+      const auto& p = i->params();
+      append_f64(out, p.base);
+      append_f64(out, p.spike_level);
+      append_f64(out, p.spike_prob);
+      append_i64(out, p.episode);
+      append_f64(out, p.noise_sigma);
+      append_u64(out, i->seed());
+      return kTagIrregular;
+    }
+    if (const auto* h = dynamic_cast<const HourlyPeakUtilization*>(&m)) {
+      const auto& p = h->params();
+      append_f64(out, p.base);
+      append_f64(out, p.peak);
+      append_f64(out, p.half_hour_peak_scale);
+      append_i64(out, p.peak_width);
+      append_f64(out, p.peak_hour);
+      append_f64(out, p.width_hours);
+      append_f64(out, p.tz_offset_hours);
+      append_f64(out, p.weekend_scale);
+      append_f64(out, p.noise_sigma);
+      append_u64(out, h->seed());
+      return kTagHourlyPeak;
+    }
+    return 0;
+  }
+
+  std::shared_ptr<const UtilizationModel> decode(
+      std::uint8_t tag, std::string_view payload) const override {
+    Reader r(payload);
+    switch (tag) {
+      case kTagDiurnal: {
+        DiurnalUtilization::Params p;
+        p.base = r.f64();
+        p.weekday_peak = r.f64();
+        p.weekend_peak = r.f64();
+        p.peak_hour = r.f64();
+        p.width_hours = r.f64();
+        p.tz_offset_hours = r.f64();
+        p.noise_sigma = r.f64();
+        const std::uint64_t seed = r.u64();
+        return std::make_shared<DiurnalUtilization>(p, seed);
+      }
+      case kTagStable: {
+        StableUtilization::Params p;
+        p.level = r.f64();
+        p.noise_sigma = r.f64();
+        p.wander_sigma = r.f64();
+        const std::uint64_t seed = r.u64();
+        return std::make_shared<StableUtilization>(p, seed);
+      }
+      case kTagIrregular: {
+        IrregularUtilization::Params p;
+        p.base = r.f64();
+        p.spike_level = r.f64();
+        p.spike_prob = r.f64();
+        p.episode = r.i64();
+        p.noise_sigma = r.f64();
+        const std::uint64_t seed = r.u64();
+        return std::make_shared<IrregularUtilization>(p, seed);
+      }
+      case kTagHourlyPeak: {
+        HourlyPeakUtilization::Params p;
+        p.base = r.f64();
+        p.peak = r.f64();
+        p.half_hour_peak_scale = r.f64();
+        p.peak_width = r.i64();
+        p.peak_hour = r.f64();
+        p.width_hours = r.f64();
+        p.tz_offset_hours = r.f64();
+        p.weekend_scale = r.f64();
+        p.noise_sigma = r.f64();
+        const std::uint64_t seed = r.u64();
+        return std::make_shared<HourlyPeakUtilization>(p, seed);
+      }
+      default:
+        return nullptr;
+    }
+  }
+};
+
+}  // namespace
+
+const SnapshotModelCodec& pattern_snapshot_codec() {
+  static const PatternSnapshotCodec codec;
+  return codec;
+}
+
+}  // namespace cloudlens::workloads

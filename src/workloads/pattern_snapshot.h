@@ -1,0 +1,21 @@
+// Snapshot codec for the generator's parametric utilization models.
+//
+// cloudsim/snapshot.h serializes the model types cloudsim owns; the four
+// pattern models (patterns.h) live here in workloads, one layer up, so
+// this codec plugs them into the snapshot format via the
+// SnapshotModelCodec extension point. Each model is stored as its exact
+// parameter struct plus its noise seed — a few dozen bytes — and
+// reconstructs to a model whose at(t) is bit-identical to the original for
+// *every* t, which is what makes snapshot-loaded traces produce
+// byte-identical reports and figures to fresh generation.
+#pragma once
+
+#include "cloudsim/snapshot.h"
+
+namespace cloudlens::workloads {
+
+/// The process-wide codec instance covering all four pattern families.
+/// Stateless and immutable; safe to share across threads.
+const SnapshotModelCodec& pattern_snapshot_codec();
+
+}  // namespace cloudlens::workloads

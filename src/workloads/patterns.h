@@ -67,6 +67,8 @@ class DiurnalUtilization final : public PatternModel {
   void sample(const TimeGrid& grid, std::span<double> out) const override;
   PatternType pattern() const override { return PatternType::kDiurnal; }
   const Params& params() const { return p_; }
+  /// Noise seed (exposed so snapshots can round-trip the model).
+  std::uint64_t seed() const { return seed_; }
 
  private:
   /// Shared per-tick combine used by both at() and sample(), so cached and
@@ -92,6 +94,8 @@ class StableUtilization final : public PatternModel {
   void sample(const TimeGrid& grid, std::span<double> out) const override;
   PatternType pattern() const override { return PatternType::kStable; }
   const Params& params() const { return p_; }
+  /// Noise seed (exposed so snapshots can round-trip the model).
+  std::uint64_t seed() const { return seed_; }
 
  private:
   double eval(SimTime t, double smooth) const;
@@ -119,6 +123,8 @@ class IrregularUtilization final : public PatternModel {
   void sample(const TimeGrid& grid, std::span<double> out) const override;
   PatternType pattern() const override { return PatternType::kIrregular; }
   const Params& params() const { return p_; }
+  /// Noise seed (exposed so snapshots can round-trip the model).
+  std::uint64_t seed() const { return seed_; }
 
  private:
   double eval(SimTime t, double level) const;
@@ -150,6 +156,8 @@ class HourlyPeakUtilization final : public PatternModel {
   void sample(const TimeGrid& grid, std::span<double> out) const override;
   PatternType pattern() const override { return PatternType::kHourlyPeak; }
   const Params& params() const { return p_; }
+  /// Noise seed (exposed so snapshots can round-trip the model).
+  std::uint64_t seed() const { return seed_; }
 
  private:
   double eval(SimTime t, double envelope, bool has_peak, double shape) const;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cloudsim/snapshot.h"
 #include "common/check.h"
 
 namespace cloudlens::workloads {
@@ -153,6 +154,74 @@ CloudProfile CloudProfile::azure_public() {
 
   p.standing_end_prob = 0.12;
   return p;
+}
+
+void CloudProfile::append_config_bytes(std::string& out) const {
+  using snapshot_codec::append_f64;
+  using snapshot_codec::append_i64;
+  using snapshot_codec::append_string;
+  using snapshot_codec::append_u32;
+  using snapshot_codec::append_u64;
+  using snapshot_codec::append_u8;
+
+  // Encoding version: bump whenever a field is added, removed, or
+  // reordered so old and new encodings can never collide.
+  append_u8(out, 1);
+
+  append_string(out, name);
+  append_u8(out, cloud == CloudType::kPrivate ? 0 : 1);
+
+  append_u64(out, catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const VmSku& sku = catalog.at(i);
+    append_string(out, sku.name);
+    append_f64(out, sku.cores);
+    append_f64(out, sku.memory_gb);
+  }
+  for (const double w : catalog.weights()) append_f64(out, w);
+
+  append_u32(out, static_cast<std::uint32_t>(first_party_services));
+  append_f64(out, subs_per_service_mean);
+  append_u32(out, static_cast<std::uint32_t>(third_party_subscriptions));
+
+  append_f64(out, deploy_size_mu);
+  append_f64(out, deploy_size_sigma);
+  append_u32(out, static_cast<std::uint32_t>(deploy_size_max));
+  append_f64(out, deploy_size_mu_decay_per_region);
+  append_u64(out, region_count_weights.size());
+  for (const double w : region_count_weights) append_f64(out, w);
+  append_f64(out, region_agnostic_prob);
+  append_f64(out, sku_mix_prob);
+
+  append_f64(out, pattern_mix.diurnal);
+  append_f64(out, pattern_mix.stable);
+  append_f64(out, pattern_mix.irregular);
+  append_f64(out, pattern_mix.hourly_peak);
+  append_f64(out, phase_jitter_hours);
+  append_f64(out, agnostic_anchor_tz);
+
+  append_u64(out, lifetime.bins().size());
+  for (const LifetimeModel::Bin& bin : lifetime.bins()) {
+    append_i64(out, bin.lo);
+    append_i64(out, bin.hi);
+    append_f64(out, bin.weight);
+  }
+
+  append_f64(out, diurnal_churn.base_per_hour);
+  append_f64(out, diurnal_churn.floor);
+  append_f64(out, diurnal_churn.peak_hour);
+  append_f64(out, diurnal_churn.width_hours);
+  append_f64(out, diurnal_churn.weekend_scale);
+  append_f64(out, diurnal_churn.tz_offset_hours);
+
+  append_f64(out, burst_churn.base_per_hour);
+  append_f64(out, burst_churn.bursts_per_week);
+  append_f64(out, burst_churn.burst_size_mean);
+  append_f64(out, burst_churn.burst_size_sigma);
+  append_i64(out, burst_churn.burst_window);
+
+  append_f64(out, standing_end_prob);
+  append_i64(out, standing_age_max);
 }
 
 }  // namespace cloudlens::workloads

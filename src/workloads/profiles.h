@@ -82,6 +82,15 @@ struct CloudProfile {
   /// Scale the population and churn by `factor` (for fast tests).
   CloudProfile scaled(double factor) const;
 
+  /// Append a canonical byte serialization of every generative parameter
+  /// (including the SKU catalog, lifetime bins, and churn processes) to
+  /// `out`. This is the profile's stable identity for the pipeline's
+  /// content-addressed artifact cache: two profiles serialize to the same
+  /// bytes iff every parameter matches, doubles compared as bit patterns.
+  /// Changing any parameter — or the layout of this encoding — must change
+  /// the bytes (the encoding starts with its own version byte).
+  void append_config_bytes(std::string& out) const;
+
   /// Throws CheckError when any parameter is out of its valid range
   /// (called by WorkloadGenerator before generation).
   void validate() const;

@@ -1,0 +1,152 @@
+// End-to-end equivalence pins for the cached pipeline: a snapshot-loaded
+// trace must reproduce fresh generation *byte-for-byte* — same
+// characterization report, same figure CSVs — at any thread count, and a
+// warm cache must actually skip the generate + panel work (observed via
+// the pipeline.* counters, not timing).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/context.h"
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "obs/metrics.h"
+#include "pipeline/run_plan.h"
+
+namespace cloudlens::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunOutput {
+  std::string report;
+  std::map<std::string, std::string> figures;
+  std::vector<StageReport> stages;
+};
+
+RunPlanOptions plan_options(const std::string& cache_dir, bool cache_enabled,
+                            std::size_t threads,
+                            obs::MetricsRegistry* metrics = nullptr) {
+  RunPlanOptions options;
+  options.scenario.scale = 0.03;
+  options.scenario.seed = 11;
+  options.cache_dir = cache_dir;
+  options.cache_enabled = cache_enabled;
+  options.parallel = ParallelConfig::with_threads(threads);
+  options.metrics = metrics;
+  return options;
+}
+
+/// Resolve the plan, then render the report and every figure CSV into
+/// memory so runs can be compared byte-for-byte.
+RunOutput run_and_render(const RunPlanOptions& options) {
+  RunOutput out;
+  const ResolvedRun run = run_trace_plan(options);
+  out.stages = run.reports;
+
+  const AnalysisContext ctx(*run.trace->trace, options.parallel);
+  std::ostringstream report;
+  analysis::write_characterization_report(ctx, report);
+  out.report = report.str();
+
+  std::map<std::string, std::ostringstream> streams;
+  analysis::write_figure_csvs(
+      ctx, [&](const std::string& name) -> std::ostream& {
+        return streams[name];
+      });
+  for (auto& [name, stream] : streams) out.figures[name] = stream.str();
+  return out;
+}
+
+StageReport::Source source_of(const RunOutput& out, const std::string& name) {
+  for (const auto& report : out.stages) {
+    if (report.name == name) return report.source;
+  }
+  ADD_FAILURE() << "no stage report for " << name;
+  return StageReport::Source::kComputed;
+}
+
+class PipelineEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::path(::testing::TempDir()) /
+            (std::string("cloudlens_equiv_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(PipelineEquivalenceTest, ReportAndFiguresBitIdenticalColdWarmThreads) {
+  // Uncached single-threaded run: the ground truth bytes.
+  const RunOutput fresh = run_and_render(plan_options("", false, 1));
+  ASSERT_FALSE(fresh.report.empty());
+  ASSERT_FALSE(fresh.figures.empty());
+  EXPECT_EQ(source_of(fresh, "trace"), StageReport::Source::kComputed);
+
+  // Cold cached run at 8 threads: computes + stores, same bytes.
+  const RunOutput cold = run_and_render(plan_options(dir_, true, 8));
+  EXPECT_EQ(source_of(cold, "trace"), StageReport::Source::kComputedAndStored);
+  EXPECT_EQ(source_of(cold, "panel"), StageReport::Source::kComputedAndStored);
+  EXPECT_EQ(cold.report, fresh.report);
+  EXPECT_EQ(cold.figures, fresh.figures);
+
+  // Warm run back at 1 thread: trace and panel come off disk, and the
+  // snapshot round trip must not move a single byte of any output.
+  const RunOutput warm = run_and_render(plan_options(dir_, true, 1));
+  EXPECT_EQ(source_of(warm, "trace"), StageReport::Source::kCacheHit);
+  EXPECT_EQ(source_of(warm, "panel"), StageReport::Source::kCacheHit);
+  EXPECT_EQ(warm.report, fresh.report);
+  EXPECT_EQ(warm.figures, fresh.figures);
+}
+
+TEST_F(PipelineEquivalenceTest, WarmCacheSkipsGenerateAndPanelWork) {
+  // pipeline.* counters go to the registry the plan was handed; the
+  // generator and the panel build record against the process-global
+  // registry (they have no context parameter), so watch both.
+  obs::MetricsRegistry metrics;
+  metrics.set_enabled(true);
+  auto& global = obs::MetricsRegistry::global();
+  global.reset();
+  global.set_enabled(true);
+
+  RunPlanOptions options = plan_options(dir_, true, 2, &metrics);
+  options.scenario.scale = 0.02;
+  run_trace_plan(options);
+  auto cold = metrics.snapshot();
+  EXPECT_EQ(cold.counter("pipeline.stage_runs"), 2u);
+  EXPECT_EQ(cold.counter("pipeline.cache_misses"), 2u);
+  EXPECT_EQ(cold.counter("pipeline.cache_stores"), 2u);
+  EXPECT_EQ(cold.counter("pipeline.cache_hits"), 0u);
+  EXPECT_GT(cold.counter("pipeline.cache_bytes_written"), 0u);
+  // The cold run actually generated (one run per cloud) and built the
+  // panel.
+  auto cold_global = global.snapshot();
+  EXPECT_EQ(cold_global.counter("gen.runs"), 2u);
+  EXPECT_EQ(cold_global.counter("panel.builds"), 1u);
+
+  metrics.reset();
+  global.reset();
+  run_trace_plan(options);
+  auto warm = metrics.snapshot();
+  EXPECT_EQ(warm.counter("pipeline.stage_runs"), 2u);
+  EXPECT_EQ(warm.counter("pipeline.cache_hits"), 2u);
+  EXPECT_EQ(warm.counter("pipeline.cache_misses"), 0u);
+  EXPECT_EQ(warm.counter("pipeline.cache_stores"), 0u);
+  EXPECT_GT(warm.counter("pipeline.cache_bytes_read"), 0u);
+  // Warm runs never regenerate the workload or rebuild the panel.
+  auto warm_global = global.snapshot();
+  EXPECT_EQ(warm_global.counter("gen.runs"), 0u);
+  EXPECT_EQ(warm_global.counter("panel.builds"), 0u);
+  global.set_enabled(false);
+}
+
+}  // namespace
+}  // namespace cloudlens::pipeline

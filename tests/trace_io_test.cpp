@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "testutil.h"
 #include "workloads/generator.h"
 
@@ -134,6 +136,133 @@ TEST_F(TraceIoTest, MalformedInputsRejected) {
     std::istringstream bad_vm("vm,subscription\n1,2\n");
     EXPECT_THROW(import_trace(topo_in, bad_vm, nullptr), CheckError);
   }
+}
+
+TEST_F(TraceIoTest, MetadataOnlyImportCarriesNoUtilizationModel) {
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, 0, kNoEnd,
+             std::make_shared<ConstantUtilization>(0.5));
+
+  std::ostringstream topo_out, vm_out;
+  export_topology(topo_, topo_out);
+  export_vm_table(fx_.trace, vm_out);
+  std::istringstream topo_in(topo_out.str()), vm_in(vm_out.str());
+  const auto imported = import_trace(topo_in, vm_in, nullptr);
+  ASSERT_EQ(imported.trace->vms().size(), 1u);
+  EXPECT_EQ(imported.trace->vms()[0].utilization, nullptr);
+}
+
+TEST_F(TraceIoTest, EmptyDeletedFieldRoundTripsAsAlive) {
+  const NodeId node = test::first_node(topo_, CloudType::kPrivate);
+  fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, kHour, kNoEnd);
+
+  std::ostringstream topo_out, vm_out;
+  export_topology(topo_, topo_out);
+  export_vm_table(fx_.trace, vm_out);
+  // The still-alive VM's `deleted` column is exported as the empty string
+  // (between `created` and `pattern`), not a sentinel number.
+  EXPECT_NE(vm_out.str().find(std::to_string(kHour) + ",,"),
+            std::string::npos);
+
+  std::istringstream topo_in(topo_out.str()), vm_in(vm_out.str());
+  const auto imported = import_trace(topo_in, vm_in, nullptr);
+  ASSERT_EQ(imported.trace->vms().size(), 1u);
+  const VmRecord& vm = imported.trace->vms()[0];
+  EXPECT_FALSE(vm.ended());
+  EXPECT_EQ(vm.deleted, kNoEnd);
+}
+
+TEST(TraceIoScenarioTest, VmTableExportImportExportIsByteStable) {
+  // One import normalizes the pattern column (generator labels become
+  // "sampled"/"unknown"); from then on export∘import must be a fixed
+  // point: re-importing an exported vmtable and exporting again cannot
+  // move a byte.
+  workloads::ScenarioOptions options;
+  options.scale = 0.03;
+  options.seed = 13;
+  const auto scenario = workloads::make_scenario(options);
+
+  std::ostringstream topo_out, vm_out0, util_out;
+  export_topology(*scenario.topology, topo_out);
+  export_vm_table(*scenario.trace, vm_out0);
+  TraceExportOptions ex;
+  ex.max_vms_with_utilization = 300;
+  export_utilization(*scenario.trace, util_out, ex);
+
+  std::istringstream topo_in1(topo_out.str()), vm_in1(vm_out0.str()),
+      util_in1(util_out.str());
+  const auto first = import_trace(topo_in1, vm_in1, &util_in1);
+  std::ostringstream vm_out1;
+  export_vm_table(*first.trace, vm_out1);
+
+  std::istringstream topo_in2(topo_out.str()), vm_in2(vm_out1.str());
+  const auto second = import_trace(topo_in2, vm_in2, nullptr);
+  std::ostringstream vm_out2;
+  export_vm_table(*second.trace, vm_out2);
+
+  // Pattern labels aside (restored VMs carry sampled models or none), the
+  // two imported generations must agree byte-for-byte except that the
+  // second import had no utilization CSV, which only affects `pattern`.
+  std::istringstream topo_in3(topo_out.str()), vm_in3(vm_out1.str()),
+      util_in3(util_out.str());
+  const auto third = import_trace(topo_in3, vm_in3, &util_in3);
+  std::ostringstream vm_out3;
+  export_vm_table(*third.trace, vm_out3);
+  EXPECT_EQ(vm_out1.str(), vm_out3.str());
+  EXPECT_EQ(vm_out1.str().size(), vm_out2.str().size());
+}
+
+TEST(TraceIoScenarioTest, CappedUtilizationExportCountsDroppedVms) {
+  workloads::ScenarioOptions options;
+  options.scale = 0.02;
+  options.seed = 3;
+  const auto scenario = workloads::make_scenario(options);
+  std::size_t eligible = 0;
+  for (const auto& vm : scenario.trace->vms())
+    if (vm.utilization != nullptr) ++eligible;
+  ASSERT_GT(eligible, 40u);
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.reset();
+  metrics.set_enabled(true);
+
+  TraceExportOptions ex;
+  ex.max_vms_with_utilization = 40;
+  std::ostringstream util_out;
+  ::testing::internal::CaptureStderr();
+  export_utilization(*scenario.trace, util_out, ex);
+  const std::string note = ::testing::internal::GetCapturedStderr();
+  metrics.set_enabled(false);
+
+  // Count the VMs that actually got rows.
+  std::set<std::string> exported;
+  std::istringstream lines(util_out.str());
+  std::string line;
+  std::getline(lines, line);  // header
+  while (std::getline(lines, line))
+    exported.insert(line.substr(0, line.find(',')));
+  ASSERT_FALSE(exported.empty());
+  ASSERT_LT(exported.size(), eligible);
+
+  // The silent-truncation fix: every dropped VM is counted and the export
+  // says so on stderr instead of quietly thinning the data.
+  EXPECT_EQ(metrics.snapshot().counter("trace_io.utilization_vms_dropped"),
+            eligible - exported.size());
+  EXPECT_NE(note.find("capped"), std::string::npos);
+  EXPECT_NE(note.find("--util-vms"), std::string::npos);
+
+  // An uncapped export stays silent and counts nothing.
+  metrics.reset();
+  metrics.set_enabled(true);
+  TraceExportOptions uncapped;
+  uncapped.max_vms_with_utilization = 0;
+  std::ostringstream all_out;
+  ::testing::internal::CaptureStderr();
+  export_utilization(*scenario.trace, all_out, uncapped);
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+  EXPECT_EQ(metrics.snapshot().counter("trace_io.utilization_vms_dropped"),
+            0u);
+  metrics.set_enabled(false);
 }
 
 TEST(TraceIoScenarioTest, GeneratedScenarioSurvivesRoundTrip) {

@@ -11,12 +11,18 @@
 # lifecycle, sample()==at() contract, panel-vs-legacy bit identity) and
 # the observability suites (metrics/span/context determinism — the TSan
 # pass polices the sharded registry and the span sink under concurrency).
-# The Release flavour finishes with two perf smokes: a small-trace
+# Both also re-run the snapshot + pipeline suites (binary snapshot round
+# trips, cache-key invariants, cold/warm equivalence) — the TSan pass
+# matters here because warm runs adopt cached panels into the same lazy
+# publication path the panel build uses.
+# The Release flavour finishes with three perf smokes: a small-trace
 # bench_telemetry run that checks panel/legacy checksum identity, and a
 # bench_obs run that fails if enabling metrics+tracing costs more than 3%
-# on the panel-mode analysis suite. (The full-size numbers recorded in
-# EXPERIMENTS.md come from `bench_telemetry --scale=0.1` and
-# `bench_obs --scale=0.1`.)
+# on the panel-mode analysis suite, and a bench_pipeline run that fails
+# unless a warm artifact cache reproduces the cold run byte-for-byte and
+# is faster. (The full-size numbers recorded in EXPERIMENTS.md come from
+# `bench_telemetry --scale=0.1`, `bench_obs --scale=0.1`, and
+# `bench_pipeline --scale=0.35`.)
 #
 # Usage: tools/ci.sh [build-root]       (default: ./ci-build)
 # Environment: CTEST_PARALLEL_LEVEL (default 2), CLOUDLENS_CI_JOBS
@@ -46,6 +52,9 @@ run_flavour() {
     echo "== [$name] observability suites =="
     ctest --test-dir "$dir" --output-on-failure \
         -R 'ObsDeterminism|ObsMetrics|ObsSpan|ObsContext'
+    echo "== [$name] snapshot + pipeline suites =="
+    ctest --test-dir "$dir" --output-on-failure \
+        -R 'Snapshot|ContentHash|ArtifactCache|PipelineRunner|RunPlan|PipelineEquivalence|StageTable|TraceIo'
 }
 
 run_flavour release -DCMAKE_BUILD_TYPE=Release -DCLOUDLENS_WERROR=ON
@@ -60,5 +69,11 @@ echo "== [release] observability overhead smoke =="
 "$BUILD_ROOT/release/bench/bench_obs" \
     --scale=0.02 --passes=1 --reps=3 --max-overhead-pct=3.0 \
     --out="$BUILD_ROOT/BENCH_obs_smoke.json"
+
+echo "== [release] pipeline cache smoke =="
+# Cold + warm run of the full stage graph against one cache: fails unless
+# the warm pass is all cache hits, faster, and checksum-identical. Leaves
+# BENCH_pipeline.json next to the other bench documents.
+( cd "$BUILD_ROOT" && "$BUILD_ROOT/release/bench/bench_pipeline" --scale=0.05 )
 
 echo "ci: all flavours green"

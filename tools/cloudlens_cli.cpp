@@ -13,6 +13,16 @@
 // Any directory holding CSVs in the documented schema — including
 // preprocessed external traces — can be analyzed the same way.
 //
+// Every command runs through the stage-graph pipeline (pipeline/run_plan.h):
+// the trace, telemetry panel, and knowledge-base prefixes are content-keyed
+// stages whose binary snapshots land in an artifact cache, so a warm rerun
+// loads them instead of regenerating/reimporting — bit-identically, at any
+// --threads setting. The analysis commands also run without --in, resolving
+// the generated scenario for (--scale, --seed) straight from the cache that
+// `generate` populated. `--cache-dir DIR` relocates the cache (default:
+// `<dir>/.cloudlens-cache`), `--no-cache` disables it, and each run prints
+// a per-stage hit/miss + timing table.
+//
 // Observability: every command honours `--metrics-out FILE.json` (counter /
 // gauge / histogram snapshot of the run plus an end-of-run summary table on
 // stdout) and `--trace-out FILE.json` (Chrome Trace Event spans, loadable
@@ -25,11 +35,9 @@
 
 #include "analysis/context.h"
 #include "analysis/deployment.h"
+#include "analysis/figures.h"
 #include "analysis/insights.h"
 #include "analysis/report.h"
-#include "analysis/spatial.h"
-#include "analysis/temporal.h"
-#include "analysis/utilization.h"
 #include "cloudsim/trace_io.h"
 #include "common/parallel.h"
 #include "common/table.h"
@@ -37,8 +45,8 @@
 #include "kb/store.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "pipeline/run_plan.h"
 #include "policies/advisor.h"
-#include "stats/ecdf.h"
 #include "workloads/fit.h"
 #include "workloads/generator.h"
 
@@ -49,9 +57,13 @@ namespace {
 struct CliArgs {
   std::string command;
   std::string dir;
+  bool in_given = false;  ///< dir came from --in (CSV source mode)
   std::string report_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string cache_dir;  ///< empty = default <dir>/.cloudlens-cache
+  bool no_cache = false;
+  bool help = false;
   double scale = 0.3;
   std::uint64_t seed = 42;
   std::size_t util_vms = 1500;
@@ -64,30 +76,109 @@ struct CliArgs {
   ParallelConfig parallel() const {
     return ParallelConfig::with_threads(threads);
   }
+
+  /// Artifact-cache root: --cache-dir wins, else hidden dir next to the
+  /// trace (or the working directory when no trace dir is involved).
+  std::string effective_cache_dir() const {
+    if (!cache_dir.empty()) return cache_dir;
+    if (!dir.empty()) return dir + "/.cloudlens-cache";
+    return ".cloudlens-cache";
+  }
 };
 
-int usage() {
-  std::cerr << "usage: cloudlens <generate|analyze|insights|figures|fit|advise>\n"
+constexpr const char* kCommonFlagHelp =
+    "  --threads N         worker threads (0 = all cores, 1 = serial);\n"
+    "                      output is bit-identical at any setting\n"
+    "  --cache-dir DIR     artifact cache location (default:\n"
+    "                      <dir>/.cloudlens-cache); safe to delete anytime\n"
+    "  --no-cache          neither read nor write the artifact cache\n"
+    "  --metrics-out FILE  write a metrics JSON snapshot and print\n"
+    "                      an end-of-run summary table\n"
+    "  --trace-out FILE    write Chrome Trace Event spans (load in\n"
+    "                      chrome://tracing or ui.perfetto.dev)\n"
+    "flags also accept the --flag=VALUE spelling\n";
+
+/// Prints the top-level usage text. Exit code 2 on the error paths
+/// (unknown command/flag, missing value); 0 when help was asked for.
+int usage(int rc = 2) {
+  (rc == 0 ? std::cout : std::cerr)
+      << "usage: cloudlens <generate|analyze|insights|figures|fit|advise>\n"
                "  generate --out DIR [--scale F] [--seed N] [--util-vms N]\n"
-               "  analyze  --in DIR [--report out.md]\n"
-               "  insights --in DIR\n"
-               "  figures  --in DIR   (writes fig*.csv next to the trace)\n"
-               "  fit      --in DIR   (estimate generative profile parameters)\n"
-               "  advise   --in DIR [--cloud private|public]\n"
-               "common flags:\n"
-               "  --threads N         worker threads (0 = all cores, 1 = serial);\n"
-               "                      output is bit-identical at any setting\n"
-               "  --metrics-out FILE  write a metrics JSON snapshot and print\n"
-               "                      an end-of-run summary table\n"
-               "  --trace-out FILE    write Chrome Trace Event spans (load in\n"
-               "                      chrome://tracing or ui.perfetto.dev)\n"
-               "flags also accept the --flag=VALUE spelling\n";
-  return 2;
+               "  analyze  [--in DIR] [--report out.md]\n"
+               "  insights [--in DIR]\n"
+               "  figures  --in DIR | --out DIR  (writes fig*.csv there)\n"
+               "  fit      [--in DIR]   (estimate generative parameters)\n"
+               "  advise   [--in DIR] [--cloud private|public]\n"
+               "analysis commands without --in resolve the generated\n"
+               "scenario for (--scale, --seed) through the artifact cache.\n"
+               "run `cloudlens <command> --help` for per-command flags.\n"
+            << kCommonFlagHelp;
+  return rc;
+}
+
+int command_help(const std::string& command) {
+  if (command == "generate") {
+    std::cout
+        << "usage: cloudlens generate --out DIR [flags]\n"
+           "synthesize a one-week dual-cloud trace; write topology.csv,\n"
+           "vmtable.csv, utilization.csv, kb.csv into DIR and populate the\n"
+           "artifact cache (trace + panel + kb stages) for later commands.\n"
+           "  --out DIR           output directory (required)\n"
+           "  --scale F           population scale (default 0.3)\n"
+           "  --seed N            generator seed (default 42)\n"
+           "  --util-vms N        cap on VMs with utilization.csv rows\n"
+           "                      (default 1500; 0 = all; excess VMs are\n"
+           "                      dropped with a stderr note)\n";
+  } else if (command == "analyze") {
+    std::cout
+        << "usage: cloudlens analyze [--in DIR] [flags]\n"
+           "print the full characterization (or write --report markdown).\n"
+           "  --in DIR            trace directory (omit to analyze the\n"
+           "                      generated scenario for --scale/--seed)\n"
+           "  --report FILE.md    write the markdown report instead\n"
+           "  --scale F --seed N  generated-mode scenario parameters\n";
+  } else if (command == "insights") {
+    std::cout
+        << "usage: cloudlens insights [--in DIR] [flags]\n"
+           "evaluate the paper's four insights; exit 0 iff all hold.\n"
+           "  --in DIR            trace directory (omit for generated mode)\n"
+           "  --scale F --seed N  generated-mode scenario parameters\n";
+  } else if (command == "figures") {
+    std::cout
+        << "usage: cloudlens figures --in DIR | --out DIR [flags]\n"
+           "write the data series behind each paper figure as fig*.csv.\n"
+           "  --in DIR            trace directory; figures land next to it\n"
+           "  --out DIR           generated mode: figure output directory\n"
+           "  --scale F --seed N  generated-mode scenario parameters\n";
+  } else if (command == "fit") {
+    std::cout
+        << "usage: cloudlens fit [--in DIR] [flags]\n"
+           "estimate generative CloudProfile parameters from the trace.\n"
+           "  --in DIR            trace directory (omit for generated mode)\n"
+           "  --scale F --seed N  generated-mode scenario parameters\n";
+  } else if (command == "advise") {
+    std::cout
+        << "usage: cloudlens advise [--in DIR] [--cloud private|public]\n"
+           "run the workload-aware advisor from the knowledge base\n"
+           "(DIR/kb.csv when present, else extracted via the kb stage).\n"
+           "  --in DIR            trace directory (omit for generated mode)\n"
+           "  --cloud C           advise one cloud only\n"
+           "  --scale F --seed N  generated-mode scenario parameters\n";
+  } else {
+    return usage();
+  }
+  std::cout << "common flags:\n" << kCommonFlagHelp;
+  return 0;
 }
 
 bool parse(int argc, char** argv, CliArgs& args) {
   if (argc < 2) return false;
   args.command = argv[1];
+  if (args.command == "--help" || args.command == "-h") {
+    args.help = true;
+    args.command.clear();
+    return true;
+  }
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     // Accept both "--flag VALUE" and "--flag=VALUE".
@@ -104,10 +195,13 @@ bool parse(int argc, char** argv, CliArgs& args) {
       if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (a == "--out" || a == "--in") {
+    if (a == "--help" || a == "-h") {
+      args.help = true;
+    } else if (a == "--out" || a == "--in") {
       const char* v = next();
       if (!v) return false;
       args.dir = v;
+      args.in_given = (a == "--in");
     } else if (a == "--scale") {
       const char* v = next();
       if (!v) return false;
@@ -136,6 +230,12 @@ bool parse(int argc, char** argv, CliArgs& args) {
       const char* v = next();
       if (!v) return false;
       args.trace_out = v;
+    } else if (a == "--cache-dir") {
+      const char* v = next();
+      if (!v) return false;
+      args.cache_dir = v;
+    } else if (a == "--no-cache") {
+      args.no_cache = true;
     } else if (a == "--cloud") {
       const char* v = next();
       if (!v) return false;
@@ -147,18 +247,55 @@ bool parse(int argc, char** argv, CliArgs& args) {
       return false;
     }
   }
-  return !args.dir.empty();
+  return true;
+}
+
+/// Shared run-plan scaffolding: CSV mode when --in was given, generated
+/// mode (same scenario parameters as `generate`) otherwise.
+pipeline::RunPlanOptions make_plan(const CliArgs& args) {
+  pipeline::RunPlanOptions plan;
+  if (args.in_given) {
+    plan.trace_dir = args.dir;
+  } else {
+    plan.scenario.scale = args.scale;
+    plan.scenario.seed = args.seed;
+  }
+  plan.parallel = args.parallel();
+  plan.cache_dir = args.effective_cache_dir();
+  plan.cache_enabled = !args.no_cache;
+  return plan;
+}
+
+void print_stage_reports(const pipeline::ResolvedRun& run) {
+  std::cout << "pipeline stages (cache: "
+            << "hit = loaded, miss+stored = computed and cached):\n"
+            << pipeline::render_stage_table(run.reports) << "\n";
+}
+
+pipeline::ResolvedRun resolve_and_report(const pipeline::RunPlanOptions& plan,
+                                         const CliArgs& args) {
+  if (plan.trace_dir.empty()) {
+    std::cout << "resolving generated scenario (scale=" << args.scale
+              << ", seed=" << args.seed << ")...\n";
+  }
+  auto run = pipeline::run_trace_plan(plan);
+  print_stage_reports(run);
+  return run;
 }
 
 int cmd_generate(const CliArgs& args) {
-  workloads::ScenarioOptions options;
-  options.scale = args.scale;
-  options.seed = args.seed;
-  options.parallel = args.parallel();
+  if (args.dir.empty()) {
+    std::cerr << "generate requires --out DIR\n";
+    return 2;
+  }
+  pipeline::RunPlanOptions plan = make_plan(args);
+  plan.trace_dir.clear();  // generate is always generated-mode
+  plan.want_kb = true;
+  plan.kb_options.max_classified_vms = 4;
   std::cout << "generating scenario (scale=" << args.scale
             << ", seed=" << args.seed << ")...\n";
-  const auto scenario = workloads::make_scenario(options);
-  const TraceStore& trace = *scenario.trace;
+  auto run = pipeline::run_trace_plan(plan);
+  const TraceStore& trace = *run.trace->trace;
   std::cout << "  " << trace.vms().size() << " VMs, "
             << trace.subscriptions().size() << " subscriptions\n";
 
@@ -168,7 +305,7 @@ int cmd_generate(const CliArgs& args) {
       std::cerr << "cannot write to " << args.dir << "\n";
       return 1;
     }
-    export_topology(*scenario.topology, out);
+    export_topology(*run.trace->topology, out);
   }
   {
     std::ofstream out(args.dir + "/vmtable.csv");
@@ -181,32 +318,19 @@ int cmd_generate(const CliArgs& args) {
     export_utilization(trace, out, ex);
   }
   {
-    std::cout << "extracting knowledge base..." << std::flush;
-    kb::ExtractorOptions ex;
-    ex.max_classified_vms = 4;
-    const AnalysisContext ctx(trace, args.parallel());
-    const kb::KnowledgeBase knowledge(kb::extract_all(ctx, ex));
     std::ofstream out(args.dir + "/kb.csv");
-    out << knowledge.to_csv();
-    std::cout << " " << knowledge.size() << " records\n";
+    out << run.knowledge->to_csv();
+    std::cout << "  " << run.knowledge->size() << " knowledge records\n";
   }
   std::cout << "wrote topology.csv, vmtable.csv, utilization.csv, kb.csv to "
             << args.dir << "\n";
+  print_stage_reports(run);
   return 0;
 }
 
-ImportedTrace load(const std::string& dir) {
-  std::ifstream topo(dir + "/topology.csv");
-  std::ifstream vms(dir + "/vmtable.csv");
-  CL_CHECK_MSG(topo.good(), "missing " << dir << "/topology.csv");
-  CL_CHECK_MSG(vms.good(), "missing " << dir << "/vmtable.csv");
-  std::ifstream util(dir + "/utilization.csv");
-  return import_trace(topo, vms, util.good() ? &util : nullptr);
-}
-
 int cmd_analyze(const CliArgs& args) {
-  const auto imported = load(args.dir);
-  const TraceStore& trace = *imported.trace;
+  const auto run = resolve_and_report(make_plan(args), args);
+  const TraceStore& trace = *run.trace->trace;
   std::cout << "loaded " << trace.vms().size() << " VMs over "
             << trace.topology().regions().size() << " regions\n\n";
   const AnalysisContext ctx(trace, args.parallel());
@@ -223,8 +347,8 @@ int cmd_analyze(const CliArgs& args) {
 }
 
 int cmd_insights(const CliArgs& args) {
-  const auto imported = load(args.dir);
-  const AnalysisContext ctx(*imported.trace, args.parallel());
+  const auto run = resolve_and_report(make_plan(args), args);
+  const AnalysisContext ctx(*run.trace->trace, args.parallel());
   const auto verdicts = analysis::evaluate_insights(ctx);
   std::cout << analysis::render_insights(verdicts);
   std::cout << "\noverall: "
@@ -235,109 +359,36 @@ int cmd_insights(const CliArgs& args) {
 }
 
 /// Write the raw data series behind each paper figure as CSVs, ready for
-/// external plotting.
+/// external plotting (the series themselves come from analysis/figures.h).
 int cmd_figures(const CliArgs& args) {
-  const auto imported = load(args.dir);
-  const TraceStore& trace = *imported.trace;
-  const AnalysisContext ctx(trace, args.parallel());
-  const SimTime snap = analysis::kDefaultSnapshot;
+  if (args.dir.empty()) {
+    std::cerr << "figures requires --in DIR (CSV mode) or --out DIR "
+                 "(generated mode)\n";
+    return 2;
+  }
+  const auto run = resolve_and_report(make_plan(args), args);
+  const AnalysisContext ctx(*run.trace->trace, args.parallel());
 
-  auto open_out = [&](const std::string& name) {
-    std::ofstream out(args.dir + "/" + name);
-    CL_CHECK_MSG(out.good(), "cannot write " << args.dir << "/" << name);
-    return out;
+  std::ofstream fig_out;
+  const auto open = [&](const std::string& name) -> std::ostream& {
+    if (fig_out.is_open()) fig_out.close();
+    fig_out.clear();
+    fig_out.open(args.dir + "/" + name);
+    CL_CHECK_MSG(fig_out.good(), "cannot write " << args.dir << "/" << name);
+    return fig_out;
   };
-  auto write_two_cloud_cdf = [&](const std::string& name,
-                                 const std::vector<double>& priv,
-                                 const std::vector<double>& pub,
-                                 const char* x_name) {
-    auto out = open_out(name);
-    const stats::Ecdf priv_cdf(priv), pub_cdf(pub);
-    out << x_name << ",private_cdf,public_cdf\n";
-    const double hi = std::max(priv.empty() ? 1.0 : priv.back(),
-                               pub.empty() ? 1.0 : pub.back());
-    for (double x = 1.0; x <= hi; x *= 1.15)
-      out << x << ',' << priv_cdf.at(x) << ',' << pub_cdf.at(x) << '\n';
-  };
-
-  // Fig. 1(a) + Fig. 3(a).
-  write_two_cloud_cdf(
-      "fig1a_vms_per_subscription.csv",
-      analysis::vms_per_subscription(ctx, CloudType::kPrivate, snap),
-      analysis::vms_per_subscription(ctx, CloudType::kPublic, snap),
-      "vms_per_subscription");
-  write_two_cloud_cdf("fig3a_lifetimes.csv",
-                      analysis::vm_lifetimes(ctx, CloudType::kPrivate),
-                      analysis::vm_lifetimes(ctx, CloudType::kPublic),
-                      "lifetime_seconds");
-
-  // Fig. 3(b,c): hourly series for region 0.
-  {
-    auto out = open_out("fig3bc_temporal.csv");
-    const auto priv_count =
-        analysis::vm_count_per_hour(ctx, CloudType::kPrivate, RegionId(0));
-    const auto pub_count =
-        analysis::vm_count_per_hour(ctx, CloudType::kPublic, RegionId(0));
-    const auto priv_new =
-        analysis::creations_per_hour(ctx, CloudType::kPrivate, RegionId(0));
-    const auto pub_new =
-        analysis::creations_per_hour(ctx, CloudType::kPublic, RegionId(0));
-    out << "hour,private_count,public_count,private_created,public_created\n";
-    for (std::size_t i = 0; i < priv_count.size(); ++i)
-      out << i << ',' << priv_count[i] << ',' << pub_count[i] << ','
-          << priv_new[i] << ',' << pub_new[i] << '\n';
-  }
-
-  // Fig. 5(d).
-  {
-    auto out = open_out("fig5d_pattern_shares.csv");
-    const auto priv =
-        analysis::classify_population(ctx, CloudType::kPrivate, 1000);
-    const auto pub =
-        analysis::classify_population(ctx, CloudType::kPublic, 1000);
-    out << "pattern,private,public\n";
-    out << "diurnal," << priv.diurnal << ',' << pub.diurnal << '\n';
-    out << "stable," << priv.stable << ',' << pub.stable << '\n';
-    out << "irregular," << priv.irregular << ',' << pub.irregular << '\n';
-    out << "hourly-peak," << priv.hourly_peak << ',' << pub.hourly_peak
-        << '\n';
-  }
-
-  // Fig. 6: weekly percentile bands per cloud.
-  for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
-    const std::string name = std::string("fig6_weekly_") +
-                             std::string(to_string(cloud)) + ".csv";
-    auto out = open_out(name);
-    const auto dist = analysis::utilization_distribution(ctx, cloud, 800);
-    out << "hour,p25,p50,p75,p95\n";
-    for (std::size_t i = 0; i < dist.weekly.grid.count; ++i)
-      out << i << ',' << dist.weekly.p25[i] << ',' << dist.weekly.p50[i]
-          << ',' << dist.weekly.p75[i] << ',' << dist.weekly.p95[i] << '\n';
-  }
-
-  // Fig. 7(a): correlation CDFs.
-  {
-    auto out = open_out("fig7a_node_correlation.csv");
-    const stats::Ecdf priv(
-        analysis::node_vm_correlations(ctx, CloudType::kPrivate, 200));
-    const stats::Ecdf pub(
-        analysis::node_vm_correlations(ctx, CloudType::kPublic, 200));
-    out << "correlation,private_cdf,public_cdf\n";
-    for (double x = -1.0; x <= 1.0; x += 0.02)
-      out << x << ',' << priv.at(x) << ',' << pub.at(x) << '\n';
-  }
-
+  analysis::write_figure_csvs(ctx, open);
+  fig_out.close();
   std::cout << "figure data written to " << args.dir << "/fig*.csv\n";
   return 0;
 }
-
 
 /// Estimate generative CloudProfile parameters from a trace directory (the
 /// inverse problem; see workloads/fit.h). Prints the fitted parameter set
 /// for each cloud present in the trace.
 int cmd_fit(const CliArgs& args) {
-  const auto imported = load(args.dir);
-  const TraceStore& trace = *imported.trace;
+  const auto run = resolve_and_report(make_plan(args), args);
+  const TraceStore& trace = *run.trace->trace;
   for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
     bool present = false;
     for (const auto& sub : trace.subscriptions()) {
@@ -387,27 +438,38 @@ int cmd_fit(const CliArgs& args) {
 }
 
 int cmd_advise(const CliArgs& args) {
-  const auto imported = load(args.dir);
-  std::ifstream kb_file(args.dir + "/kb.csv");
+  pipeline::RunPlanOptions plan = make_plan(args);
+  // CSV mode keeps the historical contract: DIR/kb.csv is the knowledge
+  // base when present. Generated mode resolves the kb stage (same options
+  // as `generate`, so a prior generate run is a cache hit).
+  std::ifstream kb_file(args.in_given ? args.dir + "/kb.csv" : "");
+  const bool kb_from_file = args.in_given && kb_file.good();
+  if (!args.in_given) {
+    plan.want_kb = true;
+    plan.kb_options.max_classified_vms = 4;
+  } else if (!kb_from_file) {
+    plan.want_kb = true;
+  }
+  const auto run = resolve_and_report(plan, args);
+
   kb::KnowledgeBase knowledge;
-  if (kb_file.good()) {
+  if (kb_from_file) {
     std::stringstream buffer;
     buffer << kb_file.rdbuf();
     knowledge = kb::KnowledgeBase::from_csv(buffer.str());
     std::cout << "loaded knowledge base: " << knowledge.size()
               << " records\n";
   } else {
-    std::cout << "no kb.csv found; extracting from trace...\n";
-    const AnalysisContext ctx(*imported.trace, args.parallel());
-    knowledge = kb::KnowledgeBase(kb::extract_all(ctx));
+    if (args.in_given) std::cout << "no kb.csv found; using kb stage...\n";
+    knowledge = *run.knowledge;
   }
   const auto clouds =
       args.cloud_given
           ? std::vector<CloudType>{args.cloud}
           : std::vector<CloudType>{CloudType::kPrivate, CloudType::kPublic};
   for (const CloudType cloud : clouds) {
-    const auto report = policies::advise(*imported.trace, knowledge, cloud);
-    std::cout << "\n" << policies::render_report(*imported.trace, report);
+    const auto report = policies::advise(*run.trace->trace, knowledge, cloud);
+    std::cout << "\n" << policies::render_report(*run.trace->trace, report);
   }
   return 0;
 }
@@ -464,7 +526,8 @@ int run_command(const CliArgs& args) {
   if (args.command == "figures") return cmd_figures(args);
   if (args.command == "fit") return cmd_fit(args);
   if (args.command == "advise") return cmd_advise(args);
-  return -1;  // unknown command
+  std::cerr << "unknown command: " << args.command << "\n";
+  return -1;
 }
 
 }  // namespace
@@ -472,6 +535,9 @@ int run_command(const CliArgs& args) {
 int main(int argc, char** argv) {
   CliArgs args;
   if (!parse(argc, argv, args)) return usage();
+  if (args.help) {
+    return args.command.empty() ? usage(0) : command_help(args.command);
+  }
   // Observability is opt-in per run: the global registry and sink start
   // disabled, and enabling them never changes command output.
   if (!args.metrics_out.empty())
