@@ -1,0 +1,340 @@
+// bench_simd: kernel-tier benchmark + checksum gate.
+//
+// Measures the four dispatched kernel families (Pearson co-moments, band
+// percentiles, FFT butterflies, batched hash-normal fills) under
+// scalar/strict (the oracle), best-tier/strict, and best-tier/fast, plus
+// an end-to-end characterization-report checksum. Prints a per-kernel
+// table, writes BENCH_simd.json, and enforces two classes of gate:
+//
+//   * checksum gates (always on): strict-mode outputs are bit-identical
+//     to scalar for every family; fast-mode Pearson stays within the
+//     documented tolerance; the strict-mode report hash matches scalar's.
+//   * perf gates (only with --min-speedup=F > 0): the best fast-mode
+//     kernel speedup must reach F, and best-tier strict Pearson must stay
+//     within 3% of scalar (the dispatch seam must not tax strict mode).
+//
+// Flags: --scale=F --seed=N (report scenario), --min-speedup=F,
+//        --quick (reduced reps for CI smoke), --json=PATH.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/context.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "stats/fft.h"
+#include "stats/kernels/kernels.h"
+#include "workloads/generator.h"
+
+namespace cloudlens {
+namespace {
+
+namespace kernels = stats::kernels;
+
+struct SimdArgs {
+  double scale = 0.05;
+  std::uint64_t seed = 42;
+  double min_speedup = 0.0;  ///< 0 = report-only, no perf gates
+  /// Max strict-mode pearson slowdown vs scalar, in percent. Strict
+  /// best-tier pearson runs the same scalar loop plus one atomic load, so
+  /// any measured gap is scheduler noise — but the gate still catches a
+  /// dispatch seam that grew a real per-call cost. Only enforced together
+  /// with --min-speedup.
+  double max_strict_overhead_pct = 3.0;
+  bool quick = false;
+  std::string json_path = "BENCH_simd.json";
+};
+
+SimdArgs parse_simd_args(int argc, char** argv) {
+  SimdArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      args.min_speedup = std::atof(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--max-strict-overhead=", 22) == 0) {
+      args.max_strict_overhead_pct = std::atof(argv[i] + 22);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--scale=F] [--seed=N] [--min-speedup=F] "
+          "[--max-strict-overhead=PCT] [--quick] [--json=PATH]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+std::vector<double> random_series(std::uint64_t seed, std::size_t n) {
+  SplitMix64 sm(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return out;
+}
+
+struct Variant {
+  const char* name;
+  kernels::Config config;
+};
+
+std::vector<Variant> bench_variants() {
+  const kernels::Tier best = kernels::best_supported_tier();
+  std::vector<Variant> v = {
+      {"scalar/strict", {kernels::Tier::kScalar, kernels::Mode::kStrict}}};
+  if (best != kernels::Tier::kScalar) {
+    v.push_back({"best/strict", {best, kernels::Mode::kStrict}});
+    v.push_back({"best/fast", {best, kernels::Mode::kFast}});
+  } else {
+    std::printf("note: no SIMD tier supported; best == scalar\n");
+  }
+  return v;
+}
+
+/// FNV-1a over a string: stable cross-run checksum for report bytes.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct KernelResult {
+  std::string variant;
+  double seconds = 1e300;
+  double checksum = 0;
+};
+
+/// Times `body(config, result)` for every variant, interleaving the
+/// best-of trials (scalar, strict, fast, scalar, strict, fast, ...) so
+/// slow drift in machine state — frequency scaling, cache pressure from
+/// neighbours — biases no variant, and keeping the per-variant minimum.
+/// Sequential per-variant phases measured spurious 3-4% gaps between two
+/// runs of the *same* scalar loop on a busy host; interleaving removes
+/// that bias, which is what lets the strict-overhead gate sit at 3%.
+template <typename Fn>
+std::vector<KernelResult> measure_family(const std::vector<Variant>& variants,
+                                         int best_of, Fn&& body) {
+  std::vector<KernelResult> out;
+  for (const Variant& v : variants) out.push_back(KernelResult{v.name});
+  for (int k = 0; k < best_of; ++k) {
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      body(variants[i].config, out[i]);
+      const auto t1 = std::chrono::steady_clock::now();
+      out[i].seconds = std::min(
+          out[i].seconds, std::chrono::duration<double>(t1 - t0).count());
+    }
+  }
+  return out;
+}
+
+void print_row(const char* kernel, const KernelResult& r, double base_s) {
+  std::printf("  %-10s %-14s %9.3f ms   speedup %5.2fx   checksum %.12g\n",
+              kernel, r.variant.c_str(), r.seconds * 1e3,
+              base_s / r.seconds, r.checksum);
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  const SimdArgs args = parse_simd_args(argc, argv);
+  bench::ShapeChecks checks;
+  bench::BenchJson json("simd");
+  const kernels::Tier best = kernels::best_supported_tier();
+  json.meta()
+      .str("best_tier", std::string(kernels::to_string(best)))
+      .num("quick", args.quick ? 1 : 0)
+      .num("min_speedup", args.min_speedup);
+
+  bench::banner("kernel micro-benchmarks (n = one telemetry week = 2016)");
+  const std::size_t n = 2016;
+  const auto x = random_series(1, n);
+  const auto y = random_series(2, n);
+  const int scale_reps = args.quick ? 10 : 1;
+  const int best_of = args.quick ? 3 : 5;
+  const std::vector<Variant> variants = bench_variants();
+
+  auto report_family = [&](const char* label, const char* json_name,
+                           int calls, const std::vector<KernelResult>& rs) {
+    for (const KernelResult& r : rs) {
+      print_row(label, r, rs.front().seconds);
+      json.record(json_name)
+          .str("variant", r.variant)
+          .num("seconds", r.seconds)
+          .num("calls", calls)
+          .num("speedup", rs.front().seconds / r.seconds)
+          .num("checksum", r.checksum);
+    }
+  };
+
+  // --- Pearson co-moments ------------------------------------------------
+  const int pearson_reps = 40000 / scale_reps;
+  const auto pearson = measure_family(
+      variants, best_of, [&](kernels::Config c, KernelResult& r) {
+        double acc = 0;
+        for (int i = 0; i < pearson_reps; ++i) {
+          const auto s = kernels::pearson_sums_with(c, x, y);
+          acc += s.sxy;
+        }
+        r.checksum = acc;
+      });
+  report_family("pearson", "pearson", pearson_reps, pearson);
+
+  // --- Batched hash-normal fill -----------------------------------------
+  const int fill_reps = 20000 / scale_reps;
+  std::vector<std::int64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = static_cast<std::int64_t>(i);
+  std::vector<double> fill_out(n);
+  const auto fills = measure_family(
+      variants, best_of, [&](kernels::Config c, KernelResult& r) {
+        double acc = 0;
+        for (int i = 0; i < fill_reps; ++i) {
+          kernels::hash_normal_fill_with(
+              c, args.seed + static_cast<unsigned>(i), keys, fill_out);
+          acc += fill_out[i % n];
+        }
+        r.checksum = acc;
+      });
+  report_family("hashfill", "hash_normal_fill", fill_reps, fills);
+
+  // --- FFT (autocorrelation: two 8192-point transforms per call) ---------
+  const int fft_reps = 400 / scale_reps;
+  const auto series = random_series(3, 2 * n);
+  const auto ffts = measure_family(
+      variants, best_of, [&](kernels::Config c, KernelResult& r) {
+        kernels::set_active(c);  // autocorrelation dispatches on active()
+        double acc = 0;
+        for (int i = 0; i < fft_reps; ++i) {
+          const auto acf = stats::autocorrelation(series);
+          acc += acf[24];
+        }
+        r.checksum = acc;
+      });
+  kernels::reset_from_env();
+  report_family("fft", "fft_autocorr", fft_reps, ffts);
+
+  // --- Band percentiles (256-VM population × one week) -------------------
+  const int band_reps = std::max(1, 60 / scale_reps);
+  const std::size_t band_rows = 256;
+  std::vector<std::vector<double>> population(band_rows);
+  std::vector<const double*> rows(band_rows);
+  for (std::size_t r = 0; r < band_rows; ++r) {
+    population[r] = random_series(100 + r, n);
+    rows[r] = population[r].data();
+  }
+  std::vector<double> p25(n), p50(n), p75(n), p95(n);
+  const auto bands = measure_family(
+      variants, best_of, [&](kernels::Config c, KernelResult& r) {
+        double acc = 0;
+        for (int i = 0; i < band_reps; ++i) {
+          kernels::band_percentiles_with(
+              c, rows, n, kernels::BandOutputs{p25, p50, p75, p95});
+          acc += p50[i % n];
+        }
+        r.checksum = acc;
+      });
+  report_family("bands", "band_percentiles", band_reps, bands);
+
+  // --- End-to-end report checksum ---------------------------------------
+  bench::banner("characterization report checksum (strict must match)");
+  bench::BenchArgs scenario_args;
+  scenario_args.scale = args.quick ? std::min(args.scale, 0.02) : args.scale;
+  scenario_args.seed = args.seed;
+  std::vector<std::pair<std::string, std::uint64_t>> report_hashes;
+  for (const Variant& v : variants) {
+    kernels::set_active(v.config);
+    const auto scenario = bench::make_bench_scenario(scenario_args);
+    const AnalysisContext ctx(*scenario.trace);
+    std::ostringstream out;
+    analysis::write_characterization_report(ctx, out);
+    const std::uint64_t h = fnv1a(out.str());
+    report_hashes.emplace_back(v.name, h);
+    std::printf("  report %-14s fnv1a %016llx\n", v.name,
+                (unsigned long long)h);
+    json.record("report").str("variant", v.name).num(
+        "fnv1a_lo32", static_cast<double>(h & 0xFFFFFFFFULL));
+  }
+  kernels::reset_from_env();
+
+  // --- Gates -------------------------------------------------------------
+  bench::banner("gates");
+  // Checksum gates: strict variants must reproduce scalar bytes exactly.
+  for (std::size_t i = 1; i < pearson.size(); ++i) {
+    const auto& r = pearson[i];
+    if (r.variant == "best/strict") {
+      checks.expect(r.checksum == pearson.front().checksum,
+                    "pearson strict checksum identical to scalar");
+    } else {
+      checks.expect(std::fabs(r.checksum - pearson.front().checksum) <=
+                        1e-5 * static_cast<double>(pearson_reps),
+                    "pearson fast checksum within documented tolerance");
+    }
+  }
+  for (std::size_t i = 1; i < fills.size(); ++i)
+    checks.expect(fills[i].checksum == fills.front().checksum,
+                  std::string("hash_normal_fill checksum identical (") +
+                      fills[i].variant + ")");
+  for (std::size_t i = 1; i < ffts.size(); ++i)
+    checks.expect(ffts[i].checksum == ffts.front().checksum,
+                  std::string("fft checksum identical (") + ffts[i].variant +
+                      ")");
+  for (std::size_t i = 1; i < bands.size(); ++i)
+    checks.expect(bands[i].checksum == bands.front().checksum,
+                  std::string("band checksum identical (") +
+                      bands[i].variant + ")");
+  for (std::size_t i = 1; i < report_hashes.size(); ++i) {
+    if (report_hashes[i].first == "best/strict") {
+      checks.expect(report_hashes[i].second == report_hashes.front().second,
+                    "strict-mode report hash identical to scalar");
+    }
+  }
+
+  // Perf gates (opt-in): fast-mode speedup and strict-mode overhead.
+  double best_fast_speedup = 0;
+  for (const auto* family : {&pearson, &fills, &ffts}) {
+    for (const auto& r : *family) {
+      if (r.variant == "best/fast" ||
+          (family != &pearson && r.variant == "best/strict")) {
+        best_fast_speedup = std::max(
+            best_fast_speedup, family->front().seconds / r.seconds);
+      }
+    }
+  }
+  json.meta().num("best_fast_speedup", best_fast_speedup);
+  std::printf("  best kernel speedup vs scalar: %.2fx\n", best_fast_speedup);
+  if (args.min_speedup > 0 && best != kernels::Tier::kScalar) {
+    checks.expect(best_fast_speedup >= args.min_speedup,
+                  "fast-mode kernel speedup >= --min-speedup");
+    for (const auto& r : pearson) {
+      if (r.variant == "best/strict" && args.max_strict_overhead_pct > 0) {
+        const double limit = 1.0 + args.max_strict_overhead_pct / 100.0;
+        char what[96];
+        std::snprintf(what, sizeof what,
+                      "strict-mode pearson within %g%% of scalar",
+                      args.max_strict_overhead_pct);
+        checks.expect(r.seconds <= pearson.front().seconds * limit, what);
+      }
+    }
+  }
+
+  json.meta().num("peak_rss_mib", bench::peak_rss_mib());
+  json.write(args.json_path);
+  return checks.exit_code();
+}
+
+}  // namespace cloudlens
+
+int main(int argc, char** argv) { return cloudlens::run(argc, argv); }

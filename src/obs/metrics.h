@@ -95,6 +95,12 @@ namespace cloudlens::obs {
   X(kPipelineCacheStores, "pipeline.cache_stores")             \
   X(kPipelineCacheBytesWritten, "pipeline.cache_bytes_written") \
   X(kPipelineCacheBytesRead, "pipeline.cache_bytes_read")      \
+  /* stats/kernels: SIMD kernel tier */                        \
+  X(kKernelPearsonCalls, "kernels.pearson_calls")              \
+  X(kKernelBandCalls, "kernels.band_calls")                    \
+  X(kKernelFftStages, "kernels.fft_stages")                    \
+  X(kKernelNoiseFills, "kernels.noise_fills")                  \
+  X(kKernelTierFallbacks, "kernels.tier_fallbacks")            \
   /* cloudsim/trace_io: CSV bridge */                          \
   X(kTraceIoUtilizationVmsDropped, "trace_io.utilization_vms_dropped") \
   /* policies: advisor decisions */                            \
@@ -109,7 +115,10 @@ namespace cloudlens::obs {
 #define CLOUDLENS_OBS_GAUGES(X)                                \
   X(kParallelPoolWorkers, "parallel.pool_workers")             \
   X(kPanelBytes, "panel.bytes")                                \
-  X(kPanelVms, "panel.vms")
+  X(kPanelVms, "panel.vms")                                    \
+  /* resolved kernel dispatch: Tier / Mode enum values */      \
+  X(kKernelTier, "kernels.tier")                               \
+  X(kKernelMode, "kernels.mode")
 
 // Histograms: latency distributions over fixed power-of-two buckets.
 #define CLOUDLENS_OBS_HISTOGRAMS(X)                            \
@@ -121,7 +130,8 @@ namespace cloudlens::obs {
   X(kKbExtractSeconds, "kb.extract_seconds")                   \
   X(kReportSeconds, "analysis.report_seconds")                 \
   X(kPipelineStageSeconds, "pipeline.stage_seconds")           \
-  X(kPipelineSnapshotIoSeconds, "pipeline.snapshot_io_seconds")
+  X(kPipelineSnapshotIoSeconds, "pipeline.snapshot_io_seconds") \
+  X(kKernelBandSeconds, "kernels.band_seconds")
 
 enum class Counter : std::uint16_t {
 #define CLOUDLENS_OBS_ENUM(id, name) id,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "stats/kernels/kernels.h"
 
 namespace cloudlens::stats {
 namespace {
@@ -63,22 +64,14 @@ double pearson_fused(std::span<const double> x, std::span<const double> y) {
   if (n < 2) return 0.0;
 
   // Single fused pass: five co-moment accumulators, one load of each
-  // operand per tick, no temporary series. The loop is branch-free and
-  // auto-vectorizes on contiguous rows.
-  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double xi = x[i];
-    const double yi = y[i];
-    sx += xi;
-    sy += yi;
-    sxx += xi * xi;
-    syy += yi * yi;
-    sxy += xi * yi;
-  }
+  // operand per tick, no temporary series. The accumulation runs through
+  // the dispatched kernel tier (strict mode keeps the serial scalar
+  // order; fast mode may use SIMD lane accumulators).
+  const kernels::PearsonSums s = kernels::pearson_sums(x, y);
   const double dn = static_cast<double>(n);
-  const double cxx = sxx - sx * sx / dn;
-  const double cyy = syy - sy * sy / dn;
-  const double cxy = sxy - sx * sy / dn;
+  const double cxx = s.sxx - s.sx * s.sx / dn;
+  const double cyy = s.syy - s.sy * s.sy / dn;
+  const double cxy = s.sxy - s.sx * s.sy / dn;
   if (cxx <= 0.0 || cyy <= 0.0) return 0.0;
   const double r = cxy / std::sqrt(cxx * cyy);
   return std::min(1.0, std::max(-1.0, r));

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "stats/descriptive.h"
+#include "stats/kernels/kernels.h"
 
 namespace cloudlens::stats {
 
@@ -50,21 +51,10 @@ void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
       wi = wr * wi0 + wi * wr0;
       wr = next_wr;
     }
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const std::size_t a = 2 * (i + k);
-        const std::size_t b = 2 * (i + k + half);
-        const double ur = d[a], ui = d[a + 1];
-        const double xr = d[b], xi = d[b + 1];
-        const double tr = twiddle[2 * k], ti = twiddle[2 * k + 1];
-        const double vr = xr * tr - xi * ti;
-        const double vi = xr * ti + xi * tr;
-        d[a] = ur + vr;
-        d[a + 1] = ui + vi;
-        d[b] = ur - vr;
-        d[b + 1] = ui - vi;
-      }
-    }
+    // Dispatched butterfly stage; every tier computes the exact scalar
+    // expressions per lane, so the transform is bit-identical across
+    // tiers and modes.
+    kernels::fft_stage(d, n, len, twiddle.data());
   }
   if (inverse) {
     const double inv = static_cast<double>(n);

@@ -1,0 +1,162 @@
+#include "stats/kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cloudlens::stats::kernels {
+namespace {
+
+/// Packed (tier, mode) so the hot-path read is one relaxed atomic load.
+/// -1 means "not yet resolved from the environment".
+std::atomic<int> g_config{-1};
+
+int pack(Config c) {
+  return (static_cast<int>(c.tier) << 1) | static_cast<int>(c.mode);
+}
+
+Config unpack(int v) {
+  return Config{static_cast<Tier>(v >> 1), static_cast<Mode>(v & 1)};
+}
+
+/// Publish the resolved config to the metrics gauges so a run's metrics
+/// snapshot records which kernel tier produced it.
+void record_config(Config c) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.set(obs::Gauge::kKernelTier, static_cast<double>(c.tier));
+  metrics.set(obs::Gauge::kKernelMode, static_cast<double>(c.mode));
+}
+
+Config resolve_env() {
+  Config config{best_supported_tier(), Mode::kStrict};
+  if (const char* env = std::getenv("CLOUDLENS_KERNELS");
+      env != nullptr && env[0] != '\0' && std::string_view(env) != "auto") {
+    if (const auto tier = parse_tier(env); tier.has_value()) {
+      if (tier_supported(*tier)) {
+        config.tier = *tier;
+      } else {
+        obs::MetricsRegistry::global().add(obs::Counter::kKernelTierFallbacks);
+        std::fprintf(stderr,
+                     "cloudlens: CLOUDLENS_KERNELS=%s not supported by this "
+                     "CPU; using %s\n",
+                     env, std::string(to_string(config.tier)).c_str());
+      }
+    } else {
+      std::fprintf(stderr,
+                   "cloudlens: unrecognized CLOUDLENS_KERNELS=%s "
+                   "(want scalar|sse2|avx2|auto); using auto\n",
+                   env);
+    }
+  }
+  if (const char* env = std::getenv("CLOUDLENS_KERNEL_MODE");
+      env != nullptr && env[0] != '\0') {
+    if (const auto mode = parse_mode(env); mode.has_value()) {
+      config.mode = *mode;
+    } else {
+      std::fprintf(stderr,
+                   "cloudlens: unrecognized CLOUDLENS_KERNEL_MODE=%s "
+                   "(want strict|fast); using strict\n",
+                   env);
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
+std::string_view to_string(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kSse2: return "sse2";
+    default: return "avx2";
+  }
+}
+
+std::string_view to_string(Mode m) {
+  return m == Mode::kStrict ? "strict" : "fast";
+}
+
+std::optional<Tier> parse_tier(std::string_view s) {
+  if (s == "scalar") return Tier::kScalar;
+  if (s == "sse2") return Tier::kSse2;
+  if (s == "avx2") return Tier::kAvx2;
+  return std::nullopt;
+}
+
+std::optional<Mode> parse_mode(std::string_view s) {
+  if (s == "strict") return Mode::kStrict;
+  if (s == "fast") return Mode::kFast;
+  return std::nullopt;
+}
+
+bool tier_supported(Tier t) {
+  if (t == Tier::kScalar) return true;
+#if defined(__x86_64__) || defined(__i386__)
+  // CPUID, cached by the builtin after the first query.
+  if (t == Tier::kSse2) return __builtin_cpu_supports("sse2") != 0;
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  (void)t;
+  return false;  // non-x86: only the scalar reference tier exists
+#endif
+}
+
+Tier best_supported_tier() {
+  if (tier_supported(Tier::kAvx2)) return Tier::kAvx2;
+  if (tier_supported(Tier::kSse2)) return Tier::kSse2;
+  return Tier::kScalar;
+}
+
+Config active() {
+  int packed = g_config.load(std::memory_order_relaxed);
+  if (packed < 0) {
+    // First use (or post-reset): resolve from the environment. Racing
+    // threads resolve to the same value, so the store order is benign.
+    const Config config = resolve_env();
+    record_config(config);
+    packed = pack(config);
+    g_config.store(packed, std::memory_order_relaxed);
+  }
+  return unpack(packed);
+}
+
+void set_active(Config config) {
+  if (!tier_supported(config.tier)) {
+    obs::MetricsRegistry::global().add(obs::Counter::kKernelTierFallbacks);
+    config.tier = best_supported_tier();
+  }
+  record_config(config);
+  g_config.store(pack(config), std::memory_order_relaxed);
+}
+
+bool set_tier_from_string(std::string_view s) {
+  Config config = active();
+  if (s == "auto") {
+    config.tier = best_supported_tier();
+  } else if (const auto tier = parse_tier(s); tier.has_value()) {
+    config.tier = *tier;
+  } else {
+    return false;
+  }
+  set_active(config);
+  return true;
+}
+
+bool set_mode_from_string(std::string_view s) {
+  Config config = active();
+  const auto mode = parse_mode(s);
+  if (!mode.has_value()) return false;
+  config.mode = *mode;
+  set_active(config);
+  return true;
+}
+
+void reset_from_env() {
+  g_config.store(-1, std::memory_order_relaxed);
+  set_active(resolve_env());
+}
+
+}  // namespace cloudlens::stats::kernels

@@ -1,0 +1,91 @@
+// Runtime-dispatched SIMD kernel seam for the hot stats kernels.
+//
+// The characterization suite spends most of its time in four kernel
+// families (the fused Pearson co-moments, per-timepoint percentile
+// bands, FFT butterfly stages, and the batched pattern-noise fills).
+// Each family ships three ISA tiers — a scalar reference (the oracle
+// every differential test compares against), an SSE2 variant, and an
+// AVX2 variant — selected once at startup from CPUID and overridable
+// via the CLOUDLENS_KERNELS environment variable or the CLI:
+//
+//   CLOUDLENS_KERNELS=scalar|sse2|avx2|auto      (default: auto)
+//   CLOUDLENS_KERNEL_MODE=strict|fast            (default: strict)
+//
+// Numeric-mode contract:
+//
+//   strict  Every kernel produces bytes identical to the scalar
+//           reference. Element-wise kernels (FFT butterflies, the
+//           hash-normal noise fill) and permutation-invariant kernels
+//           (band percentiles, which sort) vectorize bit-exactly, so
+//           strict mode still benefits from SIMD; reduction kernels
+//           (the Pearson co-moment sums) would need to reassociate the
+//           accumulation, so in strict mode they run the scalar loop at
+//           every tier. Strict is the default and the mode all
+//           equivalence/cache contracts are pinned in.
+//
+//   fast    Reductions may reassociate (multi-lane accumulators with a
+//           documented tolerance: for telemetry in [0,1] over n ticks
+//           the co-moment error is O(n·eps), giving |Δr| < 1e-9 for
+//           n ≤ 1e6 — the differential suite enforces 1e-9 at n=2016).
+//           Element-wise kernels are unchanged (still bit-exact).
+//           Fast-mode artifact bytes may depend on the active tier, so
+//           cached pipeline stages that consume reductions segregate
+//           their keys by (mode, tier); strict keys are unchanged.
+//
+// A requested tier the CPU cannot execute is clamped to the best
+// supported tier (recorded in the kernels.tier_fallbacks counter);
+// tests that force AVX2 first ask tier_supported() and skip-with-message
+// on hardware without it.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace cloudlens::stats::kernels {
+
+/// ISA tiers, ordered: a higher tier implies the lower ones.
+enum class Tier : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Numeric modes. See the contract above.
+enum class Mode : int { kStrict = 0, kFast = 1 };
+
+struct Config {
+  Tier tier = Tier::kScalar;
+  Mode mode = Mode::kStrict;
+  bool operator==(const Config&) const = default;
+};
+
+std::string_view to_string(Tier t);
+std::string_view to_string(Mode m);
+
+/// Parses "scalar" | "sse2" | "avx2" (NOT "auto" — callers decide how to
+/// resolve auto); nullopt on anything else.
+std::optional<Tier> parse_tier(std::string_view s);
+/// Parses "strict" | "fast"; nullopt on anything else.
+std::optional<Mode> parse_mode(std::string_view s);
+
+/// True when this CPU can execute `t` (scalar is always true).
+bool tier_supported(Tier t);
+/// Highest tier this CPU supports.
+Tier best_supported_tier();
+
+/// The active configuration. First use resolves CLOUDLENS_KERNELS /
+/// CLOUDLENS_KERNEL_MODE (unset or "auto" → best supported tier, strict).
+Config active();
+
+/// Overrides the active configuration (CLI flags, tests). An unsupported
+/// tier is clamped to best_supported_tier() and counted as a fallback.
+void set_active(Config config);
+
+/// Sets the tier from a CLI/env spelling ("scalar|sse2|avx2|auto");
+/// returns false (and changes nothing) on an unrecognized value.
+bool set_tier_from_string(std::string_view s);
+/// Sets the mode from "strict|fast"; false on an unrecognized value.
+bool set_mode_from_string(std::string_view s);
+
+/// Re-reads the environment (tests flip CLOUDLENS_KERNELS and call this).
+/// Unset variables mean auto/strict. Unrecognized values fall back to
+/// auto/strict with a one-line stderr note.
+void reset_from_env();
+
+}  // namespace cloudlens::stats::kernels

@@ -1,0 +1,139 @@
+// Dispatched kernel entry points.
+//
+// This TU is compiled with baseline flags and owns everything that is
+// not pure lane arithmetic: tier selection, per-family call counters,
+// and — for the band family — the sort + quantile driver that runs over
+// the tier-gathered column blocks (std::sort must never be instantiated
+// in an ISA-flagged TU; see kernels_impl.h).
+#include "stats/kernels/kernels.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/phase_timer.h"
+#include "stats/descriptive.h"
+#include "stats/kernels/kernels_impl.h"
+
+namespace cloudlens::stats::kernels {
+namespace {
+
+/// Strict-mode Pearson must reproduce the scalar serial accumulation
+/// order at every tier, so only fast mode ever runs a SIMD reduction.
+bool use_simd_pearson(Config config) {
+  return config.mode == Mode::kFast && config.tier != Tier::kScalar;
+}
+
+}  // namespace
+
+PearsonSums pearson_sums_with(Config config, std::span<const double> x,
+                              std::span<const double> y) {
+  CL_CHECK_MSG(x.size() == y.size(), "pearson_sums: length mismatch");
+  obs::MetricsRegistry::global().add(obs::Counter::kKernelPearsonCalls);
+  if (use_simd_pearson(config)) {
+    if (config.tier == Tier::kAvx2)
+      return detail::pearson_sums_avx2_fast(x.data(), y.data(), x.size());
+    return detail::pearson_sums_sse2_fast(x.data(), y.data(), x.size());
+  }
+  return detail::pearson_sums_scalar(x.data(), y.data(), x.size());
+}
+
+PearsonSums pearson_sums(std::span<const double> x,
+                         std::span<const double> y) {
+  return pearson_sums_with(active(), x, y);
+}
+
+void band_percentiles_with(Config config, std::span<const double* const> rows,
+                           std::size_t cols, const BandOutputs& out) {
+  CL_CHECK_MSG(!rows.empty(), "band_percentiles: need at least one row");
+  CL_CHECK_MSG(out.p25.size() >= cols && out.p50.size() >= cols &&
+                   out.p75.size() >= cols && out.p95.size() >= cols,
+               "band_percentiles: output spans too short");
+  obs::PhaseTimer timer("kernels.band_percentiles",
+                        obs::Histogram::kKernelBandSeconds,
+                        obs::Counter::kKernelBandCalls);
+  const std::size_t nrows = rows.size();
+  std::vector<double> colbuf(detail::kBandBlockCols * nrows);
+  for (std::size_t c0 = 0; c0 < cols; c0 += detail::kBandBlockCols) {
+    const std::size_t bw = std::min(detail::kBandBlockCols, cols - c0);
+    switch (config.tier) {
+      case Tier::kAvx2:
+        detail::gather_columns_avx2(rows.data(), nrows, c0, bw, colbuf.data());
+        break;
+      case Tier::kSse2:
+        detail::gather_columns_sse2(rows.data(), nrows, c0, bw, colbuf.data());
+        break;
+      default:
+        detail::gather_columns_scalar(rows.data(), nrows, c0, bw,
+                                      colbuf.data());
+        break;
+    }
+    for (std::size_t j = 0; j < bw; ++j) {
+      double* col = colbuf.data() + j * nrows;
+      // The sort erases gather order, which is what makes this family
+      // bit-exact at every tier in both modes.
+      std::sort(col, col + nrows);
+      const std::span<const double> sorted(col, nrows);
+      out.p25[c0 + j] = quantile_sorted(sorted, 0.25);
+      out.p50[c0 + j] = quantile_sorted(sorted, 0.50);
+      out.p75[c0 + j] = quantile_sorted(sorted, 0.75);
+      out.p95[c0 + j] = quantile_sorted(sorted, 0.95);
+    }
+  }
+}
+
+void band_percentiles(std::span<const double* const> rows, std::size_t cols,
+                      const BandOutputs& out) {
+  band_percentiles_with(active(), rows, cols, out);
+}
+
+void fft_stage_with(Config config, double* data, std::size_t n,
+                    std::size_t len, const double* twiddle) {
+  obs::MetricsRegistry::global().add(obs::Counter::kKernelFftStages);
+  switch (config.tier) {
+    case Tier::kAvx2:
+      detail::fft_stage_avx2(data, n, len, twiddle);
+      break;
+    case Tier::kSse2:
+      detail::fft_stage_sse2(data, n, len, twiddle);
+      break;
+    default:
+      detail::fft_stage_scalar(data, n, len, twiddle);
+      break;
+  }
+}
+
+void fft_stage(double* data, std::size_t n, std::size_t len,
+               const double* twiddle) {
+  fft_stage_with(active(), data, n, len, twiddle);
+}
+
+void hash_normal_fill_with(Config config, std::uint64_t seed,
+                           std::span<const std::int64_t> keys,
+                           std::span<double> out) {
+  CL_CHECK_MSG(out.size() >= keys.size(),
+               "hash_normal_fill: output span too short");
+  obs::MetricsRegistry::global().add(obs::Counter::kKernelNoiseFills);
+  switch (config.tier) {
+    case Tier::kAvx2:
+      detail::hash_normal_fill_avx2(seed, keys.data(), keys.size(),
+                                    out.data());
+      break;
+    case Tier::kSse2:
+      detail::hash_normal_fill_sse2(seed, keys.data(), keys.size(),
+                                    out.data());
+      break;
+    default:
+      detail::hash_normal_fill_scalar(seed, keys.data(), keys.size(),
+                                      out.data());
+      break;
+  }
+}
+
+void hash_normal_fill(std::uint64_t seed, std::span<const std::int64_t> keys,
+                      std::span<double> out) {
+  hash_normal_fill_with(active(), seed, keys, out);
+}
+
+}  // namespace cloudlens::stats::kernels

@@ -1,0 +1,83 @@
+// The four hot kernel families behind the characterization suite, each
+// runtime-dispatched across {scalar, sse2, avx2} × {strict, fast}.
+// See dispatch.h for the tier/mode contract. Public entry points here
+// dispatch on the active() configuration; the `_with` variants force a
+// (tier, mode) pair and exist for the differential test harness, the
+// property suites, and bench_simd.
+//
+// Every family's scalar implementation is the byte-level oracle: it is
+// the exact loop the pre-kernel-tier code ran, so routing the callers
+// through this seam changes no output in strict mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "stats/kernels/dispatch.h"
+
+namespace cloudlens::stats::kernels {
+
+// --- Family 1: fused Pearson co-moments ---------------------------------
+
+/// Raw co-moment sums of two equal-length series accumulated in one pass:
+/// Σx, Σy, Σx², Σy², Σxy. The strict contract is the serial left-to-right
+/// accumulation order of the scalar loop; fast mode may reassociate.
+struct PearsonSums {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+};
+
+PearsonSums pearson_sums(std::span<const double> x, std::span<const double> y);
+PearsonSums pearson_sums_with(Config config, std::span<const double> x,
+                              std::span<const double> y);
+
+// --- Family 2: per-column percentile bands ------------------------------
+
+/// Output spans for band_percentiles; each must hold `cols` doubles.
+struct BandOutputs {
+  std::span<double> p25, p50, p75, p95;
+};
+
+/// For every column t of the `rows.size()` × `cols` matrix given as row
+/// pointers (each row holds `cols` contiguous doubles), computes the
+/// type-7 p25/p50/p75/p95 quantiles over the column. SIMD tiers gather
+/// columns in transposed blocks for locality; the per-column sort makes
+/// the result independent of gather order, so every tier is bit-exact in
+/// both modes. Inputs must be finite (telemetry is [0, 1]); rows must be
+/// non-empty.
+void band_percentiles(std::span<const double* const> rows, std::size_t cols,
+                      const BandOutputs& out);
+void band_percentiles_with(Config config, std::span<const double* const> rows,
+                           std::size_t cols, const BandOutputs& out);
+
+// --- Family 3: FFT butterfly stage --------------------------------------
+
+/// One radix-2 butterfly stage of length `len` over `n` interleaved
+/// complex doubles (`data` holds 2n doubles); `twiddle` holds len/2
+/// interleaved (re, im) factors for this stage. Strict-safe at every
+/// tier: the vector lanes evaluate exactly the scalar expressions
+/// (vr = xr·tr − xi·ti, vi = xi·tr + xr·ti — IEEE add/mul are
+/// commutative), so the transform is bit-identical in both modes.
+void fft_stage(double* data, std::size_t n, std::size_t len,
+               const double* twiddle);
+void fft_stage_with(Config config, double* data, std::size_t n,
+                    std::size_t len, const double* twiddle);
+
+// --- Family 4: batched pattern-noise fill -------------------------------
+
+/// out[i] = hash_normal(seed, keys[i]): the Irwin–Hall(4) approximate
+/// normal from a SplitMix64 stream keyed by (seed, key) that every
+/// utilization pattern model draws per telemetry tick. The SIMD tiers
+/// run 2/4 SplitMix64 lanes with an exact 64-bit multiply emulation and
+/// an exact u64→f64 conversion, so all tiers are bit-identical in both
+/// modes. This is the single source of truth for the hash —
+/// workloads::hash_normal delegates to hash_normal_one.
+void hash_normal_fill(std::uint64_t seed, std::span<const std::int64_t> keys,
+                      std::span<double> out);
+void hash_normal_fill_with(Config config, std::uint64_t seed,
+                           std::span<const std::int64_t> keys,
+                           std::span<double> out);
+
+/// Scalar single-key hash_normal (the oracle's per-element function).
+double hash_normal_one(std::uint64_t seed, std::int64_t key);
+
+}  // namespace cloudlens::stats::kernels

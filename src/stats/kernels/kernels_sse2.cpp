@@ -1,0 +1,194 @@
+// SSE2 kernel tier.
+//
+// SSE2 is part of the x86-64 baseline, so this TU compiles with the
+// project's default flags (no ODR hazard). It exists as the portable
+// 128-bit tier: two double lanes (or two 64-bit integer lanes) per
+// vector. All four families here are bit-exact with the scalar oracle
+// except the *fast-mode* Pearson reduction, which reassociates into two
+// lane accumulators.
+#include "stats/kernels/kernels.h"
+#include "stats/kernels/kernels_impl.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace cloudlens::stats::kernels::detail {
+
+#if defined(__SSE2__)
+
+namespace {
+
+/// Exact 64×64→low-64 multiply from 32-bit partial products.
+inline __m128i mul64(__m128i a, __m128i b) {
+  const __m128i a_hi = _mm_srli_epi64(a, 32);
+  const __m128i b_hi = _mm_srli_epi64(b, 32);
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i cross =
+      _mm_add_epi64(_mm_mul_epu32(a_hi, b), _mm_mul_epu32(a, b_hi));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+/// Exact u64→f64 for values < 2^53 (split into 32-bit halves, each
+/// converted exactly via the 2^52 magic-number trick; the recombining
+/// multiply-add is exact because the value is representable).
+inline __m128d u64_to_f64(__m128i x) {
+  const __m128d magic = _mm_set1_pd(0x1.0p52);
+  const __m128i magic_bits = _mm_castpd_si128(magic);
+  const __m128i lo32 = _mm_and_si128(x, _mm_set1_epi64x(0xFFFFFFFFLL));
+  const __m128i hi32 = _mm_srli_epi64(x, 32);
+  const __m128d d_lo =
+      _mm_sub_pd(_mm_castsi128_pd(_mm_or_si128(lo32, magic_bits)), magic);
+  const __m128d d_hi =
+      _mm_sub_pd(_mm_castsi128_pd(_mm_or_si128(hi32, magic_bits)), magic);
+  return _mm_add_pd(_mm_mul_pd(d_hi, _mm_set1_pd(0x1.0p32)), d_lo);
+}
+
+/// One SplitMix64 output per lane; advances the state in place.
+inline __m128i splitmix_next(__m128i& state) {
+  state = _mm_add_epi64(state, _mm_set1_epi64x(0x9e3779b97f4a7c15LL));
+  __m128i z = state;
+  z = mul64(_mm_xor_si128(z, _mm_srli_epi64(z, 30)),
+            _mm_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = mul64(_mm_xor_si128(z, _mm_srli_epi64(z, 27)),
+            _mm_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm_xor_si128(z, _mm_srli_epi64(z, 31));
+}
+
+/// Uniform [0,1) from one SplitMix64 draw (same bits as Rng::uniform).
+inline __m128d splitmix_uniform(__m128i& state) {
+  return _mm_mul_pd(u64_to_f64(_mm_srli_epi64(splitmix_next(state), 11)),
+                    _mm_set1_pd(0x1.0p-53));
+}
+
+}  // namespace
+
+PearsonSums pearson_sums_sse2_fast(const double* x, const double* y,
+                                   std::size_t n) {
+  __m128d sx = _mm_setzero_pd(), sy = _mm_setzero_pd();
+  __m128d sxx = _mm_setzero_pd(), syy = _mm_setzero_pd();
+  __m128d sxy = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d vx = _mm_loadu_pd(x + i);
+    const __m128d vy = _mm_loadu_pd(y + i);
+    sx = _mm_add_pd(sx, vx);
+    sy = _mm_add_pd(sy, vy);
+    sxx = _mm_add_pd(sxx, _mm_mul_pd(vx, vx));
+    syy = _mm_add_pd(syy, _mm_mul_pd(vy, vy));
+    sxy = _mm_add_pd(sxy, _mm_mul_pd(vx, vy));
+  }
+  // Reduction order (documented, fast-mode only): lane0 + lane1, then the
+  // scalar tail appended serially.
+  PearsonSums s;
+  s.sx = _mm_cvtsd_f64(sx) + _mm_cvtsd_f64(_mm_unpackhi_pd(sx, sx));
+  s.sy = _mm_cvtsd_f64(sy) + _mm_cvtsd_f64(_mm_unpackhi_pd(sy, sy));
+  s.sxx = _mm_cvtsd_f64(sxx) + _mm_cvtsd_f64(_mm_unpackhi_pd(sxx, sxx));
+  s.syy = _mm_cvtsd_f64(syy) + _mm_cvtsd_f64(_mm_unpackhi_pd(syy, syy));
+  s.sxy = _mm_cvtsd_f64(sxy) + _mm_cvtsd_f64(_mm_unpackhi_pd(sxy, sxy));
+  for (; i < n; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    s.sx += xi;
+    s.sy += yi;
+    s.sxx += xi * xi;
+    s.syy += yi * yi;
+    s.sxy += xi * yi;
+  }
+  return s;
+}
+
+void fft_stage_sse2(double* data, std::size_t n, std::size_t len,
+                    const double* twiddle) {
+  const std::size_t half = len / 2;
+  // Sign mask that negates only the low (real) lane: turns
+  // [xi·ti, xr·ti] into [−xi·ti, xr·ti] so one add yields the exact
+  // scalar expressions vr = xr·tr − xi·ti, vi = xi·tr + xr·ti.
+  const __m128d neg_re = _mm_set_pd(0.0, -0.0);
+  for (std::size_t i = 0; i < n; i += len) {
+    for (std::size_t k = 0; k < half; ++k) {
+      double* pa = data + 2 * (i + k);
+      double* pb = data + 2 * (i + k + half);
+      const __m128d u = _mm_loadu_pd(pa);
+      const __m128d xv = _mm_loadu_pd(pb);
+      const __m128d t = _mm_loadu_pd(twiddle + 2 * k);
+      const __m128d t_re = _mm_unpacklo_pd(t, t);
+      const __m128d t_im = _mm_unpackhi_pd(t, t);
+      const __m128d x_sw = _mm_shuffle_pd(xv, xv, 1);
+      const __m128d v = _mm_add_pd(
+          _mm_mul_pd(xv, t_re),
+          _mm_xor_pd(_mm_mul_pd(x_sw, t_im), neg_re));
+      _mm_storeu_pd(pa, _mm_add_pd(u, v));
+      _mm_storeu_pd(pb, _mm_sub_pd(u, v));
+    }
+  }
+}
+
+void gather_columns_sse2(const double* const* rows, std::size_t nrows,
+                         std::size_t c0, std::size_t bw, double* colbuf) {
+  if (bw != kBandBlockCols) {
+    gather_columns_scalar(rows, nrows, c0, bw, colbuf);
+    return;
+  }
+  std::size_t r = 0;
+  for (; r + 2 <= nrows; r += 2) {
+    const double* row0 = rows[r] + c0;
+    const double* row1 = rows[r + 1] + c0;
+    const __m128d a0 = _mm_loadu_pd(row0);      // [r0c0 r0c1]
+    const __m128d a1 = _mm_loadu_pd(row0 + 2);  // [r0c2 r0c3]
+    const __m128d b0 = _mm_loadu_pd(row1);
+    const __m128d b1 = _mm_loadu_pd(row1 + 2);
+    _mm_storeu_pd(colbuf + 0 * nrows + r, _mm_unpacklo_pd(a0, b0));
+    _mm_storeu_pd(colbuf + 1 * nrows + r, _mm_unpackhi_pd(a0, b0));
+    _mm_storeu_pd(colbuf + 2 * nrows + r, _mm_unpacklo_pd(a1, b1));
+    _mm_storeu_pd(colbuf + 3 * nrows + r, _mm_unpackhi_pd(a1, b1));
+  }
+  for (; r < nrows; ++r) {
+    const double* row = rows[r] + c0;
+    for (std::size_t j = 0; j < 4; ++j) colbuf[j * nrows + r] = row[j];
+  }
+}
+
+void hash_normal_fill_sse2(std::uint64_t seed, const std::int64_t* keys,
+                           std::size_t n, double* out) {
+  const __m128i vseed = _mm_set1_epi64x(static_cast<long long>(seed));
+  const __m128i mix =
+      _mm_set1_epi64x(static_cast<long long>(0x2545f4914f6cdd1dULL));
+  const __m128d two = _mm_set1_pd(2.0);
+  const __m128d sqrt3 = _mm_set1_pd(1.7320508075688772);  // sqrt(3.0)
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i k = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(keys + i));
+    __m128i state = _mm_xor_si128(vseed, mul64(k, mix));
+    __m128d sum = splitmix_uniform(state);
+    sum = _mm_add_pd(sum, splitmix_uniform(state));
+    sum = _mm_add_pd(sum, splitmix_uniform(state));
+    sum = _mm_add_pd(sum, splitmix_uniform(state));
+    _mm_storeu_pd(out + i, _mm_mul_pd(_mm_sub_pd(sum, two), sqrt3));
+  }
+  if (i < n) hash_normal_fill_scalar(seed, keys + i, n - i, out + i);
+}
+
+#else  // !defined(__SSE2__): non-x86 builds fall back to the oracle.
+
+PearsonSums pearson_sums_sse2_fast(const double* x, const double* y,
+                                   std::size_t n) {
+  return pearson_sums_scalar(x, y, n);
+}
+void fft_stage_sse2(double* data, std::size_t n, std::size_t len,
+                    const double* twiddle) {
+  fft_stage_scalar(data, n, len, twiddle);
+}
+void gather_columns_sse2(const double* const* rows, std::size_t nrows,
+                         std::size_t c0, std::size_t bw, double* colbuf) {
+  gather_columns_scalar(rows, nrows, c0, bw, colbuf);
+}
+void hash_normal_fill_sse2(std::uint64_t seed, const std::int64_t* keys,
+                           std::size_t n, double* out) {
+  hash_normal_fill_scalar(seed, keys, n, out);
+}
+
+#endif
+
+}  // namespace cloudlens::stats::kernels::detail

@@ -7,9 +7,18 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "stats/kernels/kernels.h"
 
 namespace cloudlens::workloads {
 namespace {
+
+/// Per-tick noise keys for a grid, ready for the batched kernel fill.
+std::vector<std::int64_t> tick_noise_keys(const TimeGrid& grid) {
+  std::vector<std::int64_t> keys(grid.count);
+  for (std::size_t i = 0; i < grid.count; ++i)
+    keys[i] = grid.at(i) / kTelemetryInterval;
+  return keys;
+}
 
 double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
 
@@ -97,9 +106,11 @@ class SmoothNoiseCache {
     k0_ = anchor_key(grid.at(0), anchor_step);
     const std::int64_t k_last =
         anchor_key(grid.at(grid.count - 1), anchor_step);
-    anchors_.resize(static_cast<std::size_t>(k_last - k0_) + 2);
-    for (std::size_t j = 0; j < anchors_.size(); ++j)
-      anchors_[j] = hash_normal(seed, k0_ + static_cast<std::int64_t>(j));
+    std::vector<std::int64_t> keys(static_cast<std::size_t>(k_last - k0_) + 2);
+    for (std::size_t j = 0; j < keys.size(); ++j)
+      keys[j] = k0_ + static_cast<std::int64_t>(j);
+    anchors_.resize(keys.size());
+    stats::kernels::hash_normal_fill(seed, keys, anchors_);
   }
 
   double at(SimTime t, std::size_t i) const {
@@ -133,12 +144,9 @@ double hash_uniform(std::uint64_t seed, std::int64_t key) {
 }
 
 double hash_normal(std::uint64_t seed, std::int64_t key) {
-  // Irwin–Hall with n = 4: mean 2, variance 4/12; rescale to N(0,1) approx.
-  SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(key) * 0x2545f4914f6cdd1dULL));
-  double sum = 0;
-  for (int i = 0; i < 4; ++i)
-    sum += static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
-  return (sum - 2.0) * std::sqrt(3.0);
+  // Single source of truth lives in the kernel tier (the scalar oracle of
+  // the batched hash_normal_fill family).
+  return stats::kernels::hash_normal_one(seed, key);
 }
 
 double smooth_noise(std::uint64_t seed, SimTime t, SimDuration anchor_step) {
@@ -160,20 +168,20 @@ double diurnal_envelope(double local_hour, double peak_hour,
 
 // --- Diurnal -------------------------------------------------------------
 
-double DiurnalUtilization::eval(SimTime t, double envelope,
-                                double smooth) const {
+double DiurnalUtilization::eval(SimTime t, double envelope, double smooth,
+                                double tick_noise) const {
   const double peak =
       local_weekend(t, p_.tz_offset_hours) ? p_.weekend_peak : p_.weekday_peak;
   const double noise =
-      p_.noise_sigma * hash_normal(seed_, t / kTelemetryInterval) +
-      0.5 * p_.noise_sigma * smooth;
+      p_.noise_sigma * tick_noise + 0.5 * p_.noise_sigma * smooth;
   return clamp01(p_.base + (peak - p_.base) * envelope + noise);
 }
 
 double DiurnalUtilization::at(SimTime t) const {
   const double h = local_hour(t, p_.tz_offset_hours);
   return eval(t, diurnal_envelope(h, p_.peak_hour, p_.width_hours),
-              smooth_noise(seed_ ^ 0xABCDULL, t, kHour));
+              smooth_noise(seed_ ^ 0xABCDULL, t, kHour),
+              hash_normal(seed_, t / kTelemetryInterval));
 }
 
 void DiurnalUtilization::sample(const TimeGrid& grid,
@@ -188,23 +196,27 @@ void DiurnalUtilization::sample(const TimeGrid& grid,
                             p_.width_hours);
   });
   const SmoothNoiseCache smooth(grid, seed_ ^ 0xABCDULL, kHour);
+  std::vector<double> tick_noise(grid.count);
+  stats::kernels::hash_normal_fill(seed_, tick_noise_keys(grid), tick_noise);
   for (std::size_t i = 0; i < grid.count; ++i) {
     const SimTime t = grid.at(i);
-    out[i] = eval(t, envelope.at(i), smooth.at(t, i));
+    out[i] = eval(t, envelope.at(i), smooth.at(t, i), tick_noise[i]);
   }
 }
 
 // --- Stable --------------------------------------------------------------
 
-double StableUtilization::eval(SimTime t, double smooth) const {
+double StableUtilization::eval(SimTime t, double smooth,
+                               double tick_noise) const {
+  (void)t;
   const double wander = p_.wander_sigma * smooth;
-  const double noise =
-      p_.noise_sigma * hash_normal(seed_, t / kTelemetryInterval);
+  const double noise = p_.noise_sigma * tick_noise;
   return clamp01(p_.level + wander + noise);
 }
 
 double StableUtilization::at(SimTime t) const {
-  return eval(t, smooth_noise(seed_, t, kHour));
+  return eval(t, smooth_noise(seed_, t, kHour),
+              hash_normal(seed_, t / kTelemetryInterval));
 }
 
 void StableUtilization::sample(const TimeGrid& grid,
@@ -215,24 +227,28 @@ void StableUtilization::sample(const TimeGrid& grid,
     return;
   }
   const SmoothNoiseCache smooth(grid, seed_, kHour);
+  std::vector<double> tick_noise(grid.count);
+  stats::kernels::hash_normal_fill(seed_, tick_noise_keys(grid), tick_noise);
   for (std::size_t i = 0; i < grid.count; ++i) {
     const SimTime t = grid.at(i);
-    out[i] = eval(t, smooth.at(t, i));
+    out[i] = eval(t, smooth.at(t, i), tick_noise[i]);
   }
 }
 
 // --- Irregular -----------------------------------------------------------
 
-double IrregularUtilization::eval(SimTime t, double level) const {
-  const double noise =
-      p_.noise_sigma * hash_normal(seed_, t / kTelemetryInterval);
+double IrregularUtilization::eval(SimTime t, double level,
+                                  double tick_noise) const {
+  (void)t;
+  const double noise = p_.noise_sigma * tick_noise;
   return clamp01(level + noise);
 }
 
 double IrregularUtilization::at(SimTime t) const {
   const std::int64_t episode = t / p_.episode;
   const bool spiking = hash_uniform(seed_ ^ 0x5157ULL, episode) < p_.spike_prob;
-  return eval(t, spiking ? p_.spike_level : p_.base);
+  return eval(t, spiking ? p_.spike_level : p_.base,
+              hash_normal(seed_, t / kTelemetryInterval));
 }
 
 void IrregularUtilization::sample(const TimeGrid& grid,
@@ -254,17 +270,19 @@ void IrregularUtilization::sample(const TimeGrid& grid,
         hash_uniform(seed_ ^ 0x5157ULL, episode) < p_.spike_prob;
     level[e] = spiking ? p_.spike_level : p_.base;
   }
+  std::vector<double> tick_noise(grid.count);
+  stats::kernels::hash_normal_fill(seed_, tick_noise_keys(grid), tick_noise);
   for (std::size_t i = 0; i < grid.count; ++i) {
     const SimTime t = grid.at(i);
     const auto e = static_cast<std::size_t>(t / p_.episode - first);
-    out[i] = eval(t, level[e]);
+    out[i] = eval(t, level[e], tick_noise[i]);
   }
 }
 
 // --- Hourly-peak ---------------------------------------------------------
 
 double HourlyPeakUtilization::eval(SimTime t, double envelope, bool has_peak,
-                                   double shape) const {
+                                   double shape, double tick_noise) const {
   double env = envelope;
   if (local_weekend(t, p_.tz_offset_hours)) env *= p_.weekend_scale;
   const bool at_half = (((t + kHour / 4) / (kHour / 2)) % 2) != 0;
@@ -274,8 +292,7 @@ double HourlyPeakUtilization::eval(SimTime t, double envelope, bool has_peak,
                           (at_half ? p_.half_hour_peak_scale : 1.0) * env;
     peak_contrib = height * shape;
   }
-  const double noise =
-      p_.noise_sigma * hash_normal(seed_, t / kTelemetryInterval);
+  const double noise = p_.noise_sigma * tick_noise;
   return clamp01(p_.base + peak_contrib + noise);
 }
 
@@ -298,7 +315,8 @@ double HourlyPeakUtilization::at(SimTime t) const {
       has_peak ? 0.5 + 0.5 * std::cos(std::numbers::pi * double(dist) /
                                       double(p_.peak_width))
                : 0.0;
-  return eval(t, env, has_peak, shape);
+  return eval(t, env, has_peak, shape,
+              hash_normal(seed_, t / kTelemetryInterval));
 }
 
 void HourlyPeakUtilization::sample(const TimeGrid& grid,
@@ -326,10 +344,13 @@ void HourlyPeakUtilization::sample(const TimeGrid& grid,
                                       double(p_.peak_width));
     }
   }
+  std::vector<double> tick_noise(grid.count);
+  stats::kernels::hash_normal_fill(seed_, tick_noise_keys(grid), tick_noise);
   for (std::size_t i = 0; i < grid.count; ++i) {
     const SimTime t = grid.at(i);
     const std::size_t j = i % half_ticks;
-    out[i] = eval(t, envelope.at(i), has_peak[j] != 0, shape[j]);
+    out[i] = eval(t, envelope.at(i), has_peak[j] != 0, shape[j],
+                  tick_noise[i]);
   }
 }
 

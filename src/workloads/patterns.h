@@ -72,8 +72,11 @@ class DiurnalUtilization final : public PatternModel {
 
  private:
   /// Shared per-tick combine used by both at() and sample(), so cached and
-  /// directly-computed inputs produce the same bits.
-  double eval(SimTime t, double envelope, double smooth) const;
+  /// directly-computed inputs produce the same bits. `tick_noise` is the
+  /// raw hash_normal draw for the tick (sample() batch-fills it through
+  /// the dispatched kernel; at() hashes it inline).
+  double eval(SimTime t, double envelope, double smooth,
+              double tick_noise) const;
 
   Params p_;
   std::uint64_t seed_;
@@ -98,7 +101,7 @@ class StableUtilization final : public PatternModel {
   std::uint64_t seed() const { return seed_; }
 
  private:
-  double eval(SimTime t, double smooth) const;
+  double eval(SimTime t, double smooth, double tick_noise) const;
 
   Params p_;
   std::uint64_t seed_;
@@ -127,7 +130,7 @@ class IrregularUtilization final : public PatternModel {
   std::uint64_t seed() const { return seed_; }
 
  private:
-  double eval(SimTime t, double level) const;
+  double eval(SimTime t, double level, double tick_noise) const;
 
   Params p_;
   std::uint64_t seed_;
@@ -160,7 +163,8 @@ class HourlyPeakUtilization final : public PatternModel {
   std::uint64_t seed() const { return seed_; }
 
  private:
-  double eval(SimTime t, double envelope, bool has_peak, double shape) const;
+  double eval(SimTime t, double envelope, bool has_peak, double shape,
+              double tick_noise) const;
 
   Params p_;
   std::uint64_t seed_;

@@ -6,10 +6,14 @@
 #include <numbers>
 
 #include "common/rng.h"
+#include "stats/correlation.h"
 #include "stats/descriptive.h"
 #include "stats/ecdf.h"
+#include "stats/fft.h"
 #include "stats/histogram.h"
+#include "stats/kernels/dispatch.h"
 #include "stats/periodicity.h"
+#include "stats/series.h"
 
 namespace cloudlens::stats {
 namespace {
@@ -105,6 +109,136 @@ TEST(SummaryConsistency, SummaryAgreesWithDirectQuantiles) {
   EXPECT_LE(s.p75, s.p95);
   EXPECT_LE(s.p95, s.p99);
   EXPECT_LE(s.p99, s.max);
+}
+
+// --- Kernel-tier invariants ----------------------------------------------
+//
+// pearson_fused and periodicity_score_acf now run through the dispatched
+// kernel seam, so their mathematical invariants are asserted under EVERY
+// (tier, mode) this machine can execute — a property regression in one
+// SIMD variant fails here by name.
+
+/// Restores the dispatch config (and re-resolves from the environment)
+/// when a per-tier test block finishes.
+class DispatchRestore {
+ public:
+  ~DispatchRestore() { kernels::reset_from_env(); }
+};
+
+std::vector<kernels::Config> runnable_kernel_configs() {
+  std::vector<kernels::Config> configs;
+  for (const auto tier :
+       {kernels::Tier::kScalar, kernels::Tier::kSse2, kernels::Tier::kAvx2}) {
+    if (!kernels::tier_supported(tier)) continue;
+    configs.push_back({tier, kernels::Mode::kStrict});
+    configs.push_back({tier, kernels::Mode::kFast});
+  }
+  return configs;
+}
+
+std::string config_label(kernels::Config c) {
+  return std::string(kernels::to_string(c.tier)) + "/" +
+         std::string(kernels::to_string(c.mode));
+}
+
+class PearsonKernelProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PearsonKernelProperty, SymmetricScaleInvariantAndBounded) {
+  Rng rng(GetParam());
+  const std::size_t n = 2016;  // one telemetry week
+  std::vector<double> x(n), y(n), x2(n), x_shift(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = 0.6 * x[i] + 0.4 * rng.uniform();
+    x2[i] = 2.0 * x[i];        // exact power-of-two scaling
+    x_shift[i] = x[i] + 0.5;   // translation
+  }
+  DispatchRestore restore;
+  for (const auto config : runnable_kernel_configs()) {
+    SCOPED_TRACE(config_label(config));
+    kernels::set_active(config);
+    const double r = pearson_fused(x, y);
+    EXPECT_LE(std::fabs(r), 1.0);
+    // Argument symmetry is exact in both modes: swapping x and y swaps
+    // sx/sy and sxx/syy, and every product is commutative bit-for-bit.
+    EXPECT_EQ(r, pearson_fused(y, x));
+    // Scaling by a power of two rescales every co-moment exactly, so the
+    // correlation is bit-identical, not merely close.
+    EXPECT_EQ(r, pearson_fused(x2, y));
+    // Translation invariance is only approximate in the one-pass
+    // formulation (cancellation in sxx - sx^2/n grows with the offset).
+    EXPECT_NEAR(r, pearson_fused(x_shift, y), 1e-9);
+    // Perfect self-correlation, degenerate-variance guard.
+    EXPECT_EQ(pearson_fused(x, x), 1.0);
+    const std::vector<double> constant(n, 0.25);
+    EXPECT_EQ(pearson_fused(x, constant), 0.0);
+  }
+}
+
+TEST_P(PearsonKernelProperty, FastModeStaysWithinDocumentedTolerance) {
+  Rng rng(GetParam() + 99);
+  const std::size_t n = 2016;
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  DispatchRestore restore;
+  kernels::set_active({kernels::Tier::kScalar, kernels::Mode::kStrict});
+  const double reference = pearson_fused(x, y);
+  for (const auto config : runnable_kernel_configs()) {
+    kernels::set_active(config);
+    if (config.mode == kernels::Mode::kStrict) {
+      // Strict mode pins every tier to the scalar bytes.
+      EXPECT_EQ(pearson_fused(x, y), reference) << config_label(config);
+    } else {
+      EXPECT_NEAR(pearson_fused(x, y), reference, 1e-9)
+          << config_label(config);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PearsonKernelProperty,
+                         ::testing::Values(11u, 23u, 47u));
+
+TEST(PeriodicityKernelProperty, AcfInvariantsHoldAtEveryTier) {
+  // A clean daily sinusoid with mild noise, sampled at the telemetry
+  // interval for two weeks.
+  const std::size_t n = 2 * 2016;
+  Rng rng(5);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * double(kTelemetryInterval);
+    xs[i] = 0.5 + 0.3 * std::sin(2.0 * std::numbers::pi * t / double(kDay)) +
+            0.02 * rng.normal(0, 1);
+  }
+  DispatchRestore restore;
+  kernels::set_active({kernels::Tier::kScalar, kernels::Mode::kStrict});
+  const std::vector<double> acf_reference = autocorrelation(xs);
+  const double score_reference =
+      periodicity_score_acf(acf_reference, kTelemetryInterval, kDay);
+  EXPECT_GT(score_reference, 0.5);  // the planted period is detected
+
+  for (const auto config : runnable_kernel_configs()) {
+    SCOPED_TRACE(config_label(config));
+    kernels::set_active(config);
+    const std::vector<double> acf = autocorrelation(xs);
+    ASSERT_EQ(acf.size(), n);
+    // ACF(0) is exactly 1 by construction (buf[0] / buf[0]).
+    EXPECT_EQ(acf[0], 1.0);
+    // Normalized ACF is bounded for a real series.
+    for (const double a : acf) EXPECT_LE(std::fabs(a), 1.0 + 1e-9);
+    // The butterfly kernel is bit-exact at every tier in both modes, so
+    // the whole ACF — and therefore the score — must match scalar bytes.
+    for (std::size_t lag = 0; lag < n; ++lag)
+      ASSERT_EQ(acf[lag], acf_reference[lag]) << "lag " << lag;
+    EXPECT_EQ(periodicity_score_acf(acf, kTelemetryInterval, kDay),
+              score_reference);
+    // A period that was not planted scores worse than the planted one.
+    EXPECT_LT(periodicity_score_acf(acf, kTelemetryInterval, kHour),
+              score_reference);
+  }
 }
 
 }  // namespace

@@ -1,11 +1,18 @@
 #!/bin/sh
-# Local CI: the two build flavours that gate a change to cloudlens.
+# Local CI: the build flavours that gate a change to cloudlens.
 #
 #   1. Release        — optimized build, full ctest suite.
 #   2. ThreadSanitizer — same suite under TSan; this is the build that
 #      polices the deterministic parallel engine (common/parallel.*),
 #      every parallel call site, and the telemetry panel's concurrent
 #      lazy build. Run it whenever you touch them.
+#   3. UBSan          — address+undefined (incl. float-cast-overflow);
+#      runs the kernel + stats suites, policing the SIMD kernel tier's
+#      integer/float conversions and intrinsic shims.
+#
+# The Release and TSan flavours run the kernel differential/dispatch/
+# property suites twice — CLOUDLENS_KERNELS=scalar and =auto — so both
+# sides of the dispatch seam stay covered whatever the host CPU is.
 #
 # Both flavours re-run the telemetry-panel suites explicitly (panel
 # lifecycle, sample()==at() contract, panel-vs-legacy bit identity) and
@@ -15,14 +22,16 @@
 # trips, cache-key invariants, cold/warm equivalence) — the TSan pass
 # matters here because warm runs adopt cached panels into the same lazy
 # publication path the panel build uses.
-# The Release flavour finishes with three perf smokes: a small-trace
+# The Release flavour finishes with four perf smokes: a small-trace
 # bench_telemetry run that checks panel/legacy checksum identity, and a
 # bench_obs run that fails if enabling metrics+tracing costs more than 3%
-# on the panel-mode analysis suite, and a bench_pipeline run that fails
-# unless a warm artifact cache reproduces the cold run byte-for-byte and
-# is faster. (The full-size numbers recorded in EXPERIMENTS.md come from
-# `bench_telemetry --scale=0.1`, `bench_obs --scale=0.1`, and
-# `bench_pipeline --scale=0.35`.)
+# on the panel-mode analysis suite, a bench_simd checksum smoke (strict
+# kernel outputs and the rendered report must match the scalar oracle
+# bit-for-bit), and a bench_pipeline run that fails unless a warm
+# artifact cache reproduces the cold run byte-for-byte and is faster.
+# (The full-size numbers recorded in EXPERIMENTS.md come from
+# `bench_telemetry --scale=0.1`, `bench_obs --scale=0.1`,
+# `bench_simd --min-speedup=1.5`, and `bench_pipeline --scale=0.35`.)
 #
 # Usage: tools/ci.sh [build-root]       (default: ./ci-build)
 # Environment: CTEST_PARALLEL_LEVEL (default 2), CLOUDLENS_CI_JOBS
@@ -55,10 +64,34 @@ run_flavour() {
     echo "== [$name] snapshot + pipeline suites =="
     ctest --test-dir "$dir" --output-on-failure \
         -R 'Snapshot|ContentHash|ArtifactCache|PipelineRunner|RunPlan|PipelineEquivalence|StageTable|TraceIo'
+    # Kernel-tier suites (differential vs scalar oracle, dispatch, property
+    # invariants) run twice: once with the dispatch forced to the scalar
+    # reference and once letting it pick the best SIMD tier, so an
+    # environment override can never hide a broken variant.
+    echo "== [$name] kernel suites (CLOUDLENS_KERNELS=scalar) =="
+    CLOUDLENS_KERNELS=scalar ctest --test-dir "$dir" --output-on-failure \
+        -R 'Kernel'
+    echo "== [$name] kernel suites (CLOUDLENS_KERNELS=auto) =="
+    CLOUDLENS_KERNELS=auto ctest --test-dir "$dir" --output-on-failure \
+        -R 'Kernel'
 }
 
 run_flavour release -DCMAKE_BUILD_TYPE=Release -DCLOUDLENS_WERROR=ON
 run_flavour tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLOUDLENS_SANITIZE=thread
+
+# UBSan flavour (address+undefined plus float-cast-overflow): polices the
+# kernel tier's u64→f64 conversions and intrinsic shims. Builds the full
+# tree but runs only the kernel + stats suites — the full ctest pass under
+# ASan is covered well enough by the two flavours above.
+ubsan_dir="$BUILD_ROOT/ubsan"
+echo "== [ubsan] configure =="
+cmake -S "$ROOT" -B "$ubsan_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCLOUDLENS_SANITIZE=address >/dev/null
+echo "== [ubsan] build (-j$JOBS) =="
+cmake --build "$ubsan_dir" -j "$JOBS"
+echo "== [ubsan] kernel + stats suites =="
+ctest --test-dir "$ubsan_dir" --output-on-failure \
+    -R 'Kernel|StatsProperty|QuantileProperty|Correlation|Fft|Periodicity'
 
 echo "== [release] telemetry perf smoke =="
 "$BUILD_ROOT/release/bench/bench_telemetry" \
@@ -69,6 +102,15 @@ echo "== [release] observability overhead smoke =="
 "$BUILD_ROOT/release/bench/bench_obs" \
     --scale=0.02 --passes=1 --reps=3 --max-overhead-pct=3.0 \
     --out="$BUILD_ROOT/BENCH_obs_smoke.json"
+
+echo "== [release] kernel checksum smoke =="
+# Quick bench_simd pass: strict-mode checksums (all four kernel families
+# plus the rendered report) must be bit-identical to the scalar oracle;
+# fast-mode Pearson must stay within the documented tolerance. No perf
+# gate here — CI machines are too noisy; the recorded numbers come from
+# `bench/bench_simd --min-speedup=1.5` (see EXPERIMENTS.md).
+"$BUILD_ROOT/release/bench/bench_simd" --quick \
+    --json="$BUILD_ROOT/BENCH_simd_smoke.json"
 
 echo "== [release] pipeline cache smoke =="
 # Cold + warm run of the full stage graph against one cache: fails unless

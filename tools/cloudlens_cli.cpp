@@ -47,6 +47,7 @@
 #include "obs/trace_sink.h"
 #include "pipeline/run_plan.h"
 #include "policies/advisor.h"
+#include "stats/kernels/dispatch.h"
 #include "workloads/fit.h"
 #include "workloads/generator.h"
 
@@ -96,6 +97,12 @@ constexpr const char* kCommonFlagHelp =
     "                      an end-of-run summary table\n"
     "  --trace-out FILE    write Chrome Trace Event spans (load in\n"
     "                      chrome://tracing or ui.perfetto.dev)\n"
+    "  --kernels T         SIMD kernel tier: scalar|sse2|avx2|auto\n"
+    "                      (default auto = best supported; also via\n"
+    "                      CLOUDLENS_KERNELS)\n"
+    "  --kernel-mode M     strict (bit-identical to scalar, default) or\n"
+    "                      fast (SIMD reductions, tiny |Δr| tolerance;\n"
+    "                      also via CLOUDLENS_KERNEL_MODE)\n"
     "flags also accept the --flag=VALUE spelling\n";
 
 /// Prints the top-level usage text. Exit code 2 on the error paths
@@ -236,6 +243,21 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.cache_dir = v;
     } else if (a == "--no-cache") {
       args.no_cache = true;
+    } else if (a == "--kernels") {
+      const char* v = next();
+      if (!v) return false;
+      if (!stats::kernels::set_tier_from_string(v)) {
+        std::cerr << "invalid --kernels " << v
+                  << " (want scalar|sse2|avx2|auto)\n";
+        return false;
+      }
+    } else if (a == "--kernel-mode") {
+      const char* v = next();
+      if (!v) return false;
+      if (!stats::kernels::set_mode_from_string(v)) {
+        std::cerr << "invalid --kernel-mode " << v << " (want strict|fast)\n";
+        return false;
+      }
     } else if (a == "--cloud") {
       const char* v = next();
       if (!v) return false;
