@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "analysis/context.h"
+#include "analysis/shard_stream.h"
+#include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "stats/descriptive.h"
 #include "stats/fft.h"
@@ -91,16 +93,32 @@ PatternShares classify_population(const AnalysisContext& ctx, CloudType cloud,
   // ACF/periodicity tests. Per-VM labels land in independent slots, so the
   // fan-out is thread-count-invariant; the tally below walks them in
   // candidate order.
-  const auto labels = parallel_map<UtilizationClass>(
-      sampled,
-      [&](std::size_t k) {
-        std::vector<double> scratch;
-        const std::span<const double> row =
-            vm_telemetry_row(trace, panel, candidates[k * stride], grid,
-                             scratch);
-        return classify(row, grid, options);
-      },
-      parallel);
+  std::vector<UtilizationClass> labels;
+  const TelemetryShardStore* shards = trace.telemetry_shards();
+  if (shards != nullptr) {
+    // Out-of-core mode: same per-VM classify kernel, streamed shard by
+    // shard with slot-per-VM outputs — identical labels, bounded RSS.
+    labels.resize(sampled, UtilizationClass::kStable);
+    stream_by_shard(
+        *shards, sampled,
+        [&](std::size_t k) { return shards->shard_of_vm(candidates[k * stride]); },
+        [&](std::size_t k) {
+          labels[k] =
+              classify(shards->row(candidates[k * stride]), grid, options);
+        },
+        parallel);
+  } else {
+    labels = parallel_map<UtilizationClass>(
+        sampled,
+        [&](std::size_t k) {
+          std::vector<double> scratch;
+          const std::span<const double> row =
+              vm_telemetry_row(trace, panel, candidates[k * stride], grid,
+                               scratch);
+          return classify(row, grid, options);
+        },
+        parallel);
+  }
 
   PatternShares shares;
   for (const UtilizationClass label : labels) {

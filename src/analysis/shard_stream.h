@@ -1,0 +1,46 @@
+// Bounded-RSS streaming over telemetry shards.
+//
+// The streaming analyses process their work items grouped by shard, in
+// ascending shard-index order: all items of shard 0 fan out over the pool,
+// the pool drains (ThreadPool::run blocks, providing the happens-before
+// edge), the store evicts down to its mapped-bytes budget at that serial
+// point, then shard 1 begins. Peak RSS is one-to-two mapped shards plus
+// scratch instead of the whole panel.
+//
+// Determinism: each item writes only its own output slot, and callers
+// assemble slots in item order afterwards — so the result is the same at
+// any thread count *and* identical to the unsharded pass, which visits
+// the same items with the same per-item kernels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cloudsim/shard.h"
+#include "common/parallel.h"
+
+namespace cloudlens::analysis {
+
+/// Runs item_fn(i) for every i in [0, n), grouped by shard_of_item(i),
+/// shard by shard with budget eviction at each shard boundary. item_fn
+/// must write only to slot i of its output (the parallel_for contract);
+/// spans obtained from the store are valid within the current shard's
+/// region only.
+template <typename ShardOf, typename Fn>
+void stream_by_shard(const TelemetryShardStore& shards, std::size_t n,
+                     ShardOf&& shard_of_item, Fn&& item_fn,
+                     const ParallelConfig& parallel) {
+  std::vector<std::vector<std::size_t>> by_shard(shards.shard_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    by_shard[shard_of_item(i)].push_back(i);
+  }
+  for (std::uint32_t s = 0; s < shards.shard_count(); ++s) {
+    const std::vector<std::size_t>& items = by_shard[s];
+    if (items.empty()) continue;
+    parallel_for(
+        items.size(), [&](std::size_t j) { item_fn(items[j]); }, parallel);
+    shards.evict_over_budget();
+  }
+}
+
+}  // namespace cloudlens::analysis

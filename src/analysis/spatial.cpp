@@ -1,10 +1,13 @@
 #include "analysis/spatial.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <unordered_map>
 
 #include "analysis/context.h"
+#include "analysis/shard_stream.h"
+#include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
 #include "stats/correlation.h"
@@ -16,9 +19,13 @@ namespace {
 /// matching the paper's "averaged utilization computed at the region
 /// level"). Consumes the panel's hourly companion view: one 168-sample
 /// row accumulation per VM instead of re-rolling 12-tick windows over a
-/// freshly evaluated 2016-sample series per subscription.
+/// freshly evaluated 2016-sample series per subscription. In out-of-core
+/// mode (`shards` non-null) the hourly rows come off the mapped shard
+/// instead — identical bits, since both are produced by the same
+/// hourly_from_row kernel.
 stats::TimeSeries average_hourly_utilization(const TraceStore& trace,
                                              const TelemetryPanel* panel,
+                                             const TelemetryShardStore* shards,
                                              std::span<const VmId> vms,
                                              const TimeGrid& grid) {
   CL_CHECK(!vms.empty());
@@ -30,7 +37,10 @@ stats::TimeSeries average_hourly_utilization(const TraceStore& trace,
   std::vector<double> row_scratch, hourly_scratch;
   for (const VmId id : vms) {
     const std::span<const double> hourly =
-        vm_hourly_row(trace, panel, id, grid, row_scratch, hourly_scratch);
+        shards != nullptr
+            ? shards->hourly_row(id)
+            : vm_hourly_row(trace, panel, id, grid, row_scratch,
+                            hourly_scratch);
     for (std::size_t i = 0; i < values.size(); ++i) values[i] += hourly[i];
   }
   sum.scale(1.0 / static_cast<double>(vms.size()));
@@ -71,29 +81,62 @@ std::vector<double> node_vm_correlations(const AnalysisContext& ctx,
   const std::size_t sampled =
       candidates.empty() ? 0 : (candidates.size() + stride - 1) / stride;
 
-  // Hot path: one node-utilization roll-up plus one fused Pearson per
-  // hosted VM, streaming panel rows — no per-VM series materialization.
-  // Each strided node fills its own slot; slots are concatenated in node
-  // order below, so output is independent of scheduling.
-  const auto per_node = parallel_map<std::vector<double>>(
-      sampled,
-      [&](std::size_t k) {
-        const auto& [node_id, vms] = candidates[k * stride];
-        const auto node_series = trace.node_utilization(node_id, grid);
-        std::vector<double> rs;
-        rs.reserve(vms.size());
-        std::vector<double> scratch;
-        for (const VmId id : vms) {
-          const std::span<const double> row =
-              vm_telemetry_row(trace, panel, id, grid, scratch);
-          rs.push_back(stats::pearson_fused(row, node_series.values()));
-        }
-        return rs;
-      },
-      parallel);
-
   std::vector<double> out;
-  for (const auto& rs : per_node) out.insert(out.end(), rs.begin(), rs.end());
+  const TelemetryShardStore* shards = trace.telemetry_shards();
+  if (shards != nullptr) {
+    // Out-of-core mode. The node roll-ups come first (they evaluate VM
+    // models into per-task scratch — small and shard-independent), one
+    // slot per sampled node. Then every (node, VM) Pearson becomes a pair
+    // item laid out node-major — exactly the order the resident path
+    // concatenates per_node — and the pairs stream shard by shard, so the
+    // sorted result is bit-identical with one-to-two shards mapped.
+    const auto node_series = parallel_map<stats::TimeSeries>(
+        sampled,
+        [&](std::size_t k) {
+          return trace.node_utilization(candidates[k * stride].first, grid);
+        },
+        parallel);
+    std::vector<std::uint32_t> pair_node;
+    std::vector<VmId> pair_vm;
+    for (std::size_t k = 0; k < sampled; ++k) {
+      for (const VmId id : candidates[k * stride].second) {
+        pair_node.push_back(static_cast<std::uint32_t>(k));
+        pair_vm.push_back(id);
+      }
+    }
+    out.assign(pair_vm.size(), 0.0);
+    stream_by_shard(
+        *shards, pair_vm.size(),
+        [&](std::size_t p) { return shards->shard_of_vm(pair_vm[p]); },
+        [&](std::size_t p) {
+          out[p] = stats::pearson_fused(shards->row(pair_vm[p]),
+                                        node_series[pair_node[p]].values());
+        },
+        parallel);
+  } else {
+    // Hot path: one node-utilization roll-up plus one fused Pearson per
+    // hosted VM, streaming panel rows — no per-VM series materialization.
+    // Each strided node fills its own slot; slots are concatenated in node
+    // order below, so output is independent of scheduling.
+    const auto per_node = parallel_map<std::vector<double>>(
+        sampled,
+        [&](std::size_t k) {
+          const auto& [node_id, vms] = candidates[k * stride];
+          const auto node_series = trace.node_utilization(node_id, grid);
+          std::vector<double> rs;
+          rs.reserve(vms.size());
+          std::vector<double> scratch;
+          for (const VmId id : vms) {
+            const std::span<const double> row =
+                vm_telemetry_row(trace, panel, id, grid, scratch);
+            rs.push_back(stats::pearson_fused(row, node_series.values()));
+          }
+          return rs;
+        },
+        parallel);
+    for (const auto& rs : per_node)
+      out.insert(out.end(), rs.begin(), rs.end());
+  }
   std::sort(out.begin(), out.end());
   ctx.count(obs::Counter::kAnalysisCorrelations, out.size());
   return out;
@@ -116,6 +159,10 @@ std::vector<RegionProfile> subscription_region_profiles(
   const TraceStore& trace = ctx.trace();
   const TimeGrid& grid = trace.telemetry_grid();
   const TelemetryPanel* panel = trace.telemetry_panel();
+  // A subscription's VMs all live in one shard (the router hashes the
+  // subscription id), so in out-of-core mode this whole call touches at
+  // most one mapped shard.
+  const TelemetryShardStore* shards = trace.telemetry_shards();
   std::unordered_map<RegionId, std::vector<VmId>> by_region;
   for (const VmId id : trace.vms_of_subscription(sub)) {
     const auto& vm = trace.vm(id);
@@ -130,7 +177,7 @@ std::vector<RegionProfile> subscription_region_profiles(
     p.region = region;
     p.vms_used = vms.size();
     p.hourly_utilization =
-        average_hourly_utilization(trace, panel, vms, grid);
+        average_hourly_utilization(trace, panel, shards, vms, grid);
     out.push_back(std::move(p));
   }
   std::sort(out.begin(), out.end(),
@@ -195,6 +242,10 @@ std::vector<double> cross_region_correlations(const AnalysisContext& ctx,
                                               max_vms_per_region);
         },
         parallel);
+    // Serial point between blocks: drop mapped shards back under budget
+    // before the next fan-out pages more in.
+    if (const TelemetryShardStore* shards = trace.telemetry_shards())
+      shards->evict_over_budget();
     for (const auto& profiles : profile_block) {
       if (max_subscriptions > 0 && used >= max_subscriptions) break;
       if (profiles.size() < 2) continue;
@@ -266,9 +317,13 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
         const auto& regions = *region_sets[s];
         std::vector<stats::TimeSeries> profiles;
         profiles.reserve(regions.size());
+        // Services span subscriptions (and so shards) arbitrarily, and
+        // this single fan-out has no serial point to evict at — so stay on
+        // the scratch fallback (shards = nullptr) rather than page an
+        // unbounded shard set; the bits are identical either way.
         for (const auto& [_, vms] : regions)
           profiles.push_back(
-              average_hourly_utilization(trace, panel, vms, grid));
+              average_hourly_utilization(trace, panel, nullptr, vms, grid));
 
         RegionAgnosticVerdict v;
         v.service = services[s];

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "analysis/context.h"
+#include "analysis/shard_stream.h"
+#include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
 #include "stats/descriptive.h"
@@ -36,17 +38,36 @@ UtilizationDistribution utilization_distribution(const AnalysisContext& ctx,
   CL_CHECK(grid.step > 0 && kHour % grid.step == 0);
   const std::size_t factor = static_cast<std::size_t>(kHour / grid.step);
   const TimeGrid hourly_grid{grid.start, kHour, grid.count / factor};
-  const auto hourly = parallel_map<stats::TimeSeries>(
-      sampled,
-      [&](std::size_t k) {
-        std::vector<double> row_scratch, hourly_scratch;
-        const std::span<const double> row = vm_hourly_row(
-            trace, panel, candidates[k * stride], grid, row_scratch,
-            hourly_scratch);
-        return stats::TimeSeries(hourly_grid,
-                                 std::vector<double>(row.begin(), row.end()));
-      },
-      parallel);
+  std::vector<stats::TimeSeries> hourly;
+  const TelemetryShardStore* shards = trace.telemetry_shards();
+  if (shards != nullptr) {
+    // Out-of-core mode: stream the roll-up shard by shard (bounded RSS).
+    // Each sampled VM still fills its own slot k, so the assembled vector
+    // is identical to the resident path, bit for bit.
+    hourly.resize(sampled);
+    stream_by_shard(
+        *shards, sampled,
+        [&](std::size_t k) { return shards->shard_of_vm(candidates[k * stride]); },
+        [&](std::size_t k) {
+          const std::span<const double> row =
+              shards->hourly_row(candidates[k * stride]);
+          hourly[k] = stats::TimeSeries(
+              hourly_grid, std::vector<double>(row.begin(), row.end()));
+        },
+        parallel);
+  } else {
+    hourly = parallel_map<stats::TimeSeries>(
+        sampled,
+        [&](std::size_t k) {
+          std::vector<double> row_scratch, hourly_scratch;
+          const std::span<const double> row = vm_hourly_row(
+              trace, panel, candidates[k * stride], grid, row_scratch,
+              hourly_scratch);
+          return stats::TimeSeries(
+              hourly_grid, std::vector<double>(row.begin(), row.end()));
+        },
+        parallel);
+  }
 
   UtilizationDistribution out;
   out.vms_used = hourly.size();

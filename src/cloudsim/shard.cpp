@@ -1,0 +1,304 @@
+#include "cloudsim/shard.h"
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "cloudsim/snapshot.h"
+#include "cloudsim/telemetry_panel.h"
+#include "cloudsim/trace.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace cloudlens {
+
+namespace fs = std::filesystem;
+
+std::uint32_t shard_of_subscription(SubscriptionId sub,
+                                    std::uint32_t shard_count) {
+  CL_CHECK(shard_count > 0);
+  // SplitMix64 finalizer over the raw id: stable across platforms, runs,
+  // and thread counts, and strong enough that sequentially assigned ids
+  // spread evenly over any K.
+  return static_cast<std::uint32_t>(
+      SplitMix64(static_cast<std::uint64_t>(sub.value())).next() %
+      shard_count);
+}
+
+namespace {
+
+/// FNV-1a over the router inputs. Binds a spill file to the trace's VM
+/// metadata (subscription, lifetime, cores), the grid, and K. Model
+/// *internals* are not hashed — callers that may reuse a spill dir across
+/// traces with identical metadata but different models must key the
+/// directory by trace content (the pipeline names shard dirs by the trace
+/// stage's content key, which does exactly that).
+class Fnv64 {
+ public:
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFF;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t compute_router_digest(const TraceStore& trace,
+                                    std::uint32_t shard_count) {
+  Fnv64 h;
+  h.u64(0x636c2e7368617264ULL);  // "cl.shard" — format salt
+  h.u64(shard_count);
+  const TimeGrid& grid = trace.telemetry_grid();
+  h.i64(grid.start);
+  h.i64(grid.step);
+  h.u64(grid.count);
+  h.u64(trace.vms().size());
+  for (const VmRecord& vm : trace.vms()) {
+    h.u64(vm.subscription.value());
+    h.i64(vm.created);
+    h.i64(vm.deleted);
+    h.f64(vm.cores);
+    h.u64(vm.utilization == nullptr ? 0 : 1);
+  }
+  return h.digest();
+}
+
+std::string shard_path(const std::string& dir, std::uint32_t index) {
+  return (fs::path(dir) / ("panel-shard-" + std::to_string(index) + ".clsn"))
+      .string();
+}
+
+}  // namespace
+
+TelemetryShardStore::TelemetryShardStore(const TraceStore& trace,
+                                         TelemetryShardingOptions options)
+    : grid_(trace.telemetry_grid()), options_(std::move(options)) {
+  CL_CHECK_MSG(!options_.spill_dir.empty(),
+               "shard store: spill_dir is required");
+  shard_count_ = std::max<std::uint32_t>(1, options_.shards);
+  CL_CHECK(grid_.count > 0);
+  const bool hourly_ok =
+      grid_.step > 0 && kHour % grid_.step == 0 &&
+      grid_.count >= static_cast<std::size_t>(kHour / grid_.step);
+  if (hourly_ok) {
+    const std::size_t factor = static_cast<std::size_t>(kHour / grid_.step);
+    hourly_grid_ = TimeGrid{grid_.start, kHour, grid_.count / factor};
+  }
+  router_digest_ = compute_router_digest(trace, shard_count_);
+
+  // Router: walk VMs in id order, assigning each to its subscription's
+  // shard and the next dense row within that shard. Pure function of the
+  // trace + K, so the layout matches any previously spilled files.
+  const std::span<const VmRecord> vms = trace.vms();
+  vm_slots_.resize(vms.size());
+  shards_.reserve(shard_count_);
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (std::size_t v = 0; v < vms.size(); ++v) {
+    const std::uint32_t s =
+        shard_of_subscription(vms[v].subscription, shard_count_);
+    vm_slots_[v] = {s, static_cast<std::uint32_t>(shards_[s]->vms.size())};
+    shards_[s]->vms.push_back(vms[v].id);
+  }
+
+  fs::create_directories(options_.spill_dir);
+  auto& metrics = obs::MetricsRegistry::global();
+
+  // Fill + spill one shard at a time: peak build memory is the largest
+  // single shard, not the panel.
+  std::vector<double> rows;
+  std::vector<double> hourly;
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = *shards_[s];
+    shard.path = shard_path(options_.spill_dir, s);
+
+    // Warm start: an existing file with a matching header is the same
+    // bytes this build would produce — reuse it.
+    if (fs::exists(shard.path)) {
+      try {
+        SnapshotMapping mapping(shard.path);
+        const PanelShardView view = open_panel_shard(mapping);
+        if (view.header.shard_index == s &&
+            view.header.shard_count == shard_count_ &&
+            view.header.row_count == shard.vms.size() &&
+            view.header.hourly_count == hourly_grid_.count &&
+            view.header.router_digest == router_digest_ &&
+            view.header.grid.start == grid_.start &&
+            view.header.grid.step == grid_.step &&
+            view.header.grid.count == grid_.count) {
+          shard.file_bytes = mapping.bytes().size();
+          spill_bytes_ += shard.file_bytes;
+          continue;
+        }
+      } catch (const CheckError&) {
+        // Malformed or stale file: fall through and rewrite it.
+      }
+    }
+
+    const std::size_t n = shard.vms.size();
+    rows.assign(n * grid_.count, 0.0);
+    hourly.assign(n * hourly_grid_.count, 0.0);
+    parallel_for(
+        n,
+        [&](std::size_t i) {
+          const VmRecord& vm = trace.vm(shard.vms[i]);
+          const std::span<double> row{rows.data() + i * grid_.count,
+                                      grid_.count};
+          TelemetryPanel::fill_row(vm, grid_, row);
+          if (hourly_grid_.count > 0) {
+            TelemetryPanel::hourly_from_row(
+                row, grid_,
+                {hourly.data() + i * hourly_grid_.count, hourly_grid_.count});
+          }
+        },
+        options_.parallel);
+
+    PanelShardHeader header;
+    header.grid = grid_;
+    header.shard_index = s;
+    header.shard_count = shard_count_;
+    header.row_count = n;
+    header.hourly_count = hourly_grid_.count;
+    header.router_digest = router_digest_;
+    const std::string tmp = shard.path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      CL_CHECK_MSG(out.good(), "shard store: cannot write " << tmp);
+      save_panel_shard_snapshot(header, rows, hourly, out);
+    }
+    fs::rename(tmp, shard.path);
+    shard.file_bytes = static_cast<std::size_t>(fs::file_size(shard.path));
+    spill_bytes_ += shard.file_bytes;
+    metrics.add(obs::Counter::kPanelShardSpills);
+  }
+  metrics.set(obs::Gauge::kPanelShardCount,
+              static_cast<double>(shard_count_));
+  metrics.set(obs::Gauge::kPanelShardResidentBytes, 0.0);
+}
+
+TelemetryShardStore::~TelemetryShardStore() {
+  evict_all();
+  if (!options_.keep_files) {
+    for (const auto& s : shards_) {
+      if (!s->path.empty()) {
+        std::error_code ec;
+        fs::remove(s->path, ec);  // best effort
+      }
+    }
+  }
+}
+
+std::uint32_t TelemetryShardStore::shard_of(SubscriptionId sub) const {
+  return shard_of_subscription(sub, shard_count_);
+}
+
+std::uint32_t TelemetryShardStore::shard_of_vm(VmId id) const {
+  return vm_slots_.at(id.value()).first;
+}
+
+std::span<const VmId> TelemetryShardStore::shard_vms(
+    std::uint32_t shard) const {
+  return shards_.at(shard)->vms;
+}
+
+const PanelShardView& TelemetryShardStore::acquire(std::uint32_t shard) const {
+  Shard& s = *shards_[shard];
+  const PanelShardView* view = s.view.load(std::memory_order_acquire);
+  if (view == nullptr) {
+    std::lock_guard<std::mutex> lock(residency_mutex_);
+    view = s.view.load(std::memory_order_relaxed);
+    if (view == nullptr) {
+      s.mapping = std::make_unique<SnapshotMapping>(s.path);
+      s.view_storage =
+          std::make_unique<PanelShardView>(open_panel_shard(*s.mapping));
+      const PanelShardHeader& h = s.view_storage->header;
+      CL_CHECK_MSG(h.shard_index == shard &&
+                       h.shard_count == shard_count_ &&
+                       h.row_count == s.vms.size() &&
+                       h.router_digest == router_digest_,
+                   "shard store: spill file " << s.path
+                                              << " does not match router");
+      resident_bytes_.fetch_add(s.file_bytes, std::memory_order_relaxed);
+      auto& metrics = obs::MetricsRegistry::global();
+      metrics.add(obs::Counter::kPanelShardPageIns);
+      metrics.set(obs::Gauge::kPanelShardResidentBytes,
+                  static_cast<double>(
+                      resident_bytes_.load(std::memory_order_relaxed)));
+      view = s.view_storage.get();
+      s.view.store(view, std::memory_order_release);
+    }
+  }
+  s.last_use.store(lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  return *view;
+}
+
+std::span<const double> TelemetryShardStore::row(VmId id) const {
+  const auto [shard, local] = vm_slots_.at(id.value());
+  const PanelShardView& view = acquire(shard);
+  obs::MetricsRegistry::global().add(obs::Counter::kPanelShardRowReads);
+  return view.rows.subspan(static_cast<std::size_t>(local) * grid_.count,
+                           grid_.count);
+}
+
+std::span<const double> TelemetryShardStore::hourly_row(VmId id) const {
+  if (hourly_grid_.count == 0) return {};
+  const auto [shard, local] = vm_slots_.at(id.value());
+  const PanelShardView& view = acquire(shard);
+  obs::MetricsRegistry::global().add(obs::Counter::kPanelShardRowReads);
+  return view.hourly.subspan(
+      static_cast<std::size_t>(local) * hourly_grid_.count,
+      hourly_grid_.count);
+}
+
+void TelemetryShardStore::unmap_locked(Shard& s) const {
+  if (s.view.load(std::memory_order_relaxed) == nullptr) return;
+  s.view.store(nullptr, std::memory_order_release);
+  s.view_storage.reset();
+  s.mapping.reset();  // munmap: the pages leave RSS here
+  s.last_use.store(0, std::memory_order_relaxed);
+  resident_bytes_.fetch_sub(s.file_bytes, std::memory_order_relaxed);
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add(obs::Counter::kPanelShardEvictions);
+  metrics.set(obs::Gauge::kPanelShardResidentBytes,
+              static_cast<double>(
+                  resident_bytes_.load(std::memory_order_relaxed)));
+}
+
+void TelemetryShardStore::evict_over_budget() const {
+  std::lock_guard<std::mutex> lock(residency_mutex_);
+  while (resident_bytes_.load(std::memory_order_relaxed) >
+         options_.budget_bytes) {
+    Shard* oldest = nullptr;
+    std::uint64_t oldest_use = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& sp : shards_) {
+      Shard& s = *sp;
+      if (s.view.load(std::memory_order_relaxed) == nullptr) continue;
+      const std::uint64_t use = s.last_use.load(std::memory_order_relaxed);
+      if (use < oldest_use) {
+        oldest_use = use;
+        oldest = &s;
+      }
+    }
+    if (oldest == nullptr) break;
+    unmap_locked(*oldest);
+  }
+}
+
+void TelemetryShardStore::evict_all() const {
+  std::lock_guard<std::mutex> lock(residency_mutex_);
+  for (const auto& s : shards_) unmap_locked(*s);
+}
+
+}  // namespace cloudlens

@@ -1,0 +1,159 @@
+// Out-of-core telemetry: sharded panel spill files + on-demand mapping.
+//
+// The resident TelemetryPanel costs one double per VM per tick (~16 KB per
+// VM for the default week grid) — ~3 GB at generator scale 1.0 and ~50 GB
+// at the paper's population, which cannot live in one in-memory matrix.
+// The shard store splits the panel by a *stable hash of the subscription
+// id* into K shards; each shard holds the dense row-major sub-matrix of
+// its member VMs (full-resolution rows plus the hourly companion), built
+// one shard at a time and spilled to its own snapshot container
+// (snapshot.h: SHARD_META/SHARD_ROWS/SHARD_HOURLY sections). Reads mmap
+// shard files on demand (SnapshotMapping), so only the rows an analysis
+// actually touches ever enter RSS, and an LRU policy unmaps shards when
+// the mapped-bytes budget is exceeded. Peak RSS of a full analysis pass is
+// O(one shard + scratch) instead of O(panel).
+//
+// Shard hash contract: shard_of(sub) = SplitMix64(sub.value()).next() %
+// shard_count. The hash keys on the *subscription* so that a
+// subscription's VMs always land in one shard — the kb extractor and the
+// per-subscription spatial profiles then stream whole subscriptions
+// without crossing shard boundaries. The assignment is a pure function of
+// (subscription id, K): independent of thread count, build order, and
+// platform, so spill files are reusable across runs (the router digest
+// binds a file to its trace + K).
+//
+// Concurrency / lifetime rules (TSan-policed):
+//   - row()/hourly_row() may be called from any number of pool workers
+//     concurrently; a shard's first toucher maps it under a mutex and
+//     publishes the view with a release-store (the TraceStore lazy-index
+//     idiom).
+//   - Returned spans alias the shard's mapping and stay valid until the
+//     next evict_over_budget()/evict_all() call. Eviction must therefore
+//     happen only at *serial points* — between parallel regions —
+//     never while a parallel_for over the store is in flight
+//     (ThreadPool::run blocks until the batch drains, which provides the
+//     happens-before edge).
+//   - Results are bit-identical to the resident panel: rows are produced
+//     by the same TelemetryPanel::fill_row/hourly_from_row kernels, and
+//     consumers merge per-shard partials in shard-index order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/parallel.h"
+#include "common/sim_time.h"
+
+namespace cloudlens {
+
+class TraceStore;
+class SnapshotMapping;
+struct PanelShardView;
+
+/// Stable shard assignment; pure function of (subscription id, K).
+std::uint32_t shard_of_subscription(SubscriptionId sub,
+                                    std::uint32_t shard_count);
+
+struct TelemetryShardingOptions {
+  /// Number of shards (K). Clamped to >= 1.
+  std::uint32_t shards = 16;
+  /// Mapped-bytes budget: evict_over_budget() unmaps least-recently-used
+  /// shards until the total mapped file bytes fit. 0 = exactly one
+  /// resident shard at a time.
+  std::size_t budget_bytes = 256ull << 20;
+  /// Directory for the spill files (created if missing). Files are named
+  /// panel-shard-<index>.clsn; existing files whose router digest matches
+  /// are reused instead of rebuilt (warm start).
+  std::string spill_dir;
+  /// Leave the spill files on disk at destruction (cache-dir reuse).
+  /// When false the store removes its files.
+  bool keep_files = false;
+  /// Parallelism for the per-shard row fill during build.
+  ParallelConfig parallel{};
+};
+
+/// K mmap-backed panel shards plus the router that assigns VMs to them.
+/// Immutable after construction apart from the residency state; see the
+/// file comment for the concurrency contract.
+class TelemetryShardStore {
+ public:
+  /// Builds the router, then fills and spills every shard that is not
+  /// already on disk with a matching digest. Build allocates one shard's
+  /// matrices at a time.
+  TelemetryShardStore(const TraceStore& trace,
+                      TelemetryShardingOptions options);
+  ~TelemetryShardStore();
+  TelemetryShardStore(const TelemetryShardStore&) = delete;
+  TelemetryShardStore& operator=(const TelemetryShardStore&) = delete;
+
+  std::uint32_t shard_count() const { return shard_count_; }
+  const TimeGrid& grid() const { return grid_; }
+  /// Hourly companion grid (count == 0 when unavailable).
+  const TimeGrid& hourly_grid() const { return hourly_grid_; }
+  /// Binds spill files to (trace metadata, K, hash fn); see shard.cpp.
+  std::uint64_t router_digest() const { return router_digest_; }
+
+  std::uint32_t shard_of(SubscriptionId sub) const;
+  std::uint32_t shard_of_vm(VmId id) const;
+  /// Member VMs of `shard` in ascending id order.
+  std::span<const VmId> shard_vms(std::uint32_t shard) const;
+
+  /// Full-resolution utilization row (grid().count samples). Maps the
+  /// VM's shard on demand; see the lifetime rules above.
+  std::span<const double> row(VmId id) const;
+  /// Hourly-mean row (hourly_grid().count samples; empty when the hourly
+  /// view is unavailable).
+  std::span<const double> hourly_row(VmId id) const;
+
+  /// Unmap least-recently-used shards until mapped bytes <= budget.
+  /// Serial points only — invalidates every span handed out so far.
+  void evict_over_budget() const;
+  /// Unmap everything. Serial points only.
+  void evict_all() const;
+
+  /// Total file bytes currently mapped.
+  std::size_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Total bytes of all spill files on disk.
+  std::size_t spill_bytes() const { return spill_bytes_; }
+  std::size_t budget_bytes() const { return options_.budget_bytes; }
+
+ private:
+  struct Shard {
+    std::vector<VmId> vms;          // ascending id order
+    std::string path;               // spill file
+    std::size_t file_bytes = 0;
+    // Residency: `view` is published by a release-store after the mapping
+    // is opened under `residency_mutex_`; readers acquire-load it.
+    std::atomic<const PanelShardView*> view{nullptr};
+    std::unique_ptr<SnapshotMapping> mapping;
+    std::unique_ptr<PanelShardView> view_storage;
+    std::atomic<std::uint64_t> last_use{0};
+  };
+
+  const PanelShardView& acquire(std::uint32_t shard) const;
+  void unmap_locked(Shard& s) const;
+
+  TimeGrid grid_;
+  TimeGrid hourly_grid_{0, kHour, 0};
+  std::uint32_t shard_count_ = 1;
+  TelemetryShardingOptions options_;
+  std::uint64_t router_digest_ = 0;
+  /// Per-VM (shard, dense row index within the shard).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> vm_slots_;
+  /// unique_ptr: Shard holds atomics and is neither copyable nor movable.
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex residency_mutex_;
+  mutable std::atomic<std::uint64_t> lru_clock_{0};
+  mutable std::atomic<std::size_t> resident_bytes_{0};
+  std::size_t spill_bytes_ = 0;
+};
+
+}  // namespace cloudlens

@@ -1,12 +1,24 @@
 #include "cloudsim/snapshot.h"
 
 #include <bit>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <iterator>
 #include <ostream>
 #include <unordered_map>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CLOUDLENS_SNAPSHOT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define CLOUDLENS_SNAPSHOT_HAS_MMAP 0
+#endif
 
 #include "cloudsim/trace_io.h"
 #include "common/check.h"
@@ -98,6 +110,9 @@ enum Section : std::uint32_t {
   kModels = 5,
   kVms = 6,
   kPanel = 7,
+  kShardMeta = 8,
+  kShardRows = 9,
+  kShardHourly = 10,
 };
 
 // Native model tags (< kFirstCustomModelTag).
@@ -359,23 +374,63 @@ void write_container(
   CL_CHECK_MSG(out.good(), "snapshot: write failed");
 }
 
+/// Validates the container header and section table over `bytes` and
+/// returns id -> payload views into it. Shared by the buffered reader and
+/// SnapshotMapping, so both paths reject the same malformed inputs.
+std::vector<std::pair<std::uint32_t, std::string_view>> parse_sections(
+    std::string_view bytes) {
+  Reader header(bytes);
+  CL_CHECK_MSG(header.u32() == kSnapshotMagic,
+               "snapshot: bad magic (not a cloudlens snapshot)");
+  const std::uint32_t version = header.u32();
+  CL_CHECK_MSG(version == kSnapshotFormatVersion,
+               "snapshot: format version " << version << " != supported "
+                                           << kSnapshotFormatVersion);
+  const std::uint32_t count = header.u32();
+  header.u32();  // reserved
+  std::vector<std::pair<std::uint32_t, std::string_view>> sections;
+  sections.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t id = header.u32();
+    header.u32();  // reserved
+    const std::uint64_t offset = header.u64();
+    const std::uint64_t size = header.u64();
+    CL_CHECK_MSG(offset <= bytes.size() && size <= bytes.size() - offset,
+                 "snapshot: section " << id << " out of bounds");
+    sections.emplace_back(id, bytes.substr(offset, size));
+  }
+  return sections;
+}
+
+std::string_view find_section(
+    const std::vector<std::pair<std::uint32_t, std::string_view>>& sections,
+    std::uint32_t id, bool* found) {
+  for (const auto& [sid, view] : sections) {
+    if (sid == id) {
+      if (found != nullptr) *found = true;
+      return view;
+    }
+  }
+  if (found != nullptr) {
+    *found = false;
+    return {};
+  }
+  CL_CHECK_MSG(false, "snapshot: missing section " << id);
+  return {};
+}
+
 struct Container {
   std::string bytes;
   /// Section id -> payload view into `bytes`.
   std::vector<std::pair<std::uint32_t, std::string_view>> sections;
 
   std::string_view section(std::uint32_t id) const {
-    for (const auto& [sid, view] : sections) {
-      if (sid == id) return view;
-    }
-    CL_CHECK_MSG(false, "snapshot: missing section " << id);
-    return {};
+    return find_section(sections, id, nullptr);
   }
   bool has_section(std::uint32_t id) const {
-    for (const auto& [sid, view] : sections) {
-      if (sid == id) return true;
-    }
-    return false;
+    bool found = false;
+    find_section(sections, id, &found);
+    return found;
   }
 };
 
@@ -397,25 +452,7 @@ Container read_container(std::istream& in) {
     c.bytes.assign(std::istreambuf_iterator<char>(in),
                    std::istreambuf_iterator<char>());
   }
-  Reader header(c.bytes);
-  CL_CHECK_MSG(header.u32() == kSnapshotMagic,
-               "snapshot: bad magic (not a cloudlens snapshot)");
-  const std::uint32_t version = header.u32();
-  CL_CHECK_MSG(version == kSnapshotFormatVersion,
-               "snapshot: format version " << version << " != supported "
-                                           << kSnapshotFormatVersion);
-  const std::uint32_t count = header.u32();
-  header.u32();  // reserved
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t id = header.u32();
-    header.u32();  // reserved
-    const std::uint64_t offset = header.u64();
-    const std::uint64_t size = header.u64();
-    CL_CHECK_MSG(offset <= c.bytes.size() && size <= c.bytes.size() - offset,
-                 "snapshot: section " << id << " out of bounds");
-    c.sections.emplace_back(
-        id, std::string_view(c.bytes).substr(offset, size));
-  }
+  c.sections = parse_sections(c.bytes);
   return c;
 }
 
@@ -481,9 +518,13 @@ void save_trace_snapshot(const Topology& topology, const TraceStore& trace,
   write_container(out, sections);
 }
 
-LoadedSnapshot load_trace_snapshot(std::istream& in,
+namespace {
+
+/// Shared by the stream and mapping overloads: `c` is anything with
+/// section(id)/has_section(id) views over a validated container.
+template <typename Sections>
+LoadedSnapshot load_trace_sections(const Sections& c,
                                    const SnapshotModelCodec* codec) {
-  const Container c = read_container(in);
   LoadedSnapshot result;
 
   Reader grid_r(c.section(kGrid));
@@ -540,6 +581,25 @@ LoadedSnapshot load_trace_snapshot(std::istream& in,
   return result;
 }
 
+}  // namespace
+
+LoadedSnapshot load_trace_snapshot(std::istream& in,
+                                   const SnapshotModelCodec* codec) {
+  const Container c = read_container(in);
+  return load_trace_sections(c, codec);
+}
+
+LoadedSnapshot load_trace_snapshot(const SnapshotMapping& mapping,
+                                   const SnapshotModelCodec* codec) {
+  return load_trace_sections(mapping, codec);
+}
+
+std::unique_ptr<TelemetryPanel> load_panel_snapshot(
+    const SnapshotMapping& mapping) {
+  Reader panel_r(mapping.section(kPanel));
+  return decode_panel(panel_r);
+}
+
 void save_panel_snapshot(const TelemetryPanel& panel, std::ostream& out) {
   std::vector<std::pair<std::uint32_t, std::string>> sections;
   std::string grid;
@@ -553,6 +613,222 @@ std::unique_ptr<TelemetryPanel> load_panel_snapshot(std::istream& in) {
   const Container c = read_container(in);
   Reader panel_r(c.section(kPanel));
   return decode_panel(panel_r);
+}
+
+// --- SnapshotMapping -----------------------------------------------------
+
+namespace {
+
+bool mmap_disabled_by_env() {
+  const char* v = std::getenv("CLOUDLENS_NO_MMAP");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
+SnapshotMapping::SnapshotMapping(const std::string& path) {
+#if CLOUDLENS_SNAPSHOT_HAS_MMAP
+  if (!mmap_disabled_by_env()) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      struct stat st {};
+      if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+        const auto length = static_cast<std::size_t>(st.st_size);
+        void* base = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (base != MAP_FAILED) {
+          map_base_ = base;
+          map_length_ = length;
+        }
+      }
+      ::close(fd);
+    }
+  }
+#endif
+  if (map_base_ != nullptr) {
+    bytes_ = std::string_view(static_cast<const char*>(map_base_),
+                              map_length_);
+  } else {
+    // Graceful fallback: buffered read of the whole file. Same validation,
+    // same views — just not demand-paged.
+    std::ifstream in(path, std::ios::binary);
+    CL_CHECK_MSG(in.good(), "snapshot: cannot open " << path);
+    in.seekg(0, std::ios::end);
+    const std::streampos end = in.tellg();
+    in.seekg(0);
+    buffer_.resize(end == std::streampos(-1)
+                       ? 0
+                       : static_cast<std::size_t>(end));
+    in.read(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    CL_CHECK_MSG(static_cast<std::size_t>(in.gcount()) == buffer_.size(),
+                 "snapshot: short read of " << path);
+    bytes_ = buffer_;
+  }
+  try {
+    sections_ = parse_sections(bytes_);
+  } catch (...) {
+    reset();  // the destructor will not run for a throwing constructor
+    throw;
+  }
+}
+
+SnapshotMapping::~SnapshotMapping() { reset(); }
+
+void SnapshotMapping::reset() noexcept {
+#if CLOUDLENS_SNAPSHOT_HAS_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+#endif
+  map_base_ = nullptr;
+  map_length_ = 0;
+  buffer_.clear();
+  bytes_ = {};
+  sections_.clear();
+}
+
+SnapshotMapping::SnapshotMapping(SnapshotMapping&& other) noexcept
+    : map_base_(other.map_base_),
+      map_length_(other.map_length_),
+      buffer_(std::move(other.buffer_)),
+      sections_(std::move(other.sections_)) {
+  bytes_ = map_base_ != nullptr
+               ? std::string_view(static_cast<const char*>(map_base_),
+                                  map_length_)
+               : std::string_view(buffer_);
+  other.map_base_ = nullptr;
+  other.map_length_ = 0;
+  other.buffer_.clear();
+  other.bytes_ = {};
+  other.sections_.clear();
+}
+
+SnapshotMapping& SnapshotMapping::operator=(SnapshotMapping&& other) noexcept {
+  if (this != &other) {
+    reset();
+    map_base_ = other.map_base_;
+    map_length_ = other.map_length_;
+    buffer_ = std::move(other.buffer_);
+    sections_ = std::move(other.sections_);
+    bytes_ = map_base_ != nullptr
+                 ? std::string_view(static_cast<const char*>(map_base_),
+                                    map_length_)
+                 : std::string_view(buffer_);
+    other.map_base_ = nullptr;
+    other.map_length_ = 0;
+    other.buffer_.clear();
+    other.bytes_ = {};
+    other.sections_.clear();
+  }
+  return *this;
+}
+
+std::string_view SnapshotMapping::section(std::uint32_t id) const {
+  return find_section(sections_, id, nullptr);
+}
+
+bool SnapshotMapping::has_section(std::uint32_t id) const {
+  bool found = false;
+  find_section(sections_, id, &found);
+  return found;
+}
+
+// --- panel shard files ---------------------------------------------------
+
+void save_panel_shard_snapshot(const PanelShardHeader& header,
+                               std::span<const double> rows,
+                               std::span<const double> hourly,
+                               std::ostream& out) {
+  CL_CHECK_MSG(rows.size() == header.row_count * header.grid.count,
+               "shard snapshot: rows span size mismatch");
+  CL_CHECK_MSG(hourly.size() == header.row_count * header.hourly_count,
+               "shard snapshot: hourly span size mismatch");
+  std::string meta;
+  append_grid(meta, header.grid);
+  append_u64(meta, header.shard_index);
+  append_u64(meta, header.shard_count);
+  append_u64(meta, header.row_count);
+  append_u64(meta, header.hourly_count);
+  append_u64(meta, header.router_digest);
+
+  std::string head;
+  append_u32(head, kSnapshotMagic);
+  append_u32(head, kSnapshotFormatVersion);
+  append_u32(head, 3);  // SHARD_META, SHARD_ROWS, SHARD_HOURLY
+  append_u32(head, 0);
+  const std::uint64_t meta_off = head.size() + 3 * 24;
+  const std::uint64_t rows_off = meta_off + meta.size();
+  const std::uint64_t rows_bytes = rows.size_bytes();
+  const std::uint64_t hourly_off = rows_off + rows_bytes;
+  // Alignment contract: the double payloads must start on 8-byte file
+  // offsets so a mapped shard can serve them in place. Header + table is
+  // 88 bytes and meta is fixed-width u64s, so this holds by construction;
+  // keep it checked against future meta growth.
+  CL_CHECK_MSG(rows_off % alignof(double) == 0 &&
+                   hourly_off % alignof(double) == 0,
+               "shard snapshot: misaligned payload layout");
+  std::string table;
+  append_u32(table, kShardMeta);
+  append_u32(table, 0);
+  append_u64(table, meta_off);
+  append_u64(table, meta.size());
+  append_u32(table, kShardRows);
+  append_u32(table, 0);
+  append_u64(table, rows_off);
+  append_u64(table, rows_bytes);
+  append_u32(table, kShardHourly);
+  append_u32(table, 0);
+  append_u64(table, hourly_off);
+  append_u64(table, hourly.size_bytes());
+
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  out.write(table.data(), static_cast<std::streamsize>(table.size()));
+  out.write(meta.data(), static_cast<std::streamsize>(meta.size()));
+  // Payload spans stream straight to the file: no staging copy, so the
+  // writer's transient memory stays O(header) even for GB shards.
+  out.write(reinterpret_cast<const char*>(rows.data()),
+            static_cast<std::streamsize>(rows.size_bytes()));
+  out.write(reinterpret_cast<const char*>(hourly.data()),
+            static_cast<std::streamsize>(hourly.size_bytes()));
+  CL_CHECK_MSG(out.good(), "shard snapshot: write failed");
+}
+
+namespace {
+
+std::span<const double> shard_payload_span(std::string_view payload,
+                                           std::uint64_t expected,
+                                           const char* what) {
+  CL_CHECK_MSG(payload.size() == expected * sizeof(double),
+               "shard snapshot: " << what << " payload size "
+                                  << payload.size() << " != expected "
+                                  << expected * sizeof(double));
+  CL_CHECK_MSG(reinterpret_cast<std::uintptr_t>(payload.data()) %
+                       alignof(double) ==
+                   0,
+               "shard snapshot: misaligned " << what << " payload");
+  return {reinterpret_cast<const double*>(payload.data()),
+          static_cast<std::size_t>(expected)};
+}
+
+}  // namespace
+
+PanelShardView open_panel_shard(const SnapshotMapping& mapping) {
+  PanelShardView view;
+  Reader meta(mapping.section(kShardMeta));
+  view.header.grid = read_grid(meta);
+  view.header.shard_index = meta.u64();
+  view.header.shard_count = meta.u64();
+  view.header.row_count = meta.u64();
+  view.header.hourly_count = meta.u64();
+  view.header.router_digest = meta.u64();
+  CL_CHECK_MSG(meta.done(), "shard snapshot: trailing meta bytes");
+  CL_CHECK_MSG(view.header.shard_count > 0 &&
+                   view.header.shard_index < view.header.shard_count,
+               "shard snapshot: bad shard index");
+  view.rows = shard_payload_span(
+      mapping.section(kShardRows),
+      view.header.row_count * view.header.grid.count, "rows");
+  view.hourly = shard_payload_span(
+      mapping.section(kShardHourly),
+      view.header.row_count * view.header.hourly_count, "hourly");
+  return view;
 }
 
 }  // namespace cloudlens

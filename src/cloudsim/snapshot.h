@@ -34,8 +34,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "cloudsim/telemetry_panel.h"
 #include "cloudsim/trace.h"
@@ -139,5 +142,94 @@ LoadedSnapshot load_trace_snapshot(std::istream& in,
 /// trace artifact.
 void save_panel_snapshot(const TelemetryPanel& panel, std::ostream& out);
 std::unique_ptr<TelemetryPanel> load_panel_snapshot(std::istream& in);
+
+// --- mmap-backed read path ----------------------------------------------
+//
+// SnapshotMapping opens a snapshot file read-only and serves the container
+// bytes as a view. On POSIX hosts the file is mmap'd, so section payloads
+// page in on demand instead of being slurped — the enabler for out-of-core
+// panel shards, where only the rows an analysis touches ever enter RSS.
+// When mmap is unavailable or fails (or CLOUDLENS_NO_MMAP=1 is set) the
+// mapping degrades to the buffered reader: the whole file is read into an
+// owned buffer and the same view API works unchanged. Either way the
+// section table is validated up front (magic, version, bounds), so a
+// malformed file fails with CheckError at open, never at first touch of a
+// payload.
+//
+// Lifetime: every view returned by section()/open_panel_shard() points
+// into the mapping; the mapping must outlive all such views.
+class SnapshotMapping {
+ public:
+  /// Opens and validates `path`. Throws CheckError when the file cannot be
+  /// read or is not a well-formed container.
+  explicit SnapshotMapping(const std::string& path);
+  ~SnapshotMapping();
+  SnapshotMapping(const SnapshotMapping&) = delete;
+  SnapshotMapping& operator=(const SnapshotMapping&) = delete;
+  SnapshotMapping(SnapshotMapping&& other) noexcept;
+  SnapshotMapping& operator=(SnapshotMapping&& other) noexcept;
+
+  /// True when the bytes are served by mmap (false = buffered fallback).
+  bool mapped() const { return map_base_ != nullptr; }
+  /// Whole-container view (header + table + payloads).
+  std::string_view bytes() const { return bytes_; }
+  /// Payload view for `id`; throws CheckError when the section is absent.
+  std::string_view section(std::uint32_t id) const;
+  bool has_section(std::uint32_t id) const;
+
+ private:
+  void reset() noexcept;
+
+  void* map_base_ = nullptr;
+  std::size_t map_length_ = 0;
+  std::string buffer_;  // fallback storage when not mmap'd
+  std::string_view bytes_;
+  std::vector<std::pair<std::uint32_t, std::string_view>> sections_;
+};
+
+/// Mapping-based loads: identical results to the stream overloads, byte
+/// for byte, but panel payloads are referenced in place before the copy
+/// into the panel's own storage (and shard payloads are never copied at
+/// all — see open_panel_shard).
+LoadedSnapshot load_trace_snapshot(const SnapshotMapping& mapping,
+                                   const SnapshotModelCodec* codec = nullptr);
+std::unique_ptr<TelemetryPanel> load_panel_snapshot(
+    const SnapshotMapping& mapping);
+
+// --- panel shard files ---------------------------------------------------
+//
+// One shard = the dense row-major sub-matrix of its member VMs (full-res
+// rows + the hourly companion), stored as its own container with three
+// sections: SHARD_META, SHARD_ROWS, SHARD_HOURLY. The double payloads are
+// 8-byte aligned in the file (the writer checks this), so a mapped shard
+// serves rows directly out of the page cache with zero copies.
+
+struct PanelShardHeader {
+  TimeGrid grid;                   ///< full-resolution telemetry grid
+  std::uint64_t shard_index = 0;   ///< this shard's index in [0, shard_count)
+  std::uint64_t shard_count = 0;   ///< total shards in the store
+  std::uint64_t row_count = 0;     ///< member VMs (rows in this shard)
+  std::uint64_t hourly_count = 0;  ///< ticks per hourly row
+  std::uint64_t router_digest = 0; ///< binds the file to (trace, K, hash fn)
+};
+
+/// Writes one shard container. `rows` is row_count x grid.count row-major;
+/// `hourly` is row_count x hourly_count. Payload spans are streamed to the
+/// ostream directly (no staging copy).
+void save_panel_shard_snapshot(const PanelShardHeader& header,
+                               std::span<const double> rows,
+                               std::span<const double> hourly,
+                               std::ostream& out);
+
+/// Zero-copy view of a mapped shard file. Spans alias the mapping.
+struct PanelShardView {
+  PanelShardHeader header;
+  std::span<const double> rows;
+  std::span<const double> hourly;
+};
+
+/// Validates and opens the shard sections of `mapping`. Throws CheckError
+/// on missing sections, size mismatches, or misaligned payloads.
+PanelShardView open_panel_shard(const SnapshotMapping& mapping);
 
 }  // namespace cloudlens

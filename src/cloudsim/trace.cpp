@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
 
@@ -54,6 +55,7 @@ VmId TraceStore::add_vm(VmRecord record) {
   node_index_valid_ = false;
   sub_index_valid_ = false;
   panel_valid_ = false;
+  shards_valid_ = false;
   return id;
 }
 
@@ -70,6 +72,7 @@ void TraceStore::set_vm_deleted(VmId id, SimTime when) {
   node_index_valid_ = false;
   sub_index_valid_ = false;
   panel_valid_ = false;
+  shards_valid_ = false;
 }
 
 void TraceStore::build_node_index() const {
@@ -98,12 +101,17 @@ void TraceStore::build_telemetry_panel() const {
 }
 
 const TelemetryPanel* TraceStore::telemetry_panel() const {
+  // Out-of-core mode: the resident matrix must never materialize; the
+  // streaming consumers read shards and everyone else takes the scratch
+  // fallback (identical bits either way).
+  if (sharding_ != nullptr) return nullptr;
   if (!panel_enabled_) return nullptr;
   if (!panel_valid_.load(std::memory_order_acquire)) build_telemetry_panel();
   return panel_.get();
 }
 
 bool TraceStore::adopt_telemetry_panel(std::unique_ptr<TelemetryPanel> panel) {
+  if (sharding_ != nullptr) return false;
   if (!panel_enabled_ || panel == nullptr) return false;
   if (panel->grid() != grid_ || panel->vm_count() != vms_.size()) return false;
   std::lock_guard<std::mutex> lock(index_mutex_);
@@ -118,6 +126,37 @@ void TraceStore::set_telemetry_panel_enabled(bool enabled) {
     panel_valid_ = false;
     panel_.reset();
   }
+}
+
+void TraceStore::set_telemetry_sharding(
+    const TelemetryShardingOptions& options) {
+  sharding_ = std::make_unique<TelemetryShardingOptions>(options);
+  // Sharding and the resident panel are mutually exclusive; drop any
+  // materialized matrix now so RSS never holds both.
+  panel_valid_ = false;
+  panel_.reset();
+  shards_valid_ = false;
+  shards_.reset();
+}
+
+void TraceStore::clear_telemetry_sharding() {
+  sharding_.reset();
+  shards_valid_ = false;
+  shards_.reset();
+}
+
+void TraceStore::build_telemetry_shards() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (shards_valid_.load(std::memory_order_relaxed)) return;
+  shards_ = std::make_unique<TelemetryShardStore>(*this, *sharding_);
+  shards_valid_.store(true, std::memory_order_release);
+}
+
+const TelemetryShardStore* TraceStore::telemetry_shards() const {
+  if (sharding_ == nullptr) return nullptr;
+  if (!shards_valid_.load(std::memory_order_acquire))
+    build_telemetry_shards();
+  return shards_.get();
 }
 
 std::span<const VmId> TraceStore::vms_on_node(NodeId node) const {

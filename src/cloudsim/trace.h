@@ -25,6 +25,8 @@
 namespace cloudlens {
 
 class TelemetryPanel;
+class TelemetryShardStore;
+struct TelemetryShardingOptions;
 
 /// Deterministic utilization source: average CPU utilization (fraction of
 /// the VM's allocated cores, in [0, 1]) over the 5-minute interval starting
@@ -189,10 +191,28 @@ class TraceStore {
   /// like every other mutator.
   bool adopt_telemetry_panel(std::unique_ptr<TelemetryPanel> panel);
 
+  /// Out-of-core mode: shard the telemetry matrix by subscription hash
+  /// into mmap-backed spill files (cloudsim/shard.h) instead of one
+  /// resident panel. While sharding is enabled telemetry_panel() returns
+  /// nullptr — non-streaming consumers fall back to on-demand row
+  /// evaluation through the same fill kernel (identical bits), and the
+  /// restructured streaming passes read rows via telemetry_shards().
+  /// Mutation must be externally serialized against readers.
+  void set_telemetry_sharding(const TelemetryShardingOptions& options);
+  void clear_telemetry_sharding();
+  bool telemetry_sharding_enabled() const { return sharding_ != nullptr; }
+
+  /// The shard store, built lazily on first use (filling + spilling the
+  /// shard files), or nullptr when sharding is disabled. Publication
+  /// follows the telemetry_panel() pattern, so concurrent readers are
+  /// safe; add_vm/set_vm_deleted invalidate it.
+  const TelemetryShardStore* telemetry_shards() const;
+
  private:
   void build_node_index() const;
   void build_subscription_index() const;
   void build_telemetry_panel() const;
+  void build_telemetry_shards() const;
 
   const Topology* topology_;
   TimeGrid grid_;
@@ -220,6 +240,13 @@ class TraceStore {
   ParallelConfig panel_parallel_{};
   mutable std::atomic<bool> panel_valid_{false};
   mutable std::unique_ptr<TelemetryPanel> panel_;
+
+  // Out-of-core sharding (same publication pattern as the panel).
+  // `sharding_` is plain mutator-written state; the store itself is a
+  // lazy cache.
+  std::unique_ptr<TelemetryShardingOptions> sharding_;
+  mutable std::atomic<bool> shards_valid_{false};
+  mutable std::unique_ptr<TelemetryShardStore> shards_;
 };
 
 }  // namespace cloudlens

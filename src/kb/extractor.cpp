@@ -5,7 +5,9 @@
 #include <unordered_set>
 
 #include "analysis/context.h"
+#include "analysis/shard_stream.h"
 #include "analysis/spatial.h"
+#include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "stats/correlation.h"
 #include "stats/descriptive.h"
@@ -58,12 +60,17 @@ std::optional<SubscriptionKnowledge> extract_subscription(
   std::size_t classified = 0;
   // Stream panel rows (or scratch evaluations when the panel is off): one
   // contiguous read per VM feeds both the classifier and the moments, with
-  // no per-VM TimeSeries materialization.
+  // no per-VM TimeSeries materialization. In out-of-core mode the rows
+  // come off the mapped shard instead — and because the router hashes the
+  // subscription id, every row below lives in the *same* shard.
   const TelemetryPanel* panel = trace.telemetry_panel();
+  const TelemetryShardStore* shards = trace.telemetry_shards();
   std::vector<double> scratch;
   for (std::size_t i = 0; i < covering.size(); i += stride) {
     const std::span<const double> row =
-        vm_telemetry_row(trace, panel, covering[i], grid, scratch);
+        shards != nullptr
+            ? shards->row(covering[i])
+            : vm_telemetry_row(trace, panel, covering[i], grid, scratch);
     const auto cls = analysis::classify(row, grid, options.classifier);
     ++votes[static_cast<std::size_t>(cls)];
     ++classified;
@@ -144,13 +151,28 @@ std::vector<SubscriptionKnowledge> extract_all(
   // One slot per subscription; extraction of each subscription is
   // independent and deterministic, and slots are concatenated in
   // subscription order below, so the record list is bit-identical to the
-  // old serial loop at any thread count.
-  const auto slots = parallel_map<std::optional<SubscriptionKnowledge>>(
-      subs.size(),
-      [&](std::size_t i) {
-        return extract_subscription(ctx, subs[i].id, options);
-      },
-      ctx.parallel());
+  // old serial loop at any thread count. In out-of-core mode the
+  // subscriptions are processed grouped by shard (every subscription's
+  // rows live in exactly one shard, by the router contract), with budget
+  // eviction between shards — same slots, bounded RSS.
+  std::vector<std::optional<SubscriptionKnowledge>> slots;
+  if (const TelemetryShardStore* shards = trace.telemetry_shards()) {
+    slots.resize(subs.size());
+    analysis::stream_by_shard(
+        *shards, subs.size(),
+        [&](std::size_t i) { return shards->shard_of(subs[i].id); },
+        [&](std::size_t i) {
+          slots[i] = extract_subscription(ctx, subs[i].id, options);
+        },
+        ctx.parallel());
+  } else {
+    slots = parallel_map<std::optional<SubscriptionKnowledge>>(
+        subs.size(),
+        [&](std::size_t i) {
+          return extract_subscription(ctx, subs[i].id, options);
+        },
+        ctx.parallel());
+  }
 
   std::vector<SubscriptionKnowledge> out;
   out.reserve(slots.size());

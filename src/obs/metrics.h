@@ -73,6 +73,11 @@ namespace cloudlens::obs {
   X(kPanelRowsFilled, "panel.rows_filled")                     \
   X(kPanelRowHits, "panel.row_hits")                           \
   X(kPanelRowMisses, "panel.row_misses")                       \
+  /* cloudsim/shard: out-of-core telemetry shard store */      \
+  X(kPanelShardSpills, "panel.shard_spills")                   \
+  X(kPanelShardPageIns, "panel.shard_page_ins")                \
+  X(kPanelShardEvictions, "panel.shard_evictions")             \
+  X(kPanelShardRowReads, "panel.shard_row_reads")              \
   /* workloads/generator */                                    \
   X(kGenRuns, "gen.runs")                                      \
   X(kGenOwners, "gen.owners")                                  \
@@ -116,6 +121,8 @@ namespace cloudlens::obs {
   X(kParallelPoolWorkers, "parallel.pool_workers")             \
   X(kPanelBytes, "panel.bytes")                                \
   X(kPanelVms, "panel.vms")                                    \
+  X(kPanelShardCount, "panel.shard_count")                     \
+  X(kPanelShardResidentBytes, "panel.shard_resident_bytes")    \
   /* resolved kernel dispatch: Tier / Mode enum values */      \
   X(kKernelTier, "kernels.tier")                               \
   X(kKernelMode, "kernels.mode")

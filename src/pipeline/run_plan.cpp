@@ -1,11 +1,17 @@
 #include "pipeline/run_plan.h"
 
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <sstream>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "analysis/context.h"
+#include "cloudsim/shard.h"
 #include "cloudsim/snapshot.h"
 #include "cloudsim/trace_io.h"
 #include "common/check.h"
@@ -20,6 +26,11 @@ namespace {
 /// (the panel lives inside it either way; this pins *that it is built*).
 struct PanelArtifact {
   const TelemetryPanel* panel = nullptr;
+};
+
+/// The shards stage's artifact: a view into the TraceStore's shard store.
+struct ShardArtifact {
+  const TelemetryShardStore* shards = nullptr;
 };
 
 /// Stream a file's bytes into the hash (length first, so consecutive
@@ -147,6 +158,67 @@ Stage make_panel_stage() {
   return stage;
 }
 
+/// Spill directory for the shard files. With caching on, the directory is
+/// named by the *trace stage's content key*, which covers everything that
+/// can change shard bytes (profiles, seed, scale, grid, CSV bytes) —
+/// including model internals the router digest deliberately leaves out —
+/// so warm reuse across runs is sound, and the files are kept. With
+/// caching off, a per-process temp directory is used and removed with the
+/// store.
+std::string shard_spill_dir(bool cache_enabled, const std::string& cache_dir,
+                            const std::string& trace_key_hex) {
+  if (cache_enabled && !trace_key_hex.empty()) {
+    return (std::filesystem::path(cache_dir) /
+            ("panel-shards-" + trace_key_hex))
+        .string();
+  }
+  std::string pid = "0";
+#if defined(__unix__) || defined(__APPLE__)
+  pid = std::to_string(static_cast<unsigned long>(::getpid()));
+#endif
+  return (std::filesystem::temp_directory_path() /
+          ("cloudlens-shards-" + pid))
+      .string();
+}
+
+/// The out-of-core replacement for the panel stage. Uncacheable as a
+/// pipeline artifact on purpose: the spill files themselves are the
+/// persistent form, revalidated by the router digest in their headers, so
+/// save/load would only duplicate them.
+Stage make_shards_stage(const RunPlanOptions& options,
+                        PipelineRunner* runner) {
+  Stage stage;
+  stage.name = "shards";
+  stage.inputs = {"trace"};
+  const std::uint32_t shards = options.panel_shards;
+  stage.key_extra = [shards](ContentHash& h) {
+    h.u8(1);  // key layout version for this stage
+    h.u64(shards);
+    // The residency budget never reaches the key: like thread counts, it
+    // changes how the run executes, not what the artifacts contain.
+  };
+  const bool cache_enabled =
+      options.cache_enabled && !options.cache_dir.empty();
+  const std::string cache_dir = options.cache_dir;
+  const std::size_t budget_mib = options.panel_budget_mib;
+  stage.compute = [shards, cache_enabled, cache_dir, budget_mib,
+                   runner](const StageInputs& inputs) {
+    const auto trace = inputs.get<TraceArtifact>("trace");
+    TelemetryShardingOptions so;
+    so.shards = shards;
+    so.budget_bytes = budget_mib << 20;
+    so.spill_dir = shard_spill_dir(cache_enabled, cache_dir,
+                                   runner->key_hex("trace"));
+    so.keep_files = cache_enabled;
+    so.parallel = inputs.parallel();
+    trace->trace->set_telemetry_sharding(so);
+    const TelemetryShardStore* store = trace->trace->telemetry_shards();
+    CL_CHECK_MSG(store != nullptr, "shards stage failed to build the store");
+    return std::make_shared<ShardArtifact>(ShardArtifact{store});
+  };
+  return stage;
+}
+
 Stage make_kb_stage(const RunPlanOptions& options) {
   Stage stage;
   stage.name = "kb";
@@ -201,13 +273,24 @@ ResolvedRun run_trace_plan(const RunPlanOptions& options) {
   PipelineRunner runner(
       ArtifactCache(options.cache_dir, options.cache_enabled),
       options.parallel, options.metrics, options.sink);
+  const bool sharded = options.panel_shards > 0;
   runner.add(make_trace_stage(options));
-  if (options.want_panel) runner.add(make_panel_stage());
+  if (sharded) {
+    runner.add(make_shards_stage(options, &runner));
+  } else if (options.want_panel) {
+    runner.add(make_panel_stage());
+  }
   if (options.want_kb) runner.add(make_kb_stage(options));
 
   ResolvedRun run;
   run.trace = runner.resolve_as<TraceArtifact>("trace");
-  if (options.want_panel) runner.resolve("panel");
+  // Sharded mode replaces the resident panel: the shards stage must
+  // resolve before kb so extraction streams over the spill files.
+  if (sharded) {
+    runner.resolve("shards");
+  } else if (options.want_panel) {
+    runner.resolve("panel");
+  }
   if (options.want_kb) {
     run.knowledge = runner.resolve_as<kb::KnowledgeBase>("kb");
   }

@@ -54,6 +54,16 @@ struct RunPlanOptions {
 
   /// Resolve the panel stage (materialized telemetry matrices).
   bool want_panel = true;
+  /// Out-of-core telemetry: when > 0 the panel stage is replaced by a
+  /// "shards" stage that spills K mmap-ready shard snapshots and puts the
+  /// TraceStore into sharded mode (telemetry_panel() stays null; the
+  /// streaming analyses page shards in under a mapped-bytes budget).
+  /// Outputs are bit-identical either way, so downstream stage keys (kb)
+  /// are unchanged; only K reaches the shards stage's key — the budget,
+  /// like thread counts, is execution environment.
+  std::uint32_t panel_shards = 0;
+  /// Mapped-bytes residency budget for sharded mode, in MiB.
+  std::size_t panel_budget_mib = 256;
   /// Resolve the kb stage.
   bool want_kb = false;
   kb::ExtractorOptions kb_options;

@@ -8,6 +8,7 @@
 #include "stats/kernels/kernels.h"
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 #include "common/check.h"
@@ -54,6 +55,35 @@ void band_percentiles_with(Config config, std::span<const double* const> rows,
                         obs::Histogram::kKernelBandSeconds,
                         obs::Counter::kKernelBandCalls);
   const std::size_t nrows = rows.size();
+
+  // quantile_sorted(p) reads only order statistics floor(h) and
+  // floor(h)+1 with h = p*(n-1), so the four fixed quantiles need at most
+  // eight exact positions per column — an nth_element cascade instead of
+  // a full O(n log n) sort. Each nth_element places an exact order
+  // statistic and partitions everything smaller below it, so later calls
+  // run on the shrinking upper range only.
+  std::array<std::size_t, 8> need{};
+  std::size_t nneed = 0;
+  for (const double p : {0.25, 0.50, 0.75, 0.95}) {
+    const double h = p * static_cast<double>(nrows - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    need[nneed++] = lo;
+    if (lo + 1 < nrows) need[nneed++] = lo + 1;
+  }
+  // Tiny insertion sort + dedup over the <= 8 positions (std::sort on the
+  // sub-array trips GCC's -Warray-bounds via its insertion threshold).
+  for (std::size_t i = 1; i < nneed; ++i) {
+    const std::size_t v = need[i];
+    std::size_t j = i;
+    for (; j > 0 && need[j - 1] > v; --j) need[j] = need[j - 1];
+    need[j] = v;
+  }
+  std::size_t uniq = 0;
+  for (std::size_t i = 0; i < nneed; ++i) {
+    if (uniq == 0 || need[i] != need[uniq - 1]) need[uniq++] = need[i];
+  }
+  nneed = uniq;
+
   std::vector<double> colbuf(detail::kBandBlockCols * nrows);
   for (std::size_t c0 = 0; c0 < cols; c0 += detail::kBandBlockCols) {
     const std::size_t bw = std::min(detail::kBandBlockCols, cols - c0);
@@ -71,9 +101,16 @@ void band_percentiles_with(Config config, std::span<const double* const> rows,
     }
     for (std::size_t j = 0; j < bw; ++j) {
       double* col = colbuf.data() + j * nrows;
-      // The sort erases gather order, which is what makes this family
-      // bit-exact at every tier in both modes.
-      std::sort(col, col + nrows);
+      // Selecting exact order statistics erases gather order (the k-th
+      // smallest value is the same whatever order the tier gathered in),
+      // which is what keeps this family bit-exact at every tier in both
+      // modes — same property the full sort used to provide.
+      std::size_t from = 0;
+      for (std::size_t i = 0; i < nneed; ++i) {
+        const std::size_t idx = need[i];
+        std::nth_element(col + from, col + idx, col + nrows);
+        from = idx + 1;
+      }
       const std::span<const double> sorted(col, nrows);
       out.p25[c0 + j] = quantile_sorted(sorted, 0.25);
       out.p50[c0 + j] = quantile_sorted(sorted, 0.50);

@@ -280,8 +280,9 @@ TEST_F(PipelineEquivalenceTest, FastModeKbArtifactsDoNotPoisonStrictCache) {
   kernels::set_active({kernels::best_supported_tier(), kernels::Mode::kStrict});
   const ResolvedRun strict_again = run_trace_plan(options);
   for (const auto& report : strict_again.reports) {
-    if (report.name == "kb")
+    if (report.name == "kb") {
       EXPECT_EQ(report.source, StageReport::Source::kCacheHit);
+    }
   }
 }
 

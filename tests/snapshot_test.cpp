@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -319,6 +322,194 @@ TEST_F(SnapshotGeneratedTest, AdoptRejectsMismatchedPanel) {
   std::istringstream in(out.str(), std::ios::binary);
   EXPECT_FALSE(
       scenario_->trace->adopt_telemetry_panel(load_panel_snapshot(in)));
+}
+
+// ---- SnapshotMapping: mmap'd read path + error handling -----------------
+
+/// Writes `bytes` to a unique file under the system temp dir; removes it
+/// on destruction.
+class TempSnapshotFile {
+ public:
+  explicit TempSnapshotFile(const std::string& bytes,
+                           const std::string& tag = "snap") {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cloudlens-maptest-" + tag + "-" +
+              std::to_string(reinterpret_cast<std::uintptr_t>(this))))
+                .string();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ~TempSnapshotFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Scoped CLOUDLENS_NO_MMAP=1: forces SnapshotMapping's buffered-read
+/// fallback for the duration of a test.
+class ScopedNoMmap {
+ public:
+  ScopedNoMmap() { ::setenv("CLOUDLENS_NO_MMAP", "1", 1); }
+  ~ScopedNoMmap() { ::unsetenv("CLOUDLENS_NO_MMAP"); }
+};
+
+TEST(SnapshotMappingTest, MappedReadIsByteIdenticalToBufferedRead) {
+  Topology topo = tiny_topology();
+  TraceFixture fx(topo);
+  const std::string bytes = save_to_string(topo, fx.trace);
+  TempSnapshotFile file(bytes, "roundtrip");
+
+  SnapshotMapping mapped(file.path());
+  EXPECT_TRUE(mapped.mapped());
+  ASSERT_EQ(mapped.bytes().size(), bytes.size());
+  EXPECT_EQ(std::string(mapped.bytes()), bytes);
+
+  ScopedNoMmap no_mmap;
+  SnapshotMapping buffered(file.path());
+  EXPECT_FALSE(buffered.mapped());
+  ASSERT_EQ(buffered.bytes().size(), bytes.size());
+  EXPECT_EQ(std::string(buffered.bytes()), std::string(mapped.bytes()));
+}
+
+TEST(SnapshotMappingTest, LoadFromMappingMatchesStreamLoad) {
+  Topology topo = tiny_topology();
+  TraceFixture fx(topo);
+  const std::string bytes = save_to_string(topo, fx.trace);
+  TempSnapshotFile file(bytes, "load");
+
+  const LoadedSnapshot from_stream = load_from_string(bytes);
+  SnapshotMapping mapping(file.path());
+  const LoadedSnapshot from_map = load_trace_snapshot(mapping);
+
+  const auto& a = from_stream.trace->vms();
+  const auto& b = from_map.trace->vms();
+  ASSERT_EQ(a.size(), b.size());
+  const TimeGrid& grid = from_stream.trace->telemetry_grid();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].subscription, b[i].subscription);
+    EXPECT_EQ(a[i].created, b[i].created);
+    EXPECT_EQ(a[i].deleted, b[i].deleted);
+    if (a[i].utilization == nullptr) {
+      EXPECT_EQ(b[i].utilization, nullptr);
+      continue;
+    }
+    ASSERT_NE(b[i].utilization, nullptr);
+    for (std::size_t g = 0; g < grid.count; g += 97) {
+      EXPECT_EQ(
+          std::bit_cast<std::uint64_t>(a[i].utilization->at(grid.at(g))),
+          std::bit_cast<std::uint64_t>(b[i].utilization->at(grid.at(g))));
+    }
+  }
+}
+
+TEST(SnapshotMappingTest, RejectsTruncatedFile) {
+  Topology topo = tiny_topology();
+  TraceFixture fx(topo);
+  const std::string bytes = save_to_string(topo, fx.trace);
+  TempSnapshotFile file(bytes.substr(0, bytes.size() / 2), "trunc");
+  EXPECT_THROW(SnapshotMapping{file.path()}, CheckError);
+  ScopedNoMmap no_mmap;  // same verdict through the buffered fallback
+  EXPECT_THROW(SnapshotMapping{file.path()}, CheckError);
+}
+
+TEST(SnapshotMappingTest, RejectsBadMagic) {
+  Topology topo = tiny_topology();
+  TraceFixture fx(topo);
+  std::string bytes = save_to_string(topo, fx.trace);
+  bytes[0] = 'X';
+  TempSnapshotFile file(bytes, "magic");
+  EXPECT_THROW(SnapshotMapping{file.path()}, CheckError);
+}
+
+TEST(SnapshotMappingTest, RejectsSectionTablePastEof) {
+  Topology topo = tiny_topology();
+  TraceFixture fx(topo);
+  std::string bytes = save_to_string(topo, fx.trace);
+  // First table entry: [u32 id][u32 pad][u64 offset][u64 size] at byte 16.
+  // Blow up its size so offset+size runs past EOF; the open-time parse
+  // must reject it instead of handing out a wild span.
+  ASSERT_GT(bytes.size(), 40u);
+  for (std::size_t i = 32; i < 40; ++i) bytes[i] = static_cast<char>(0xFF);
+  TempSnapshotFile file(bytes, "pasteof");
+  EXPECT_THROW(SnapshotMapping{file.path()}, CheckError);
+}
+
+TEST(SnapshotMappingTest, RejectsEmptyAndMissingFile) {
+  TempSnapshotFile file(std::string(), "empty");
+  EXPECT_THROW(SnapshotMapping{file.path()}, CheckError);
+  EXPECT_THROW(SnapshotMapping{file.path() + ".does-not-exist"}, CheckError);
+  ScopedNoMmap no_mmap;
+  EXPECT_THROW(SnapshotMapping{file.path()}, CheckError);
+  EXPECT_THROW(SnapshotMapping{file.path() + ".does-not-exist"}, CheckError);
+}
+
+TEST_F(SnapshotGeneratedTest, PanelSnapshotLoadsIdenticallyViaMapping) {
+  const TelemetryPanel* panel = scenario_->trace->telemetry_panel();
+  ASSERT_NE(panel, nullptr);
+  std::ostringstream out(std::ios::binary);
+  save_panel_snapshot(*panel, out);
+  TempSnapshotFile file(out.str(), "panelmap");
+
+  SnapshotMapping mapping(file.path());
+  EXPECT_TRUE(mapping.has_section(7));  // kPanel
+  const auto panel2 = load_panel_snapshot(mapping);
+  ASSERT_EQ(panel2->vm_count(), panel->vm_count());
+  for (std::size_t v = 0; v < panel->vm_count(); v += 61) {
+    const VmId id(static_cast<VmId::underlying>(v));
+    const auto a = panel->row(id);
+    const auto b = panel2->row(id);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 101) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+                std::bit_cast<std::uint64_t>(b[i]));
+    }
+  }
+}
+
+TEST(SnapshotMappingTest, PanelShardRoundTripsThroughMapping) {
+  // Hand-built shard: 3 rows x 24 ticks + 3 x 2 hourly samples.
+  PanelShardHeader header;
+  header.grid = TimeGrid{0, kHour / 12, 24};
+  header.shard_index = 2;
+  header.shard_count = 5;
+  header.row_count = 3;
+  header.hourly_count = 2;
+  header.router_digest = 0xABCDEF0123456789ull;
+  std::vector<double> rows(3 * 24), hourly(3 * 2);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    rows[i] = 0.001 * static_cast<double>(i) - 0.5;
+  for (std::size_t i = 0; i < hourly.size(); ++i)
+    hourly[i] = 1.0 / (1.0 + static_cast<double>(i));
+
+  std::ostringstream out(std::ios::binary);
+  save_panel_shard_snapshot(header, rows, hourly, out);
+  TempSnapshotFile file(out.str(), "shard");
+
+  SnapshotMapping mapping(file.path());
+  const PanelShardView view = open_panel_shard(mapping);
+  EXPECT_EQ(view.header.shard_index, header.shard_index);
+  EXPECT_EQ(view.header.shard_count, header.shard_count);
+  EXPECT_EQ(view.header.row_count, header.row_count);
+  EXPECT_EQ(view.header.hourly_count, header.hourly_count);
+  EXPECT_EQ(view.header.router_digest, header.router_digest);
+  EXPECT_EQ(view.header.grid.count, header.grid.count);
+  ASSERT_EQ(view.rows.size(), rows.size());
+  ASSERT_EQ(view.hourly.size(), hourly.size());
+  // The payload spans alias the mapping at natural double alignment and
+  // reproduce every sample bit for bit.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(view.rows.data()) %
+                alignof(double),
+            0u);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(view.rows[i]),
+              std::bit_cast<std::uint64_t>(rows[i]));
+  for (std::size_t i = 0; i < hourly.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(view.hourly[i]),
+              std::bit_cast<std::uint64_t>(hourly[i]));
 }
 
 }  // namespace

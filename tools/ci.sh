@@ -22,16 +22,23 @@
 # trips, cache-key invariants, cold/warm equivalence) — the TSan pass
 # matters here because warm runs adopt cached panels into the same lazy
 # publication path the panel build uses.
-# The Release flavour finishes with four perf smokes: a small-trace
-# bench_telemetry run that checks panel/legacy checksum identity, and a
+# The Release flavour finishes with five perf smokes: a small-trace
+# bench_telemetry run that checks panel/legacy checksum identity, a
 # bench_obs run that fails if enabling metrics+tracing costs more than 3%
 # on the panel-mode analysis suite, a bench_simd checksum smoke (strict
 # kernel outputs and the rendered report must match the scalar oracle
-# bit-for-bit), and a bench_pipeline run that fails unless a warm
-# artifact cache reproduces the cold run byte-for-byte and is faster.
+# bit-for-bit), a bench_pipeline run that fails unless a warm artifact
+# cache reproduces the cold run byte-for-byte and is faster, and a
+# bench_outofcore run that fails unless the sharded streaming analyses
+# stay under a peak-RSS budget while matching the resident-panel
+# checksum exactly. Every smoke must leave its JSON document behind —
+# a bench that silently emits nothing fails the run. The TSan flavour
+# re-runs bench_outofcore (no RSS gate — shadow memory dwarfs it) to
+# police the shard store's concurrent map/evict path.
 # (The full-size numbers recorded in EXPERIMENTS.md come from
 # `bench_telemetry --scale=0.1`, `bench_obs --scale=0.1`,
-# `bench_simd --min-speedup=1.5`, and `bench_pipeline --scale=0.35`.)
+# `bench_simd --min-speedup=1.5`, `bench_pipeline --scale=0.35`, and
+# `bench_outofcore --scale=1.0`.)
 #
 # Usage: tools/ci.sh [build-root]       (default: ./ci-build)
 # Environment: CTEST_PARALLEL_LEVEL (default 2), CLOUDLENS_CI_JOBS
@@ -76,8 +83,27 @@ run_flavour() {
         -R 'Kernel'
 }
 
+# A bench smoke that exits 0 but writes no JSON is a silent no-op;
+# require the document it promised.
+require_json() {
+    if [ ! -s "$1" ]; then
+        echo "ci: bench smoke did not emit $1" >&2
+        exit 1
+    fi
+}
+
 run_flavour release -DCMAKE_BUILD_TYPE=Release -DCLOUDLENS_WERROR=ON
 run_flavour tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLOUDLENS_SANITIZE=thread
+
+echo "== [tsan] out-of-core shard smoke =="
+# Small sharded end-to-end pass under TSan: polices the shard store's
+# concurrent acquire/publish path and the streamed analyses. RSS gates
+# are off (TSan shadow memory dominates); the checksum identity and
+# paging gates are what matter.
+"$BUILD_ROOT/tsan/bench/bench_outofcore" \
+    --scale=0.02 --shards=4 --budget-mib=8 --rss-gate=0 \
+    --out="$BUILD_ROOT/BENCH_outofcore_tsan_smoke.json"
+require_json "$BUILD_ROOT/BENCH_outofcore_tsan_smoke.json"
 
 # UBSan flavour (address+undefined plus float-cast-overflow): polices the
 # kernel tier's u64→f64 conversions and intrinsic shims. Builds the full
@@ -97,11 +123,13 @@ echo "== [release] telemetry perf smoke =="
 "$BUILD_ROOT/release/bench/bench_telemetry" \
     --scale=0.02 --passes=1 --min-speedup=1.0 \
     --out="$BUILD_ROOT/BENCH_telemetry_smoke.json"
+require_json "$BUILD_ROOT/BENCH_telemetry_smoke.json"
 
 echo "== [release] observability overhead smoke =="
 "$BUILD_ROOT/release/bench/bench_obs" \
     --scale=0.02 --passes=1 --reps=3 --max-overhead-pct=3.0 \
     --out="$BUILD_ROOT/BENCH_obs_smoke.json"
+require_json "$BUILD_ROOT/BENCH_obs_smoke.json"
 
 echo "== [release] kernel checksum smoke =="
 # Quick bench_simd pass: strict-mode checksums (all four kernel families
@@ -111,11 +139,23 @@ echo "== [release] kernel checksum smoke =="
 # `bench/bench_simd --min-speedup=1.5` (see EXPERIMENTS.md).
 "$BUILD_ROOT/release/bench/bench_simd" --quick \
     --json="$BUILD_ROOT/BENCH_simd_smoke.json"
+require_json "$BUILD_ROOT/BENCH_simd_smoke.json"
 
 echo "== [release] pipeline cache smoke =="
 # Cold + warm run of the full stage graph against one cache: fails unless
 # the warm pass is all cache hits, faster, and checksum-identical. Leaves
 # BENCH_pipeline.json next to the other bench documents.
 ( cd "$BUILD_ROOT" && "$BUILD_ROOT/release/bench/bench_pipeline" --scale=0.05 )
+require_json "$BUILD_ROOT/BENCH_pipeline.json"
+
+echo "== [release] out-of-core RSS budget smoke =="
+# Sharded streaming analyses at reduced scale: peak RSS must stay under
+# the budget and the FNV checksum must match the resident path at 1 and
+# 8 threads (the full-scale gate lives in `bench_outofcore --scale=1.0`,
+# recorded in BENCH_outofcore.json).
+"$BUILD_ROOT/release/bench/bench_outofcore" \
+    --scale=0.05 --shards=8 --budget-mib=8 --rss-limit-mib=64 \
+    --out="$BUILD_ROOT/BENCH_outofcore_smoke.json"
+require_json "$BUILD_ROOT/BENCH_outofcore_smoke.json"
 
 echo "ci: all flavours green"

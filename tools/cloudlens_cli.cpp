@@ -71,6 +71,10 @@ struct CliArgs {
   /// Worker threads for generation and analysis: 0 = all hardware threads,
   /// 1 = serial. Outputs are bit-identical at any setting.
   std::size_t threads = 0;
+  /// Out-of-core telemetry: shard count (0 = resident panel) and the
+  /// mapped-bytes residency budget. Outputs are bit-identical either way.
+  std::uint32_t panel_shards = 0;
+  std::size_t panel_budget_mib = 256;
   CloudType cloud = CloudType::kPublic;
   bool cloud_given = false;
 
@@ -103,6 +107,11 @@ constexpr const char* kCommonFlagHelp =
     "  --kernel-mode M     strict (bit-identical to scalar, default) or\n"
     "                      fast (SIMD reductions, tiny |Δr| tolerance;\n"
     "                      also via CLOUDLENS_KERNEL_MODE)\n"
+    "  --panel-shards N    out-of-core telemetry: spill the panel as N\n"
+    "                      mmap'd shards instead of holding it resident;\n"
+    "                      output is bit-identical (0 = resident, default)\n"
+    "  --panel-budget-mib N  mapped-bytes budget for --panel-shards\n"
+    "                      (default 256; execution knob, never cached)\n"
     "flags also accept the --flag=VALUE spelling\n";
 
 /// Prints the top-level usage text. Exit code 2 on the error paths
@@ -225,6 +234,15 @@ bool parse(int argc, char** argv, CliArgs& args) {
       const char* v = next();
       if (!v) return false;
       args.threads = std::strtoull(v, nullptr, 10);
+    } else if (a == "--panel-shards") {
+      const char* v = next();
+      if (!v) return false;
+      args.panel_shards =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--panel-budget-mib") {
+      const char* v = next();
+      if (!v) return false;
+      args.panel_budget_mib = std::strtoull(v, nullptr, 10);
     } else if (a == "--report") {
       const char* v = next();
       if (!v) return false;
@@ -283,6 +301,8 @@ pipeline::RunPlanOptions make_plan(const CliArgs& args) {
     plan.scenario.seed = args.seed;
   }
   plan.parallel = args.parallel();
+  plan.panel_shards = args.panel_shards;
+  plan.panel_budget_mib = args.panel_budget_mib;
   plan.cache_dir = args.effective_cache_dir();
   plan.cache_enabled = !args.no_cache;
   return plan;
