@@ -5,6 +5,7 @@
 // detected). This is the detector's calibration curve — the evidence that
 // the utilization-similarity test measures the design property and not an
 // artifact of the workload mix.
+#include "analysis/context.h"
 #include "analysis/spatial.h"
 #include "bench_common.h"
 #include "common/table.h"
@@ -30,8 +31,7 @@ Point run_point(const bench::BenchArgs& args, double agnostic_prob) {
 
   Point p;
   p.planted = agnostic_prob;
-  const auto verdicts = analysis::detect_region_agnostic_services(
-      *scenario.trace, CloudType::kPrivate, 0.7);
+  const auto verdicts = analysis::detect_region_agnostic_services(AnalysisContext(*scenario.trace), CloudType::kPrivate, 0.7);
   std::size_t agnostic = 0, correct = 0;
   for (const auto& v : verdicts) {
     if (v.region_agnostic) ++agnostic;

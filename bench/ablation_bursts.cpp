@@ -2,6 +2,7 @@
 // Disabling the private profile's bursty churn must collapse its
 // cross-region creation CV to (or below) the public cloud's level,
 // demonstrating the bursts are the causal ingredient, not a side effect.
+#include "analysis/context.h"
 #include "analysis/temporal.h"
 #include "bench_common.h"
 #include "common/table.h"
@@ -12,7 +13,7 @@ using namespace cloudlens;
 namespace {
 
 double median_cv(const TraceStore& trace, CloudType cloud) {
-  const auto cvs = analysis::creation_cv_by_region(trace, cloud);
+  const auto cvs = analysis::creation_cv_by_region(AnalysisContext(trace), cloud);
   return cvs.empty() ? 0.0 : stats::quantile(cvs, 0.5);
 }
 

@@ -5,6 +5,7 @@
 // alone, and compare the headline statistics of original and twin. Close
 // agreement means the fitted parameter set captures what matters — the
 // platform can run capacity what-ifs without retaining the raw trace.
+#include "analysis/context.h"
 #include "analysis/insights.h"
 #include "bench_common.h"
 #include "common/table.h"
@@ -74,8 +75,8 @@ int main(int argc, char** argv) {
   twin_options.public_profile = pub_fit.profile;
   const auto twin = workloads::make_scenario(twin_options);
 
-  const auto v_orig = analysis::evaluate_insights(*original.trace);
-  const auto v_twin = analysis::evaluate_insights(*twin.trace);
+  const auto v_orig = analysis::evaluate_insights(AnalysisContext(*original.trace));
+  const auto v_twin = analysis::evaluate_insights(AnalysisContext(*twin.trace));
 
   TextTable cmp({"headline statistic", "original", "twin"});
   cmp.row()

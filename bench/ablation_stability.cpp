@@ -4,6 +4,7 @@
 // regenerate the scenario under several seeds (independent weeks) and at
 // several snapshot instants and check that every headline statistic keeps
 // its value and, more importantly, its cross-cloud ordering.
+#include "analysis/context.h"
 #include "analysis/insights.h"
 #include "bench_common.h"
 #include "common/table.h"
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     options.scale = args.scale;
     options.seed = seed;
     const auto scenario = workloads::make_scenario(options);
-    rows.push_back({seed, analysis::evaluate_insights(*scenario.trace)});
+    rows.push_back({seed, analysis::evaluate_insights(AnalysisContext(*scenario.trace))});
   }
 
   TextTable t({"seed", "vms/sub (pri/pub)", "creation CV (pri/pub)",
@@ -65,14 +66,12 @@ int main(int argc, char** argv) {
   for (const SimTime snap : snapshots) {
     analysis::InsightOptions io;
     io.snapshot = snap;
-    const auto priv = analysis::vms_per_subscription(
-        *scenario.trace, CloudType::kPrivate, snap);
-    const auto pub = analysis::vms_per_subscription(
-        *scenario.trace, CloudType::kPublic, snap);
+    const auto priv = analysis::vms_per_subscription(AnalysisContext(*scenario.trace), CloudType::kPrivate, snap);
+    const auto pub = analysis::vms_per_subscription(AnalysisContext(*scenario.trace), CloudType::kPublic, snap);
     const auto pri_spread =
-        analysis::region_spread(*scenario.trace, CloudType::kPrivate, snap);
+        analysis::region_spread(AnalysisContext(*scenario.trace), CloudType::kPrivate, snap);
     const auto pub_spread =
-        analysis::region_spread(*scenario.trace, CloudType::kPublic, snap);
+        analysis::region_spread(AnalysisContext(*scenario.trace), CloudType::kPublic, snap);
     const double pri_med = stats::quantile_sorted(priv, 0.5);
     pri_medians.push_back(pri_med);
     t2.row()

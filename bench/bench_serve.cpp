@@ -1,0 +1,245 @@
+// Streaming-ingest bench: sustained `cloudlens serve` throughput and
+// query latency under live ingestion.
+//
+// Phases:
+//
+//   stream      — generate a dual-cloud scenario, export/import it (the
+//                 batch oracle), and render its event stream;
+//   ingest      — feed every event line into a fresh ServeEngine and
+//                 measure sustained events/sec and telemetry ticks/sec;
+//   query@live  — a second fresh engine with an ingester thread replaying
+//                 the stream while the main thread issues rolling
+//                 "shares" + "stats" queries; per-query latency is
+//                 recorded and summarized as p50/p95/p99;
+//   verify      — the drained engine's "report" must byte-match the batch
+//                 pipeline's report over the same trace (the serve
+//                 determinism contract, enforced here as a perf-smoke
+//                 gate so a fast-but-wrong engine can never pass CI).
+//
+// Gates (ShapeChecks): streamed report == batch report byte-for-byte;
+// epoch reaches the full grid; ingest sustains >= --min-ticks-per-sec;
+// every live query returned a parseable shares CSV. Emits
+// BENCH_serve.json.
+//
+// Usage: bench_serve [--scale=F] [--seed=N] [--threads=N] [--util-vms=N]
+//                    [--min-ticks-per-sec=F] [--out=PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/context.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "cloudsim/trace_io.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/stream.h"
+
+using namespace cloudlens;
+
+namespace {
+
+struct ServeBenchArgs {
+  double scale = 0.05;
+  std::uint64_t seed = 42;
+  int threads = 4;
+  int util_vms = 400;
+  double min_ticks_per_sec = 1.0;
+  std::string out = "BENCH_serve.json";
+};
+
+ServeBenchArgs parse_serve_args(int argc, char** argv) {
+  ServeBenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      args.threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--util-vms=", 11) == 0) {
+      args.util_vms = std::atoi(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--min-ticks-per-sec=", 20) == 0) {
+      args.min_ticks_per_sec = std::atof(argv[i] + 20);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      args.out = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--scale=F] [--seed=N] [--threads=N] [--util-vms=N]\n"
+          "          [--min-ticks-per-sec=F] [--out=PATH]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeBenchArgs args = parse_serve_args(argc, argv);
+  bench::ShapeChecks checks;
+  bench::BenchJson json("serve");
+  json.meta()
+      .num("scale", args.scale)
+      .num("seed", static_cast<double>(args.seed))
+      .num("threads", args.threads);
+
+  bench::banner("bench_serve: streaming ingest + live-query latency");
+
+  // -- stream: scenario -> batch oracle -> event stream ------------------
+  std::printf("generating dual-cloud scenario (scale=%.2f seed=%llu)...\n",
+              args.scale, (unsigned long long)args.seed);
+  workloads::ScenarioOptions scenario_options;
+  scenario_options.scale = args.scale;
+  scenario_options.seed = args.seed;
+  const auto scenario = workloads::make_scenario(scenario_options);
+
+  // The stream is rendered from an export/import round trip so the batch
+  // oracle and the streamed engine see the identical model population.
+  std::ostringstream topo_csv, vm_csv, util_csv;
+  export_topology(*scenario.topology, topo_csv);
+  export_vm_table(*scenario.trace, vm_csv);
+  TraceExportOptions export_options;
+  export_options.max_vms_with_utilization =
+      static_cast<std::size_t>(args.util_vms);
+  export_utilization(*scenario.trace, util_csv, export_options);
+  std::istringstream topo_in(topo_csv.str()), vm_in(vm_csv.str()),
+      util_in(util_csv.str());
+  const auto batch = import_trace(topo_in, vm_in, &util_in,
+                                  scenario.trace->telemetry_grid());
+
+  std::ostringstream stream;
+  serve::write_event_stream(*batch.topology, *batch.trace, stream);
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(stream.str());
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  std::printf("stream: %zu lines, %zu VMs, grid of %zu ticks\n", lines.size(),
+              batch.trace->vms().size(), batch.trace->telemetry_grid().count);
+
+  ParallelConfig parallel;
+  parallel.threads = args.threads;
+
+  // -- ingest: sustained drain throughput --------------------------------
+  bench::banner("ingest throughput");
+  double ingest_seconds = 0.0;
+  std::size_t final_epoch = 0;
+  {
+    serve::ServeOptions options;
+    options.parallel = parallel;
+    serve::ServeEngine engine(options);
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& line : lines) engine.ingest_line(line);
+    ingest_seconds = seconds_since(start);
+    final_epoch = engine.epoch();
+    const double events_per_sec =
+        static_cast<double>(engine.events_ingested()) / ingest_seconds;
+    const double ticks_per_sec =
+        static_cast<double>(final_epoch) / ingest_seconds;
+    std::printf("  %zu events in %.3fs  (%.3g events/s, %.3g ticks/s)\n",
+                engine.events_ingested(), ingest_seconds, events_per_sec,
+                ticks_per_sec);
+    json.record("ingest")
+        .num("events", static_cast<double>(engine.events_ingested()))
+        .num("seconds", ingest_seconds)
+        .num("events_per_sec", events_per_sec)
+        .num("ticks_per_sec", ticks_per_sec)
+        .num("epoch", static_cast<double>(final_epoch));
+    checks.expect(final_epoch == batch.trace->telemetry_grid().count,
+                  "ingest drains the full grid");
+    checks.expect(ticks_per_sec >= args.min_ticks_per_sec,
+                  "sustained ingest >= --min-ticks-per-sec");
+  }
+
+  // -- query@live: latency while an ingester replays the stream ----------
+  bench::banner("query latency under live ingest");
+  std::vector<double> query_seconds;
+  std::size_t malformed = 0;
+  double live_report_match = 0.0;
+  std::string streamed_report;
+  {
+    obs::MetricsRegistry metrics;
+    metrics.set_enabled(true);
+    serve::ServeOptions options;
+    options.parallel = parallel;
+    options.metrics = &metrics;
+    serve::ServeEngine engine(options);
+    std::atomic<bool> done{false};
+    std::thread ingester([&] {
+      for (const auto& line : lines) engine.ingest_line(line);
+      done.store(true, std::memory_order_release);
+    });
+    // Queries are defined once the first telemetry tick completes; wait
+    // for the engine to go live before timing anything.
+    while (engine.epoch() == 0 && !done.load(std::memory_order_acquire)) {}
+    while (!done.load(std::memory_order_acquire)) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto shares = engine.query("shares,private");
+      const auto stats = engine.query("stats");
+      query_seconds.push_back(seconds_since(start) / 2.0);
+      if (shares.rfind("cloud,", 0) != 0 ||
+          stats.find("events=") == std::string::npos) {
+        ++malformed;
+      }
+    }
+    ingester.join();
+    streamed_report = engine.query("report");
+    const auto snapshot = metrics.snapshot();
+    json.record("query_live")
+        .num("queries", static_cast<double>(query_seconds.size()) * 2.0)
+        .num("p50_ms", percentile(query_seconds, 0.50) * 1e3)
+        .num("p95_ms", percentile(query_seconds, 0.95) * 1e3)
+        .num("p99_ms", percentile(query_seconds, 0.99) * 1e3)
+        .num("snapshots_built",
+             static_cast<double>(snapshot.counter("serve.snapshots_built")))
+        .num("snapshot_reuses",
+             static_cast<double>(snapshot.counter("serve.snapshot_reuses")));
+    std::printf("  %zu query pairs   p50=%.2fms p95=%.2fms p99=%.2fms\n",
+                query_seconds.size(), percentile(query_seconds, 0.50) * 1e3,
+                percentile(query_seconds, 0.95) * 1e3,
+                percentile(query_seconds, 0.99) * 1e3);
+    checks.expect(!query_seconds.empty(),
+                  "at least one query completed during ingest");
+    checks.expect(malformed == 0, "every live query returned well-formed text");
+  }
+
+  // -- verify: streamed report == batch report ---------------------------
+  bench::banner("determinism gate");
+  {
+    const AnalysisContext ctx(*batch.trace, parallel);
+    std::ostringstream batch_report;
+    analysis::write_characterization_report(ctx, batch_report);
+    live_report_match = streamed_report == batch_report.str() ? 1.0 : 0.0;
+    checks.expect(live_report_match == 1.0,
+                  "streamed report byte-matches the batch pipeline");
+    json.record("verify")
+        .num("report_bytes", static_cast<double>(streamed_report.size()))
+        .num("report_match", live_report_match);
+  }
+
+  json.meta().num("peak_rss_mib", bench::peak_rss_mib());
+  if (!json.write(args.out)) return 1;
+  return checks.exit_code();
+}

@@ -31,6 +31,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 #include "analysis/spatial.h"
 #include "analysis/utilization.h"
@@ -48,22 +49,21 @@ namespace {
 double analysis_suite(const TraceStore& trace) {
   double acc = 0;
   for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
-    const auto shares = analysis::classify_population(trace, cloud, 400);
+    const auto shares = analysis::classify_population(AnalysisContext(trace), cloud, 400);
     acc += shares.diurnal + shares.stable;
   }
   const auto node_rs =
-      analysis::node_vm_correlations(trace, CloudType::kPrivate, 150);
+      analysis::node_vm_correlations(AnalysisContext(trace), CloudType::kPrivate, 150);
   acc += node_rs.empty() ? 0.0 : node_rs.front();
   const auto bands =
-      analysis::utilization_distribution(trace, CloudType::kPublic, 400);
+      analysis::utilization_distribution(AnalysisContext(trace), CloudType::kPublic, 400);
   acc += bands.weekly.p50.empty() ? 0.0 : bands.weekly.p50.front();
   const auto cross =
-      analysis::cross_region_correlations(trace, CloudType::kPrivate, 150, 25);
+      analysis::cross_region_correlations(AnalysisContext(trace), CloudType::kPrivate, 150, 25);
   acc += cross.empty() ? 0.0 : cross.front();
-  const auto verdicts = analysis::detect_region_agnostic_services(
-      trace, CloudType::kPrivate, 0.7, 25);
+  const auto verdicts = analysis::detect_region_agnostic_services(AnalysisContext(trace), CloudType::kPrivate, 0.7, 25);
   acc += static_cast<double>(verdicts.size());
-  acc += analysis::region_used_cores_hourly(trace, CloudType::kPrivate,
+  acc += analysis::region_used_cores_hourly(AnalysisContext(trace), CloudType::kPrivate,
                                             RegionId(), 400)
              .mean();
   return acc;

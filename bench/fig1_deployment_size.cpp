@@ -3,6 +3,7 @@
 //
 // Paper: private-cloud workloads deploy in larger groups; a public cluster
 // hosts ~20x more subscriptions than a private cluster at the median.
+#include "analysis/context.h"
 #include "analysis/deployment.h"
 #include "bench_common.h"
 #include "common/ascii_chart.h"
@@ -21,10 +22,9 @@ int main(int argc, char** argv) {
 
   // ---- Fig. 1(a): CDFs of VMs per subscription -------------------------
   bench::banner("Fig. 1(a): CDF of VMs per subscription (weekday snapshot)");
-  const auto priv = analysis::vms_per_subscription(
-      trace, CloudType::kPrivate, snapshot);
+  const auto priv = analysis::vms_per_subscription(AnalysisContext(trace), CloudType::kPrivate, snapshot);
   const auto pub =
-      analysis::vms_per_subscription(trace, CloudType::kPublic, snapshot);
+      analysis::vms_per_subscription(AnalysisContext(trace), CloudType::kPublic, snapshot);
   const stats::Ecdf priv_cdf(priv), pub_cdf(pub);
 
   // Shared log-scaled x-axis: evaluate both CDFs at geometric steps.
@@ -66,9 +66,9 @@ int main(int argc, char** argv) {
   // ---- Fig. 1(b): subscriptions per cluster ------------------------------
   bench::banner("Fig. 1(b): subscriptions per cluster (box-plots)");
   const auto priv_spc =
-      analysis::subscriptions_per_cluster(trace, CloudType::kPrivate, snapshot);
+      analysis::subscriptions_per_cluster(AnalysisContext(trace), CloudType::kPrivate, snapshot);
   const auto pub_spc =
-      analysis::subscriptions_per_cluster(trace, CloudType::kPublic, snapshot);
+      analysis::subscriptions_per_cluster(AnalysisContext(trace), CloudType::kPublic, snapshot);
   const auto priv_box = stats::box_stats(priv_spc);
   const auto pub_box = stats::box_stats(pub_spc);
 

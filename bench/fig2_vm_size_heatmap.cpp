@@ -3,6 +3,7 @@
 // Paper: the central mass of VM shapes is similar in both clouds, but the
 // public-cloud distribution extends into the top-right (large VMs) and
 // bottom-left (tiny burstable VMs) corners.
+#include "analysis/context.h"
 #include "analysis/deployment.h"
 #include "bench_common.h"
 #include "common/ascii_chart.h"
@@ -45,9 +46,9 @@ int main(int argc, char** argv) {
 
   bench::banner("Fig. 2: core x memory heatmaps (log-binned, normalized)");
   const auto priv =
-      analysis::vm_size_heatmap(trace, CloudType::kPrivate, snapshot);
+      analysis::vm_size_heatmap(AnalysisContext(trace), CloudType::kPrivate, snapshot);
   const auto pub =
-      analysis::vm_size_heatmap(trace, CloudType::kPublic, snapshot);
+      analysis::vm_size_heatmap(AnalysisContext(trace), CloudType::kPublic, snapshot);
 
   std::printf("%s\n", render_heatmap(priv.normalized_grid(),
                                      "(a) private cloud", "cores (log)",

@@ -5,6 +5,7 @@
 //   (c) VMs created per hour (public: clean diurnal; private: low
 //       amplitude with bursts);
 //   (d) box-plots of the CV of hourly creations across regions.
+#include "analysis/context.h"
 #include "analysis/temporal.h"
 #include "bench_common.h"
 #include "common/ascii_chart.h"
@@ -23,8 +24,8 @@ int main(int argc, char** argv) {
 
   // ---- Fig. 3(a): lifetime CDFs -----------------------------------------
   bench::banner("Fig. 3(a): CDFs of VM lifetimes (VMs started+ended in week)");
-  const auto priv_life = analysis::vm_lifetimes(trace, CloudType::kPrivate);
-  const auto pub_life = analysis::vm_lifetimes(trace, CloudType::kPublic);
+  const auto priv_life = analysis::vm_lifetimes(AnalysisContext(trace), CloudType::kPrivate);
+  const auto pub_life = analysis::vm_lifetimes(AnalysisContext(trace), CloudType::kPublic);
   const stats::Ecdf priv_cdf(priv_life), pub_cdf(pub_life);
 
   std::vector<double> priv_curve, pub_curve;
@@ -54,8 +55,8 @@ int main(int argc, char** argv) {
   // ---- Fig. 3(b): VM counts per hour, one region --------------------------
   bench::banner("Fig. 3(b): normalized VM counts per hour (one region)");
   const RegionId region(0);
-  auto priv_count = vm_count_per_hour(trace, CloudType::kPrivate, region);
-  auto pub_count = vm_count_per_hour(trace, CloudType::kPublic, region);
+  auto priv_count = vm_count_per_hour(AnalysisContext(trace), CloudType::kPrivate, region);
+  auto pub_count = vm_count_per_hour(AnalysisContext(trace), CloudType::kPublic, region);
   // Normalize each curve by its own mean, as the paper does.
   const double priv_mean = priv_count.mean(), pub_mean = pub_count.mean();
   if (priv_mean > 0) priv_count.scale(1.0 / priv_mean);
@@ -75,9 +76,9 @@ int main(int argc, char** argv) {
   // ---- Fig. 3(c): creations per hour --------------------------------------
   bench::banner("Fig. 3(c): VMs created per hour (one region)");
   const auto priv_created =
-      creations_per_hour(trace, CloudType::kPrivate, region);
+      creations_per_hour(AnalysisContext(trace), CloudType::kPrivate, region);
   const auto pub_created =
-      creations_per_hour(trace, CloudType::kPublic, region);
+      creations_per_hour(AnalysisContext(trace), CloudType::kPublic, region);
   ChartOptions created_chart;
   created_chart.title = "creations per hour, Mon..Sun";
   std::printf("%s",
@@ -92,15 +93,15 @@ int main(int argc, char** argv) {
 
   // Removals behave like creations (the paper notes this in passing).
   const auto priv_removed =
-      removals_per_hour(trace, CloudType::kPrivate, region);
+      removals_per_hour(AnalysisContext(trace), CloudType::kPrivate, region);
   std::printf("(removals/hour private: mean %.1f, max %.0f — mirrors "
               "creations)\n",
               priv_removed.mean(), priv_removed.max());
 
   // ---- Fig. 3(d): CV across regions ---------------------------------------
   bench::banner("Fig. 3(d): CV of hourly VM creations across regions");
-  const auto priv_cv = creation_cv_by_region(trace, CloudType::kPrivate);
-  const auto pub_cv = creation_cv_by_region(trace, CloudType::kPublic);
+  const auto priv_cv = creation_cv_by_region(AnalysisContext(trace), CloudType::kPrivate);
+  const auto pub_cv = creation_cv_by_region(AnalysisContext(trace), CloudType::kPublic);
   const auto priv_box = stats::box_stats(priv_cv);
   const auto pub_box = stats::box_stats(pub_cv);
   std::printf("%s",

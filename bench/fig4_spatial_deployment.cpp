@@ -5,6 +5,7 @@
 // private cloud deploys over more regions in the rest; single-region
 // subscriptions hold ~40% of private-cloud cores vs ~70% of public-cloud
 // cores.
+#include "analysis/context.h"
 #include "analysis/deployment.h"
 #include "bench_common.h"
 #include "common/ascii_chart.h"
@@ -19,9 +20,9 @@ int main(int argc, char** argv) {
   const auto scenario = bench::make_bench_scenario(args);
   const TraceStore& trace = *scenario.trace;
 
-  const auto priv = analysis::region_spread(trace, CloudType::kPrivate,
+  const auto priv = analysis::region_spread(AnalysisContext(trace), CloudType::kPrivate,
                                             analysis::kDefaultSnapshot);
-  const auto pub = analysis::region_spread(trace, CloudType::kPublic,
+  const auto pub = analysis::region_spread(AnalysisContext(trace), CloudType::kPublic,
                                            analysis::kDefaultSnapshot);
 
   bench::banner("Fig. 4(a): CDF of deployed regions per subscription");

@@ -3,6 +3,7 @@
 //   (b) stable and irregular samples;
 //   (c) an hourly-peak sample (peaks at :00/:30 marks);
 //   (d) pattern shares per cloud, private vs public.
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 #include "bench_common.h"
 #include "common/ascii_chart.h"
@@ -64,9 +65,9 @@ int main(int argc, char** argv) {
   bench::banner("Fig. 5(d): pattern shares per cloud (classifier output)");
   const auto scenario = bench::make_bench_scenario(args);
   const auto priv =
-      analysis::classify_population(*scenario.trace, CloudType::kPrivate, 1200);
+      analysis::classify_population(AnalysisContext(*scenario.trace), CloudType::kPrivate, 1200);
   const auto pub =
-      analysis::classify_population(*scenario.trace, CloudType::kPublic, 1200);
+      analysis::classify_population(AnalysisContext(*scenario.trace), CloudType::kPublic, 1200);
 
   TextTable t({"pattern", "private", "public", "paper's contrast"});
   t.row().add("diurnal").add(priv.diurnal, 3).add(pub.diurnal, 3).add(

@@ -5,6 +5,7 @@
 // Paper: the 75th percentile stays below ~30% in both clouds; the public
 // bands are more stable; the private daily profile follows working hours
 // while the public daily profile is almost constant.
+#include "analysis/context.h"
 #include "analysis/utilization.h"
 #include "bench_common.h"
 #include "common/ascii_chart.h"
@@ -62,9 +63,9 @@ int main(int argc, char** argv) {
   const auto scenario = bench::make_bench_scenario(args);
 
   const auto priv =
-      analysis::utilization_distribution(*scenario.trace, CloudType::kPrivate);
+      analysis::utilization_distribution(AnalysisContext(*scenario.trace), CloudType::kPrivate);
   const auto pub =
-      analysis::utilization_distribution(*scenario.trace, CloudType::kPublic);
+      analysis::utilization_distribution(AnalysisContext(*scenario.trace), CloudType::kPublic);
 
   bench::banner("Fig. 6(a): weekly distribution, private cloud");
   show_weekly("CPU utilization percentiles over one week (x = 168 h)", priv);

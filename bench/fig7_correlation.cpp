@@ -12,6 +12,7 @@
 //                                     sweeps into the SIMD Pearson
 //                                     reduction end-to-end (3.9x on the
 //                                     kernel; see BENCH_simd.json)
+#include "analysis/context.h"
 #include "analysis/spatial.h"
 #include "bench_common.h"
 #include "common/ascii_chart.h"
@@ -47,9 +48,9 @@ int main(int argc, char** argv) {
   // ---- Fig. 7(a): VM-node correlation CDFs ------------------------------
   bench::banner("Fig. 7(a): CDF of VM-to-host-node utilization correlation");
   const auto priv_corr =
-      analysis::node_vm_correlations(trace, CloudType::kPrivate, 250);
+      analysis::node_vm_correlations(AnalysisContext(trace), CloudType::kPrivate, 250);
   const auto pub_corr =
-      analysis::node_vm_correlations(trace, CloudType::kPublic, 250);
+      analysis::node_vm_correlations(AnalysisContext(trace), CloudType::kPublic, 250);
   const stats::Ecdf priv_cdf(priv_corr), pub_cdf(pub_corr);
 
   std::vector<double> priv_curve, pub_curve;
@@ -76,9 +77,9 @@ int main(int argc, char** argv) {
   // ---- Fig. 7(b): cross-region correlation CDFs ---------------------------
   bench::banner("Fig. 7(b): CDF of cross-region utilization correlation");
   const auto priv_xr =
-      analysis::cross_region_correlations(trace, CloudType::kPrivate, 300);
+      analysis::cross_region_correlations(AnalysisContext(trace), CloudType::kPrivate, 300);
   const auto pub_xr =
-      analysis::cross_region_correlations(trace, CloudType::kPublic, 300);
+      analysis::cross_region_correlations(AnalysisContext(trace), CloudType::kPublic, 300);
   const stats::Ecdf priv_xr_cdf(priv_xr), pub_xr_cdf(pub_xr);
   std::vector<double> priv_xr_curve, pub_xr_curve;
   for (double x = -1.0; x <= 1.0; x += 0.04) {
@@ -99,7 +100,7 @@ int main(int argc, char** argv) {
   // ---- Fig. 7(c): ServiceX per-region profiles ----------------------------
   bench::banner("Fig. 7(c): 'ServiceX' daily utilization across regions");
   const auto verdicts =
-      analysis::detect_region_agnostic_services(trace, CloudType::kPrivate);
+      analysis::detect_region_agnostic_services(AnalysisContext(trace), CloudType::kPrivate);
   // Pick the region-agnostic service spanning the most regions.
   const analysis::RegionAgnosticVerdict* service_x = nullptr;
   for (const auto& v : verdicts) {
@@ -118,7 +119,7 @@ int main(int argc, char** argv) {
   for (const auto& sub : trace.subscriptions()) {
     if (sub.service != service_x->service) continue;
     for (const auto& profile :
-         analysis::subscription_region_profiles(trace, sub.id)) {
+         analysis::subscription_region_profiles(AnalysisContext(trace), sub.id)) {
       if (profiles.size() >= 4) break;
       profiles.emplace_back(
           trace.topology().region(profile.region).name,

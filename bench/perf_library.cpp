@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/classifier.h"
+#include "analysis/context.h"
 #include "analysis/spatial.h"
 #include "analysis/utilization.h"
 #include "cloudsim/allocator.h"
@@ -194,8 +195,8 @@ void BM_ClassifyPopulationThreads(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::classify_population(
-        *scenario.trace, CloudType::kPrivate, 400, {},
-        ParallelConfig::with_threads(threads)));
+        AnalysisContext(*scenario.trace, ParallelConfig::with_threads(threads)),
+        CloudType::kPrivate, 400));
   }
   state.SetLabel(std::to_string(threads) + " threads");
 }
@@ -208,8 +209,8 @@ void BM_NodeCorrelationsThreads(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::node_vm_correlations(
-        *scenario.trace, CloudType::kPrivate, 150,
-        ParallelConfig::with_threads(threads)));
+        AnalysisContext(*scenario.trace, ParallelConfig::with_threads(threads)),
+        CloudType::kPrivate, 150));
   }
   state.SetLabel(std::to_string(threads) + " threads");
 }
@@ -222,8 +223,8 @@ void BM_UtilizationBandsThreads(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::utilization_distribution(
-        *scenario.trace, CloudType::kPublic, 400,
-        ParallelConfig::with_threads(threads)));
+        AnalysisContext(*scenario.trace, ParallelConfig::with_threads(threads)),
+        CloudType::kPublic, 400));
   }
   state.SetLabel(std::to_string(threads) + " threads");
 }
@@ -239,14 +240,15 @@ BENCHMARK(BM_UtilizationBandsThreads)
 // reads contiguous rows. Outputs are bit-identical either way.
 
 double repeated_analysis_suite(const TraceStore& trace) {
+  const AnalysisContext ctx(trace);
   double acc = 0;
   for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic})
-    acc += analysis::classify_population(trace, cloud, 400).stable;
+    acc += analysis::classify_population(ctx, cloud, 400).stable;
   acc += static_cast<double>(
-      analysis::node_vm_correlations(trace, CloudType::kPrivate, 150).size());
-  acc += analysis::utilization_distribution(trace, CloudType::kPublic, 400)
+      analysis::node_vm_correlations(ctx, CloudType::kPrivate, 150).size());
+  acc += analysis::utilization_distribution(ctx, CloudType::kPublic, 400)
              .weekly.p50.front();
-  acc += analysis::region_used_cores_hourly(trace, CloudType::kPrivate,
+  acc += analysis::region_used_cores_hourly(ctx, CloudType::kPrivate,
                                             RegionId(), 400)
              .mean();
   return acc;

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 #include "analysis/deployment.h"
 #include "analysis/spatial.h"
@@ -22,17 +23,17 @@ using namespace cloudlens;
 
 namespace {
 
-void characterize(const TraceStore& trace, CloudType cloud) {
+void characterize(const AnalysisContext& ctx, CloudType cloud) {
   std::cout << "\n--- " << to_string(cloud) << " cloud ---\n";
 
   const auto sizes =
-      analysis::vms_per_subscription(trace, cloud, analysis::kDefaultSnapshot);
-  const auto lifetimes = analysis::vm_lifetimes(trace, cloud);
-  const auto cvs = analysis::creation_cv_by_region(trace, cloud);
+      analysis::vms_per_subscription(ctx, cloud, analysis::kDefaultSnapshot);
+  const auto lifetimes = analysis::vm_lifetimes(ctx, cloud);
+  const auto cvs = analysis::creation_cv_by_region(ctx, cloud);
   const auto spread =
-      analysis::region_spread(trace, cloud, analysis::kDefaultSnapshot);
-  const auto mix = analysis::classify_population(trace, cloud, 800);
-  const auto node_corr = analysis::node_vm_correlations(trace, cloud, 150);
+      analysis::region_spread(ctx, cloud, analysis::kDefaultSnapshot);
+  const auto mix = analysis::classify_population(ctx, cloud, 800);
+  const auto node_corr = analysis::node_vm_correlations(ctx, cloud, 150);
 
   TextTable t({"characteristic", "value"});
   t.row().add("subscriptions with alive VMs").add(sizes.size());
@@ -66,16 +67,17 @@ int main(int argc, char** argv) {
             << options.scale << ")...\n";
   const auto scenario = workloads::make_scenario(options);
   const TraceStore& trace = *scenario.trace;
+  const AnalysisContext ctx(trace);  // every analysis runs through a context
   std::cout << "  " << trace.vms().size() << " VMs, "
             << trace.subscriptions().size() << " subscriptions, "
             << trace.services().size() << " services\n";
 
-  characterize(trace, CloudType::kPrivate);
-  characterize(trace, CloudType::kPublic);
+  characterize(ctx, CloudType::kPrivate);
+  characterize(ctx, CloudType::kPublic);
 
   // Region-agnostic detection (Insight 4).
   const auto verdicts =
-      analysis::detect_region_agnostic_services(trace, CloudType::kPrivate);
+      analysis::detect_region_agnostic_services(ctx, CloudType::kPrivate);
   std::size_t agnostic = 0;
   for (const auto& v : verdicts) {
     if (v.region_agnostic) ++agnostic;
@@ -87,7 +89,7 @@ int main(int argc, char** argv) {
   std::cout << "\nExtracting workload knowledge base..." << std::flush;
   kb::ExtractorOptions ex;
   ex.max_classified_vms = 4;
-  const kb::KnowledgeBase knowledge(kb::extract_all(trace, ex));
+  const kb::KnowledgeBase knowledge(kb::extract_all(ctx, ex));
   std::cout << " " << knowledge.size() << " records\n";
   for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
     const auto summary = knowledge.summarize(cloud);

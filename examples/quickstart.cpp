@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 #include "analysis/deployment.h"
 #include "analysis/spatial.h"
@@ -23,6 +24,9 @@ int main(int argc, char** argv) {
               options.scale);
   const auto scenario = workloads::make_scenario(options);
   const TraceStore& trace = *scenario.trace;
+  // Every analysis entry point takes an AnalysisContext: a borrowed trace
+  // plus the parallelism knob (and optionally metrics/trace sinks).
+  const AnalysisContext ctx(trace);
 
   std::printf("  private: %llu placed, %llu failures\n",
               (unsigned long long)scenario.private_stats.placed,
@@ -34,28 +38,24 @@ int main(int argc, char** argv) {
   TextTable table({"metric", "private", "public"});
 
   // Fig. 1(a): deployment size medians.
-  const auto priv_sizes = analysis::vms_per_subscription(
-      trace, CloudType::kPrivate, analysis::kDefaultSnapshot);
-  const auto pub_sizes = analysis::vms_per_subscription(
-      trace, CloudType::kPublic, analysis::kDefaultSnapshot);
+  const auto priv_sizes = analysis::vms_per_subscription(ctx, CloudType::kPrivate, analysis::kDefaultSnapshot);
+  const auto pub_sizes = analysis::vms_per_subscription(ctx, CloudType::kPublic, analysis::kDefaultSnapshot);
   table.row()
       .add("median VMs per subscription")
       .add(stats::quantile_sorted(priv_sizes, 0.5), 1)
       .add(stats::quantile_sorted(pub_sizes, 0.5), 1);
 
   // Fig. 1(b): subscriptions per cluster.
-  const auto priv_spc = analysis::subscriptions_per_cluster(
-      trace, CloudType::kPrivate, analysis::kDefaultSnapshot);
-  const auto pub_spc = analysis::subscriptions_per_cluster(
-      trace, CloudType::kPublic, analysis::kDefaultSnapshot);
+  const auto priv_spc = analysis::subscriptions_per_cluster(ctx, CloudType::kPrivate, analysis::kDefaultSnapshot);
+  const auto pub_spc = analysis::subscriptions_per_cluster(ctx, CloudType::kPublic, analysis::kDefaultSnapshot);
   table.row()
       .add("median subscriptions per cluster")
       .add(stats::quantile_sorted(priv_spc, 0.5), 1)
       .add(stats::quantile_sorted(pub_spc, 0.5), 1);
 
   // Fig. 3(a): shortest lifetime bin share.
-  const auto priv_life = analysis::vm_lifetimes(trace, CloudType::kPrivate);
-  const auto pub_life = analysis::vm_lifetimes(trace, CloudType::kPublic);
+  const auto priv_life = analysis::vm_lifetimes(ctx, CloudType::kPrivate);
+  const auto pub_life = analysis::vm_lifetimes(ctx, CloudType::kPublic);
   table.row()
       .add("share of lifetimes < 30 min")
       .add(analysis::shortest_bin_share(priv_life), 2)
@@ -63,18 +63,18 @@ int main(int argc, char** argv) {
 
   // Fig. 3(d): creation burstiness (median CV across regions).
   const auto priv_cv =
-      analysis::creation_cv_by_region(trace, CloudType::kPrivate);
+      analysis::creation_cv_by_region(ctx, CloudType::kPrivate);
   const auto pub_cv =
-      analysis::creation_cv_by_region(trace, CloudType::kPublic);
+      analysis::creation_cv_by_region(ctx, CloudType::kPublic);
   table.row()
       .add("median CV of hourly creations")
       .add(stats::quantile(priv_cv, 0.5), 2)
       .add(stats::quantile(pub_cv, 0.5), 2);
 
   // Fig. 4(b): single-region core share.
-  const auto priv_spread = analysis::region_spread(trace, CloudType::kPrivate,
+  const auto priv_spread = analysis::region_spread(ctx, CloudType::kPrivate,
                                                    analysis::kDefaultSnapshot);
-  const auto pub_spread = analysis::region_spread(trace, CloudType::kPublic,
+  const auto pub_spread = analysis::region_spread(ctx, CloudType::kPublic,
                                                   analysis::kDefaultSnapshot);
   table.row()
       .add("single-region core share")
@@ -83,9 +83,9 @@ int main(int argc, char** argv) {
 
   // Fig. 5(d): pattern shares.
   const auto priv_mix =
-      analysis::classify_population(trace, CloudType::kPrivate, 600);
+      analysis::classify_population(ctx, CloudType::kPrivate, 600);
   const auto pub_mix =
-      analysis::classify_population(trace, CloudType::kPublic, 600);
+      analysis::classify_population(ctx, CloudType::kPublic, 600);
   table.row().add("diurnal share").add(priv_mix.diurnal, 2).add(
       pub_mix.diurnal, 2);
   table.row().add("stable share").add(priv_mix.stable, 2).add(pub_mix.stable,
@@ -101,9 +101,9 @@ int main(int argc, char** argv) {
 
   // Fig. 7(a): median VM-node utilization correlation.
   const auto priv_corr =
-      analysis::node_vm_correlations(trace, CloudType::kPrivate, 120);
+      analysis::node_vm_correlations(ctx, CloudType::kPrivate, 120);
   const auto pub_corr =
-      analysis::node_vm_correlations(trace, CloudType::kPublic, 120);
+      analysis::node_vm_correlations(ctx, CloudType::kPublic, 120);
   table.row()
       .add("median VM-node correlation")
       .add(priv_corr.empty() ? 0 : stats::quantile_sorted(priv_corr, 0.5), 2)

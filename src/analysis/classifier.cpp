@@ -141,12 +141,4 @@ PatternShares classify_population(const AnalysisContext& ctx, CloudType cloud,
   return shares;
 }
 
-PatternShares classify_population(const TraceStore& trace, CloudType cloud,
-                                  std::size_t max_vms,
-                                  const ClassifierOptions& options,
-                                  const ParallelConfig& parallel) {
-  return classify_population(AnalysisContext(trace, parallel), cloud, max_vms,
-                             options);
-}
-
 }  // namespace cloudlens::analysis

@@ -64,11 +64,4 @@ PatternShares classify_population(const AnalysisContext& ctx, CloudType cloud,
                                   std::size_t max_vms = 2000,
                                   const ClassifierOptions& options = {});
 
-/// Deprecated spelling: forwards to the AnalysisContext overload (kept so
-/// examples and external callers compile unchanged; exactly equivalent).
-PatternShares classify_population(const TraceStore& trace, CloudType cloud,
-                                  std::size_t max_vms = 2000,
-                                  const ClassifierOptions& options = {},
-                                  const ParallelConfig& parallel = {});
-
 }  // namespace cloudlens::analysis

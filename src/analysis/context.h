@@ -19,12 +19,11 @@
 // thread count and with metrics/tracing on or off (pinned by
 // obs_determinism_test and the parallel-equivalence suite).
 //
-// Migration: every `src/analysis/*` and `kb/extractor` entry point now
-// has a `const AnalysisContext&` overload as the primary implementation.
-// The pre-existing `(const TraceStore&, ..., ParallelConfig)` overloads
-// remain as thin forwarders (deprecated in comments, kept so examples and
-// external callers compile unchanged); they construct a context on the
-// fly, so both spellings are exactly equivalent.
+// Every `src/analysis/*` and `kb` entry point takes the context as its
+// first parameter; the historical `(const TraceStore&, ..., ParallelConfig)`
+// forwarder overloads are gone. Call sites that only have a TraceStore
+// construct a context inline — `f(AnalysisContext(trace), ...)` — which
+// binds fine as a temporary to the `const AnalysisContext&` parameter.
 #pragma once
 
 #include <string_view>

@@ -25,11 +25,6 @@ std::vector<double> vms_per_subscription(const AnalysisContext& ctx,
   return out;
 }
 
-std::vector<double> vms_per_subscription(const TraceStore& trace,
-                                         CloudType cloud, SimTime snapshot) {
-  return vms_per_subscription(AnalysisContext(trace), cloud, snapshot);
-}
-
 std::vector<double> subscriptions_per_cluster(const AnalysisContext& ctx,
                                               CloudType cloud,
                                               SimTime snapshot) {
@@ -52,12 +47,6 @@ std::vector<double> subscriptions_per_cluster(const AnalysisContext& ctx,
   return out;
 }
 
-std::vector<double> subscriptions_per_cluster(const TraceStore& trace,
-                                              CloudType cloud,
-                                              SimTime snapshot) {
-  return subscriptions_per_cluster(AnalysisContext(trace), cloud, snapshot);
-}
-
 stats::Histogram2D vm_size_heatmap(const AnalysisContext& ctx,
                                    CloudType cloud, SimTime snapshot,
                                    std::size_t bins) {
@@ -73,11 +62,6 @@ stats::Histogram2D vm_size_heatmap(const AnalysisContext& ctx,
     hist.add(vm.cores, vm.memory_gb);
   }
   return hist;
-}
-
-stats::Histogram2D vm_size_heatmap(const TraceStore& trace, CloudType cloud,
-                                   SimTime snapshot, std::size_t bins) {
-  return vm_size_heatmap(AnalysisContext(trace), cloud, snapshot, bins);
 }
 
 RegionSpread region_spread(const AnalysisContext& ctx, CloudType cloud,
@@ -119,11 +103,6 @@ RegionSpread region_spread(const AnalysisContext& ctx, CloudType cloud,
   out.single_region_core_share =
       total_cores > 0 ? cores_by_count[0] / total_cores : 0.0;
   return out;
-}
-
-RegionSpread region_spread(const TraceStore& trace, CloudType cloud,
-                           SimTime snapshot) {
-  return region_spread(AnalysisContext(trace), cloud, snapshot);
 }
 
 }  // namespace cloudlens::analysis

@@ -15,16 +15,12 @@ class AnalysisContext;  // analysis/context.h
 
 namespace cloudlens::analysis {
 
-// Every snapshot pass has an AnalysisContext overload as the primary
-// implementation (phase + counters against the context's write-only
-// metrics); the `(trace, ...)` spellings are deprecated forwarders kept so
-// examples and external callers compile unchanged.
+// Every snapshot pass takes an AnalysisContext (phase + counters land
+// against the context's write-only metrics).
 
 /// Fig. 1(a): number of VMs per subscription at a snapshot instant, for one
 /// cloud. Subscriptions with no alive VM at the snapshot are skipped.
 std::vector<double> vms_per_subscription(const AnalysisContext& ctx,
-                                         CloudType cloud, SimTime snapshot);
-std::vector<double> vms_per_subscription(const TraceStore& trace,
                                          CloudType cloud, SimTime snapshot);
 
 /// Fig. 1(b): number of distinct subscriptions with at least one alive VM
@@ -32,16 +28,11 @@ std::vector<double> vms_per_subscription(const TraceStore& trace,
 std::vector<double> subscriptions_per_cluster(const AnalysisContext& ctx,
                                               CloudType cloud,
                                               SimTime snapshot);
-std::vector<double> subscriptions_per_cluster(const TraceStore& trace,
-                                              CloudType cloud,
-                                              SimTime snapshot);
 
 /// Fig. 2: joint (cores, memory) histogram over VMs alive at the snapshot.
 stats::Histogram2D vm_size_heatmap(const AnalysisContext& ctx,
                                    CloudType cloud, SimTime snapshot,
                                    std::size_t bins = 12);
-stats::Histogram2D vm_size_heatmap(const TraceStore& trace, CloudType cloud,
-                                   SimTime snapshot, std::size_t bins = 12);
 
 /// Fig. 4: per-subscription deployed-region counts, plain and core-weighted.
 struct RegionSpread {
@@ -56,8 +47,6 @@ struct RegionSpread {
 };
 
 RegionSpread region_spread(const AnalysisContext& ctx, CloudType cloud,
-                           SimTime snapshot);
-RegionSpread region_spread(const TraceStore& trace, CloudType cloud,
                            SimTime snapshot);
 
 /// The default weekday-afternoon snapshot used across deployment analyses.

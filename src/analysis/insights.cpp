@@ -85,11 +85,6 @@ InsightVerdicts evaluate_insights(const AnalysisContext& ctx,
   return v;
 }
 
-InsightVerdicts evaluate_insights(const TraceStore& trace,
-                                  const InsightOptions& options) {
-  return evaluate_insights(AnalysisContext(trace), options);
-}
-
 std::string render_insights(const InsightVerdicts& v) {
   std::ostringstream os;
   auto verdict = [](bool ok) { return ok ? "HOLDS" : "NOT OBSERVED"; };

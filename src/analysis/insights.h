@@ -66,11 +66,6 @@ struct InsightVerdicts {
 InsightVerdicts evaluate_insights(const AnalysisContext& ctx,
                                   const InsightOptions& options = {});
 
-/// Deprecated spelling: forwards with a default-constructed context (same
-/// thread count the old code used).
-InsightVerdicts evaluate_insights(const TraceStore& trace,
-                                  const InsightOptions& options = {});
-
 /// Console rendering of the verdicts (one block per insight).
 std::string render_insights(const InsightVerdicts& verdicts);
 

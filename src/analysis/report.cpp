@@ -137,11 +137,4 @@ InsightVerdicts write_characterization_report(const AnalysisContext& ctx,
   return v;
 }
 
-InsightVerdicts write_characterization_report(const TraceStore& trace,
-                                              std::ostream& out,
-                                              const ReportOptions& options) {
-  return write_characterization_report(
-      AnalysisContext(trace, options.parallel), out, options);
-}
-
 }  // namespace cloudlens::analysis

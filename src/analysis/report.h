@@ -21,25 +21,13 @@ struct ReportOptions {
   InsightOptions insights;
   /// Title line of the document.
   std::string title = "Cloud workload characterization";
-  /// Fan-out for the batch passes the report runs, honoured by the
-  /// `(trace, out, options)` spelling. Historically there was no way to
-  /// hand the report a thread count at all — the classifier and
-  /// correlation passes always ran at the default — so callers tuning
-  /// parallelism silently got the wrong knob. The AnalysisContext overload
-  /// ignores this field in favour of the context's own ParallelConfig.
-  ParallelConfig parallel = {};
 };
 
 /// Write the report to `out`. Returns the computed insight verdicts so
-/// callers can also act on them programmatically. The report is
-/// byte-identical at any thread count (pinned by report_test).
+/// callers can also act on them programmatically. The batch passes fan out
+/// over the context's ParallelConfig; the report is byte-identical at any
+/// thread count (pinned by report_test).
 InsightVerdicts write_characterization_report(const AnalysisContext& ctx,
-                                              std::ostream& out,
-                                              const ReportOptions& options = {});
-
-/// Deprecated spelling: forwards with AnalysisContext(trace,
-/// options.parallel).
-InsightVerdicts write_characterization_report(const TraceStore& trace,
                                               std::ostream& out,
                                               const ReportOptions& options = {});
 

@@ -142,14 +142,6 @@ std::vector<double> node_vm_correlations(const AnalysisContext& ctx,
   return out;
 }
 
-std::vector<double> node_vm_correlations(const TraceStore& trace,
-                                         CloudType cloud,
-                                         std::size_t max_nodes,
-                                         const ParallelConfig& parallel) {
-  return node_vm_correlations(AnalysisContext(trace, parallel), cloud,
-                              max_nodes);
-}
-
 std::vector<RegionProfile> subscription_region_profiles(
     const AnalysisContext& ctx, SubscriptionId sub,
     std::size_t max_vms_per_region) {
@@ -186,13 +178,6 @@ std::vector<RegionProfile> subscription_region_profiles(
             });
   ctx.count(obs::Counter::kAnalysisSeriesRolledUp, out.size());
   return out;
-}
-
-std::vector<RegionProfile> subscription_region_profiles(
-    const TraceStore& trace, SubscriptionId sub,
-    std::size_t max_vms_per_region) {
-  return subscription_region_profiles(AnalysisContext(trace), sub,
-                                      max_vms_per_region);
 }
 
 std::vector<double> cross_region_correlations(const AnalysisContext& ctx,
@@ -263,15 +248,6 @@ std::vector<double> cross_region_correlations(const AnalysisContext& ctx,
   std::sort(out.begin(), out.end());
   ctx.count(obs::Counter::kAnalysisCorrelations, out.size());
   return out;
-}
-
-std::vector<double> cross_region_correlations(const TraceStore& trace,
-                                              CloudType cloud,
-                                              std::size_t max_subscriptions,
-                                              std::size_t max_vms_per_region,
-                                              const ParallelConfig& parallel) {
-  return cross_region_correlations(AnalysisContext(trace, parallel), cloud,
-                                   max_subscriptions, max_vms_per_region);
 }
 
 std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
@@ -348,14 +324,6 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
       parallel);
   ctx.count(obs::Counter::kAnalysisCorrelations, out.size());
   return out;
-}
-
-std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
-    const TraceStore& trace, CloudType cloud, double min_correlation,
-    std::size_t max_vms_per_region, const ParallelConfig& parallel) {
-  return detect_region_agnostic_services(AnalysisContext(trace, parallel),
-                                         cloud, min_correlation,
-                                         max_vms_per_region);
 }
 
 }  // namespace cloudlens::analysis

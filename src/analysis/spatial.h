@@ -19,11 +19,8 @@ namespace cloudlens::analysis {
 // per-service work out over the context's ParallelConfig. Partial results
 // are merged in deterministic candidate order, so every function returns
 // bit-identical output at any thread count; `threads = 1` is the plain
-// serial loop. Each entry point has an AnalysisContext overload as the
-// primary implementation (phase + counters against the context's write-only
-// metrics) and a deprecated `(trace, ..., parallel)` forwarder kept so
-// examples and external callers compile unchanged; both are exactly
-// equivalent in results.
+// serial loop. Every entry point takes an AnalysisContext (phase + counters
+// land against the context's write-only metrics).
 
 /// Fig. 7(a): Pearson correlation between each VM's utilization and its
 /// host node's utilization, over VMs of one cloud that cover the window.
@@ -32,10 +29,6 @@ namespace cloudlens::analysis {
 std::vector<double> node_vm_correlations(const AnalysisContext& ctx,
                                          CloudType cloud,
                                          std::size_t max_nodes = 400);
-std::vector<double> node_vm_correlations(const TraceStore& trace,
-                                         CloudType cloud,
-                                         std::size_t max_nodes = 400,
-                                         const ParallelConfig& parallel = {});
 
 /// Fig. 7(b): for every subscription of `cloud` deployed in >= 2 regions,
 /// the Pearson correlation of its region-level average utilization for each
@@ -43,11 +36,6 @@ std::vector<double> node_vm_correlations(const TraceStore& trace,
 std::vector<double> cross_region_correlations(
     const AnalysisContext& ctx, CloudType cloud,
     std::size_t max_subscriptions = 400, std::size_t max_vms_per_region = 25);
-std::vector<double> cross_region_correlations(
-    const TraceStore& trace, CloudType cloud,
-    std::size_t max_subscriptions = 400,
-    std::size_t max_vms_per_region = 25,
-    const ParallelConfig& parallel = {});
 
 /// Region-level average utilization of one subscription (hourly means),
 /// one series per deployed region — the raw material of Fig. 7(b,c).
@@ -58,9 +46,6 @@ struct RegionProfile {
 };
 std::vector<RegionProfile> subscription_region_profiles(
     const AnalysisContext& ctx, SubscriptionId sub,
-    std::size_t max_vms_per_region = 25);
-std::vector<RegionProfile> subscription_region_profiles(
-    const TraceStore& trace, SubscriptionId sub,
     std::size_t max_vms_per_region = 25);
 
 /// Fig. 7(c) + Insight 4: region-agnostic detection for a multi-region
@@ -77,8 +62,5 @@ struct RegionAgnosticVerdict {
 std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
     const AnalysisContext& ctx, CloudType cloud, double min_correlation = 0.7,
     std::size_t max_vms_per_region = 25);
-std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
-    const TraceStore& trace, CloudType cloud, double min_correlation = 0.7,
-    std::size_t max_vms_per_region = 25, const ParallelConfig& parallel = {});
 
 }  // namespace cloudlens::analysis

@@ -48,12 +48,6 @@ std::vector<double> vm_lifetimes(const AnalysisContext& ctx, CloudType cloud,
   return lifetimes_impl(ctx.trace(), cloud, window_start, window_end);
 }
 
-std::vector<double> vm_lifetimes(const TraceStore& trace, CloudType cloud,
-                                 SimTime window_start, SimTime window_end) {
-  return vm_lifetimes(AnalysisContext(trace), cloud, window_start,
-                      window_end);
-}
-
 double shortest_bin_share(const std::vector<double>& lifetimes,
                           double bin_edge_seconds) {
   if (lifetimes.empty()) return 0.0;
@@ -100,21 +94,11 @@ stats::TimeSeries vm_count_per_hour(const AnalysisContext& ctx,
   return out;
 }
 
-stats::TimeSeries vm_count_per_hour(const TraceStore& trace, CloudType cloud,
-                                    RegionId region, const TimeGrid& grid) {
-  return vm_count_per_hour(AnalysisContext(trace), cloud, region, grid);
-}
-
 stats::TimeSeries creations_per_hour(const AnalysisContext& ctx,
                                      CloudType cloud, RegionId region,
                                      const TimeGrid& grid) {
   auto phase = ctx.phase("analysis.creations_per_hour");
   return creations_impl(ctx.trace(), cloud, region, grid);
-}
-
-stats::TimeSeries creations_per_hour(const TraceStore& trace, CloudType cloud,
-                                     RegionId region, const TimeGrid& grid) {
-  return creations_per_hour(AnalysisContext(trace), cloud, region, grid);
 }
 
 stats::TimeSeries removals_per_hour(const AnalysisContext& ctx,
@@ -131,11 +115,6 @@ stats::TimeSeries removals_per_hour(const AnalysisContext& ctx,
   return out;
 }
 
-stats::TimeSeries removals_per_hour(const TraceStore& trace, CloudType cloud,
-                                    RegionId region, const TimeGrid& grid) {
-  return removals_per_hour(AnalysisContext(trace), cloud, region, grid);
-}
-
 std::vector<double> creation_cv_by_region(const AnalysisContext& ctx,
                                           CloudType cloud,
                                           const TimeGrid& grid) {
@@ -149,12 +128,6 @@ std::vector<double> creation_cv_by_region(const AnalysisContext& ctx,
   }
   ctx.count(obs::Counter::kAnalysisSeriesRolledUp, out.size());
   return out;
-}
-
-std::vector<double> creation_cv_by_region(const TraceStore& trace,
-                                          CloudType cloud,
-                                          const TimeGrid& grid) {
-  return creation_cv_by_region(AnalysisContext(trace), cloud, grid);
 }
 
 }  // namespace cloudlens::analysis

@@ -14,17 +14,12 @@ class AnalysisContext;  // analysis/context.h
 
 namespace cloudlens::analysis {
 
-// Every pass below has an AnalysisContext overload as the primary
-// implementation (it opens an "analysis.*" phase against the context's
-// write-only metrics); the `(trace, ...)` spellings are deprecated
-// forwarders kept so examples and external callers compile unchanged.
+// Every pass below takes an AnalysisContext (it opens an "analysis.*"
+// phase against the context's write-only metrics).
 
 /// Fig. 3(a): lifetimes (seconds) of VMs that both started and ended inside
 /// [window_start, window_end) — matching the paper's inclusion rule.
 std::vector<double> vm_lifetimes(const AnalysisContext& ctx, CloudType cloud,
-                                 SimTime window_start = 0,
-                                 SimTime window_end = kWeek);
-std::vector<double> vm_lifetimes(const TraceStore& trace, CloudType cloud,
                                  SimTime window_start = 0,
                                  SimTime window_end = kWeek);
 
@@ -38,16 +33,10 @@ double shortest_bin_share(const std::vector<double>& lifetimes,
 stats::TimeSeries vm_count_per_hour(const AnalysisContext& ctx,
                                     CloudType cloud, RegionId region,
                                     const TimeGrid& grid = week_hourly_grid());
-stats::TimeSeries vm_count_per_hour(const TraceStore& trace, CloudType cloud,
-                                    RegionId region,
-                                    const TimeGrid& grid = week_hourly_grid());
 
 /// Fig. 3(c): VMs created per hour, one region (invalid = all regions).
 stats::TimeSeries creations_per_hour(
     const AnalysisContext& ctx, CloudType cloud, RegionId region,
-    const TimeGrid& grid = week_hourly_grid());
-stats::TimeSeries creations_per_hour(
-    const TraceStore& trace, CloudType cloud, RegionId region,
     const TimeGrid& grid = week_hourly_grid());
 
 /// Fig. 3(d): the coefficient of variation of the hourly-creation series,
@@ -55,16 +44,10 @@ stats::TimeSeries creations_per_hour(
 std::vector<double> creation_cv_by_region(
     const AnalysisContext& ctx, CloudType cloud,
     const TimeGrid& grid = week_hourly_grid());
-std::vector<double> creation_cv_by_region(
-    const TraceStore& trace, CloudType cloud,
-    const TimeGrid& grid = week_hourly_grid());
 
 /// VM removals per hour (the paper notes removals behave like creations).
 stats::TimeSeries removals_per_hour(const AnalysisContext& ctx,
                                     CloudType cloud, RegionId region,
-                                    const TimeGrid& grid = week_hourly_grid());
-stats::TimeSeries removals_per_hour(const TraceStore& trace, CloudType cloud,
-                                    RegionId region,
                                     const TimeGrid& grid = week_hourly_grid());
 
 }  // namespace cloudlens::analysis

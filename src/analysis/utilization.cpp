@@ -105,13 +105,6 @@ UtilizationDistribution utilization_distribution(const AnalysisContext& ctx,
   return out;
 }
 
-UtilizationDistribution utilization_distribution(
-    const TraceStore& trace, CloudType cloud, std::size_t max_vms,
-    const ParallelConfig& parallel) {
-  return utilization_distribution(AnalysisContext(trace, parallel), cloud,
-                                  max_vms);
-}
-
 stats::TimeSeries region_used_cores_hourly(const AnalysisContext& ctx,
                                            CloudType cloud, RegionId region,
                                            std::size_t max_vms) {
@@ -162,19 +155,8 @@ stats::TimeSeries region_used_cores_hourly(const AnalysisContext& ctx,
   return used.hourly_mean();
 }
 
-stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
-                                           CloudType cloud, RegionId region,
-                                           std::size_t max_vms,
-                                           const ParallelConfig& parallel) {
-  return region_used_cores_hourly(AnalysisContext(trace, parallel), cloud,
-                                  region, max_vms);
-}
-
 double vm_mean_utilization(const AnalysisContext& ctx, VmId id) {
-  return vm_mean_utilization(ctx.trace(), id);
-}
-
-double vm_mean_utilization(const TraceStore& trace, VmId id) {
+  const TraceStore& trace = ctx.trace();
   const TimeGrid& grid = trace.telemetry_grid();
   const auto& vm = trace.vm(id);
   if (!vm.utilization) return 0.0;

@@ -28,13 +28,9 @@ struct UtilizationDistribution {
 /// `max_vms` caps the population by deterministic stride subsampling.
 /// The per-VM hourly roll-ups and the 24 hour-of-day percentile buckets
 /// fan out over the context's ParallelConfig; merging is per-slot, so the
-/// result is bit-identical at any thread count. The deprecated
-/// `(trace, ..., parallel)` spelling forwards to the context overload.
+/// result is bit-identical at any thread count.
 UtilizationDistribution utilization_distribution(
     const AnalysisContext& ctx, CloudType cloud, std::size_t max_vms = 1500);
-UtilizationDistribution utilization_distribution(
-    const TraceStore& trace, CloudType cloud, std::size_t max_vms = 1500,
-    const ParallelConfig& parallel = {});
 
 /// Hourly used-core demand of one region: sum over VMs of
 /// utilization × cores. With `max_vms` > 0 the population is stride-sampled
@@ -46,14 +42,9 @@ UtilizationDistribution utilization_distribution(
 stats::TimeSeries region_used_cores_hourly(const AnalysisContext& ctx,
                                            CloudType cloud, RegionId region,
                                            std::size_t max_vms = 3000);
-stats::TimeSeries region_used_cores_hourly(const TraceStore& trace,
-                                           CloudType cloud, RegionId region,
-                                           std::size_t max_vms = 3000,
-                                           const ParallelConfig& parallel = {});
 
 /// Mean utilization of one VM over the part of the telemetry window it was
 /// alive (0 when never alive within the window or no telemetry).
 double vm_mean_utilization(const AnalysisContext& ctx, VmId id);
-double vm_mean_utilization(const TraceStore& trace, VmId id);
 
 }  // namespace cloudlens::analysis

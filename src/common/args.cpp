@@ -1,0 +1,151 @@
+#include "common/args.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace cloudlens::args {
+
+namespace {
+
+/// Numeric parse helper: the whole token must convert, so "12x" and "" are
+/// rejected rather than silently truncated (std::atof semantics would hide
+/// typos like `--scale 0..3`).
+template <typename T, typename Convert>
+std::function<bool(const std::string&)> numeric(T* target, Convert convert) {
+  return [target, convert](const std::string& value) {
+    if (value.empty()) return false;
+    char* end = nullptr;
+    const auto parsed = convert(value.c_str(), &end);
+    if (end != value.c_str() + value.size()) return false;
+    *target = static_cast<T>(parsed);
+    return true;
+  };
+}
+
+std::function<bool(const std::string&)> with_seen(
+    std::function<bool(const std::string&)> apply, bool* seen) {
+  if (seen == nullptr) return apply;
+  return [apply = std::move(apply), seen](const std::string& value) {
+    if (!apply(value)) return false;
+    *seen = true;
+    return true;
+  };
+}
+
+}  // namespace
+
+FlagSet& FlagSet::add(Flag flag) {
+  flags_.push_back(std::move(flag));
+  return *this;
+}
+
+const FlagSet::Flag* FlagSet::find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+FlagSet& FlagSet::flag(std::string name, bool* target) {
+  Flag f;
+  f.name = std::move(name);
+  f.presence = target;
+  return add(std::move(f));
+}
+
+FlagSet& FlagSet::value(std::string name, std::string* target, bool* seen) {
+  return value(std::move(name), with_seen(
+                                    [target](const std::string& v) {
+                                      *target = v;
+                                      return true;
+                                    },
+                                    seen));
+}
+
+FlagSet& FlagSet::value(std::string name, double* target, bool* seen) {
+  return value(std::move(name),
+               with_seen(numeric(target, [](const char* s, char** end) {
+                           return std::strtod(s, end);
+                         }),
+                         seen),
+               "want a number");
+}
+
+FlagSet& FlagSet::value(std::string name, std::uint64_t* target, bool* seen) {
+  return value(std::move(name),
+               with_seen(numeric(target, [](const char* s, char** end) {
+                           return std::strtoull(s, end, 10);
+                         }),
+                         seen),
+               "want an unsigned integer");
+}
+
+FlagSet& FlagSet::value(std::string name, std::uint32_t* target, bool* seen) {
+  return value(std::move(name),
+               with_seen(numeric(target, [](const char* s, char** end) {
+                           return std::strtoull(s, end, 10);
+                         }),
+                         seen),
+               "want an unsigned integer");
+}
+
+FlagSet& FlagSet::value(std::string name,
+                        std::function<bool(const std::string&)> apply,
+                        std::string hint) {
+  Flag f;
+  f.name = std::move(name);
+  f.takes_value = true;
+  f.apply = std::move(apply);
+  f.hint = std::move(hint);
+  return add(std::move(f));
+}
+
+bool FlagSet::parse(int argc, char** argv, int start) {
+  error_.clear();
+  for (int i = start; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 && !(token.size() > 1 && token[0] == '-')) {
+      error_ = "unexpected argument: " + token;
+      return false;
+    }
+    // Split the --flag=VALUE spelling.
+    std::string name = token;
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      name = token.substr(0, eq);
+      inline_value = token.substr(eq + 1);
+      has_inline = true;
+    }
+    const Flag* flag = find(name);
+    if (flag == nullptr) {
+      error_ = "unknown flag: " + name;
+      return false;
+    }
+    if (!flag->takes_value) {
+      if (has_inline) {
+        error_ = "flag takes no value: " + token;
+        return false;
+      }
+      *flag->presence = true;
+      continue;
+    }
+    std::string value;
+    if (has_inline) {
+      value = inline_value;
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      error_ = "missing value for " + name;
+      return false;
+    }
+    if (!flag->apply(value)) {
+      error_ = "invalid value for " + name + ": '" + value + "'";
+      if (!flag->hint.empty()) error_ += " (" + flag->hint + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cloudlens::args

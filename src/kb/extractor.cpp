@@ -113,12 +113,6 @@ std::optional<SubscriptionKnowledge> extract_subscription(
   return rec;
 }
 
-std::optional<SubscriptionKnowledge> extract_subscription(
-    const TraceStore& trace, SubscriptionId sub,
-    const ExtractorOptions& options) {
-  return extract_subscription(AnalysisContext(trace), sub, options);
-}
-
 void apply_policy_hints(SubscriptionKnowledge& rec,
                         const ExtractorOptions& options) {
   rec.spot_candidate =
@@ -181,11 +175,6 @@ std::vector<SubscriptionKnowledge> extract_all(
   }
   ctx.count(obs::Counter::kKbRecords, out.size());
   return out;
-}
-
-std::vector<SubscriptionKnowledge> extract_all(const TraceStore& trace,
-                                               const ExtractorOptions& options) {
-  return extract_all(AnalysisContext(trace), options);
 }
 
 }  // namespace cloudlens::kb

@@ -32,14 +32,9 @@ struct ExtractorOptions {
 };
 
 /// Extract one record for a subscription; returns nullopt when the
-/// subscription has no VMs in the trace. The AnalysisContext overload is
-/// the primary implementation; the trace spelling forwards to it
-/// (deprecated, kept so examples and external callers compile unchanged).
+/// subscription has no VMs in the trace.
 std::optional<SubscriptionKnowledge> extract_subscription(
     const AnalysisContext& ctx, SubscriptionId sub,
-    const ExtractorOptions& options = {});
-std::optional<SubscriptionKnowledge> extract_subscription(
-    const TraceStore& trace, SubscriptionId sub,
     const ExtractorOptions& options = {});
 
 /// Extract records for every subscription with at least one VM.
@@ -49,8 +44,6 @@ std::optional<SubscriptionKnowledge> extract_subscription(
 /// `kb.records_extracted` against the context's write-only metrics.
 std::vector<SubscriptionKnowledge> extract_all(
     const AnalysisContext& ctx, const ExtractorOptions& options = {});
-std::vector<SubscriptionKnowledge> extract_all(
-    const TraceStore& trace, const ExtractorOptions& options = {});
 
 /// Recompute the derived policy hints of a record from its knowledge
 /// fields (shared by extraction and kb::refresh so both apply one

@@ -1,47 +1,57 @@
 #include "kb/refresh.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "analysis/context.h"
 #include "common/check.h"
 
 namespace cloudlens::kb {
 
-RefreshStats refresh(KnowledgeBase& kb, const TraceStore& trace,
+bool fold_record(KnowledgeBase& kb, SubscriptionKnowledge fresh,
+                 const RefreshOptions& options) {
+  CL_CHECK(options.ewma_alpha > 0 && options.ewma_alpha <= 1.0);
+  const double a = options.ewma_alpha;
+  const SubscriptionKnowledge* old = kb.find(fresh.subscription);
+  if (old == nullptr) {
+    kb.upsert(std::move(fresh));
+    return true;
+  }
+  SubscriptionKnowledge blended = fresh;  // categorical fields: newest win
+  // Numeric knowledge: EWMA toward the new observation.
+  blended.total_cores = a * fresh.total_cores + (1 - a) * old->total_cores;
+  blended.short_lifetime_share = a * fresh.short_lifetime_share +
+                                 (1 - a) * old->short_lifetime_share;
+  blended.pattern_confidence =
+      a * fresh.pattern_confidence + (1 - a) * old->pattern_confidence;
+  blended.mean_utilization =
+      a * fresh.mean_utilization + (1 - a) * old->mean_utilization;
+  blended.p95_utilization =
+      a * fresh.p95_utilization + (1 - a) * old->p95_utilization;
+  blended.cross_region_correlation =
+      a * fresh.cross_region_correlation +
+      (1 - a) * old->cross_region_correlation;
+  // Counts reflect the latest window (they are per-window observations,
+  // not cumulative state).
+  blended.region_agnostic =
+      blended.cross_region_correlation >=
+      options.extractor.region_agnostic_correlation &&
+      blended.region_count >= 2;
+  apply_policy_hints(blended, options.extractor);
+  kb.upsert(std::move(blended));
+  return false;
+}
+
+RefreshStats refresh(KnowledgeBase& kb, const AnalysisContext& ctx,
                      const RefreshOptions& options) {
   CL_CHECK(options.ewma_alpha > 0 && options.ewma_alpha <= 1.0);
   RefreshStats stats;
-  const double a = options.ewma_alpha;
-
-  for (auto fresh : extract_all(trace, options.extractor)) {
-    const SubscriptionKnowledge* old = kb.find(fresh.subscription);
-    if (old == nullptr) {
+  for (auto& fresh : extract_all(ctx, options.extractor)) {
+    if (fold_record(kb, std::move(fresh), options)) {
       ++stats.added;
-      kb.upsert(std::move(fresh));
-      continue;
+    } else {
+      ++stats.updated;
     }
-    ++stats.updated;
-    SubscriptionKnowledge blended = fresh;  // categorical fields: newest win
-    // Numeric knowledge: EWMA toward the new observation.
-    blended.total_cores = a * fresh.total_cores + (1 - a) * old->total_cores;
-    blended.short_lifetime_share = a * fresh.short_lifetime_share +
-                                   (1 - a) * old->short_lifetime_share;
-    blended.pattern_confidence =
-        a * fresh.pattern_confidence + (1 - a) * old->pattern_confidence;
-    blended.mean_utilization =
-        a * fresh.mean_utilization + (1 - a) * old->mean_utilization;
-    blended.p95_utilization =
-        a * fresh.p95_utilization + (1 - a) * old->p95_utilization;
-    blended.cross_region_correlation =
-        a * fresh.cross_region_correlation +
-        (1 - a) * old->cross_region_correlation;
-    // Counts reflect the latest window (they are per-window observations,
-    // not cumulative state).
-    blended.region_agnostic =
-        blended.cross_region_correlation >=
-        options.extractor.region_agnostic_correlation &&
-        blended.region_count >= 2;
-    apply_policy_hints(blended, options.extractor);
-    kb.upsert(std::move(blended));
   }
   return stats;
 }

@@ -13,6 +13,10 @@
 #include "kb/extractor.h"
 #include "kb/store.h"
 
+namespace cloudlens {
+class AnalysisContext;  // analysis/context.h
+}
+
 namespace cloudlens::kb {
 
 struct RefreshOptions {
@@ -26,8 +30,18 @@ struct RefreshStats {
   std::size_t updated = 0;  ///< existing records blended
 };
 
-/// Extract fresh records from `trace` and fold them into `kb`.
-RefreshStats refresh(KnowledgeBase& kb, const TraceStore& trace,
+/// Fold one freshly-extracted record into `kb` (EWMA blend of the numeric
+/// knowledge, newest-wins categorical fields, recomputed policy hints).
+/// Returns true when the subscription was seen for the first time. Shared
+/// by batch refresh() and the serve engine's window-eviction fold.
+bool fold_record(KnowledgeBase& kb, SubscriptionKnowledge fresh,
+                 const RefreshOptions& options = {});
+
+/// Extract fresh records from the context's trace and fold them into `kb`.
+/// Extraction fans out over the context's ParallelConfig; folding runs in
+/// subscription order, so the resulting store is bit-identical at any
+/// thread count.
+RefreshStats refresh(KnowledgeBase& kb, const AnalysisContext& ctx,
                      const RefreshOptions& options = {});
 
 }  // namespace cloudlens::kb

@@ -108,6 +108,18 @@ namespace cloudlens::obs {
   X(kKernelTierFallbacks, "kernels.tier_fallbacks")            \
   /* cloudsim/trace_io: CSV bridge */                          \
   X(kTraceIoUtilizationVmsDropped, "trace_io.utilization_vms_dropped") \
+  /* serve: streaming ingest + incremental analysis engine */  \
+  X(kServeEventsIngested, "serve.events_ingested")             \
+  X(kServeVmsCreated, "serve.vms_created")                     \
+  X(kServeVmsDeleted, "serve.vms_deleted")                     \
+  X(kServeSamplesIngested, "serve.samples_ingested")           \
+  X(kServeSnapshotsBuilt, "serve.snapshots_built")             \
+  X(kServeSnapshotReuses, "serve.snapshot_reuses")             \
+  X(kServeQueries, "serve.queries")                            \
+  X(kServeKbReused, "serve.kb_records_reused")                 \
+  X(kServeKbRecomputed, "serve.kb_records_recomputed")         \
+  X(kServeWindowRolls, "serve.window_rolls")                   \
+  X(kServeCheckpoints, "serve.checkpoints")                    \
   /* policies: advisor decisions */                            \
   X(kPolicyRecommendations, "policy.recommendations")          \
   X(kPolicySpot, "policy.spot_adoptions")                      \
@@ -125,7 +137,11 @@ namespace cloudlens::obs {
   X(kPanelShardResidentBytes, "panel.shard_resident_bytes")    \
   /* resolved kernel dispatch: Tier / Mode enum values */      \
   X(kKernelTier, "kernels.tier")                               \
-  X(kKernelMode, "kernels.mode")
+  X(kKernelMode, "kernels.mode")                               \
+  /* serve: instantaneous engine state */                      \
+  X(kServeEpoch, "serve.epoch_ticks")                          \
+  X(kServeIngestLagSeconds, "serve.ingest_lag_seconds")        \
+  X(kServeVmsResident, "serve.vms_resident")
 
 // Histograms: latency distributions over fixed power-of-two buckets.
 #define CLOUDLENS_OBS_HISTOGRAMS(X)                            \
@@ -138,7 +154,10 @@ namespace cloudlens::obs {
   X(kReportSeconds, "analysis.report_seconds")                 \
   X(kPipelineStageSeconds, "pipeline.stage_seconds")           \
   X(kPipelineSnapshotIoSeconds, "pipeline.snapshot_io_seconds") \
-  X(kKernelBandSeconds, "kernels.band_seconds")
+  X(kKernelBandSeconds, "kernels.band_seconds")                \
+  X(kServeIngestBatchSeconds, "serve.ingest_batch_seconds")    \
+  X(kServeSnapshotBuildSeconds, "serve.snapshot_build_seconds") \
+  X(kServeQuerySeconds, "serve.query_seconds")
 
 enum class Counter : std::uint16_t {
 #define CLOUDLENS_OBS_ENUM(id, name) id,

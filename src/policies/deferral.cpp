@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "analysis/context.h"
 #include "analysis/utilization.h"
 #include "common/check.h"
 #include "stats/descriptive.h"
@@ -15,7 +16,7 @@ DeferralReport schedule_deferrable(const TraceStore& trace, CloudType cloud,
                                    const DeferralOptions& options) {
   DeferralReport report;
   report.demand_before = analysis::region_used_cores_hourly(
-      trace, cloud, region, options.max_vms);
+      AnalysisContext(trace), cloud, region, options.max_vms);
   report.demand_after = report.demand_before;
   const TimeGrid& grid = report.demand_after.grid();
   CL_CHECK(grid.count > 0);

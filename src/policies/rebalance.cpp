@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 
+#include "analysis/context.h"
 #include "analysis/spatial.h"
 #include "common/check.h"
 
@@ -82,7 +83,7 @@ std::optional<ShiftRecommendation> recommend_shift(
 
   // Movable services: region-agnostic per the utilization-similarity test.
   const auto verdicts = analysis::detect_region_agnostic_services(
-      trace, cloud, options.region_agnostic_correlation,
+      AnalysisContext(trace), cloud, options.region_agnostic_correlation,
       options.max_vms_per_region);
 
   std::optional<ShiftRecommendation> best;

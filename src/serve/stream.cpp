@@ -1,0 +1,175 @@
+#include "serve/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cloudsim/trace.h"
+#include "cloudsim/trace_io.h"
+#include "common/check.h"
+
+namespace cloudlens::serve {
+
+namespace {
+
+/// Shortest decimal form that round-trips the exact double bits.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+bool is_positive_zero(double v) {
+  return v == 0.0 && !std::signbit(v);
+}
+
+}  // namespace
+
+void write_event_stream(const Topology& topology, const TraceStore& trace,
+                        std::ostream& out) {
+  const TimeGrid& grid = trace.telemetry_grid();
+  out << "cloudlens-stream,v1\n";
+  out << "grid," << grid.start << ',' << grid.step << ',' << grid.count
+      << '\n';
+
+  // Topology rows reuse the CSV exporter byte-for-byte (minus its header).
+  {
+    std::ostringstream topo;
+    export_topology(topology, topo);
+    std::istringstream rows(topo.str());
+    std::string line;
+    std::getline(rows, line);  // drop the header
+    while (std::getline(rows, line)) {
+      if (!line.empty()) out << "topo," << line << '\n';
+    }
+  }
+
+  // Lifecycle events, sorted by (timestamp, id). VM ids break ties, so
+  // ingestion order is deterministic even when many VMs share a second.
+  std::vector<VmId> creations;
+  std::vector<VmId> deletions;
+  creations.reserve(trace.vms().size());
+  for (const auto& vm : trace.vms()) {
+    creations.push_back(vm.id);
+    if (vm.ended()) deletions.push_back(vm.id);
+  }
+  std::sort(creations.begin(), creations.end(), [&](VmId a, VmId b) {
+    const auto& va = trace.vm(a);
+    const auto& vb = trace.vm(b);
+    if (va.created != vb.created) return va.created < vb.created;
+    return a < b;
+  });
+  std::sort(deletions.begin(), deletions.end(), [&](VmId a, VmId b) {
+    const auto& va = trace.vm(a);
+    const auto& vb = trace.vm(b);
+    if (va.deleted != vb.deleted) return va.deleted < vb.deleted;
+    return a < b;
+  });
+
+  // Merge creations, per-tick samples, and deletions into one time-ordered
+  // feed. The alive set tracks VMs with a utilization model between their
+  // creation and deletion events; sample emission re-checks alive_at so a
+  // VM deleted exactly on a tick gets no reading for it.
+  std::string line;
+  const auto emit_vm = [&](const VmRecord& vm) {
+    line.clear();
+    line += "vm,";
+    line += std::to_string(vm.id.value());
+    line += ',';
+    line += std::to_string(vm.subscription.value());
+    line += ',';
+    if (vm.service.valid()) line += std::to_string(vm.service.value());
+    line += ',';
+    line += std::string(to_string(vm.cloud));
+    line += ',';
+    line += std::string(to_string(vm.party));
+    line += ',';
+    line += std::to_string(vm.region.value());
+    line += ',';
+    line += std::to_string(vm.cluster.value());
+    line += ',';
+    line += std::to_string(vm.rack.value());
+    line += ',';
+    line += std::to_string(vm.node.value());
+    line += ',';
+    append_double(line, vm.cores);
+    line += ',';
+    append_double(line, vm.memory_gb);
+    line += ',';
+    line += std::to_string(vm.created);
+    line += '\n';
+    out << line;
+  };
+
+  std::set<VmId> sampled;  // VMs with a model, created and not yet deleted
+  std::vector<bool> any_emitted(trace.vms().size(), false);
+  std::size_t ci = 0, di = 0, tick = 0;
+  for (;;) {
+    const SimTime tc = ci < creations.size()
+                           ? trace.vm(creations[ci]).created
+                           : kNoEnd;
+    const SimTime td = di < deletions.size()
+                           ? trace.vm(deletions[di]).deleted
+                           : kNoEnd;
+    const SimTime tt = tick < grid.count ? grid.at(tick) : kNoEnd;
+    if (tc == kNoEnd && td == kNoEnd && tt == kNoEnd) break;
+
+    if (tc <= tt && tc <= td) {  // creation wins ties
+      const VmRecord& vm = trace.vm(creations[ci++]);
+      emit_vm(vm);
+      if (vm.utilization != nullptr) sampled.insert(vm.id);
+      continue;
+    }
+    if (tt <= td) {  // sample beats deletion at the same instant
+      for (const VmId id : sampled) {
+        const VmRecord& vm = trace.vm(id);
+        if (!vm.alive_at(tt)) continue;
+        const double v = vm.utilization->at(tt);
+        if (is_positive_zero(v) && any_emitted[id.value()]) continue;
+        any_emitted[id.value()] = true;
+        line.clear();
+        line += "sample,";
+        line += std::to_string(id.value());
+        line += ',';
+        line += std::to_string(tt);
+        line += ',';
+        append_double(line, v);
+        line += '\n';
+        out << line;
+      }
+      ++tick;
+      continue;
+    }
+    const VmRecord& vm = trace.vm(deletions[di++]);
+    sampled.erase(vm.id);
+    out << "del," << vm.id.value() << ',' << vm.deleted << '\n';
+  }
+  out << "end\n";
+}
+
+std::optional<SimTime> event_timestamp(std::string_view line) {
+  const auto field = [&](std::size_t index) -> std::optional<SimTime> {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < index; ++i) {
+      pos = line.find(',', pos);
+      if (pos == std::string_view::npos) return std::nullopt;
+      ++pos;
+    }
+    const auto end = line.find(',', pos);
+    const std::string token(
+        line.substr(pos, end == std::string_view::npos ? end : end - pos));
+    if (token.empty()) return std::nullopt;
+    return std::stoll(token);
+  };
+  if (line.rfind("vm,", 0) == 0) return field(12);
+  if (line.rfind("sample,", 0) == 0) return field(2);
+  if (line.rfind("del,", 0) == 0) return field(2);
+  return std::nullopt;
+}
+
+}  // namespace cloudlens::serve

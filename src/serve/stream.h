@@ -1,0 +1,54 @@
+// Event-stream serialization: a TraceStore rendered as the line-delimited
+// feed `cloudlens serve` ingests.
+//
+// The stream is the batch dataset re-expressed as what a cluster manager
+// would actually emit over time — VM lifecycle events interleaved with
+// 5-minute telemetry ticks, sorted by timestamp:
+//
+//   cloudlens-stream,v1
+//   grid,<start>,<step>,<count>            full-horizon telemetry grid
+//   topo,<node>,<rack>,...                 topology.csv rows, one per node
+//   vm,<id>,<sub>,<svc|empty>,<cloud>,<party>,<region>,<cluster>,<rack>,
+//      <node>,<cores>,<memory_gb>,<created>          (timestamp = created)
+//   sample,<vm>,<timestamp>,<avg_cpu>      one completed 5-minute reading
+//   del,<vm>,<timestamp>                   VM terminated at <timestamp>
+//   end
+//
+// Events are strictly non-decreasing in timestamp; ties order
+// vm < sample < del, then by VM id — so by the time any tick's samples
+// arrive, every VM they reference exists. Doubles are printed with 17
+// significant digits, so a reader recovers the writer's exact bits: the
+// determinism contract (a streamed window byte-matches the batch pipeline
+// over the same data) starts here.
+//
+// Sample rows mirror the CSV exporter's semantics: only ticks where the
+// VM is alive, and only VMs that carry a utilization model. Zero readings
+// are elided (an absent cell reads as 0.0 on ingest, exactly like an
+// absent utilization.csv row under import_trace), except each streamed
+// VM's first alive tick, which is always written so the reader knows the
+// VM has telemetry at all.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+
+#include "common/sim_time.h"
+
+namespace cloudlens {
+class Topology;
+class TraceStore;
+}  // namespace cloudlens
+
+namespace cloudlens::serve {
+
+/// Render `trace` as an event stream on `out`. Deterministic: the same
+/// trace always yields the same bytes.
+void write_event_stream(const Topology& topology, const TraceStore& trace,
+                        std::ostream& out);
+
+/// Timestamp of one stream line, for feeds that need to split or pace the
+/// stream (tests, benchmarks). Header, topo, and end lines have none.
+std::optional<SimTime> event_timestamp(std::string_view line);
+
+}  // namespace cloudlens::serve

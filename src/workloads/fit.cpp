@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "analysis/classifier.h"
+#include "analysis/context.h"
 #include "analysis/spatial.h"
 #include "analysis/temporal.h"
 #include "common/check.h"
@@ -31,6 +32,7 @@ double mean_rate_multiplier(const DiurnalArrivalProcess::Params& p) {
 
 ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
                        const CloudProfile& base, const FitOptions& options) {
+  const AnalysisContext ctx(trace, options.parallel);
   ProfileFit fit;
   CloudProfile& p = fit.profile;
   p = base;  // unobservable knobs (catalog, anchors, caps) carry over
@@ -115,7 +117,7 @@ ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
 
   // --- Lifetimes -------------------------------------------------------------
   {
-    const auto lifetimes = analysis::vm_lifetimes(trace, cloud, 0,
+    const auto lifetimes = analysis::vm_lifetimes(ctx, cloud, 0,
                                                   trace.telemetry_grid().end());
     fit.ended_vms_observed = lifetimes.size();
     if (!lifetimes.empty()) {
@@ -142,9 +144,8 @@ ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
 
   // --- Pattern mix -------------------------------------------------------------
   {
-    const auto mix = analysis::classify_population(trace, cloud,
-                                                   options.classify_max_vms,
-                                                   {}, options.parallel);
+    const auto mix =
+        analysis::classify_population(ctx, cloud, options.classify_max_vms);
     fit.classified_vms = mix.classified;
     if (mix.classified > 0) {
       p.pattern_mix = {mix.diurnal, mix.stable, mix.irregular,
@@ -154,8 +155,8 @@ ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
 
   // --- Region agnosticism ---------------------------------------------------
   {
-    const auto verdicts = analysis::detect_region_agnostic_services(
-        trace, cloud, 0.7, 25, options.parallel);
+    const auto verdicts =
+        analysis::detect_region_agnostic_services(ctx, cloud, 0.7, 25);
     if (!verdicts.empty()) {
       std::size_t agnostic = 0;
       for (const auto& v : verdicts) {
@@ -184,7 +185,7 @@ ProfileFit fit_profile(const TraceStore& trace, CloudType cloud,
         [&](std::size_t r) {
           RegionChurn rc;
           const auto created =
-              analysis::creations_per_hour(trace, cloud, regions[r].id);
+              analysis::creations_per_hour(ctx, cloud, regions[r].id);
           if (created.mean() <= 0) return rc;
           rc.has_churn = true;
           const double mean = created.mean();

@@ -1,3 +1,4 @@
+#include "analysis/context.h"
 #include "policies/advisor.h"
 
 #include <gtest/gtest.h>
@@ -51,7 +52,7 @@ TEST_F(AdvisorTest, RoutesOwnersToMatchingPolicies) {
                std::make_shared<HourlyPeakUtilization>(
                    HourlyPeakUtilization::Params{}, 20 + i));
 
-  const kb::KnowledgeBase knowledge(kb::extract_all(fx_.trace));
+  const kb::KnowledgeBase knowledge(kb::extract_all(AnalysisContext(fx_.trace)));
   const auto report = advise(fx_.trace, knowledge, CloudType::kPublic);
 
   EXPECT_GE(report.count(ActionKind::kAdoptSpot), 1u);
@@ -80,7 +81,7 @@ TEST_F(AdvisorTest, RegionAgnosticOwnersFlaggedForRebalance) {
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n1, 2, -kDay, kNoEnd,
                std::make_shared<DiurnalUtilization>(p, 40 + i), RegionId(1));
   }
-  const kb::KnowledgeBase knowledge(kb::extract_all(fx_.trace));
+  const kb::KnowledgeBase knowledge(kb::extract_all(AnalysisContext(fx_.trace)));
   const auto report = advise(fx_.trace, knowledge, CloudType::kPrivate);
   EXPECT_GE(report.count(ActionKind::kRegionRebalance), 1u);
 }
@@ -91,7 +92,7 @@ TEST_F(AdvisorTest, RenderMentionsActionsAndCounts) {
   for (int i = 0; i < 10; ++i)
     fx_.add_vm(CloudType::kPublic, churner, node, 1, i * kHour,
                i * kHour + 10 * kMinute);
-  const kb::KnowledgeBase knowledge(kb::extract_all(fx_.trace));
+  const kb::KnowledgeBase knowledge(kb::extract_all(AnalysisContext(fx_.trace)));
   const auto report = advise(fx_.trace, knowledge, CloudType::kPublic);
   const std::string text = render_report(fx_.trace, report);
   EXPECT_NE(text.find("adopt-spot"), std::string::npos);

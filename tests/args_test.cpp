@@ -1,0 +1,133 @@
+// Unit tests for the declarative flag table (common/args.h): both flag
+// spellings, numeric strictness, and the offending-token error contract.
+#include "common/args.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cloudlens {
+namespace {
+
+/// argv helper: owns the strings so char** stays valid for the call.
+struct Argv {
+  explicit Argv(std::vector<std::string> tokens) : storage(std::move(tokens)) {
+    for (auto& t : storage) ptrs.push_back(t.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+TEST(ArgsTest, BothFlagSpellingsParse) {
+  double scale = 0.0;
+  std::string out;
+  std::uint64_t seed = 0;
+  args::FlagSet flags;
+  flags.value("--scale", &scale).value("--out", &out).value("--seed", &seed);
+  Argv a({"--scale", "0.5", "--out=dir", "--seed=7"});
+  ASSERT_TRUE(flags.parse(a.argc(), a.argv(), 0)) << flags.error();
+  EXPECT_DOUBLE_EQ(scale, 0.5);
+  EXPECT_EQ(out, "dir");
+  EXPECT_EQ(seed, 7u);
+}
+
+TEST(ArgsTest, PresenceFlagAndSeenTracking) {
+  bool verbose = false;
+  bool in_given = false;
+  std::string dir;
+  args::FlagSet flags;
+  flags.flag("--verbose", &verbose).value("--in", &dir, &in_given);
+  Argv a({"--verbose"});
+  ASSERT_TRUE(flags.parse(a.argc(), a.argv(), 0));
+  EXPECT_TRUE(verbose);
+  EXPECT_FALSE(in_given);
+  Argv b({"--in", "trace"});
+  ASSERT_TRUE(flags.parse(b.argc(), b.argv(), 0));
+  EXPECT_TRUE(in_given);
+  EXPECT_EQ(dir, "trace");
+}
+
+TEST(ArgsTest, UnknownFlagNamesToken) {
+  args::FlagSet flags;
+  bool unused = false;
+  flags.flag("--known", &unused);
+  Argv a({"--known", "--bogus"});
+  EXPECT_FALSE(flags.parse(a.argc(), a.argv(), 0));
+  EXPECT_EQ(flags.error(), "unknown flag: --bogus");
+}
+
+TEST(ArgsTest, MissingValueNamesFlag) {
+  std::string out;
+  args::FlagSet flags;
+  flags.value("--out", &out);
+  Argv a({"--out"});
+  EXPECT_FALSE(flags.parse(a.argc(), a.argv(), 0));
+  EXPECT_EQ(flags.error(), "missing value for --out");
+}
+
+TEST(ArgsTest, NumericValuesAreStrict) {
+  double scale = 0.0;
+  std::uint64_t n = 0;
+  args::FlagSet flags;
+  flags.value("--scale", &scale).value("--n", &n);
+  Argv bad_tail({"--scale", "0.5x"});
+  EXPECT_FALSE(flags.parse(bad_tail.argc(), bad_tail.argv(), 0));
+  EXPECT_EQ(flags.error(), "invalid value for --scale: '0.5x' (want a number)");
+  Argv bad_int({"--n=ten"});
+  EXPECT_FALSE(flags.parse(bad_int.argc(), bad_int.argv(), 0));
+  EXPECT_EQ(flags.error(),
+            "invalid value for --n: 'ten' (want an unsigned integer)");
+  Argv empty({"--n="});
+  EXPECT_FALSE(flags.parse(empty.argc(), empty.argv(), 0));
+}
+
+TEST(ArgsTest, CustomHandlerRejectionIncludesHint) {
+  std::string mode;
+  args::FlagSet flags;
+  flags.value(
+      "--mode",
+      [&mode](const std::string& v) {
+        if (v != "strict" && v != "fast") return false;
+        mode = v;
+        return true;
+      },
+      "want strict|fast");
+  Argv ok({"--mode=fast"});
+  ASSERT_TRUE(flags.parse(ok.argc(), ok.argv(), 0));
+  EXPECT_EQ(mode, "fast");
+  Argv bad({"--mode", "sloppy"});
+  EXPECT_FALSE(flags.parse(bad.argc(), bad.argv(), 0));
+  EXPECT_EQ(flags.error(), "invalid value for --mode: 'sloppy' (want strict|fast)");
+}
+
+TEST(ArgsTest, PresenceFlagRejectsInlineValue) {
+  bool on = false;
+  args::FlagSet flags;
+  flags.flag("--on", &on);
+  Argv a({"--on=yes"});
+  EXPECT_FALSE(flags.parse(a.argc(), a.argv(), 0));
+  EXPECT_EQ(flags.error(), "flag takes no value: --on=yes");
+  EXPECT_FALSE(on);
+}
+
+TEST(ArgsTest, PositionalTokenRejected) {
+  args::FlagSet flags;
+  Argv a({"stray"});
+  EXPECT_FALSE(flags.parse(a.argc(), a.argv(), 0));
+  EXPECT_EQ(flags.error(), "unexpected argument: stray");
+}
+
+TEST(ArgsTest, LaterOccurrenceWins) {
+  std::uint64_t threads = 0;
+  args::FlagSet flags;
+  flags.value("--threads", &threads);
+  Argv a({"--threads", "2", "--threads=8"});
+  ASSERT_TRUE(flags.parse(a.argc(), a.argv(), 0));
+  EXPECT_EQ(threads, 8u);
+}
+
+}  // namespace
+}  // namespace cloudlens

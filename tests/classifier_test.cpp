@@ -1,3 +1,4 @@
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 
 #include <gtest/gtest.h>
@@ -131,7 +132,7 @@ TEST(ClassifyPopulationTest, RecoversPlantedMixture) {
               std::make_shared<HourlyPeakUtilization>(
                   HourlyPeakUtilization::Params{}, 300 + i));
 
-  const auto shares = classify_population(fx.trace, CloudType::kPrivate, 0);
+  const auto shares = classify_population(AnalysisContext(fx.trace), CloudType::kPrivate, 0);
   EXPECT_EQ(shares.classified, 20u);
   EXPECT_NEAR(shares.diurnal, 0.60, 1e-9);
   EXPECT_NEAR(shares.stable, 0.30, 1e-9);
@@ -147,7 +148,7 @@ TEST(ClassifyPopulationTest, SkipsNonCoveringVms) {
   fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 1, 3 * kDay, kNoEnd,
             std::make_shared<StableUtilization>(StableUtilization::Params{},
                                                 1));
-  const auto shares = classify_population(fx.trace, CloudType::kPrivate, 0);
+  const auto shares = classify_population(AnalysisContext(fx.trace), CloudType::kPrivate, 0);
   EXPECT_EQ(shares.classified, 0u);
 }
 
@@ -159,7 +160,7 @@ TEST(ClassifyPopulationTest, MaxVmsCapsSample) {
     fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 1, -kDay, kNoEnd,
               std::make_shared<StableUtilization>(StableUtilization::Params{},
                                                   i));
-  const auto shares = classify_population(fx.trace, CloudType::kPrivate, 10);
+  const auto shares = classify_population(AnalysisContext(fx.trace), CloudType::kPrivate, 10);
   EXPECT_LE(shares.classified, 20u);
   EXPECT_GE(shares.classified, 10u);
   EXPECT_NEAR(shares.stable, 1.0, 1e-9);

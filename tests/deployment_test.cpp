@@ -1,3 +1,4 @@
+#include "analysis/context.h"
 #include "analysis/deployment.h"
 
 #include <gtest/gtest.h>
@@ -30,7 +31,7 @@ TEST_F(DeploymentTest, VmsPerSubscriptionCountsAliveOnly) {
   fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 2, 5 * kDay, kNoEnd);
 
   const auto sizes =
-      vms_per_subscription(fx_.trace, CloudType::kPrivate, 2 * kDay);
+      vms_per_subscription(AnalysisContext(fx_.trace), CloudType::kPrivate, 2 * kDay);
   ASSERT_EQ(sizes.size(), 1u);
   EXPECT_DOUBLE_EQ(sizes[0], 3.0);
 }
@@ -39,8 +40,8 @@ TEST_F(DeploymentTest, VmsPerSubscriptionSkipsOtherCloud) {
   const NodeId node = test::first_node(topo_, CloudType::kPublic);
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 2, 0, kNoEnd);
   EXPECT_TRUE(
-      vms_per_subscription(fx_.trace, CloudType::kPrivate, kDay).empty());
-  EXPECT_EQ(vms_per_subscription(fx_.trace, CloudType::kPublic, kDay).size(),
+      vms_per_subscription(AnalysisContext(fx_.trace), CloudType::kPrivate, kDay).empty());
+  EXPECT_EQ(vms_per_subscription(AnalysisContext(fx_.trace), CloudType::kPublic, kDay).size(),
             1u);
 }
 
@@ -52,7 +53,7 @@ TEST_F(DeploymentTest, SubscriptionsPerClusterCountsDistinct) {
   fx_.add_vm(CloudType::kPublic, another, node, 2, 0, kNoEnd);
 
   const auto counts =
-      subscriptions_per_cluster(fx_.trace, CloudType::kPublic, kDay);
+      subscriptions_per_cluster(AnalysisContext(fx_.trace), CloudType::kPublic, kDay);
   // tiny_topology has 4 public clusters (2 regions x 1 dc x 1 per cloud)…
   // actually 2 regions x 1 dc x 1 cluster per cloud = 2 public clusters.
   ASSERT_EQ(counts.size(), 2u);
@@ -65,17 +66,17 @@ TEST_F(DeploymentTest, VmSizeHeatmapCounts) {
   const NodeId node = test::first_node(topo_, CloudType::kPublic);
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 1, 0, kNoEnd);
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 8, 0, kNoEnd);
-  const auto hist = vm_size_heatmap(fx_.trace, CloudType::kPublic, kDay, 8);
+  const auto hist = vm_size_heatmap(AnalysisContext(fx_.trace), CloudType::kPublic, kDay, 8);
   EXPECT_EQ(hist.total_count(), 2u);
   // Dead or other-cloud VMs are excluded.
-  const auto empty = vm_size_heatmap(fx_.trace, CloudType::kPrivate, kDay, 8);
+  const auto empty = vm_size_heatmap(AnalysisContext(fx_.trace), CloudType::kPrivate, kDay, 8);
   EXPECT_EQ(empty.total_count(), 0u);
 }
 
 TEST_F(DeploymentTest, RegionSpreadSingleRegion) {
   const NodeId node = test::first_node(topo_, CloudType::kPublic);
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 4, 0, kNoEnd);
-  const auto spread = region_spread(fx_.trace, CloudType::kPublic, kDay);
+  const auto spread = region_spread(AnalysisContext(fx_.trace), CloudType::kPublic, kDay);
   ASSERT_EQ(spread.regions_per_subscription.size(), 1u);
   EXPECT_DOUBLE_EQ(spread.regions_per_subscription[0], 1.0);
   EXPECT_DOUBLE_EQ(spread.single_region_core_share, 1.0);
@@ -95,7 +96,7 @@ TEST_F(DeploymentTest, RegionSpreadMultiRegionCoreShares) {
   fx_.add_vm(CloudType::kPublic, b, node0, 4, 0, kNoEnd);
   fx_.add_vm(CloudType::kPublic, b, node1, 8, 0, kNoEnd, nullptr, RegionId(1));
 
-  const auto spread = region_spread(fx_.trace, CloudType::kPublic, kDay);
+  const auto spread = region_spread(AnalysisContext(fx_.trace), CloudType::kPublic, kDay);
   ASSERT_EQ(spread.regions_per_subscription.size(), 2u);
   EXPECT_DOUBLE_EQ(spread.regions_per_subscription[0], 1.0);
   EXPECT_DOUBLE_EQ(spread.regions_per_subscription[1], 2.0);
@@ -107,8 +108,8 @@ TEST_F(DeploymentTest, RegionSpreadMultiRegionCoreShares) {
 
 TEST_F(DeploymentTest, EmptyTraceGivesEmptyResults) {
   EXPECT_TRUE(
-      vms_per_subscription(fx_.trace, CloudType::kPublic, kDay).empty());
-  const auto spread = region_spread(fx_.trace, CloudType::kPublic, kDay);
+      vms_per_subscription(AnalysisContext(fx_.trace), CloudType::kPublic, kDay).empty());
+  const auto spread = region_spread(AnalysisContext(fx_.trace), CloudType::kPublic, kDay);
   EXPECT_TRUE(spread.regions_per_subscription.empty());
   EXPECT_DOUBLE_EQ(spread.single_region_core_share, 0.0);
 }

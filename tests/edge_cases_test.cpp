@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 #include "analysis/spatial.h"
 #include "common/check.h"
@@ -141,7 +142,7 @@ TEST(ParallelAnalysisEdgeTest, ClassifyEmptyTrace) {
   for (const auto& cfg :
        {ParallelConfig::serial(), ParallelConfig::with_threads(8)}) {
     const auto shares =
-        analysis::classify_population(trace, CloudType::kPrivate, 0, {}, cfg);
+        analysis::classify_population(AnalysisContext(trace, cfg), CloudType::kPrivate, 0, {});
     EXPECT_EQ(shares.classified, 0u);
     EXPECT_EQ(shares.diurnal + shares.stable + shares.irregular +
                   shares.hourly_peak,
@@ -158,8 +159,7 @@ TEST(ParallelAnalysisEdgeTest, ClassifySingleVm) {
   for (const auto& cfg :
        {ParallelConfig::serial(), ParallelConfig::with_threads(8)}) {
     const auto shares =
-        analysis::classify_population(fx.trace, CloudType::kPrivate, 0, {},
-                                      cfg);
+        analysis::classify_population(AnalysisContext(fx.trace, cfg), CloudType::kPrivate, 0, {});
     EXPECT_EQ(shares.classified, 1u);
     EXPECT_EQ(shares.stable, 1.0);  // constant series => stable
   }
@@ -175,14 +175,12 @@ TEST(ParallelAnalysisEdgeTest, SingleNodeCorrelationSet) {
             std::make_shared<ConstantUtilization>(0.3));
   fx.add_vm(CloudType::kPrivate, fx.private_sub, node, 2, -kDay, kNoEnd,
             std::make_shared<ConstantUtilization>(0.6));
-  const auto serial = analysis::node_vm_correlations(
-      fx.trace, CloudType::kPrivate, 0, ParallelConfig::serial());
-  const auto parallel = analysis::node_vm_correlations(
-      fx.trace, CloudType::kPrivate, 0, ParallelConfig::with_threads(8));
+  const auto serial = analysis::node_vm_correlations(AnalysisContext(fx.trace, ParallelConfig::serial()), CloudType::kPrivate, 0);
+  const auto parallel = analysis::node_vm_correlations(AnalysisContext(fx.trace, ParallelConfig::with_threads(8)), CloudType::kPrivate, 0);
   EXPECT_EQ(serial.size(), 2u);  // one correlation per hosted VM
   EXPECT_EQ(serial, parallel);
   // No multi-region subscription => empty cross-region set, no throw.
-  EXPECT_TRUE(analysis::cross_region_correlations(fx.trace,
+  EXPECT_TRUE(analysis::cross_region_correlations(AnalysisContext(fx.trace),
                                                   CloudType::kPrivate)
                   .empty());
 }
@@ -213,7 +211,7 @@ TEST(ParallelAnalysisEdgeTest, OneTickTelemetryGrid) {
   for (const auto& cfg :
        {ParallelConfig::serial(), ParallelConfig::with_threads(8)}) {
     const auto shares =
-        analysis::classify_population(trace, CloudType::kPrivate, 0, {}, cfg);
+        analysis::classify_population(AnalysisContext(trace, cfg), CloudType::kPrivate, 0, {});
     EXPECT_EQ(shares.classified, 1u);
     EXPECT_EQ(shares.stable, 1.0);  // a one-sample series has zero stddev
   }

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/context.h"
 #include "analysis/insights.h"
 #include "common/check.h"
 #include "workloads/generator.h"
@@ -122,7 +123,7 @@ TEST_F(FitTest, SyntheticTwinReproducesInsights) {
                   CloudProfile::azure_public())
           .profile;
   const auto twin = make_scenario(twin_options);
-  const auto verdicts = analysis::evaluate_insights(*twin.trace);
+  const auto verdicts = analysis::evaluate_insights(AnalysisContext(*twin.trace));
   EXPECT_TRUE(verdicts.insight1);
   EXPECT_TRUE(verdicts.insight2);
   EXPECT_TRUE(verdicts.insight3);

@@ -1,3 +1,4 @@
+#include "analysis/context.h"
 #include "analysis/insights.h"
 
 #include <gtest/gtest.h>
@@ -12,7 +13,7 @@ TEST(InsightsTest, AllFourHoldOnCalibratedScenario) {
   options.scale = 0.15;
   options.seed = 21;
   const auto scenario = workloads::make_scenario(options);
-  const auto verdicts = evaluate_insights(*scenario.trace);
+  const auto verdicts = evaluate_insights(AnalysisContext(*scenario.trace));
 
   EXPECT_TRUE(verdicts.insight1)
       << "vms/sub " << verdicts.median_vms_per_subscription.private_value
@@ -38,7 +39,7 @@ TEST(InsightsTest, SymmetricCloudsBreakTheContrasts) {
   options.private_profile = workloads::CloudProfile::azure_public();
   options.private_profile.cloud = CloudType::kPrivate;
   const auto scenario = workloads::make_scenario(options);
-  const auto verdicts = evaluate_insights(*scenario.trace);
+  const auto verdicts = evaluate_insights(AnalysisContext(*scenario.trace));
   EXPECT_FALSE(verdicts.insight1);
   EXPECT_FALSE(verdicts.insight2);
   EXPECT_FALSE(verdicts.insight3);
@@ -49,7 +50,7 @@ TEST(InsightsTest, RenderMentionsEveryInsight) {
   workloads::ScenarioOptions options;
   options.scale = 0.08;
   const auto scenario = workloads::make_scenario(options);
-  const auto verdicts = evaluate_insights(*scenario.trace);
+  const auto verdicts = evaluate_insights(AnalysisContext(*scenario.trace));
   const std::string text = render_insights(verdicts);
   EXPECT_NE(text.find("Insight 1"), std::string::npos);
   EXPECT_NE(text.find("Insight 2"), std::string::npos);

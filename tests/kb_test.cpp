@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/context.h"
 #include "common/check.h"
 #include "kb/extractor.h"
 #include "kb/store.h"
@@ -29,7 +30,7 @@ class ExtractorTest : public ::testing::Test {
 
 TEST_F(ExtractorTest, EmptySubscriptionGivesNullopt) {
   EXPECT_FALSE(
-      extract_subscription(fx_.trace, fx_.private_sub).has_value());
+      extract_subscription(AnalysisContext(fx_.trace), fx_.private_sub).has_value());
 }
 
 TEST_F(ExtractorTest, DeploymentFields) {
@@ -39,7 +40,7 @@ TEST_F(ExtractorTest, DeploymentFields) {
              std::make_shared<ConstantUtilization>(0.2));
   fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n1, 8, -kDay, kNoEnd,
              std::make_shared<ConstantUtilization>(0.2), RegionId(1));
-  const auto rec = extract_subscription(fx_.trace, fx_.private_sub);
+  const auto rec = extract_subscription(AnalysisContext(fx_.trace), fx_.private_sub);
   ASSERT_TRUE(rec);
   EXPECT_EQ(rec->vm_count, 2u);
   EXPECT_DOUBLE_EQ(rec->total_cores, 12);
@@ -55,7 +56,7 @@ TEST_F(ExtractorTest, ShortLifetimeShare) {
     fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 1, kHour,
                kHour + 10 * kMinute);
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 1, kHour, kDay);
-  const auto rec = extract_subscription(fx_.trace, fx_.public_sub);
+  const auto rec = extract_subscription(AnalysisContext(fx_.trace), fx_.public_sub);
   ASSERT_TRUE(rec);
   EXPECT_EQ(rec->ended_vms, 4u);
   EXPECT_NEAR(rec->short_lifetime_share, 0.75, 1e-9);
@@ -72,7 +73,7 @@ TEST_F(ExtractorTest, DominantPatternAndConfidence) {
                                                  20));
   ExtractorOptions options;
   options.max_classified_vms = 0;  // classify all
-  const auto rec = extract_subscription(fx_.trace, fx_.private_sub, options);
+  const auto rec = extract_subscription(AnalysisContext(fx_.trace), fx_.private_sub, options);
   ASSERT_TRUE(rec);
   EXPECT_EQ(rec->dominant_pattern, UtilizationClass::kDiurnal);
   EXPECT_NEAR(rec->pattern_confidence, 0.75, 1e-9);
@@ -85,7 +86,7 @@ TEST_F(ExtractorTest, SpotCandidateHint) {
   for (int i = 0; i < 10; ++i)
     fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 1, i * kHour,
                i * kHour + 10 * kMinute);
-  const auto rec = extract_subscription(fx_.trace, fx_.public_sub);
+  const auto rec = extract_subscription(AnalysisContext(fx_.trace), fx_.public_sub);
   ASSERT_TRUE(rec);
   EXPECT_TRUE(rec->spot_candidate);
 }
@@ -97,7 +98,7 @@ TEST_F(ExtractorTest, OversubCandidateHint) {
   for (int i = 0; i < 3; ++i)
     fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 2, -kDay, kNoEnd,
                std::make_shared<StableUtilization>(p, 30 + i));
-  const auto rec = extract_subscription(fx_.trace, fx_.public_sub);
+  const auto rec = extract_subscription(AnalysisContext(fx_.trace), fx_.public_sub);
   ASSERT_TRUE(rec);
   EXPECT_EQ(rec->dominant_pattern, UtilizationClass::kStable);
   EXPECT_TRUE(rec->oversubscription_candidate);
@@ -110,7 +111,7 @@ TEST_F(ExtractorTest, PreprovisionHint) {
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 2, -kDay, kNoEnd,
                std::make_shared<HourlyPeakUtilization>(
                    HourlyPeakUtilization::Params{}, 40 + i));
-  const auto rec = extract_subscription(fx_.trace, fx_.private_sub);
+  const auto rec = extract_subscription(AnalysisContext(fx_.trace), fx_.private_sub);
   ASSERT_TRUE(rec);
   EXPECT_EQ(rec->dominant_pattern, UtilizationClass::kHourlyPeak);
   EXPECT_TRUE(rec->preprovision_target);
@@ -128,7 +129,7 @@ TEST_F(ExtractorTest, RegionAgnosticDetection) {
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n1, 2, -kDay, kNoEnd,
                std::make_shared<DiurnalUtilization>(p, 60 + i), RegionId(1));
   }
-  const auto rec = extract_subscription(fx_.trace, fx_.private_sub);
+  const auto rec = extract_subscription(AnalysisContext(fx_.trace), fx_.private_sub);
   ASSERT_TRUE(rec);
   EXPECT_TRUE(rec->region_agnostic);
   EXPECT_GT(rec->cross_region_correlation, 0.7);
@@ -138,7 +139,7 @@ TEST_F(ExtractorTest, ExtractAllSkipsEmpty) {
   const NodeId node = node_in_region(0, CloudType::kPublic);
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 1, 0, kNoEnd,
              std::make_shared<ConstantUtilization>(0.1));
-  const auto records = extract_all(fx_.trace);
+  const auto records = extract_all(AnalysisContext(fx_.trace));
   ASSERT_EQ(records.size(), 1u);  // private sub has no VMs
   EXPECT_EQ(records[0].subscription, fx_.public_sub);
 }

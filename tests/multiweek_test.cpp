@@ -4,6 +4,7 @@
 // consistency.
 #include <gtest/gtest.h>
 
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 #include "analysis/temporal.h"
 #include "common/check.h"
@@ -54,8 +55,8 @@ TEST_F(MultiWeekTest, ChurnCoversBothWeeks) {
 
 TEST_F(MultiWeekTest, WeekOverWeekLifetimeShareConsistent) {
   const auto week1 =
-      analysis::vm_lifetimes(*scenario_->trace, CloudType::kPublic, 0, kWeek);
-  const auto week2 = analysis::vm_lifetimes(*scenario_->trace,
+      analysis::vm_lifetimes(AnalysisContext(*scenario_->trace), CloudType::kPublic, 0, kWeek);
+  const auto week2 = analysis::vm_lifetimes(AnalysisContext(*scenario_->trace),
                                             CloudType::kPublic, kWeek,
                                             2 * kWeek);
   ASSERT_GT(week1.size(), 100u);
@@ -66,10 +67,10 @@ TEST_F(MultiWeekTest, WeekOverWeekLifetimeShareConsistent) {
 
 TEST_F(MultiWeekTest, WeekOverWeekCreationCurvesConsistent) {
   const TimeGrid w1{0, kHour, 168}, w2{kWeek, kHour, 168};
-  const auto c1 = analysis::creations_per_hour(*scenario_->trace,
+  const auto c1 = analysis::creations_per_hour(AnalysisContext(*scenario_->trace),
                                                CloudType::kPublic,
                                                RegionId(), w1);
-  const auto c2 = analysis::creations_per_hour(*scenario_->trace,
+  const auto c2 = analysis::creations_per_hour(AnalysisContext(*scenario_->trace),
                                                CloudType::kPublic,
                                                RegionId(), w2);
   EXPECT_NEAR(c1.mean(), c2.mean(), 0.15 * std::max(c1.mean(), c2.mean()));
@@ -78,7 +79,7 @@ TEST_F(MultiWeekTest, WeekOverWeekCreationCurvesConsistent) {
 }
 
 TEST_F(MultiWeekTest, PatternsClassifiableOverTwoWeeks) {
-  const auto mix = analysis::classify_population(*scenario_->trace,
+  const auto mix = analysis::classify_population(AnalysisContext(*scenario_->trace),
                                                  CloudType::kPrivate, 150);
   EXPECT_GT(mix.classified, 50u);
   EXPECT_GT(mix.diurnal, mix.irregular);

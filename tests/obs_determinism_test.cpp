@@ -507,34 +507,42 @@ TEST(ObsSpanTest, DisabledSinkCostsNothingAndRecordsNothing) {
 // ---------------------------------------------------------------------------
 // 4. AnalysisContext API.
 
-TEST(ObsContextTest, ForwardingOverloadsProduceIdenticalResults) {
+TEST(ObsContextTest, ContextResultsIndependentOfObsAndThreads) {
+  // Attaching a metrics registry + span sink, or changing the thread
+  // count, must never change a single output bit — observability is
+  // write-only and the parallel engine is deterministic.
   const auto scenario = small_scenario(7);
   const TraceStore& trace = *scenario.trace;
-  const auto parallel = ParallelConfig::with_threads(4);
-  const AnalysisContext ctx(trace, parallel);
+  obs::MetricsRegistry metrics;
+  obs::TraceSink sink;
+  metrics.set_enabled(true);
+  sink.set_enabled(true);
+  const AnalysisContext instrumented(trace, ParallelConfig::with_threads(4),
+                                     &metrics, &sink);
+  const AnalysisContext bare(trace, ParallelConfig::serial());
 
-  const auto a = analysis::classify_population(ctx, CloudType::kPublic, 150);
-  const auto b = analysis::classify_population(trace, CloudType::kPublic, 150,
-                                               {}, parallel);
+  const auto a = analysis::classify_population(instrumented,
+                                               CloudType::kPublic, 150);
+  const auto b = analysis::classify_population(bare, CloudType::kPublic, 150);
   EXPECT_EQ(a.diurnal, b.diurnal);
   EXPECT_EQ(a.stable, b.stable);
   EXPECT_EQ(a.irregular, b.irregular);
   EXPECT_EQ(a.hourly_peak, b.hourly_peak);
   EXPECT_EQ(a.classified, b.classified);
 
-  EXPECT_EQ(analysis::vm_lifetimes(ctx, CloudType::kPrivate),
-            analysis::vm_lifetimes(trace, CloudType::kPrivate));
-  EXPECT_EQ(analysis::node_vm_correlations(ctx, CloudType::kPrivate, 40),
-            analysis::node_vm_correlations(trace, CloudType::kPrivate, 40,
-                                           parallel));
+  EXPECT_EQ(analysis::vm_lifetimes(instrumented, CloudType::kPrivate),
+            analysis::vm_lifetimes(bare, CloudType::kPrivate));
+  EXPECT_EQ(
+      analysis::node_vm_correlations(instrumented, CloudType::kPrivate, 40),
+      analysis::node_vm_correlations(bare, CloudType::kPrivate, 40));
 
-  const auto kb_ctx = kb::extract_all(ctx);
-  const auto kb_legacy = kb::extract_all(trace);
-  ASSERT_EQ(kb_ctx.size(), kb_legacy.size());
-  for (std::size_t i = 0; i < kb_ctx.size(); ++i) {
-    EXPECT_EQ(kb_ctx[i].subscription, kb_legacy[i].subscription);
-    EXPECT_EQ(kb_ctx[i].mean_utilization, kb_legacy[i].mean_utilization);
-    EXPECT_EQ(kb_ctx[i].p95_utilization, kb_legacy[i].p95_utilization);
+  const auto kb_obs = kb::extract_all(instrumented);
+  const auto kb_bare = kb::extract_all(bare);
+  ASSERT_EQ(kb_obs.size(), kb_bare.size());
+  for (std::size_t i = 0; i < kb_obs.size(); ++i) {
+    EXPECT_EQ(kb_obs[i].subscription, kb_bare[i].subscription);
+    EXPECT_EQ(kb_obs[i].mean_utilization, kb_bare[i].mean_utilization);
+    EXPECT_EQ(kb_obs[i].p95_utilization, kb_bare[i].p95_utilization);
   }
 }
 
@@ -585,9 +593,8 @@ TEST(ObsContextTest, ReportByteIdenticalAtOneAndEightThreads) {
 
   auto render = [&](std::size_t threads) {
     std::ostringstream out;
-    analysis::ReportOptions options;
-    options.parallel = ParallelConfig::with_threads(threads);
-    analysis::write_characterization_report(trace, out, options);
+    analysis::write_characterization_report(
+        AnalysisContext(trace, ParallelConfig::with_threads(threads)), out);
     return out.str();
   };
   const std::string serial = render(1);
@@ -595,7 +602,7 @@ TEST(ObsContextTest, ReportByteIdenticalAtOneAndEightThreads) {
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
 
-  // The context spelling agrees byte-for-byte with the legacy spelling.
+  // A reused named context agrees byte-for-byte with the temporaries above.
   std::ostringstream via_ctx;
   const AnalysisContext ctx(trace, ParallelConfig::with_threads(8));
   analysis::write_characterization_report(ctx, via_ctx);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 #include "analysis/spatial.h"
 #include "analysis/utilization.h"
@@ -74,10 +75,8 @@ Scenario* AnalysisEquivalence::scenario_ = nullptr;
 
 TEST_F(AnalysisEquivalence, ClassifierSharesBitIdentical) {
   for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
-    const auto serial = analysis::classify_population(
-        trace(), cloud, 300, {}, ParallelConfig::serial());
-    const auto parallel = analysis::classify_population(
-        trace(), cloud, 300, {}, ParallelConfig::with_threads(8));
+    const auto serial = analysis::classify_population(AnalysisContext(trace(), ParallelConfig::serial()), cloud, 300, {});
+    const auto parallel = analysis::classify_population(AnalysisContext(trace(), ParallelConfig::with_threads(8)), cloud, 300, {});
     EXPECT_EQ(serial.classified, parallel.classified);
     EXPECT_EQ(serial.diurnal, parallel.diurnal);
     EXPECT_EQ(serial.stable, parallel.stable);
@@ -87,28 +86,22 @@ TEST_F(AnalysisEquivalence, ClassifierSharesBitIdentical) {
 }
 
 TEST_F(AnalysisEquivalence, NodeVmCorrelationsBitIdentical) {
-  const auto serial = analysis::node_vm_correlations(
-      trace(), CloudType::kPrivate, 120, ParallelConfig::serial());
-  const auto parallel = analysis::node_vm_correlations(
-      trace(), CloudType::kPrivate, 120, ParallelConfig::with_threads(8));
+  const auto serial = analysis::node_vm_correlations(AnalysisContext(trace(), ParallelConfig::serial()), CloudType::kPrivate, 120);
+  const auto parallel = analysis::node_vm_correlations(AnalysisContext(trace(), ParallelConfig::with_threads(8)), CloudType::kPrivate, 120);
   ASSERT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
 }
 
 TEST_F(AnalysisEquivalence, CrossRegionCorrelationsBitIdentical) {
-  const auto serial = analysis::cross_region_correlations(
-      trace(), CloudType::kPrivate, 120, 25, ParallelConfig::serial());
-  const auto parallel = analysis::cross_region_correlations(
-      trace(), CloudType::kPrivate, 120, 25, ParallelConfig::with_threads(8));
+  const auto serial = analysis::cross_region_correlations(AnalysisContext(trace(), ParallelConfig::serial()), CloudType::kPrivate, 120, 25);
+  const auto parallel = analysis::cross_region_correlations(AnalysisContext(trace(), ParallelConfig::with_threads(8)), CloudType::kPrivate, 120, 25);
   ASSERT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
 }
 
 TEST_F(AnalysisEquivalence, RegionAgnosticVerdictsBitIdentical) {
-  const auto serial = analysis::detect_region_agnostic_services(
-      trace(), CloudType::kPrivate, 0.7, 25, ParallelConfig::serial());
-  const auto parallel = analysis::detect_region_agnostic_services(
-      trace(), CloudType::kPrivate, 0.7, 25, ParallelConfig::with_threads(8));
+  const auto serial = analysis::detect_region_agnostic_services(AnalysisContext(trace(), ParallelConfig::serial()), CloudType::kPrivate, 0.7, 25);
+  const auto parallel = analysis::detect_region_agnostic_services(AnalysisContext(trace(), ParallelConfig::with_threads(8)), CloudType::kPrivate, 0.7, 25);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].service, parallel[i].service);
@@ -121,10 +114,8 @@ TEST_F(AnalysisEquivalence, RegionAgnosticVerdictsBitIdentical) {
 }
 
 TEST_F(AnalysisEquivalence, UtilizationBandsBitIdentical) {
-  const auto serial = analysis::utilization_distribution(
-      trace(), CloudType::kPublic, 200, ParallelConfig::serial());
-  const auto parallel = analysis::utilization_distribution(
-      trace(), CloudType::kPublic, 200, ParallelConfig::with_threads(8));
+  const auto serial = analysis::utilization_distribution(AnalysisContext(trace(), ParallelConfig::serial()), CloudType::kPublic, 200);
+  const auto parallel = analysis::utilization_distribution(AnalysisContext(trace(), ParallelConfig::with_threads(8)), CloudType::kPublic, 200);
   EXPECT_EQ(serial.vms_used, parallel.vms_used);
   EXPECT_EQ(serial.weekly.p25, parallel.weekly.p25);
   EXPECT_EQ(serial.weekly.p50, parallel.weekly.p50);
@@ -139,11 +130,8 @@ TEST_F(AnalysisEquivalence, UtilizationBandsBitIdentical) {
 TEST_F(AnalysisEquivalence, UsedCoresReductionBitIdentical) {
   // The floating-point reduction: the fixed chunk grid must make the sum
   // reproducible at any thread count, bit for bit.
-  const auto serial = analysis::region_used_cores_hourly(
-      trace(), CloudType::kPrivate, RegionId(), 400, ParallelConfig::serial());
-  const auto parallel = analysis::region_used_cores_hourly(
-      trace(), CloudType::kPrivate, RegionId(), 400,
-      ParallelConfig::with_threads(8));
+  const auto serial = analysis::region_used_cores_hourly(AnalysisContext(trace(), ParallelConfig::serial()), CloudType::kPrivate, RegionId(), 400);
+  const auto parallel = analysis::region_used_cores_hourly(AnalysisContext(trace(), ParallelConfig::with_threads(8)), CloudType::kPrivate, RegionId(), 400);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << "hour " << i;
@@ -170,19 +158,17 @@ std::vector<double> analysis_snapshot(const TraceStore& trace,
 
   for (const CloudType cloud : {CloudType::kPrivate, CloudType::kPublic}) {
     const auto shares =
-        analysis::classify_population(trace, cloud, 300, {}, parallel);
+        analysis::classify_population(AnalysisContext(trace, parallel), cloud, 300, {});
     out.insert(out.end(),
                {shares.diurnal, shares.stable, shares.irregular,
                 shares.hourly_peak, double(shares.classified)});
   }
 
-  append(analysis::node_vm_correlations(trace, CloudType::kPrivate, 120,
-                                        parallel));
-  append(analysis::cross_region_correlations(trace, CloudType::kPrivate, 120,
-                                             25, parallel));
+  append(analysis::node_vm_correlations(AnalysisContext(trace, parallel), CloudType::kPrivate, 120));
+  append(analysis::cross_region_correlations(AnalysisContext(trace, parallel), CloudType::kPrivate, 120,
+                                             25));
 
-  const auto bands = analysis::utilization_distribution(
-      trace, CloudType::kPublic, 200, parallel);
+  const auto bands = analysis::utilization_distribution(AnalysisContext(trace, parallel), CloudType::kPublic, 200);
   out.push_back(double(bands.vms_used));
   append(bands.weekly.p25);
   append(bands.weekly.p50);
@@ -193,16 +179,15 @@ std::vector<double> analysis_snapshot(const TraceStore& trace,
   append(bands.daily_p75);
   append(bands.daily_p95);
 
-  for (const auto& v : analysis::detect_region_agnostic_services(
-           trace, CloudType::kPrivate, 0.7, 25, parallel)) {
+  for (const auto& v : analysis::detect_region_agnostic_services(AnalysisContext(trace, parallel), CloudType::kPrivate, 0.7, 25)) {
     out.insert(out.end(),
                {double(v.service.value()), double(v.regions),
                 v.min_pair_correlation, v.mean_pair_correlation,
                 v.region_agnostic ? 1.0 : 0.0});
   }
 
-  append(analysis::region_used_cores_hourly(trace, CloudType::kPrivate,
-                                            RegionId(), 400, parallel)
+  append(analysis::region_used_cores_hourly(AnalysisContext(trace, parallel), CloudType::kPrivate,
+                                            RegionId(), 400)
              .values());
   return out;
 }

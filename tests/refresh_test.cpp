@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "testutil.h"
+#include "analysis/context.h"
 #include "workloads/patterns.h"
 
 namespace cloudlens::kb {
@@ -23,7 +24,7 @@ TEST_F(RefreshTest, FirstRefreshAddsRecords) {
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
              std::make_shared<ConstantUtilization>(0.2));
   KnowledgeBase kb;
-  const auto stats = refresh(kb, fx_.trace);
+  const auto stats = refresh(kb, AnalysisContext(fx_.trace));
   EXPECT_EQ(stats.added, 1u);
   EXPECT_EQ(stats.updated, 0u);
   EXPECT_EQ(kb.size(), 1u);
@@ -35,7 +36,7 @@ TEST_F(RefreshTest, SecondRefreshBlendsNumerics) {
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
              std::make_shared<StableUtilization>(p, 1));
   KnowledgeBase kb;
-  refresh(kb, fx_.trace);
+  refresh(kb, AnalysisContext(fx_.trace));
   const double first_mean = kb.find(fx_.public_sub)->mean_utilization;
 
   // A new window in which the subscription also runs a hot VM.
@@ -43,7 +44,7 @@ TEST_F(RefreshTest, SecondRefreshBlendsNumerics) {
              std::make_shared<ConstantUtilization>(0.9));
   RefreshOptions options;
   options.ewma_alpha = 0.5;
-  const auto stats = refresh(kb, fx_.trace, options);
+  const auto stats = refresh(kb, AnalysisContext(fx_.trace), options);
   EXPECT_EQ(stats.updated, 1u);
   EXPECT_EQ(stats.added, 0u);
 
@@ -61,16 +62,16 @@ TEST_F(RefreshTest, SmallAlphaDampsChange) {
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
              std::make_shared<StableUtilization>(p, 2));
   KnowledgeBase slow_kb, fast_kb;
-  refresh(slow_kb, fx_.trace);
-  refresh(fast_kb, fx_.trace);
+  refresh(slow_kb, AnalysisContext(fx_.trace));
+  refresh(fast_kb, AnalysisContext(fx_.trace));
 
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
              std::make_shared<ConstantUtilization>(0.9));
   RefreshOptions slow, fast;
   slow.ewma_alpha = 0.1;
   fast.ewma_alpha = 0.9;
-  refresh(slow_kb, fx_.trace, slow);
-  refresh(fast_kb, fx_.trace, fast);
+  refresh(slow_kb, AnalysisContext(fx_.trace), slow);
+  refresh(fast_kb, AnalysisContext(fx_.trace), fast);
   EXPECT_LT(slow_kb.find(fx_.public_sub)->mean_utilization,
             fast_kb.find(fx_.public_sub)->mean_utilization);
 }
@@ -83,7 +84,7 @@ TEST_F(RefreshTest, HintsRecomputedAfterBlend) {
     fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 2, -kDay, kNoEnd,
                std::make_shared<StableUtilization>(p, 10 + i));
   KnowledgeBase kb;
-  refresh(kb, fx_.trace);
+  refresh(kb, AnalysisContext(fx_.trace));
   EXPECT_TRUE(kb.find(fx_.public_sub)->oversubscription_candidate);
 
   // Window 2: the subscription turns hot; after enough refreshes the
@@ -93,7 +94,7 @@ TEST_F(RefreshTest, HintsRecomputedAfterBlend) {
                std::make_shared<ConstantUtilization>(0.95));
   RefreshOptions options;
   options.ewma_alpha = 1.0;  // replace outright
-  refresh(kb, fx_.trace, options);
+  refresh(kb, AnalysisContext(fx_.trace), options);
   EXPECT_FALSE(kb.find(fx_.public_sub)->oversubscription_candidate);
 }
 
@@ -101,9 +102,9 @@ TEST_F(RefreshTest, InvalidAlphaThrows) {
   KnowledgeBase kb;
   RefreshOptions options;
   options.ewma_alpha = 0.0;
-  EXPECT_THROW(refresh(kb, fx_.trace, options), CheckError);
+  EXPECT_THROW(refresh(kb, AnalysisContext(fx_.trace), options), CheckError);
   options.ewma_alpha = 1.5;
-  EXPECT_THROW(refresh(kb, fx_.trace, options), CheckError);
+  EXPECT_THROW(refresh(kb, AnalysisContext(fx_.trace), options), CheckError);
 }
 
 TEST_F(RefreshTest, ApplyPolicyHintsStandalone) {

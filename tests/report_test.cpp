@@ -1,3 +1,4 @@
+#include "analysis/context.h"
 #include "analysis/report.h"
 
 #include <gtest/gtest.h>
@@ -18,7 +19,7 @@ TEST(ReportTest, ContainsEverySectionAndVerdict) {
   std::ostringstream out;
   ReportOptions report_options;
   report_options.title = "Test report";
-  const auto verdicts = write_characterization_report(*scenario.trace, out,
+  const auto verdicts = write_characterization_report(AnalysisContext(*scenario.trace), out,
                                                       report_options);
   const std::string md = out.str();
 
@@ -32,7 +33,7 @@ TEST(ReportTest, ContainsEverySectionAndVerdict) {
   EXPECT_NE(md.find("hourly-peak"), std::string::npos);
 
   // The returned verdicts match a direct evaluation.
-  const auto direct = evaluate_insights(*scenario.trace);
+  const auto direct = evaluate_insights(AnalysisContext(*scenario.trace));
   EXPECT_EQ(verdicts.insight1, direct.insight1);
   EXPECT_EQ(verdicts.insight2, direct.insight2);
   EXPECT_NEAR(verdicts.median_creation_cv.private_value,
@@ -44,7 +45,7 @@ TEST(ReportTest, MarkdownTablesWellFormed) {
   options.scale = 0.06;
   const auto scenario = workloads::make_scenario(options);
   std::ostringstream out;
-  write_characterization_report(*scenario.trace, out);
+  write_characterization_report(AnalysisContext(*scenario.trace), out);
   // Every table row has a matching number of pipes on the header rows.
   std::istringstream lines(out.str());
   std::string line;

@@ -3,6 +3,7 @@
 // pipeline must recover what the generator planted.
 #include <gtest/gtest.h>
 
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 #include "analysis/deployment.h"
 #include "analysis/spatial.h"
@@ -34,10 +35,8 @@ class ScenarioIntegration : public ::testing::Test {
 workloads::Scenario* ScenarioIntegration::scenario_ = nullptr;
 
 TEST_F(ScenarioIntegration, Fig1aPrivateDeploymentsLarger) {
-  const auto priv = analysis::vms_per_subscription(
-      trace(), CloudType::kPrivate, analysis::kDefaultSnapshot);
-  const auto pub = analysis::vms_per_subscription(
-      trace(), CloudType::kPublic, analysis::kDefaultSnapshot);
+  const auto priv = analysis::vms_per_subscription(AnalysisContext(trace()), CloudType::kPrivate, analysis::kDefaultSnapshot);
+  const auto pub = analysis::vms_per_subscription(AnalysisContext(trace()), CloudType::kPublic, analysis::kDefaultSnapshot);
   ASSERT_FALSE(priv.empty());
   ASSERT_FALSE(pub.empty());
   EXPECT_GT(stats::quantile_sorted(priv, 0.5),
@@ -45,10 +44,8 @@ TEST_F(ScenarioIntegration, Fig1aPrivateDeploymentsLarger) {
 }
 
 TEST_F(ScenarioIntegration, Fig1bPublicClustersHostFarMoreSubscriptions) {
-  const auto priv = analysis::subscriptions_per_cluster(
-      trace(), CloudType::kPrivate, analysis::kDefaultSnapshot);
-  const auto pub = analysis::subscriptions_per_cluster(
-      trace(), CloudType::kPublic, analysis::kDefaultSnapshot);
+  const auto priv = analysis::subscriptions_per_cluster(AnalysisContext(trace()), CloudType::kPrivate, analysis::kDefaultSnapshot);
+  const auto pub = analysis::subscriptions_per_cluster(AnalysisContext(trace()), CloudType::kPublic, analysis::kDefaultSnapshot);
   const double priv_median = stats::quantile_sorted(priv, 0.5);
   const double pub_median = stats::quantile_sorted(pub, 0.5);
   // The paper reports ~20x; at reduced scale require at least 5x.
@@ -56,9 +53,9 @@ TEST_F(ScenarioIntegration, Fig1bPublicClustersHostFarMoreSubscriptions) {
 }
 
 TEST_F(ScenarioIntegration, Fig2PublicVmShapesWider) {
-  const auto priv = analysis::vm_size_heatmap(trace(), CloudType::kPrivate,
+  const auto priv = analysis::vm_size_heatmap(AnalysisContext(trace()), CloudType::kPrivate,
                                               analysis::kDefaultSnapshot);
-  const auto pub = analysis::vm_size_heatmap(trace(), CloudType::kPublic,
+  const auto pub = analysis::vm_size_heatmap(AnalysisContext(trace()), CloudType::kPublic,
                                              analysis::kDefaultSnapshot);
   // Count non-empty cells: public demand covers more of the shape space.
   auto occupied = [](const stats::Histogram2D& h) {
@@ -72,8 +69,8 @@ TEST_F(ScenarioIntegration, Fig2PublicVmShapesWider) {
 }
 
 TEST_F(ScenarioIntegration, Fig3aPublicShortLifetimeShareHigher) {
-  const auto priv = analysis::vm_lifetimes(trace(), CloudType::kPrivate);
-  const auto pub = analysis::vm_lifetimes(trace(), CloudType::kPublic);
+  const auto priv = analysis::vm_lifetimes(AnalysisContext(trace()), CloudType::kPrivate);
+  const auto pub = analysis::vm_lifetimes(AnalysisContext(trace()), CloudType::kPublic);
   const double priv_share = analysis::shortest_bin_share(priv);
   const double pub_share = analysis::shortest_bin_share(pub);
   EXPECT_NEAR(priv_share, 0.49, 0.08);
@@ -87,7 +84,7 @@ TEST_F(ScenarioIntegration, Fig3bWeekendDipAndPrivateSpikes) {
   // visible in the creation rate for both clouds.
   auto weekday_vs_weekend = [&](CloudType cloud) {
     const auto created =
-        analysis::creations_per_hour(trace(), cloud, RegionId());
+        analysis::creations_per_hour(AnalysisContext(trace()), cloud, RegionId());
     double weekday = 0, weekend = 0;
     std::size_t nd = 0, ne = 0;
     for (std::size_t i = 0; i < created.size(); ++i) {
@@ -111,7 +108,7 @@ TEST_F(ScenarioIntegration, Fig3bWeekendDipAndPrivateSpikes) {
     double worst = 0;
     for (const auto& region : trace().topology().regions()) {
       const auto counts =
-          analysis::vm_count_per_hour(trace(), cloud, region.id);
+          analysis::vm_count_per_hour(AnalysisContext(trace()), cloud, region.id);
       std::vector<double> xs(counts.values().begin(), counts.values().end());
       worst = std::max(
           worst, counts.max() / std::max(1e-9, stats::quantile(xs, 0.95)));
@@ -124,17 +121,17 @@ TEST_F(ScenarioIntegration, Fig3bWeekendDipAndPrivateSpikes) {
 
 TEST_F(ScenarioIntegration, Fig3dPrivateCreationCvHigher) {
   const auto priv =
-      analysis::creation_cv_by_region(trace(), CloudType::kPrivate);
-  const auto pub = analysis::creation_cv_by_region(trace(), CloudType::kPublic);
+      analysis::creation_cv_by_region(AnalysisContext(trace()), CloudType::kPrivate);
+  const auto pub = analysis::creation_cv_by_region(AnalysisContext(trace()), CloudType::kPublic);
   ASSERT_FALSE(priv.empty());
   ASSERT_FALSE(pub.empty());
   EXPECT_GT(stats::quantile(priv, 0.5), 1.3 * stats::quantile(pub, 0.5));
 }
 
 TEST_F(ScenarioIntegration, Fig4PrivateMoreMultiRegionByCores) {
-  const auto priv = analysis::region_spread(trace(), CloudType::kPrivate,
+  const auto priv = analysis::region_spread(AnalysisContext(trace()), CloudType::kPrivate,
                                             analysis::kDefaultSnapshot);
-  const auto pub = analysis::region_spread(trace(), CloudType::kPublic,
+  const auto pub = analysis::region_spread(AnalysisContext(trace()), CloudType::kPublic,
                                            analysis::kDefaultSnapshot);
   // Both clouds: most subscriptions are single-region.
   EXPECT_GT(stats::quantile(priv.regions_per_subscription, 0.5), 0.9);
@@ -145,9 +142,9 @@ TEST_F(ScenarioIntegration, Fig4PrivateMoreMultiRegionByCores) {
 
 TEST_F(ScenarioIntegration, Fig5dPatternMixContrasts) {
   const auto priv =
-      analysis::classify_population(trace(), CloudType::kPrivate, 400);
+      analysis::classify_population(AnalysisContext(trace()), CloudType::kPrivate, 400);
   const auto pub =
-      analysis::classify_population(trace(), CloudType::kPublic, 400);
+      analysis::classify_population(AnalysisContext(trace()), CloudType::kPublic, 400);
   ASSERT_GT(priv.classified, 100u);
   ASSERT_GT(pub.classified, 100u);
   // Diurnal is the most common class in both clouds.
@@ -164,9 +161,9 @@ TEST_F(ScenarioIntegration, Fig5dPatternMixContrasts) {
 
 TEST_F(ScenarioIntegration, Fig6UtilizationModestAndPrivateDaytimeSwings) {
   const auto priv =
-      analysis::utilization_distribution(trace(), CloudType::kPrivate, 400);
+      analysis::utilization_distribution(AnalysisContext(trace()), CloudType::kPrivate, 400);
   const auto pub =
-      analysis::utilization_distribution(trace(), CloudType::kPublic, 400);
+      analysis::utilization_distribution(AnalysisContext(trace()), CloudType::kPublic, 400);
   // "According to the 75-percentile, CPU utilization for both ... is lower
   // than 30%" most of the time — check the weekly p75 median level.
   const double priv_p75 = stats::quantile(priv.weekly.p75, 0.5);
@@ -186,10 +183,10 @@ TEST_F(ScenarioIntegration, Fig6UtilizationModestAndPrivateDaytimeSwings) {
 }
 
 TEST_F(ScenarioIntegration, Fig7aPrivateNodeCorrelationHigher) {
-  const auto priv = analysis::node_vm_correlations(trace(),
+  const auto priv = analysis::node_vm_correlations(AnalysisContext(trace()),
                                                    CloudType::kPrivate, 120);
   const auto pub =
-      analysis::node_vm_correlations(trace(), CloudType::kPublic, 120);
+      analysis::node_vm_correlations(AnalysisContext(trace()), CloudType::kPublic, 120);
   ASSERT_GT(priv.size(), 30u);
   ASSERT_GT(pub.size(), 30u);
   const double priv_median = stats::quantile_sorted(priv, 0.5);
@@ -201,9 +198,9 @@ TEST_F(ScenarioIntegration, Fig7aPrivateNodeCorrelationHigher) {
 
 TEST_F(ScenarioIntegration, Fig7bPrivateCrossRegionCorrelationHigher) {
   const auto priv =
-      analysis::cross_region_correlations(trace(), CloudType::kPrivate, 200);
+      analysis::cross_region_correlations(AnalysisContext(trace()), CloudType::kPrivate, 200);
   const auto pub =
-      analysis::cross_region_correlations(trace(), CloudType::kPublic, 200);
+      analysis::cross_region_correlations(AnalysisContext(trace()), CloudType::kPublic, 200);
   ASSERT_GT(priv.size(), 5u);
   ASSERT_GT(pub.size(), 5u);
   EXPECT_GT(stats::quantile_sorted(priv, 0.5),
@@ -211,8 +208,7 @@ TEST_F(ScenarioIntegration, Fig7bPrivateCrossRegionCorrelationHigher) {
 }
 
 TEST_F(ScenarioIntegration, Fig7cRegionAgnosticServicesExistInPrivate) {
-  const auto verdicts = analysis::detect_region_agnostic_services(
-      trace(), CloudType::kPrivate, 0.7);
+  const auto verdicts = analysis::detect_region_agnostic_services(AnalysisContext(trace()), CloudType::kPrivate, 0.7);
   ASSERT_FALSE(verdicts.empty());
   std::size_t agnostic = 0;
   for (const auto& v : verdicts) {
@@ -224,8 +220,7 @@ TEST_F(ScenarioIntegration, Fig7cRegionAgnosticServicesExistInPrivate) {
 }
 
 TEST_F(ScenarioIntegration, DetectorAgreesWithPlantedGroundTruth) {
-  const auto verdicts = analysis::detect_region_agnostic_services(
-      trace(), CloudType::kPrivate, 0.7);
+  const auto verdicts = analysis::detect_region_agnostic_services(AnalysisContext(trace()), CloudType::kPrivate, 0.7);
   std::size_t correct = 0, total = 0;
   for (const auto& v : verdicts) {
     ++total;

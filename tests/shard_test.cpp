@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "analysis/context.h"
 #include "analysis/classifier.h"
 #include "analysis/spatial.h"
 #include "analysis/utilization.h"
@@ -241,13 +242,12 @@ TEST_F(ShardGeneratedTest, StreamedAnalysesBitIdenticalToResident) {
   // Resident reference results (panel-backed, 2 worker threads).
   const ParallelConfig two = ParallelConfig::with_threads(2);
   const auto shares_ref =
-      analysis::classify_population(trace, CloudType::kPrivate, 150, {}, two);
+      analysis::classify_population(AnalysisContext(trace, two), CloudType::kPrivate, 150, {});
   const auto dist_ref =
-      analysis::utilization_distribution(trace, CloudType::kPublic, 150, two);
+      analysis::utilization_distribution(AnalysisContext(trace, two), CloudType::kPublic, 150);
   const auto corr_ref =
-      analysis::node_vm_correlations(trace, CloudType::kPrivate, 40, two);
-  const auto xr_ref = analysis::cross_region_correlations(
-      trace, CloudType::kPrivate, 60, 10, two);
+      analysis::node_vm_correlations(AnalysisContext(trace, two), CloudType::kPrivate, 40);
+  const auto xr_ref = analysis::cross_region_correlations(AnalysisContext(trace, two), CloudType::kPrivate, 60, 10);
 
   TempSpillDir dir("analyses");
   TelemetryShardingOptions opts;
@@ -259,8 +259,7 @@ TEST_F(ShardGeneratedTest, StreamedAnalysesBitIdenticalToResident) {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     SCOPED_TRACE(threads);
     const ParallelConfig par = ParallelConfig::with_threads(threads);
-    const auto shares = analysis::classify_population(
-        trace, CloudType::kPrivate, 150, {}, par);
+    const auto shares = analysis::classify_population(AnalysisContext(trace, par), CloudType::kPrivate, 150, {});
     EXPECT_EQ(shares.classified, shares_ref.classified);
     EXPECT_EQ(bits(shares.diurnal), bits(shares_ref.diurnal));
     EXPECT_EQ(bits(shares.stable), bits(shares_ref.stable));
@@ -268,7 +267,7 @@ TEST_F(ShardGeneratedTest, StreamedAnalysesBitIdenticalToResident) {
     EXPECT_EQ(bits(shares.hourly_peak), bits(shares_ref.hourly_peak));
 
     const auto dist =
-        analysis::utilization_distribution(trace, CloudType::kPublic, 150, par);
+        analysis::utilization_distribution(AnalysisContext(trace, par), CloudType::kPublic, 150);
     EXPECT_EQ(dist.vms_used, dist_ref.vms_used);
     ASSERT_EQ(dist.weekly.p50.size(), dist_ref.weekly.p50.size());
     for (std::size_t i = 0; i < dist.weekly.p50.size(); ++i) {
@@ -283,13 +282,12 @@ TEST_F(ShardGeneratedTest, StreamedAnalysesBitIdenticalToResident) {
     }
 
     const auto corr =
-        analysis::node_vm_correlations(trace, CloudType::kPrivate, 40, par);
+        analysis::node_vm_correlations(AnalysisContext(trace, par), CloudType::kPrivate, 40);
     ASSERT_EQ(corr.size(), corr_ref.size());
     for (std::size_t i = 0; i < corr.size(); ++i)
       EXPECT_EQ(bits(corr[i]), bits(corr_ref[i]));
 
-    const auto xr = analysis::cross_region_correlations(
-        trace, CloudType::kPrivate, 60, 10, par);
+    const auto xr = analysis::cross_region_correlations(AnalysisContext(trace, par), CloudType::kPrivate, 60, 10);
     ASSERT_EQ(xr.size(), xr_ref.size());
     for (std::size_t i = 0; i < xr.size(); ++i)
       EXPECT_EQ(bits(xr[i]), bits(xr_ref[i]));

@@ -1,3 +1,4 @@
+#include "analysis/context.h"
 #include "analysis/spatial.h"
 
 #include <gtest/gtest.h>
@@ -52,7 +53,7 @@ TEST_F(SpatialTest, SameShapeVmsCorrelateWithNode) {
   for (int i = 0; i < 4; ++i)
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
                diurnal(-5, 100 + i));
-  const auto corr = node_vm_correlations(fx_.trace, CloudType::kPrivate, 0);
+  const auto corr = node_vm_correlations(AnalysisContext(fx_.trace), CloudType::kPrivate, 0);
   ASSERT_EQ(corr.size(), 4u);
   for (const double r : corr) EXPECT_GT(r, 0.6);
 }
@@ -66,7 +67,7 @@ TEST_F(SpatialTest, MixedShapesDecorrelate) {
   for (int i = 0; i < 3; ++i)
     fx_.add_vm(CloudType::kPublic, fx_.public_sub, node, 4, -kDay, kNoEnd,
                diurnal(-5, 200 + i));
-  const auto corr = node_vm_correlations(fx_.trace, CloudType::kPublic, 0);
+  const auto corr = node_vm_correlations(AnalysisContext(fx_.trace), CloudType::kPublic, 0);
   ASSERT_EQ(corr.size(), 4u);
   // corr is sorted ascending; the stable VM's entry is the smallest.
   EXPECT_LT(corr.front(), 0.3);
@@ -77,7 +78,7 @@ TEST_F(SpatialTest, SingleVmNodesExcluded) {
   const NodeId node = node_in_region(0, CloudType::kPrivate);
   fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node, 4, -kDay, kNoEnd,
              diurnal(-5, 1));
-  EXPECT_TRUE(node_vm_correlations(fx_.trace, CloudType::kPrivate, 0).empty());
+  EXPECT_TRUE(node_vm_correlations(AnalysisContext(fx_.trace), CloudType::kPrivate, 0).empty());
 }
 
 TEST_F(SpatialTest, SubscriptionRegionProfilesSplitByRegion) {
@@ -88,7 +89,7 @@ TEST_F(SpatialTest, SubscriptionRegionProfilesSplitByRegion) {
   fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n1, 4, -kDay, kNoEnd,
              diurnal(-5, 2), RegionId(1));
   const auto profiles =
-      subscription_region_profiles(fx_.trace, fx_.private_sub);
+      subscription_region_profiles(AnalysisContext(fx_.trace), fx_.private_sub);
   ASSERT_EQ(profiles.size(), 2u);
   EXPECT_EQ(profiles[0].region, RegionId(0));
   EXPECT_EQ(profiles[1].region, RegionId(1));
@@ -106,7 +107,7 @@ TEST_F(SpatialTest, AlignedAnchorsCorrelateAcrossRegions) {
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, n1, 4, -kDay, kNoEnd,
                diurnal(-5, 20 + i), RegionId(1));
   }
-  const auto corrs = cross_region_correlations(fx_.trace, CloudType::kPrivate);
+  const auto corrs = cross_region_correlations(AnalysisContext(fx_.trace), CloudType::kPrivate);
   ASSERT_EQ(corrs.size(), 1u);
   EXPECT_GT(corrs[0], 0.8);
 }
@@ -121,7 +122,7 @@ TEST_F(SpatialTest, ShiftedAnchorsDecorrelate) {
     fx_.add_vm(CloudType::kPublic, fx_.public_sub, n1, 4, -kDay, kNoEnd,
                diurnal(-13, 40 + i), RegionId(1));
   }
-  const auto shifted = cross_region_correlations(fx_.trace, CloudType::kPublic);
+  const auto shifted = cross_region_correlations(AnalysisContext(fx_.trace), CloudType::kPublic);
   ASSERT_EQ(shifted.size(), 1u);
   EXPECT_LT(shifted[0], 0.5);
 }
@@ -130,7 +131,7 @@ TEST_F(SpatialTest, SingleRegionSubscriptionsYieldNoPairs) {
   const NodeId n0 = node_in_region(0, CloudType::kPublic);
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, n0, 4, -kDay, kNoEnd,
              diurnal(-5, 1));
-  EXPECT_TRUE(cross_region_correlations(fx_.trace, CloudType::kPublic).empty());
+  EXPECT_TRUE(cross_region_correlations(AnalysisContext(fx_.trace), CloudType::kPublic).empty());
 }
 
 TEST_F(SpatialTest, DetectsPlantedRegionAgnosticService) {
@@ -173,7 +174,7 @@ TEST_F(SpatialTest, DetectsPlantedRegionAgnosticService) {
   }
 
   const auto verdicts =
-      detect_region_agnostic_services(fx_.trace, CloudType::kPrivate, 0.7);
+      detect_region_agnostic_services(AnalysisContext(fx_.trace), CloudType::kPrivate, 0.7);
   ASSERT_EQ(verdicts.size(), 2u);
   const auto& va = verdicts[0].service == agnostic ? verdicts[0] : verdicts[1];
   const auto& vl = verdicts[0].service == local ? verdicts[0] : verdicts[1];
@@ -201,7 +202,7 @@ TEST_F(SpatialTest, SingleRegionServicesNotJudged) {
   rec.utilization = diurnal(-5, 1);
   fx_.trace.add_vm(std::move(rec));
   EXPECT_TRUE(
-      detect_region_agnostic_services(fx_.trace, CloudType::kPrivate).empty());
+      detect_region_agnostic_services(AnalysisContext(fx_.trace), CloudType::kPrivate).empty());
 }
 
 }  // namespace

@@ -1,3 +1,4 @@
+#include "analysis/context.h"
 #include "analysis/temporal.h"
 
 #include <gtest/gtest.h>
@@ -27,7 +28,7 @@ TEST_F(TemporalTest, LifetimesOnlyCountInWindowVms) {
   // Never ends: excluded.
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, kDay, kNoEnd);
 
-  const auto lifetimes = vm_lifetimes(fx_.trace, CloudType::kPublic);
+  const auto lifetimes = vm_lifetimes(AnalysisContext(fx_.trace), CloudType::kPublic);
   ASSERT_EQ(lifetimes.size(), 1u);
   EXPECT_DOUBLE_EQ(lifetimes[0], double(2 * kHour));
 }
@@ -49,7 +50,7 @@ TEST_F(TemporalTest, VmCountSweepMatchesBruteForce) {
 
   const TimeGrid grid{0, kHour, 8};
   const auto series =
-      vm_count_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid);
+      vm_count_per_hour(AnalysisContext(fx_.trace), CloudType::kPublic, RegionId(0), grid);
   for (std::size_t i = 0; i < grid.count; ++i) {
     int expected = 0;
     for (const auto& vm : fx_.trace.vms()) {
@@ -67,10 +68,10 @@ TEST_F(TemporalTest, VmCountAggregatesAllRegionsWhenInvalid) {
              RegionId(1));
   const TimeGrid grid{0, kHour, 2};
   EXPECT_DOUBLE_EQ(
-      vm_count_per_hour(fx_.trace, CloudType::kPublic, RegionId(), grid)[1],
+      vm_count_per_hour(AnalysisContext(fx_.trace), CloudType::kPublic, RegionId(), grid)[1],
       2.0);
   EXPECT_DOUBLE_EQ(
-      vm_count_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid)[1],
+      vm_count_per_hour(AnalysisContext(fx_.trace), CloudType::kPublic, RegionId(0), grid)[1],
       1.0);
 }
 
@@ -84,7 +85,7 @@ TEST_F(TemporalTest, CreationsPerHourBins) {
 
   const TimeGrid grid{0, kHour, 4};
   const auto series =
-      creations_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid);
+      creations_per_hour(AnalysisContext(fx_.trace), CloudType::kPublic, RegionId(0), grid);
   EXPECT_DOUBLE_EQ(series[0], 2.0);
   EXPECT_DOUBLE_EQ(series[1], 0.0);
   EXPECT_DOUBLE_EQ(series[2], 1.0);  // pre-window creation not binned
@@ -95,14 +96,14 @@ TEST_F(TemporalTest, RemovalsPerHourBins) {
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, 0, kNoEnd);
   const TimeGrid grid{0, kHour, 4};
   const auto series =
-      removals_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid);
+      removals_per_hour(AnalysisContext(fx_.trace), CloudType::kPublic, RegionId(0), grid);
   EXPECT_DOUBLE_EQ(series[0], 0.0);
   EXPECT_DOUBLE_EQ(series[1], 1.0);
 }
 
 TEST_F(TemporalTest, CreationCvSkipsEmptyRegions) {
   fx_.add_vm(CloudType::kPublic, fx_.public_sub, node_, 1, kHour, kNoEnd);
-  const auto cvs = creation_cv_by_region(fx_.trace, CloudType::kPublic);
+  const auto cvs = creation_cv_by_region(AnalysisContext(fx_.trace), CloudType::kPublic);
   // Only region 0 has creations.
   ASSERT_EQ(cvs.size(), 1u);
 }
@@ -119,9 +120,9 @@ TEST_F(TemporalTest, BurstyRegionHasHigherCv) {
   }
   const TimeGrid grid{0, kHour, 24};
   const auto smooth =
-      creations_per_hour(fx_.trace, CloudType::kPublic, RegionId(0), grid);
+      creations_per_hour(AnalysisContext(fx_.trace), CloudType::kPublic, RegionId(0), grid);
   const auto bursty =
-      creations_per_hour(fx_.trace, CloudType::kPublic, RegionId(1), grid);
+      creations_per_hour(AnalysisContext(fx_.trace), CloudType::kPublic, RegionId(1), grid);
   EXPECT_GT(stats::coefficient_of_variation(bursty.values()),
             5 * stats::coefficient_of_variation(smooth.values()));
 }

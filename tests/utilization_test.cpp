@@ -1,3 +1,4 @@
+#include "analysis/context.h"
 #include "analysis/utilization.h"
 
 #include <gtest/gtest.h>
@@ -21,7 +22,7 @@ TEST_F(UtilizationTest, ConstantPopulationGivesFlatBands) {
   for (int i = 0; i < 5; ++i)
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 1, -kDay, kNoEnd,
                std::make_shared<ConstantUtilization>(0.3));
-  const auto dist = utilization_distribution(fx_.trace, CloudType::kPrivate);
+  const auto dist = utilization_distribution(AnalysisContext(fx_.trace), CloudType::kPrivate);
   EXPECT_EQ(dist.vms_used, 5u);
   for (std::size_t t = 0; t < dist.weekly.grid.count; t += 13) {
     EXPECT_DOUBLE_EQ(dist.weekly.p25[t], 0.3);
@@ -37,7 +38,7 @@ TEST_F(UtilizationTest, MixedLevelsOrderBands) {
   for (int i = 0; i < 10; ++i)
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 1, -kDay, kNoEnd,
                std::make_shared<ConstantUtilization>(0.05 * (i + 1)));
-  const auto dist = utilization_distribution(fx_.trace, CloudType::kPrivate);
+  const auto dist = utilization_distribution(AnalysisContext(fx_.trace), CloudType::kPrivate);
   for (std::size_t t = 0; t < dist.weekly.grid.count; t += 29) {
     EXPECT_LT(dist.weekly.p25[t], dist.weekly.p50[t]);
     EXPECT_LT(dist.weekly.p50[t], dist.weekly.p75[t]);
@@ -51,13 +52,13 @@ TEST_F(UtilizationTest, DiurnalPopulationShowsDailyProfile) {
   for (int i = 0; i < 8; ++i)
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 1, -kDay, kNoEnd,
                std::make_shared<workloads::DiurnalUtilization>(p, 50 + i));
-  const auto dist = utilization_distribution(fx_.trace, CloudType::kPrivate);
+  const auto dist = utilization_distribution(AnalysisContext(fx_.trace), CloudType::kPrivate);
   // The paper's Fig. 6(c): the median near 14:00 clearly exceeds 03:00.
   EXPECT_GT(dist.daily_p50[14], dist.daily_p50[3] + 0.2);
 }
 
 TEST_F(UtilizationTest, ThrowsWithNoCoveringVms) {
-  EXPECT_THROW(utilization_distribution(fx_.trace, CloudType::kPrivate),
+  EXPECT_THROW(utilization_distribution(AnalysisContext(fx_.trace), CloudType::kPrivate),
                CheckError);
 }
 
@@ -66,13 +67,13 @@ TEST_F(UtilizationTest, VmMeanUtilizationRespectsAliveWindow) {
   const VmId id = fx_.add_vm(
       CloudType::kPrivate, fx_.private_sub, node_, 1, 0, kWeek / 2,
       std::make_shared<ConstantUtilization>(0.4));
-  EXPECT_NEAR(vm_mean_utilization(fx_.trace, id), 0.4, 1e-9);
+  EXPECT_NEAR(vm_mean_utilization(AnalysisContext(fx_.trace), id), 0.4, 1e-9);
 }
 
 TEST_F(UtilizationTest, VmMeanUtilizationZeroWithoutModel) {
   const VmId id =
       fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 1, 0, kNoEnd);
-  EXPECT_DOUBLE_EQ(vm_mean_utilization(fx_.trace, id), 0.0);
+  EXPECT_DOUBLE_EQ(vm_mean_utilization(AnalysisContext(fx_.trace), id), 0.0);
 }
 
 TEST_F(UtilizationTest, RegionUsedCoresAggregates) {
@@ -81,7 +82,7 @@ TEST_F(UtilizationTest, RegionUsedCoresAggregates) {
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 4, -kDay, kNoEnd,
                std::make_shared<ConstantUtilization>(0.5));
   const auto series =
-      region_used_cores_hourly(fx_.trace, CloudType::kPrivate, RegionId(0));
+      region_used_cores_hourly(AnalysisContext(fx_.trace), CloudType::kPrivate, RegionId(0));
   for (std::size_t i = 0; i < series.size(); i += 17)
     EXPECT_NEAR(series[i], 4.0, 1e-9);
 }
@@ -90,7 +91,7 @@ TEST_F(UtilizationTest, RegionUsedCoresHonorsLifetime) {
   fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 4, 0, kDay,
              std::make_shared<ConstantUtilization>(1.0));
   const auto series =
-      region_used_cores_hourly(fx_.trace, CloudType::kPrivate, RegionId(0));
+      region_used_cores_hourly(AnalysisContext(fx_.trace), CloudType::kPrivate, RegionId(0));
   EXPECT_NEAR(series[2], 4.0, 1e-9);    // during day 1
   EXPECT_NEAR(series[30], 0.0, 1e-9);   // day 2: VM gone
 }
@@ -100,9 +101,9 @@ TEST_F(UtilizationTest, SamplingRescalesUnbiased) {
   for (int i = 0; i < 40; ++i)
     fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node_, 1, -kDay, kNoEnd,
                std::make_shared<ConstantUtilization>(0.5));
-  const auto full = region_used_cores_hourly(fx_.trace, CloudType::kPrivate,
+  const auto full = region_used_cores_hourly(AnalysisContext(fx_.trace), CloudType::kPrivate,
                                              RegionId(0), 0);
-  const auto sampled = region_used_cores_hourly(fx_.trace, CloudType::kPrivate,
+  const auto sampled = region_used_cores_hourly(AnalysisContext(fx_.trace), CloudType::kPrivate,
                                                 RegionId(0), 10);
   EXPECT_NEAR(full[0], 20.0, 1e-9);
   EXPECT_NEAR(sampled[0], 20.0, 1e-9);
@@ -116,7 +117,7 @@ TEST_F(UtilizationTest, InvalidRegionAggregatesAllRegions) {
   fx_.add_vm(CloudType::kPrivate, fx_.private_sub, node1, 2, -kDay, kNoEnd,
              std::make_shared<ConstantUtilization>(1.0), RegionId(1));
   const auto all =
-      region_used_cores_hourly(fx_.trace, CloudType::kPrivate, RegionId());
+      region_used_cores_hourly(AnalysisContext(fx_.trace), CloudType::kPrivate, RegionId());
   EXPECT_NEAR(all[0], 4.0, 1e-9);
 }
 

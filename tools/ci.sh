@@ -21,7 +21,9 @@
 # Both also re-run the snapshot + pipeline suites (binary snapshot round
 # trips, cache-key invariants, cold/warm equivalence) — the TSan pass
 # matters here because warm runs adopt cached panels into the same lazy
-# publication path the panel build uses.
+# publication path the panel build uses — and the serve suites (stream
+# format pins, streamed-vs-batch byte identity, concurrent ingest/query),
+# where the TSan pass polices the serve engine's snapshot publication.
 # The Release flavour finishes with five perf smokes: a small-trace
 # bench_telemetry run that checks panel/legacy checksum identity, a
 # bench_obs run that fails if enabling metrics+tracing costs more than 3%
@@ -71,6 +73,13 @@ run_flavour() {
     echo "== [$name] snapshot + pipeline suites =="
     ctest --test-dir "$dir" --output-on-failure \
         -R 'Snapshot|ContentHash|ArtifactCache|PipelineRunner|RunPlan|PipelineEquivalence|StageTable|TraceIo'
+    echo "== [$name] serve suites =="
+    # Streaming ingest: the event-stream format pins, the engine's
+    # epoch/cutoff accounting, the streamed-vs-batch byte-identity
+    # contract, and the concurrent ingest/query test (the TSan pass is
+    # what polices the snapshot publication and query caches under a
+    # live ingester).
+    ctest --test-dir "$dir" --output-on-failure -R 'Serve'
     # Kernel-tier suites (differential vs scalar oracle, dispatch, property
     # invariants) run twice: once with the dispatch forced to the scalar
     # reference and once letting it pick the best SIMD tier, so an
@@ -94,6 +103,16 @@ require_json() {
 
 run_flavour release -DCMAKE_BUILD_TYPE=Release -DCLOUDLENS_WERROR=ON
 run_flavour tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLOUDLENS_SANITIZE=thread
+
+echo "== [tsan] serve ingest/query smoke =="
+# Small streaming pass under TSan: an ingester thread drains the event
+# stream while the main thread fires queries — polices the serve
+# engine's snapshot publication, kb cache, and metrics under real
+# concurrency. The byte-identity gate still applies.
+"$BUILD_ROOT/tsan/bench/bench_serve" \
+    --scale=0.01 --util-vms=100 --threads=2 \
+    --out="$BUILD_ROOT/BENCH_serve_tsan_smoke.json"
+require_json "$BUILD_ROOT/BENCH_serve_tsan_smoke.json"
 
 echo "== [tsan] out-of-core shard smoke =="
 # Small sharded end-to-end pass under TSan: polices the shard store's
@@ -147,6 +166,17 @@ echo "== [release] pipeline cache smoke =="
 # BENCH_pipeline.json next to the other bench documents.
 ( cd "$BUILD_ROOT" && "$BUILD_ROOT/release/bench/bench_pipeline" --scale=0.05 )
 require_json "$BUILD_ROOT/BENCH_pipeline.json"
+
+echo "== [release] serve streaming smoke =="
+# Streamed ingest + live-query latency: the drained engine's report must
+# byte-match the batch pipeline over the same data, and sustained ingest
+# must clear a (deliberately loose) ticks/sec floor. The full-size
+# numbers in BENCH_serve.json come from
+# `bench_serve --scale=0.1 --util-vms=2000`.
+"$BUILD_ROOT/release/bench/bench_serve" \
+    --scale=0.02 --min-ticks-per-sec=100 \
+    --out="$BUILD_ROOT/BENCH_serve_smoke.json"
+require_json "$BUILD_ROOT/BENCH_serve_smoke.json"
 
 echo "== [release] out-of-core RSS budget smoke =="
 # Sharded streaming analyses at reduced scale: peak RSS must stay under

@@ -32,9 +32,17 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
 
 #include "analysis/context.h"
 #include "analysis/deployment.h"
+#include "common/args.h"
 #include "analysis/figures.h"
 #include "analysis/insights.h"
 #include "analysis/report.h"
@@ -47,6 +55,8 @@
 #include "obs/trace_sink.h"
 #include "pipeline/run_plan.h"
 #include "policies/advisor.h"
+#include "serve/engine.h"
+#include "serve/stream.h"
 #include "stats/kernels/dispatch.h"
 #include "workloads/fit.h"
 #include "workloads/generator.h"
@@ -74,9 +84,14 @@ struct CliArgs {
   /// Out-of-core telemetry: shard count (0 = resident panel) and the
   /// mapped-bytes residency budget. Outputs are bit-identical either way.
   std::uint32_t panel_shards = 0;
-  std::size_t panel_budget_mib = 256;
+  std::uint64_t panel_budget_mib = 256;
   CloudType cloud = CloudType::kPublic;
   bool cloud_given = false;
+  /// serve: optional AF_UNIX listen socket (empty = stdin/stdout only),
+  /// rolling-window width in weeks, and checkpoint snapshot directory.
+  std::string listen_path;
+  std::uint64_t window_weeks = 2;
+  std::string checkpoint_dir;
 
   ParallelConfig parallel() const {
     return ParallelConfig::with_threads(threads);
@@ -118,13 +133,17 @@ constexpr const char* kCommonFlagHelp =
 /// (unknown command/flag, missing value); 0 when help was asked for.
 int usage(int rc = 2) {
   (rc == 0 ? std::cout : std::cerr)
-      << "usage: cloudlens <generate|analyze|insights|figures|fit|advise>\n"
+      << "usage: cloudlens "
+               "<generate|analyze|insights|figures|fit|advise|stream|serve>\n"
                "  generate --out DIR [--scale F] [--seed N] [--util-vms N]\n"
                "  analyze  [--in DIR] [--report out.md]\n"
                "  insights [--in DIR]\n"
                "  figures  --in DIR | --out DIR  (writes fig*.csv there)\n"
                "  fit      [--in DIR]   (estimate generative parameters)\n"
                "  advise   [--in DIR] [--cloud private|public]\n"
+               "  stream   [--in DIR]   (print the trace as an event stream)\n"
+               "  serve    [--window-weeks N] [--listen SOCK]\n"
+               "           (ingest an event stream on stdin; answer queries)\n"
                "analysis commands without --in resolve the generated\n"
                "scenario for (--scale, --seed) through the artifact cache.\n"
                "run `cloudlens <command> --help` for per-command flags.\n"
@@ -180,6 +199,30 @@ int command_help(const std::string& command) {
            "  --in DIR            trace directory (omit for generated mode)\n"
            "  --cloud C           advise one cloud only\n"
            "  --scale F --seed N  generated-mode scenario parameters\n";
+  } else if (command == "stream") {
+    std::cout
+        << "usage: cloudlens stream [--in DIR] [flags]\n"
+           "render the trace as the line-delimited event stream `serve`\n"
+           "ingests (VM lifecycle + 5-minute samples, time-ordered) on\n"
+           "stdout. Progress goes to stderr, so stdout pipes cleanly.\n"
+           "  --in DIR            trace directory (omit for generated mode)\n"
+           "  --scale F --seed N  generated-mode scenario parameters\n";
+  } else if (command == "serve") {
+    std::cout
+        << "usage: cloudlens serve [flags]\n"
+           "ingest an event stream on stdin. Lines of the form\n"
+           "`query,<what>` are answered on stdout mid-stream; everything\n"
+           "else is ingested. Query kinds: report, insights,\n"
+           "shares,private|public, figures, kb, kb-longterm, stats,\n"
+           "checkpoint. Results are byte-identical to the batch pipeline\n"
+           "over the same data, at any --threads setting.\n"
+           "  --window-weeks N    rolling analysis window (default 2;\n"
+           "                      0 = never roll). Evicted weeks fold into\n"
+           "                      the long-term knowledge base\n"
+           "  --listen SOCK      also answer one-query-per-connection\n"
+           "                      requests on an AF_UNIX socket\n"
+           "  --checkpoint-dir D  where `query,checkpoint` writes binary\n"
+           "                      snapshots (disabled when empty)\n";
   } else {
     return usage();
   }
@@ -187,6 +230,9 @@ int command_help(const std::string& command) {
   return 0;
 }
 
+/// Declarative flag table over common/args.h. Every command shares one
+/// table: per-command validation (required flags, flags that only make
+/// sense for one command) stays in the cmd_* functions.
 bool parse(int argc, char** argv, CliArgs& args) {
   if (argc < 2) return false;
   args.command = argv[1];
@@ -195,97 +241,47 @@ bool parse(int argc, char** argv, CliArgs& args) {
     args.command.clear();
     return true;
   }
-  for (int i = 2; i < argc; ++i) {
-    std::string a = argv[i];
-    // Accept both "--flag VALUE" and "--flag=VALUE".
-    std::string inline_value;
-    bool has_inline = false;
-    if (a.rfind("--", 0) == 0) {
-      if (const auto eq = a.find('='); eq != std::string::npos) {
-        inline_value = a.substr(eq + 1);
-        a.resize(eq);
-        has_inline = true;
-      }
-    }
-    auto next = [&]() -> const char* {
-      if (has_inline) return inline_value.c_str();
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (a == "--help" || a == "-h") {
-      args.help = true;
-    } else if (a == "--out" || a == "--in") {
-      const char* v = next();
-      if (!v) return false;
-      args.dir = v;
-      args.in_given = (a == "--in");
-    } else if (a == "--scale") {
-      const char* v = next();
-      if (!v) return false;
-      args.scale = std::atof(v);
-    } else if (a == "--seed") {
-      const char* v = next();
-      if (!v) return false;
-      args.seed = std::strtoull(v, nullptr, 10);
-    } else if (a == "--util-vms") {
-      const char* v = next();
-      if (!v) return false;
-      args.util_vms = std::strtoull(v, nullptr, 10);
-    } else if (a == "--threads") {
-      const char* v = next();
-      if (!v) return false;
-      args.threads = std::strtoull(v, nullptr, 10);
-    } else if (a == "--panel-shards") {
-      const char* v = next();
-      if (!v) return false;
-      args.panel_shards =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
-    } else if (a == "--panel-budget-mib") {
-      const char* v = next();
-      if (!v) return false;
-      args.panel_budget_mib = std::strtoull(v, nullptr, 10);
-    } else if (a == "--report") {
-      const char* v = next();
-      if (!v) return false;
-      args.report_path = v;
-    } else if (a == "--metrics-out") {
-      const char* v = next();
-      if (!v) return false;
-      args.metrics_out = v;
-    } else if (a == "--trace-out") {
-      const char* v = next();
-      if (!v) return false;
-      args.trace_out = v;
-    } else if (a == "--cache-dir") {
-      const char* v = next();
-      if (!v) return false;
-      args.cache_dir = v;
-    } else if (a == "--no-cache") {
-      args.no_cache = true;
-    } else if (a == "--kernels") {
-      const char* v = next();
-      if (!v) return false;
-      if (!stats::kernels::set_tier_from_string(v)) {
-        std::cerr << "invalid --kernels " << v
-                  << " (want scalar|sse2|avx2|auto)\n";
-        return false;
-      }
-    } else if (a == "--kernel-mode") {
-      const char* v = next();
-      if (!v) return false;
-      if (!stats::kernels::set_mode_from_string(v)) {
-        std::cerr << "invalid --kernel-mode " << v << " (want strict|fast)\n";
-        return false;
-      }
-    } else if (a == "--cloud") {
-      const char* v = next();
-      if (!v) return false;
-      args.cloud = std::strcmp(v, "private") == 0 ? CloudType::kPrivate
-                                                  : CloudType::kPublic;
-      args.cloud_given = true;
-    } else {
-      std::cerr << "unknown flag: " << a << "\n";
-      return false;
-    }
+  bool out_given = false;
+  args::FlagSet flags;
+  flags.flag("--help", &args.help)
+      .flag("-h", &args.help)
+      .flag("--no-cache", &args.no_cache)
+      .value("--out", &args.dir, &out_given)
+      .value("--in", &args.dir, &args.in_given)
+      .value("--scale", &args.scale)
+      .value("--seed", &args.seed)
+      .value("--util-vms", &args.util_vms)
+      .value("--threads", &args.threads)
+      .value("--panel-shards", &args.panel_shards)
+      .value("--panel-budget-mib", &args.panel_budget_mib)
+      .value("--report", &args.report_path)
+      .value("--metrics-out", &args.metrics_out)
+      .value("--trace-out", &args.trace_out)
+      .value("--cache-dir", &args.cache_dir)
+      .value("--listen", &args.listen_path)
+      .value("--window-weeks", &args.window_weeks)
+      .value("--checkpoint-dir", &args.checkpoint_dir)
+      .value("--kernels", stats::kernels::set_tier_from_string,
+             "want scalar|sse2|avx2|auto")
+      .value("--kernel-mode", stats::kernels::set_mode_from_string,
+             "want strict|fast")
+      .value(
+          "--cloud",
+          [&args](const std::string& v) {
+            if (v != "private" && v != "public") return false;
+            args.cloud =
+                v == "private" ? CloudType::kPrivate : CloudType::kPublic;
+            args.cloud_given = true;
+            return true;
+          },
+          "want private|public");
+  if (!flags.parse(argc, argv, /*start=*/2)) {
+    std::cerr << flags.error() << "\n";
+    return false;
+  }
+  if (out_given && args.in_given) {
+    std::cerr << "--in and --out are mutually exclusive\n";
+    return false;
   }
   return true;
 }
@@ -516,6 +512,110 @@ int cmd_advise(const CliArgs& args) {
   return 0;
 }
 
+/// Print the trace as the serve event stream on stdout. Stage reports and
+/// progress go to stderr so `cloudlens stream | cloudlens serve` carries
+/// only stream bytes.
+int cmd_stream(const CliArgs& args) {
+  if (!args.metrics_out.empty() || !args.trace_out.empty()) {
+    std::cerr << "stream: --metrics-out/--trace-out would interleave with "
+                 "the stream; not supported\n";
+    return 2;
+  }
+  if (!args.dir.empty() && !args.in_given) {
+    std::cerr << "stream writes to stdout; --out makes no sense here\n";
+    return 2;
+  }
+  const auto run = pipeline::run_trace_plan(make_plan(args));
+  std::cerr << "streaming " << run.trace->trace->vms().size() << " VMs over "
+            << run.trace->trace->telemetry_grid().count << " ticks...\n";
+  serve::write_event_stream(*run.trace->topology, *run.trace->trace,
+                            std::cout);
+  return 0;
+}
+
+/// Ingest an event stream on stdin; `query,<what>` lines are answered
+/// inline on stdout. With --listen, an AF_UNIX socket answers one query
+/// per connection concurrently with ingestion.
+int cmd_serve(const CliArgs& args) {
+  serve::ServeOptions options;
+  options.window_weeks = args.window_weeks;
+  options.parallel = args.parallel();
+  options.checkpoint_dir = args.checkpoint_dir;
+  serve::ServeEngine engine(options);
+
+#ifdef __unix__
+  int listen_fd = -1;
+  std::thread listener;
+  if (!args.listen_path.empty()) {
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    CL_CHECK_MSG(listen_fd >= 0, "cannot create socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    CL_CHECK_MSG(args.listen_path.size() < sizeof(addr.sun_path),
+                 "--listen path too long: " << args.listen_path);
+    std::strncpy(addr.sun_path, args.listen_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(args.listen_path.c_str());
+    CL_CHECK_MSG(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "cannot bind " << args.listen_path);
+    CL_CHECK_MSG(::listen(listen_fd, 8) == 0,
+                 "cannot listen on " << args.listen_path);
+    std::cerr << "listening on " << args.listen_path << "\n";
+    listener = std::thread([&engine, listen_fd] {
+      for (;;) {
+        const int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0) return;  // listen socket closed: shutting down
+        std::string request;
+        char ch;
+        while (::read(conn, &ch, 1) == 1 && ch != '\n') request += ch;
+        if (request.rfind("query,", 0) == 0) request = request.substr(6);
+        std::string response;
+        try {
+          response = engine.query(request);
+        } catch (const std::exception& e) {
+          response = std::string("error: ") + e.what() + "\n";
+        }
+        const char* p = response.data();
+        std::size_t left = response.size();
+        while (left > 0) {
+          const ssize_t wrote = ::write(conn, p, left);
+          if (wrote <= 0) break;
+          p += wrote;
+          left -= static_cast<std::size_t>(wrote);
+        }
+        ::close(conn);
+      }
+    });
+  }
+#else
+  if (!args.listen_path.empty()) {
+    std::cerr << "--listen requires AF_UNIX sockets (unsupported here)\n";
+    return 2;
+  }
+#endif
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.rfind("query,", 0) == 0) {
+      std::cout << engine.query(line.substr(6)) << std::flush;
+    } else {
+      engine.ingest_line(line);
+    }
+  }
+  std::cerr << "serve: " << engine.query("stats");
+
+#ifdef __unix__
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+    listener.join();
+    ::unlink(args.listen_path.c_str());
+  }
+#endif
+  return 0;
+}
+
 /// Flush the observability side channels requested on the command line:
 /// JSON snapshots to the given paths plus an end-of-run summary table on
 /// stdout (non-zero counters, then per-phase latency from the histograms).
@@ -568,6 +668,8 @@ int run_command(const CliArgs& args) {
   if (args.command == "figures") return cmd_figures(args);
   if (args.command == "fit") return cmd_fit(args);
   if (args.command == "advise") return cmd_advise(args);
+  if (args.command == "stream") return cmd_stream(args);
+  if (args.command == "serve") return cmd_serve(args);
   std::cerr << "unknown command: " << args.command << "\n";
   return -1;
 }
