@@ -37,6 +37,7 @@
 #include "analysis/report.h"
 #include "bench_common.h"
 #include "cloudsim/trace_io.h"
+#include "ingest/ingest.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/stream.h"

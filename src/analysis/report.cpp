@@ -1,5 +1,6 @@
 #include "analysis/report.h"
 
+#include <optional>
 #include <ostream>
 
 #include "analysis/context.h"
@@ -96,31 +97,39 @@ InsightVerdicts write_characterization_report(const AnalysisContext& ctx,
          v.public_mix.hourly_peak);
   out << "\n";
   {
-    const auto priv = utilization_distribution(ctx, CloudType::kPrivate,
-                                               options.insights.classify_max_vms);
-    const auto pub = utilization_distribution(ctx, CloudType::kPublic,
-                                              options.insights.classify_max_vms);
+    // Real single-cloud traces (an Azure Public Dataset import has no
+    // private side) must not trip utilization_distribution's
+    // empty-population check; those cells render as "-" instead.
+    auto distribution_if_covered = [&](CloudType cloud)
+        -> std::optional<UtilizationDistribution> {
+      const TimeGrid& grid = trace.telemetry_grid();
+      for (const auto& vm : trace.vms()) {
+        if (vm.cloud == cloud && vm.covers(grid) && vm.utilization) {
+          return utilization_distribution(ctx, cloud,
+                                          options.insights.classify_max_vms);
+        }
+      }
+      return std::nullopt;
+    };
+    const auto priv = distribution_if_covered(CloudType::kPrivate);
+    const auto pub = distribution_if_covered(CloudType::kPublic);
+    auto median_p75 = [](const std::optional<UtilizationDistribution>& d) {
+      return d ? format_double(stats::quantile(d->weekly.p75, 0.5), 2) : "-";
+    };
+    auto p50_swing = [](const std::optional<UtilizationDistribution>& d) {
+      if (!d) return std::string("-");
+      double lo = 1e9, hi = -1e9;
+      for (double x : d->daily_p50) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      return format_double(hi - lo, 2);
+    };
     md_header(out);
-    md_row(out, "median of weekly p75 utilization",
-           stats::quantile(priv.weekly.p75, 0.5),
-           stats::quantile(pub.weekly.p75, 0.5));
-    md_row(out, "daily p50 swing (work-hours signal)",
-           [&] {
-             double lo = 1e9, hi = -1e9;
-             for (double x : priv.daily_p50) {
-               lo = std::min(lo, x);
-               hi = std::max(hi, x);
-             }
-             return hi - lo;
-           }(),
-           [&] {
-             double lo = 1e9, hi = -1e9;
-             for (double x : pub.daily_p50) {
-               lo = std::min(lo, x);
-               hi = std::max(hi, x);
-             }
-             return hi - lo;
-           }());
+    out << "| median of weekly p75 utilization | " << median_p75(priv)
+        << " | " << median_p75(pub) << " |\n";
+    out << "| daily p50 swing (work-hours signal) | " << p50_swing(priv)
+        << " | " << p50_swing(pub) << " |\n";
     out << "\n";
   }
 

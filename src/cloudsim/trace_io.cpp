@@ -3,10 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <iostream>
-#include <istream>
 #include <ostream>
-#include <sstream>
-#include <unordered_map>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -14,16 +11,6 @@
 
 namespace cloudlens {
 namespace {
-
-std::vector<std::string> split(const std::string& line) {
-  std::vector<std::string> out;
-  std::string field;
-  std::istringstream is(line);
-  while (std::getline(is, field, ',')) out.push_back(field);
-  // A trailing comma means an empty last field.
-  if (!line.empty() && line.back() == ',') out.emplace_back();
-  return out;
-}
 
 std::string pattern_label(const UtilizationModel* model) {
   return model != nullptr ? std::string(model->kind()) : "unknown";
@@ -161,166 +148,6 @@ void export_utilization(const TraceStore& trace, std::ostream& out,
           << '\n';
     }
   }
-}
-
-ImportedTrace import_trace(std::istream& topology_csv, std::istream& vm_csv,
-                           std::istream* utilization_csv, TimeGrid grid) {
-  ImportedTrace result;
-  result.topology = std::make_unique<Topology>();
-  Topology& topo = *result.topology;
-
-  // --- topology ----------------------------------------------------------
-  std::string line;
-  CL_CHECK_MSG(std::getline(topology_csv, line), "empty topology CSV");
-  CL_CHECK_MSG(line.rfind("node,", 0) == 0, "unexpected topology header");
-  while (std::getline(topology_csv, line)) {
-    if (line.empty()) continue;
-    const auto f = split(line);
-    CL_CHECK_MSG(f.size() == 10, "malformed topology row: " << line);
-    const auto region_id = std::stoul(f[4]);
-    const auto dc_id = std::stoul(f[3]);
-    const auto cluster_id = std::stoul(f[2]);
-    const auto rack_id = std::stoul(f[1]);
-    const auto node_id = std::stoul(f[0]);
-    const CloudType cloud =
-        f[7] == "private" ? CloudType::kPrivate : CloudType::kPublic;
-
-    // Entities must appear in creation (id) order; create on first sight.
-    if (region_id == topo.regions().size()) {
-      topo.add_region(f[5], std::stod(f[6]));
-    }
-    CL_CHECK_MSG(region_id < topo.regions().size(),
-                 "region ids out of order in topology CSV");
-    if (dc_id == topo.datacenters().size()) {
-      topo.add_datacenter(RegionId(static_cast<RegionId::underlying>(region_id)));
-    }
-    CL_CHECK(dc_id < topo.datacenters().size());
-    if (cluster_id == topo.clusters().size()) {
-      NodeSku sku;
-      sku.cores = std::stod(f[8]);
-      sku.memory_gb = std::stod(f[9]);
-      topo.add_cluster(
-          DatacenterId(static_cast<DatacenterId::underlying>(dc_id)), cloud,
-          sku);
-    }
-    CL_CHECK(cluster_id < topo.clusters().size());
-    if (rack_id == topo.racks().size()) {
-      topo.add_rack(ClusterId(static_cast<ClusterId::underlying>(cluster_id)));
-    }
-    CL_CHECK(rack_id < topo.racks().size());
-    const NodeId created =
-        topo.add_node(RackId(static_cast<RackId::underlying>(rack_id)));
-    CL_CHECK_MSG(created.value() == node_id,
-                 "node ids must be dense and in order");
-  }
-
-  result.trace = std::make_unique<TraceStore>(result.topology.get(), grid);
-  TraceStore& trace = *result.trace;
-
-  // --- vm table: first pass gathers the ownership universe ---------------
-  CL_CHECK_MSG(std::getline(vm_csv, line), "empty vmtable CSV");
-  CL_CHECK_MSG(line.rfind("vm,", 0) == 0, "unexpected vmtable header");
-  struct VmRow {
-    std::vector<std::string> fields;
-  };
-  std::vector<VmRow> rows;
-  std::size_t max_sub = 0;
-  std::size_t max_svc = 0;
-  bool any_svc = false;
-  while (std::getline(vm_csv, line)) {
-    if (line.empty()) continue;
-    VmRow row{split(line)};
-    CL_CHECK_MSG(row.fields.size() == 14, "malformed vmtable row: " << line);
-    max_sub = std::max(max_sub, std::stoul(row.fields[1]) + 1);
-    if (!row.fields[2].empty()) {
-      any_svc = true;
-      max_svc = std::max(max_svc, std::stoul(row.fields[2]) + 1);
-    }
-    rows.push_back(std::move(row));
-  }
-
-  // Dense id spaces: create placeholder services/subscriptions, then refine
-  // from the VM rows that reference them.
-  std::vector<ServiceInfo> services(any_svc ? max_svc : 0);
-  std::vector<SubscriptionInfo> subscriptions(max_sub);
-  for (const auto& row : rows) {
-    const auto& f = row.fields;
-    const auto sub = std::stoul(f[1]);
-    const CloudType cloud =
-        f[3] == "private" ? CloudType::kPrivate : CloudType::kPublic;
-    const PartyType party = f[4] == "first-party" ? PartyType::kFirstParty
-                                                  : PartyType::kThirdParty;
-    subscriptions[sub].cloud = cloud;
-    subscriptions[sub].party = party;
-    if (!f[2].empty()) {
-      const auto svc = std::stoul(f[2]);
-      subscriptions[sub].service =
-          ServiceId(static_cast<ServiceId::underlying>(svc));
-      services[svc].cloud = cloud;
-      if (services[svc].name.empty())
-        services[svc].name = "svc-" + f[2];
-    }
-  }
-  for (auto& svc : services) {
-    if (svc.name.empty()) svc.name = "svc-unreferenced";
-    trace.add_service(svc);
-  }
-  for (const auto& sub : subscriptions) trace.add_subscription(sub);
-
-  // --- utilization (optional) ---------------------------------------------
-  std::unordered_map<std::uint32_t, std::shared_ptr<SampledUtilization>>
-      samples;
-  if (utilization_csv != nullptr) {
-    CL_CHECK_MSG(std::getline(*utilization_csv, line),
-                 "empty utilization CSV");
-    CL_CHECK_MSG(line.rfind("vm,", 0) == 0, "unexpected utilization header");
-    std::unordered_map<std::uint32_t, std::vector<double>> buffers;
-    while (std::getline(*utilization_csv, line)) {
-      if (line.empty()) continue;
-      const auto f = split(line);
-      CL_CHECK_MSG(f.size() == 3, "malformed utilization row: " << line);
-      const auto vm = static_cast<std::uint32_t>(std::stoul(f[0]));
-      const SimTime t = std::stoll(f[1]);
-      if (!grid.contains(t)) continue;
-      auto& buf = buffers[vm];
-      if (buf.empty()) buf.assign(grid.count, 0.0);
-      buf[grid.index_of(t)] = std::stod(f[2]);
-    }
-    for (auto& [vm, buf] : buffers) {
-      samples.emplace(
-          vm, std::make_shared<SampledUtilization>(grid, std::move(buf)));
-    }
-  }
-
-  // --- materialize VM records (must be in id order) -----------------------
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& f = rows[i].fields;
-    const auto vm_id = std::stoul(f[0]);
-    CL_CHECK_MSG(vm_id == i, "vm ids must be dense and in order");
-    VmRecord rec;
-    rec.subscription = SubscriptionId(
-        static_cast<SubscriptionId::underlying>(std::stoul(f[1])));
-    if (!f[2].empty())
-      rec.service =
-          ServiceId(static_cast<ServiceId::underlying>(std::stoul(f[2])));
-    rec.cloud = f[3] == "private" ? CloudType::kPrivate : CloudType::kPublic;
-    rec.party = f[4] == "first-party" ? PartyType::kFirstParty
-                                      : PartyType::kThirdParty;
-    rec.region =
-        RegionId(static_cast<RegionId::underlying>(std::stoul(f[5])));
-    rec.cluster =
-        ClusterId(static_cast<ClusterId::underlying>(std::stoul(f[6])));
-    rec.rack = RackId(static_cast<RackId::underlying>(std::stoul(f[7])));
-    rec.node = NodeId(static_cast<NodeId::underlying>(std::stoul(f[8])));
-    rec.cores = std::stod(f[9]);
-    rec.memory_gb = std::stod(f[10]);
-    rec.created = std::stoll(f[11]);
-    rec.deleted = f[12].empty() ? kNoEnd : std::stoll(f[12]);
-    const auto it = samples.find(static_cast<std::uint32_t>(vm_id));
-    if (it != samples.end()) rec.utilization = it->second;
-    trace.add_vm(std::move(rec));
-  }
-  return result;
 }
 
 }  // namespace cloudlens

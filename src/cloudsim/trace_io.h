@@ -1,14 +1,14 @@
-// Trace serialization.
+// Trace serialization — the export half.
 //
 // Exports a simulated trace in an Azure-Public-Dataset-flavoured CSV schema
 // (a vmtable plus long-format 5-minute utilization readings, and a node
-// table for the topology) and imports it back. This is the bridge to real
-// traces: anything shaped like these CSVs — including preprocessed public
-// Azure traces — can be loaded and pushed through the cloudlens analyses.
+// table for the topology). The import half lives in src/ingest: the
+// `cloudlens` backend there reads this schema back (ingest/ingest.h
+// declares the stream-level `import_trace`), and sibling backends read the
+// actual Azure Public Dataset and Google cluster-trace formats.
 #pragma once
 
 #include <iosfwd>
-#include <memory>
 
 #include "cloudsim/trace.h"
 
@@ -64,17 +64,5 @@ void export_vm_table(const TraceStore& trace, std::ostream& out);
 /// exported VM's alive ∩ telemetry window at `utilization_step`.
 void export_utilization(const TraceStore& trace, std::ostream& out,
                         const TraceExportOptions& options = {});
-
-struct ImportedTrace {
-  std::unique_ptr<Topology> topology;
-  std::unique_ptr<TraceStore> trace;
-};
-
-/// Rebuild a topology + trace from the three CSV streams. Pass nullptr for
-/// `utilization_csv` to import metadata only (VMs then carry no
-/// utilization model). Throws CheckError on malformed input.
-ImportedTrace import_trace(std::istream& topology_csv, std::istream& vm_csv,
-                           std::istream* utilization_csv,
-                           TimeGrid grid = week_telemetry_grid());
 
 }  // namespace cloudlens

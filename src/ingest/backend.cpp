@@ -1,0 +1,56 @@
+#include "ingest/backend.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace cloudlens::ingest {
+
+std::uint64_t& IngestReport::fidelity_counter(std::string_view name) {
+  for (auto& [key, value] : fidelity) {
+    if (key == name) return value;
+  }
+  fidelity.emplace_back(std::string(name), 0);
+  return fidelity.back().second;
+}
+
+std::uint64_t IngestReport::fidelity_count(std::string_view name) const {
+  for (const auto& [key, value] : fidelity) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+const IngestBackend* find_backend(std::string_view name) {
+  if (name.empty() || name == "cloudlens") return &cloudlens_backend();
+  if (name == "azure") return &azure_backend();
+  if (name == "google") return &google_backend();
+  return nullptr;
+}
+
+std::vector<std::string_view> backend_names() {
+  return {cloudlens_backend().name(), azure_backend().name(),
+          google_backend().name()};
+}
+
+std::string render_ingest_report(const IngestReport& report) {
+  std::ostringstream os;
+  TextTable totals({"ingest", "count"});
+  totals.row().add("rows decoded").add(report.rows);
+  totals.row().add("VMs").add(report.vms);
+  totals.row().add("subscriptions").add(report.subscriptions);
+  totals.row().add("utilization samples").add(report.samples);
+  totals.row().add("rows skipped").add(report.skipped_rows);
+  totals.row().add("invariant violations").add(report.violations);
+  os << "backend: " << report.backend << "\n" << totals;
+  if (!report.fidelity.empty()) {
+    TextTable fid({"fidelity counter", "count"});
+    for (const auto& [name, value] : report.fidelity) {
+      fid.row().add(name).add(value);
+    }
+    os << "\n" << fid;
+  }
+  return os.str();
+}
+
+}  // namespace cloudlens::ingest

@@ -1,0 +1,199 @@
+#include "ingest/csv.h"
+
+#include <charconv>
+#include <exception>
+#include <sstream>
+#include <system_error>
+
+#include "obs/metrics.h"
+
+namespace cloudlens::ingest {
+
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+void split_fields(std::string_view line, std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool read_csv_line(std::istream& in, std::string& out) {
+  if (!std::getline(in, out)) return false;
+  if (!out.empty() && out.back() == '\r') out.pop_back();
+  return true;
+}
+
+void CsvRow::expect_fields(std::size_t n) const {
+  if (fields_.size() == n) return;
+  std::ostringstream os;
+  os << *file_ << ":" << line_ << ": expected " << n << " fields, got "
+     << fields_.size();
+  throw CheckError(os.str());
+}
+
+std::string_view CsvRow::field(std::size_t col) const {
+  if (col >= fields_.size()) fail(col, "a field");
+  return fields_[col];
+}
+
+void CsvRow::fail(std::size_t col, std::string_view want) const {
+  std::ostringstream os;
+  os << *file_ << ":" << line_ << ": column " << (col + 1) << ": expected "
+     << want << ", got '"
+     << (col < fields_.size() ? fields_[col] : std::string_view()) << "'";
+  throw CheckError(os.str());
+}
+
+namespace {
+
+/// from_chars wrapper that demands the whole field be consumed: rejects
+/// empty fields, leading whitespace/'+', trailing garbage, and range
+/// overflow — everything std::stoul/std::stod silently tolerated or
+/// turned into an uncaught std:: exception.
+template <typename T>
+bool parse_full(std::string_view text, T& value) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const std::from_chars_result r = std::from_chars(first, last, value);
+  return r.ec == std::errc() && r.ptr == last;
+}
+
+}  // namespace
+
+std::uint64_t CsvRow::u64(std::size_t col) const {
+  std::uint64_t value = 0;
+  if (!parse_full(field(col), value)) fail(col, "an unsigned integer");
+  return value;
+}
+
+std::int64_t CsvRow::i64(std::size_t col) const {
+  std::int64_t value = 0;
+  if (!parse_full(field(col), value)) fail(col, "an integer");
+  return value;
+}
+
+double CsvRow::f64(std::size_t col) const {
+  double value = 0;
+  if (!parse_full(field(col), value)) fail(col, "a number");
+  return value;
+}
+
+namespace detail {
+namespace {
+
+struct ChunkError {
+  std::exception_ptr error;
+  std::uint64_t first_line = 0;
+};
+
+}  // namespace
+
+void decode_stream(
+    std::istream& in, const CsvDecodeOptions& options,
+    const std::function<void(std::size_t chunks)>& begin_block,
+    const std::function<void(std::size_t chunk,
+                             std::span<const NumberedLine> lines)>& parse_chunk,
+    const std::function<void(std::size_t chunk)>& consume_chunk) {
+  CL_CHECK(options.block_bytes > 0);
+  CL_CHECK(options.chunk_lines > 0);
+  obs::MetricsRegistry& metrics = options.metrics != nullptr
+                                      ? *options.metrics
+                                      : obs::MetricsRegistry::global();
+
+  std::vector<char> block(options.block_bytes);
+  std::string pending;  // carries the partial tail line across blocks
+  std::vector<NumberedLine> lines;
+  std::uint64_t next_line = options.first_line;
+  std::uint64_t total_rows = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_chunks = 0;
+
+  for (;;) {
+    in.read(block.data(), static_cast<std::streamsize>(block.size()));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    const bool last = got < block.size();
+    pending.append(block.data(), got);
+
+    // Everything up to the last newline is complete; the tail carries
+    // over (or, at EOF, counts as a final unterminated line).
+    std::string_view region;
+    const std::size_t cut = pending.rfind('\n');
+    if (last) {
+      region = pending;
+    } else if (cut != std::string::npos) {
+      region = std::string_view(pending).substr(0, cut + 1);
+    } else {
+      continue;  // no complete line yet — keep reading
+    }
+
+    lines.clear();
+    std::string_view rest = region;
+    while (!rest.empty()) {
+      const std::size_t nl = rest.find('\n');
+      std::string_view raw = nl == std::string_view::npos
+                                 ? rest
+                                 : rest.substr(0, nl);
+      rest = nl == std::string_view::npos ? std::string_view()
+                                          : rest.substr(nl + 1);
+      const std::string_view text = strip_cr(raw);
+      const std::uint64_t number = next_line++;
+      if (!text.empty()) lines.push_back({text, number});
+    }
+
+    if (!lines.empty()) {
+      const std::size_t chunks =
+          (lines.size() + options.chunk_lines - 1) / options.chunk_lines;
+      begin_block(chunks);
+
+      std::vector<ChunkError> errors(chunks);
+      parallel_for(
+          chunks,
+          [&](std::size_t chunk) {
+            const std::size_t begin = chunk * options.chunk_lines;
+            const std::size_t end =
+                std::min(lines.size(), begin + options.chunk_lines);
+            try {
+              parse_chunk(chunk, std::span<const NumberedLine>(
+                                     lines.data() + begin, end - begin));
+            } catch (...) {
+              errors[chunk] = {std::current_exception(),
+                               lines[begin].number};
+            }
+          },
+          options.parallel);
+      // Deterministic error selection: the lowest chunk (lowest line
+      // number) wins, whatever order the workers actually failed in.
+      for (const ChunkError& e : errors) {
+        if (e.error) std::rethrow_exception(e.error);
+      }
+
+      for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        consume_chunk(chunk);
+      }
+      total_rows += lines.size();
+      total_chunks += chunks;
+    }
+    total_bytes += region.size();
+    pending.erase(0, region.size());
+    if (last) break;
+  }
+
+  metrics.add(obs::Counter::kIngestRows, total_rows);
+  metrics.add(obs::Counter::kIngestChunks, total_chunks);
+  metrics.add(obs::Counter::kIngestBytes, total_bytes);
+}
+
+}  // namespace detail
+}  // namespace cloudlens::ingest

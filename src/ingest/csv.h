@@ -1,0 +1,159 @@
+// Hardened, chunked, parallel CSV decoding — the hot path every ingest
+// backend shares.
+//
+// Contract (same discipline as common/parallel and the panel/shard work):
+//
+//   * Deterministic at any thread count. The file is read in fixed-size
+//     superblocks, each superblock is split on line boundaries into a
+//     fixed chunk grid (a pure function of the line count), chunks are
+//     parsed in parallel, and the parsed rows are consumed serially in
+//     file order. Bit-identical output whether --threads is 1 or 64.
+//   * Bounded memory. Only one superblock of text (plus its parsed rows)
+//     is resident at a time; a million-VM trace never holds the full
+//     file in memory.
+//   * Strict field parsing. Numeric fields go through std::from_chars
+//     and must consume the whole field: "3x", "", and out-of-range
+//     values are errors, not silent truncations. Errors are CheckError
+//     (the repo-wide contract) and name file, line, and 1-based column.
+//   * CRLF-safe. A trailing '\r' is stripped in exactly one place
+//     (strip_cr), so LF and CRLF files decode identically.
+//   * Deterministic errors. When several chunks of a superblock fail in
+//     parallel, the error with the smallest line number is the one
+//     rethrown — independent of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace cloudlens::obs {
+class MetricsRegistry;
+}
+
+namespace cloudlens::ingest {
+
+struct CsvDecodeOptions {
+  /// Display name used in error messages ("vmtable.csv:17: column 3: ...").
+  std::string file = "<csv>";
+  ParallelConfig parallel;
+  /// Superblock size: how much raw text is resident at once.
+  std::size_t block_bytes = std::size_t{8} << 20;
+  /// Lines per parallel parse chunk (the chunk grid is a pure function of
+  /// the superblock's line count, never of the thread count).
+  std::size_t chunk_lines = 2048;
+  /// Line number of the first line handed to decode (headers consumed by
+  /// the caller shift this).
+  std::uint64_t first_line = 1;
+  obs::MetricsRegistry* metrics = nullptr;  ///< null = process-global
+};
+
+/// Strips one trailing '\r' — the single place CRLF endings are handled.
+std::string_view strip_cr(std::string_view line);
+
+/// Splits `line` at every comma into `out` (cleared first). N commas
+/// yield N+1 fields; a trailing comma yields an empty last field.
+void split_fields(std::string_view line, std::vector<std::string_view>& out);
+
+/// One split CSV row plus its provenance. Field accessors either return
+/// the exact text or throw a CheckError naming file, line, and column —
+/// nothing in this class ever lets std::invalid_argument/out_of_range
+/// escape from a malformed field.
+class CsvRow {
+ public:
+  CsvRow(std::span<const std::string_view> fields, const std::string* file,
+         std::uint64_t line)
+      : fields_(fields), file_(file), line_(line) {}
+
+  std::size_t size() const { return fields_.size(); }
+  const std::string& file() const { return *file_; }
+  std::uint64_t line() const { return line_; }
+
+  /// CheckError unless the row has exactly `n` fields (shifted-column
+  /// detection: a row with the wrong shape never half-parses).
+  void expect_fields(std::size_t n) const;
+
+  std::string_view field(std::size_t col) const;
+
+  /// Strict full-field numeric parsers: std::from_chars must consume the
+  /// entire field. Empty fields, trailing garbage ("3x"), signs where
+  /// they make no sense, and out-of-range values all throw.
+  std::uint64_t u64(std::size_t col) const;
+  std::int64_t i64(std::size_t col) const;
+  double f64(std::size_t col) const;
+
+  /// Throws the standard-format field error for `col`.
+  [[noreturn]] void fail(std::size_t col, std::string_view want) const;
+
+ private:
+  std::span<const std::string_view> fields_;
+  const std::string* file_;
+  std::uint64_t line_;
+};
+
+namespace detail {
+
+struct NumberedLine {
+  std::string_view text;  ///< '\r'/'\n'-free
+  std::uint64_t number;   ///< 1-based physical line number
+};
+
+/// The type-erased decode engine behind decode_csv<Row>. Reads
+/// superblocks, builds the chunk grid, runs `parse_chunk` over the
+/// chunks via parallel_for (capturing per-chunk exceptions and
+/// rethrowing the lowest-line one), then `consume_chunk` serially in
+/// chunk order. `begin_block(chunks)` runs before each superblock so the
+/// wrapper can size its row storage.
+void decode_stream(
+    std::istream& in, const CsvDecodeOptions& options,
+    const std::function<void(std::size_t chunks)>& begin_block,
+    const std::function<void(std::size_t chunk,
+                             std::span<const NumberedLine> lines)>& parse_chunk,
+    const std::function<void(std::size_t chunk)>& consume_chunk);
+
+}  // namespace detail
+
+/// Decode a CSV stream: `parse(row) -> Row` runs per line, in parallel
+/// across chunks; `consume(Row&&)` runs serially in exact file order.
+/// Blank lines are skipped (they still advance line numbers). `parse`
+/// must be a pure function of its row — that is what makes the decode
+/// bit-identical at any thread count.
+template <typename Row, typename ParseFn, typename ConsumeFn>
+void decode_csv(std::istream& in, const CsvDecodeOptions& options,
+                ParseFn&& parse, ConsumeFn&& consume) {
+  std::vector<std::vector<Row>> rows;
+  std::vector<std::vector<std::string_view>> scratch;
+  detail::decode_stream(
+      in, options,
+      [&](std::size_t chunks) {
+        if (rows.size() < chunks) {
+          rows.resize(chunks);
+          scratch.resize(chunks);
+        }
+      },
+      [&](std::size_t chunk, std::span<const detail::NumberedLine> lines) {
+        rows[chunk].clear();
+        rows[chunk].reserve(lines.size());
+        for (const auto& line : lines) {
+          split_fields(line.text, scratch[chunk]);
+          rows[chunk].push_back(
+              parse(CsvRow(scratch[chunk], &options.file, line.number)));
+        }
+      },
+      [&](std::size_t chunk) {
+        for (Row& row : rows[chunk]) consume(std::move(row));
+        rows[chunk].clear();
+      });
+}
+
+/// Reads one physical line (header consumption), stripping the
+/// newline and any trailing '\r'. Returns false at EOF.
+bool read_csv_line(std::istream& in, std::string& out);
+
+}  // namespace cloudlens::ingest

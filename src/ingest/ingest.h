@@ -1,0 +1,41 @@
+// Convenience entry points over the backend layer.
+//
+// `import_trace` is the historical stream-based cloudlens-schema import
+// that used to live in cloudsim/trace_io.h; it now rides on the hardened
+// parallel decode path in ingest/csv.h (serial by default — callers that
+// want parallel decode go through import_cloudlens_streams or a backend).
+#pragma once
+
+#include <iosfwd>
+
+#include "ingest/backend.h"
+
+namespace cloudlens::ingest {
+
+/// Stream-level cloudlens-schema import: the cloudlens backend's core,
+/// exposed for callers that hold streams rather than a directory (the
+/// serve engine, tests). Pass nullptr for `utilization_csv` to import
+/// metadata only (those VMs carry no utilization model).
+IngestResult import_cloudlens_streams(std::istream& topology_csv,
+                                      std::istream& vm_csv,
+                                      std::istream* utilization_csv,
+                                      const IngestOptions& options = {});
+
+}  // namespace cloudlens::ingest
+
+namespace cloudlens {
+
+struct ImportedTrace {
+  std::unique_ptr<Topology> topology;
+  std::unique_ptr<TraceStore> trace;
+};
+
+/// Rebuild a topology + trace from the three cloudlens-schema CSV
+/// streams. Throws CheckError on malformed input (errors name file,
+/// line, and column). Decode is serial here — deterministically
+/// identical to the parallel path the backends use.
+ImportedTrace import_trace(std::istream& topology_csv, std::istream& vm_csv,
+                           std::istream* utilization_csv,
+                           TimeGrid grid = week_telemetry_grid());
+
+}  // namespace cloudlens

@@ -108,6 +108,17 @@ namespace cloudlens::obs {
   X(kKernelTierFallbacks, "kernels.tier_fallbacks")            \
   /* cloudsim/trace_io: CSV bridge */                          \
   X(kTraceIoUtilizationVmsDropped, "trace_io.utilization_vms_dropped") \
+  /* ingest: real-trace backends + chunked parallel CSV decode */ \
+  X(kIngestImports, "ingest.imports")                          \
+  X(kIngestFiles, "ingest.files")                              \
+  X(kIngestBytes, "ingest.bytes_decoded")                      \
+  X(kIngestRows, "ingest.rows_decoded")                        \
+  X(kIngestChunks, "ingest.chunks_decoded")                    \
+  X(kIngestRowsSkipped, "ingest.rows_skipped")                 \
+  X(kIngestVms, "ingest.vms")                                  \
+  X(kIngestSamples, "ingest.samples")                          \
+  X(kIngestFidelityEvents, "ingest.fidelity_events")           \
+  X(kIngestFidelityViolations, "ingest.fidelity_violations")   \
   /* serve: streaming ingest + incremental analysis engine */  \
   X(kServeEventsIngested, "serve.events_ingested")             \
   X(kServeVmsCreated, "serve.vms_created")                     \
@@ -155,6 +166,7 @@ namespace cloudlens::obs {
   X(kPipelineStageSeconds, "pipeline.stage_seconds")           \
   X(kPipelineSnapshotIoSeconds, "pipeline.snapshot_io_seconds") \
   X(kKernelBandSeconds, "kernels.band_seconds")                \
+  X(kIngestDecodeSeconds, "ingest.decode_seconds")             \
   X(kServeIngestBatchSeconds, "serve.ingest_batch_seconds")    \
   X(kServeSnapshotBuildSeconds, "serve.snapshot_build_seconds") \
   X(kServeQuerySeconds, "serve.query_seconds")

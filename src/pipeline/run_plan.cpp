@@ -13,8 +13,8 @@
 #include "analysis/context.h"
 #include "cloudsim/shard.h"
 #include "cloudsim/snapshot.h"
-#include "cloudsim/trace_io.h"
 #include "common/check.h"
+#include "ingest/backend.h"
 #include "stats/kernels/dispatch.h"
 #include "workloads/pattern_snapshot.h"
 #include "workloads/profiles.h"
@@ -82,27 +82,40 @@ Stage make_trace_stage(const RunPlanOptions& options) {
   } else {
     const std::string dir = options.trace_dir;
     const TimeGrid grid = options.csv_grid;
-    stage.key_extra = [dir, grid](ContentHash& h) {
+    const ingest::IngestBackend* backend =
+        ingest::find_backend(options.trace_backend);
+    CL_CHECK_MSG(backend != nullptr,
+                 "unknown ingest backend: " << options.trace_backend);
+    const bool default_backend = backend == &ingest::cloudlens_backend();
+    stage.key_extra = [dir, grid, backend, default_backend](ContentHash& h) {
       h.str("csv");
       h.u8(1);
-      for (const char* name :
-           {"topology.csv", "vmtable.csv", "utilization.csv"}) {
+      // The default (cloudlens) backend keeps the pre-backend key layout
+      // byte-for-byte, so caches populated before backends existed still
+      // hit. Other backends mix in their name first — a different decoder
+      // over the same bytes is a different artifact.
+      if (!default_backend) {
+        h.str("backend");
+        h.str(backend->name());
+      }
+      for (const std::string& name : backend->input_files()) {
         h.str(name);
         hash_file(h, dir + "/" + name);
       }
       h.grid(grid);
     };
-    stage.compute = [dir, grid](const StageInputs&) {
-      std::ifstream topo(dir + "/topology.csv");
-      std::ifstream vms(dir + "/vmtable.csv");
-      CL_CHECK_MSG(topo.good(), "missing " << dir << "/topology.csv");
-      CL_CHECK_MSG(vms.good(), "missing " << dir << "/vmtable.csv");
-      std::ifstream util(dir + "/utilization.csv");
-      ImportedTrace imported =
-          import_trace(topo, vms, util.good() ? &util : nullptr, grid);
+    stage.compute = [dir, grid, backend](const StageInputs& inputs) {
+      ingest::IngestOptions ingest_options;
+      ingest_options.grid = grid;
+      ingest_options.parallel = inputs.parallel();
+      ingest_options.metrics = &inputs.metrics();
+      ingest_options.sink = &inputs.trace_sink();
+      ingest::IngestResult imported =
+          backend->import_dir(dir, ingest_options);
       auto artifact = std::make_shared<TraceArtifact>();
       artifact->topology = std::move(imported.topology);
       artifact->trace = std::move(imported.trace);
+      artifact->ingest = std::move(imported.report);
       return artifact;
     };
   }

@@ -9,9 +9,10 @@
 //               horizon. Cached as a binary snapshot whose parametric
 //               models round-trip exactly, so a cache hit reproduces
 //               generation bit-for-bit.
-//             csv — import_trace from `<dir>/{topology,vmtable,
-//               utilization}.csv`; keyed by the raw bytes of those files
-//               (editing any row is a new key) + the telemetry grid.
+//             csv — an ingest backend (ingest/backend.h) decodes the
+//               backend's input files from `trace_dir`; keyed by the
+//               backend name + the raw bytes of those files (editing any
+//               row is a new key) + the telemetry grid.
 //   panel   The materialized TelemetryPanel for the trace (input: trace).
 //           Cached as a GRID+PANEL snapshot and adopted back into the
 //           TraceStore on a hit, so warm analysis commands skip the
@@ -32,6 +33,7 @@
 #include "cloudsim/trace.h"
 #include "common/parallel.h"
 #include "common/sim_time.h"
+#include "ingest/backend.h"
 #include "kb/extractor.h"
 #include "kb/store.h"
 #include "obs/metrics.h"
@@ -45,6 +47,12 @@ struct RunPlanOptions {
   /// CSV mode when non-empty: import from this directory. Otherwise
   /// generated mode using `scenario`.
   std::string trace_dir;
+  /// Ingest backend for CSV mode: "cloudlens" (default), "azure", or
+  /// "google" (see ingest/backend.h). The backend name and its input
+  /// files' raw bytes form the trace stage's cache key — except for the
+  /// default backend, whose key layout predates backends and is kept
+  /// byte-identical so existing caches stay warm.
+  std::string trace_backend;
   /// Generated-mode scenario (its `parallel` member is ignored in favour
   /// of `parallel` below, which is also what keeps threads out of keys).
   workloads::ScenarioOptions scenario;
@@ -83,6 +91,9 @@ struct RunPlanOptions {
 struct TraceArtifact {
   std::unique_ptr<Topology> topology;
   std::unique_ptr<TraceStore> trace;
+  /// What the import saw (CSV mode, cache miss only — a warm hit loads
+  /// the snapshot without re-decoding, so `ingest.rows == 0` then).
+  ingest::IngestReport ingest;
 };
 
 struct ResolvedRun {

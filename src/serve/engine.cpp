@@ -15,6 +15,7 @@
 #include "cloudsim/snapshot.h"
 #include "cloudsim/trace.h"
 #include "cloudsim/trace_io.h"
+#include "ingest/ingest.h"
 #include "common/check.h"
 #include "kb/refresh.h"
 

@@ -12,6 +12,7 @@
 #include "common/ids.h"
 #include "common/parallel.h"
 #include "cloudsim/trace_io.h"
+#include "ingest/ingest.h"
 #include "testutil.h"
 #include "workloads/generator.h"
 #include "workloads/profiles.h"

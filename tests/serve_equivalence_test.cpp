@@ -23,6 +23,7 @@
 #include "analysis/report.h"
 #include "cloudsim/trace.h"
 #include "cloudsim/trace_io.h"
+#include "ingest/ingest.h"
 #include "kb/extractor.h"
 #include "kb/refresh.h"
 #include "kb/store.h"

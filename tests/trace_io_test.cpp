@@ -1,4 +1,5 @@
 #include "cloudsim/trace_io.h"
+#include "ingest/ingest.h"
 
 #include <gtest/gtest.h>
 

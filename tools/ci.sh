@@ -33,10 +33,14 @@
 # cache reproduces the cold run byte-for-byte and is faster, and a
 # bench_outofcore run that fails unless the sharded streaming analyses
 # stay under a peak-RSS budget while matching the resident-panel
-# checksum exactly. Every smoke must leave its JSON document behind —
+# checksum exactly, plus a bench_ingest decode smoke (parallel CSV
+# decode bit-identical to serial) and an end-to-end azure import smoke
+# over the checked-in fixture (1-vs-8-thread report identity + warm
+# cache hit). Every smoke must leave its JSON document behind —
 # a bench that silently emits nothing fails the run. The TSan flavour
 # re-runs bench_outofcore (no RSS gate — shadow memory dwarfs it) to
-# police the shard store's concurrent map/evict path.
+# police the shard store's concurrent map/evict path, and bench_ingest
+# to police the decode chunk fan-out.
 # (The full-size numbers recorded in EXPERIMENTS.md come from
 # `bench_telemetry --scale=0.1`, `bench_obs --scale=0.1`,
 # `bench_simd --min-speedup=1.5`, `bench_pipeline --scale=0.35`, and
@@ -80,6 +84,12 @@ run_flavour() {
     # what polices the snapshot publication and query caches under a
     # live ingester).
     ctest --test-dir "$dir" --output-on-failure -R 'Serve'
+    echo "== [$name] ingest suites =="
+    # Trace ingest: strict field parsing (file:line:column errors, no
+    # silent truncation), CRLF/LF identity, chunked parallel decode
+    # bit-identity (the TSan pass polices the chunk fan-out), and the
+    # exact fixture pins for the azure/google backends.
+    ctest --test-dir "$dir" --output-on-failure -R 'Ingest'
     # Kernel-tier suites (differential vs scalar oracle, dispatch, property
     # invariants) run twice: once with the dispatch forced to the scalar
     # reference and once letting it pick the best SIMD tier, so an
@@ -113,6 +123,15 @@ echo "== [tsan] serve ingest/query smoke =="
     --scale=0.01 --util-vms=100 --threads=2 \
     --out="$BUILD_ROOT/BENCH_serve_tsan_smoke.json"
 require_json "$BUILD_ROOT/BENCH_serve_tsan_smoke.json"
+
+echo "== [tsan] ingest decode smoke =="
+# Chunked parallel CSV decode under TSan: polices the superblock fan-out
+# and the ordered merge. The checksum identity gate is binding; the
+# speedup gate is off (sanitizer wall-clock is meaningless).
+"$BUILD_ROOT/tsan/bench/bench_ingest" \
+    --size-mb=4 --min-speedup=0 \
+    --out="$BUILD_ROOT/BENCH_ingest_tsan_smoke.json"
+require_json "$BUILD_ROOT/BENCH_ingest_tsan_smoke.json"
 
 echo "== [tsan] out-of-core shard smoke =="
 # Small sharded end-to-end pass under TSan: polices the shard store's
@@ -187,5 +206,35 @@ echo "== [release] out-of-core RSS budget smoke =="
     --scale=0.05 --shards=8 --budget-mib=8 --rss-limit-mib=64 \
     --out="$BUILD_ROOT/BENCH_outofcore_smoke.json"
 require_json "$BUILD_ROOT/BENCH_outofcore_smoke.json"
+
+echo "== [release] ingest decode smoke =="
+# Small synthetic-CSV pass: parallel decode must be bit-identical to
+# serial (FNV digest gate). No speedup gate here — CI machines are too
+# noisy/small; the recorded numbers come from `bench_ingest
+# --size-mb=120` (see BENCH_ingest.json and EXPERIMENTS.md).
+"$BUILD_ROOT/release/bench/bench_ingest" \
+    --size-mb=8 --min-speedup=0 \
+    --out="$BUILD_ROOT/BENCH_ingest_smoke.json"
+require_json "$BUILD_ROOT/BENCH_ingest_smoke.json"
+
+echo "== [release] azure import round-trip smoke =="
+# Real-trace ingest end to end, no network (the fixture is checked in):
+# the azure fixture must produce a byte-identical characterization
+# report at 1 vs 8 decode threads, and a rerun against the warm cache
+# must skip the decode entirely.
+import_dir="$BUILD_ROOT/ingest-smoke"
+rm -rf "$import_dir" && mkdir -p "$import_dir"
+"$BUILD_ROOT/release/tools/cloudlens" import \
+    --in "$ROOT/tests/fixtures/azure" --backend azure --threads 1 \
+    --cache-dir "$import_dir/cache" \
+    --report "$import_dir/report_t1.md" >/dev/null
+"$BUILD_ROOT/release/tools/cloudlens" import \
+    --in "$ROOT/tests/fixtures/azure" --backend azure --threads 8 \
+    --cache-dir "$import_dir/cache8" \
+    --report "$import_dir/report_t8.md" >/dev/null
+cmp "$import_dir/report_t1.md" "$import_dir/report_t8.md"
+"$BUILD_ROOT/release/tools/cloudlens" import \
+    --in "$ROOT/tests/fixtures/azure" --backend azure \
+    --cache-dir "$import_dir/cache" | grep -q "warm cache hit"
 
 echo "ci: all flavours green"

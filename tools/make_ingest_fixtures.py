@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Regenerates the checked-in ingest fixtures under tests/fixtures/.
+
+The fixtures are deliberately quirky miniatures of the real datasets:
+
+  azure/   Azure Public Dataset v1-shaped vmtable + vm_cpu_readings.
+           vmtable.csv is CRLF-terminated (the real dataset ships with
+           \r\n); it contains v2-style bucketed capacities (">24"),
+           "Unknown" capacities, a missing avgcpu summary, and one
+           nonpositive-lifetime row. The readings contain out-of-window
+           rows, readings for an unknown vmid, and one >100% cpu value.
+  google/  Google cluster-trace task_events + task_usage, with a
+           schedule-without-submit (missing_info set), a terminal event
+           for a never-scheduled task, an evict+reschedule cycle, an
+           out-of-range cpu_request, an out-of-order event, a SCHEDULE
+           with no machine, usage rows for an unknown task, out-of-window
+           usage rows, and one usage reading above the task's request.
+
+tests/ingest_test.cpp pins the exact row/VM/fidelity counts these files
+produce; rerun this script (and update the pins) if you change anything.
+"""
+import os
+
+ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                    "tests", "fixtures")
+WEEK = 604800
+
+
+def write(path, lines, eol="\n"):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as f:
+        f.write((eol.join(lines) + eol).encode())
+
+
+def azure():
+    vmtable = []
+    for i in range(40):
+        vmid = f"vm{i:04d}"
+        sub = f"sub{i % 8}"
+        dep = f"dep{i % 12}"
+        created = (i * 7919) % 300000 // 300 * 300
+        if i % 4 == 1:
+            created = 0  # covers the full week -> report percentile bands
+        if i % 3 == 0:
+            deleted = str(created + 86400 + i * 3600)
+        else:
+            deleted = "2592000"  # past the one-week window -> alive
+        if i == 7:
+            deleted = str(created)  # nonpositive lifetime (violation)
+        maxcpu, avgcpu, p95 = 40 + i % 50, 10 + i % 30, 30 + i % 40
+        avg = "" if i == 5 else f"{avgcpu}.25"
+        cores, mem = [1, 2, 4, 8, 16][i % 5], 4 * [1, 2, 4, 8, 16][i % 5]
+        cores, mem = str(cores), str(mem)
+        if i in (10, 25):
+            cores, mem = ">24", ">64"  # v2 bucket spelling
+        if i == 33:
+            cores, mem = "Unknown", "Unknown"
+        cat = ["Delay-insensitive", "Interactive", "Unknown"][i % 3]
+        vmtable.append(f"{vmid},{sub},{dep},{created},{deleted},"
+                       f"{maxcpu}.5,{avg},{p95}.75,{cat},{cores},{mem}")
+    write(os.path.join(ROOT, "azure", "vmtable.csv"), vmtable, eol="\r\n")
+
+    readings = []
+    for i in range(25):
+        for k in range(24):
+            t = k * 3600
+            cpu = 10 + (i * 13 + k * 7) % 80
+            if i == 2 and k == 5:
+                cpu = 250  # >100%: clamped with a violation
+            readings.append(f"{t},vm{i:04d},{max(0, cpu - 8)}.0,"
+                            f"{min(100, cpu + 8)}.0,{cpu}.0")
+    for t in (604800, 608400, 2591700):  # out of the one-week window
+        readings.append(f"{t},vm0000,1.0,3.0,2.0")
+    for ghost in ("ghost1", "ghost2"):  # vmid absent from the vmtable
+        readings.append(f"3600,{ghost},1.0,3.0,2.0")
+    write(os.path.join(ROOT, "azure", "vm_cpu_readings.csv"), readings)
+
+
+def google():
+    US = 1000000
+    SUBMIT, SCHEDULE, EVICT, FAIL, FINISH, KILL = 0, 1, 2, 3, 4, 5
+    UPDATE_RUNNING = 8
+
+    def row(t_s, missing, job, index, machine, etype, user, cpu, mem):
+        cpu = "" if cpu is None else f"{cpu}"
+        mem = "" if mem is None else f"{mem}"
+        return (t_s * US, f",{missing},{job},{index},{machine},{etype},"
+                          f"{user},0,100,{cpu},{mem},0.0001,0")
+
+    events = []
+    for k in range(24):
+        job, index = f"j{k % 6}", k // 6
+        user, machine = f"u{k % 4}", f"m{k % 10}"
+        cpu = 0.03125 * (1 + k % 4)
+        mem = 0.0078125 * (1 + k % 4)
+        if k == 6:
+            events.append(row(600 + 100 * k, 0, job, index, "", SUBMIT,
+                              user, 1.5, mem))  # cpu_request > 1 (violation)
+        else:
+            events.append(row(600 + 100 * k, 0, job, index, "", SUBMIT,
+                              user, cpu, mem))
+        events.append(row(600 + 100 * k + 50, 0, job, index, machine,
+                          SCHEDULE, user, cpu, mem))
+        if k % 2 == 0:
+            events.append(row(600 + 100 * k + 50 + 3600 + k * 600, 0, job,
+                              index, machine, FINISH, user, cpu, mem))
+    # Evict + reschedule + kill cycle for k=3 (j3/0, scheduled at 950s).
+    events.append(row(950 + 1800, 0, "j3", 0, "m3", EVICT, "u3",
+                      0.125, 0.03125))
+    events.append(row(950 + 3600, 0, "j3", 0, "m3", SCHEDULE, "u3",
+                      0.125, 0.03125))
+    events.append(row(950 + 7200, 0, "j3", 0, "m3", KILL, "u3",
+                      0.125, 0.03125))
+    # SCHEDULE without SUBMIT, marked missing_info (benign per the docs).
+    events.append(row(4000, 1, "j0", 99, "m0", SCHEDULE, "u0",
+                      0.0625, 0.015625))
+    # Terminal event for a task that never scheduled (violation).
+    events.append(row(4100, 0, "j1", 99, "m1", FINISH, "u1", None, None))
+    # SCHEDULE with no machine id (violation; lands on "<missing>").
+    events.append(row(4200, 0, "j2", 99, "", SUBMIT, "u0",
+                      0.0625, 0.015625))
+    events.append(row(4250, 0, "j2", 99, "", SCHEDULE, "u0",
+                      0.0625, 0.015625))
+    events.sort(key=lambda e: e[0])
+    # One deliberately out-of-order row at the end (violation).
+    events.append(row(700, 0, "j0", 0, "m0", UPDATE_RUNNING, "u0",
+                      None, None))
+    write(os.path.join(ROOT, "google", "task_events.csv"),
+          [f"{us}{rest}" for us, rest in events])
+
+    usage = []
+    for k in range(20):
+        job, index = f"j{k % 6}", k // 6
+        machine = f"m{k % 10}"
+        cpu = 0.03125 * (1 + k % 4)
+        sched = 600 + 100 * k + 50
+        for j in range(6):
+            rate = cpu * (0.2 + 0.1 * (j % 3))
+            if k == 1 and j == 5:
+                rate = cpu * 1.5  # above allocation: clamped, benign
+            start = (sched + j * 300) * US
+            usage.append(f"{start},{start + 300 * US},{job},{index},"
+                         f"{machine},{rate:.6f}")
+    for n in (1, 2):  # usage for a task absent from task_events
+        usage.append(f"{3600 * US},{3900 * US},jX,{n},m0,0.01")
+    for t in (WEEK + 600, WEEK + 900, WEEK + 86400):  # out of window
+        usage.append(f"{t * US},{(t + 300) * US},j0,0,m0,0.01")
+    write(os.path.join(ROOT, "google", "task_usage.csv"), usage)
+
+
+azure()
+google()
+print("fixtures written under", ROOT)
