@@ -3,7 +3,9 @@
 #include <vector>
 
 #include "analysis/context.h"
+#include "analysis/record_stream.h"
 #include "analysis/shard_stream.h"
+#include "cloudsim/population.h"
 #include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "stats/descriptive.h"
@@ -74,11 +76,11 @@ PatternShares classify_population(const AnalysisContext& ctx, CloudType cloud,
   // fan-out, so workers only ever read it.
   const TelemetryPanel* panel = trace.telemetry_panel();
 
-  std::vector<VmId> candidates;
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !vm.covers(grid) || !vm.utilization) continue;
-    candidates.push_back(vm.id);
-  }
+  const std::vector<VmId> candidates =
+      collect_vm_ids(trace, [&](const VmRecord& vm) {
+        return vm.cloud == cloud && vm.covers(grid) &&
+               vm.utilization != nullptr;
+      });
 
   // Deterministic stride subsampling keeps results reproducible.
   std::size_t stride = 1;
@@ -105,6 +107,21 @@ PatternShares classify_population(const AnalysisContext& ctx, CloudType cloud,
         [&](std::size_t k) {
           labels[k] =
               classify(shards->row(candidates[k * stride]), grid, options);
+        },
+        parallel);
+  } else if (const PopulationShardStore* pop = trace.population_shards();
+             pop != nullptr) {
+    // Population-sharded mode: scratch rows (no panel exists), grouped by
+    // the record shard so each pages in once — identical labels.
+    labels.resize(sampled, UtilizationClass::kStable);
+    stream_by_shard(
+        *pop, sampled,
+        [&](std::size_t k) { return pop->shard_of_vm(candidates[k * stride]); },
+        [&](std::size_t k) {
+          std::vector<double> scratch;
+          const std::span<const double> row = vm_telemetry_row(
+              trace, nullptr, candidates[k * stride], grid, scratch);
+          labels[k] = classify(row, grid, options);
         },
         parallel);
   } else {

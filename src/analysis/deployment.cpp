@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "analysis/context.h"
+#include "analysis/record_stream.h"
 #include "common/check.h"
 
 namespace cloudlens::analysis {
@@ -14,10 +15,12 @@ std::vector<double> vms_per_subscription(const AnalysisContext& ctx,
   auto phase = ctx.phase("analysis.vms_per_subscription");
   const TraceStore& trace = ctx.trace();
   std::unordered_map<SubscriptionId, std::size_t> counts;
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
-    ++counts[vm.subscription];
-  }
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
+      ++counts[vm.subscription];
+    }
+  });
   std::vector<double> out;
   out.reserve(counts.size());
   for (const auto& [_, n] : counts) out.push_back(static_cast<double>(n));
@@ -31,10 +34,14 @@ std::vector<double> subscriptions_per_cluster(const AnalysisContext& ctx,
   auto phase = ctx.phase("analysis.subscriptions_per_cluster");
   const TraceStore& trace = ctx.trace();
   std::unordered_map<ClusterId, std::unordered_set<SubscriptionId>> subs;
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !vm.alive_at(snapshot) || !vm.placed()) continue;
-    subs[vm.cluster].insert(vm.subscription);
-  }
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !vm.alive_at(snapshot) || !vm.placed()) {
+        continue;
+      }
+      subs[vm.cluster].insert(vm.subscription);
+    }
+  });
   std::vector<double> out;
   // One sample per cluster of this cloud, including empty clusters.
   for (const auto& cluster : trace.topology().clusters()) {
@@ -57,10 +64,12 @@ stats::Histogram2D vm_size_heatmap(const AnalysisContext& ctx,
   stats::Histogram2D hist(
       stats::BinAxis(0.5, 64.0, bins, stats::BinScale::kLog),
       stats::BinAxis(0.25, 1024.0, bins, stats::BinScale::kLog));
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
-    hist.add(vm.cores, vm.memory_gb);
-  }
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
+      hist.add(vm.cores, vm.memory_gb);
+    }
+  });
   return hist;
 }
 
@@ -73,18 +82,35 @@ RegionSpread region_spread(const AnalysisContext& ctx, CloudType cloud,
     double cores = 0;
   };
   std::unordered_map<SubscriptionId, SubAgg> agg;
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
-    auto& a = agg[vm.subscription];
-    a.regions.insert(vm.region);
-    a.cores += vm.cores;
-  }
+  // Per-VM cores accumulate in ascending id order within a subscription in
+  // both modes (resident scan and shard groups both ascend, and a
+  // subscription never crosses shards), so each SubAgg is bit-identical.
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !vm.alive_at(snapshot)) continue;
+      auto& a = agg[vm.subscription];
+      a.regions.insert(vm.region);
+      a.cores += vm.cores;
+    }
+  });
 
   RegionSpread out;
   const std::size_t max_regions = trace.topology().regions().size();
   std::vector<double> cores_by_count(max_regions, 0.0);
   double total_cores = 0;
-  for (const auto& [_, a] : agg) {
+  // The cross-subscription core sums are order-sensitive floating point:
+  // reduce in ascending subscription id, not hash-map iteration order, so
+  // the result is a pure function of the data (identical across modes and
+  // library hash implementations).
+  std::vector<SubscriptionId> subs_sorted;
+  subs_sorted.reserve(agg.size());
+  for (const auto& [sub, _] : agg) subs_sorted.push_back(sub);
+  std::sort(subs_sorted.begin(), subs_sorted.end(),
+            [](SubscriptionId a, SubscriptionId b) {
+              return a.value() < b.value();
+            });
+  for (const SubscriptionId sub : subs_sorted) {
+    const SubAgg& a = agg.at(sub);
     const std::size_t k = a.regions.size();
     CL_CHECK(k >= 1 && k <= max_regions);
     out.regions_per_subscription.push_back(static_cast<double>(k));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/context.h"
+#include "analysis/record_stream.h"
 #include "common/check.h"
 #include "stats/descriptive.h"
 
@@ -19,10 +20,13 @@ LifetimePredictor LifetimePredictor::fit(const AnalysisContext& ctx,
                                          CloudType cloud) {
   auto phase = ctx.phase("analysis.lifetime_fit");
   std::vector<double> lifetimes;
-  for (const auto& vm : ctx.trace().vms()) {
-    if (vm.cloud != cloud || !vm.ended()) continue;
-    lifetimes.push_back(static_cast<double>(vm.lifetime()));
-  }
+  // The predictor sorts its samples, so group order is immaterial.
+  for_each_vm_group(ctx.trace(), [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !vm.ended()) continue;
+      lifetimes.push_back(static_cast<double>(vm.lifetime()));
+    }
+  });
   return LifetimePredictor(std::move(lifetimes));
 }
 

@@ -1,0 +1,88 @@
+// Mode-agnostic iteration over VM records.
+//
+// The analyses historically walked `trace.vms()` — a span over the
+// resident record vector. In population-sharded mode (cloudsim/
+// population.h) that span does not exist: records live in K spill files
+// and page in a shard at a time. These helpers express the three access
+// shapes the analyses actually use so each analysis is written once and
+// runs bounded-RSS in either mode:
+//
+//   for_each_vm_group: visit every record exactly once, as one span per
+//     group (resident: a single group = the whole span; sharded: one
+//     group per shard in ascending shard order, with a budget eviction
+//     between groups). Group boundaries are the only mode-dependent
+//     artifact — any consumer whose reduction is group-order-invariant
+//     (per-VM slot writes, commutative-over-VM-id sums assembled in id
+//     order afterwards) produces identical bits in both modes.
+//
+//   collect_vm_ids: the ids passing a predicate, in ascending id order in
+//     both modes — the drop-in replacement for "scan vms() and collect",
+//     where downstream logic (membership caps, sampling) depends on the
+//     global scan order.
+//
+//   any_vm: short-circuit existence check.
+//
+// References and spans obtained inside a group callback follow the shard
+// store's lifetime rules: valid within the callback, not across groups.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cloudsim/population.h"
+#include "cloudsim/trace.h"
+
+namespace cloudlens::analysis {
+
+/// Calls group_fn(std::span<const VmRecord>) for disjoint groups covering
+/// every VM exactly once; ids ascend within a group. Serial — parallelize
+/// *within* the callback (per-VM output slots), never across groups.
+template <typename Fn>
+void for_each_vm_group(const TraceStore& trace, Fn&& group_fn) {
+  const PopulationShardStore* pop = trace.population_shards();
+  if (pop == nullptr) {
+    group_fn(trace.vms());
+    return;
+  }
+  for (std::uint32_t s = 0; s < pop->shard_count(); ++s) {
+    group_fn(pop->view(s).vms());
+    pop->evict_over_budget();
+  }
+}
+
+/// Ids of the VMs satisfying `pred`, ascending — the same order a resident
+/// vms() scan yields, regardless of shard interleaving.
+template <typename Pred>
+std::vector<VmId> collect_vm_ids(const TraceStore& trace, Pred&& pred) {
+  std::vector<VmId> ids;
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const VmRecord& vm : vms) {
+      if (pred(vm)) ids.push_back(vm.id);
+    }
+  });
+  if (trace.population_sharded()) {
+    std::sort(ids.begin(), ids.end(),
+              [](VmId a, VmId b) { return a.value() < b.value(); });
+  }
+  return ids;
+}
+
+/// True when any VM satisfies `pred` (stops at the first hit).
+template <typename Pred>
+bool any_vm(const TraceStore& trace, Pred&& pred) {
+  const PopulationShardStore* pop = trace.population_shards();
+  if (pop == nullptr) {
+    const std::span<const VmRecord> vms = trace.vms();
+    return std::any_of(vms.begin(), vms.end(), pred);
+  }
+  for (std::uint32_t s = 0; s < pop->shard_count(); ++s) {
+    const std::span<const VmRecord> vms = pop->view(s).vms();
+    if (std::any_of(vms.begin(), vms.end(), pred)) return true;
+    pop->evict_over_budget();
+  }
+  return false;
+}
+
+}  // namespace cloudlens::analysis

@@ -5,6 +5,7 @@
 
 #include "analysis/context.h"
 #include "analysis/deployment.h"
+#include "analysis/record_stream.h"
 #include "analysis/spatial.h"
 #include "analysis/temporal.h"
 #include "analysis/utilization.h"
@@ -36,8 +37,8 @@ InsightVerdicts write_characterization_report(const AnalysisContext& ctx,
   const SimTime snap = options.insights.snapshot;
 
   out << "# " << options.title << "\n\n";
-  out << "Trace: " << trace.vms().size() << " VMs, "
-      << trace.subscriptions().size() << " subscriptions, "
+  out << "Trace: " << trace.vm_count() << " VMs, "
+      << trace.subscription_count() << " subscriptions, "
       << trace.services().size() << " first-party services, "
       << trace.topology().regions().size() << " regions. Snapshot at "
       << format_sim_time(snap) << ".\n\n";
@@ -103,11 +104,13 @@ InsightVerdicts write_characterization_report(const AnalysisContext& ctx,
     auto distribution_if_covered = [&](CloudType cloud)
         -> std::optional<UtilizationDistribution> {
       const TimeGrid& grid = trace.telemetry_grid();
-      for (const auto& vm : trace.vms()) {
-        if (vm.cloud == cloud && vm.covers(grid) && vm.utilization) {
-          return utilization_distribution(ctx, cloud,
-                                          options.insights.classify_max_vms);
-        }
+      const bool covered = any_vm(trace, [&](const VmRecord& vm) {
+        return vm.cloud == cloud && vm.covers(grid) &&
+               vm.utilization != nullptr;
+      });
+      if (covered) {
+        return utilization_distribution(ctx, cloud,
+                                        options.insights.classify_max_vms);
       }
       return std::nullopt;
     };

@@ -26,8 +26,14 @@ namespace cloudlens::analysis {
 /// must write only to slot i of its output (the parallel_for contract);
 /// spans obtained from the store are valid within the current shard's
 /// region only.
-template <typename ShardOf, typename Fn>
-void stream_by_shard(const TelemetryShardStore& shards, std::size_t n,
+///
+/// Works over any store with shard_count() + a serial-point
+/// evict_over_budget() — the telemetry shard store and the population
+/// shard store (cloudsim/population.h) share the contract, and for equal K
+/// they shard identically (same subscription hash), so one grouping pass
+/// serves either.
+template <typename Store, typename ShardOf, typename Fn>
+void stream_by_shard(const Store& shards, std::size_t n,
                      ShardOf&& shard_of_item, Fn&& item_fn,
                      const ParallelConfig& parallel) {
   std::vector<std::vector<std::size_t>> by_shard(shards.shard_count());

@@ -6,7 +6,9 @@
 #include <unordered_map>
 
 #include "analysis/context.h"
+#include "analysis/record_stream.h"
 #include "analysis/shard_stream.h"
+#include "cloudsim/population.h"
 #include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
@@ -63,6 +65,7 @@ std::vector<double> node_vm_correlations(const AnalysisContext& ctx,
   // Candidate nodes: host >= 2 window-covering VMs of this cloud. (This
   // enumeration also builds the node index serially, before the fan-out.)
   std::vector<std::pair<NodeId, std::vector<VmId>>> candidates;
+  const PopulationShardStore* pop = trace.population_shards();
   for (const auto& node : trace.topology().nodes()) {
     if (node.cloud != cloud) continue;
     std::vector<VmId> covering;
@@ -72,6 +75,8 @@ std::vector<double> node_vm_correlations(const AnalysisContext& ctx,
     }
     if (covering.size() >= 2)
       candidates.emplace_back(node.id, std::move(covering));
+    // Serial loop: safe to shed record shards the lookups paged in.
+    if (pop != nullptr) pop->evict_over_budget();
   }
 
   std::size_t stride = 1;
@@ -136,6 +141,9 @@ std::vector<double> node_vm_correlations(const AnalysisContext& ctx,
         parallel);
     for (const auto& rs : per_node)
       out.insert(out.end(), rs.begin(), rs.end());
+    // The fan-out paged in whatever shards its row evaluations touched;
+    // the pool has drained, so release them here.
+    if (pop != nullptr) pop->evict_over_budget();
   }
   std::sort(out.begin(), out.end());
   ctx.count(obs::Counter::kAnalysisCorrelations, out.size());
@@ -187,11 +195,24 @@ std::vector<double> cross_region_correlations(const AnalysisContext& ctx,
   auto phase = ctx.phase("analysis.cross_region_correlations");
   const TraceStore& trace = ctx.trace();
   const ParallelConfig& parallel = ctx.parallel();
-  // Multi-region candidate subscriptions.
+  // Multi-region candidate subscriptions, in ascending id order in every
+  // mode (the population branch collects per shard, then sorts — the same
+  // set the resident scan yields, in the same order).
   std::vector<SubscriptionId> candidates;
-  for (const auto& sub : trace.subscriptions()) {
-    if (sub.cloud != cloud) continue;
-    candidates.push_back(sub.id);
+  if (const PopulationShardStore* pop = trace.population_shards()) {
+    for (std::uint32_t s = 0; s < pop->shard_count(); ++s) {
+      for (const auto& sub : pop->view(s).subscriptions()) {
+        if (sub.cloud != cloud) continue;
+        candidates.push_back(sub.id);
+      }
+      pop->evict_over_budget();
+    }
+    std::sort(candidates.begin(), candidates.end());
+  } else {
+    for (const auto& sub : trace.subscriptions()) {
+      if (sub.cloud != cloud) continue;
+      candidates.push_back(sub.id);
+    }
   }
   // Warm the subscription index and the telemetry panel serially before
   // fanning out.
@@ -231,6 +252,8 @@ std::vector<double> cross_region_correlations(const AnalysisContext& ctx,
     // before the next fan-out pages more in.
     if (const TelemetryShardStore* shards = trace.telemetry_shards())
       shards->evict_over_budget();
+    if (const PopulationShardStore* pop = trace.population_shards())
+      pop->evict_over_budget();
     for (const auto& profiles : profile_block) {
       if (max_subscriptions > 0 && used >= max_subscriptions) break;
       if (profiles.size() < 2) continue;
@@ -260,17 +283,38 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
   // Serial panel warm-up before the per-service fan-out.
   const TelemetryPanel* panel = trace.telemetry_panel();
 
-  // Pool the window-covering VMs of each service by region, keyed by sorted
-  // region id so the per-service pair enumeration order is a pure function
-  // of the trace (never of hash-map iteration or scheduling).
+  // Membership first: eligible (id, service, region) triples in global id
+  // order — the order the old resident scan visited VMs in — then the
+  // per-(service, region) caps applied by a serial walk over that order,
+  // so the pooled members are exactly the resident ones in every mode.
+  struct Member {
+    VmId id;
+    ServiceId service;
+    RegionId region;
+  };
+  std::vector<Member> eligible;
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !vm.service.valid()) continue;
+      if (!vm.covers(grid) || !vm.utilization) continue;
+      eligible.push_back({vm.id, vm.service, vm.region});
+    }
+  });
+  if (trace.population_sharded()) {
+    std::sort(eligible.begin(), eligible.end(),
+              [](const Member& a, const Member& b) {
+                return a.id.value() < b.id.value();
+              });
+  }
+  // Pool by service, keyed by sorted region id so the per-service pair
+  // enumeration order is a pure function of the trace (never of hash-map
+  // iteration or scheduling).
   std::unordered_map<ServiceId, std::map<RegionId, std::vector<VmId>>>
       by_service;
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !vm.service.valid()) continue;
-    if (!vm.covers(grid) || !vm.utilization) continue;
-    auto& bucket = by_service[vm.service][vm.region];
+  for (const Member& m : eligible) {
+    auto& bucket = by_service[m.service][m.region];
     if (max_vms_per_region == 0 || bucket.size() < max_vms_per_region)
-      bucket.push_back(vm.id);
+      bucket.push_back(m.id);
   }
 
   // Multi-region services in deterministic (service id) order.
@@ -285,31 +329,83 @@ std::vector<RegionAgnosticVerdict> detect_region_agnostic_services(
   for (const ServiceId service : services)
     region_sets.push_back(&by_service.at(service));
 
-  // Hot path: one region roll-up per deployed region plus all pairwise
-  // fused Pearsons, independently per service, all over panel rows.
+  // Every pooled member's hourly row lands in its own slot. Slotting the
+  // rows gives this analysis the stream_by_shard shape the other
+  // out-of-core passes use — services span subscriptions (and so shards)
+  // arbitrarily, but the *rows* group cleanly by shard — so in sharded
+  // modes the rows come off the stores with eviction at every shard
+  // boundary instead of the scratch fallback the old single fan-out was
+  // pinned to.
+  CL_CHECK(grid.step > 0 && kHour % grid.step == 0);
+  const std::size_t factor = static_cast<std::size_t>(kHour / grid.step);
+  const std::size_t hours = grid.count / factor;
+  std::vector<VmId> member_vm;
+  // Per service, each region pool as (first slot, member count), in the
+  // same sorted-region order the maps iterate below.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> pools(
+      services.size());
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    for (const auto& [_, vms] : *region_sets[s]) {
+      pools[s].emplace_back(member_vm.size(), vms.size());
+      member_vm.insert(member_vm.end(), vms.begin(), vms.end());
+    }
+  }
+  std::vector<double> rows(member_vm.size() * hours, 0.0);
+  const auto fill_slot = [&](std::size_t p) {
+    std::vector<double> row_scratch, hourly_scratch;
+    const std::span<const double> hourly = vm_hourly_row(
+        trace, panel, member_vm[p], grid, row_scratch, hourly_scratch);
+    std::copy(hourly.begin(), hourly.end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(p * hours));
+  };
+  if (const TelemetryShardStore* shards = trace.telemetry_shards()) {
+    stream_by_shard(
+        *shards, member_vm.size(),
+        [&](std::size_t p) { return shards->shard_of_vm(member_vm[p]); },
+        [&](std::size_t p) {
+          const std::span<const double> hourly =
+              shards->hourly_row(member_vm[p]);
+          std::copy(hourly.begin(), hourly.end(),
+                    rows.begin() + static_cast<std::ptrdiff_t>(p * hours));
+        },
+        parallel);
+  } else if (const PopulationShardStore* pop = trace.population_shards()) {
+    stream_by_shard(
+        *pop, member_vm.size(),
+        [&](std::size_t p) { return pop->shard_of_vm(member_vm[p]); },
+        fill_slot, parallel);
+  } else {
+    parallel_for(member_vm.size(), fill_slot, parallel);
+  }
+
+  // Per-service verdicts over the slots: each region profile sums its
+  // members in pool order — the same accumulation order
+  // average_hourly_utilization used, so the profiles are bit-identical.
   auto out = parallel_map<RegionAgnosticVerdict>(
       services.size(),
       [&](std::size_t s) {
-        const auto& regions = *region_sets[s];
-        std::vector<stats::TimeSeries> profiles;
-        profiles.reserve(regions.size());
-        // Services span subscriptions (and so shards) arbitrarily, and
-        // this single fan-out has no serial point to evict at — so stay on
-        // the scratch fallback (shards = nullptr) rather than page an
-        // unbounded shard set; the bits are identical either way.
-        for (const auto& [_, vms] : regions)
-          profiles.push_back(
-              average_hourly_utilization(trace, panel, nullptr, vms, grid));
+        std::vector<std::vector<double>> profiles;
+        profiles.reserve(pools[s].size());
+        for (const auto& [first, count] : pools[s]) {
+          std::vector<double> prof(hours, 0.0);
+          for (std::size_t i = 0; i < count; ++i) {
+            const double* row = rows.data() + (first + i) * hours;
+            for (std::size_t h = 0; h < hours; ++h) prof[h] += row[h];
+          }
+          const double inv = 1.0 / static_cast<double>(count);
+          for (double& v : prof) v *= inv;
+          profiles.push_back(std::move(prof));
+        }
 
         RegionAgnosticVerdict v;
         v.service = services[s];
-        v.regions = regions.size();
+        v.regions = profiles.size();
         double min_corr = 1.0, sum = 0.0;
         std::size_t pairs = 0;
         for (std::size_t a = 0; a < profiles.size(); ++a) {
           for (std::size_t b = a + 1; b < profiles.size(); ++b) {
-            const double r = stats::pearson_fused(profiles[a].values(),
-                                                  profiles[b].values());
+            const double r =
+                stats::pearson_fused(profiles[a], profiles[b]);
             min_corr = std::min(min_corr, r);
             sum += r;
             ++pairs;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/context.h"
+#include "analysis/record_stream.h"
 #include "common/check.h"
 #include "stats/descriptive.h"
 
@@ -20,11 +21,13 @@ bool in_region(const VmRecord& vm, RegionId region) {
 std::vector<double> lifetimes_impl(const TraceStore& trace, CloudType cloud,
                                    SimTime window_start, SimTime window_end) {
   std::vector<double> out;
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !vm.ended()) continue;
-    if (vm.created < window_start || vm.deleted > window_end) continue;
-    out.push_back(static_cast<double>(vm.lifetime()));
-  }
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !vm.ended()) continue;
+      if (vm.created < window_start || vm.deleted > window_end) continue;
+      out.push_back(static_cast<double>(vm.lifetime()));
+    }
+  });
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -32,11 +35,14 @@ std::vector<double> lifetimes_impl(const TraceStore& trace, CloudType cloud,
 stats::TimeSeries creations_impl(const TraceStore& trace, CloudType cloud,
                                  RegionId region, const TimeGrid& grid) {
   stats::TimeSeries out(grid);
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !in_region(vm, region)) continue;
-    if (!grid.contains(vm.created)) continue;
-    out[grid.index_of(vm.created)] += 1.0;
-  }
+  // Integer counts: bin increments are exact, so group order is moot.
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !in_region(vm, region)) continue;
+      if (!grid.contains(vm.created)) continue;
+      out[grid.index_of(vm.created)] += 1.0;
+    }
+  });
   return out;
 }
 
@@ -67,18 +73,20 @@ stats::TimeSeries vm_count_per_hour(const AnalysisContext& ctx,
   // Sweep-line over create/delete events clamped to the grid.
   std::vector<std::pair<SimTime, int>> events;
   std::int64_t base = 0;  // VMs alive before the grid starts
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !in_region(vm, region)) continue;
-    if (vm.created < grid.start) {
-      if (vm.deleted > grid.start) ++base;
-    } else if (vm.created < grid.end()) {
-      events.emplace_back(vm.created, +1);
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !in_region(vm, region)) continue;
+      if (vm.created < grid.start) {
+        if (vm.deleted > grid.start) ++base;
+      } else if (vm.created < grid.end()) {
+        events.emplace_back(vm.created, +1);
+      }
+      if (vm.deleted > grid.start && vm.deleted < grid.end() &&
+          vm.created < grid.end()) {
+        events.emplace_back(vm.deleted, -1);
+      }
     }
-    if (vm.deleted > grid.start && vm.deleted < grid.end() &&
-        vm.created < grid.end()) {
-      events.emplace_back(vm.deleted, -1);
-    }
-  }
+  });
   std::sort(events.begin(), events.end());
 
   std::int64_t alive = base;
@@ -107,11 +115,15 @@ stats::TimeSeries removals_per_hour(const AnalysisContext& ctx,
   auto phase = ctx.phase("analysis.removals_per_hour");
   const TraceStore& trace = ctx.trace();
   stats::TimeSeries out(grid);
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !in_region(vm, region) || !vm.ended()) continue;
-    if (!grid.contains(vm.deleted)) continue;
-    out[grid.index_of(vm.deleted)] += 1.0;
-  }
+  for_each_vm_group(trace, [&](std::span<const VmRecord> vms) {
+    for (const auto& vm : vms) {
+      if (vm.cloud != cloud || !in_region(vm, region) || !vm.ended()) {
+        continue;
+      }
+      if (!grid.contains(vm.deleted)) continue;
+      out[grid.index_of(vm.deleted)] += 1.0;
+    }
+  });
   return out;
 }
 

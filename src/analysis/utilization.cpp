@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "analysis/context.h"
+#include "analysis/record_stream.h"
 #include "analysis/shard_stream.h"
+#include "cloudsim/population.h"
 #include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
@@ -21,11 +23,11 @@ UtilizationDistribution utilization_distribution(const AnalysisContext& ctx,
   // Opt into the columnar telemetry cache (serial warm-up).
   const TelemetryPanel* panel = trace.telemetry_panel();
 
-  std::vector<VmId> candidates;
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !vm.covers(grid) || !vm.utilization) continue;
-    candidates.push_back(vm.id);
-  }
+  const std::vector<VmId> candidates =
+      collect_vm_ids(trace, [&](const VmRecord& vm) {
+        return vm.cloud == cloud && vm.covers(grid) &&
+               vm.utilization != nullptr;
+      });
   std::size_t stride = 1;
   if (max_vms > 0 && candidates.size() > max_vms)
     stride = candidates.size() / max_vms;
@@ -51,6 +53,24 @@ UtilizationDistribution utilization_distribution(const AnalysisContext& ctx,
         [&](std::size_t k) {
           const std::span<const double> row =
               shards->hourly_row(candidates[k * stride]);
+          hourly[k] = stats::TimeSeries(
+              hourly_grid, std::vector<double>(row.begin(), row.end()));
+        },
+        parallel);
+  } else if (const PopulationShardStore* pop = trace.population_shards();
+             pop != nullptr) {
+    // Population-sharded mode: no panel exists, so rows come from the
+    // scratch fill (identical bits). Group by the record shard so each
+    // shard pages in once and evicts at the group boundary.
+    hourly.resize(sampled);
+    stream_by_shard(
+        *pop, sampled,
+        [&](std::size_t k) { return pop->shard_of_vm(candidates[k * stride]); },
+        [&](std::size_t k) {
+          std::vector<double> row_scratch, hourly_scratch;
+          const std::span<const double> row = vm_hourly_row(
+              trace, nullptr, candidates[k * stride], grid, row_scratch,
+              hourly_scratch);
           hourly[k] = stats::TimeSeries(
               hourly_grid, std::vector<double>(row.begin(), row.end()));
         },
@@ -113,12 +133,11 @@ stats::TimeSeries region_used_cores_hourly(const AnalysisContext& ctx,
   const ParallelConfig& parallel = ctx.parallel();
   const TimeGrid& grid = trace.telemetry_grid();
   const TelemetryPanel* panel = trace.telemetry_panel();
-  std::vector<VmId> candidates;
-  for (const auto& vm : trace.vms()) {
-    if (vm.cloud != cloud || !vm.utilization) continue;
-    if (region.valid() && vm.region != region) continue;
-    candidates.push_back(vm.id);
-  }
+  const std::vector<VmId> candidates =
+      collect_vm_ids(trace, [&](const VmRecord& vm) {
+        return vm.cloud == cloud && vm.utilization != nullptr &&
+               (!region.valid() || vm.region == region);
+      });
   stats::TimeSeries used(grid);
   if (candidates.empty()) return used.hourly_mean();
 
@@ -147,6 +166,13 @@ stats::TimeSeries region_used_cores_hourly(const AnalysisContext& ctx,
         total.add(partial);
       },
       parallel);
+  // The fixed-chunk partial order is what makes the sum reproducible, so
+  // the reduce cannot be regrouped by shard; shards paged in along the way
+  // are released here instead (the pool has drained: a serial point).
+  if (const PopulationShardStore* pop = trace.population_shards();
+      pop != nullptr) {
+    pop->evict_over_budget();
+  }
 
   // Rescale the stride sample back to the full population.
   used.scale(static_cast<double>(candidates.size()) /

@@ -149,13 +149,14 @@ TelemetryShardStore::TelemetryShardStore(const TraceStore& trace,
     const std::size_t n = shard.vms.size();
     rows.assign(n * grid_.count, 0.0);
     hourly.assign(n * hourly_grid_.count, 0.0);
+    const std::size_t valid_ticks = trace.sample_valid_ticks();
     parallel_for(
         n,
         [&](std::size_t i) {
           const VmRecord& vm = trace.vm(shard.vms[i]);
           const std::span<double> row{rows.data() + i * grid_.count,
                                       grid_.count};
-          TelemetryPanel::fill_row(vm, grid_, row);
+          TelemetryPanel::fill_row(vm, grid_, row, valid_ticks);
           if (hourly_grid_.count > 0) {
             TelemetryPanel::hourly_from_row(
                 row, grid_,

@@ -42,6 +42,11 @@ SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
   // metrics registry at the end, plus one "sim.run" span for the trace.
   obs::PhaseTimer phase("sim.run", obs::Histogram::kSimRunSeconds,
                         obs::Counter::kSimRuns);
+  // During a population spill the trace is append-only: records stream
+  // into shard logs and cannot be read back or shortened, so outage
+  // processing (which reads and rewrites records) is unavailable.
+  CL_CHECK_MSG(!trace.population_spilling() || outages.empty(),
+               "node outages require resident records (no population spill)");
   std::uint64_t events_replayed = 0;
 
   Allocator allocator(topology, options);
@@ -60,9 +65,11 @@ SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
     events.push({outages[i].at, EventKind::kOutage, seq++, i, VmId()});
   }
 
-  // Live VMs per node (for outage processing) and the set of VMs already
-  // terminated early (so their scheduled removal becomes a no-op).
+  // Live VMs per node (for outage processing), each live VM's node (so
+  // removal never reads the trace — records may already be spilled), and
+  // the set of VMs terminated early (their scheduled removal is a no-op).
   std::unordered_map<NodeId, std::unordered_set<VmId>> live_on_node;
+  std::unordered_map<VmId, NodeId> node_of_vm;
   std::unordered_set<VmId> killed;
 
   while (!events.empty()) {
@@ -73,7 +80,10 @@ SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
       case EventKind::kRemove: {
         if (killed.contains(event.vm)) break;
         allocator.release(event.vm);
-        live_on_node[trace.vm(event.vm).node].erase(event.vm);
+        const auto node_it = node_of_vm.find(event.vm);
+        CL_CHECK(node_it != node_of_vm.end());
+        live_on_node[node_it->second].erase(event.vm);
+        node_of_vm.erase(node_it);
         break;
       }
       case EventKind::kOutage: {
@@ -89,6 +99,7 @@ SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
           allocator.release(vm_id);
           trace.set_vm_deleted(vm_id, when);
           killed.insert(vm_id);
+          node_of_vm.erase(vm_id);
           ++stats.vms_failed;
           if (failure_policy.resubmit &&
               original_end > when + failure_policy.recovery_delay) {
@@ -117,7 +128,7 @@ SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
         const DeploymentRequest& req = requests[event.payload];
         ++stats.requested;
         const VmId prospective_id(
-            static_cast<VmId::underlying>(trace.vms().size()));
+            static_cast<VmId::underlying>(trace.vm_count()));
         const auto placement = allocator.allocate(req.request, prospective_id);
         if (!placement) {
           ++stats.allocation_failures;
@@ -141,6 +152,7 @@ SimulationStats run_simulation(const Topology& topology, TraceStore& trace,
         CL_CHECK(id == prospective_id);
         ++stats.placed;
         live_on_node[placement->node].insert(id);
+        node_of_vm.emplace(id, placement->node);
         if (req.remove != kNoEnd)
           events.push({req.remove, EventKind::kRemove, seq++, 0, id});
         break;

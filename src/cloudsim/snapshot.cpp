@@ -1,5 +1,6 @@
 #include "cloudsim/snapshot.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdlib>
 #include <cstring>
@@ -102,6 +103,8 @@ using snapshot_codec::append_u8;
 using snapshot_codec::Reader;
 
 // Section ids. Values are part of the on-disk format; never renumber.
+// Ids 11-15 belong to the population shard files and are defined publicly
+// in snapshot.h (snapshot_sections) for cloudsim/population.cpp.
 enum Section : std::uint32_t {
   kGrid = 1,
   kTopology = 2,
@@ -113,6 +116,7 @@ enum Section : std::uint32_t {
   kShardMeta = 8,
   kShardRows = 9,
   kShardHourly = 10,
+  // 11-15: population meta / subscriptions / vms / models / node index.
 };
 
 // Native model tags (< kFirstCustomModelTag).
@@ -248,7 +252,8 @@ void decode_subscriptions(Reader& r, TraceStore& trace) {
 
 /// One model record: [u8 tag][u32 payload size][payload bytes].
 void encode_model(const UtilizationModel& model, const TimeGrid& grid,
-                  const SnapshotModelCodec* codec, std::string& out) {
+                  const SnapshotModelCodec* codec, std::string& out,
+                  std::size_t valid_ticks = SIZE_MAX) {
   std::string payload;
   std::uint8_t tag = 0;
   if (const auto* c = dynamic_cast<const ConstantUtilization*>(&model)) {
@@ -264,12 +269,19 @@ void encode_model(const UtilizationModel& model, const TimeGrid& grid,
                  "model codec returned a reserved tag");
   } else {
     // Unknown model type: degrade to explicit samples over the telemetry
-    // grid (exact at every grid tick, step-interpolated elsewhere).
+    // grid (exact at every grid tick, step-interpolated elsewhere). Only
+    // the first `valid_ticks` ticks are sampled — zeros beyond, matching
+    // the live trace's valid-ticks clamp — so models whose backing store
+    // is still being appended to (serve) are never read past the clamp.
     tag = kModelSampled;
     payload.clear();
     append_grid(payload, grid);
-    std::vector<double> samples(grid.count);
-    model.sample(grid, samples);
+    std::vector<double> samples(grid.count, 0.0);
+    const std::size_t head = std::min(grid.count, valid_ticks);
+    if (head > 0) {
+      const TimeGrid head_grid{grid.start, grid.step, head};
+      model.sample(head_grid, std::span<double>(samples).first(head));
+    }
     payload.append(reinterpret_cast<const char*>(samples.data()),
                    samples.size() * sizeof(double));
   }
@@ -458,6 +470,18 @@ Container read_container(std::istream& in) {
 
 }  // namespace
 
+void encode_model_record(const UtilizationModel& model,
+                         const TimeGrid& fallback_grid,
+                         const SnapshotModelCodec* codec, std::string& out,
+                         std::size_t valid_ticks) {
+  encode_model(model, fallback_grid, codec, out, valid_ticks);
+}
+
+std::shared_ptr<const UtilizationModel> decode_model_record(
+    snapshot_codec::Reader& r, const SnapshotModelCodec* codec) {
+  return decode_model(r, codec);
+}
+
 void save_trace_snapshot(const Topology& topology, const TraceStore& trace,
                          std::ostream& out,
                          const SnapshotWriteOptions& options) {
@@ -494,7 +518,8 @@ void save_trace_snapshot(const Topology& topology, const TraceStore& trace,
     const auto [it, inserted] =
         model_index.emplace(vm.utilization.get(), next_model);
     if (inserted) {
-      encode_model(*vm.utilization, grid, options.model_codec, model_records);
+      encode_model(*vm.utilization, grid, options.model_codec, model_records,
+                   trace.sample_valid_ticks());
       ++next_model;
     }
     append_u32(vms, it->second);

@@ -110,6 +110,36 @@ class Reader {
 };
 }  // namespace snapshot_codec
 
+/// Section ids used by the population shard files (cloudsim/population.h),
+/// which build their containers by hand the way the panel shards do. The
+/// values live in snapshot.cpp's Section enum; they are part of the
+/// on-disk format and must never be renumbered.
+namespace snapshot_sections {
+inline constexpr std::uint32_t kPopulationMeta = 11;
+inline constexpr std::uint32_t kPopulationSubscriptions = 12;
+inline constexpr std::uint32_t kPopulationVms = 13;
+inline constexpr std::uint32_t kPopulationModels = 14;
+inline constexpr std::uint32_t kPopulationNodeIndex = 15;
+}  // namespace snapshot_sections
+
+/// One utilization-model record: [u8 tag][u32 payload size][payload].
+/// This is the same encoding the MODELS section uses; it is exposed so the
+/// population shard store can stream per-VM model records into its own
+/// sections. Models that are neither native nor codec-handled degrade to
+/// explicit samples over `fallback_grid`, sampled only over the first
+/// min(grid.count, valid_ticks) ticks with zeros beyond — mirroring
+/// TelemetryPanel::fill_row's valid-ticks clamp, so a degraded model
+/// round-trips the same bits the live trace serves.
+void encode_model_record(const UtilizationModel& model,
+                         const TimeGrid& fallback_grid,
+                         const SnapshotModelCodec* codec, std::string& out,
+                         std::size_t valid_ticks = SIZE_MAX);
+
+/// Reads one record encode_model_record() produced (advances the reader).
+/// Throws CheckError on unknown tags with no codec.
+std::shared_ptr<const UtilizationModel> decode_model_record(
+    snapshot_codec::Reader& r, const SnapshotModelCodec* codec);
+
 struct SnapshotWriteOptions {
   /// Also write the PANEL section. Requires the panel to be enabled on the
   /// trace; the write materializes it if it has not been built yet.

@@ -90,8 +90,14 @@ class TelemetryPanel {
   /// VMs). `out.size()` must equal `grid.count`. Used both by the panel
   /// build and by the scratch fallback path, so panel-on and panel-off
   /// analyses see identical bits by construction.
+  ///
+  /// `valid_ticks` clamps the row: out[i] = 0 for i >= valid_ticks, and
+  /// the model is never sampled there (serve snapshots use this to keep
+  /// readers off sample buffers still being appended to — see
+  /// TraceStore::set_sample_valid_ticks). SIZE_MAX = no clamp.
   static void fill_row(const VmRecord& vm, const TimeGrid& grid,
-                       std::span<double> out);
+                       std::span<double> out,
+                       std::size_t valid_ticks = SIZE_MAX);
 
   /// Roll a row into hourly means — bit-identical to
   /// stats::TimeSeries::hourly_mean on the same values. `out.size()` must

@@ -1,7 +1,9 @@
 #include "cloudsim/trace.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "cloudsim/population.h"
 #include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "common/check.h"
@@ -36,6 +38,8 @@ ServiceId TraceStore::add_service(ServiceInfo info) {
 }
 
 SubscriptionId TraceStore::add_subscription(SubscriptionInfo info) {
+  CL_CHECK_MSG(!population_sharded(),
+               "population-sharded trace is immutable");
   const SubscriptionId id(
       static_cast<SubscriptionId::underlying>(subscriptions_.size()));
   info.id = id;
@@ -49,6 +53,13 @@ VmId TraceStore::add_vm(VmRecord record) {
   CL_CHECK_MSG(record.subscription.valid() &&
                    record.subscription.value() < subscriptions_.size(),
                "VM references unknown subscription");
+  CL_CHECK_MSG(!population_sharded() && adopted_vms_ == nullptr,
+               "trace records are frozen (population-sharded or adopted)");
+  if (pop_spilling_) {
+    // Streaming spill: the record goes straight to its shard's spill log;
+    // it never joins the resident vector.
+    return pop_shards_->append_vm(std::move(record));
+  }
   const VmId id(static_cast<VmId::underlying>(vms_.size()));
   record.id = id;
   vms_.push_back(std::move(record));
@@ -60,6 +71,8 @@ VmId TraceStore::add_vm(VmRecord record) {
 }
 
 void TraceStore::set_vm_deleted(VmId id, SimTime when) {
+  CL_CHECK_MSG(pop_shards_ == nullptr && adopted_vms_ == nullptr,
+               "trace records are frozen (population-sharded or adopted)");
   CL_CHECK(id.valid() && id.value() < vms_.size());
   VmRecord& rec = vms_[id.value()];
   CL_CHECK_MSG(when < rec.deleted && when > rec.created,
@@ -79,7 +92,7 @@ void TraceStore::build_node_index() const {
   std::lock_guard<std::mutex> lock(index_mutex_);
   if (node_index_valid_.load(std::memory_order_relaxed)) return;
   node_index_.clear();
-  for (const auto& vm : vms_) {
+  for (const auto& vm : vm_span()) {
     if (vm.placed()) node_index_[vm.node].push_back(vm.id);
   }
   node_index_valid_.store(true, std::memory_order_release);
@@ -89,7 +102,7 @@ void TraceStore::build_subscription_index() const {
   std::lock_guard<std::mutex> lock(index_mutex_);
   if (sub_index_valid_.load(std::memory_order_relaxed)) return;
   sub_index_.clear();
-  for (const auto& vm : vms_) sub_index_[vm.subscription].push_back(vm.id);
+  for (const auto& vm : vm_span()) sub_index_[vm.subscription].push_back(vm.id);
   sub_index_valid_.store(true, std::memory_order_release);
 }
 
@@ -103,17 +116,20 @@ void TraceStore::build_telemetry_panel() const {
 const TelemetryPanel* TraceStore::telemetry_panel() const {
   // Out-of-core mode: the resident matrix must never materialize; the
   // streaming consumers read shards and everyone else takes the scratch
-  // fallback (identical bits either way).
-  if (sharding_ != nullptr) return nullptr;
+  // fallback (identical bits either way). Population sharding implies the
+  // same: no resident per-VM matrix of any kind.
+  if (sharding_ != nullptr || pop_shards_ != nullptr) return nullptr;
   if (!panel_enabled_) return nullptr;
   if (!panel_valid_.load(std::memory_order_acquire)) build_telemetry_panel();
   return panel_.get();
 }
 
 bool TraceStore::adopt_telemetry_panel(std::unique_ptr<TelemetryPanel> panel) {
-  if (sharding_ != nullptr) return false;
+  if (sharding_ != nullptr || pop_shards_ != nullptr) return false;
   if (!panel_enabled_ || panel == nullptr) return false;
-  if (panel->grid() != grid_ || panel->vm_count() != vms_.size()) return false;
+  if (panel->grid() != grid_ || panel->vm_count() != vm_span().size()) {
+    return false;
+  }
   std::lock_guard<std::mutex> lock(index_mutex_);
   panel_ = std::move(panel);
   panel_valid_.store(true, std::memory_order_release);
@@ -130,6 +146,9 @@ void TraceStore::set_telemetry_panel_enabled(bool enabled) {
 
 void TraceStore::set_telemetry_sharding(
     const TelemetryShardingOptions& options) {
+  CL_CHECK_MSG(pop_shards_ == nullptr,
+               "telemetry sharding and population sharding are mutually "
+               "exclusive (population mode already streams rows on demand)");
   sharding_ = std::make_unique<TelemetryShardingOptions>(options);
   // Sharding and the resident panel are mutually exclusive; drop any
   // materialized matrix now so RSS never holds both.
@@ -159,7 +178,44 @@ const TelemetryShardStore* TraceStore::telemetry_shards() const {
   return shards_.get();
 }
 
+std::span<const SubscriptionInfo> TraceStore::subscriptions() const {
+  // Subscriptions stay resident *during* a streaming spill (finish moves
+  // them out-of-core), so only the sealed population mode rejects this.
+  CL_CHECK_MSG(!population_sharded(),
+               "subscriptions() is unavailable in population-sharded mode; "
+               "use subscription_count()/subscription() or stream shards");
+  return subscriptions_;
+}
+
+std::span<const VmRecord> TraceStore::vms() const {
+  CL_CHECK_MSG(!population_sharded() && !pop_spilling_,
+               "vms() is unavailable in population-sharded mode; use "
+               "vm_count()/vm() or stream shards (record_stream.h)");
+  return vm_span();
+}
+
+std::size_t TraceStore::vm_count() const {
+  if (pop_shards_ != nullptr) return pop_shards_->vm_count();
+  return vm_span().size();
+}
+
+std::size_t TraceStore::subscription_count() const {
+  if (population_sharded()) return pop_shards_->subscription_count();
+  return subscriptions_.size();
+}
+
+const SubscriptionInfo& TraceStore::subscription(SubscriptionId id) const {
+  if (population_sharded()) return pop_shards_->subscription(id);
+  return subscriptions_.at(id.value());
+}
+
+const VmRecord& TraceStore::vm(VmId id) const {
+  if (population_sharded()) return pop_shards_->record(id);
+  return vm_span()[id.value()];
+}
+
 std::span<const VmId> TraceStore::vms_on_node(NodeId node) const {
+  if (population_sharded()) return pop_shards_->vms_on_node(node);
   if (!node_index_valid_.load(std::memory_order_acquire)) build_node_index();
   const auto it = node_index_.find(node);
   if (it == node_index_.end()) return {};
@@ -168,11 +224,80 @@ std::span<const VmId> TraceStore::vms_on_node(NodeId node) const {
 
 std::span<const VmId> TraceStore::vms_of_subscription(
     SubscriptionId sub) const {
+  if (population_sharded()) return pop_shards_->vms_of_subscription(sub);
   if (!sub_index_valid_.load(std::memory_order_acquire))
     build_subscription_index();
   const auto it = sub_index_.find(sub);
   if (it == sub_index_.end()) return {};
   return it->second;
+}
+
+void TraceStore::begin_population_spill(
+    const PopulationShardingOptions& options) {
+  CL_CHECK_MSG(pop_shards_ == nullptr, "population spill already active");
+  CL_CHECK_MSG(vms_.empty() && adopted_vms_ == nullptr,
+               "population spill must start before any VM is added");
+  CL_CHECK_MSG(sharding_ == nullptr,
+               "telemetry sharding and population sharding are mutually "
+               "exclusive");
+  pop_shards_ = std::make_unique<PopulationShardStore>(grid_, options);
+  pop_spilling_ = true;
+}
+
+void TraceStore::finish_population_spill() {
+  CL_CHECK_MSG(pop_spilling_, "no population spill in progress");
+  // Subscriptions stayed resident through the spill (add_vm validates
+  // against them); seal them into the shard files and drop them.
+  pop_shards_->finalize_spill(subscriptions_);
+  subscriptions_.clear();
+  subscriptions_.shrink_to_fit();
+  pop_spilling_ = false;
+  node_index_valid_ = false;
+  sub_index_valid_ = false;
+  panel_valid_ = false;
+  panel_.reset();
+}
+
+void TraceStore::set_population_sharding(
+    const PopulationShardingOptions& options) {
+  CL_CHECK_MSG(pop_shards_ == nullptr, "population sharding already enabled");
+  CL_CHECK_MSG(sharding_ == nullptr,
+               "telemetry sharding and population sharding are mutually "
+               "exclusive");
+  CL_CHECK_MSG(adopted_vms_ == nullptr,
+               "cannot population-shard adopted records");
+  pop_shards_ = PopulationShardStore::build(*this, options);
+  // The records and every resident derivative now live out-of-core; drop
+  // the in-memory copies so RSS never holds both.
+  vms_.clear();
+  vms_.shrink_to_fit();
+  subscriptions_.clear();
+  subscriptions_.shrink_to_fit();
+  node_index_valid_ = false;
+  node_index_.clear();
+  sub_index_valid_ = false;
+  sub_index_.clear();
+  panel_valid_ = false;
+  panel_.reset();
+}
+
+void TraceStore::adopt_vm_records(
+    std::shared_ptr<const std::vector<VmRecord>> records) {
+  CL_CHECK_MSG(records != nullptr, "adopt_vm_records: null records");
+  CL_CHECK_MSG(vms_.empty() && pop_shards_ == nullptr,
+               "adopt_vm_records requires an empty, unsharded store");
+  adopted_vms_ = std::move(records);
+  node_index_valid_ = false;
+  sub_index_valid_ = false;
+  panel_valid_ = false;
+  shards_valid_ = false;
+}
+
+void TraceStore::set_sample_valid_ticks(std::size_t ticks) {
+  sample_valid_ticks_ = ticks;
+  // The clamp changes row contents; drop any materialized matrix.
+  panel_valid_ = false;
+  panel_.reset();
 }
 
 stats::TimeSeries TraceStore::vm_utilization(VmId id,
@@ -184,7 +309,8 @@ stats::TimeSeries TraceStore::vm_utilization(VmId id,
     const auto row = panel->row(id);
     std::copy(row.begin(), row.end(), out.mutable_values().begin());
   } else {
-    TelemetryPanel::fill_row(rec, grid, out.mutable_values());
+    TelemetryPanel::fill_row(rec, grid, out.mutable_values(),
+                             grid == grid_ ? sample_valid_ticks_ : SIZE_MAX);
   }
   return out;
 }

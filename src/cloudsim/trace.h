@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,8 @@ namespace cloudlens {
 class TelemetryPanel;
 class TelemetryShardStore;
 struct TelemetryShardingOptions;
+class PopulationShardStore;
+struct PopulationShardingOptions;
 
 /// Deterministic utilization source: average CPU utilization (fraction of
 /// the VM's allocated cores, in [0, 1]) over the 5-minute interval starting
@@ -132,18 +135,30 @@ class TraceStore {
   void set_vm_deleted(VmId id, SimTime when);
 
   std::span<const ServiceInfo> services() const { return services_; }
-  std::span<const SubscriptionInfo> subscriptions() const {
-    return subscriptions_;
-  }
-  std::span<const VmRecord> vms() const { return vms_; }
+  /// Resident subscription records. Unavailable in population-sharded
+  /// mode (CheckError) — use subscription_count() + subscription(), or
+  /// stream shards via population_shards().
+  std::span<const SubscriptionInfo> subscriptions() const;
+  /// Resident VM records. Unavailable in population-sharded mode
+  /// (CheckError) — use vm_count() + vm(), or stream shards
+  /// (analysis/record_stream.h).
+  std::span<const VmRecord> vms() const;
+
+  /// Mode-aware counts: the size of the resident spans, or the shard
+  /// store's global counts in population-sharded mode. Ids are dense in
+  /// [0, count) in every mode.
+  std::size_t vm_count() const;
+  std::size_t subscription_count() const;
 
   const ServiceInfo& service(ServiceId id) const {
     return services_.at(id.value());
   }
-  const SubscriptionInfo& subscription(SubscriptionId id) const {
-    return subscriptions_.at(id.value());
-  }
-  const VmRecord& vm(VmId id) const { return vms_.at(id.value()); }
+  /// Record lookups. In population-sharded mode these page the owning
+  /// shard in on demand (thread-safe); the returned reference stays valid
+  /// until the next population_shards() eviction, which may only happen
+  /// at serial points (see cloudsim/population.h).
+  const SubscriptionInfo& subscription(SubscriptionId id) const;
+  const VmRecord& vm(VmId id) const;
 
   /// VM ids of all placed VMs hosted by `node` at any point (index built on
   /// first use and invalidated by add_vm).
@@ -208,7 +223,55 @@ class TraceStore {
   /// safe; add_vm/set_vm_deleted invalidate it.
   const TelemetryShardStore* telemetry_shards() const;
 
+  // --- population sharding (out-of-core VM/subscription records) --------
+  //
+  // Two ways in:
+  //  * Streaming (generator/ingest): begin_population_spill() before any
+  //    add_vm, then add_subscription/add_vm as usual — records are routed
+  //    straight to per-shard spill logs instead of the resident vector —
+  //    then finish_population_spill() once, which seals the shard files
+  //    and moves the subscriptions out-of-core too.
+  //  * Conversion (an already-resident trace): set_population_sharding()
+  //    spills the resident records and drops them.
+  // Either way the store ends up population-sharded: vms()/subscriptions()
+  // become unavailable, record lookups page shards in on demand, and
+  // mutation (add_vm/set_vm_deleted) is rejected. Population sharding is
+  // mutually exclusive with the telemetry panel and telemetry sharding —
+  // consumers take the scratch fill_row fallback (identical bits).
+  void begin_population_spill(const PopulationShardingOptions& options);
+  void finish_population_spill();
+  void set_population_sharding(const PopulationShardingOptions& options);
+  const PopulationShardStore* population_shards() const {
+    return pop_shards_ != nullptr && !pop_spilling_ ? pop_shards_.get()
+                                                    : nullptr;
+  }
+  bool population_sharded() const { return population_shards() != nullptr; }
+  bool population_spilling() const { return pop_spilling_; }
+
+  // --- shared records (serve epoch snapshots) ---------------------------
+
+  /// Adopt a prebuilt, externally shared VM record vector instead of
+  /// copying records in one add_vm at a time. The store must hold no VMs
+  /// yet; subscriptions/services must already cover every referenced id.
+  /// After adoption the store is immutable (add_vm/set_vm_deleted are
+  /// rejected) — the serve engine shares one frozen record vector across
+  /// every epoch snapshot instead of deep-copying it per epoch.
+  void adopt_vm_records(std::shared_ptr<const std::vector<VmRecord>> records);
+
+  /// Valid-ticks clamp for on-demand sample evaluation: every telemetry
+  /// row served for this trace's own grid is forced to zero at tick
+  /// indices >= `ticks`. Used by serve snapshots whose sample buffers are
+  /// still being appended to beyond the snapshot epoch: the clamp keeps
+  /// readers off the in-flight tail (bit-identical to the old baked-copy
+  /// path, which zeroed the same cells). Default: no clamp.
+  void set_sample_valid_ticks(std::size_t ticks);
+  std::size_t sample_valid_ticks() const { return sample_valid_ticks_; }
+
  private:
+  std::span<const VmRecord> vm_span() const {
+    return adopted_vms_ != nullptr ? std::span<const VmRecord>(*adopted_vms_)
+                                   : std::span<const VmRecord>(vms_);
+  }
   void build_node_index() const;
   void build_subscription_index() const;
   void build_telemetry_panel() const;
@@ -247,6 +310,20 @@ class TraceStore {
   std::unique_ptr<TelemetryShardingOptions> sharding_;
   mutable std::atomic<bool> shards_valid_{false};
   mutable std::unique_ptr<TelemetryShardStore> shards_;
+
+  // Population sharding: non-null once begin_population_spill() or
+  // set_population_sharding() ran; `pop_spilling_` is true between
+  // begin and finish (the store is still a write-only builder then).
+  // Mutator-written state, serialized against readers by contract.
+  std::unique_ptr<PopulationShardStore> pop_shards_;
+  bool pop_spilling_ = false;
+
+  // Externally shared record vector (serve); mutually exclusive with
+  // `vms_` and with population sharding.
+  std::shared_ptr<const std::vector<VmRecord>> adopted_vms_;
+
+  // Valid-ticks clamp over `grid_` (SIZE_MAX = no clamp).
+  std::size_t sample_valid_ticks_ = SIZE_MAX;
 };
 
 }  // namespace cloudlens

@@ -330,6 +330,9 @@ IngestResult AzureBackend::import_dir(const std::string& dir,
   }
   report.subscriptions = sub_index.size();
 
+  // Every subscription is registered; stream the records out-of-core
+  // from here when the caller asked for population sharding.
+  begin_population_spill_if_configured(trace, options);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const AzVmRow& r = rows[i];
     const OpenNode& node = nodes[placements[i].node];
@@ -371,6 +374,7 @@ IngestResult AzureBackend::import_dir(const std::string& dir,
     }
     trace.add_vm(std::move(rec));
   }
+  finish_population_spill_if_configured(trace, options);
   report.vms = rows.size();
 
   metrics.add(obs::Counter::kIngestFiles, files);

@@ -2,9 +2,22 @@
 
 #include <sstream>
 
+#include "cloudsim/population.h"
 #include "common/table.h"
 
 namespace cloudlens::ingest {
+
+void begin_population_spill_if_configured(TraceStore& trace,
+                                          const IngestOptions& options) {
+  if (options.population_sharding == nullptr) return;
+  trace.begin_population_spill(*options.population_sharding);
+}
+
+void finish_population_spill_if_configured(TraceStore& trace,
+                                           const IngestOptions& options) {
+  if (options.population_sharding == nullptr) return;
+  trace.finish_population_spill();
+}
 
 std::uint64_t& IngestReport::fidelity_counter(std::string_view name) {
   for (auto& [key, value] : fidelity) {

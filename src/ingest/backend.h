@@ -53,6 +53,12 @@ struct IngestOptions {
   std::size_t chunk_lines = 2048;
   obs::MetricsRegistry* metrics = nullptr;  ///< null = process-global
   obs::TraceSink* sink = nullptr;           ///< null = process-global
+  /// When set, imported VM records stream straight into population
+  /// shards (cloudsim/population.h) as each backend assembles them: the
+  /// resident record vector never materializes and imported sampled
+  /// utilization spills natively, so trace RSS is bounded by the shard
+  /// budget instead of the import size.
+  const PopulationShardingOptions* population_sharding = nullptr;
 };
 
 /// What an import saw: volume counts plus per-field fidelity counters
@@ -104,6 +110,15 @@ std::vector<std::string_view> backend_names();
 
 /// Human-readable import summary (volume + fidelity table).
 std::string render_ingest_report(const IngestReport& report);
+
+/// Shared spill bracket for the backends' record-assembly loops: when
+/// `options.population_sharding` is set, begin/finish the trace's
+/// population spill around the loop (no-ops otherwise). Call begin after
+/// every subscription is registered and before the first add_vm.
+void begin_population_spill_if_configured(TraceStore& trace,
+                                          const IngestOptions& options);
+void finish_population_spill_if_configured(TraceStore& trace,
+                                           const IngestOptions& options);
 
 /// The three built-in backends (each defined in its own TU).
 const IngestBackend& cloudlens_backend();

@@ -256,6 +256,9 @@ void CloudlensImport::import(std::istream& topology_csv,
   }
 
   // --- materialize VM records (must be in id order) ------------------------
+  // Every subscription is registered; stream the records out-of-core
+  // from here when the caller asked for population sharding.
+  begin_population_spill_if_configured(trace, opt);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const VmRow& r = rows[i];
     CL_CHECK_MSG(r.vm == i, "vm ids must be dense and in order");
@@ -278,6 +281,7 @@ void CloudlensImport::import(std::istream& topology_csv,
     if (it != samples.end()) rec.utilization = it->second;
     trace.add_vm(std::move(rec));
   }
+  finish_population_spill_if_configured(trace, opt);
   result.report.vms = rows.size();
 
   obs::MetricsRegistry& metrics = opt.metrics != nullptr

@@ -370,6 +370,9 @@ IngestResult GoogleBackend::import_dir(const std::string& dir,
   }
   report.subscriptions = subs.size();
 
+  // Every subscription is registered; stream the records out-of-core
+  // from here when the caller asked for population sharding.
+  begin_population_spill_if_configured(trace, options);
   for (const std::string& key : vm_order) {
     const TaskState& task = tasks.at(key);
     VmRecord rec;
@@ -417,6 +420,7 @@ IngestResult GoogleBackend::import_dir(const std::string& dir,
     }
     trace.add_vm(std::move(rec));
   }
+  finish_population_spill_if_configured(trace, options);
   report.vms = vm_order.size();
 
   metrics.add(obs::Counter::kIngestFiles, files);

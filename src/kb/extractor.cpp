@@ -7,6 +7,7 @@
 #include "analysis/context.h"
 #include "analysis/shard_stream.h"
 #include "analysis/spatial.h"
+#include "cloudsim/population.h"
 #include "cloudsim/shard.h"
 #include "cloudsim/telemetry_panel.h"
 #include "stats/correlation.h"
@@ -136,34 +137,49 @@ std::vector<SubscriptionKnowledge> extract_all(
   auto phase = ctx.phase("kb.extract", obs::Histogram::kKbExtractSeconds,
                          obs::Counter::kKbExtractions);
   const TraceStore& trace = ctx.trace();
-  const auto subs = trace.subscriptions();
+  // Subscription ids are dense in [0, count) in every mode, so the fan-out
+  // runs over indices — no resident subscription span needed.
+  const std::size_t sub_count = trace.subscription_count();
+  const auto sub_id = [](std::size_t i) {
+    return SubscriptionId(static_cast<SubscriptionId::underlying>(i));
+  };
   // Serial warm-up of the lazily-built shared state (subscription index,
   // telemetry panel) before fanning out; workers then only read.
-  if (!subs.empty()) trace.vms_of_subscription(subs.front().id);
+  if (sub_count > 0) trace.vms_of_subscription(sub_id(0));
   trace.telemetry_panel();
 
   // One slot per subscription; extraction of each subscription is
   // independent and deterministic, and slots are concatenated in
   // subscription order below, so the record list is bit-identical to the
-  // old serial loop at any thread count. In out-of-core mode the
+  // old serial loop at any thread count. In out-of-core modes the
   // subscriptions are processed grouped by shard (every subscription's
-  // rows live in exactly one shard, by the router contract), with budget
-  // eviction between shards — same slots, bounded RSS.
+  // rows — and, under population sharding, its records — live in exactly
+  // one shard, by the router contract), with budget eviction between
+  // shards — same slots, bounded RSS.
   std::vector<std::optional<SubscriptionKnowledge>> slots;
   if (const TelemetryShardStore* shards = trace.telemetry_shards()) {
-    slots.resize(subs.size());
+    slots.resize(sub_count);
     analysis::stream_by_shard(
-        *shards, subs.size(),
-        [&](std::size_t i) { return shards->shard_of(subs[i].id); },
+        *shards, sub_count,
+        [&](std::size_t i) { return shards->shard_of(sub_id(i)); },
         [&](std::size_t i) {
-          slots[i] = extract_subscription(ctx, subs[i].id, options);
+          slots[i] = extract_subscription(ctx, sub_id(i), options);
+        },
+        ctx.parallel());
+  } else if (const PopulationShardStore* pop = trace.population_shards()) {
+    slots.resize(sub_count);
+    analysis::stream_by_shard(
+        *pop, sub_count,
+        [&](std::size_t i) { return pop->shard_of(sub_id(i)); },
+        [&](std::size_t i) {
+          slots[i] = extract_subscription(ctx, sub_id(i), options);
         },
         ctx.parallel());
   } else {
     slots = parallel_map<std::optional<SubscriptionKnowledge>>(
-        subs.size(),
+        sub_count,
         [&](std::size_t i) {
-          return extract_subscription(ctx, subs[i].id, options);
+          return extract_subscription(ctx, sub_id(i), options);
         },
         ctx.parallel());
   }

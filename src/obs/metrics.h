@@ -78,6 +78,11 @@ namespace cloudlens::obs {
   X(kPanelShardPageIns, "panel.shard_page_ins")                \
   X(kPanelShardEvictions, "panel.shard_evictions")             \
   X(kPanelShardRowReads, "panel.shard_row_reads")              \
+  /* cloudsim/population: out-of-core record shard store */    \
+  X(kPopulationShardSpills, "population.shard_spills")         \
+  X(kPopulationShardPageIns, "population.shard_page_ins")      \
+  X(kPopulationShardEvictions, "population.shard_evictions")   \
+  X(kPopulationShardRecordReads, "population.shard_record_reads") \
   /* workloads/generator */                                    \
   X(kGenRuns, "gen.runs")                                      \
   X(kGenOwners, "gen.owners")                                  \
@@ -126,6 +131,8 @@ namespace cloudlens::obs {
   X(kServeSamplesIngested, "serve.samples_ingested")           \
   X(kServeSnapshotsBuilt, "serve.snapshots_built")             \
   X(kServeSnapshotReuses, "serve.snapshot_reuses")             \
+  X(kServePopulationFreezes, "serve.population_freezes")       \
+  X(kServePopulationReuses, "serve.population_reuses")         \
   X(kServeQueries, "serve.queries")                            \
   X(kServeKbReused, "serve.kb_records_reused")                 \
   X(kServeKbRecomputed, "serve.kb_records_recomputed")         \
@@ -146,6 +153,8 @@ namespace cloudlens::obs {
   X(kPanelVms, "panel.vms")                                    \
   X(kPanelShardCount, "panel.shard_count")                     \
   X(kPanelShardResidentBytes, "panel.shard_resident_bytes")    \
+  X(kPopulationShardCount, "population.shard_count")           \
+  X(kPopulationShardResidentBytes, "population.shard_resident_bytes") \
   /* resolved kernel dispatch: Tier / Mode enum values */      \
   X(kKernelTier, "kernels.tier")                               \
   X(kKernelMode, "kernels.mode")                               \

@@ -11,6 +11,7 @@
 #endif
 
 #include "analysis/context.h"
+#include "cloudsim/population.h"
 #include "cloudsim/shard.h"
 #include "cloudsim/snapshot.h"
 #include "common/check.h"
@@ -31,6 +32,12 @@ struct PanelArtifact {
 /// The shards stage's artifact: a view into the TraceStore's shard store.
 struct ShardArtifact {
   const TelemetryShardStore* shards = nullptr;
+};
+
+/// The pop-shards stage's artifact: a view into the TraceStore's
+/// population shard store.
+struct PopulationArtifact {
+  const PopulationShardStore* shards = nullptr;
 };
 
 /// Stream a file's bytes into the hash (length first, so consecutive
@@ -54,9 +61,22 @@ void hash_file(ContentHash& h, const std::string& path) {
   h.u64(total);
 }
 
+PopulationShardingOptions streaming_population_options(std::uint32_t shards,
+                                                       std::size_t budget_mib);
+
 Stage make_trace_stage(const RunPlanOptions& options) {
   Stage stage;
   stage.name = "trace";
+  // Record-sharded runs without a cache stream the records straight into
+  // the shards as they are generated/imported — the resident vector never
+  // materializes. With a cache the trace stage must stay a saveable
+  // resident snapshot, so the pop-shards stage converts it instead
+  // (warm-reusing spill files via the router digest).
+  const bool cache_effective =
+      options.cache_enabled && !options.cache_dir.empty();
+  const bool stream_records = options.record_shards > 0 && !cache_effective;
+  const std::uint32_t record_shards = options.record_shards;
+  const std::size_t budget_mib = options.shard_budget_mib;
 
   if (options.trace_dir.empty()) {
     workloads::ScenarioOptions scenario = options.scenario;
@@ -72,8 +92,15 @@ Stage make_trace_stage(const RunPlanOptions& options) {
       h.f64(scenario.scale);
       h.i64(scenario.horizon);
     };
-    stage.compute = [scenario](const StageInputs&) {
-      auto result = workloads::make_scenario(scenario);
+    stage.compute = [scenario, stream_records, record_shards,
+                     budget_mib](const StageInputs&) {
+      workloads::ScenarioOptions run = scenario;
+      PopulationShardingOptions po;
+      if (stream_records) {
+        po = streaming_population_options(record_shards, budget_mib);
+        run.population_sharding = &po;
+      }
+      auto result = workloads::make_scenario(run);
       auto artifact = std::make_shared<TraceArtifact>();
       artifact->topology = std::move(result.topology);
       artifact->trace = std::move(result.trace);
@@ -104,12 +131,18 @@ Stage make_trace_stage(const RunPlanOptions& options) {
       }
       h.grid(grid);
     };
-    stage.compute = [dir, grid, backend](const StageInputs& inputs) {
+    stage.compute = [dir, grid, backend, stream_records, record_shards,
+                     budget_mib](const StageInputs& inputs) {
       ingest::IngestOptions ingest_options;
       ingest_options.grid = grid;
       ingest_options.parallel = inputs.parallel();
       ingest_options.metrics = &inputs.metrics();
       ingest_options.sink = &inputs.trace_sink();
+      PopulationShardingOptions po;
+      if (stream_records) {
+        po = streaming_population_options(record_shards, budget_mib);
+        ingest_options.population_sharding = &po;
+      }
       ingest::IngestResult imported =
           backend->import_dir(dir, ingest_options);
       auto artifact = std::make_shared<TraceArtifact>();
@@ -179,10 +212,11 @@ Stage make_panel_stage() {
 /// caching off, a per-process temp directory is used and removed with the
 /// store.
 std::string shard_spill_dir(bool cache_enabled, const std::string& cache_dir,
-                            const std::string& trace_key_hex) {
+                            const std::string& trace_key_hex,
+                            const std::string& prefix) {
   if (cache_enabled && !trace_key_hex.empty()) {
     return (std::filesystem::path(cache_dir) /
-            ("panel-shards-" + trace_key_hex))
+            (prefix + "-" + trace_key_hex))
         .string();
   }
   std::string pid = "0";
@@ -190,12 +224,26 @@ std::string shard_spill_dir(bool cache_enabled, const std::string& cache_dir,
   pid = std::to_string(static_cast<unsigned long>(::getpid()));
 #endif
   return (std::filesystem::temp_directory_path() /
-          ("cloudlens-shards-" + pid))
+          ("cloudlens-" + prefix + "-" + pid))
       .string();
 }
 
+///// Streaming spill options for record-sharded runs with caching off: the
+/// records route straight to shard logs in a per-process temp dir during
+/// generation/import, and the files are removed with the store.
+PopulationShardingOptions streaming_population_options(
+    std::uint32_t shards, std::size_t budget_mib) {
+  PopulationShardingOptions po;
+  po.shards = shards;
+  po.budget_bytes = budget_mib << 20;
+  po.spill_dir = shard_spill_dir(false, "", "", "pop-shards");
+  po.keep_files = false;
+  po.model_codec = &workloads::pattern_snapshot_codec();
+  return po;
+}
+
 /// The out-of-core replacement for the panel stage. Uncacheable as a
-/// pipeline artifact on purpose: the spill files themselves are the
+///// pipeline artifact on purpose: the spill files themselves are the
 /// persistent form, revalidated by the router digest in their headers, so
 /// save/load would only duplicate them.
 Stage make_shards_stage(const RunPlanOptions& options,
@@ -213,7 +261,7 @@ Stage make_shards_stage(const RunPlanOptions& options,
   const bool cache_enabled =
       options.cache_enabled && !options.cache_dir.empty();
   const std::string cache_dir = options.cache_dir;
-  const std::size_t budget_mib = options.panel_budget_mib;
+  const std::size_t budget_mib = options.shard_budget_mib;
   stage.compute = [shards, cache_enabled, cache_dir, budget_mib,
                    runner](const StageInputs& inputs) {
     const auto trace = inputs.get<TraceArtifact>("trace");
@@ -221,13 +269,57 @@ Stage make_shards_stage(const RunPlanOptions& options,
     so.shards = shards;
     so.budget_bytes = budget_mib << 20;
     so.spill_dir = shard_spill_dir(cache_enabled, cache_dir,
-                                   runner->key_hex("trace"));
+                                   runner->key_hex("trace"), "panel-shards");
     so.keep_files = cache_enabled;
     so.parallel = inputs.parallel();
     trace->trace->set_telemetry_sharding(so);
     const TelemetryShardStore* store = trace->trace->telemetry_shards();
     CL_CHECK_MSG(store != nullptr, "shards stage failed to build the store");
     return std::make_shared<ShardArtifact>(ShardArtifact{store});
+  };
+  return stage;
+}
+
+/// The out-of-core population stage, keyed like the telemetry shards
+/// stage: only K reaches the key; the budget is execution environment.
+/// Uncacheable as a pipeline artifact on purpose — the spill files are
+/// the persistent form, revalidated against the population router digest
+/// in their headers on warm adoption. When the trace stage already
+/// streamed the records into shards (cache off), this stage is just the
+/// published view.
+Stage make_population_stage(const RunPlanOptions& options,
+                            PipelineRunner* runner) {
+  Stage stage;
+  stage.name = "pop-shards";
+  stage.inputs = {"trace"};
+  const std::uint32_t shards = options.record_shards;
+  stage.key_extra = [shards](ContentHash& h) {
+    h.u8(1);  // key layout version for this stage
+    h.u64(shards);
+    // The residency budget never reaches the key: like thread counts, it
+    // changes how the run executes, not what the artifacts contain.
+  };
+  const bool cache_enabled =
+      options.cache_enabled && !options.cache_dir.empty();
+  const std::string cache_dir = options.cache_dir;
+  const std::size_t budget_mib = options.shard_budget_mib;
+  stage.compute = [shards, cache_enabled, cache_dir, budget_mib,
+                   runner](const StageInputs& inputs) {
+    const auto trace = inputs.get<TraceArtifact>("trace");
+    if (!trace->trace->population_sharded()) {
+      PopulationShardingOptions po;
+      po.shards = shards;
+      po.budget_bytes = budget_mib << 20;
+      po.spill_dir = shard_spill_dir(cache_enabled, cache_dir,
+                                     runner->key_hex("trace"), "pop-shards");
+      po.keep_files = cache_enabled;
+      po.model_codec = &workloads::pattern_snapshot_codec();
+      trace->trace->set_population_sharding(po);
+    }
+    const PopulationShardStore* store = trace->trace->population_shards();
+    CL_CHECK_MSG(store != nullptr,
+                 "pop-shards stage failed to build the store");
+    return std::make_shared<PopulationArtifact>(PopulationArtifact{store});
   };
   return stage;
 }
@@ -287,8 +379,14 @@ ResolvedRun run_trace_plan(const RunPlanOptions& options) {
       ArtifactCache(options.cache_dir, options.cache_enabled),
       options.parallel, options.metrics, options.sink);
   const bool sharded = options.panel_shards > 0;
+  const bool record_sharded = options.record_shards > 0;
+  CL_CHECK_MSG(!(sharded && record_sharded),
+               "panel sharding and record sharding are mutually exclusive "
+               "(population mode already streams rows on demand)");
   runner.add(make_trace_stage(options));
-  if (sharded) {
+  if (record_sharded) {
+    runner.add(make_population_stage(options, &runner));
+  } else if (sharded) {
     runner.add(make_shards_stage(options, &runner));
   } else if (options.want_panel) {
     runner.add(make_panel_stage());
@@ -297,9 +395,11 @@ ResolvedRun run_trace_plan(const RunPlanOptions& options) {
 
   ResolvedRun run;
   run.trace = runner.resolve_as<TraceArtifact>("trace");
-  // Sharded mode replaces the resident panel: the shards stage must
+  // Out-of-core modes replace the resident panel: their stage must
   // resolve before kb so extraction streams over the spill files.
-  if (sharded) {
+  if (record_sharded) {
+    runner.resolve("pop-shards");
+  } else if (sharded) {
     runner.resolve("shards");
   } else if (options.want_panel) {
     runner.resolve("panel");
@@ -309,6 +409,28 @@ ResolvedRun run_trace_plan(const RunPlanOptions& options) {
   }
   run.reports = runner.reports();
   return run;
+}
+
+std::size_t resolve_shard_budget_mib(bool shard_flag_given,
+                                     std::size_t shard_budget_mib,
+                                     bool panel_flag_given,
+                                     std::size_t panel_budget_mib,
+                                     std::ostream& warnings,
+                                     std::size_t fallback) {
+  if (shard_flag_given) {
+    if (panel_flag_given && panel_budget_mib != shard_budget_mib) {
+      warnings << "warning: --panel-budget-mib is ignored when "
+                  "--shard-budget-mib is given\n";
+    }
+    return shard_budget_mib;
+  }
+  if (panel_flag_given) {
+    warnings << "warning: --panel-budget-mib is deprecated; use "
+                "--shard-budget-mib (it budgets both --panel-shards and "
+                "--record-shards)\n";
+    return panel_budget_mib;
+  }
+  return fallback;
 }
 
 }  // namespace cloudlens::pipeline

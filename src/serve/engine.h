@@ -25,15 +25,23 @@
 //
 // ## Concurrency
 //
-// Ingestion mutates engine state under one mutex; queries copy the state
-// they need into a fresh immutable TraceStore under that mutex (cheap:
-// one pass over resident VMs), publish it as a shared_ptr snapshot, and
-// run the actual analyses outside any engine lock — the release-store
-// view-publication idiom the telemetry shard store uses, applied at the
-// engine level. Snapshots and per-(epoch, query) results are cached, so
-// repeated queries at an unchanged epoch are reuses, not recomputations.
-// Queries serialize among themselves but never block ingestion for longer
-// than the state copy.
+// Ingestion mutates engine state under one mutex; queries build a fresh
+// immutable TraceStore *shell* under that mutex — services, subscriptions
+// and a valid-ticks clamp — around a shared frozen record array, publish
+// it as a shared_ptr snapshot, and run the actual analyses outside any
+// engine lock — the release-store view-publication idiom the telemetry
+// shard store uses, applied at the engine level. The record array is
+// never deep-copied per epoch: records are frozen once per population
+// generation (create/del/first-sample/roll events) and adopted by every
+// snapshot until a VM straddles the cutoff, and each record's utilization
+// model is a zero-copy window over the live sample buffer (safe because
+// stream timestamps are non-decreasing: a cell can only be written while
+// its tick is incomplete, and incomplete ticks sit beyond the snapshot's
+// sample_valid_ticks clamp, which zero-fills them in every row read).
+// Snapshots and per-(epoch, query) results are cached, so repeated
+// queries at an unchanged epoch are reuses, not recomputations. Queries
+// serialize among themselves but never block ingestion for longer than
+// the shell build.
 //
 // ## Incremental knowledge base
 //
@@ -168,6 +176,7 @@ class ServeEngine {
  private:
   struct VmState;
   struct Snapshot;
+  struct FrozenPopulation;
 
   // All pre-locked helpers expect mu_ held.
   void apply_vm_line(const std::vector<std::string>& f, SimTime t);
@@ -209,6 +218,13 @@ class ServeEngine {
   std::vector<std::uint64_t> sub_generation_;
   kb::KnowledgeBase long_term_;
   std::shared_ptr<Snapshot> cached_snapshot_;
+  /// Immutable record array shared by epoch snapshots (built once per
+  /// population generation, reused while no VM straddles the cutoff).
+  std::shared_ptr<const FrozenPopulation> frozen_;
+  /// Bumped by every event that can change a snapshot's record array:
+  /// vm create, del, a VM's first sample (model attachment), window
+  /// rolls, restore.
+  std::uint64_t population_gen_ = 0;
 
   std::mutex query_mu_;             // serializes query-side caches
   struct KbCacheEntry {

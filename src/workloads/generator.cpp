@@ -4,9 +4,11 @@
 #include <array>
 #include <cmath>
 
+#include "cloudsim/population.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/phase_timer.h"
+#include "workloads/pattern_snapshot.h"
 
 namespace cloudlens::workloads {
 namespace {
@@ -427,10 +429,23 @@ Scenario make_scenario(const ScenarioOptions& options) {
   auto public_requests =
       generator.generate(pub, *scenario.trace, options.horizon);
 
+  // Spill mode: generate() above only registered services/subscriptions;
+  // the VM records are born inside run_simulation, so starting the spill
+  // here streams every record straight to its shard log. The pattern
+  // codec keeps the generator's parametric models a few dozen bytes each
+  // (it is a process-wide singleton, so it outlives the shard store).
+  if (options.population_sharding != nullptr) {
+    PopulationShardingOptions spill = *options.population_sharding;
+    if (spill.model_codec == nullptr)
+      spill.model_codec = &pattern_snapshot_codec();
+    scenario.trace->begin_population_spill(spill);
+  }
   scenario.private_stats = run_simulation(
       *scenario.topology, *scenario.trace, std::move(private_requests));
   scenario.public_stats = run_simulation(
       *scenario.topology, *scenario.trace, std::move(public_requests));
+  if (options.population_sharding != nullptr)
+    scenario.trace->finish_population_spill();
   return scenario;
 }
 

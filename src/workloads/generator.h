@@ -124,6 +124,14 @@ struct ScenarioOptions {
   ParallelConfig parallel;
   CloudProfile private_profile = CloudProfile::azure_private();
   CloudProfile public_profile = CloudProfile::azure_public();
+  /// When set, the trace spills VM records to population shards as the
+  /// simulations emit them (cloudsim/population.h): the resident record
+  /// vector never materializes, so peak RSS is bounded by the shard
+  /// budget instead of the population size. make_scenario fills in the
+  /// options' model_codec with the pattern codec when left null, so the
+  /// generator's parametric utilization models spill as a few dozen
+  /// bytes each instead of degrading to sampled curves.
+  const PopulationShardingOptions* population_sharding = nullptr;
 };
 
 Scenario make_scenario(const ScenarioOptions& options = {});

@@ -36,15 +36,20 @@
 # checksum exactly, plus a bench_ingest decode smoke (parallel CSV
 # decode bit-identical to serial) and an end-to-end azure import smoke
 # over the checked-in fixture (1-vs-8-thread report identity + warm
-# cache hit). Every smoke must leave its JSON document behind —
-# a bench that silently emits nothing fails the run. The TSan flavour
-# re-runs bench_outofcore (no RSS gate — shadow memory dwarfs it) to
-# police the shard store's concurrent map/evict path, and bench_ingest
-# to police the decode chunk fan-out.
+# cache hit), and a full-scale bench_population run — the record-sharded
+# tentpole's acceptance gate: generation + the whole analysis suite over
+# population shards must stay under a peak-RSS cap while byte-matching a
+# resident regeneration at 1 and 8 threads. Every smoke must leave its
+# JSON document behind — a bench that silently emits nothing fails the
+# run. The TSan flavour re-runs bench_outofcore and bench_population (no
+# RSS gates — shadow memory dwarfs them) to police the two shard stores'
+# concurrent map/evict paths, and bench_ingest to police the decode
+# chunk fan-out.
 # (The full-size numbers recorded in EXPERIMENTS.md come from
 # `bench_telemetry --scale=0.1`, `bench_obs --scale=0.1`,
-# `bench_simd --min-speedup=1.5`, `bench_pipeline --scale=0.35`, and
-# `bench_outofcore --scale=1.0`.)
+# `bench_simd --min-speedup=1.5`, `bench_pipeline --scale=0.35`,
+# `bench_outofcore --scale=1.0`, and `bench_population` at its
+# scale-1.0 defaults.)
 #
 # Usage: tools/ci.sh [build-root]       (default: ./ci-build)
 # Environment: CTEST_PARALLEL_LEVEL (default 2), CLOUDLENS_CI_JOBS
@@ -77,6 +82,12 @@ run_flavour() {
     echo "== [$name] snapshot + pipeline suites =="
     ctest --test-dir "$dir" --output-on-failure \
         -R 'Snapshot|ContentHash|ArtifactCache|PipelineRunner|RunPlan|PipelineEquivalence|StageTable|TraceIo'
+    echo "== [$name] population shard suites =="
+    # Out-of-core record store: conversion/streaming round trips, eviction
+    # budget, failure paths, and the resident-vs-sharded byte-identity
+    # contract (the TSan pass polices the concurrent shard acquire).
+    ctest --test-dir "$dir" --output-on-failure \
+        -R 'Population|ShardBudgetFlag'
     echo "== [$name] serve suites =="
     # Streaming ingest: the event-stream format pins, the engine's
     # epoch/cutoff accounting, the streamed-vs-batch byte-identity
@@ -148,6 +159,16 @@ require_json "$BUILD_ROOT/BENCH_outofcore_tsan_smoke.json"
 # tree but runs only the kernel + stats suites — the full ctest pass under
 # ASan is covered well enough by the two flavours above.
 ubsan_dir="$BUILD_ROOT/ubsan"
+echo "== [tsan] population shard smoke =="
+# Small record-sharded end-to-end pass under TSan: polices the population
+# store's concurrent acquire/publish path while the full analysis suite
+# streams shard-grouped records. RSS gate off (shadow memory dominates);
+# the report/figure/kb checksum identity and paging gates still bind.
+"$BUILD_ROOT/tsan/bench/bench_population" \
+    --scale=0.02 --shards=4 --budget-mib=0 --rss-gate=0 \
+    --out="$BUILD_ROOT/BENCH_population_tsan_smoke.json"
+require_json "$BUILD_ROOT/BENCH_population_tsan_smoke.json"
+
 echo "== [ubsan] configure =="
 cmake -S "$ROOT" -B "$ubsan_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCLOUDLENS_SANITIZE=address >/dev/null
@@ -206,6 +227,18 @@ echo "== [release] out-of-core RSS budget smoke =="
     --scale=0.05 --shards=8 --budget-mib=8 --rss-limit-mib=64 \
     --out="$BUILD_ROOT/BENCH_outofcore_smoke.json"
 require_json "$BUILD_ROOT/BENCH_outofcore_smoke.json"
+
+echo "== [release] population RSS budget smoke =="
+# Record-sharded path at FULL scale: generation streams the VM records
+# straight into population shards, the whole analysis suite runs over
+# them under the decoded-bytes budget, peak RSS must stay under the cap,
+# and the report/figure/kb checksums must byte-match a fully resident
+# regeneration at 1 and 8 threads. This is the tentpole's acceptance
+# gate, so it runs at scale 1.0 even in the smoke.
+"$BUILD_ROOT/release/bench/bench_population" \
+    --scale=1.0 --rss-limit-mib=512 \
+    --out="$BUILD_ROOT/BENCH_population.json"
+require_json "$BUILD_ROOT/BENCH_population.json"
 
 echo "== [release] ingest decode smoke =="
 # Small synthetic-CSV pass: parallel decode must be bit-identical to

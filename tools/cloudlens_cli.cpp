@@ -84,10 +84,18 @@ struct CliArgs {
   /// Worker threads for generation and analysis: 0 = all hardware threads,
   /// 1 = serial. Outputs are bit-identical at any setting.
   std::size_t threads = 0;
-  /// Out-of-core telemetry: shard count (0 = resident panel) and the
-  /// mapped-bytes residency budget. Outputs are bit-identical either way.
+  /// Out-of-core telemetry: shard count (0 = resident panel). Outputs
+  /// are bit-identical either way.
   std::uint32_t panel_shards = 0;
+  /// Out-of-core VM/subscription records: shard count (0 = resident).
+  std::uint32_t record_shards = 0;
+  /// Shared residency budget for both out-of-core stores; the old
+  /// --panel-budget-mib spelling is a deprecated alias
+  /// (pipeline::resolve_shard_budget_mib arbitrates).
+  std::uint64_t shard_budget_mib = 256;
+  bool shard_budget_given = false;
   std::uint64_t panel_budget_mib = 256;
+  bool panel_budget_given = false;
   CloudType cloud = CloudType::kPublic;
   bool cloud_given = false;
   /// serve: optional AF_UNIX listen socket (empty = stdin/stdout only),
@@ -128,8 +136,14 @@ constexpr const char* kCommonFlagHelp =
     "  --panel-shards N    out-of-core telemetry: spill the panel as N\n"
     "                      mmap'd shards instead of holding it resident;\n"
     "                      output is bit-identical (0 = resident, default)\n"
-    "  --panel-budget-mib N  mapped-bytes budget for --panel-shards\n"
-    "                      (default 256; execution knob, never cached)\n"
+    "  --record-shards N   out-of-core population: spill the VM records\n"
+    "                      as N CLSN shards instead of holding them\n"
+    "                      resident; output is byte-identical\n"
+    "                      (0 = resident, default)\n"
+    "  --shard-budget-mib N  shared residency budget for --panel-shards\n"
+    "                      and --record-shards (default 256; execution\n"
+    "                      knob, never cached). --panel-budget-mib is a\n"
+    "                      deprecated alias\n"
     "  --backend B         ingest backend for --in directories:\n"
     "                      cloudlens (default) | azure | google\n"
     "flags also accept the --flag=VALUE spelling\n";
@@ -278,7 +292,11 @@ bool parse(int argc, char** argv, CliArgs& args) {
       .value("--util-vms", &args.util_vms)
       .value("--threads", &args.threads)
       .value("--panel-shards", &args.panel_shards)
-      .value("--panel-budget-mib", &args.panel_budget_mib)
+      .value("--record-shards", &args.record_shards)
+      .value("--shard-budget-mib", &args.shard_budget_mib,
+             &args.shard_budget_given)
+      .value("--panel-budget-mib", &args.panel_budget_mib,
+             &args.panel_budget_given)
       .value("--report", &args.report_path)
       .value("--metrics-out", &args.metrics_out)
       .value("--trace-out", &args.trace_out)
@@ -332,7 +350,10 @@ pipeline::RunPlanOptions make_plan(const CliArgs& args) {
   }
   plan.parallel = args.parallel();
   plan.panel_shards = args.panel_shards;
-  plan.panel_budget_mib = args.panel_budget_mib;
+  plan.record_shards = args.record_shards;
+  plan.shard_budget_mib = pipeline::resolve_shard_budget_mib(
+      args.shard_budget_given, args.shard_budget_mib, args.panel_budget_given,
+      args.panel_budget_mib, std::cerr);
   plan.cache_dir = args.effective_cache_dir();
   plan.cache_enabled = !args.no_cache;
   return plan;
@@ -368,8 +389,8 @@ int cmd_generate(const CliArgs& args) {
             << ", seed=" << args.seed << ")...\n";
   auto run = pipeline::run_trace_plan(plan);
   const TraceStore& trace = *run.trace->trace;
-  std::cout << "  " << trace.vms().size() << " VMs, "
-            << trace.subscriptions().size() << " subscriptions\n";
+  std::cout << "  " << trace.vm_count() << " VMs, "
+            << trace.subscription_count() << " subscriptions\n";
 
   {
     std::ofstream out(args.dir + "/topology.csv");
@@ -417,8 +438,8 @@ int cmd_import(const CliArgs& args) {
             << " backend (" << backend.description() << ")...\n";
   const auto run = pipeline::run_trace_plan(plan);
   const TraceStore& trace = *run.trace->trace;
-  std::cout << "loaded " << trace.vms().size() << " VMs, "
-            << trace.subscriptions().size() << " subscriptions, "
+  std::cout << "loaded " << trace.vm_count() << " VMs, "
+            << trace.subscription_count() << " subscriptions, "
             << trace.topology().nodes().size() << " nodes\n\n";
   if (run.trace->ingest.rows > 0) {
     std::cout << ingest::render_ingest_report(run.trace->ingest) << "\n";
@@ -440,7 +461,7 @@ int cmd_import(const CliArgs& args) {
 int cmd_analyze(const CliArgs& args) {
   const auto run = resolve_and_report(make_plan(args), args);
   const TraceStore& trace = *run.trace->trace;
-  std::cout << "loaded " << trace.vms().size() << " VMs over "
+  std::cout << "loaded " << trace.vm_count() << " VMs over "
             << trace.topology().regions().size() << " regions\n\n";
   const AnalysisContext ctx(trace, args.parallel());
   if (!args.report_path.empty()) {
@@ -597,7 +618,7 @@ int cmd_stream(const CliArgs& args) {
     return 2;
   }
   const auto run = pipeline::run_trace_plan(make_plan(args));
-  std::cerr << "streaming " << run.trace->trace->vms().size() << " VMs over "
+  std::cerr << "streaming " << run.trace->trace->vm_count() << " VMs over "
             << run.trace->trace->telemetry_grid().count << " ticks...\n";
   serve::write_event_stream(*run.trace->topology, *run.trace->trace,
                             std::cout);
